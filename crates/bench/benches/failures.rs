@@ -1,0 +1,41 @@
+//! Bench target: **failure extension** — master crashes at the
+//! decision point, quantifying §2.4's blocking argument (the paper
+//! argues it qualitatively; its experiments are failure-free).
+//!
+//! Blocking protocols strand their prepared cohorts' locks for the
+//! full recovery time; 3PC's cohorts detect the crash and terminate on
+//! their own. The series sweep the crash probability at MPL 4.
+
+use distbench::{banner, timed};
+use distdb::experiments::{failures, Scale};
+
+fn main() {
+    banner(
+        "failures",
+        "Extension: master failures — blocking vs non-blocking",
+    );
+    let exp = timed("failure sweep", || {
+        failures(&Scale::from_env()).expect("valid config")
+    });
+    println!(
+        "\nconfiguration (plus: detection 300 ms, recovery 5 s):\n{}",
+        exp.config
+    );
+    println!(
+        "{:<18} {:>12} {:>10} {:>10} {:>9}",
+        "series", "txn/s", "resp (s)", "block", "crashes"
+    );
+    for s in &exp.series {
+        let r = &s.points[0];
+        println!(
+            "{:<18} {:>12.2} {:>10.3} {:>10.3} {:>9}",
+            s.label, r.throughput, r.mean_response_s, r.block_ratio, r.master_crashes
+        );
+    }
+    println!();
+    println!("expected shape: failure-free, 2PC > 3PC (the paper's Expt 1); as the crash");
+    println!("rate grows the blocking protocols collapse (every crash freezes ~12 update");
+    println!("locks for 5 s and blocking cascades) while 3PC pays only the 300 ms detection");
+    println!("plus a short termination round — the ordering flips, and OPT-3PC, already the");
+    println!("paper's recommendation for high-contention systems, dominates everything.");
+}

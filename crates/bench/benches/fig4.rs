@@ -1,0 +1,24 @@
+//! Bench target: **Experiment 5 / Figures 4a and 4b** — non-blocking
+//! OPT: can OPT-3PC buy the non-blocking guarantee of 3PC *and* match
+//! the blocking protocols' throughput?
+
+use distbench::{banner, report, timed};
+use distdb::experiments::{fig4, Scale};
+use distdb::output::Metric;
+
+fn main() {
+    banner(
+        "fig4",
+        "Expt 5: Non-Blocking OPT (2PC vs 3PC vs OPT vs OPT-3PC)",
+    );
+    let (rc, dc) = timed("fig4 sweeps", || {
+        fig4(&Scale::from_env()).expect("valid config")
+    });
+    report(&rc, &[Metric::Throughput, Metric::BorrowRatio]);
+    report(&dc, &[Metric::Throughput, Metric::BorrowRatio]);
+    println!("paper shape: OPT-3PC ≈ 3PC at low MPL, then overtakes and reaches a peak");
+    println!("comparable to 2PC under RC+DC and clearly above 2PC under pure DC — the");
+    println!("\"win-win\": non-blocking recovery plus blocking-protocol performance.");
+    println!("the borrow-ratio table shows why: the longer prepared state of 3PC");
+    println!("makes lending strictly more valuable (§5.6).");
+}

@@ -1,0 +1,29 @@
+//! Bench target: **Experiment 6 / Figures 5a and 5b** — surprise
+//! aborts: cohorts vote NO with probability 1%, 5% or 10% (≈ 3%, 15%,
+//! 27% transaction aborts at DistDegree 3), for 2PC, PA, OPT and
+//! OPT-PA; plus the §5.7 extension at DistDegree 6 where PA finally
+//! clearly beats 2PC.
+
+use distbench::{banner, report, timed};
+use distdb::experiments::{expt6_high_distribution, fig5, Scale};
+use distdb::output::Metric;
+
+fn main() {
+    banner("fig5", "Expt 6: Surprise Aborts");
+    let scale = Scale::from_env();
+    let (rc, dc) = timed("fig5 sweeps", || fig5(&scale).expect("valid config"));
+    report(&rc, &[Metric::Throughput, Metric::AbortFraction]);
+    report(&dc, &[Metric::Throughput, Metric::ForcedWritesPerCommit]);
+
+    let ext = timed("expt6 extension", || {
+        expt6_high_distribution(&scale).expect("valid config")
+    });
+    report(&ext, &[Metric::Throughput]);
+
+    println!("paper shape: OPT's peak stays comparable to 2PC up to the 15% abort");
+    println!("level and falls clearly behind at 27%; PA gains only marginally over");
+    println!("2PC at DistDegree 3 (≈8.8 vs ≈7.7 forced writes per commit at 27%),");
+    println!("but clearly wins in the CPU-bound DistDegree-6 extension; at high MPL");
+    println!("higher abort probabilities can *cross over* lower ones because restart");
+    println!("delays throttle data contention.");
+}

@@ -1,0 +1,58 @@
+//! Bench target: **linear 2PC extension** (§2.5, and the §3.2 OPT
+//! synergy note) — chained commit processing versus the parallel
+//! protocols, with and without OPT, at DistDegree 3 and 6.
+
+use distbench::{banner, report, timed};
+use distdb::config::SystemConfig;
+use distdb::experiments::{sweep, Experiment, Scale};
+use distdb::output::Metric;
+use distdb::protocol::ProtocolSpec;
+
+fn run_one(title: &str, id: &str, cfg: SystemConfig, scale: &Scale) -> Experiment {
+    let protocols = [
+        ProtocolSpec::TWO_PC,
+        ProtocolSpec::LINEAR_2PC,
+        ProtocolSpec::OPT_2PC,
+        ProtocolSpec::OPT_LINEAR_2PC,
+    ];
+    let specs: Vec<(String, ProtocolSpec, SystemConfig)> = protocols
+        .iter()
+        .map(|&p| (p.name().to_string(), p, cfg.clone()))
+        .collect();
+    let series = sweep(&cfg, &specs, scale).expect("valid config");
+    Experiment {
+        id: id.into(),
+        title: title.into(),
+        config: cfg,
+        series,
+    }
+}
+
+fn main() {
+    banner("linear", "Extension: linear (chained) 2PC vs parallel 2PC");
+    let scale = Scale::from_env();
+    let base = timed("linear baseline sweep", || {
+        run_one(
+            "Linear 2PC at the baseline (RC+DC)",
+            "linear-d3",
+            SystemConfig::paper_baseline(),
+            &scale,
+        )
+    });
+    report(&base, &[Metric::Throughput, Metric::MessagesPerCommit]);
+
+    let d6 = timed("linear d=6 sweep", || {
+        run_one(
+            "Linear 2PC at DistDegree 6 (RC+DC, CPU-bound)",
+            "linear-d6",
+            SystemConfig::paper_baseline().higher_distribution(),
+            &scale,
+        )
+    });
+    report(&d6, &[Metric::Throughput, Metric::MessagesPerCommit]);
+
+    println!("expected shape: at DistDegree 3 the chain's serialization costs more than its");
+    println!("message savings earn (2PC beats L2PC); in the CPU-bound DistDegree-6 regime the");
+    println!("halved message load closes the gap or flips it; OPT lifts the chained protocol");
+    println!("strongly because chain-held prepared locks are pure blocking without lending.");
+}

@@ -1,0 +1,480 @@
+//! System configuration — Table 1 of the paper, plus run control.
+
+use simkernel::SimDuration;
+use std::fmt;
+
+/// Whether cohorts of a transaction run one-after-another or all at
+/// once (§4.1: "cohorts in a sequential transaction execute one after
+/// another, whereas cohorts in a parallel transaction are started
+/// together and execute independently until commit time").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransType {
+    /// All cohorts started together (the paper's default in §5.2–5.7).
+    Parallel,
+    /// Cohorts execute one after another (§5.8).
+    Sequential,
+}
+
+/// Physical-resource regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceMode {
+    /// Normal queueing at CPUs and disks (RC + DC experiments).
+    Finite,
+    /// "Infinite" resources: service times elapse but nothing ever
+    /// queues — isolates pure data contention (DC experiments, §5.3).
+    Infinite,
+}
+
+/// Master-failure injection (an extension beyond the paper's no-failure
+/// experiments, quantifying §2.4's blocking argument).
+///
+/// With probability `master_crash_prob`, a master process crashes at
+/// its commit point — after collecting votes (and, for 3PC, the
+/// precommit round), before announcing the decision. This is the
+/// classic blocking window:
+///
+/// * **blocking protocols** (2PC, PA, PC): the prepared cohorts hold
+///   their update locks until the master recovers `recovery_time`
+///   later — "cascading blocking" spreads from those locks;
+/// * **3PC**: after `detection_timeout` the surviving cohorts elect the
+///   lowest-site cohort as coordinator, exchange state, and terminate
+///   the transaction themselves (all cohorts are precommitted at this
+///   crash point, so the termination rule decides commit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureConfig {
+    /// Probability that a committing master crashes at its decision
+    /// point.
+    pub master_crash_prob: f64,
+    /// Time for the cohorts to detect the crash and start the 3PC
+    /// termination protocol.
+    pub detection_timeout: SimDuration,
+    /// Time until a crashed master recovers and resumes the protocol
+    /// (blocking protocols wait this long).
+    pub recovery_time: SimDuration,
+}
+
+/// Skewed ("hot spot") page access, the classic b–c rule: a fraction
+/// `access_fraction` of accesses target the first `data_fraction` of
+/// each site's pages (e.g. 0.8/0.2 for an 80–20 workload). `None`
+/// reproduces the paper's uniform accesses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotSpot {
+    /// Fraction of each site's pages forming the hot region (0, 1).
+    pub data_fraction: f64,
+    /// Fraction of accesses that hit the hot region (0, 1).
+    pub access_fraction: f64,
+}
+
+/// How long an aborted transaction waits before its restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartPolicy {
+    /// The paper's heuristic (§4): "the length of the delay is equal to
+    /// the average transaction response time" — an adaptive backoff
+    /// that throttles data contention as the system loads up.
+    AdaptiveResponseTime,
+    /// A fixed delay (for ablations of the heuristic).
+    Fixed(SimDuration),
+    /// Restart immediately (no backoff at all).
+    Immediate,
+}
+
+/// Run-length control for one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Transactions committed before statistics start (steady-state
+    /// warm-up).
+    pub warmup_transactions: u64,
+    /// Transactions committed inside the measurement window. The paper
+    /// runs "until at least 50 000 transactions were processed"; the
+    /// bench harness defaults much lower and offers a full mode.
+    pub measured_transactions: u64,
+    /// Batches for the batch-means throughput confidence interval.
+    pub batches: u64,
+    /// Hard safety cap on simulated time (a thrashing configuration
+    /// might otherwise take unbounded wall-clock time to commit the
+    /// requested count). `None` disables the cap.
+    pub max_sim_time: Option<simkernel::SimTime>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            warmup_transactions: 500,
+            measured_transactions: 5_000,
+            batches: 10,
+            max_sim_time: Some(simkernel::SimTime::from_secs(40_000)),
+        }
+    }
+}
+
+/// The full parameter set of the simulation model (Table 1) plus the
+/// experiment toggles introduced in §5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// `NumSites` — number of sites in the database.
+    pub num_sites: usize,
+    /// `DBSize` — number of pages in the database (total, uniformly
+    /// distributed across sites).
+    pub db_size: u64,
+    /// `MPL` — transaction multiprogramming level per site.
+    pub mpl: u32,
+    /// `TransType` — sequential or parallel cohort execution.
+    pub trans_type: TransType,
+    /// `DistDegree` — number of cohorts per transaction (master site
+    /// included).
+    pub dist_degree: u32,
+    /// `CohortSize` — mean pages accessed per cohort; actual counts
+    /// are uniform over `[0.5, 1.5] × CohortSize`.
+    pub cohort_size: u32,
+    /// `UpdateProb` — probability that an accessed page is updated.
+    pub update_prob: f64,
+    /// Optional access skew; `None` (the paper's setting) draws pages
+    /// uniformly.
+    pub hot_spot: Option<HotSpot>,
+    /// `NumCPUs` — processors per site (single shared queue).
+    pub num_cpus: u32,
+    /// `NumDataDisks` — data disks per site (one queue each).
+    pub num_data_disks: u32,
+    /// `NumLogDisks` — log disks per site (one queue each).
+    pub num_log_disks: u32,
+    /// `PageCPU` — CPU time to process one data page.
+    pub page_cpu: SimDuration,
+    /// `PageDisk` — disk time for one page access (also the cost of a
+    /// forced log write, §4.3).
+    pub page_disk: SimDuration,
+    /// `MsgCPU` — CPU time to send *or* receive one message.
+    pub msg_cpu: SimDuration,
+    /// Finite (RC+DC) or infinite (pure DC) resources.
+    pub resources: ResourceMode,
+    /// Probability that a cohort votes NO on PREPARE ("surprise
+    /// aborts", §5.7). 0 in the baseline experiments.
+    pub cohort_abort_prob: f64,
+    /// Master-failure injection; `None` reproduces the paper's
+    /// no-failure experiments.
+    pub failures: Option<FailureConfig>,
+    /// Restart backoff for aborted transactions (the paper uses the
+    /// adaptive mean-response-time heuristic; the alternatives exist
+    /// for the ablation benchmarks).
+    pub restart_policy: RestartPolicy,
+    /// Group commit (§3.2): when `Some(k)`, each log disk serves up to
+    /// `k` queued forced writes together in a single `PageDisk`
+    /// service, "batched together to save on disk I/O". Individual
+    /// writes may wait for the batch in front of them, so this trades
+    /// latency for log throughput — and lengthens the prepared state,
+    /// which is exactly where OPT lending helps (§3.2 notes OPT is
+    /// "especially attractive" combined with group commit). Ignored
+    /// under infinite resources (nothing ever queues there).
+    pub group_commit_batch: Option<u32>,
+    /// Enable the Read-Only commit optimization (§3.2): a cohort that
+    /// updated nothing answers PREPARE with a READ vote, releases its
+    /// locks, forces no records and drops out of phase two; a
+    /// transaction whose cohorts are all read-only commits in one
+    /// phase. Off in the paper's experiments (its workloads are fully
+    /// update-oriented).
+    pub read_only_optimization: bool,
+    /// Charge the asynchronous post-commit writes of updated pages to
+    /// the data disks (§4.1 says the writes happen asynchronously after
+    /// commit; this flag controls whether their disk time is modeled).
+    pub model_deferred_writes: bool,
+    /// Run-length control.
+    pub run: RunConfig,
+}
+
+impl SystemConfig {
+    /// The reconstructed Table 2 baseline (see DESIGN.md §2.1): 8
+    /// sites, 1000 pages/site, parallel transactions over 3 sites with
+    /// 6 pages per cohort, all updates, 1 CPU + 2 data disks + 1 log
+    /// disk per site, `PageCPU` 5 ms, `PageDisk` 20 ms, `MsgCPU` 5 ms.
+    ///
+    /// `DBSize` is calibrated so that the data-contention knee falls at
+    /// MPL ≈ 4–5 exactly as in the paper's figures, with the system
+    /// I/O-bound but "not heavily" (§5.2) so message CPU costs matter.
+    pub fn paper_baseline() -> Self {
+        SystemConfig {
+            num_sites: 8,
+            db_size: 8_000,
+            mpl: 4,
+            trans_type: TransType::Parallel,
+            dist_degree: 3,
+            cohort_size: 6,
+            update_prob: 1.0,
+            hot_spot: None,
+            num_cpus: 1,
+            num_data_disks: 2,
+            num_log_disks: 1,
+            page_cpu: SimDuration::from_millis(5),
+            page_disk: SimDuration::from_millis(20),
+            msg_cpu: SimDuration::from_millis(5),
+            resources: ResourceMode::Finite,
+            cohort_abort_prob: 0.0,
+            failures: None,
+            restart_policy: RestartPolicy::AdaptiveResponseTime,
+            group_commit_batch: None,
+            read_only_optimization: false,
+            model_deferred_writes: false,
+            run: RunConfig::default(),
+        }
+    }
+
+    /// The pure data-contention variant of the baseline (§5.3):
+    /// identical except resources are infinite.
+    pub fn pure_data_contention() -> Self {
+        SystemConfig {
+            resources: ResourceMode::Infinite,
+            ..Self::paper_baseline()
+        }
+    }
+
+    /// Experiment 4's higher degree of distribution (§5.5): 6 cohorts
+    /// of 3 pages each, keeping the 18-page mean transaction length.
+    pub fn higher_distribution(&self) -> Self {
+        SystemConfig {
+            dist_degree: 6,
+            cohort_size: 3,
+            ..self.clone()
+        }
+    }
+
+    /// Experiment 3's fast network interface (§5.4): `MsgCPU` = 1 ms.
+    pub fn fast_network(&self) -> Self {
+        SystemConfig {
+            msg_cpu: SimDuration::from_millis(1),
+            ..self.clone()
+        }
+    }
+
+    /// Pages per site (`DBSize / NumSites`; validation requires the
+    /// division to be exact).
+    pub fn pages_per_site(&self) -> u64 {
+        self.db_size / self.num_sites as u64
+    }
+
+    /// Largest possible cohort access-list length.
+    pub fn max_cohort_pages(&self) -> u64 {
+        (self.cohort_size + self.cohort_size / 2).max(1) as u64
+    }
+
+    /// Check the configuration for internal consistency.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        use ConfigError::*;
+        if self.num_sites == 0 {
+            return Err(Invalid("num_sites must be positive"));
+        }
+        if self.mpl == 0 {
+            return Err(Invalid("mpl must be positive"));
+        }
+        if self.dist_degree == 0 {
+            return Err(Invalid("dist_degree must be positive"));
+        }
+        if self.dist_degree as usize > self.num_sites {
+            return Err(Invalid("dist_degree cannot exceed num_sites"));
+        }
+        if self.cohort_size == 0 {
+            return Err(Invalid("cohort_size must be positive"));
+        }
+        if self.db_size % self.num_sites as u64 != 0 {
+            return Err(Invalid("db_size must divide evenly across sites"));
+        }
+        if self.pages_per_site() < self.max_cohort_pages() {
+            return Err(Invalid("a site must hold at least 1.5 * cohort_size pages"));
+        }
+        if !(0.0..=1.0).contains(&self.update_prob) {
+            return Err(Invalid("update_prob must be a probability"));
+        }
+        if !(0.0..=1.0).contains(&self.cohort_abort_prob) {
+            return Err(Invalid("cohort_abort_prob must be a probability"));
+        }
+        if self.num_cpus == 0 || self.num_data_disks == 0 || self.num_log_disks == 0 {
+            return Err(Invalid(
+                "each site needs at least one CPU, data disk and log disk",
+            ));
+        }
+        if self.group_commit_batch == Some(0) {
+            return Err(Invalid("group commit batch size must be positive"));
+        }
+        if let Some(h) = &self.hot_spot {
+            if !(h.data_fraction > 0.0 && h.data_fraction < 1.0) {
+                return Err(Invalid("hot-spot data_fraction must be in (0, 1)"));
+            }
+            if !(h.access_fraction > 0.0 && h.access_fraction < 1.0) {
+                return Err(Invalid("hot-spot access_fraction must be in (0, 1)"));
+            }
+            let hot_pages = (self.pages_per_site() as f64 * h.data_fraction) as u64;
+            if hot_pages < self.max_cohort_pages() {
+                return Err(Invalid(
+                    "hot region too small to hold one cohort's accesses",
+                ));
+            }
+        }
+        if let Some(f) = &self.failures {
+            if !(0.0..=1.0).contains(&f.master_crash_prob) {
+                return Err(Invalid("master_crash_prob must be a probability"));
+            }
+            if f.recovery_time.is_zero() {
+                return Err(Invalid("recovery_time must be positive"));
+            }
+        }
+        if self.run.measured_transactions == 0 {
+            return Err(Invalid("measured_transactions must be positive"));
+        }
+        if self.run.batches < 2 {
+            return Err(Invalid(
+                "at least two batches are needed for a confidence interval",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Configuration validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A parameter (combination) is out of range; the message says which.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Invalid(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl fmt::Display for SystemConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "NumSites      {}", self.num_sites)?;
+        writeln!(
+            f,
+            "DBSize        {} pages ({}/site)",
+            self.db_size,
+            self.pages_per_site()
+        )?;
+        writeln!(f, "MPL           {} / site", self.mpl)?;
+        writeln!(f, "TransType     {:?}", self.trans_type)?;
+        writeln!(f, "DistDegree    {}", self.dist_degree)?;
+        writeln!(f, "CohortSize    {} pages", self.cohort_size)?;
+        writeln!(f, "UpdateProb    {}", self.update_prob)?;
+        writeln!(f, "NumCPUs       {} / site", self.num_cpus)?;
+        writeln!(f, "NumDataDisks  {} / site", self.num_data_disks)?;
+        writeln!(f, "NumLogDisks   {} / site", self.num_log_disks)?;
+        writeln!(f, "PageCPU       {}", self.page_cpu)?;
+        writeln!(f, "PageDisk      {}", self.page_disk)?;
+        writeln!(f, "MsgCPU        {}", self.msg_cpu)?;
+        writeln!(f, "Resources     {:?}", self.resources)?;
+        if self.cohort_abort_prob > 0.0 {
+            writeln!(f, "CohortAbortP  {}", self.cohort_abort_prob)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_validates() {
+        SystemConfig::paper_baseline().validate().unwrap();
+        SystemConfig::pure_data_contention().validate().unwrap();
+        SystemConfig::paper_baseline()
+            .higher_distribution()
+            .validate()
+            .unwrap();
+        SystemConfig::paper_baseline()
+            .fast_network()
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn baseline_matches_paper_prose() {
+        let c = SystemConfig::paper_baseline();
+        // §5.2: three sites, six pages per cohort, 1 CPU, 2 data disks,
+        // 1 log disk per site; §5.4: slow network is 5 ms.
+        assert_eq!(c.dist_degree, 3);
+        assert_eq!(c.cohort_size, 6);
+        assert_eq!(c.num_cpus, 1);
+        assert_eq!(c.num_data_disks, 2);
+        assert_eq!(c.num_log_disks, 1);
+        assert_eq!(c.msg_cpu, SimDuration::from_millis(5));
+        assert_eq!(c.trans_type, TransType::Parallel);
+        assert_eq!(c.update_prob, 1.0);
+    }
+
+    #[test]
+    fn higher_distribution_keeps_transaction_length() {
+        let base = SystemConfig::paper_baseline();
+        let hd = base.higher_distribution();
+        assert_eq!(
+            base.dist_degree * base.cohort_size,
+            hd.dist_degree * hd.cohort_size,
+            "mean transaction length must stay 18 pages"
+        );
+    }
+
+    #[test]
+    fn fast_network_is_five_times_faster() {
+        let base = SystemConfig::paper_baseline();
+        let fast = base.fast_network();
+        assert_eq!(base.msg_cpu.as_micros(), 5 * fast.msg_cpu.as_micros());
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let mut c = SystemConfig::paper_baseline();
+        c.dist_degree = 9;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::paper_baseline();
+        c.db_size = 1_601; // not divisible by 8
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::paper_baseline();
+        c.update_prob = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::paper_baseline();
+        c.mpl = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::paper_baseline();
+        c.db_size = 64; // 8 pages/site < 9 max cohort pages
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::paper_baseline();
+        c.run.batches = 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn pages_per_site() {
+        let c = SystemConfig::paper_baseline();
+        assert_eq!(c.pages_per_site(), 1_000);
+        assert_eq!(c.max_cohort_pages(), 9);
+    }
+
+    #[test]
+    fn display_includes_table_1_names() {
+        let s = SystemConfig::paper_baseline().to_string();
+        for key in [
+            "NumSites",
+            "DBSize",
+            "MPL",
+            "TransType",
+            "DistDegree",
+            "CohortSize",
+            "UpdateProb",
+            "NumCPUs",
+            "NumDataDisks",
+            "NumLogDisks",
+            "PageCPU",
+            "PageDisk",
+            "MsgCPU",
+        ] {
+            assert!(s.contains(key), "missing {key} in\n{s}");
+        }
+    }
+}

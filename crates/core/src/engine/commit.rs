@@ -1,0 +1,755 @@
+//! Commit-phase state machines: master and cohort sides of every
+//! protocol (2PC, PA, PC, 3PC, their OPT variants, and the CENT/DPCC
+//! baselines).
+//!
+//! All protocol-specific differences flow through the behaviour flags
+//! of [`commitproto::BaseProtocol`] — which records are forced, who
+//! acknowledges what — so this file encodes only the choreography.
+
+use super::types::{CohortId, CohortPhase, LogWork, MsgKind, TxnId, TxnPhase, Vote};
+use super::Simulation;
+use crate::config::TransType;
+use crate::metrics::AbortReason;
+use commitproto::BaseProtocol;
+
+impl Simulation {
+    // ------------------------------------------------------------------
+    // Master: execution-phase completion
+    // ------------------------------------------------------------------
+
+    /// A WORKDONE arrived (possibly stale if the transaction aborted
+    /// while the message was in flight).
+    pub(crate) fn master_workdone(&mut self, txn_id: TxnId) {
+        let Some(t) = self.txns.get_mut(&txn_id) else {
+            return;
+        };
+        debug_assert_eq!(t.phase, TxnPhase::Executing);
+        t.pending_workdone -= 1;
+        // Sequential transactions chain the next cohort off each
+        // WORKDONE (§4.1).
+        if self.cfg.trans_type == TransType::Sequential && t.next_seq_cohort < t.cohorts.len() {
+            let next = t.cohorts[t.next_seq_cohort];
+            t.next_seq_cohort += 1;
+            let home = t.home;
+            self.start_cohort(next, home);
+            return;
+        }
+        if t.pending_workdone == 0 {
+            self.begin_commit(txn_id);
+        }
+    }
+
+    /// All cohorts reported: start commit processing.
+    fn begin_commit(&mut self, txn_id: TxnId) {
+        let t = self.txns.get_mut(&txn_id).expect("live txn");
+        let home = t.home;
+        match self.spec.base {
+            // Baselines: the whole commit is one forced decision record
+            // at the master (§5.1).
+            BaseProtocol::Centralized | BaseProtocol::Dpcc => {
+                t.phase = TxnPhase::LoggingDecision { commit: true };
+                self.force_log(
+                    home,
+                    LogWork::MasterDecision {
+                        txn: txn_id,
+                        commit: true,
+                    },
+                );
+            }
+            // Presumed Commit force-writes the collecting record before
+            // the first phase (§2.3).
+            BaseProtocol::PresumedCommit => {
+                t.phase = TxnPhase::Collecting;
+                self.force_log(home, LogWork::MasterCollecting { txn: txn_id });
+            }
+            // Linear 2PC: start the chain at the first (local) cohort.
+            BaseProtocol::Linear2PC => {
+                t.phase = TxnPhase::Voting;
+                let first = t.cohorts[0];
+                let site = self.cohorts[&first].site;
+                self.send(home, site, MsgKind::ChainPrepare { cohort: first });
+            }
+            _ => self.send_prepares(txn_id),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Linear 2PC chain plumbing
+    // ------------------------------------------------------------------
+
+    /// The chain neighbours of a cohort: `(predecessor, successor)`
+    /// cohort ids in the transaction's chain order.
+    fn chain_neighbours(&self, cohort: CohortId) -> (Option<CohortId>, Option<CohortId>) {
+        let txn = &self.txns[&self.cohorts[&cohort].txn];
+        let pos = txn
+            .cohorts
+            .iter()
+            .position(|&c| c == cohort)
+            .expect("cohort in its txn");
+        let pred = if pos > 0 {
+            Some(txn.cohorts[pos - 1])
+        } else {
+            None
+        };
+        let succ = txn.cohorts.get(pos + 1).copied();
+        (pred, succ)
+    }
+
+    /// A freshly prepared linear cohort: pass PREPARE down the chain,
+    /// or — at the chain's end with every cohort prepared — turn the
+    /// message flow around with the commit decision.
+    fn linear_forward(&mut self, cohort: CohortId) {
+        let (_, succ) = self.chain_neighbours(cohort);
+        let site = self.cohorts[&cohort].site;
+        match succ {
+            Some(next) => {
+                let next_site = self.cohorts[&next].site;
+                self.send(site, next_site, MsgKind::ChainPrepare { cohort: next });
+            }
+            None => {
+                // Everyone upstream (and this cohort) is prepared: the
+                // global decision is commit; this cohort implements it
+                // first and the decision rides the chain back.
+                self.cohort_decision(cohort, true);
+            }
+        }
+    }
+
+    /// A linear cohort finished implementing the decision: pass it
+    /// backward, or hand it to the master at the chain's head.
+    fn linear_backward(&mut self, cohort: CohortId, txn_id: TxnId, site: usize, commit: bool) {
+        let (pred, _) = self.chain_neighbours(cohort);
+        match pred {
+            Some(prev) => {
+                let prev_site = self.cohorts[&prev].site;
+                self.send(
+                    site,
+                    prev_site,
+                    MsgKind::ChainDecision {
+                        cohort: prev,
+                        commit,
+                    },
+                );
+            }
+            None => {
+                let home = self.txns[&txn_id].home;
+                self.send(
+                    site,
+                    home,
+                    MsgKind::ChainBack {
+                        txn: txn_id,
+                        commit,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The decision reached the master at the end of the backward pass:
+    /// force the master record; `master_decided` then completes the
+    /// transaction (commit) or aborts the cohorts the forward chain
+    /// never reached (abort).
+    pub(crate) fn master_chain_back(&mut self, txn_id: TxnId, commit: bool) {
+        self.decide_now(txn_id, commit);
+    }
+
+    /// PC's collecting record hit the disk: now run the vote.
+    pub(crate) fn master_collected(&mut self, txn_id: TxnId) {
+        self.send_prepares(txn_id);
+    }
+
+    fn send_prepares(&mut self, txn_id: TxnId) {
+        let t = self.txns.get_mut(&txn_id).expect("live txn");
+        t.phase = TxnPhase::Voting;
+        t.pending_votes = t.cohorts.len();
+        let home = t.home;
+        let targets: Vec<(CohortId, usize)> = t
+            .cohorts
+            .iter()
+            .map(|&c| (c, self.cohorts[&c].site))
+            .collect();
+        for (cohort, site) in targets {
+            self.send(home, site, MsgKind::Prepare { cohort });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cohort: voting phase
+    // ------------------------------------------------------------------
+
+    /// PREPARE arrived at a cohort: release read locks, then vote.
+    /// With probability `cohort_abort_prob` the vote is a surprise NO
+    /// (§5.7); otherwise the cohort force-writes its prepare record.
+    pub(crate) fn cohort_prepare(&mut self, cohort: CohortId) {
+        let c = self.cohorts.get_mut(&cohort).expect("no stale PREPAREs");
+        debug_assert_eq!(c.phase, CohortPhase::WorkDone);
+        let site = c.site;
+
+        // Read-Only optimization (§3.2): a cohort with no updates has
+        // nothing to make durable — it releases everything, answers
+        // READ, and is finished with the protocol.
+        if self.cfg.read_only_optimization && c.accesses.iter().all(|a| !a.update) {
+            let txn_id = c.txn;
+            let home = self.txns[&txn_id].home;
+            let locks = &mut self.sites[site].locks;
+            debug_assert!(!locks.has_live_borrows(cohort), "shelf rule was bypassed");
+            locks.drop_borrower(cohort);
+            let grants = locks.release_all(cohort);
+            self.process_grants(grants);
+            self.send(
+                site,
+                home,
+                MsgKind::Vote {
+                    txn: txn_id,
+                    vote: Vote::ReadOnly,
+                },
+            );
+            self.cohort_done(cohort);
+            return;
+        }
+
+        // "the cohort releases all its read locks but retains its update
+        // locks until it receives and implements the global decision"
+        let grants = self.sites[site].locks.release_read_locks(cohort);
+        self.process_grants(grants);
+
+        let votes_no =
+            self.cfg.cohort_abort_prob > 0.0 && self.rng.chance(self.cfg.cohort_abort_prob);
+        let c = self.cohorts.get_mut(&cohort).expect("exists");
+        if votes_no {
+            c.phase = CohortPhase::Deciding { commit: false };
+            if self.spec.base.no_vote_abort_forced() {
+                self.force_log(site, LogWork::CohortNoVoteAbort { cohort });
+            } else {
+                self.cohort_no_vote_finish(cohort);
+            }
+        } else {
+            c.phase = CohortPhase::Preparing;
+            self.force_log(site, LogWork::CohortPrepare { cohort });
+        }
+    }
+
+    /// A NO voter's unilateral abort is complete (after its forced abort
+    /// record, if the protocol requires one): vote NO and vanish.
+    pub(crate) fn cohort_no_vote_finish(&mut self, cohort: CohortId) {
+        let c = self.cohorts.get(&cohort).expect("live cohort");
+        let (site, txn_id) = (c.site, c.txn);
+        let home = self.txns[&txn_id].home;
+        // A NO voter was never prepared, so it cannot have lent data;
+        // it may itself have borrowed (all lenders committed, or it
+        // could not have sent WORKDONE).
+        let locks = &mut self.sites[site].locks;
+        assert!(
+            locks.borrowers_of(cohort).next().is_none(),
+            "NO voter lent data"
+        );
+        locks.drop_borrower(cohort);
+        let grants = locks.release_all(cohort);
+        self.process_grants(grants);
+        if self.spec.base == BaseProtocol::Linear2PC {
+            // The veto turns the chain around: predecessors (all
+            // prepared) abort one by one; the master aborts whoever the
+            // forward pass never reached.
+            self.linear_backward(cohort, txn_id, site, false);
+        } else {
+            self.send(
+                site,
+                home,
+                MsgKind::Vote {
+                    txn: txn_id,
+                    vote: Vote::No,
+                },
+            );
+        }
+        self.cohort_done(cohort);
+    }
+
+    /// The prepare record is on disk: the cohort is now *prepared* —
+    /// under OPT its update locks become lendable — and votes YES.
+    pub(crate) fn cohort_prepared(&mut self, cohort: CohortId) {
+        let now = self.cal.now();
+        let c = self.cohorts.get_mut(&cohort).expect("live cohort");
+        debug_assert_eq!(c.phase, CohortPhase::Preparing);
+        c.phase = CohortPhase::Prepared;
+        c.prepared_since = Some(now);
+        let (site, txn_id) = (c.site, c.txn);
+        self.trace_event(txn_id, |at| super::trace::TraceEvent::Prepared {
+            at,
+            txn: txn_id,
+            cohort,
+            site,
+        });
+        let home = self.txns[&txn_id].home;
+        let grants = self.sites[site].locks.mark_prepared(cohort);
+        self.process_grants(grants);
+        if self.spec.base == BaseProtocol::Linear2PC {
+            self.linear_forward(cohort);
+        } else {
+            self.send(
+                site,
+                home,
+                MsgKind::Vote {
+                    txn: txn_id,
+                    vote: Vote::Yes,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Master: vote collection and decision
+    // ------------------------------------------------------------------
+
+    pub(crate) fn master_vote(&mut self, txn_id: TxnId, vote: Vote) {
+        let t = self.txns.get_mut(&txn_id).expect("no stale votes");
+        debug_assert_eq!(t.phase, TxnPhase::Voting);
+        if vote == Vote::No {
+            t.no_vote = true;
+        }
+        t.pending_votes -= 1;
+        if t.pending_votes > 0 {
+            return;
+        }
+        let no_vote = t.no_vote;
+        let cohort_ids = t.cohorts.clone();
+        // Phase-two participants: cohorts still alive (READ voters
+        // already left the map via `cohort_done`).
+        let participants = cohort_ids
+            .iter()
+            .filter(|c| self.cohorts.contains_key(c))
+            .count();
+        if no_vote {
+            self.decide(txn_id, false);
+        } else if participants == 0 {
+            // Fully read-only transaction under the Read-Only
+            // optimization: one-phase commit, no decision record.
+            self.master_decided(txn_id, true);
+        } else if self.spec.base.precommit_phase() {
+            let home = t.home;
+            t.phase = TxnPhase::Precommitting;
+            self.force_log(home, LogWork::MasterPrecommit { txn: txn_id });
+        } else {
+            self.decide(txn_id, true);
+        }
+    }
+
+    /// 3PC: the master's precommit record is on disk — run the
+    /// precommit round (participants only; READ voters dropped out).
+    pub(crate) fn master_precommit_logged(&mut self, txn_id: TxnId) {
+        let t = self.txns.get_mut(&txn_id).expect("live txn");
+        let home = t.home;
+        let targets: Vec<(CohortId, usize)> = t
+            .cohorts
+            .iter()
+            .filter_map(|&c| self.cohorts.get(&c).map(|x| (c, x.site)))
+            .collect();
+        let t = self.txns.get_mut(&txn_id).expect("live txn");
+        t.pending_preacks = targets.len();
+        for (cohort, site) in targets {
+            self.send(home, site, MsgKind::PreCommit { cohort });
+        }
+    }
+
+    pub(crate) fn cohort_precommit(&mut self, cohort: CohortId) {
+        let c = self.cohorts.get_mut(&cohort).expect("live cohort");
+        debug_assert_eq!(c.phase, CohortPhase::Prepared);
+        c.phase = CohortPhase::Precommitting;
+        let site = c.site;
+        self.force_log(site, LogWork::CohortPrecommit { cohort });
+    }
+
+    pub(crate) fn cohort_precommitted(&mut self, cohort: CohortId) {
+        let c = self.cohorts.get_mut(&cohort).expect("live cohort");
+        c.phase = CohortPhase::Precommitted;
+        let (site, txn_id) = (c.site, c.txn);
+        let home = self.txns[&txn_id].home;
+        self.send(site, home, MsgKind::PreAck { txn: txn_id });
+    }
+
+    pub(crate) fn master_preack(&mut self, txn_id: TxnId) {
+        let t = self.txns.get_mut(&txn_id).expect("live txn");
+        t.pending_preacks -= 1;
+        if t.pending_preacks == 0 {
+            self.decide(txn_id, true);
+        }
+    }
+
+    /// Take the global decision. When failure injection is active, a
+    /// committing master may crash here — the classic blocking window:
+    /// votes (and, for 3PC, preacks) collected, decision not yet
+    /// announced. Blocking protocols stall until the master recovers;
+    /// 3PC's cohorts detect the crash and terminate on their own.
+    fn decide(&mut self, txn_id: TxnId, commit: bool) {
+        if commit {
+            if let Some(f) = self.cfg.failures {
+                if self.spec.base.has_voting_phase() && self.rng.chance(f.master_crash_prob) {
+                    self.metrics.master_crashes.bump();
+                    self.trace_event(txn_id, |at| super::trace::TraceEvent::MasterCrashed {
+                        at,
+                        txn: txn_id,
+                    });
+                    if self.spec.base.precommit_phase() {
+                        self.cal.schedule_in(
+                            f.detection_timeout,
+                            super::types::Event::StartTermination { txn: txn_id },
+                        );
+                    } else {
+                        self.cal.schedule_in(
+                            f.recovery_time,
+                            super::types::Event::MasterRecovered {
+                                txn: txn_id,
+                                commit,
+                            },
+                        );
+                    }
+                    return;
+                }
+            }
+        }
+        self.decide_now(txn_id, commit);
+    }
+
+    /// The crash-free decision path: force the decision record first
+    /// when the protocol requires it (PA skips the forced write on
+    /// abort). Also the resumption point after a master recovery.
+    pub(crate) fn decide_now(&mut self, txn_id: TxnId, commit: bool) {
+        if self.spec.base.master_decision_forced(commit) {
+            let t = self.txns.get_mut(&txn_id).expect("live txn");
+            t.phase = TxnPhase::LoggingDecision { commit };
+            let control = t.control_site();
+            self.force_log(
+                control,
+                LogWork::MasterDecision {
+                    txn: txn_id,
+                    commit,
+                },
+            );
+        } else {
+            self.master_decided(txn_id, commit);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Failure handling: recovery and 3PC termination
+    // ------------------------------------------------------------------
+
+    /// The 3PC termination protocol (§2.4's non-blocking guarantee):
+    /// the surviving cohorts elect the lowest-site cohort as
+    /// coordinator; it collects everyone's state and decides. At the
+    /// modeled crash point every cohort is precommitted, so the
+    /// termination rule decides commit.
+    pub(crate) fn start_termination(&mut self, txn_id: TxnId) {
+        let t = self.txns.get(&txn_id).expect("live txn");
+        debug_assert!(self.spec.base.precommit_phase());
+        let mut live: Vec<(CohortId, usize)> = t
+            .cohorts
+            .iter()
+            .filter_map(|&c| self.cohorts.get(&c).map(|x| (c, x.site)))
+            .collect();
+        live.sort_by_key(|&(c, site)| (site, c));
+        let (coordinator, coord_site) = live[0];
+        self.trace_event(txn_id, |at| super::trace::TraceEvent::TerminationStarted {
+            at,
+            txn: txn_id,
+            coordinator,
+        });
+        let t = self.txns.get_mut(&txn_id).expect("live txn");
+        t.coordinator_site = Some(coord_site);
+        t.pending_term_reps = live.len() - 1;
+        if t.pending_term_reps == 0 {
+            self.coordinator_decides(txn_id);
+            return;
+        }
+        for &(cohort, site) in &live[1..] {
+            self.send(coord_site, site, MsgKind::TermStateReq { cohort });
+        }
+    }
+
+    /// A cohort answers the termination coordinator's state request.
+    pub(crate) fn cohort_term_state_req(&mut self, cohort: CohortId) {
+        let c = self.cohorts.get(&cohort).expect("live cohort");
+        debug_assert_eq!(c.phase, CohortPhase::Precommitted);
+        let (site, txn_id) = (c.site, c.txn);
+        let control = self.txns[&txn_id].control_site();
+        self.send(site, control, MsgKind::TermStateRep { txn: txn_id });
+    }
+
+    /// The coordinator collected a state report.
+    pub(crate) fn coordinator_term_state_rep(&mut self, txn_id: TxnId) {
+        let t = self.txns.get_mut(&txn_id).expect("live txn");
+        debug_assert!(t.pending_term_reps > 0);
+        t.pending_term_reps -= 1;
+        if t.pending_term_reps == 0 {
+            self.coordinator_decides(txn_id);
+        }
+    }
+
+    /// All states collected (everyone precommitted): the coordinator
+    /// force-writes the commit record at its own site and takes over
+    /// the rest of the protocol.
+    fn coordinator_decides(&mut self, txn_id: TxnId) {
+        self.decide_now(txn_id, true);
+    }
+
+    /// **The decision point.** On commit this is where throughput is
+    /// counted and the closed loop submits the next transaction; on
+    /// abort the transaction is rescheduled after the adaptive delay.
+    pub(crate) fn master_decided(&mut self, txn_id: TxnId, commit: bool) {
+        let now = self.cal.now();
+        self.trace_event(txn_id, |at| super::trace::TraceEvent::Decided {
+            at,
+            txn: txn_id,
+            commit,
+        });
+        let t = self.txns.get_mut(&txn_id).expect("live txn");
+        t.phase = TxnPhase::Decided { commit };
+        let home = t.home;
+        let control = t.control_site();
+        self.metrics.live_txns.add(now, -1.0);
+
+        if commit {
+            let response = now.since(t.original_birth);
+            let attempt = now.since(t.birth);
+            self.resp_estimate.record(response.as_secs_f64());
+            self.metrics.record_commit(now, response, attempt);
+            self.cal.schedule_now(super::types::Event::Submit {
+                home,
+                template: None,
+                original_birth: None,
+            });
+            self.note_commit_for_run_control();
+        } else {
+            self.metrics.record_abort(AbortReason::SurpriseVote);
+            self.trace_event(txn_id, |at| super::trace::TraceEvent::Aborted {
+                at,
+                txn: txn_id,
+            });
+            let t = self.txns.get(&txn_id).expect("live txn");
+            let template = t.template.clone();
+            let original_birth = t.original_birth;
+            let delay = self.restart_delay();
+            self.cal.schedule_in(
+                delay,
+                super::types::Event::Submit {
+                    home,
+                    template: Some(Box::new(template)),
+                    original_birth: Some(original_birth),
+                },
+            );
+        }
+
+        match self.spec.base {
+            BaseProtocol::Centralized | BaseProtocol::Dpcc => {
+                // Commit processing is the single decision record: every
+                // cohort completes instantly, no messages (§5.1).
+                debug_assert!(commit);
+                let cohort_ids = self.txns[&txn_id].cohorts.clone();
+                for cid in cohort_ids {
+                    self.baseline_finish_cohort(cid);
+                }
+                let t = self.txns.get_mut(&txn_id).expect("live txn");
+                t.master_done = true;
+                self.try_cleanup(txn_id);
+            }
+            _ => {
+                // Send the decision to the surviving (prepared /
+                // precommitted) cohorts; NO voters aborted unilaterally.
+                let t = &self.txns[&txn_id];
+                let targets: Vec<(CohortId, usize)> = t
+                    .cohorts
+                    .iter()
+                    .filter_map(|&cid| self.cohorts.get(&cid).map(|c| (cid, c.site)))
+                    .collect();
+                let acks = if self.spec.base.cohort_ack(commit) {
+                    targets.len()
+                } else {
+                    0
+                };
+                let t = self.txns.get_mut(&txn_id).expect("live txn");
+                t.pending_acks = acks;
+                t.master_done = acks == 0;
+                for (cohort, site) in targets {
+                    self.send(control, site, MsgKind::Decision { cohort, commit });
+                }
+                self.try_cleanup(txn_id);
+            }
+        }
+    }
+
+    /// CENT/DPCC: a cohort's instant completion at the decision point.
+    fn baseline_finish_cohort(&mut self, cohort: CohortId) {
+        let c = self.cohorts.get(&cohort).expect("live cohort");
+        let site = c.site;
+        let writes: Vec<(usize, u64)> = c
+            .accesses
+            .iter()
+            .filter(|a| a.update)
+            .map(|a| (site, a.page))
+            .collect();
+        let grants = self.sites[site].locks.release_all(cohort);
+        self.process_grants(grants);
+        self.enqueue_deferred_writes(&writes);
+        self.cohort_done(cohort);
+    }
+
+    // ------------------------------------------------------------------
+    // Cohort: decision phase
+    // ------------------------------------------------------------------
+
+    /// The global decision arrived at a prepared (or precommitted)
+    /// cohort.
+    pub(crate) fn cohort_decision(&mut self, cohort: CohortId, commit: bool) {
+        let now = self.cal.now();
+        let c = self.cohorts.get_mut(&cohort).expect("no stale decisions");
+        // Linear 2PC only: a cohort the forward chain never reached
+        // (still WorkDone) learns of the abort from the master. It was
+        // never prepared, so it aborts like an active cohort: no log
+        // record, no acknowledgement, no backward hop.
+        if c.phase == CohortPhase::WorkDone {
+            debug_assert!(self.spec.base == BaseProtocol::Linear2PC && !commit);
+            let site = c.site;
+            let locks = &mut self.sites[site].locks;
+            locks.drop_borrower(cohort);
+            let grants = locks.release_all(cohort);
+            self.process_grants(grants);
+            self.cohort_done(cohort);
+            return;
+        }
+        debug_assert!(
+            matches!(c.phase, CohortPhase::Prepared | CohortPhase::Precommitted),
+            "decision in {:?}",
+            c.phase
+        );
+        if let Some(since) = c.prepared_since.take() {
+            self.metrics.prepared_time.record_duration(now.since(since));
+        }
+        let site = c.site;
+        if self.spec.base.cohort_decision_forced(commit) {
+            c.phase = CohortPhase::Deciding { commit };
+            self.force_log(site, LogWork::CohortDecision { cohort, commit });
+        } else {
+            self.cohort_finish_decision(cohort, commit);
+        }
+    }
+
+    /// Implement the decision at the cohort: settle OPT borrow edges
+    /// (commit unshelves borrowers; abort kills them — the length-one
+    /// abort chain of §3.1), release the update locks, write back, and
+    /// acknowledge if the protocol wants it.
+    pub(crate) fn cohort_finish_decision(&mut self, cohort: CohortId, commit: bool) {
+        let c = self.cohorts.get(&cohort).expect("live cohort");
+        let (site, txn_id) = (c.site, c.txn);
+        // ACKs go wherever protocol control lives (the termination
+        // coordinator after a 3PC master crash).
+        let home = self.txns[&txn_id].control_site();
+        let writes: Vec<(usize, u64)> = if commit {
+            c.accesses
+                .iter()
+                .filter(|a| a.update)
+                .map(|a| (site, a.page))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // Order matters: the cohort's borrow edges are settled and its
+        // locks released *before* any borrower is unshelved or aborted.
+        // Handling borrowers first would let their own lock releases
+        // drain queues and grant fresh borrows against this cohort —
+        // which is still marked prepared until `release_all` — leaving
+        // dangling borrow edges to a dead lender (a shelf hang).
+        let locks = &mut self.sites[site].locks;
+        let borrowers = locks.settle_borrows(cohort);
+        debug_assert!(
+            !locks.has_live_borrows(cohort),
+            "a deciding cohort cannot be borrowing"
+        );
+        locks.drop_borrower(cohort);
+        let grants = locks.release_all(cohort);
+        self.process_grants(grants);
+        self.enqueue_deferred_writes(&writes);
+
+        if commit {
+            for b in borrowers {
+                let unshelve = self
+                    .cohorts
+                    .get(&b)
+                    .is_some_and(|bc| bc.phase == CohortPhase::OnShelf)
+                    && !self.sites[site].locks.has_live_borrows(b);
+                if unshelve {
+                    // "taken off the shelf and allowed to send its
+                    // WORKDONE message" (§3)
+                    self.cohort_send_workdone(b);
+                }
+            }
+        } else {
+            for b in borrowers {
+                if let Some(bc) = self.cohorts.get(&b) {
+                    // "the borrower is also aborted since it has utilized
+                    // inconsistent data" (§3)
+                    let btxn = bc.txn;
+                    self.abort_txn(btxn, AbortReason::BorrowerCascade);
+                }
+            }
+        }
+
+        if self.spec.base.cohort_ack(commit) {
+            self.send(site, home, MsgKind::Ack { txn: txn_id });
+        }
+        if self.spec.base == BaseProtocol::Linear2PC {
+            // The implemented decision continues up the chain (this is
+            // also the acknowledgement; there are no separate ACKs).
+            self.linear_backward(cohort, txn_id, site, commit);
+        }
+        self.cohort_done(cohort);
+    }
+
+    pub(crate) fn master_ack(&mut self, txn_id: TxnId) {
+        let t = self.txns.get_mut(&txn_id).expect("no stale acks");
+        debug_assert!(t.pending_acks > 0);
+        t.pending_acks -= 1;
+        if t.pending_acks == 0 {
+            // The master writes a (non-forced, hence free) end record
+            // and forgets the transaction.
+            t.master_done = true;
+            self.try_cleanup(txn_id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Teardown bookkeeping
+    // ------------------------------------------------------------------
+
+    /// A cohort reached its final state: drop it and update the
+    /// transaction's refcount.
+    pub(crate) fn cohort_done(&mut self, cohort: CohortId) {
+        let c = self.cohorts.remove(&cohort).expect("cohort finishes once");
+        debug_assert!(
+            self.sites[c.site]
+                .locks
+                .borrowers_of(cohort)
+                .next()
+                .is_none(),
+            "cohort {cohort} torn down with live lends"
+        );
+        debug_assert!(
+            !self.sites[c.site].locks.has_live_borrows(cohort),
+            "cohort {cohort} torn down with live borrows"
+        );
+        let t = self.txns.get_mut(&c.txn).expect("txn outlives cohorts");
+        debug_assert!(t.open_cohorts > 0);
+        t.open_cohorts -= 1;
+        self.try_cleanup(c.txn);
+    }
+
+    /// Forget the transaction once the master is done, every cohort has
+    /// finished, and all ACKs are in.
+    fn try_cleanup(&mut self, txn_id: TxnId) {
+        let Some(t) = self.txns.get(&txn_id) else {
+            return;
+        };
+        if t.master_done && t.open_cohorts == 0 && t.pending_acks == 0 {
+            self.txns.remove(&txn_id);
+        }
+    }
+}

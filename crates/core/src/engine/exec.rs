@@ -1,0 +1,417 @@
+//! Execution-phase mechanics: transaction submission, cohort page
+//! accesses, lock-grant processing, deadlock detection, and
+//! execution-phase aborts (deadlock victims and OPT borrower
+//! cascades).
+
+use super::types::{Cohort, CohortId, CohortPhase, DiskJob, Event, MsgKind, Txn, TxnId, TxnPhase};
+use super::Simulation;
+use crate::config::TransType;
+use crate::metrics::AbortReason;
+use crate::workload::{SiteId, TxnTemplate};
+use distlocks::deadlock::{find_cycle, youngest_victim};
+use distlocks::{Grant, LockMode, RequestOutcome};
+use simkernel::SimTime;
+
+impl Simulation {
+    // ------------------------------------------------------------------
+    // Submission
+    // ------------------------------------------------------------------
+
+    /// Submit a transaction at `home`; restarts carry their original
+    /// template and birth instant.
+    pub(crate) fn submit_txn(
+        &mut self,
+        home: SiteId,
+        template: Option<TxnTemplate>,
+        original_birth: Option<SimTime>,
+    ) {
+        let now = self.cal.now();
+        let template = template.unwrap_or_else(|| self.wl.generate(home, &mut self.rng));
+        let txn_id = self.alloc_txn_id();
+        let n = template.sites.len();
+
+        let mut cohort_ids = Vec::with_capacity(n);
+        for (i, &site) in template.sites.iter().enumerate() {
+            let cid = self.alloc_cohort_id();
+            cohort_ids.push(cid);
+            self.cohorts.insert(
+                cid,
+                Cohort {
+                    id: cid,
+                    txn: txn_id,
+                    site,
+                    accesses: template.accesses[i].clone(),
+                    next_access: 0,
+                    phase: CohortPhase::Starting,
+                    waiting_lock: false,
+                    shelf_since: None,
+                    prepared_since: None,
+                },
+            );
+        }
+
+        self.txns.insert(
+            txn_id,
+            Txn {
+                id: txn_id,
+                home,
+                template,
+                birth: now,
+                original_birth: original_birth.unwrap_or(now),
+                cohorts: cohort_ids.clone(),
+                phase: TxnPhase::Executing,
+                pending_workdone: n,
+                pending_votes: 0,
+                pending_preacks: 0,
+                pending_acks: 0,
+                no_vote: false,
+                blocked_cohorts: 0,
+                next_seq_cohort: 1,
+                open_cohorts: n,
+                master_done: false,
+                coordinator_site: None,
+                pending_term_reps: 0,
+            },
+        );
+        self.metrics.live_txns.add(now, 1.0);
+
+        match self.cfg.trans_type {
+            TransType::Parallel => {
+                // All cohorts started together (§4.1). The local cohort
+                // starts directly; remote ones via an initiation message.
+                for &cid in &cohort_ids {
+                    self.start_cohort(cid, home);
+                }
+            }
+            TransType::Sequential => {
+                // Only the first (local) cohort starts; the rest chain
+                // off WORKDONE arrivals.
+                self.start_cohort(cohort_ids[0], home);
+            }
+        }
+    }
+
+    /// Activate a cohort: directly if it is local to the master,
+    /// through an InitCohort message otherwise.
+    pub(crate) fn start_cohort(&mut self, cohort: CohortId, master_site: SiteId) {
+        let site = self.cohorts[&cohort].site;
+        if site == master_site {
+            self.cohort_begin(cohort);
+        } else {
+            self.send(master_site, site, MsgKind::InitCohort { cohort });
+        }
+    }
+
+    /// The cohort starts executing (local activation or InitCohort
+    /// arrival).
+    pub(crate) fn cohort_begin(&mut self, cohort: CohortId) {
+        let Some(c) = self.cohorts.get_mut(&cohort) else {
+            return;
+        };
+        debug_assert_eq!(c.phase, CohortPhase::Starting);
+        c.phase = CohortPhase::Executing;
+        self.cohort_continue(cohort);
+    }
+
+    // ------------------------------------------------------------------
+    // The access loop
+    // ------------------------------------------------------------------
+
+    /// Issue the cohort's next access, or finish its execution phase.
+    pub(crate) fn cohort_continue(&mut self, cohort: CohortId) {
+        let Some(c) = self.cohorts.get(&cohort) else {
+            return;
+        };
+        if c.work_complete() {
+            self.cohort_work_finished(cohort);
+            return;
+        }
+        let access = c.accesses[c.next_access];
+        let site = c.site;
+        let txn = c.txn;
+        let mode = if access.update {
+            LockMode::Update
+        } else {
+            LockMode::Read
+        };
+        match self.sites[site].locks.request(cohort, access.page, mode) {
+            RequestOutcome::Granted { borrowed_from } => {
+                if !borrowed_from.is_empty() {
+                    self.metrics.borrowed_pages.bump();
+                    let lenders = borrowed_from.len();
+                    self.trace_event(txn, |at| super::trace::TraceEvent::Borrowed {
+                        at,
+                        txn,
+                        cohort,
+                        lenders,
+                    });
+                }
+                self.data_disk_arrive(site, access.page, DiskJob::Read { cohort });
+            }
+            RequestOutcome::AlreadyHeld => {
+                self.data_disk_arrive(site, access.page, DiskJob::Read { cohort });
+            }
+            RequestOutcome::Blocked { .. } => {
+                let c = self.cohorts.get_mut(&cohort).expect("checked above");
+                c.waiting_lock = true;
+                self.txn_block(txn);
+                self.deadlock_check(txn);
+            }
+        }
+    }
+
+    /// A page's `PageCPU` processing finished: advance the access cursor.
+    pub(crate) fn cohort_page_processed(&mut self, cohort: CohortId) {
+        let Some(c) = self.cohorts.get_mut(&cohort) else {
+            return;
+        };
+        debug_assert_eq!(c.phase, CohortPhase::Executing);
+        c.next_access += 1;
+        self.cohort_continue(cohort);
+    }
+
+    /// All accesses done: either go on the OPT shelf or report WORKDONE.
+    fn cohort_work_finished(&mut self, cohort: CohortId) {
+        let c = &self.cohorts[&cohort];
+        let site = c.site;
+        if self.spec.opt && self.sites[site].locks.has_live_borrows(cohort) {
+            // §3: "the borrower is 'put on the shelf' ... not allowed to
+            // send a WORKDONE message" until every lender commits.
+            let now = self.cal.now();
+            let c = self.cohorts.get_mut(&cohort).expect("exists");
+            c.phase = CohortPhase::OnShelf;
+            c.shelf_since = Some(now);
+            let txn = c.txn;
+            self.trace_event(txn, |at| super::trace::TraceEvent::Shelved {
+                at,
+                txn,
+                cohort,
+            });
+            return;
+        }
+        self.cohort_send_workdone(cohort);
+    }
+
+    /// Send WORKDONE to the master (also the shelf-exit path).
+    pub(crate) fn cohort_send_workdone(&mut self, cohort: CohortId) {
+        let now = self.cal.now();
+        let c = self.cohorts.get_mut(&cohort).expect("live cohort");
+        let unshelved = c.shelf_since.take();
+        if let Some(since) = unshelved {
+            self.metrics.shelf_time.record_duration(now.since(since));
+        }
+        c.phase = CohortPhase::WorkDone;
+        let (site, txn_id) = (c.site, c.txn);
+        if unshelved.is_some() {
+            self.trace_event(txn_id, |at| super::trace::TraceEvent::Unshelved {
+                at,
+                txn: txn_id,
+                cohort,
+            });
+        }
+        let home = self.txns[&txn_id].home;
+        self.send(site, home, MsgKind::WorkDone { txn: txn_id });
+    }
+
+    // ------------------------------------------------------------------
+    // Lock grants
+    // ------------------------------------------------------------------
+
+    /// Apply grants returned by a lock-table state change: unblock each
+    /// waiter and resume its access (the read it was waiting to issue).
+    pub(crate) fn process_grants(&mut self, grants: Vec<Grant>) {
+        for g in grants {
+            let Some(c) = self.cohorts.get_mut(&g.owner) else {
+                // A grant to a cohort being torn down would be a lock
+                // manager bug: release_all cancels waiting requests.
+                unreachable!("grant to a dead cohort {}", g.owner);
+            };
+            debug_assert!(c.waiting_lock, "grant to a non-waiting cohort");
+            c.waiting_lock = false;
+            let (txn, site) = (c.txn, c.site);
+            self.txn_unblock(txn);
+            if !g.borrowed_from.is_empty() {
+                self.metrics.borrowed_pages.bump();
+                let (cohort, lenders) = (g.owner, g.borrowed_from.len());
+                self.trace_event(txn, |at| super::trace::TraceEvent::Borrowed {
+                    at,
+                    txn,
+                    cohort,
+                    lenders,
+                });
+            }
+            self.data_disk_arrive(site, g.page, DiskJob::Read { cohort: g.owner });
+        }
+    }
+
+    fn txn_block(&mut self, txn: TxnId) {
+        let now = self.cal.now();
+        let t = self.txns.get_mut(&txn).expect("live txn");
+        t.blocked_cohorts += 1;
+        if t.blocked_cohorts == 1 {
+            self.metrics.blocked_txns.add(now, 1.0);
+        }
+    }
+
+    fn txn_unblock(&mut self, txn: TxnId) {
+        let now = self.cal.now();
+        let t = self.txns.get_mut(&txn).expect("live txn");
+        debug_assert!(t.blocked_cohorts > 0);
+        t.blocked_cohorts -= 1;
+        if t.blocked_cohorts == 0 {
+            self.metrics.blocked_txns.add(now, -1.0);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deadlock detection (§4.2: immediate, global, youngest victim)
+    // ------------------------------------------------------------------
+
+    /// Run cycle detection from `start` and abort youngest victims until
+    /// no cycle through `start` remains.
+    pub(crate) fn deadlock_check(&mut self, start: TxnId) {
+        loop {
+            if !self.txns.contains_key(&start) {
+                return; // start itself was the victim
+            }
+            let Some(cycle) = find_cycle(start, |t| self.wait_for_successors(t)) else {
+                return;
+            };
+            let victim = youngest_victim(&cycle, |t| {
+                self.txns.get(&t).map(|x| x.birth.as_micros()).unwrap_or(0)
+            });
+            self.abort_txn(victim, AbortReason::Deadlock);
+        }
+    }
+
+    /// Transactions `t` currently waits for, stitched together from the
+    /// live per-site blocker sets of its waiting cohorts.
+    fn wait_for_successors(&self, t: TxnId) -> Vec<TxnId> {
+        let Some(txn) = self.txns.get(&t) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for &cid in &txn.cohorts {
+            let Some(c) = self.cohorts.get(&cid) else {
+                continue;
+            };
+            if !c.waiting_lock {
+                continue;
+            }
+            for blocker in self.sites[c.site].locks.blockers_of(cid) {
+                let bt = self.cohorts[&blocker].txn;
+                if bt != t && !out.contains(&bt) {
+                    out.push(bt);
+                }
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Execution-phase aborts
+    // ------------------------------------------------------------------
+
+    /// Abort a transaction during its execution phase (deadlock victim
+    /// or borrower cascade) and schedule its restart after the paper's
+    /// adaptive delay. The restarted incarnation reuses the template.
+    pub(crate) fn abort_txn(&mut self, txn_id: TxnId, reason: AbortReason) {
+        let now = self.cal.now();
+        let Some(txn) = self.txns.get(&txn_id) else {
+            return;
+        };
+        // Only executing transactions can be aborted this way: prepared
+        // cohorts never wait for locks and borrowers never reach the
+        // voting phase (§3.1).
+        assert!(
+            matches!(txn.phase, TxnPhase::Executing),
+            "execution-phase abort of {txn_id} in {:?}",
+            txn.phase
+        );
+        if txn.blocked_cohorts > 0 {
+            self.metrics.blocked_txns.add(now, -1.0);
+        }
+        let home = txn.home;
+        let original_birth = txn.original_birth;
+        let cohort_ids = txn.cohorts.clone();
+        // Tear the cohorts down; collect cascade victims (borrowers of
+        // this transaction's cohorts — impossible here since none is
+        // prepared, asserted below).
+        for cid in cohort_ids {
+            let Some(c) = self.cohorts.remove(&cid) else {
+                continue;
+            };
+            let locks = &mut self.sites[c.site].locks;
+            assert!(
+                locks.borrowers_of(cid).next().is_none(),
+                "an executing cohort cannot have lent data"
+            );
+            locks.drop_borrower(cid);
+            let grants = locks.release_all(cid);
+            self.process_grants(grants);
+        }
+        let txn = self.txns.remove(&txn_id).expect("checked above");
+        self.metrics.live_txns.add(now, -1.0);
+        self.metrics.record_abort(reason);
+        self.trace_event(txn_id, |at| super::trace::TraceEvent::Aborted {
+            at,
+            txn: txn_id,
+        });
+        let delay = self.restart_delay();
+        self.cal.schedule_in(
+            delay,
+            Event::Submit {
+                home,
+                template: Some(Box::new(txn.template)),
+                original_birth: Some(original_birth),
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Message dispatch
+    // ------------------------------------------------------------------
+
+    pub(crate) fn handle_message(&mut self, msg: super::types::Message) {
+        match msg.kind {
+            MsgKind::InitCohort { cohort } => self.cohort_begin(cohort),
+            MsgKind::WorkDone { txn } => self.master_workdone(txn),
+            MsgKind::Prepare { cohort } => self.cohort_prepare(cohort),
+            MsgKind::Vote { txn, vote } => self.master_vote(txn, vote),
+            MsgKind::PreCommit { cohort } => self.cohort_precommit(cohort),
+            MsgKind::PreAck { txn } => self.master_preack(txn),
+            MsgKind::Decision { cohort, commit } => self.cohort_decision(cohort, commit),
+            MsgKind::Ack { txn } => self.master_ack(txn),
+            MsgKind::TermStateReq { cohort } => self.cohort_term_state_req(cohort),
+            MsgKind::TermStateRep { txn } => self.coordinator_term_state_rep(txn),
+            MsgKind::ChainPrepare { cohort } => self.cohort_prepare(cohort),
+            MsgKind::ChainDecision { cohort, commit } => self.cohort_decision(cohort, commit),
+            MsgKind::ChainBack { txn, commit } => self.master_chain_back(txn, commit),
+        }
+    }
+
+    /// Dispatch for completed forced log writes.
+    pub(crate) fn handle_log_done(&mut self, work: super::types::LogWork) {
+        use super::types::LogWork::*;
+        match work {
+            CohortPrepare { cohort } => self.cohort_prepared(cohort),
+            CohortNoVoteAbort { cohort } => self.cohort_no_vote_finish(cohort),
+            CohortPrecommit { cohort } => self.cohort_precommitted(cohort),
+            CohortDecision { cohort, commit } => self.cohort_finish_decision(cohort, commit),
+            MasterCollecting { txn } => self.master_collected(txn),
+            MasterPrecommit { txn } => self.master_precommit_logged(txn),
+            MasterDecision { txn, commit } => self.master_decided(txn, commit),
+        }
+    }
+
+    /// Deferred write-back of a committed cohort's updates: the pages go
+    /// to the data disks asynchronously; nothing waits on them (§4.1).
+    pub(crate) fn enqueue_deferred_writes(&mut self, cohort_accesses: &[(SiteId, u64)]) {
+        if !self.cfg.model_deferred_writes {
+            return;
+        }
+        for &(site, page) in cohort_accesses {
+            self.data_disk_arrive(site, page, DiskJob::AsyncWrite);
+        }
+    }
+}

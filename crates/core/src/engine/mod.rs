@@ -1,0 +1,742 @@
+//! The distributed-DBMS simulation engine.
+//!
+//! One [`Simulation`] is one run of the closed queueing model of §4 of
+//! the paper under a chosen commit protocol: `MPL` transactions per
+//! site, master/cohort execution, strict 2PL with immediate global
+//! deadlock detection, and the full message/forced-write choreography
+//! of the selected protocol (2PC, PA, PC, 3PC, the OPT variants, or
+//! the CENT/DPCC baselines).
+//!
+//! The engine is event-driven and deterministic: given the same
+//! configuration, protocol, and seed it reproduces the same metrics
+//! bit for bit.
+
+mod commit;
+mod exec;
+mod glog;
+#[cfg(test)]
+mod tests;
+pub mod trace;
+mod types;
+
+pub use trace::{LogLabel, MsgLabel, Trace, TraceEvent};
+pub use types::{CohortId, TxnId};
+
+use crate::config::{ConfigError, ResourceMode, SystemConfig};
+use crate::metrics::{Metrics, SimReport, Utilizations};
+use crate::workload::{SiteId, WorkloadGenerator};
+use commitproto::ProtocolSpec;
+use distlocks::LockManager;
+use simkernel::stats::Tally;
+use simkernel::{Calendar, JobClass, SimDuration, SimRng, SimTime, Station};
+use std::collections::HashMap;
+use types::{CpuJob, DiskJob, Event, LogWork, Message, MsgKind, Txn};
+
+/// One site's physical resources and lock table.
+pub(crate) struct Site {
+    pub cpu: Station<CpuJob>,
+    pub data_disks: Vec<Station<DiskJob>>,
+    pub log_disks: Vec<Station<LogWork>>,
+    /// Group-commit batchers, one per log disk, when the optimization
+    /// is enabled (the plain `log_disks` stations sit unused then).
+    pub batched_logs: Option<Vec<glog::BatchedLog>>,
+    pub locks: LockManager,
+    next_log_disk: usize,
+}
+
+/// A run of the simulator. Construct and execute with [`Simulation::run`].
+pub struct Simulation {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) spec: ProtocolSpec,
+    pub(crate) wl: WorkloadGenerator,
+    pub(crate) cal: Calendar<Event>,
+    pub(crate) rng: SimRng,
+    pub(crate) sites: Vec<Site>,
+    pub(crate) txns: HashMap<TxnId, Txn>,
+    pub(crate) cohorts: HashMap<CohortId, types::Cohort>,
+    next_txn_id: TxnId,
+    next_cohort_id: CohortId,
+    pub(crate) metrics: Metrics,
+    /// All-time committed response times — drives the restart-delay
+    /// heuristic ("the length of the delay is equal to the average
+    /// transaction response time", §4). Never reset.
+    pub(crate) resp_estimate: Tally,
+    total_commits: u64,
+    commit_target: u64,
+    warmup_target: u64,
+    done: bool,
+    truncated: bool,
+    pages_per_site_eff: u64,
+    /// Optional protocol trace; events are recorded for transactions
+    /// with id ≤ `trace_txn_limit`.
+    trace_buf: Option<Trace>,
+    trace_txn_limit: TxnId,
+}
+
+impl Simulation {
+    /// Run `cfg` under `spec` with the given RNG `seed` and return the
+    /// measured report.
+    ///
+    /// # Errors
+    /// Returns an error if the configuration is invalid or the spec is
+    /// meaningless (OPT over a baseline).
+    pub fn run(
+        cfg: &SystemConfig,
+        spec: ProtocolSpec,
+        seed: u64,
+    ) -> Result<SimReport, ConfigError> {
+        let mut sim = Simulation::new(cfg, spec, seed)?;
+        sim.execute();
+        Ok(sim.report())
+    }
+
+    /// Like [`Simulation::run`], but additionally records a protocol
+    /// [`Trace`] of every message, forced write and milestone for the
+    /// first `traced_txns` transactions submitted. Tracing does not
+    /// perturb the simulation: the report is identical to an untraced
+    /// run with the same inputs.
+    pub fn run_traced(
+        cfg: &SystemConfig,
+        spec: ProtocolSpec,
+        seed: u64,
+        traced_txns: u64,
+    ) -> Result<(SimReport, Trace), ConfigError> {
+        let mut sim = Simulation::new(cfg, spec, seed)?;
+        sim.trace_buf = Some(Trace::default());
+        sim.trace_txn_limit = traced_txns;
+        sim.execute();
+        let trace = sim.trace_buf.take().unwrap_or_default();
+        Ok((sim.report(), trace))
+    }
+
+    /// Record one trace event for `txn`, if tracing is active and the
+    /// transaction is within the traced prefix.
+    pub(crate) fn trace_event(&mut self, txn: TxnId, make: impl FnOnce(SimTime) -> TraceEvent) {
+        if self.trace_txn_limit >= txn {
+            let now = self.cal.now();
+            if let Some(buf) = self.trace_buf.as_mut() {
+                buf.events.push(make(now));
+            }
+        }
+    }
+
+    fn new(cfg: &SystemConfig, spec: ProtocolSpec, seed: u64) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        if !spec.is_valid() {
+            return Err(ConfigError::Invalid(
+                "OPT cannot be combined with a baseline protocol",
+            ));
+        }
+        if spec.base == commitproto::BaseProtocol::Linear2PC {
+            if cfg.read_only_optimization {
+                return Err(ConfigError::Invalid(
+                    "the read-only optimization would break the linear-2PC chain",
+                ));
+            }
+            if cfg.failures.is_some() {
+                return Err(ConfigError::Invalid(
+                    "failure injection models the parallel decision point and does not \
+                     support chained 2PC",
+                ));
+            }
+        }
+        let wl = WorkloadGenerator::new(cfg, spec.base);
+        let num_sites = wl.effective_sites();
+        // CENT merges every site's hardware into one station pool
+        // ("equivalent in terms of database size and physical
+        // resources", §5.1).
+        let merge = cfg.num_sites / num_sites;
+        let cpus = cfg.num_cpus as usize * merge;
+        let data_disks = cfg.num_data_disks as usize * merge;
+        let log_disks = cfg.num_log_disks as usize * merge;
+        let pages_per_site_eff = cfg.pages_per_site() * merge as u64;
+
+        let mk_station = || match cfg.resources {
+            ResourceMode::Finite => None,
+            ResourceMode::Infinite => Some(()),
+        };
+        let sites = (0..num_sites)
+            .map(|_| Site {
+                cpu: match mk_station() {
+                    None => Station::finite(cpus as u32),
+                    Some(()) => Station::infinite(),
+                },
+                data_disks: (0..data_disks)
+                    .map(|_| match mk_station() {
+                        None => Station::finite(1),
+                        Some(()) => Station::infinite(),
+                    })
+                    .collect(),
+                log_disks: (0..log_disks)
+                    .map(|_| match mk_station() {
+                        None => Station::finite(1),
+                        Some(()) => Station::infinite(),
+                    })
+                    .collect(),
+                batched_logs: match (cfg.group_commit_batch, cfg.resources) {
+                    (Some(k), ResourceMode::Finite) => {
+                        Some((0..log_disks).map(|_| glog::BatchedLog::new(k)).collect())
+                    }
+                    // Nothing queues under infinite resources, so
+                    // batching would never group anything.
+                    _ => None,
+                },
+                locks: LockManager::new(spec.opt),
+                next_log_disk: 0,
+            })
+            .collect();
+
+        let metrics = Metrics::new(
+            SimTime::ZERO,
+            cfg.run.measured_transactions,
+            cfg.run.batches,
+        );
+        let mut sim = Simulation {
+            cfg: cfg.clone(),
+            spec,
+            wl,
+            cal: Calendar::new(),
+            rng: SimRng::new(seed),
+            sites,
+            txns: HashMap::new(),
+            cohorts: HashMap::new(),
+            next_txn_id: 1,
+            next_cohort_id: 1,
+            metrics,
+            resp_estimate: Tally::new(),
+            total_commits: 0,
+            commit_target: cfg.run.warmup_transactions + cfg.run.measured_transactions,
+            warmup_target: cfg.run.warmup_transactions,
+            done: false,
+            truncated: false,
+            pages_per_site_eff,
+            trace_buf: None,
+            trace_txn_limit: 0,
+        };
+        // Closed system: MPL transactions per (effective) site. The
+        // merged CENT site carries the whole population.
+        let mpl_per_site = cfg.mpl as usize * merge;
+        for home in 0..num_sites {
+            for _ in 0..mpl_per_site {
+                sim.cal.schedule_now(Event::Submit {
+                    home,
+                    template: None,
+                    original_birth: None,
+                });
+            }
+        }
+        Ok(sim)
+    }
+
+    fn execute(&mut self) {
+        while !self.done {
+            let Some((now, event)) = self.cal.next() else {
+                // A closed system must never drain its calendar: every
+                // transaction always has a pending event, a lock wait
+                // whose holder has pending events, or a scheduled
+                // restart. A drain is an engine bug.
+                panic!(
+                    "event calendar drained — stuck state:\n{}",
+                    self.dump_stuck()
+                );
+            };
+            if let Some(cap) = self.cfg.run.max_sim_time {
+                if now > cap {
+                    self.truncated = true;
+                    break;
+                }
+            }
+            self.dispatch(event);
+        }
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Submit {
+                home,
+                template,
+                original_birth,
+            } => {
+                self.submit_txn(home, template.map(|b| *b), original_birth);
+            }
+            Event::CpuDone { site, job } => {
+                let now = self.cal.now();
+                if let Some(started) = self.sites[site].cpu.complete(now) {
+                    self.cal.schedule_at(
+                        started.done_at,
+                        Event::CpuDone {
+                            site,
+                            job: started.job,
+                        },
+                    );
+                }
+                self.handle_cpu_done(site, job);
+            }
+            Event::DataDiskDone { site, disk, job } => {
+                let now = self.cal.now();
+                if let Some(started) = self.sites[site].data_disks[disk].complete(now) {
+                    self.cal.schedule_at(
+                        started.done_at,
+                        Event::DataDiskDone {
+                            site,
+                            disk,
+                            job: started.job,
+                        },
+                    );
+                }
+                self.handle_data_disk_done(job);
+            }
+            Event::LogDiskDone { site, disk, job } => {
+                let now = self.cal.now();
+                if let Some(started) = self.sites[site].log_disks[disk].complete(now) {
+                    self.cal.schedule_at(
+                        started.done_at,
+                        Event::LogDiskDone {
+                            site,
+                            disk,
+                            job: started.job,
+                        },
+                    );
+                }
+                if let Some(txn) = self.log_txn(&job) {
+                    let label = job.label();
+                    self.trace_event(txn, |at| TraceEvent::LogDone {
+                        at,
+                        txn,
+                        label,
+                        site,
+                    });
+                }
+                self.handle_log_done(job);
+            }
+            Event::LogBatchDone { site, disk } => {
+                let now = self.cal.now();
+                let service = self.cfg.page_disk;
+                let batcher = &mut self.sites[site]
+                    .batched_logs
+                    .as_mut()
+                    .expect("batch event implies group commit")[disk];
+                let (done, next) = batcher.complete(now, service);
+                if let Some(done_at) = next {
+                    self.cal
+                        .schedule_at(done_at, Event::LogBatchDone { site, disk });
+                }
+                for work in done {
+                    if let Some(txn) = self.log_txn(&work) {
+                        let label = work.label();
+                        self.trace_event(txn, |at| TraceEvent::LogDone {
+                            at,
+                            txn,
+                            label,
+                            site,
+                        });
+                    }
+                    self.handle_log_done(work);
+                }
+            }
+            Event::MasterRecovered { txn, commit } => {
+                // The recovered master resumes where the crash hit.
+                self.decide_now(txn, commit);
+            }
+            Event::StartTermination { txn } => self.start_termination(txn),
+            Event::LocalMsg { msg } => self.handle_message(msg),
+        }
+    }
+
+    fn handle_cpu_done(&mut self, _site: SiteId, job: CpuJob) {
+        match job {
+            CpuJob::Data { cohort } => self.cohort_page_processed(cohort),
+            CpuJob::MsgSend { msg } => {
+                // The network is an instantaneous switch (§4): delivery
+                // costs only receive-side CPU.
+                self.cpu_arrive(
+                    msg.to,
+                    CpuJob::MsgRecv { msg },
+                    self.cfg.msg_cpu,
+                    JobClass::High,
+                );
+            }
+            CpuJob::MsgRecv { msg } => self.handle_message(msg),
+        }
+    }
+
+    fn handle_data_disk_done(&mut self, job: DiskJob) {
+        match job {
+            DiskJob::Read { cohort } => {
+                // The page is in memory; charge `PageCPU` of processing.
+                let Some(c) = self.cohorts.get(&cohort) else {
+                    return;
+                };
+                let site = c.site;
+                self.cpu_arrive(
+                    site,
+                    CpuJob::Data { cohort },
+                    self.cfg.page_cpu,
+                    JobClass::Low,
+                );
+            }
+            DiskJob::AsyncWrite => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Resource plumbing
+    // ------------------------------------------------------------------
+
+    pub(crate) fn cpu_arrive(
+        &mut self,
+        site: SiteId,
+        job: CpuJob,
+        service: SimDuration,
+        class: JobClass,
+    ) {
+        let now = self.cal.now();
+        if let Some(started) = self.sites[site].cpu.arrive(now, job, service, class) {
+            self.cal.schedule_at(
+                started.done_at,
+                Event::CpuDone {
+                    site,
+                    job: started.job,
+                },
+            );
+        }
+    }
+
+    pub(crate) fn disk_for_page(&self, page: u64) -> usize {
+        let local = page % self.pages_per_site_eff;
+        (local % self.sites[0].data_disks.len() as u64) as usize
+    }
+
+    pub(crate) fn data_disk_arrive(&mut self, site: SiteId, page: u64, job: DiskJob) {
+        let now = self.cal.now();
+        let disk = self.disk_for_page(page);
+        if let Some(started) =
+            self.sites[site].data_disks[disk].arrive(now, job, self.cfg.page_disk, JobClass::Low)
+        {
+            self.cal.schedule_at(
+                started.done_at,
+                Event::DataDiskDone {
+                    site,
+                    disk,
+                    job: started.job,
+                },
+            );
+        }
+    }
+
+    /// The transaction a piece of log work belongs to (for tracing).
+    pub(crate) fn log_txn(&self, work: &LogWork) -> Option<TxnId> {
+        match *work {
+            LogWork::CohortPrepare { cohort }
+            | LogWork::CohortNoVoteAbort { cohort }
+            | LogWork::CohortPrecommit { cohort }
+            | LogWork::CohortDecision { cohort, .. } => self.cohorts.get(&cohort).map(|c| c.txn),
+            LogWork::MasterCollecting { txn }
+            | LogWork::MasterPrecommit { txn }
+            | LogWork::MasterDecision { txn, .. } => Some(txn),
+        }
+    }
+
+    /// The transaction a message belongs to (for tracing).
+    pub(crate) fn msg_txn(&self, kind: &MsgKind) -> Option<TxnId> {
+        match *kind {
+            MsgKind::InitCohort { cohort }
+            | MsgKind::Prepare { cohort }
+            | MsgKind::PreCommit { cohort }
+            | MsgKind::Decision { cohort, .. }
+            | MsgKind::TermStateReq { cohort }
+            | MsgKind::ChainPrepare { cohort }
+            | MsgKind::ChainDecision { cohort, .. } => self.cohorts.get(&cohort).map(|c| c.txn),
+            MsgKind::WorkDone { txn }
+            | MsgKind::Vote { txn, .. }
+            | MsgKind::PreAck { txn }
+            | MsgKind::Ack { txn }
+            | MsgKind::TermStateRep { txn }
+            | MsgKind::ChainBack { txn, .. } => Some(txn),
+        }
+    }
+
+    /// Issue a forced log write; its completion event carries `work`
+    /// back into the protocol state machine. Costs one disk page write
+    /// (§4.3); log disks are chosen round-robin within the site.
+    pub(crate) fn force_log(&mut self, site: SiteId, work: LogWork) {
+        if let Some(txn) = self.log_txn(&work) {
+            let label = work.label();
+            self.trace_event(txn, |at| TraceEvent::ForceLog {
+                at,
+                txn,
+                label,
+                site,
+            });
+        }
+        self.metrics.forced_writes.bump();
+        let now = self.cal.now();
+        let s = &mut self.sites[site];
+        let disk = s.next_log_disk;
+        s.next_log_disk = (s.next_log_disk + 1) % s.log_disks.len();
+        if let Some(batchers) = s.batched_logs.as_mut() {
+            if let Some(done_at) = batchers[disk].arrive(now, work, self.cfg.page_disk) {
+                self.cal
+                    .schedule_at(done_at, Event::LogBatchDone { site, disk });
+            }
+            return;
+        }
+        if let Some(started) =
+            s.log_disks[disk].arrive(now, work, self.cfg.page_disk, JobClass::Low)
+        {
+            self.cal.schedule_at(
+                started.done_at,
+                Event::LogDiskDone {
+                    site,
+                    disk,
+                    job: started.job,
+                },
+            );
+        }
+    }
+
+    /// Send a message. Same-site messages are free and delivered via a
+    /// zero-delay event; remote messages cost `MsgCPU` at both ends and
+    /// are counted in the execution/commit tallies.
+    pub(crate) fn send(&mut self, from: SiteId, to: SiteId, kind: MsgKind) {
+        if let Some(txn) = self.msg_txn(&kind) {
+            let label = kind.label();
+            let local = from == to;
+            self.trace_event(txn, |at| TraceEvent::Send {
+                at,
+                txn,
+                label,
+                from,
+                to,
+                local,
+            });
+        }
+        let msg = Message { from, to, kind };
+        if from == to {
+            self.cal.schedule_now(Event::LocalMsg { msg });
+            return;
+        }
+        if kind.is_execution() {
+            self.metrics.exec_messages.bump();
+        } else {
+            self.metrics.commit_messages.bump();
+        }
+        self.cpu_arrive(
+            from,
+            CpuJob::MsgSend { msg },
+            self.cfg.msg_cpu,
+            JobClass::High,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Identity & bookkeeping
+    // ------------------------------------------------------------------
+
+    pub(crate) fn alloc_txn_id(&mut self) -> TxnId {
+        let id = self.next_txn_id;
+        self.next_txn_id += 1;
+        id
+    }
+
+    pub(crate) fn alloc_cohort_id(&mut self) -> CohortId {
+        let id = self.next_cohort_id;
+        self.next_cohort_id += 1;
+        id
+    }
+
+    /// The delay before a restart. Under the paper's adaptive policy
+    /// (§4) it is the running average response time of committed
+    /// transactions (a service-demand estimate before any commit
+    /// exists); the alternatives exist for ablation studies.
+    pub(crate) fn restart_delay(&self) -> SimDuration {
+        match self.cfg.restart_policy {
+            crate::config::RestartPolicy::AdaptiveResponseTime => {
+                if self.resp_estimate.count() > 0 {
+                    SimDuration::from_millis_f64(self.resp_estimate.mean() * 1_000.0)
+                } else {
+                    let pages = (self.cfg.dist_degree * self.cfg.cohort_size) as u64;
+                    (self.cfg.page_disk + self.cfg.page_cpu) * pages
+                }
+            }
+            crate::config::RestartPolicy::Fixed(d) => d,
+            crate::config::RestartPolicy::Immediate => SimDuration::ZERO,
+        }
+    }
+
+    /// Called at every commit point: advances warm-up/measurement
+    /// bookkeeping and stops the run at the target.
+    pub(crate) fn note_commit_for_run_control(&mut self) {
+        self.total_commits += 1;
+        if self.total_commits == self.warmup_target {
+            let now = self.cal.now();
+            self.metrics.reset(now);
+            for site in &mut self.sites {
+                site.cpu.reset_stats(now);
+                for d in &mut site.data_disks {
+                    d.reset_stats(now);
+                }
+                for d in &mut site.log_disks {
+                    d.reset_stats(now);
+                }
+                if let Some(batchers) = site.batched_logs.as_mut() {
+                    for b in batchers {
+                        b.reset_stats(now);
+                    }
+                }
+            }
+        }
+        if self.total_commits >= self.commit_target {
+            self.done = true;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting
+    // ------------------------------------------------------------------
+
+    fn report(&mut self) -> SimReport {
+        let now = self.cal.now();
+        let window = now.since(self.metrics.start).as_secs_f64();
+        let committed = self.metrics.committed.get();
+        let throughput = if window > 0.0 {
+            committed as f64 / window
+        } else {
+            0.0
+        };
+
+        let mut cpu = 0.0;
+        let mut dd = 0.0;
+        let mut ld = 0.0;
+        let mut ndd = 0usize;
+        let mut nld = 0usize;
+        for site in &mut self.sites {
+            cpu += site.cpu.utilization(now);
+            for d in &mut site.data_disks {
+                dd += d.utilization(now);
+                ndd += 1;
+            }
+            match site.batched_logs.as_mut() {
+                Some(batchers) => {
+                    for b in batchers {
+                        ld += b.utilization(now);
+                        nld += 1;
+                    }
+                }
+                None => {
+                    for d in &mut site.log_disks {
+                        ld += d.utilization(now);
+                        nld += 1;
+                    }
+                }
+            }
+        }
+        let nsites = self.sites.len().max(1) as f64;
+        let utilizations = Utilizations {
+            cpu: cpu / nsites,
+            data_disk: if ndd > 0 { dd / ndd as f64 } else { 0.0 },
+            log_disk: if nld > 0 { ld / nld as f64 } else { 0.0 },
+        };
+
+        let mut batches = 0u64;
+        let mut batched_writes = 0u64;
+        for site in &self.sites {
+            match site.batched_logs.as_ref() {
+                Some(bs) => {
+                    for b in bs {
+                        batches += b.batches_served();
+                        batched_writes += b.writes_served();
+                    }
+                }
+                None => {
+                    for d in &site.log_disks {
+                        batches += d.served();
+                        batched_writes += d.served();
+                    }
+                }
+            }
+        }
+        let mean_log_batch = if batches == 0 {
+            0.0
+        } else {
+            batched_writes as f64 / batches as f64
+        };
+
+        let blocked_avg = self.metrics.blocked_txns.time_average(now);
+        let live_avg = self.metrics.live_txns.time_average(now);
+        let block_ratio = if live_avg > 0.0 {
+            blocked_avg / live_avg
+        } else {
+            0.0
+        };
+
+        SimReport {
+            protocol: self.spec.name().to_string(),
+            mpl: self.cfg.mpl,
+            sim_seconds: window,
+            committed,
+            aborted_deadlock: self.metrics.aborted_deadlock.get(),
+            aborted_surprise: self.metrics.aborted_surprise.get(),
+            aborted_borrower: self.metrics.aborted_borrower.get(),
+            throughput,
+            throughput_ci: self.metrics.throughput_batches.confidence_interval(),
+            mean_response_s: self.metrics.response.mean(),
+            p50_response_s: self.metrics.response_hist.p50().as_secs_f64(),
+            p95_response_s: self.metrics.response_hist.p95().as_secs_f64(),
+            p99_response_s: self.metrics.response_hist.p99().as_secs_f64(),
+            mean_attempt_response_s: self.metrics.attempt_response.mean(),
+            block_ratio,
+            borrow_ratio: self.metrics.borrowed_pages.per(committed),
+            exec_messages_per_commit: self.metrics.exec_messages.per(committed),
+            commit_messages_per_commit: self.metrics.commit_messages.per(committed),
+            forced_writes_per_commit: self.metrics.forced_writes.per(committed),
+            mean_shelf_time_s: self.metrics.shelf_time.mean(),
+            mean_prepared_time_s: self.metrics.prepared_time.mean(),
+            utilizations,
+            mean_log_batch,
+            master_crashes: self.metrics.master_crashes.get(),
+            events: self.cal.dispatched_count(),
+        }
+    }
+
+    /// Whether the run hit its simulated-time cap before committing the
+    /// requested number of transactions.
+    pub fn was_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Render every in-flight transaction and cohort — the post-mortem
+    /// attached to the calendar-drain panic.
+    fn dump_stuck(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut txns: Vec<_> = self.txns.values().collect();
+        txns.sort_by_key(|t| t.id);
+        for t in txns {
+            let _ = writeln!(
+                out,
+                "txn {} phase {:?} wd={} votes={} acks={} open={}",
+                t.id, t.phase, t.pending_workdone, t.pending_votes, t.pending_acks, t.open_cohorts
+            );
+            for &cid in &t.cohorts {
+                if let Some(c) = self.cohorts.get(&cid) {
+                    let lm = &self.sites[c.site].locks;
+                    let _ = writeln!(
+                        out,
+                        "  cohort {} site {} phase {:?} access {}/{} wait={} shelf={} borrows={:?} blockers={:?}",
+                        cid,
+                        c.site,
+                        c.phase,
+                        c.next_access,
+                        c.accesses.len(),
+                        c.waiting_lock,
+                        c.shelf_since.is_some(),
+                        lm.lenders_of(cid).collect::<Vec<_>>(),
+                        lm.blockers_of(cid),
+                    );
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,324 @@
+//! Engine-internal types: events, resource jobs, messages, and the
+//! master/cohort state machines' state.
+
+use crate::workload::{Access, SiteId, TxnTemplate};
+use simkernel::SimTime;
+
+/// A transaction identifier (globally unique, monotonically assigned).
+pub type TxnId = u64;
+
+/// A cohort identifier; doubles as the lock-owner id in the per-site
+/// lock tables. Globally unique.
+pub type CohortId = u64;
+
+/// A simulation event.
+#[derive(Debug, Clone)]
+pub(crate) enum Event {
+    /// Submit a transaction at `home`. `template`/`original_birth` are
+    /// set for restarts (an aborted transaction "makes the same data
+    /// accesses as its original incarnation", §4) and `None` for fresh
+    /// submissions.
+    Submit {
+        home: SiteId,
+        template: Option<Box<TxnTemplate>>,
+        original_birth: Option<SimTime>,
+    },
+    /// A CPU service completed at `site`.
+    CpuDone { site: SiteId, job: CpuJob },
+    /// A data-disk service completed.
+    DataDiskDone {
+        site: SiteId,
+        disk: usize,
+        job: DiskJob,
+    },
+    /// A log-disk (forced write) service completed.
+    LogDiskDone {
+        site: SiteId,
+        disk: usize,
+        job: LogWork,
+    },
+    /// A group-commit batch of forced writes completed (the batch
+    /// contents live in the site's batcher).
+    LogBatchDone { site: SiteId, disk: usize },
+    /// A crashed master recovered (blocking protocols) — resume the
+    /// interrupted decision.
+    MasterRecovered { txn: TxnId, commit: bool },
+    /// The cohorts of a crashed 3PC master detected the failure — run
+    /// the termination protocol.
+    StartTermination { txn: TxnId },
+    /// Zero-cost delivery of a same-site message (master and its local
+    /// cohort communicate for free).
+    LocalMsg { msg: Message },
+}
+
+/// Work processed by a site CPU.
+#[derive(Debug, Clone)]
+pub(crate) enum CpuJob {
+    /// Page processing for a cohort (`PageCPU`, low priority).
+    Data { cohort: CohortId },
+    /// Outgoing message processing (`MsgCPU`, high priority).
+    MsgSend { msg: Message },
+    /// Incoming message processing (`MsgCPU`, high priority).
+    MsgRecv { msg: Message },
+}
+
+/// Work processed by a data disk.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum DiskJob {
+    /// Read one page on behalf of a cohort.
+    Read { cohort: CohortId },
+    /// Asynchronous post-commit write of an updated page; nothing waits
+    /// on it (§4.1).
+    AsyncWrite,
+}
+
+/// A forced log write and the state-machine step it unblocks (§4.3:
+/// only forced writes are modeled; each costs one disk page write).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum LogWork {
+    /// A cohort's *prepare* record; completion enters the prepared state.
+    CohortPrepare { cohort: CohortId },
+    /// A NO-voting cohort's forced abort record (2PC/PC/3PC; PA skips it).
+    CohortNoVoteAbort { cohort: CohortId },
+    /// A cohort's 3PC *precommit* record.
+    CohortPrecommit { cohort: CohortId },
+    /// A prepared cohort's decision record.
+    CohortDecision { cohort: CohortId, commit: bool },
+    /// The Presumed-Commit *collecting* record at the master.
+    MasterCollecting { txn: TxnId },
+    /// The master's 3PC *precommit* record.
+    MasterPrecommit { txn: TxnId },
+    /// The master's global decision record — its completion is the
+    /// transaction's commit point.
+    MasterDecision { txn: TxnId, commit: bool },
+}
+
+/// A network message. Transfers between distinct sites cost `MsgCPU`
+/// at the sender and at the receiver; same-site messages are free.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Message {
+    /// Sender site (kept for traces and debugging).
+    #[allow(dead_code)]
+    pub from: SiteId,
+    pub to: SiteId,
+    pub kind: MsgKind,
+}
+
+/// A cohort's vote in the first protocol phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Vote {
+    /// Prepared; will obey the global decision.
+    Yes,
+    /// Veto; the cohort aborted unilaterally.
+    No,
+    /// Read-Only optimization (§3.2): nothing to make durable, the
+    /// cohort released its locks and drops out of phase two.
+    ReadOnly,
+}
+
+/// Message payloads of the execution phase and of every commit
+/// protocol's phases.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum MsgKind {
+    /// Master → remote site: start this cohort (execution phase).
+    InitCohort { cohort: CohortId },
+    /// Cohort → master: local work complete (execution phase).
+    WorkDone { txn: TxnId },
+    /// Master → cohort: phase one of the vote.
+    Prepare { cohort: CohortId },
+    /// Cohort → master: the phase-one vote.
+    Vote { txn: TxnId, vote: Vote },
+    /// Master → cohort: 3PC precommit.
+    PreCommit { cohort: CohortId },
+    /// Cohort → master: 3PC precommit acknowledgement.
+    PreAck { txn: TxnId },
+    /// Master → cohort: the global decision.
+    Decision { cohort: CohortId, commit: bool },
+    /// Cohort → master: decision acknowledgement.
+    Ack { txn: TxnId },
+    /// Termination coordinator → cohort: report your protocol state.
+    TermStateReq { cohort: CohortId },
+    /// Cohort → termination coordinator: state report (all cohorts are
+    /// precommitted at the modeled crash point).
+    TermStateRep { txn: TxnId },
+    /// Linear 2PC: PREPARE travelling down the chain (the accumulated
+    /// vote so far is YES; a NO stops forward propagation).
+    ChainPrepare { cohort: CohortId },
+    /// Linear 2PC: the decision travelling back up the chain.
+    ChainDecision { cohort: CohortId, commit: bool },
+    /// Linear 2PC: the decision's final backward hop to the master.
+    ChainBack { txn: TxnId, commit: bool },
+}
+
+impl MsgKind {
+    /// Execution-phase messages vs commit-phase messages — the split
+    /// reported in the paper's Tables 3 and 4.
+    pub fn is_execution(self) -> bool {
+        matches!(self, MsgKind::InitCohort { .. } | MsgKind::WorkDone { .. })
+    }
+
+    /// The payload-free label used by the protocol trace.
+    pub fn label(self) -> super::trace::MsgLabel {
+        use super::trace::MsgLabel as L;
+        match self {
+            MsgKind::InitCohort { .. } => L::InitCohort,
+            MsgKind::WorkDone { .. } => L::WorkDone,
+            MsgKind::Prepare { .. } => L::Prepare,
+            MsgKind::Vote {
+                vote: Vote::Yes, ..
+            } => L::VoteYes,
+            MsgKind::Vote { vote: Vote::No, .. } => L::VoteNo,
+            MsgKind::Vote {
+                vote: Vote::ReadOnly,
+                ..
+            } => L::VoteReadOnly,
+            MsgKind::PreCommit { .. } => L::PreCommit,
+            MsgKind::PreAck { .. } => L::PreAck,
+            MsgKind::Decision { commit: true, .. } => L::DecisionCommit,
+            MsgKind::Decision { commit: false, .. } => L::DecisionAbort,
+            MsgKind::Ack { .. } => L::Ack,
+            MsgKind::TermStateReq { .. } => L::TermStateReq,
+            MsgKind::TermStateRep { .. } => L::TermStateRep,
+            // The chain hops are the linear analogues of PREPARE and
+            // the decision; they share those labels in traces.
+            MsgKind::ChainPrepare { .. } => L::Prepare,
+            MsgKind::ChainDecision { commit: true, .. } => L::DecisionCommit,
+            MsgKind::ChainDecision { commit: false, .. } => L::DecisionAbort,
+            MsgKind::ChainBack { commit: true, .. } => L::DecisionCommit,
+            MsgKind::ChainBack { commit: false, .. } => L::DecisionAbort,
+        }
+    }
+}
+
+impl LogWork {
+    /// The payload-free label used by the protocol trace.
+    pub fn label(self) -> super::trace::LogLabel {
+        use super::trace::LogLabel as L;
+        match self {
+            LogWork::CohortPrepare { .. } => L::Prepare,
+            LogWork::CohortNoVoteAbort { .. } => L::NoVoteAbort,
+            LogWork::CohortPrecommit { .. } => L::CohortPrecommit,
+            LogWork::CohortDecision { commit: true, .. } => L::CohortCommit,
+            LogWork::CohortDecision { commit: false, .. } => L::CohortAbort,
+            LogWork::MasterCollecting { .. } => L::Collecting,
+            LogWork::MasterPrecommit { .. } => L::MasterPrecommit,
+            LogWork::MasterDecision { commit: true, .. } => L::MasterCommit,
+            LogWork::MasterDecision { commit: false, .. } => L::MasterAbort,
+        }
+    }
+}
+
+/// Master-side transaction phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TxnPhase {
+    /// Data processing in progress; waiting for WORKDONE messages.
+    Executing,
+    /// Presumed Commit: forcing the collecting record.
+    Collecting,
+    /// PREPAREs sent; waiting for votes.
+    Voting,
+    /// 3PC: precommit round in flight.
+    Precommitting,
+    /// Forcing the master decision record.
+    LoggingDecision { commit: bool },
+    /// Decision taken and announced; draining ACKs / cohort tails.
+    Decided { commit: bool },
+}
+
+/// One in-flight transaction (master side).
+#[derive(Debug)]
+pub(crate) struct Txn {
+    /// Own id (the map key; kept for traces and debugging).
+    #[allow(dead_code)]
+    pub id: TxnId,
+    pub home: SiteId,
+    pub template: TxnTemplate,
+    /// Submission instant of this incarnation (deadlock victims are the
+    /// *youngest*, judged by this).
+    pub birth: SimTime,
+    /// Submission instant of the first incarnation (response time runs
+    /// from here).
+    pub original_birth: SimTime,
+    pub cohorts: Vec<CohortId>,
+    pub phase: TxnPhase,
+    pub pending_workdone: usize,
+    pub pending_votes: usize,
+    pub pending_preacks: usize,
+    pub pending_acks: usize,
+    pub no_vote: bool,
+    /// Cohorts currently blocked on a lock (block-ratio accounting).
+    pub blocked_cohorts: u32,
+    /// Next cohort to start, for sequential transactions.
+    pub next_seq_cohort: usize,
+    /// Cohorts not yet `Done` (cleanup refcount).
+    pub open_cohorts: usize,
+    /// Master has finished its part (decision taken, ACKs drained).
+    pub master_done: bool,
+    /// After a 3PC master crash, the site of the cohort elected as
+    /// termination coordinator; protocol control moves there.
+    pub coordinator_site: Option<SiteId>,
+    /// Outstanding termination state reports.
+    pub pending_term_reps: usize,
+}
+
+impl Txn {
+    /// The site protocol control currently lives at: the master's home,
+    /// or the elected termination coordinator after a 3PC crash.
+    pub fn control_site(&self) -> SiteId {
+        self.coordinator_site.unwrap_or(self.home)
+    }
+}
+
+/// Cohort-side phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CohortPhase {
+    /// Created; initiation message still in flight (or, for sequential
+    /// transactions, predecessor cohorts still running).
+    Starting,
+    /// Working through the access list (may be waiting on a lock, a
+    /// disk, or a CPU).
+    Executing,
+    /// OPT: finished its work but borrowed from still-undecided
+    /// lenders, so WORKDONE is withheld (§3, "put on the shelf").
+    OnShelf,
+    /// WORKDONE sent; all locks held; waiting for PREPARE.
+    WorkDone,
+    /// Forcing the prepare record.
+    Preparing,
+    /// Prepared: voted YES, holding update locks, waiting for the
+    /// decision (lendable under OPT).
+    Prepared,
+    /// 3PC: forcing the precommit record.
+    Precommitting,
+    /// 3PC: precommit acknowledged; waiting for the final decision.
+    Precommitted,
+    /// Forcing the decision record. Terminal states are not
+    /// represented: a finished cohort is removed from the engine's map.
+    Deciding { commit: bool },
+}
+
+/// One in-flight cohort.
+#[derive(Debug)]
+pub(crate) struct Cohort {
+    /// Own id (the map key and lock-owner id; kept for debugging).
+    #[allow(dead_code)]
+    pub id: CohortId,
+    pub txn: TxnId,
+    pub site: SiteId,
+    pub accesses: Vec<Access>,
+    pub next_access: usize,
+    pub phase: CohortPhase,
+    /// Blocked on a lock right now (subset of `Executing`).
+    pub waiting_lock: bool,
+    /// When it went on the shelf (for shelf-time statistics).
+    pub shelf_since: Option<SimTime>,
+    /// When it entered the prepared state (for prepared-time statistics).
+    pub prepared_since: Option<SimTime>,
+}
+
+impl Cohort {
+    /// True once the cohort has issued every access.
+    pub fn work_complete(&self) -> bool {
+        self.next_access >= self.accesses.len()
+    }
+}

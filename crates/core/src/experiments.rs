@@ -1,0 +1,560 @@
+//! Ready-made experiment presets — one per table/figure of the paper's
+//! evaluation section (§5). See DESIGN.md for the experiment index and
+//! EXPERIMENTS.md for the paper-vs-measured record.
+//!
+//! Every preset returns an [`Experiment`]: a set of per-protocol series
+//! over the multiprogramming level, carrying full [`SimReport`]s so a
+//! single sweep yields the throughput figure *and* the companion block-
+//! and borrow-ratio figures (the paper plots them from the same runs).
+
+use crate::config::{ConfigError, SystemConfig, TransType};
+use crate::engine::Simulation;
+use crate::metrics::SimReport;
+use commitproto::ProtocolSpec;
+
+/// Run-length scaling for an experiment sweep.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Warm-up commits per run.
+    pub warmup: u64,
+    /// Measured commits per run.
+    pub measured: u64,
+    /// MPL values to sweep (the paper's x-axis, 1..10).
+    pub mpls: Vec<u32>,
+    /// Base RNG seed; each (protocol, MPL) run derives its own.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Quick scale for CI and `cargo bench` defaults.
+    pub fn quick() -> Self {
+        Scale {
+            warmup: 400,
+            measured: 4_000,
+            mpls: (1..=10).collect(),
+            seed: 42,
+        }
+    }
+
+    /// Paper scale: "each experiment having been run until at least
+    /// 50000 transactions were processed by the system".
+    pub fn full() -> Self {
+        Scale {
+            warmup: 2_000,
+            measured: 50_000,
+            mpls: (1..=10).collect(),
+            seed: 42,
+        }
+    }
+
+    /// Scale selected by the `DISTCOMMIT_FULL` environment variable
+    /// (`1`/`true` → [`Scale::full`], anything else → [`Scale::quick`]).
+    pub fn from_env() -> Self {
+        match std::env::var("DISTCOMMIT_FULL").as_deref() {
+            Ok("1") | Ok("true") => Scale::full(),
+            _ => Scale::quick(),
+        }
+    }
+
+    fn apply(&self, cfg: &SystemConfig) -> SystemConfig {
+        let mut cfg = cfg.clone();
+        cfg.run.warmup_transactions = self.warmup;
+        cfg.run.measured_transactions = self.measured;
+        cfg
+    }
+}
+
+/// One protocol's sweep over MPL.
+#[derive(Debug, Clone)]
+pub struct ProtocolSeries {
+    /// Display label (protocol name, possibly with a parameter suffix
+    /// such as `"OPT p=5%"` in the surprise-abort experiment).
+    pub label: String,
+    /// One report per MPL value, in sweep order.
+    pub points: Vec<SimReport>,
+}
+
+impl ProtocolSeries {
+    /// Peak (maximum) throughput over the sweep — the paper's headline
+    /// comparison metric.
+    pub fn peak_throughput(&self) -> f64 {
+        self.points.iter().map(|r| r.throughput).fold(0.0, f64::max)
+    }
+
+    /// The MPL at which the peak occurs.
+    pub fn peak_mpl(&self) -> u32 {
+        self.points
+            .iter()
+            .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+            .map(|r| r.mpl)
+            .unwrap_or(0)
+    }
+}
+
+/// A complete experiment: several protocol series over one workload.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Short id (`"fig1"`, `"fig3a"`, ...), matching DESIGN.md.
+    pub id: String,
+    /// Human title as in the paper's figure caption.
+    pub title: String,
+    /// The configuration common to all series (MPL varies per point).
+    pub config: SystemConfig,
+    /// The per-protocol sweeps.
+    pub series: Vec<ProtocolSeries>,
+}
+
+impl Experiment {
+    /// Find a series by label.
+    pub fn series(&self, label: &str) -> Option<&ProtocolSeries> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// MPL axis of the experiment.
+    pub fn mpls(&self) -> Vec<u32> {
+        self.series
+            .first()
+            .map(|s| s.points.iter().map(|r| r.mpl).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// Sweep `specs` over the scale's MPL axis on `cfg`.
+pub fn sweep(
+    cfg: &SystemConfig,
+    specs: &[(String, ProtocolSpec, SystemConfig)],
+    scale: &Scale,
+) -> Result<Vec<ProtocolSeries>, ConfigError> {
+    let mut out = Vec::with_capacity(specs.len());
+    for (si, (label, spec, cfg_override)) in specs.iter().enumerate() {
+        let _ = cfg; // the per-spec override already embeds the base
+        let mut points = Vec::with_capacity(scale.mpls.len());
+        for (mi, &mpl) in scale.mpls.iter().enumerate() {
+            let mut cfg = scale.apply(cfg_override);
+            cfg.mpl = mpl;
+            let seed = scale.seed ^ ((si as u64) << 32) ^ ((mi as u64) << 16);
+            points.push(Simulation::run(&cfg, *spec, seed)?);
+        }
+        out.push(ProtocolSeries {
+            label: label.clone(),
+            points,
+        });
+    }
+    Ok(out)
+}
+
+fn plain(cfg: &SystemConfig, specs: &[ProtocolSpec]) -> Vec<(String, ProtocolSpec, SystemConfig)> {
+    specs
+        .iter()
+        .map(|&s| (s.name().to_string(), s, cfg.clone()))
+        .collect()
+}
+
+/// The protocol set of Figures 1 and 2: both baselines, the four
+/// classical protocols, and OPT.
+pub fn figure12_protocols() -> Vec<ProtocolSpec> {
+    vec![
+        ProtocolSpec::CENT,
+        ProtocolSpec::DPCC,
+        ProtocolSpec::TWO_PC,
+        ProtocolSpec::PA,
+        ProtocolSpec::PC,
+        ProtocolSpec::THREE_PC,
+        ProtocolSpec::OPT_2PC,
+    ]
+}
+
+/// **Experiment 1 / Figures 1a–1c** — resource *and* data contention:
+/// the reconstructed Table 2 baseline, all seven protocol lines.
+/// Fig 1a = throughput, Fig 1b = block ratio, Fig 1c = borrow ratio.
+pub fn fig1(scale: &Scale) -> Result<Experiment, ConfigError> {
+    let cfg = SystemConfig::paper_baseline();
+    let series = sweep(&cfg, &plain(&cfg, &figure12_protocols()), scale)?;
+    Ok(Experiment {
+        id: "fig1".into(),
+        title: "Expt 1: Resource and Data Contention (RC+DC)".into(),
+        config: cfg,
+        series,
+    })
+}
+
+/// **Experiment 2 / Figures 2a–2c** — pure data contention: identical
+/// workload but infinite physical resources (§5.3).
+pub fn fig2(scale: &Scale) -> Result<Experiment, ConfigError> {
+    let cfg = SystemConfig::pure_data_contention();
+    let series = sweep(&cfg, &plain(&cfg, &figure12_protocols()), scale)?;
+    Ok(Experiment {
+        id: "fig2".into(),
+        title: "Expt 2: Pure Data Contention (DC)".into(),
+        config: cfg,
+        series,
+    })
+}
+
+/// **Experiment 3** — fast network interface (`MsgCPU` = 1 ms, §5.4),
+/// under RC+DC and under pure DC. The paper discusses this experiment
+/// in prose (graphs are in the companion TR), so the harness prints
+/// both regimes.
+pub fn expt3(scale: &Scale) -> Result<(Experiment, Experiment), ConfigError> {
+    let protocols = figure12_protocols();
+    let rc = SystemConfig::paper_baseline().fast_network();
+    let dc = SystemConfig::pure_data_contention().fast_network();
+    let rc_series = sweep(&rc, &plain(&rc, &protocols), scale)?;
+    let dc_series = sweep(&dc, &plain(&dc, &protocols), scale)?;
+    Ok((
+        Experiment {
+            id: "expt3-rcdc".into(),
+            title: "Expt 3: Fast Network Interface (RC+DC, MsgCPU = 1 ms)".into(),
+            config: rc,
+            series: rc_series,
+        },
+        Experiment {
+            id: "expt3-dc".into(),
+            title: "Expt 3: Fast Network Interface (DC, MsgCPU = 1 ms)".into(),
+            config: dc,
+            series: dc_series,
+        },
+    ))
+}
+
+/// **Experiment 4 / Figures 3a–3b** — higher degree of distribution:
+/// six cohorts of three pages (§5.5), with OPT-PC added to the lineup.
+pub fn fig3(scale: &Scale) -> Result<(Experiment, Experiment), ConfigError> {
+    let mut protocols = figure12_protocols();
+    protocols.push(ProtocolSpec::OPT_PC);
+    let rc = SystemConfig::paper_baseline().higher_distribution();
+    let dc = SystemConfig::pure_data_contention().higher_distribution();
+    let rc_series = sweep(&rc, &plain(&rc, &protocols), scale)?;
+    let dc_series = sweep(&dc, &plain(&dc, &protocols), scale)?;
+    Ok((
+        Experiment {
+            id: "fig3a".into(),
+            title: "Expt 4 / Fig 3a: Distribution = 6 (RC+DC)".into(),
+            config: rc,
+            series: rc_series,
+        },
+        Experiment {
+            id: "fig3b".into(),
+            title: "Expt 4 / Fig 3b: Distribution = 6 (DC)".into(),
+            config: dc,
+            series: dc_series,
+        },
+    ))
+}
+
+/// **Experiment 5 / Figures 4a–4b** — non-blocking OPT: 2PC, 3PC, OPT
+/// and OPT-3PC under RC+DC and pure DC (§5.6).
+pub fn fig4(scale: &Scale) -> Result<(Experiment, Experiment), ConfigError> {
+    let protocols = vec![
+        ProtocolSpec::TWO_PC,
+        ProtocolSpec::THREE_PC,
+        ProtocolSpec::OPT_2PC,
+        ProtocolSpec::OPT_3PC,
+    ];
+    let rc = SystemConfig::paper_baseline();
+    let dc = SystemConfig::pure_data_contention();
+    let rc_series = sweep(&rc, &plain(&rc, &protocols), scale)?;
+    let dc_series = sweep(&dc, &plain(&dc, &protocols), scale)?;
+    Ok((
+        Experiment {
+            id: "fig4a".into(),
+            title: "Expt 5 / Fig 4a: Non-Blocking (RC+DC)".into(),
+            config: rc,
+            series: rc_series,
+        },
+        Experiment {
+            id: "fig4b".into(),
+            title: "Expt 5 / Fig 4b: Non-Blocking (DC)".into(),
+            config: dc,
+            series: dc_series,
+        },
+    ))
+}
+
+/// **Experiment 6 / Figures 5a–5b** — surprise aborts (§5.7): cohorts
+/// vote NO with probability 1%, 5% or 10% (≈ 3%, 15%, 27% transaction
+/// abort probability at `DistDegree` 3), for 2PC, PA, OPT and OPT-PA.
+pub fn fig5(scale: &Scale) -> Result<(Experiment, Experiment), ConfigError> {
+    let protocols = [
+        ProtocolSpec::TWO_PC,
+        ProtocolSpec::PA,
+        ProtocolSpec::OPT_2PC,
+        ProtocolSpec::OPT_PA,
+    ];
+    let probs = [(0.01, "3%"), (0.05, "15%"), (0.10, "27%")];
+    let build = |base: SystemConfig| -> Vec<(String, ProtocolSpec, SystemConfig)> {
+        let mut specs = Vec::new();
+        for &(p, label) in &probs {
+            for spec in protocols {
+                let mut cfg = base.clone();
+                cfg.cohort_abort_prob = p;
+                specs.push((format!("{} abort={}", spec.name(), label), spec, cfg));
+            }
+        }
+        specs
+    };
+    let rc = SystemConfig::paper_baseline();
+    let dc = SystemConfig::pure_data_contention();
+    let rc_series = sweep(&rc, &build(rc.clone()), scale)?;
+    let dc_series = sweep(&dc, &build(dc.clone()), scale)?;
+    Ok((
+        Experiment {
+            id: "fig5a".into(),
+            title: "Expt 6 / Fig 5a: Surprise Aborts (RC+DC)".into(),
+            config: rc,
+            series: rc_series,
+        },
+        Experiment {
+            id: "fig5b".into(),
+            title: "Expt 6 / Fig 5b: Surprise Aborts (DC)".into(),
+            config: dc,
+            series: dc_series,
+        },
+    ))
+}
+
+/// **§5.7 extension** — PA vs 2PC under surprise aborts at a *higher
+/// degree of distribution* (heavily CPU-bound), where the paper found
+/// PA's savings finally "sufficient to make it perform clearly better
+/// than 2PC".
+pub fn expt6_high_distribution(scale: &Scale) -> Result<Experiment, ConfigError> {
+    let mut cfg = SystemConfig::paper_baseline().higher_distribution();
+    cfg.cohort_abort_prob = 0.10;
+    let protocols = [
+        ProtocolSpec::TWO_PC,
+        ProtocolSpec::PA,
+        ProtocolSpec::OPT_2PC,
+        ProtocolSpec::OPT_PA,
+    ];
+    let series = sweep(&cfg, &plain(&cfg, &protocols), scale)?;
+    Ok(Experiment {
+        id: "expt6x".into(),
+        title: "Expt 6 extension: Surprise Aborts at DistDegree = 6 (RC+DC)".into(),
+        config: cfg,
+        series,
+    })
+}
+
+/// **§5.8** — sequential transactions: the same baseline with cohorts
+/// executing one after another; protocol differences shrink because the
+/// commit-to-execution ratio drops.
+pub fn seq(scale: &Scale) -> Result<Experiment, ConfigError> {
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.trans_type = TransType::Sequential;
+    let protocols = vec![
+        ProtocolSpec::CENT,
+        ProtocolSpec::DPCC,
+        ProtocolSpec::TWO_PC,
+        ProtocolSpec::THREE_PC,
+        ProtocolSpec::OPT_2PC,
+    ];
+    let series = sweep(&cfg, &plain(&cfg, &protocols), scale)?;
+    Ok(Experiment {
+        id: "seq".into(),
+        title: "§5.8: Sequential Transactions (RC+DC)".into(),
+        config: cfg,
+        series,
+    })
+}
+
+/// **Failure extension** (beyond the paper, quantifying §2.4's blocking
+/// argument): throughput vs master-crash probability for 2PC, OPT,
+/// 3PC and OPT-3PC. Crashed blocking-protocol masters hold their
+/// prepared cohorts' locks for the full recovery time; 3PC cohorts
+/// detect the crash and terminate on their own.
+pub fn failures(scale: &Scale) -> Result<Experiment, ConfigError> {
+    use crate::config::FailureConfig;
+    use simkernel::SimDuration;
+    let base = SystemConfig::paper_baseline();
+    let protocols = [
+        ProtocolSpec::TWO_PC,
+        ProtocolSpec::OPT_2PC,
+        ProtocolSpec::THREE_PC,
+        ProtocolSpec::OPT_3PC,
+    ];
+    let mut specs = Vec::new();
+    for &(p, label) in &[(0.0, "0%"), (0.002, "0.2%"), (0.01, "1%"), (0.05, "5%")] {
+        for spec in protocols {
+            let mut cfg = base.clone();
+            if p > 0.0 {
+                cfg.failures = Some(FailureConfig {
+                    master_crash_prob: p,
+                    detection_timeout: SimDuration::from_millis(300),
+                    recovery_time: SimDuration::from_secs(5),
+                });
+            }
+            specs.push((format!("{} crash={}", spec.name(), label), spec, cfg));
+        }
+    }
+    // The failure sweep holds MPL fixed and varies the crash rate, so a
+    // single-MPL scale keeps the series readable.
+    let mut scale = scale.clone();
+    scale.mpls = vec![4];
+    let series = sweep(&base, &specs, &scale)?;
+    Ok(Experiment {
+        id: "failures".into(),
+        title: "Extension: Master Failures — blocking vs non-blocking".into(),
+        config: base,
+        series,
+    })
+}
+
+/// Measure the per-committed-transaction overheads in a conflict-free
+/// configuration (huge database, MPL 1) — the simulation counterpart of
+/// Tables 3 and 4, used to validate the engine against the analytic
+/// model.
+pub fn measured_overheads(
+    dist_degree: u32,
+    spec: ProtocolSpec,
+    seed: u64,
+) -> Result<SimReport, ConfigError> {
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.dist_degree = dist_degree;
+    cfg.cohort_size = if dist_degree >= 6 { 3 } else { 6 };
+    cfg.num_sites = dist_degree.max(3) as usize * 2;
+    cfg.db_size = 100_000 * cfg.num_sites as u64; // conflicts vanish
+    cfg.mpl = 1;
+    cfg.run.warmup_transactions = 50;
+    cfg.run.measured_transactions = 500;
+    Simulation::run(&cfg, spec, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            warmup: 20,
+            measured: 120,
+            mpls: vec![2],
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn sweep_produces_labeled_series() {
+        let cfg = SystemConfig::paper_baseline();
+        let specs = plain(&cfg, &[ProtocolSpec::TWO_PC, ProtocolSpec::OPT_2PC]);
+        let series = sweep(&cfg, &specs, &tiny()).unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].label, "2PC");
+        assert_eq!(series[1].label, "OPT");
+        assert_eq!(series[0].points.len(), 1);
+        assert!(series[0].points[0].throughput > 0.0);
+    }
+
+    #[test]
+    fn experiment_lookup_and_axis() {
+        let cfg = SystemConfig::paper_baseline();
+        let specs = plain(&cfg, &[ProtocolSpec::TWO_PC]);
+        let series = sweep(&cfg, &specs, &tiny()).unwrap();
+        let e = Experiment {
+            id: "t".into(),
+            title: "t".into(),
+            config: cfg,
+            series,
+        };
+        assert!(e.series("2PC").is_some());
+        assert!(e.series("nope").is_none());
+        assert_eq!(e.mpls(), vec![2]);
+    }
+
+    #[test]
+    fn peak_throughput_math() {
+        let cfg = SystemConfig::paper_baseline();
+        let mut scale = tiny();
+        scale.mpls = vec![1, 3];
+        let specs = plain(&cfg, &[ProtocolSpec::DPCC]);
+        let series = sweep(&cfg, &specs, &scale).unwrap();
+        let s = &series[0];
+        let peak = s.peak_throughput();
+        assert!(s.points.iter().all(|p| p.throughput <= peak));
+        assert!(s.points.iter().any(|p| p.mpl == s.peak_mpl()));
+    }
+
+    #[test]
+    fn scale_from_env_defaults_to_quick() {
+        // (no env var set in tests)
+        let s = Scale::from_env();
+        assert_eq!(s.measured, Scale::quick().measured);
+    }
+
+    #[test]
+    fn measured_overheads_runs_clean() {
+        let r = measured_overheads(3, ProtocolSpec::TWO_PC, 1).unwrap();
+        assert_eq!(r.total_aborts(), 0, "conflict-free config must not abort");
+        assert!(r.committed >= 500);
+    }
+
+    /// Every preset constructor produces a well-formed experiment at a
+    /// micro scale: the right series labels, one point per MPL, and
+    /// positive throughputs.
+    #[test]
+    fn all_presets_construct() {
+        let micro = Scale {
+            warmup: 5,
+            measured: 40,
+            mpls: vec![2],
+            seed: 3,
+        };
+        let check = |e: &Experiment, min_series: usize| {
+            assert!(
+                e.series.len() >= min_series,
+                "{}: {} series",
+                e.id,
+                e.series.len()
+            );
+            for s in &e.series {
+                assert_eq!(s.points.len(), 1, "{}/{}", e.id, s.label);
+                assert!(s.points[0].throughput > 0.0, "{}/{}", e.id, s.label);
+            }
+            assert!(!e.title.is_empty());
+        };
+        check(&fig1(&micro).unwrap(), 7);
+        check(&fig2(&micro).unwrap(), 7);
+        let (a, b) = expt3(&micro).unwrap();
+        check(&a, 7);
+        check(&b, 7);
+        let (a, b) = fig3(&micro).unwrap();
+        check(&a, 8); // + OPT-PC
+        check(&b, 8);
+        let (a, b) = fig4(&micro).unwrap();
+        check(&a, 4);
+        check(&b, 4);
+        let (a, b) = fig5(&micro).unwrap();
+        check(&a, 12); // 4 protocols x 3 abort levels
+        check(&b, 12);
+        check(&expt6_high_distribution(&micro).unwrap(), 4);
+        check(&seq(&micro).unwrap(), 5);
+        check(&failures(&micro).unwrap(), 16); // 4 protocols x 4 crash rates
+    }
+
+    #[test]
+    fn fig5_labels_carry_abort_levels() {
+        let micro = Scale {
+            warmup: 5,
+            measured: 30,
+            mpls: vec![1],
+            seed: 4,
+        };
+        let (rc, _) = fig5(&micro).unwrap();
+        assert!(rc.series("2PC abort=3%").is_some());
+        assert!(rc.series("OPT-PA abort=27%").is_some());
+    }
+
+    #[test]
+    fn failures_preset_pins_mpl() {
+        let micro = Scale {
+            warmup: 5,
+            measured: 30,
+            mpls: vec![1, 2, 3],
+            seed: 5,
+        };
+        let e = failures(&micro).unwrap();
+        // the failure sweep intentionally collapses the MPL axis
+        assert_eq!(e.mpls(), vec![4]);
+        assert!(e.series("2PC crash=0%").is_some());
+        assert!(e.series("OPT-3PC crash=5%").is_some());
+    }
+}

@@ -1,0 +1,340 @@
+//! Run metrics and the public simulation report.
+//!
+//! The paper's primary metric is *transaction throughput* (committed
+//! transactions per second); the secondary metrics are the *block
+//! ratio* ("the average fraction of transactions that are in the
+//! blocked state", Fig 1b/2b) and OPT's *borrow ratio* ("the average
+//! number of data items (pages) borrowed per transaction", Fig 1c/2c).
+//! We additionally report per-committed-transaction message and
+//! forced-write counts — these validate the simulator against the
+//! paper's Tables 3 and 4 — plus response times, abort breakdowns and
+//! resource utilizations.
+
+use simkernel::stats::{
+    BatchMeans, ConfidenceInterval, Counter, DurationHistogram, Tally, TimeWeighted,
+};
+use simkernel::{SimDuration, SimTime};
+
+/// Why a transaction incarnation aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// Chosen as the youngest victim of a deadlock cycle.
+    Deadlock,
+    /// A cohort voted NO in the voting phase (§5.7 surprise aborts).
+    SurpriseVote,
+    /// A lender it had borrowed from aborted (OPT's bounded abort
+    /// chain, §3.1).
+    BorrowerCascade,
+}
+
+/// Live accumulation during a run. Reset at the end of warm-up.
+#[derive(Debug)]
+pub(crate) struct Metrics {
+    pub start: SimTime,
+    pub committed: Counter,
+    pub aborted_deadlock: Counter,
+    pub aborted_surprise: Counter,
+    pub aborted_borrower: Counter,
+    pub exec_messages: Counter,
+    pub commit_messages: Counter,
+    pub forced_writes: Counter,
+    pub borrowed_pages: Counter,
+    pub master_crashes: Counter,
+    pub response: Tally,
+    pub response_hist: DurationHistogram,
+    pub attempt_response: Tally,
+    pub shelf_time: Tally,
+    pub prepared_time: Tally,
+    pub blocked_txns: TimeWeighted,
+    pub live_txns: TimeWeighted,
+    pub throughput_batches: BatchMeans,
+    batch_size: u64,
+    batch_count_in_progress: u64,
+    batch_started: SimTime,
+}
+
+impl Metrics {
+    pub fn new(now: SimTime, measured: u64, batches: u64) -> Self {
+        let batch_size = (measured / batches).max(1);
+        Metrics {
+            start: now,
+            committed: Counter::default(),
+            aborted_deadlock: Counter::default(),
+            aborted_surprise: Counter::default(),
+            aborted_borrower: Counter::default(),
+            exec_messages: Counter::default(),
+            commit_messages: Counter::default(),
+            forced_writes: Counter::default(),
+            borrowed_pages: Counter::default(),
+            master_crashes: Counter::default(),
+            response: Tally::new(),
+            response_hist: DurationHistogram::new(),
+            attempt_response: Tally::new(),
+            shelf_time: Tally::new(),
+            prepared_time: Tally::new(),
+            blocked_txns: TimeWeighted::new(now, 0.0),
+            live_txns: TimeWeighted::new(now, 0.0),
+            throughput_batches: BatchMeans::new(1), // placeholder, see below
+            batch_size,
+            batch_count_in_progress: 0,
+            batch_started: now,
+        }
+    }
+
+    /// Reset counters at the end of warm-up, preserving current levels.
+    pub fn reset(&mut self, now: SimTime) {
+        self.start = now;
+        self.committed = Counter::default();
+        self.aborted_deadlock = Counter::default();
+        self.aborted_surprise = Counter::default();
+        self.aborted_borrower = Counter::default();
+        self.exec_messages = Counter::default();
+        self.commit_messages = Counter::default();
+        self.forced_writes = Counter::default();
+        self.borrowed_pages = Counter::default();
+        self.master_crashes = Counter::default();
+        self.response = Tally::new();
+        self.response_hist = DurationHistogram::new();
+        self.attempt_response = Tally::new();
+        self.shelf_time = Tally::new();
+        self.prepared_time = Tally::new();
+        self.blocked_txns.reset(now);
+        self.live_txns.reset(now);
+        self.throughput_batches = BatchMeans::new(1);
+        self.batch_count_in_progress = 0;
+        self.batch_started = now;
+    }
+
+    /// Record a commit at `now` with the given response times.
+    pub fn record_commit(&mut self, now: SimTime, response: SimDuration, attempt: SimDuration) {
+        self.committed.bump();
+        self.response.record_duration(response);
+        self.response_hist.record(response);
+        self.attempt_response.record_duration(attempt);
+        // Throughput batches: every `batch_size` commits, record the
+        // batch's rate as one sample.
+        self.batch_count_in_progress += 1;
+        if self.batch_count_in_progress == self.batch_size {
+            let span = now.since(self.batch_started).as_secs_f64();
+            if span > 0.0 {
+                self.throughput_batches
+                    .record(self.batch_size as f64 / span);
+            }
+            self.batch_count_in_progress = 0;
+            self.batch_started = now;
+        }
+    }
+
+    pub fn record_abort(&mut self, reason: AbortReason) {
+        match reason {
+            AbortReason::Deadlock => self.aborted_deadlock.bump(),
+            AbortReason::SurpriseVote => self.aborted_surprise.bump(),
+            AbortReason::BorrowerCascade => self.aborted_borrower.bump(),
+        }
+    }
+}
+
+/// Per-resource-class mean utilization over the measurement window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Utilizations {
+    /// CPUs, averaged over all sites.
+    pub cpu: f64,
+    /// Data disks, averaged over all sites and disks.
+    pub data_disk: f64,
+    /// Log disks, averaged over all sites and disks.
+    pub log_disk: f64,
+}
+
+/// The result of one simulation run — everything the experiment
+/// harness and the figures need.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Protocol name (paper spelling, e.g. "OPT-3PC").
+    pub protocol: String,
+    /// Per-site multiprogramming level of the run.
+    pub mpl: u32,
+    /// Length of the measurement window in simulated seconds.
+    pub sim_seconds: f64,
+    /// Transactions committed inside the window.
+    pub committed: u64,
+    /// Deadlock-victim aborts inside the window.
+    pub aborted_deadlock: u64,
+    /// Surprise-vote aborts inside the window.
+    pub aborted_surprise: u64,
+    /// Borrower-cascade aborts inside the window (OPT only).
+    pub aborted_borrower: u64,
+    /// Committed transactions per second.
+    pub throughput: f64,
+    /// Batch-means 90% confidence interval on the throughput.
+    pub throughput_ci: ConfidenceInterval,
+    /// Mean response time (submission to master commit decision,
+    /// restarts included), seconds.
+    pub mean_response_s: f64,
+    /// Median response time, seconds (±6.25% bucket resolution).
+    pub p50_response_s: f64,
+    /// 95th-percentile response time, seconds.
+    pub p95_response_s: f64,
+    /// 99th-percentile response time, seconds.
+    pub p99_response_s: f64,
+    /// Mean per-incarnation response time, seconds.
+    pub mean_attempt_response_s: f64,
+    /// Time-average of (blocked transactions / live transactions).
+    pub block_ratio: f64,
+    /// Pages borrowed per committed transaction (0 unless OPT).
+    pub borrow_ratio: f64,
+    /// Execution-phase messages per committed transaction.
+    pub exec_messages_per_commit: f64,
+    /// Commit-phase messages per committed transaction.
+    pub commit_messages_per_commit: f64,
+    /// Forced log writes per committed transaction.
+    pub forced_writes_per_commit: f64,
+    /// Mean time cohorts spent on the OPT shelf, seconds.
+    pub mean_shelf_time_s: f64,
+    /// Mean time cohorts spent in the prepared state, seconds.
+    pub mean_prepared_time_s: f64,
+    /// Resource utilizations over the window.
+    pub utilizations: Utilizations,
+    /// Mean forced writes per log-disk service (1.0 without group
+    /// commit; higher when batching actually groups writes; 0 when no
+    /// log write completed).
+    pub mean_log_batch: f64,
+    /// Masters crashed at their decision point inside the window
+    /// (failure injection; 0 in the paper's no-failure experiments).
+    pub master_crashes: u64,
+    /// Total simulation events dispatched (diagnostics).
+    pub events: u64,
+}
+
+impl SimReport {
+    /// Committed transactions per second — the paper's headline metric.
+    pub fn throughput(&self) -> f64 {
+        self.throughput
+    }
+
+    /// All aborts inside the window.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborted_deadlock + self.aborted_surprise + self.aborted_borrower
+    }
+
+    /// Fraction of incarnations that aborted.
+    pub fn abort_fraction(&self) -> f64 {
+        let attempts = self.committed + self.total_aborts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / attempts as f64
+        }
+    }
+
+    /// One-line summary for logs and examples.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<8} MPL {:>2}: {:>7.2} txn/s (±{:>4.1}%), resp {:>6.3}s, block {:>5.3}, borrow {:>5.3}, aborts {:.1}%",
+            self.protocol,
+            self.mpl,
+            self.throughput,
+            self.throughput_ci.relative_half_width() * 100.0,
+            self.mean_response_s,
+            self.block_ratio,
+            self.borrow_ratio,
+            self.abort_fraction() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn metrics_batching_produces_throughput_samples() {
+        let mut m = Metrics::new(SimTime::ZERO, 100, 10);
+        let mut t = 0;
+        for _ in 0..100 {
+            t += 100; // one commit per 100 ms => 10 txn/s
+            m.record_commit(
+                at(t),
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(50),
+            );
+        }
+        let ci = m.throughput_batches.confidence_interval();
+        assert_eq!(ci.batches, 10);
+        assert!((ci.mean - 10.0).abs() < 1e-9, "mean {}", ci.mean);
+        assert!(ci.half_width < 1e-9);
+    }
+
+    #[test]
+    fn metrics_reset_clears_counts() {
+        let mut m = Metrics::new(SimTime::ZERO, 100, 10);
+        m.record_commit(
+            at(5),
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(5),
+        );
+        m.record_abort(AbortReason::Deadlock);
+        m.exec_messages.add(4);
+        m.reset(at(10));
+        assert_eq!(m.committed.get(), 0);
+        assert_eq!(m.aborted_deadlock.get(), 0);
+        assert_eq!(m.exec_messages.get(), 0);
+        assert_eq!(m.response.count(), 0);
+        assert_eq!(m.start, at(10));
+    }
+
+    #[test]
+    fn abort_reasons_are_split() {
+        let mut m = Metrics::new(SimTime::ZERO, 10, 2);
+        m.record_abort(AbortReason::Deadlock);
+        m.record_abort(AbortReason::SurpriseVote);
+        m.record_abort(AbortReason::SurpriseVote);
+        m.record_abort(AbortReason::BorrowerCascade);
+        assert_eq!(m.aborted_deadlock.get(), 1);
+        assert_eq!(m.aborted_surprise.get(), 2);
+        assert_eq!(m.aborted_borrower.get(), 1);
+    }
+
+    #[test]
+    fn report_derived_quantities() {
+        let r = SimReport {
+            protocol: "2PC".into(),
+            mpl: 4,
+            sim_seconds: 100.0,
+            committed: 900,
+            aborted_deadlock: 50,
+            aborted_surprise: 25,
+            aborted_borrower: 25,
+            throughput: 9.0,
+            throughput_ci: ConfidenceInterval {
+                mean: 9.0,
+                half_width: 0.5,
+                batches: 10,
+            },
+            mean_response_s: 0.4,
+            p50_response_s: 0.35,
+            p95_response_s: 0.9,
+            p99_response_s: 1.4,
+            mean_attempt_response_s: 0.3,
+            block_ratio: 0.2,
+            borrow_ratio: 0.0,
+            exec_messages_per_commit: 4.0,
+            commit_messages_per_commit: 8.0,
+            forced_writes_per_commit: 7.0,
+            mean_shelf_time_s: 0.0,
+            mean_prepared_time_s: 0.05,
+            utilizations: Utilizations::default(),
+            mean_log_batch: 1.0,
+            master_crashes: 0,
+            events: 1,
+        };
+        assert_eq!(r.total_aborts(), 100);
+        assert!((r.abort_fraction() - 0.1).abs() < 1e-12);
+        let s = r.summary();
+        assert!(s.contains("2PC"));
+        assert!(s.contains("9.00"));
+    }
+}

@@ -1,0 +1,303 @@
+//! Plain-text rendering of experiment results: the "same rows/series
+//! the paper reports", as protocol × MPL tables plus CSV for plotting.
+
+use crate::experiments::Experiment;
+use crate::metrics::SimReport;
+use std::fmt::Write as _;
+
+/// A metric extracted from a [`SimReport`] for tabulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Committed transactions per second (Figs 1a, 2a, 3a/b, 4a/b, 5a/b).
+    Throughput,
+    /// Fraction of transactions blocked (Figs 1b, 2b).
+    BlockRatio,
+    /// Pages borrowed per transaction (Figs 1c, 2c).
+    BorrowRatio,
+    /// Mean response time in seconds.
+    ResponseTime,
+    /// 95th-percentile response time in seconds.
+    ResponseP95,
+    /// Fraction of incarnations aborted.
+    AbortFraction,
+    /// Forced log writes per committed transaction.
+    ForcedWritesPerCommit,
+    /// Total messages per committed transaction.
+    MessagesPerCommit,
+}
+
+impl Metric {
+    /// Column header / figure-axis label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::Throughput => "Throughput (txn/s)",
+            Metric::BlockRatio => "Block ratio",
+            Metric::BorrowRatio => "Borrow ratio (pages/txn)",
+            Metric::ResponseTime => "Mean response (s)",
+            Metric::ResponseP95 => "p95 response (s)",
+            Metric::AbortFraction => "Abort fraction",
+            Metric::ForcedWritesPerCommit => "Forced writes / commit",
+            Metric::MessagesPerCommit => "Messages / commit",
+        }
+    }
+
+    /// Extract the metric from a report.
+    pub fn of(self, r: &SimReport) -> f64 {
+        match self {
+            Metric::Throughput => r.throughput,
+            Metric::BlockRatio => r.block_ratio,
+            Metric::BorrowRatio => r.borrow_ratio,
+            Metric::ResponseTime => r.mean_response_s,
+            Metric::ResponseP95 => r.p95_response_s,
+            Metric::AbortFraction => r.abort_fraction(),
+            Metric::ForcedWritesPerCommit => r.forced_writes_per_commit,
+            Metric::MessagesPerCommit => r.exec_messages_per_commit + r.commit_messages_per_commit,
+        }
+    }
+}
+
+/// Render one metric of an experiment as an aligned text table with
+/// MPL rows and one column per protocol series.
+pub fn render_table(exp: &Experiment, metric: Metric) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} — {} ==", exp.title, metric.label());
+    let width = exp
+        .series
+        .iter()
+        .map(|s| s.label.len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    let _ = write!(out, "{:>6}", "MPL");
+    for s in &exp.series {
+        let _ = write!(out, " {:>width$}", s.label, width = width);
+    }
+    let _ = writeln!(out);
+    let mpls = exp.mpls();
+    for (i, mpl) in mpls.iter().enumerate() {
+        let _ = write!(out, "{mpl:>6}");
+        for s in &exp.series {
+            let v = s.points.get(i).map(|r| metric.of(r)).unwrap_or(f64::NAN);
+            let _ = write!(out, " {:>width$.3}", v, width = width);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Render one metric as CSV (`mpl,<series...>`), for plotting.
+pub fn render_csv(exp: &Experiment, metric: Metric) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "mpl");
+    for s in &exp.series {
+        let _ = write!(out, ",{}", s.label.replace(',', ";"));
+    }
+    let _ = writeln!(out);
+    for (i, mpl) in exp.mpls().iter().enumerate() {
+        let _ = write!(out, "{mpl}");
+        for s in &exp.series {
+            let v = s.points.get(i).map(|r| metric.of(r)).unwrap_or(f64::NAN);
+            let _ = write!(out, ",{v:.6}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Render one metric of an experiment as an ASCII chart in the style
+/// of the paper's figures: MPL on the x-axis, one glyph per protocol
+/// series, linear y-axis from zero.
+pub fn render_ascii_chart(exp: &Experiment, metric: Metric, width: usize, height: usize) -> String {
+    const GLYPHS: &[u8] = b"*+xo#@%&$~^=";
+    let width = width.max(20);
+    let height = height.max(5);
+    let mpls = exp.mpls();
+    if mpls.is_empty() || exp.series.is_empty() {
+        return format!("== {} — {} ==\n(no data)\n", exp.title, metric.label());
+    }
+    let max_val = exp
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|r| metric.of(r)))
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+    let min_mpl = *mpls.first().expect("non-empty") as f64;
+    let max_mpl = *mpls.last().expect("non-empty") as f64;
+    let x_span = (max_mpl - min_mpl).max(1e-9);
+
+    let mut grid = vec![vec![b' '; width]; height];
+    for (si, s) in exp.series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for r in &s.points {
+            let v = metric.of(r);
+            if !v.is_finite() {
+                continue;
+            }
+            let x = ((r.mpl as f64 - min_mpl) / x_span * (width - 1) as f64).round() as usize;
+            let y = (v / max_val * (height - 1) as f64).round() as usize;
+            let row = height - 1 - y.min(height - 1);
+            grid[row][x.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} — {} ==", exp.title, metric.label());
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{max_val:>8.1} |")
+        } else if i == height - 1 {
+            format!("{:>8.1} |", 0.0)
+        } else {
+            format!("{:>8} |", "")
+        };
+        let _ = writeln!(out, "{label}{}", String::from_utf8_lossy(row));
+    }
+    let _ = writeln!(out, "{:>9}+{}", "", "-".repeat(width));
+    let _ = writeln!(out, "{:>10}MPL {min_mpl:.0} .. {max_mpl:.0}", "");
+    for (si, s) in exp.series.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>10}{} {}",
+            "",
+            GLYPHS[si % GLYPHS.len()] as char,
+            s.label
+        );
+    }
+    out
+}
+
+/// Per-series peak-throughput summary — the comparison the paper's
+/// conclusions are phrased in.
+pub fn render_peaks(exp: &Experiment) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "-- {}: peak throughput --", exp.title);
+    for s in &exp.series {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8.2} txn/s at MPL {}",
+            s.label,
+            s.peak_throughput(),
+            s.peak_mpl()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::experiments::{sweep, Scale};
+    use commitproto::ProtocolSpec;
+
+    fn tiny_experiment() -> Experiment {
+        let cfg = SystemConfig::paper_baseline();
+        let scale = Scale {
+            warmup: 10,
+            measured: 80,
+            mpls: vec![1, 2],
+            seed: 3,
+        };
+        let specs = vec![
+            ("2PC".to_string(), ProtocolSpec::TWO_PC, cfg.clone()),
+            ("OPT".to_string(), ProtocolSpec::OPT_2PC, cfg.clone()),
+        ];
+        Experiment {
+            id: "test".into(),
+            title: "test experiment".into(),
+            config: cfg.clone(),
+            series: sweep(&cfg, &specs, &scale).unwrap(),
+        }
+    }
+
+    #[test]
+    fn table_contains_all_series_and_mpls() {
+        let e = tiny_experiment();
+        let t = render_table(&e, Metric::Throughput);
+        assert!(t.contains("2PC"));
+        assert!(t.contains("OPT"));
+        assert!(t.contains("Throughput"));
+        assert_eq!(t.lines().count(), 2 + 2); // header + title + 2 MPL rows
+    }
+
+    #[test]
+    fn csv_is_rectangular() {
+        let e = tiny_experiment();
+        let csv = render_csv(&e, Metric::BlockRatio);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), 3);
+        for line in lines {
+            assert_eq!(line.split(',').count(), 3, "ragged row: {line}");
+        }
+    }
+
+    #[test]
+    fn ascii_chart_has_axes_legend_and_marks() {
+        let e = tiny_experiment();
+        let chart = render_ascii_chart(&e, Metric::Throughput, 40, 10);
+        assert!(chart.contains("Throughput"));
+        assert!(chart.contains("* 2PC"));
+        assert!(chart.contains("+ OPT"));
+        assert!(chart.contains("MPL 1 .. 2"));
+        assert!(chart.contains('|'));
+        assert!(chart.contains('+'));
+        // marks actually plotted
+        assert!(chart.contains('*'));
+        // y axis starts at zero
+        assert!(chart.contains("     0.0 |"));
+    }
+
+    #[test]
+    fn ascii_chart_clamps_tiny_dimensions() {
+        let e = tiny_experiment();
+        let chart = render_ascii_chart(&e, Metric::BlockRatio, 1, 1);
+        // clamped to minimum size rather than panicking
+        assert!(chart.lines().count() >= 5);
+    }
+
+    #[test]
+    fn ascii_chart_handles_empty_experiment() {
+        let e = Experiment {
+            id: "empty".into(),
+            title: "empty".into(),
+            config: SystemConfig::paper_baseline(),
+            series: vec![],
+        };
+        let chart = render_ascii_chart(&e, Metric::Throughput, 30, 8);
+        assert!(chart.contains("(no data)"));
+    }
+
+    #[test]
+    fn peaks_mention_every_series() {
+        let e = tiny_experiment();
+        let p = render_peaks(&e);
+        assert!(p.contains("2PC"));
+        assert!(p.contains("OPT"));
+        assert!(p.contains("txn/s"));
+    }
+
+    #[test]
+    fn metric_extraction_is_consistent() {
+        let e = tiny_experiment();
+        let r = &e.series[0].points[0];
+        assert_eq!(Metric::Throughput.of(r), r.throughput);
+        assert_eq!(
+            Metric::MessagesPerCommit.of(r),
+            r.exec_messages_per_commit + r.commit_messages_per_commit
+        );
+        for m in [
+            Metric::Throughput,
+            Metric::BlockRatio,
+            Metric::BorrowRatio,
+            Metric::ResponseTime,
+            Metric::ResponseP95,
+            Metric::AbortFraction,
+            Metric::ForcedWritesPerCommit,
+            Metric::MessagesPerCommit,
+        ] {
+            assert!(!m.label().is_empty());
+            assert!(m.of(r).is_finite());
+        }
+    }
+}

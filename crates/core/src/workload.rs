@@ -1,0 +1,421 @@
+//! Workload generation (§4 / §4.1 of the paper).
+//!
+//! The database is `DBSize` pages uniformly distributed across the
+//! sites. Each transaction is a master plus `DistDegree` cohorts: one
+//! at the originating site and the rest at distinct random remote
+//! sites. Each cohort accesses `U[0.5, 1.5] × CohortSize` pages chosen
+//! at random from the pages of its site, updating each with probability
+//! `UpdateProb`. An aborted transaction re-executes the *same* access
+//! lists, which is why the template is kept for the transaction's whole
+//! lifetime.
+
+use crate::config::{HotSpot, SystemConfig};
+use commitproto::BaseProtocol;
+use simkernel::SimRng;
+
+/// A site index, `0 .. num_sites`.
+pub type SiteId = usize;
+
+/// One page access in a cohort's plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Global page id (`site * pages_per_site + local index`).
+    pub page: u64,
+    /// Whether the page is updated (update lock) or only read.
+    pub update: bool,
+}
+
+/// The immutable plan of one transaction: where its cohorts run and
+/// what each accesses. Restarted incarnations reuse the template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnTemplate {
+    /// The originating site (master and first cohort live here).
+    pub home: SiteId,
+    /// One entry per cohort; `sites[0] == home`.
+    pub sites: Vec<SiteId>,
+    /// Access list per cohort, parallel to `sites`.
+    pub accesses: Vec<Vec<Access>>,
+}
+
+impl TxnTemplate {
+    /// Total pages accessed across all cohorts.
+    pub fn total_pages(&self) -> usize {
+        self.accesses.iter().map(Vec::len).sum()
+    }
+
+    /// Total pages updated across all cohorts.
+    pub fn total_updates(&self) -> usize {
+        self.accesses.iter().flatten().filter(|a| a.update).count()
+    }
+}
+
+/// Generates transaction templates for a fixed configuration.
+#[derive(Debug)]
+pub struct WorkloadGenerator {
+    pages_per_site: u64,
+    num_sites: usize,
+    dist_degree: u32,
+    cohort_size: u32,
+    update_prob: f64,
+    hot_spot: Option<HotSpot>,
+    centralized: bool,
+}
+
+impl WorkloadGenerator {
+    /// Build a generator for `cfg` running under `base` (the
+    /// centralized baseline folds the whole database into one site and
+    /// one cohort, §5.1).
+    pub fn new(cfg: &SystemConfig, base: BaseProtocol) -> Self {
+        WorkloadGenerator {
+            pages_per_site: cfg.pages_per_site(),
+            num_sites: cfg.num_sites,
+            dist_degree: cfg.dist_degree,
+            cohort_size: cfg.cohort_size,
+            update_prob: cfg.update_prob,
+            hot_spot: cfg.hot_spot,
+            centralized: base == BaseProtocol::Centralized,
+        }
+    }
+
+    /// Draw a site-local page index, applying the hot-spot rule when
+    /// configured.
+    fn local_page(&self, rng: &mut SimRng) -> u64 {
+        match self.hot_spot {
+            None => rng.uniform_u64(0, self.pages_per_site - 1),
+            Some(h) => {
+                let hot = ((self.pages_per_site as f64 * h.data_fraction) as u64)
+                    .clamp(1, self.pages_per_site - 1);
+                if rng.chance(h.access_fraction) {
+                    rng.uniform_u64(0, hot - 1)
+                } else {
+                    rng.uniform_u64(hot, self.pages_per_site - 1)
+                }
+            }
+        }
+    }
+
+    /// Number of sites the engine should instantiate (1 for CENT).
+    pub fn effective_sites(&self) -> usize {
+        if self.centralized {
+            1
+        } else {
+            self.num_sites
+        }
+    }
+
+    /// Generate a fresh template originating at `home`.
+    ///
+    /// For the CENT baseline `home` must be 0 and the transaction keeps
+    /// its `DistDegree`-cohort structure — all cohorts local to the one
+    /// merged site, with distinct pages drawn from the whole database.
+    /// §5.1 defines CENT as "equivalent (in terms of database size and
+    /// physical resources)": the workload is unchanged, only messages
+    /// and distributed commit processing disappear.
+    pub fn generate(&self, home: SiteId, rng: &mut SimRng) -> TxnTemplate {
+        if self.centralized {
+            assert_eq!(home, 0, "CENT has a single merged site");
+            let mut taken = std::collections::HashSet::new();
+            let mut accesses = Vec::with_capacity(self.dist_degree as usize);
+            for _ in 0..self.dist_degree {
+                let n = rng.around_mean(self.cohort_size) as usize;
+                let mut cohort = Vec::with_capacity(n);
+                for _ in 0..n {
+                    // distinct pages across the whole transaction, so
+                    // sibling cohorts never self-conflict; drawn as
+                    // (uniform virtual site, hot-or-cold local page) so
+                    // CENT sees the same access distribution as the
+                    // distributed system
+                    loop {
+                        let site = rng.uniform_u64(0, self.num_sites as u64 - 1);
+                        let p = site * self.pages_per_site + self.local_page(rng);
+                        if taken.insert(p) {
+                            cohort.push(Access {
+                                page: p,
+                                update: rng.chance(self.update_prob),
+                            });
+                            break;
+                        }
+                    }
+                }
+                accesses.push(cohort);
+            }
+            let sites = vec![0; self.dist_degree as usize];
+            return TxnTemplate {
+                home: 0,
+                sites,
+                accesses,
+            };
+        }
+
+        let mut sites = Vec::with_capacity(self.dist_degree as usize);
+        sites.push(home);
+        if self.dist_degree > 1 {
+            // Remote sites: distinct, uniform over the other sites.
+            let picks = rng.sample_distinct(self.num_sites - 1, self.dist_degree as usize - 1);
+            for p in picks {
+                // map 0..num_sites-1 onto all sites except `home`
+                let site = if p < home { p } else { p + 1 };
+                sites.push(site);
+            }
+        }
+        let accesses = sites
+            .iter()
+            .map(|&s| self.cohort_accesses(s, rng))
+            .collect();
+        TxnTemplate {
+            home,
+            sites,
+            accesses,
+        }
+    }
+
+    fn cohort_accesses(&self, site: SiteId, rng: &mut SimRng) -> Vec<Access> {
+        let n = rng.around_mean(self.cohort_size) as usize;
+        let base = site as u64 * self.pages_per_site;
+        if self.hot_spot.is_none() {
+            return rng
+                .sample_distinct(self.pages_per_site as usize, n)
+                .into_iter()
+                .map(|local| Access {
+                    page: base + local as u64,
+                    update: rng.chance(self.update_prob),
+                })
+                .collect();
+        }
+        // Skewed draw with rejection for distinctness (the hot region
+        // always holds at least one full cohort, see config validation).
+        let mut taken = std::collections::HashSet::with_capacity(n);
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let local = self.local_page(rng);
+            if taken.insert(local) {
+                out.push(Access {
+                    page: base + local,
+                    update: rng.chance(self.update_prob),
+                });
+            }
+        }
+        out
+    }
+
+    /// The site a global page id lives on.
+    pub fn site_of_page(&self, page: u64) -> SiteId {
+        if self.centralized {
+            0
+        } else {
+            (page / self.pages_per_site) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn gen(base: BaseProtocol) -> (WorkloadGenerator, SimRng) {
+        let cfg = SystemConfig::paper_baseline();
+        (WorkloadGenerator::new(&cfg, base), SimRng::new(7))
+    }
+
+    #[test]
+    fn template_shape_matches_config() {
+        let (g, mut rng) = gen(BaseProtocol::TwoPC);
+        for home in 0..8 {
+            let t = g.generate(home, &mut rng);
+            assert_eq!(t.home, home);
+            assert_eq!(t.sites.len(), 3);
+            assert_eq!(t.sites[0], home);
+            assert_eq!(t.accesses.len(), 3);
+            // distinct sites
+            let set: HashSet<_> = t.sites.iter().collect();
+            assert_eq!(set.len(), 3);
+        }
+    }
+
+    #[test]
+    fn cohort_sizes_in_paper_range() {
+        let (g, mut rng) = gen(BaseProtocol::TwoPC);
+        for _ in 0..200 {
+            let t = g.generate(0, &mut rng);
+            for acc in &t.accesses {
+                assert!((3..=9).contains(&acc.len()), "cohort size {}", acc.len());
+            }
+        }
+    }
+
+    #[test]
+    fn accesses_live_on_their_cohort_site() {
+        let (g, mut rng) = gen(BaseProtocol::TwoPC);
+        for _ in 0..50 {
+            let t = g.generate(2, &mut rng);
+            for (i, &site) in t.sites.iter().enumerate() {
+                for a in &t.accesses[i] {
+                    assert_eq!(g.site_of_page(a.page), site);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pages_distinct_within_cohort() {
+        let (g, mut rng) = gen(BaseProtocol::TwoPC);
+        for _ in 0..50 {
+            let t = g.generate(1, &mut rng);
+            for acc in &t.accesses {
+                let set: HashSet<_> = acc.iter().map(|a| a.page).collect();
+                assert_eq!(set.len(), acc.len());
+            }
+        }
+    }
+
+    #[test]
+    fn update_prob_one_updates_everything() {
+        let (g, mut rng) = gen(BaseProtocol::TwoPC);
+        let t = g.generate(0, &mut rng);
+        assert_eq!(t.total_updates(), t.total_pages());
+    }
+
+    #[test]
+    fn update_prob_zero_updates_nothing() {
+        let mut cfg = SystemConfig::paper_baseline();
+        cfg.update_prob = 0.0;
+        let g = WorkloadGenerator::new(&cfg, BaseProtocol::TwoPC);
+        let mut rng = SimRng::new(3);
+        let t = g.generate(0, &mut rng);
+        assert_eq!(t.total_updates(), 0);
+    }
+
+    #[test]
+    fn remote_sites_cover_all_sites_eventually() {
+        let (g, mut rng) = gen(BaseProtocol::TwoPC);
+        let mut seen = HashSet::new();
+        for _ in 0..500 {
+            let t = g.generate(3, &mut rng);
+            seen.extend(t.sites.iter().copied());
+        }
+        assert_eq!(seen.len(), 8, "all sites should appear as cohort sites");
+    }
+
+    #[test]
+    fn centralized_folds_into_one_site() {
+        let (g, mut rng) = gen(BaseProtocol::Centralized);
+        assert_eq!(g.effective_sites(), 1);
+        for _ in 0..100 {
+            let t = g.generate(0, &mut rng);
+            // The cohort structure survives (§5.1: only distribution
+            // overheads disappear), all cohorts on the merged site.
+            assert_eq!(t.sites, vec![0, 0, 0]);
+            assert_eq!(t.accesses.len(), 3);
+            assert!((9..=27).contains(&t.total_pages()), "{}", t.total_pages());
+            // pages distinct across the *whole* transaction so sibling
+            // cohorts never self-conflict
+            let set: HashSet<_> = t.accesses.iter().flatten().map(|a| a.page).collect();
+            assert_eq!(set.len(), t.total_pages());
+            assert_eq!(g.site_of_page(t.accesses[0][0].page), 0);
+        }
+    }
+
+    #[test]
+    fn dpcc_keeps_distribution() {
+        let (g, _) = gen(BaseProtocol::Dpcc);
+        assert_eq!(g.effective_sites(), 8);
+    }
+
+    #[test]
+    fn hot_spot_skews_accesses() {
+        use crate::config::HotSpot;
+        let mut cfg = SystemConfig::paper_baseline();
+        cfg.hot_spot = Some(HotSpot {
+            data_fraction: 0.2,
+            access_fraction: 0.8,
+        });
+        cfg.validate().unwrap();
+        let g = WorkloadGenerator::new(&cfg, BaseProtocol::TwoPC);
+        let mut rng = SimRng::new(31);
+        let hot_bound = (cfg.pages_per_site() as f64 * 0.2) as u64;
+        let mut hot = 0usize;
+        let mut total = 0usize;
+        for _ in 0..500 {
+            let t = g.generate(0, &mut rng);
+            for (i, &site) in t.sites.iter().enumerate() {
+                let base = site as u64 * cfg.pages_per_site();
+                for a in &t.accesses[i] {
+                    assert_eq!(g.site_of_page(a.page), site);
+                    if a.page - base < hot_bound {
+                        hot += 1;
+                    }
+                    total += 1;
+                }
+            }
+        }
+        let frac = hot as f64 / total as f64;
+        assert!(
+            (frac - 0.8).abs() < 0.05,
+            "hot fraction {frac:.3}, expected ≈ 0.8"
+        );
+    }
+
+    #[test]
+    fn hot_spot_applies_to_cent_equivalently() {
+        use crate::config::HotSpot;
+        let mut cfg = SystemConfig::paper_baseline();
+        cfg.hot_spot = Some(HotSpot {
+            data_fraction: 0.2,
+            access_fraction: 0.8,
+        });
+        let g = WorkloadGenerator::new(&cfg, BaseProtocol::Centralized);
+        let mut rng = SimRng::new(37);
+        let pps = cfg.pages_per_site();
+        let hot_bound = (pps as f64 * 0.2) as u64;
+        let mut hot = 0usize;
+        let mut total = 0usize;
+        for _ in 0..500 {
+            let t = g.generate(0, &mut rng);
+            for a in t.accesses.iter().flatten() {
+                if a.page % pps < hot_bound {
+                    hot += 1;
+                }
+                total += 1;
+            }
+        }
+        let frac = hot as f64 / total as f64;
+        assert!((frac - 0.8).abs() < 0.05, "CENT hot fraction {frac:.3}");
+    }
+
+    #[test]
+    fn hot_spot_validation() {
+        use crate::config::HotSpot;
+        let mut cfg = SystemConfig::paper_baseline();
+        cfg.hot_spot = Some(HotSpot {
+            data_fraction: 0.0,
+            access_fraction: 0.8,
+        });
+        assert!(cfg.validate().is_err());
+        cfg.hot_spot = Some(HotSpot {
+            data_fraction: 0.2,
+            access_fraction: 1.0,
+        });
+        assert!(cfg.validate().is_err());
+        // hot region smaller than a max-size cohort
+        cfg.hot_spot = Some(HotSpot {
+            data_fraction: 0.005,
+            access_fraction: 0.8,
+        });
+        assert!(cfg.validate().is_err());
+        cfg.hot_spot = Some(HotSpot {
+            data_fraction: 0.2,
+            access_fraction: 0.8,
+        });
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (g, mut r1) = gen(BaseProtocol::TwoPC);
+        let mut r2 = SimRng::new(7);
+        let a = g.generate(0, &mut r1);
+        let b = g.generate(0, &mut r2);
+        assert_eq!(a, b);
+    }
+}

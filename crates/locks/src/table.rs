@@ -1,0 +1,1194 @@
+//! The per-site lock table.
+//!
+//! Semantics implemented (paper §3, §4.2):
+//!
+//! * **Modes**: `Read` and `Update`; read–read is the only compatible
+//!   pair. Transactions "set read locks on pages that they read and
+//!   update locks on pages that need to be updated".
+//! * **Strictness**: locks are released only by the explicit release
+//!   calls driven by the commit protocol (read locks at PREPARE
+//!   receipt, update locks when the global decision is implemented).
+//! * **Fairness**: one FCFS queue per page; a new request never
+//!   bypasses a non-empty queue, and on release the queue head is
+//!   granted greedily (consecutive compatible requests are granted
+//!   together so concurrent readers batch).
+//! * **Upgrades**: a holder of a read lock may request an update lock;
+//!   upgrades are checked against the *holders only* (they do not go to
+//!   the back of the queue, the standard treatment that avoids trivial
+//!   self-deadlock through one's own read lock).
+//! * **Lending (OPT)**: when `opt_lending` is on, a conflicting holder
+//!   that is in the *prepared* state does not block the requester; the
+//!   grant is recorded as a borrow edge lender → borrower. Lending
+//!   never bypasses the FCFS queue.
+//!
+//! The table never schedules events and never decides policy: all
+//! outcomes (grants released by state changes, borrowers to abort) are
+//! returned to the caller.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A page (data item) identifier, unique within a site.
+pub type PageId = u64;
+
+/// A lock-owner identifier — in the engine, a cohort. Unique across the
+/// whole system.
+pub type OwnerId = u64;
+
+/// Lock mode under strict 2PL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LockMode {
+    /// Shared access.
+    Read,
+    /// Exclusive access (the paper's "update lock").
+    Update,
+}
+
+impl LockMode {
+    /// Read–read is the only compatible pair.
+    #[inline]
+    pub fn compatible(self, other: LockMode) -> bool {
+        self == LockMode::Read && other == LockMode::Read
+    }
+}
+
+/// Outcome of [`LockManager::request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Lock granted. `borrowed_from` lists the prepared lenders whose
+    /// conflicting locks were borrowed through (empty for a plain
+    /// grant).
+    Granted { borrowed_from: Vec<OwnerId> },
+    /// The owner already holds the page in this or a stronger mode.
+    AlreadyHeld,
+    /// The request queued. `blockers` is the current set of owners the
+    /// requester waits for (conflicting holders plus conflicting queued
+    /// requests ahead of it) — the engine feeds these to the deadlock
+    /// detector.
+    Blocked { blockers: Vec<OwnerId> },
+}
+
+/// A grant released by a state change (release, abort, prepare).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grant {
+    /// The owner whose waiting request was just granted.
+    pub owner: OwnerId,
+    /// The granted page.
+    pub page: PageId,
+    /// The granted mode.
+    pub mode: LockMode,
+    /// Prepared lenders borrowed through (empty for a plain grant).
+    pub borrowed_from: Vec<OwnerId>,
+}
+
+#[derive(Debug, Clone)]
+struct Holder {
+    owner: OwnerId,
+    mode: LockMode,
+}
+
+#[derive(Debug, Clone)]
+struct WaitReq {
+    owner: OwnerId,
+    mode: LockMode,
+    /// True when the owner already holds the page in `Read` mode and is
+    /// waiting to upgrade.
+    upgrade: bool,
+}
+
+#[derive(Debug, Default)]
+struct PageLock {
+    holders: Vec<Holder>,
+    queue: VecDeque<WaitReq>,
+}
+
+/// One site's lock table (see module docs).
+#[derive(Debug)]
+pub struct LockManager {
+    opt_lending: bool,
+    pages: HashMap<PageId, PageLock>,
+    /// Strongest mode held, per owner per page — drives release calls.
+    held: HashMap<OwnerId, HashMap<PageId, LockMode>>,
+    prepared: HashSet<OwnerId>,
+    /// The single outstanding waiting request per owner, if any.
+    waiting: HashMap<OwnerId, PageId>,
+    /// lender → borrowers with live borrow edges.
+    lends: HashMap<OwnerId, HashSet<OwnerId>>,
+    /// borrower → lenders with live borrow edges.
+    borrows: HashMap<OwnerId, HashSet<OwnerId>>,
+    /// Total page-grants that involved borrowing (metric).
+    borrow_grants: u64,
+}
+
+impl LockManager {
+    /// A lock table. `opt_lending` enables the OPT borrowing rule.
+    pub fn new(opt_lending: bool) -> Self {
+        LockManager {
+            opt_lending,
+            pages: HashMap::new(),
+            held: HashMap::new(),
+            prepared: HashSet::new(),
+            waiting: HashMap::new(),
+            lends: HashMap::new(),
+            borrows: HashMap::new(),
+            borrow_grants: 0,
+        }
+    }
+
+    /// Whether the OPT lending rule is active.
+    pub fn opt_lending(&self) -> bool {
+        self.opt_lending
+    }
+
+    /// Total page-grants that went through at least one borrow edge.
+    pub fn borrow_grants(&self) -> u64 {
+        self.borrow_grants
+    }
+
+    /// Pages currently locked by `owner` (any mode).
+    pub fn pages_held(&self, owner: OwnerId) -> usize {
+        self.held.get(&owner).map_or(0, |m| m.len())
+    }
+
+    /// Mode `owner` holds on `page`, if any.
+    pub fn mode_held(&self, owner: OwnerId, page: PageId) -> Option<LockMode> {
+        self.held.get(&owner).and_then(|m| m.get(&page).copied())
+    }
+
+    /// True if `owner` has a queued (waiting) request.
+    pub fn is_waiting(&self, owner: OwnerId) -> bool {
+        self.waiting.contains_key(&owner)
+    }
+
+    /// Number of owners currently waiting in some queue.
+    pub fn waiting_count(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// True if `owner` has been marked prepared.
+    pub fn is_prepared(&self, owner: OwnerId) -> bool {
+        self.prepared.contains(&owner)
+    }
+
+    /// Current lenders of `owner` (owners whose data it borrowed and
+    /// whose global decision is still pending).
+    pub fn lenders_of(&self, owner: OwnerId) -> impl Iterator<Item = OwnerId> + '_ {
+        self.borrows.get(&owner).into_iter().flatten().copied()
+    }
+
+    /// True if `owner` borrowed from at least one still-undecided lender.
+    pub fn has_live_borrows(&self, owner: OwnerId) -> bool {
+        self.borrows.get(&owner).is_some_and(|s| !s.is_empty())
+    }
+
+    /// Current borrowers of `owner`.
+    pub fn borrowers_of(&self, owner: OwnerId) -> impl Iterator<Item = OwnerId> + '_ {
+        self.lends.get(&owner).into_iter().flatten().copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Requests
+    // ------------------------------------------------------------------
+
+    /// `owner` requests `page` in `mode`.
+    pub fn request(&mut self, owner: OwnerId, page: PageId, mode: LockMode) -> RequestOutcome {
+        assert!(
+            !self.waiting.contains_key(&owner),
+            "owner {owner} already has a waiting request"
+        );
+        let held_mode = self.mode_held(owner, page);
+        match held_mode {
+            Some(m) if m >= mode => return RequestOutcome::AlreadyHeld,
+            Some(_) => self.request_upgrade(owner, page),
+            None => self.request_fresh(owner, page, mode),
+        }
+    }
+
+    fn request_fresh(&mut self, owner: OwnerId, page: PageId, mode: LockMode) -> RequestOutcome {
+        let entry = self.pages.entry(page).or_default();
+        // Fairness: never bypass a non-empty queue.
+        if entry.queue.is_empty() {
+            let mut lenders = Vec::new();
+            let mut hard = Vec::new();
+            for h in &entry.holders {
+                debug_assert_ne!(h.owner, owner);
+                if h.mode.compatible(mode) {
+                    continue;
+                }
+                if self.opt_lending && self.prepared.contains(&h.owner) {
+                    lenders.push(h.owner);
+                } else {
+                    hard.push(h.owner);
+                }
+            }
+            if hard.is_empty() {
+                entry.holders.push(Holder { owner, mode });
+                self.held.entry(owner).or_default().insert(page, mode);
+                self.note_borrows(owner, &lenders);
+                return RequestOutcome::Granted {
+                    borrowed_from: lenders,
+                };
+            }
+        }
+        let entry = self.pages.get_mut(&page).expect("entry just created");
+        entry.queue.push_back(WaitReq {
+            owner,
+            mode,
+            upgrade: false,
+        });
+        self.waiting.insert(owner, page);
+        RequestOutcome::Blocked {
+            blockers: self.compute_blockers(owner, page),
+        }
+    }
+
+    fn request_upgrade(&mut self, owner: OwnerId, page: PageId) -> RequestOutcome {
+        let entry = self
+            .pages
+            .get_mut(&page)
+            .expect("holder implies page entry");
+        let mut lenders = Vec::new();
+        let mut hard = Vec::new();
+        for h in &entry.holders {
+            if h.owner == owner {
+                continue;
+            }
+            // Any other holder conflicts with an upgrade to Update.
+            if self.opt_lending && self.prepared.contains(&h.owner) {
+                lenders.push(h.owner);
+            } else {
+                hard.push(h.owner);
+            }
+        }
+        if hard.is_empty() {
+            for h in entry.holders.iter_mut().filter(|h| h.owner == owner) {
+                h.mode = LockMode::Update;
+            }
+            self.held
+                .entry(owner)
+                .or_default()
+                .insert(page, LockMode::Update);
+            self.note_borrows(owner, &lenders);
+            return RequestOutcome::Granted {
+                borrowed_from: lenders,
+            };
+        }
+        // Upgrades wait at the *front* of the queue (they hold a read
+        // lock already; anything granted ahead of them could only
+        // deadlock against that read lock).
+        entry.queue.push_front(WaitReq {
+            owner,
+            mode: LockMode::Update,
+            upgrade: true,
+        });
+        self.waiting.insert(owner, page);
+        RequestOutcome::Blocked {
+            blockers: self.compute_blockers(owner, page),
+        }
+    }
+
+    fn note_borrows(&mut self, borrower: OwnerId, lenders: &[OwnerId]) {
+        if lenders.is_empty() {
+            return;
+        }
+        self.borrow_grants += 1;
+        for &l in lenders {
+            debug_assert!(self.prepared.contains(&l));
+            self.lends.entry(l).or_default().insert(borrower);
+            self.borrows.entry(borrower).or_default().insert(l);
+        }
+    }
+
+    /// Live blocker set for a waiting owner: conflicting (non-lendable)
+    /// holders plus conflicting queued requests ahead of it. Used to
+    /// build the global wait-for graph at deadlock-check time, so it is
+    /// always computed from live state (no stale edges).
+    pub fn compute_blockers(&self, owner: OwnerId, page: PageId) -> Vec<OwnerId> {
+        let Some(entry) = self.pages.get(&page) else {
+            return Vec::new();
+        };
+        let Some(pos) = entry.queue.iter().position(|w| w.owner == owner) else {
+            return Vec::new();
+        };
+        let mode = entry.queue[pos].mode;
+        let mut blockers = Vec::new();
+        for h in &entry.holders {
+            if h.owner == owner {
+                continue; // own read lock during an upgrade wait
+            }
+            if h.mode.compatible(mode) {
+                continue;
+            }
+            if self.opt_lending && self.prepared.contains(&h.owner) {
+                continue; // lendable: would not block once queue clears
+            }
+            blockers.push(h.owner);
+        }
+        for w in entry.queue.iter().take(pos) {
+            if !w.mode.compatible(mode) || !mode.compatible(w.mode) {
+                blockers.push(w.owner);
+            }
+        }
+        blockers.sort_unstable();
+        blockers.dedup();
+        blockers
+    }
+
+    /// Blockers of `owner`'s outstanding request, if it has one.
+    pub fn blockers_of(&self, owner: OwnerId) -> Vec<OwnerId> {
+        match self.waiting.get(&owner) {
+            Some(&page) => self.compute_blockers(owner, page),
+            None => Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // State changes
+    // ------------------------------------------------------------------
+
+    /// Mark `owner` prepared. With lending enabled this may unblock
+    /// waiters on every page it holds; the resulting grants are
+    /// returned.
+    pub fn mark_prepared(&mut self, owner: OwnerId) -> Vec<Grant> {
+        let newly = self.prepared.insert(owner);
+        debug_assert!(newly, "owner {owner} prepared twice");
+        if !self.opt_lending {
+            return Vec::new();
+        }
+        // Sorted so grant order is independent of HashMap iteration order
+        // (runs must be bit-for-bit reproducible given a seed).
+        let mut pages: Vec<PageId> = self
+            .held
+            .get(&owner)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default();
+        pages.sort_unstable();
+        let mut grants = Vec::new();
+        for p in pages {
+            self.drain_queue(p, &mut grants);
+        }
+        grants
+    }
+
+    /// Release `owner`'s read locks (the paper: on PREPARE receipt "the
+    /// cohort releases all its read locks but retains its update
+    /// locks"). Returns grants unblocked by the release.
+    pub fn release_read_locks(&mut self, owner: OwnerId) -> Vec<Grant> {
+        let mut pages: Vec<PageId> = self
+            .held
+            .get(&owner)
+            .map(|m| {
+                m.iter()
+                    .filter(|&(_, &mode)| mode == LockMode::Read)
+                    .map(|(&p, _)| p)
+                    .collect()
+            })
+            .unwrap_or_default();
+        pages.sort_unstable();
+        let mut grants = Vec::new();
+        for p in pages {
+            self.remove_holder(owner, p);
+            self.drain_queue(p, &mut grants);
+        }
+        grants
+    }
+
+    /// Release every lock `owner` holds and cancel its waiting request,
+    /// if any. Clears prepared status. Returns grants unblocked by the
+    /// release.
+    ///
+    /// Borrow edges are *not* touched — call [`LockManager::settle_borrows`]
+    /// (for a decided lender) and/or [`LockManager::drop_borrower`] (for
+    /// an aborting borrower) first.
+    pub fn release_all(&mut self, owner: OwnerId) -> Vec<Grant> {
+        let mut grants = Vec::new();
+        if let Some(page) = self.waiting.remove(&owner) {
+            if let Some(entry) = self.pages.get_mut(&page) {
+                entry.queue.retain(|w| w.owner != owner);
+            }
+            // Removing a queued conflicting request can unblock those behind it.
+            self.drain_queue(page, &mut grants);
+        }
+        let mut pages: Vec<PageId> = self
+            .held
+            .remove(&owner)
+            .map(|m| m.into_keys().collect())
+            .unwrap_or_default();
+        pages.sort_unstable();
+        for p in pages {
+            self.remove_holder_entry_only(owner, p);
+            self.drain_queue(p, &mut grants);
+        }
+        self.prepared.remove(&owner);
+        grants
+    }
+
+    /// A lender's global decision arrived: dissolve its borrow edges and
+    /// return its (former) borrowers. On commit the engine re-checks
+    /// each borrower's shelf condition; on abort it aborts them all —
+    /// the abort chain of OPT, bounded at length one.
+    pub fn settle_borrows(&mut self, lender: OwnerId) -> Vec<OwnerId> {
+        let mut borrowers: Vec<OwnerId> = self
+            .lends
+            .remove(&lender)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default();
+        borrowers.sort_unstable(); // deterministic processing order
+        for &b in &borrowers {
+            if let Some(ls) = self.borrows.get_mut(&b) {
+                ls.remove(&lender);
+                if ls.is_empty() {
+                    self.borrows.remove(&b);
+                }
+            }
+        }
+        borrowers
+    }
+
+    /// A borrower is going away (abort or full release): drop its
+    /// borrow edges from both directions.
+    pub fn drop_borrower(&mut self, borrower: OwnerId) {
+        if let Some(lenders) = self.borrows.remove(&borrower) {
+            for l in lenders {
+                if let Some(bs) = self.lends.get_mut(&l) {
+                    bs.remove(&borrower);
+                    if bs.is_empty() {
+                        self.lends.remove(&l);
+                    }
+                }
+            }
+        }
+    }
+
+    fn remove_holder(&mut self, owner: OwnerId, page: PageId) {
+        self.remove_holder_entry_only(owner, page);
+        if let Some(m) = self.held.get_mut(&owner) {
+            m.remove(&page);
+            if m.is_empty() {
+                self.held.remove(&owner);
+            }
+        }
+    }
+
+    fn remove_holder_entry_only(&mut self, owner: OwnerId, page: PageId) {
+        if let Some(entry) = self.pages.get_mut(&page) {
+            entry.holders.retain(|h| h.owner != owner);
+            if entry.holders.is_empty() && entry.queue.is_empty() {
+                self.pages.remove(&page);
+            }
+        }
+    }
+
+    /// Greedily grant from the head of `page`'s queue.
+    fn drain_queue(&mut self, page: PageId, grants: &mut Vec<Grant>) {
+        loop {
+            let Some(entry) = self.pages.get(&page) else {
+                return;
+            };
+            let Some(head) = entry.queue.front() else {
+                return;
+            };
+            let owner = head.owner;
+            let mode = head.mode;
+            let upgrade = head.upgrade;
+            let mut lenders = Vec::new();
+            let mut grantable = true;
+            for h in &entry.holders {
+                if h.owner == owner {
+                    debug_assert!(upgrade);
+                    continue;
+                }
+                if h.mode.compatible(mode) {
+                    continue;
+                }
+                if self.opt_lending && self.prepared.contains(&h.owner) {
+                    lenders.push(h.owner);
+                } else {
+                    grantable = false;
+                    break;
+                }
+            }
+            if !grantable {
+                return;
+            }
+            let entry = self.pages.get_mut(&page).expect("checked above");
+            entry.queue.pop_front();
+            if upgrade {
+                // Promote the read lock in place; if the owner released
+                // its read locks while the upgrade was queued (legal for
+                // a caller, even if the engine never does it), the
+                // upgrade degenerates into a fresh grant.
+                let mut promoted = false;
+                for h in entry.holders.iter_mut().filter(|h| h.owner == owner) {
+                    h.mode = LockMode::Update;
+                    promoted = true;
+                }
+                if !promoted {
+                    entry.holders.push(Holder { owner, mode });
+                }
+            } else {
+                entry.holders.push(Holder { owner, mode });
+            }
+            self.held.entry(owner).or_default().insert(page, mode);
+            self.waiting.remove(&owner);
+            self.note_borrows(owner, &lenders);
+            grants.push(Grant {
+                owner,
+                page,
+                mode,
+                borrowed_from: lenders,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Auditing (used by the integration test-suite)
+    // ------------------------------------------------------------------
+
+    /// Check internal invariants; returns a description of the first
+    /// violation found, if any.
+    ///
+    /// 1. No two holders of a page conflict unless one of them is
+    ///    prepared and lending is enabled.
+    /// 2. A non-empty queue's head must not be grantable (no missed
+    ///    grants).
+    /// 3. The `waiting` index matches the queues exactly.
+    /// 4. The `held` index matches the holder lists exactly.
+    /// 5. Borrow edges reference prepared lenders only.
+    pub fn audit(&self) -> Result<(), String> {
+        for (&page, entry) in &self.pages {
+            for (i, a) in entry.holders.iter().enumerate() {
+                for b in entry.holders.iter().skip(i + 1) {
+                    if a.owner == b.owner {
+                        return Err(format!("page {page}: duplicate holder {}", a.owner));
+                    }
+                    if !a.mode.compatible(b.mode) || !b.mode.compatible(a.mode) {
+                        let lendable = self.opt_lending
+                            && (self.prepared.contains(&a.owner)
+                                || self.prepared.contains(&b.owner));
+                        if !lendable {
+                            return Err(format!(
+                                "page {page}: conflicting holders {} and {} with no prepared lender",
+                                a.owner, b.owner
+                            ));
+                        }
+                    }
+                }
+            }
+            if let Some(head) = entry.queue.front() {
+                let blocked = entry.holders.iter().any(|h| {
+                    h.owner != head.owner
+                        && !h.mode.compatible(head.mode)
+                        && !(self.opt_lending && self.prepared.contains(&h.owner))
+                });
+                if !blocked {
+                    return Err(format!(
+                        "page {page}: queue head {} is grantable but still waiting",
+                        head.owner
+                    ));
+                }
+            }
+            for w in &entry.queue {
+                if self.waiting.get(&w.owner) != Some(&page) {
+                    return Err(format!(
+                        "page {page}: queued owner {} not in waiting index",
+                        w.owner
+                    ));
+                }
+            }
+        }
+        for (&owner, &page) in &self.waiting {
+            let ok = self
+                .pages
+                .get(&page)
+                .is_some_and(|e| e.queue.iter().any(|w| w.owner == owner));
+            if !ok {
+                return Err(format!(
+                    "waiting index has {owner}@{page} but no queued request"
+                ));
+            }
+        }
+        for (&owner, pages) in &self.held {
+            for (&page, &mode) in pages {
+                let ok = self
+                    .pages
+                    .get(&page)
+                    .is_some_and(|e| e.holders.iter().any(|h| h.owner == owner && h.mode == mode));
+                if !ok {
+                    return Err(format!(
+                        "held index has {owner}@{page}:{mode:?} but no holder entry"
+                    ));
+                }
+            }
+        }
+        for (&lender, borrowers) in &self.lends {
+            if !self.prepared.contains(&lender) && self.held.contains_key(&lender) {
+                return Err(format!(
+                    "lender {lender} has live borrows but is not prepared"
+                ));
+            }
+            for &b in borrowers {
+                if !self.borrows.get(&b).is_some_and(|s| s.contains(&lender)) {
+                    return Err(format!("asymmetric borrow edge {lender} -> {b}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn granted(o: &RequestOutcome) -> bool {
+        matches!(o, RequestOutcome::Granted { .. })
+    }
+
+    #[test]
+    fn read_read_shares() {
+        let mut lm = LockManager::new(false);
+        assert!(granted(&lm.request(1, 100, LockMode::Read)));
+        assert!(granted(&lm.request(2, 100, LockMode::Read)));
+        lm.audit().unwrap();
+    }
+
+    #[test]
+    fn update_excludes() {
+        let mut lm = LockManager::new(false);
+        assert!(granted(&lm.request(1, 100, LockMode::Update)));
+        let out = lm.request(2, 100, LockMode::Read);
+        assert_eq!(out, RequestOutcome::Blocked { blockers: vec![1] });
+        let out = lm.request(3, 100, LockMode::Update);
+        assert_eq!(
+            out,
+            RequestOutcome::Blocked {
+                blockers: vec![1, 2]
+            }
+        );
+        lm.audit().unwrap();
+    }
+
+    #[test]
+    fn already_held_is_idempotent() {
+        let mut lm = LockManager::new(false);
+        assert!(granted(&lm.request(1, 5, LockMode::Update)));
+        assert_eq!(
+            lm.request(1, 5, LockMode::Update),
+            RequestOutcome::AlreadyHeld
+        );
+        assert_eq!(
+            lm.request(1, 5, LockMode::Read),
+            RequestOutcome::AlreadyHeld
+        );
+    }
+
+    #[test]
+    fn release_grants_fcfs() {
+        let mut lm = LockManager::new(false);
+        lm.request(1, 9, LockMode::Update);
+        lm.request(2, 9, LockMode::Update);
+        lm.request(3, 9, LockMode::Read);
+        lm.request(4, 9, LockMode::Read);
+        let grants = lm.release_all(1);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].owner, 2);
+        let grants = lm.release_all(2);
+        // both reads batch-grant together
+        assert_eq!(
+            grants.iter().map(|g| g.owner).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        lm.audit().unwrap();
+    }
+
+    #[test]
+    fn new_reader_does_not_bypass_queued_writer() {
+        let mut lm = LockManager::new(false);
+        lm.request(1, 9, LockMode::Read);
+        lm.request(2, 9, LockMode::Update); // queues
+        let out = lm.request(3, 9, LockMode::Read); // must not bypass 2
+        assert!(matches!(out, RequestOutcome::Blocked { .. }));
+        if let RequestOutcome::Blocked { blockers } = out {
+            assert!(blockers.contains(&2));
+        }
+        lm.audit().unwrap();
+    }
+
+    #[test]
+    fn upgrade_succeeds_when_alone() {
+        let mut lm = LockManager::new(false);
+        lm.request(1, 9, LockMode::Read);
+        assert!(granted(&lm.request(1, 9, LockMode::Update)));
+        assert_eq!(lm.mode_held(1, 9), Some(LockMode::Update));
+    }
+
+    #[test]
+    fn upgrade_waits_for_other_reader_and_jumps_queue() {
+        let mut lm = LockManager::new(false);
+        lm.request(1, 9, LockMode::Read);
+        lm.request(2, 9, LockMode::Read);
+        lm.request(3, 9, LockMode::Update); // queues behind readers
+        let out = lm.request(1, 9, LockMode::Update); // upgrade, ahead of 3
+        assert!(matches!(out, RequestOutcome::Blocked { .. }));
+        let grants = lm.release_all(2);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].owner, 1);
+        assert_eq!(lm.mode_held(1, 9), Some(LockMode::Update));
+        lm.audit().unwrap();
+    }
+
+    #[test]
+    fn queued_upgrade_survives_read_release() {
+        // Regression (found by proptest): owner 5 queues an upgrade
+        // behind reader 6, then releases its read locks; when 6 leaves,
+        // the upgrade must grant as a fresh update lock with a
+        // consistent holder entry.
+        let mut lm = LockManager::new(false);
+        lm.request(6, 3, LockMode::Read);
+        lm.request(5, 3, LockMode::Read);
+        assert!(matches!(
+            lm.request(5, 3, LockMode::Update),
+            RequestOutcome::Blocked { .. }
+        ));
+        lm.release_read_locks(5);
+        lm.audit().unwrap();
+        let grants = lm.release_read_locks(6);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].owner, 5);
+        assert_eq!(lm.mode_held(5, 3), Some(LockMode::Update));
+        lm.audit().unwrap();
+    }
+
+    #[test]
+    fn release_read_locks_keeps_updates() {
+        let mut lm = LockManager::new(false);
+        lm.request(1, 1, LockMode::Read);
+        lm.request(1, 2, LockMode::Update);
+        lm.request(2, 1, LockMode::Update); // waits on the read lock
+        let grants = lm.release_read_locks(1);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].owner, 2);
+        assert_eq!(lm.mode_held(1, 1), None);
+        assert_eq!(lm.mode_held(1, 2), Some(LockMode::Update));
+        lm.audit().unwrap();
+    }
+
+    #[test]
+    fn cancel_waiting_request_on_release_all() {
+        let mut lm = LockManager::new(false);
+        lm.request(1, 9, LockMode::Update);
+        lm.request(2, 9, LockMode::Update);
+        lm.request(3, 9, LockMode::Read);
+        assert!(lm.is_waiting(2));
+        // 2 aborts while waiting; 3 is still blocked by 1 (holder).
+        let grants = lm.release_all(2);
+        assert!(grants.is_empty());
+        assert!(!lm.is_waiting(2));
+        // now 1 releases: 3 gets the lock
+        let grants = lm.release_all(1);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].owner, 3);
+        lm.audit().unwrap();
+    }
+
+    #[test]
+    fn removing_queued_conflict_unblocks_followers() {
+        let mut lm = LockManager::new(false);
+        lm.request(1, 9, LockMode::Read);
+        lm.request(2, 9, LockMode::Update); // queued
+        lm.request(3, 9, LockMode::Read); // queued behind the update
+        let grants = lm.release_all(2); // cancel the update while 1 still holds
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].owner, 3);
+        assert_eq!(grants[0].mode, LockMode::Read);
+        lm.audit().unwrap();
+    }
+
+    // ---------------- lending (OPT) ----------------
+
+    #[test]
+    fn prepared_update_lock_is_lendable() {
+        let mut lm = LockManager::new(true);
+        lm.request(1, 9, LockMode::Update);
+        lm.mark_prepared(1);
+        let out = lm.request(2, 9, LockMode::Read);
+        assert_eq!(
+            out,
+            RequestOutcome::Granted {
+                borrowed_from: vec![1]
+            }
+        );
+        assert!(lm.has_live_borrows(2));
+        assert_eq!(lm.borrowers_of(1).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(lm.borrow_grants(), 1);
+        lm.audit().unwrap();
+    }
+
+    #[test]
+    fn lending_disabled_without_opt() {
+        let mut lm = LockManager::new(false);
+        lm.request(1, 9, LockMode::Update);
+        lm.mark_prepared(1);
+        let out = lm.request(2, 9, LockMode::Read);
+        assert!(matches!(out, RequestOutcome::Blocked { .. }));
+    }
+
+    #[test]
+    fn mark_prepared_unblocks_existing_waiters() {
+        let mut lm = LockManager::new(true);
+        lm.request(1, 9, LockMode::Update);
+        let out = lm.request(2, 9, LockMode::Update);
+        assert!(matches!(out, RequestOutcome::Blocked { .. }));
+        let grants = lm.mark_prepared(1);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].owner, 2);
+        assert_eq!(grants[0].borrowed_from, vec![1]);
+        lm.audit().unwrap();
+    }
+
+    #[test]
+    fn lender_commit_dissolves_edges() {
+        let mut lm = LockManager::new(true);
+        lm.request(1, 9, LockMode::Update);
+        lm.mark_prepared(1);
+        lm.request(2, 9, LockMode::Update);
+        let borrowers = lm.settle_borrows(1);
+        assert_eq!(borrowers, vec![2]);
+        assert!(!lm.has_live_borrows(2));
+        lm.release_all(1);
+        lm.audit().unwrap();
+    }
+
+    #[test]
+    fn borrower_abort_drops_edges() {
+        let mut lm = LockManager::new(true);
+        lm.request(1, 9, LockMode::Update);
+        lm.mark_prepared(1);
+        lm.request(2, 9, LockMode::Read);
+        lm.drop_borrower(2);
+        lm.release_all(2);
+        assert!(lm.borrowers_of(1).next().is_none());
+        lm.audit().unwrap();
+    }
+
+    #[test]
+    fn multiple_borrowers_from_one_lender() {
+        let mut lm = LockManager::new(true);
+        lm.request(1, 9, LockMode::Update);
+        lm.request(1, 10, LockMode::Update);
+        lm.mark_prepared(1);
+        assert!(granted(&lm.request(2, 9, LockMode::Update)));
+        assert!(granted(&lm.request(3, 10, LockMode::Update)));
+        let mut bs = lm.settle_borrows(1);
+        bs.sort_unstable();
+        assert_eq!(bs, vec![2, 3]);
+        lm.audit().unwrap();
+    }
+
+    #[test]
+    fn borrow_from_multiple_lenders() {
+        let mut lm = LockManager::new(true);
+        lm.request(1, 9, LockMode::Update);
+        lm.request(2, 10, LockMode::Update);
+        lm.mark_prepared(1);
+        lm.mark_prepared(2);
+        assert!(granted(&lm.request(3, 9, LockMode::Read)));
+        assert!(granted(&lm.request(3, 10, LockMode::Read)));
+        let mut lenders: Vec<_> = lm.lenders_of(3).collect();
+        lenders.sort_unstable();
+        assert_eq!(lenders, vec![1, 2]);
+        // first lender decides; the borrow from the second is still live
+        lm.settle_borrows(1);
+        assert!(lm.has_live_borrows(3));
+        lm.settle_borrows(2);
+        assert!(!lm.has_live_borrows(3));
+    }
+
+    #[test]
+    fn lending_does_not_bypass_queue() {
+        let mut lm = LockManager::new(true);
+        lm.request(1, 9, LockMode::Update);
+        lm.request(2, 9, LockMode::Update); // queues (1 not prepared yet)
+        lm.mark_prepared(1); // grants 2 by borrowing
+                             // 3 arrives now; queue is empty so it can also borrow? No: 2 now
+                             // *holds* an update lock and is active, so 3 must wait.
+        let out = lm.request(3, 9, LockMode::Update);
+        assert_eq!(out, RequestOutcome::Blocked { blockers: vec![2] });
+        lm.audit().unwrap();
+    }
+
+    #[test]
+    fn blockers_exclude_lendable_holders() {
+        let mut lm = LockManager::new(true);
+        lm.request(1, 9, LockMode::Update);
+        lm.request(2, 9, LockMode::Update); // blocked by 1 (active)
+        assert_eq!(lm.blockers_of(2), vec![1]);
+        lm.request(3, 9, LockMode::Update); // blocked by 1 and queued 2
+        assert_eq!(lm.blockers_of(3), vec![1, 2]);
+        let grants = lm.mark_prepared(1);
+        // 2 borrows; 3 blocked by 2 only (1 is lendable now)
+        assert_eq!(grants.len(), 1);
+        assert_eq!(lm.blockers_of(3), vec![2]);
+    }
+
+    #[test]
+    fn waiter_behind_borrower_unblocks_in_order() {
+        // lender prepared; two waiters queue behind an active holder;
+        // the queue drains in order once the active holder leaves.
+        let mut lm = LockManager::new(true);
+        lm.request(1, 9, LockMode::Update); // will prepare (lender)
+        lm.request(2, 9, LockMode::Update); // active waiter
+        lm.request(3, 9, LockMode::Update); // behind 2
+        let grants = lm.mark_prepared(1);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].owner, 2); // borrows from 1
+                                        // 3 still blocked by active borrower 2
+        assert_eq!(lm.blockers_of(3), vec![2]);
+        lm.drop_borrower(2);
+        lm.settle_borrows(2);
+        let grants = lm.release_all(2);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].owner, 3);
+        assert_eq!(grants[0].borrowed_from, vec![1]); // 1 still prepared
+        lm.audit().unwrap();
+    }
+
+    #[test]
+    fn read_borrowers_share_the_lent_page() {
+        let mut lm = LockManager::new(true);
+        lm.request(1, 9, LockMode::Update);
+        lm.mark_prepared(1);
+        // several concurrent read borrowers are mutually compatible
+        assert!(granted(&lm.request(2, 9, LockMode::Read)));
+        assert!(granted(&lm.request(3, 9, LockMode::Read)));
+        assert!(granted(&lm.request(4, 9, LockMode::Read)));
+        let mut bs = lm.settle_borrows(1);
+        bs.sort_unstable();
+        assert_eq!(bs, vec![2, 3, 4]);
+        lm.audit().unwrap();
+    }
+
+    #[test]
+    fn update_borrower_blocks_later_readers() {
+        let mut lm = LockManager::new(true);
+        lm.request(1, 9, LockMode::Update);
+        lm.mark_prepared(1);
+        assert!(granted(&lm.request(2, 9, LockMode::Update))); // borrows
+                                                               // a later reader conflicts with the *active* borrower
+        assert!(matches!(
+            lm.request(3, 9, LockMode::Read),
+            RequestOutcome::Blocked { .. }
+        ));
+        lm.audit().unwrap();
+    }
+
+    #[test]
+    fn settle_is_idempotent_and_isolated() {
+        let mut lm = LockManager::new(true);
+        lm.request(1, 9, LockMode::Update);
+        lm.request(2, 10, LockMode::Update);
+        lm.mark_prepared(1);
+        lm.mark_prepared(2);
+        lm.request(3, 9, LockMode::Read); // borrows from 1
+        lm.request(3, 10, LockMode::Read); // borrows from 2
+        assert_eq!(lm.settle_borrows(1), vec![3]);
+        assert_eq!(
+            lm.settle_borrows(1),
+            Vec::<u64>::new(),
+            "second settle is empty"
+        );
+        assert!(lm.has_live_borrows(3), "edge to lender 2 must survive");
+        assert_eq!(lm.settle_borrows(2), vec![3]);
+        assert!(!lm.has_live_borrows(3));
+    }
+
+    #[test]
+    fn release_all_on_unknown_owner_is_a_noop() {
+        let mut lm = LockManager::new(false);
+        assert!(lm.release_all(99).is_empty());
+        assert!(lm.release_read_locks(99).is_empty());
+        lm.drop_borrower(99);
+        assert!(lm.settle_borrows(99).is_empty());
+        lm.audit().unwrap();
+    }
+
+    #[test]
+    fn waiting_count_tracks_queues() {
+        let mut lm = LockManager::new(false);
+        lm.request(1, 9, LockMode::Update);
+        lm.request(2, 9, LockMode::Update);
+        lm.request(3, 9, LockMode::Update);
+        assert_eq!(lm.waiting_count(), 2);
+        lm.release_all(1);
+        assert_eq!(lm.waiting_count(), 1);
+        lm.release_all(2);
+        assert_eq!(lm.waiting_count(), 0);
+    }
+
+    #[test]
+    fn pages_held_and_mode_queries() {
+        let mut lm = LockManager::new(false);
+        lm.request(1, 9, LockMode::Read);
+        lm.request(1, 10, LockMode::Update);
+        assert_eq!(lm.pages_held(1), 2);
+        assert_eq!(lm.mode_held(1, 9), Some(LockMode::Read));
+        assert_eq!(lm.mode_held(1, 10), Some(LockMode::Update));
+        assert_eq!(lm.mode_held(1, 11), None);
+        assert_eq!(lm.pages_held(2), 0);
+        assert!(lm.is_prepared(1) == false);
+        lm.mark_prepared(1);
+        assert!(lm.is_prepared(1));
+    }
+
+    #[test]
+    fn borrow_grant_counter_counts_page_grants_not_edges() {
+        let mut lm = LockManager::new(true);
+        lm.request(1, 9, LockMode::Read);
+        lm.request(2, 9, LockMode::Read);
+        lm.mark_prepared(1);
+        lm.mark_prepared(2);
+        // reads are compatible with the prepared read-holders: no borrow
+        assert!(granted(&lm.request(3, 9, LockMode::Read)));
+        assert_eq!(lm.borrow_grants(), 0);
+        lm.release_all(3);
+        // an update through two prepared read-holders is one borrow
+        // grant with two lenders
+        assert!(granted(&lm.request(4, 9, LockMode::Update)));
+        assert_eq!(lm.borrow_grants(), 1);
+        let mut lenders: Vec<_> = lm.lenders_of(4).collect();
+        lenders.sort_unstable();
+        assert_eq!(lenders, vec![1, 2]);
+    }
+
+    #[test]
+    fn audit_detects_conflicting_holders() {
+        let mut lm = LockManager::new(false);
+        lm.request(1, 9, LockMode::Update);
+        // Corrupt the table directly to prove audit sees it.
+        lm.pages.get_mut(&9).unwrap().holders.push(Holder {
+            owner: 2,
+            mode: LockMode::Update,
+        });
+        assert!(lm.audit().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a waiting request")]
+    fn double_wait_panics() {
+        let mut lm = LockManager::new(false);
+        lm.request(1, 9, LockMode::Update);
+        lm.request(2, 9, LockMode::Update);
+        lm.request(2, 10, LockMode::Update);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Request { owner: u8, page: u8, update: bool },
+        ReleaseAll { owner: u8 },
+        ReleaseReads { owner: u8 },
+        Prepare { owner: u8 },
+        Settle { owner: u8 },
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u8..8, 0u8..6, proptest::bool::ANY).prop_map(|(owner, page, update)| Op::Request {
+                owner,
+                page,
+                update
+            }),
+            (0u8..8).prop_map(|owner| Op::ReleaseAll { owner }),
+            (0u8..8).prop_map(|owner| Op::ReleaseReads { owner }),
+            (0u8..8).prop_map(|owner| Op::Prepare { owner }),
+            (0u8..8).prop_map(|owner| Op::Settle { owner }),
+        ]
+    }
+
+    proptest! {
+        /// Random op sequences keep every audit invariant intact, with and
+        /// without lending.
+        #[test]
+        fn random_ops_never_violate_invariants(
+            ops in proptest::collection::vec(op_strategy(), 1..120),
+            lending in proptest::bool::ANY,
+        ) {
+            let mut lm = LockManager::new(lending);
+            let mut prepared = std::collections::HashSet::new();
+            for op in ops {
+                match op {
+                    Op::Request { owner, page, update } => {
+                        let owner = owner as u64;
+                        if lm.is_waiting(owner) || prepared.contains(&owner) {
+                            continue;
+                        }
+                        let mode = if update { LockMode::Update } else { LockMode::Read };
+                        let _ = lm.request(owner, page as u64, mode);
+                    }
+                    Op::ReleaseAll { owner } => {
+                        let owner = owner as u64;
+                        lm.drop_borrower(owner);
+                        lm.settle_borrows(owner);
+                        lm.release_all(owner);
+                        prepared.remove(&owner);
+                    }
+                    Op::ReleaseReads { owner } => {
+                        lm.release_read_locks(owner as u64);
+                    }
+                    Op::Prepare { owner } => {
+                        let owner = owner as u64;
+                        // only owners not waiting and not already prepared
+                        if !lm.is_waiting(owner) && !prepared.contains(&owner)
+                            && lm.pages_held(owner) > 0 && !lm.has_live_borrows(owner)
+                        {
+                            lm.mark_prepared(owner);
+                            prepared.insert(owner);
+                        }
+                    }
+                    Op::Settle { owner } => {
+                        let owner = owner as u64;
+                        if prepared.contains(&owner) {
+                            lm.settle_borrows(owner);
+                            lm.release_all(owner);
+                            prepared.remove(&owner);
+                        }
+                    }
+                }
+                if let Err(e) = lm.audit() {
+                    return Err(TestCaseError::fail(e));
+                }
+            }
+        }
+
+        /// Without lending, conflicting pages serialize: at most one update
+        /// holder, and never an update holder together with any other holder.
+        #[test]
+        fn no_lending_means_strict_exclusivity(
+            ops in proptest::collection::vec(op_strategy(), 1..100),
+        ) {
+            let mut lm = LockManager::new(false);
+            for op in ops {
+                match op {
+                    Op::Request { owner, page, update } => {
+                        let owner = owner as u64;
+                        if lm.is_waiting(owner) {
+                            continue;
+                        }
+                        let mode = if update { LockMode::Update } else { LockMode::Read };
+                        let _ = lm.request(owner, page as u64, mode);
+                    }
+                    Op::ReleaseAll { owner } => {
+                        lm.release_all(owner as u64);
+                    }
+                    _ => {}
+                }
+                prop_assert!(lm.audit().is_ok());
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # commitproto — the commit-protocol taxonomy
+//!
+//! Declarative descriptions of every commit protocol evaluated in the
+//! SIGMOD'97 study, plus the analytic overhead model behind Tables 3
+//! and 4 of the paper.
+//!
+//! A protocol is a [`ProtocolSpec`]: a [`BaseProtocol`] (the
+//! message/logging schedule) optionally combined with the **OPT**
+//! optimistic-borrowing rule, which is orthogonal to the schedule —
+//! "OPT can be combined with current industry standard protocols such
+//! as Presumed Commit and Presumed Abort" (§1) and with 3PC (§5.6).
+//!
+//! The per-step behaviour flags ([`BaseProtocol::cohort_decision_forced`]
+//! etc.) are the *single source of truth*: both the simulator's state
+//! machines and the analytic overhead formulas
+//! ([`ProtocolSpec::committed_overheads`]) are derived from them, so a
+//! disagreement between analysis and simulation is impossible by
+//! construction. The unit tests pin the derived numbers to the paper's
+//! Table 3 (DistDegree = 3) and Table 4 (DistDegree = 6).
+
+pub mod overheads;
+pub mod spec;
+
+pub use overheads::{AbortScenario, Overheads, ReadOnlyScenario};
+pub use spec::{BaseProtocol, ProtocolSpec};

@@ -1,0 +1,672 @@
+//! The analytic overhead model (Tables 3 and 4 of the paper).
+//!
+//! Counts of messages and forced log writes per transaction, derived
+//! from the behaviour flags in [`crate::spec`]. Conventions, matching
+//! the paper's tables:
+//!
+//! * A "message" is one network transfer. The master and its
+//!   co-located cohort communicate for free, so with `DistDegree = d`
+//!   there are `d − 1` *remote* cohorts and e.g. 2PC commits with
+//!   `4(d−1)` commit messages (PREPARE, YES, COMMIT, ACK each to/from
+//!   every remote cohort) — 8 at `d = 3`, exactly Table 3.
+//! * A "forced write" is one synchronous log-disk write; *every* cohort
+//!   (including the master-site cohort) logs, so 2PC commits with
+//!   `2d + 1` forced writes (prepare + commit per cohort, plus the
+//!   master decision record) — 7 at `d = 3`.
+
+use crate::spec::{BaseProtocol, ProtocolSpec};
+
+/// Message and forced-write counts for one transaction outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Overheads {
+    /// Messages exchanged during the execution phase (cohort initiation
+    /// plus WORKDONE, remote cohorts only).
+    pub exec_messages: u64,
+    /// Messages exchanged by the commit protocol proper.
+    pub commit_messages: u64,
+    /// Synchronous (forced) log writes across all sites.
+    pub forced_writes: u64,
+}
+
+impl Overheads {
+    /// Total messages, execution plus commit.
+    pub fn total_messages(&self) -> u64 {
+        self.exec_messages + self.commit_messages
+    }
+}
+
+/// An abort outcome for the analytic model: which cohorts voted NO.
+///
+/// The paper's §5.7 "surprise aborts" draw NO votes independently at
+/// each cohort; this struct describes one concrete outcome so the
+/// formulas stay exact (message counts depend on *where* the NO voters
+/// sit because local messages are free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbortScenario {
+    /// Degree of distribution (number of cohorts, master site included).
+    pub dist_degree: u32,
+    /// NO voters among the `dist_degree - 1` remote cohorts.
+    pub remote_no_voters: u32,
+    /// Did the master-site cohort vote NO?
+    pub local_no_voter: bool,
+}
+
+impl AbortScenario {
+    /// Total NO voters.
+    pub fn no_voters(&self) -> u32 {
+        self.remote_no_voters + u32::from(self.local_no_voter)
+    }
+
+    /// Cohorts that voted YES (and therefore reached the prepared state).
+    pub fn prepared(&self) -> u32 {
+        self.dist_degree - self.no_voters()
+    }
+
+    /// Remote cohorts that voted YES.
+    pub fn remote_prepared(&self) -> u32 {
+        (self.dist_degree - 1) - self.remote_no_voters
+    }
+}
+
+/// A committing transaction under the Read-Only optimization (§3.2):
+/// cohorts that updated nothing vote READ in phase one, release their
+/// locks, and drop out — no forced records, no decision message, no
+/// acknowledgement at those cohorts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOnlyScenario {
+    /// Degree of distribution (number of cohorts, master site included).
+    pub dist_degree: u32,
+    /// Read-only cohorts among the `dist_degree - 1` remote cohorts.
+    pub remote_read_only: u32,
+    /// Is the master-site cohort read-only?
+    pub local_read_only: bool,
+}
+
+impl ReadOnlyScenario {
+    /// Cohorts that updated data and run the full protocol.
+    pub fn participants(&self) -> u32 {
+        self.dist_degree - self.remote_read_only - u32::from(self.local_read_only)
+    }
+
+    /// Remote cohorts that run the full protocol.
+    pub fn remote_participants(&self) -> u32 {
+        (self.dist_degree - 1) - self.remote_read_only
+    }
+}
+
+impl ProtocolSpec {
+    /// Overheads of one *committing* transaction at the given degree of
+    /// distribution. Reproduces Table 3 (`dist_degree = 3`) and Table 4
+    /// (`dist_degree = 6`). OPT does not change the schedule, so the
+    /// counts are those of the base protocol.
+    pub fn committed_overheads(&self, dist_degree: u32) -> Overheads {
+        assert!(dist_degree >= 1, "a transaction has at least one cohort");
+        let d = dist_degree as u64;
+        let r = d - 1; // remote cohorts
+        match self.base {
+            BaseProtocol::Centralized => Overheads {
+                exec_messages: 0,
+                commit_messages: 0,
+                forced_writes: 1,
+            },
+            BaseProtocol::Dpcc => Overheads {
+                exec_messages: 2 * r,
+                commit_messages: 0,
+                forced_writes: 1,
+            },
+            // Linear 2PC: prepare travels down the chain (r remote
+            // hops; the master→local-cohort hop is free), the decision
+            // travels back up (r hops, the ack role folded in). Forced
+            // writes match 2PC: every cohort logs prepare and commit,
+            // the master logs the final commit record.
+            BaseProtocol::Linear2PC => Overheads {
+                exec_messages: 2 * r,
+                commit_messages: 2 * r,
+                forced_writes: 2 * d + 1,
+            },
+            base => {
+                // Voting protocols: derive from the behaviour flags.
+                let mut msgs = 0;
+                let mut forced = 0;
+                // Collecting record (PC) before the first phase.
+                if base.collecting_record() {
+                    forced += 1;
+                }
+                // Phase 1: PREPARE out, votes back.
+                msgs += 2 * r;
+                forced += d; // every cohort forces a prepare record
+                             // Precommit phase (3PC): PRECOMMIT out, ACK back, both
+                             // master and cohorts force precommit records.
+                if base.precommit_phase() {
+                    msgs += 2 * r;
+                    forced += 1 + d;
+                }
+                // Decision phase.
+                if base.master_decision_forced(true) {
+                    forced += 1;
+                }
+                msgs += r; // COMMIT out
+                if base.cohort_decision_forced(true) {
+                    forced += d;
+                }
+                if base.cohort_ack(true) {
+                    msgs += r;
+                }
+                Overheads {
+                    exec_messages: 2 * r,
+                    commit_messages: msgs,
+                    forced_writes: forced,
+                }
+            }
+        }
+    }
+
+    /// Overheads of one committing transaction under the Read-Only
+    /// optimization (§3.2). With no read-only cohorts this equals
+    /// [`ProtocolSpec::committed_overheads`]; with *all* cohorts
+    /// read-only the commit is one phase: PREPARE out, READ votes back,
+    /// nothing forced anywhere (except PC's collecting record, which is
+    /// written before the master learns the votes).
+    pub fn committed_overheads_read_only(&self, scenario: ReadOnlyScenario) -> Overheads {
+        assert!(
+            self.base.has_voting_phase(),
+            "{} has no voting phase; the read-only optimization does not apply",
+            self.name()
+        );
+        assert!(
+            self.base != BaseProtocol::Linear2PC,
+            "the read-only optimization is not defined for chained 2PC (a read-only \
+             cohort would break the chain)"
+        );
+        assert!(
+            scenario.remote_read_only < scenario.dist_degree,
+            "more read-only remotes than remote cohorts"
+        );
+        let base = self.base;
+        let d = scenario.dist_degree as u64;
+        let r = d - 1;
+        let p = scenario.participants() as u64;
+        let rp = scenario.remote_participants() as u64;
+
+        let mut msgs = 2 * r; // PREPARE to everyone, a vote from everyone
+        let mut forced = 0;
+        if base.collecting_record() {
+            forced += 1;
+        }
+        forced += p; // only participants force prepare records
+        if p > 0 {
+            if base.precommit_phase() {
+                msgs += 2 * rp;
+                forced += 1 + p;
+            }
+            if base.master_decision_forced(true) {
+                forced += 1;
+            }
+            msgs += rp;
+            if base.cohort_decision_forced(true) {
+                forced += p;
+            }
+            if base.cohort_ack(true) {
+                msgs += rp;
+            }
+        }
+        Overheads {
+            exec_messages: 2 * r,
+            commit_messages: msgs,
+            forced_writes: forced,
+        }
+    }
+
+    /// Overheads of one transaction *aborted in the voting phase* (the
+    /// paper's "surprise abort" case, §5.7): the scenario's NO voters
+    /// abort unilaterally, the YES voters reach the prepared state and
+    /// are then told to abort.
+    ///
+    /// Baselines never abort in commit processing (they have no voting
+    /// phase); asking for their abort overheads is a logic error.
+    pub fn aborted_overheads(&self, scenario: AbortScenario) -> Overheads {
+        assert!(
+            self.base.has_voting_phase(),
+            "{} has no voting phase and cannot abort during commit",
+            self.name()
+        );
+        assert!(
+            self.base != BaseProtocol::Linear2PC,
+            "linear-2PC abort costs depend on the NO voter's chain position; \
+             measure them with the simulator instead"
+        );
+        assert!(
+            scenario.no_voters() >= 1,
+            "an abort needs at least one NO voter"
+        );
+        assert!(
+            scenario.no_voters() <= scenario.dist_degree,
+            "more NO voters than cohorts"
+        );
+        let base = self.base;
+        let d = scenario.dist_degree as u64;
+        let r = d - 1;
+        let no = scenario.no_voters() as u64;
+        let prepared = scenario.prepared() as u64;
+        let remote_prepared = scenario.remote_prepared() as u64;
+
+        let mut msgs = 0;
+        let mut forced = 0;
+        if base.collecting_record() {
+            forced += 1;
+        }
+        // Phase 1 always completes: PREPARE out, votes (YES or NO) back.
+        msgs += 2 * r;
+        forced += prepared; // YES voters force prepare records
+        if base.no_vote_abort_forced() {
+            forced += no; // NO voters force their abort records
+        }
+        // 3PC aborts in the voting phase never reach precommit: no extra cost.
+        if base.master_decision_forced(false) {
+            forced += 1;
+        }
+        // ABORT goes only to the prepared cohorts (NO voters aborted
+        // unilaterally, §2.1).
+        msgs += remote_prepared;
+        if base.cohort_decision_forced(false) {
+            forced += prepared;
+        }
+        if base.cohort_ack(false) {
+            msgs += remote_prepared;
+        }
+        Overheads {
+            exec_messages: 2 * r,
+            commit_messages: msgs,
+            forced_writes: forced,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oh(spec: ProtocolSpec, d: u32) -> (u64, u64, u64) {
+        let o = spec.committed_overheads(d);
+        (o.exec_messages, o.forced_writes, o.commit_messages)
+    }
+
+    /// Table 3 of the paper: protocol overheads at DistDegree = 3, for
+    /// committing transactions. Columns: execution messages,
+    /// forced writes, commit messages.
+    #[test]
+    fn table_3_dist_degree_3() {
+        assert_eq!(oh(ProtocolSpec::TWO_PC, 3), (4, 7, 8));
+        assert_eq!(oh(ProtocolSpec::PA, 3), (4, 7, 8));
+        assert_eq!(oh(ProtocolSpec::PC, 3), (4, 5, 6));
+        assert_eq!(oh(ProtocolSpec::THREE_PC, 3), (4, 11, 12));
+        assert_eq!(oh(ProtocolSpec::DPCC, 3), (4, 1, 0));
+        assert_eq!(oh(ProtocolSpec::CENT, 3), (0, 1, 0));
+    }
+
+    /// Table 4 of the paper: protocol overheads at DistDegree = 6.
+    #[test]
+    fn table_4_dist_degree_6() {
+        assert_eq!(oh(ProtocolSpec::TWO_PC, 6), (10, 13, 20));
+        assert_eq!(oh(ProtocolSpec::PA, 6), (10, 13, 20));
+        assert_eq!(oh(ProtocolSpec::PC, 6), (10, 8, 15));
+        assert_eq!(oh(ProtocolSpec::THREE_PC, 6), (10, 20, 30));
+        assert_eq!(oh(ProtocolSpec::DPCC, 6), (10, 1, 0));
+        assert_eq!(oh(ProtocolSpec::CENT, 6), (0, 1, 0));
+    }
+
+    #[test]
+    fn opt_variants_share_base_overheads() {
+        for d in [2, 3, 6, 10] {
+            assert_eq!(
+                ProtocolSpec::OPT_2PC.committed_overheads(d),
+                ProtocolSpec::TWO_PC.committed_overheads(d)
+            );
+            assert_eq!(
+                ProtocolSpec::OPT_PA.committed_overheads(d),
+                ProtocolSpec::PA.committed_overheads(d)
+            );
+            assert_eq!(
+                ProtocolSpec::OPT_PC.committed_overheads(d),
+                ProtocolSpec::PC.committed_overheads(d)
+            );
+            assert_eq!(
+                ProtocolSpec::OPT_3PC.committed_overheads(d),
+                ProtocolSpec::THREE_PC.committed_overheads(d)
+            );
+        }
+    }
+
+    #[test]
+    fn pa_commit_equals_2pc_commit() {
+        // "the PA protocol behaves identically to 2PC for committing
+        //  transactions" (§2.2)
+        for d in 1..=12 {
+            assert_eq!(
+                ProtocolSpec::PA.committed_overheads(d),
+                ProtocolSpec::TWO_PC.committed_overheads(d)
+            );
+        }
+    }
+
+    #[test]
+    fn single_site_transaction_costs_no_messages() {
+        let o = ProtocolSpec::TWO_PC.committed_overheads(1);
+        assert_eq!(o.exec_messages, 0);
+        assert_eq!(o.commit_messages, 0);
+        // Still logs: cohort prepare + commit + master decision.
+        assert_eq!(o.forced_writes, 3);
+    }
+
+    #[test]
+    fn total_messages_adds_up() {
+        let o = ProtocolSpec::THREE_PC.committed_overheads(3);
+        assert_eq!(o.total_messages(), 16);
+    }
+
+    // ----- abort side (§5.7 and the protocol descriptions of §2) -----
+
+    fn abort_all_prepared_but_one_remote(d: u32) -> AbortScenario {
+        AbortScenario {
+            dist_degree: d,
+            remote_no_voters: 1,
+            local_no_voter: false,
+        }
+    }
+
+    #[test]
+    fn pa_abort_is_cheaper_than_2pc_abort() {
+        let sc = abort_all_prepared_but_one_remote(3);
+        let two_pc = ProtocolSpec::TWO_PC.aborted_overheads(sc);
+        let pa = ProtocolSpec::PA.aborted_overheads(sc);
+        // 2PC, d=3, one remote NO voter: prepared = 2.
+        // forced: 2 prepare + 1 NO-voter abort + 1 master + 2 cohort aborts = 6
+        // commit msgs: prepare 2 + votes 2 + abort 1 + ack 1 = 6
+        assert_eq!(two_pc.forced_writes, 6);
+        assert_eq!(two_pc.commit_messages, 6);
+        // PA: forced: 2 prepare only; msgs: prepare 2 + votes 2 + abort 1 = 5
+        assert_eq!(pa.forced_writes, 2);
+        assert_eq!(pa.commit_messages, 5);
+        assert!(pa.forced_writes < two_pc.forced_writes);
+        assert!(pa.commit_messages < two_pc.commit_messages);
+    }
+
+    #[test]
+    fn pc_abort_is_most_expensive() {
+        // PC pays the collecting record *and* the full abort machinery.
+        let sc = abort_all_prepared_but_one_remote(3);
+        let pc = ProtocolSpec::PC.aborted_overheads(sc);
+        let two_pc = ProtocolSpec::TWO_PC.aborted_overheads(sc);
+        assert_eq!(pc.forced_writes, two_pc.forced_writes + 1);
+        assert_eq!(pc.commit_messages, two_pc.commit_messages);
+    }
+
+    #[test]
+    fn local_no_voter_saves_messages() {
+        let remote = AbortScenario {
+            dist_degree: 3,
+            remote_no_voters: 1,
+            local_no_voter: false,
+        };
+        let local = AbortScenario {
+            dist_degree: 3,
+            remote_no_voters: 0,
+            local_no_voter: true,
+        };
+        let a = ProtocolSpec::TWO_PC.aborted_overheads(remote);
+        let b = ProtocolSpec::TWO_PC.aborted_overheads(local);
+        // Same forced writes, but the local NO voter's vote is free while
+        // both remote prepared cohorts must be told to abort and ACK.
+        assert_eq!(a.forced_writes, b.forced_writes);
+        assert_eq!(b.commit_messages - a.commit_messages, 2);
+    }
+
+    #[test]
+    fn all_cohorts_vote_no() {
+        let sc = AbortScenario {
+            dist_degree: 3,
+            remote_no_voters: 2,
+            local_no_voter: true,
+        };
+        let o = ProtocolSpec::TWO_PC.aborted_overheads(sc);
+        // No prepared cohorts: no abort messages, no acks.
+        // msgs = prepare 2 + votes 2; forced = 3 NO-voter aborts + 1 master.
+        assert_eq!(o.commit_messages, 4);
+        assert_eq!(o.forced_writes, 4);
+    }
+
+    #[test]
+    fn three_pc_voting_phase_abort_equals_2pc() {
+        // An abort decided in the voting phase never pays precommit costs.
+        let sc = abort_all_prepared_but_one_remote(6);
+        assert_eq!(
+            ProtocolSpec::THREE_PC.aborted_overheads(sc),
+            ProtocolSpec::TWO_PC.aborted_overheads(sc)
+        );
+    }
+
+    #[test]
+    fn paper_quoted_abort_rates_at_27_percent() {
+        // §5.7: "in the 27 percent transaction abort probability case, 2PC
+        // incurs about 8.8 forced writes ... per committed transaction,
+        // whereas the corresponding values for PA are 7.7".
+        // Sanity-check the inputs to that arithmetic: commit costs 7 forced
+        // writes and an abort with one NO voter costs 6 (2PC) vs 2 (PA), so
+        // amortized overhead per *committed* txn rises with the abort rate
+        // and PA's rises more slowly.
+        let commit = ProtocolSpec::TWO_PC.committed_overheads(3).forced_writes as f64;
+        let sc = abort_all_prepared_but_one_remote(3);
+        let abort_2pc = ProtocolSpec::TWO_PC.aborted_overheads(sc).forced_writes as f64;
+        let abort_pa = ProtocolSpec::PA.aborted_overheads(sc).forced_writes as f64;
+        // With p = txn abort probability, mean attempts per commit is
+        // 1/(1-p); extra (aborted) attempts cost the abort overheads.
+        let p: f64 = 0.27;
+        let per_commit_2pc = commit + p / (1.0 - p) * abort_2pc;
+        let per_commit_pa = commit + p / (1.0 - p) * abort_pa;
+        assert!((per_commit_2pc - 9.2).abs() < 0.5, "got {per_commit_2pc}");
+        assert!((per_commit_pa - 7.7).abs() < 0.5, "got {per_commit_pa}");
+        assert!(per_commit_pa < per_commit_2pc);
+    }
+
+    // ----- linear 2PC (§2.5 extension) -----
+
+    #[test]
+    fn linear_2pc_halves_commit_messages() {
+        for d in [2u32, 3, 6] {
+            let lin = ProtocolSpec::LINEAR_2PC.committed_overheads(d);
+            let par = ProtocolSpec::TWO_PC.committed_overheads(d);
+            assert_eq!(lin.commit_messages * 2, par.commit_messages, "d={d}");
+            assert_eq!(lin.forced_writes, par.forced_writes, "d={d}");
+            assert_eq!(lin.exec_messages, par.exec_messages, "d={d}");
+        }
+        // d = 3 concretely: 4 commit messages vs 2PC's 8.
+        assert_eq!(
+            ProtocolSpec::LINEAR_2PC
+                .committed_overheads(3)
+                .commit_messages,
+            4
+        );
+    }
+
+    #[test]
+    fn opt_linear_shares_linear_costs() {
+        assert_eq!(
+            ProtocolSpec::OPT_LINEAR_2PC.committed_overheads(3),
+            ProtocolSpec::LINEAR_2PC.committed_overheads(3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "chain position")]
+    fn linear_abort_analytics_unsupported() {
+        ProtocolSpec::LINEAR_2PC.aborted_overheads(AbortScenario {
+            dist_degree: 3,
+            remote_no_voters: 1,
+            local_no_voter: false,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "break the chain")]
+    fn linear_read_only_unsupported() {
+        ProtocolSpec::LINEAR_2PC.committed_overheads_read_only(ReadOnlyScenario {
+            dist_degree: 3,
+            remote_read_only: 1,
+            local_read_only: false,
+        });
+    }
+
+    // ----- read-only optimization (§3.2) -----
+
+    #[test]
+    fn read_only_none_equals_plain_commit() {
+        for spec in [
+            ProtocolSpec::TWO_PC,
+            ProtocolSpec::PA,
+            ProtocolSpec::PC,
+            ProtocolSpec::THREE_PC,
+        ] {
+            for d in [2, 3, 6] {
+                let sc = ReadOnlyScenario {
+                    dist_degree: d,
+                    remote_read_only: 0,
+                    local_read_only: false,
+                };
+                assert_eq!(
+                    spec.committed_overheads_read_only(sc),
+                    spec.committed_overheads(d),
+                    "{} d={d}",
+                    spec.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fully_read_only_transaction_is_one_phase() {
+        let sc = ReadOnlyScenario {
+            dist_degree: 3,
+            remote_read_only: 2,
+            local_read_only: true,
+        };
+        let o = ProtocolSpec::TWO_PC.committed_overheads_read_only(sc);
+        // PREPARE out (2), READ votes back (2), nothing forced.
+        assert_eq!(o.commit_messages, 4);
+        assert_eq!(o.forced_writes, 0);
+        // PC still pays its collecting record (written before the votes).
+        let pc = ProtocolSpec::PC.committed_overheads_read_only(sc);
+        assert_eq!(pc.forced_writes, 1);
+        // 3PC skips the whole precommit round when nobody participates.
+        let tpc = ProtocolSpec::THREE_PC.committed_overheads_read_only(sc);
+        assert_eq!(tpc.commit_messages, 4);
+        assert_eq!(tpc.forced_writes, 0);
+    }
+
+    #[test]
+    fn partially_read_only_costs_in_between() {
+        let sc = ReadOnlyScenario {
+            dist_degree: 3,
+            remote_read_only: 1,
+            local_read_only: false,
+        };
+        let o = ProtocolSpec::TWO_PC.committed_overheads_read_only(sc);
+        // participants = 2 (local + 1 remote), remote participants = 1.
+        // msgs: prepare 2 + votes 2 + decision 1 + ack 1 = 6
+        // forced: 2 prepare + 1 master + 2 cohort commit = 5
+        assert_eq!(o.commit_messages, 6);
+        assert_eq!(o.forced_writes, 5);
+        let full = ProtocolSpec::TWO_PC.committed_overheads(3);
+        assert!(o.commit_messages < full.commit_messages);
+        assert!(o.forced_writes < full.forced_writes);
+    }
+
+    #[test]
+    fn read_only_scenario_accessors() {
+        let sc = ReadOnlyScenario {
+            dist_degree: 6,
+            remote_read_only: 3,
+            local_read_only: true,
+        };
+        assert_eq!(sc.participants(), 2);
+        assert_eq!(sc.remote_participants(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not apply")]
+    fn read_only_rejects_baselines() {
+        ProtocolSpec::CENT.committed_overheads_read_only(ReadOnlyScenario {
+            dist_degree: 3,
+            remote_read_only: 0,
+            local_read_only: false,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "no voting phase")]
+    fn baseline_abort_overheads_panic() {
+        ProtocolSpec::CENT.aborted_overheads(AbortScenario {
+            dist_degree: 3,
+            remote_no_voters: 1,
+            local_no_voter: false,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one NO voter")]
+    fn abort_without_no_voter_panics() {
+        ProtocolSpec::TWO_PC.aborted_overheads(AbortScenario {
+            dist_degree: 3,
+            remote_no_voters: 0,
+            local_no_voter: false,
+        });
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Structural monotonicity: overheads never decrease with the
+        /// degree of distribution.
+        #[test]
+        fn overheads_monotone_in_dist_degree(d in 1u32..20) {
+            for spec in ProtocolSpec::ALL {
+                let a = spec.committed_overheads(d);
+                let b = spec.committed_overheads(d + 1);
+                prop_assert!(b.exec_messages >= a.exec_messages);
+                prop_assert!(b.commit_messages >= a.commit_messages);
+                prop_assert!(b.forced_writes >= a.forced_writes);
+            }
+        }
+
+        /// 3PC always costs strictly more than 2PC; PC always costs no
+        /// more messages/writes than 2PC (for commits).
+        #[test]
+        fn protocol_cost_ordering(d in 2u32..20) {
+            let two = ProtocolSpec::TWO_PC.committed_overheads(d);
+            let three = ProtocolSpec::THREE_PC.committed_overheads(d);
+            let pc = ProtocolSpec::PC.committed_overheads(d);
+            prop_assert!(three.commit_messages > two.commit_messages);
+            prop_assert!(three.forced_writes > two.forced_writes);
+            prop_assert!(pc.commit_messages < two.commit_messages);
+            prop_assert!(pc.forced_writes < two.forced_writes);
+        }
+
+        /// PA aborts are never costlier than 2PC aborts, whatever the
+        /// scenario.
+        #[test]
+        fn pa_abort_dominates(d in 2u32..12, remote_no in 0u32..12, local_no in proptest::bool::ANY) {
+            let remote_no = remote_no.min(d - 1);
+            if remote_no == 0 && !local_no {
+                return Ok(());
+            }
+            let sc = AbortScenario { dist_degree: d, remote_no_voters: remote_no, local_no_voter: local_no };
+            let pa = ProtocolSpec::PA.aborted_overheads(sc);
+            let two = ProtocolSpec::TWO_PC.aborted_overheads(sc);
+            prop_assert!(pa.forced_writes <= two.forced_writes);
+            prop_assert!(pa.commit_messages <= two.commit_messages);
+        }
+    }
+}

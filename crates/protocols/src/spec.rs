@@ -1,0 +1,446 @@
+//! Protocol identities and per-step behaviour flags.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The message/logging schedule of a commit protocol (§2 of the paper),
+/// independent of the OPT lending rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaseProtocol {
+    /// CENT baseline (§5.1): a centralized system of equivalent
+    /// aggregate resources; commit is a single forced decision record,
+    /// no messages at all.
+    Centralized,
+    /// DPCC baseline (§5.1): "distributed processing, centralized
+    /// commit" — data processing is distributed, but commit is a single
+    /// forced decision record at the master and zero commit messages.
+    /// Artificial by construction; an upper bound for real protocols.
+    Dpcc,
+    /// Classical two-phase commit (§2.1).
+    TwoPC,
+    /// Presumed Abort (§2.2): 2PC minus abort-side acknowledgements and
+    /// forced abort records ("in case of doubt, abort").
+    PresumedAbort,
+    /// Presumed Commit (§2.3): commit-side acknowledgements and forced
+    /// cohort commit records dropped, at the price of a forced
+    /// *collecting* record at the master before the protocol starts.
+    PresumedCommit,
+    /// Three-phase commit (§2.4): non-blocking thanks to an extra
+    /// precommit phase with its own round of messages and forced
+    /// writes.
+    ThreePC,
+    /// Linear (chained) 2PC (§2.5, the paper's ref. \[14\]): "message
+    /// overheads are
+    /// reduced by ordering the sites in a linear chain for
+    /// communication purposes". PREPARE travels down the chain with the
+    /// accumulated vote; the decision travels back up. Message count
+    /// drops from `4(d−1)` to `2(d−1)` at the price of serializing the
+    /// protocol — and of a much longer prepared state for early-chain
+    /// cohorts, which is precisely where OPT lending helps (§3.2).
+    Linear2PC,
+}
+
+impl BaseProtocol {
+    /// All base protocols, in the paper's presentation order.
+    pub const ALL: [BaseProtocol; 7] = [
+        BaseProtocol::Centralized,
+        BaseProtocol::Dpcc,
+        BaseProtocol::TwoPC,
+        BaseProtocol::PresumedAbort,
+        BaseProtocol::PresumedCommit,
+        BaseProtocol::ThreePC,
+        BaseProtocol::Linear2PC,
+    ];
+
+    /// Does the protocol run a voting (prepare) phase at all?
+    /// The two baselines do not — their commit is a single log write.
+    pub fn has_voting_phase(self) -> bool {
+        !matches!(self, BaseProtocol::Centralized | BaseProtocol::Dpcc)
+    }
+
+    /// Does the master force-write a *collecting* record (naming the
+    /// cohorts) before initiating the protocol? Only Presumed Commit.
+    pub fn collecting_record(self) -> bool {
+        self == BaseProtocol::PresumedCommit
+    }
+
+    /// Does the protocol insert the 3PC precommit phase (one more
+    /// message round-trip plus forced precommit records at master and
+    /// every cohort)?
+    pub fn precommit_phase(self) -> bool {
+        self == BaseProtocol::ThreePC
+    }
+
+    /// Is the master's global decision record force-written?
+    ///
+    /// Presumed Abort skips the forced write on the abort side (the
+    /// "in case of doubt, abort" rule makes it recoverable for free).
+    pub fn master_decision_forced(self, commit: bool) -> bool {
+        match self {
+            BaseProtocol::PresumedAbort => commit,
+            _ => true,
+        }
+    }
+
+    /// Is a *prepared* cohort's decision record force-written?
+    ///
+    /// * Presumed Abort: commit yes, abort no.
+    /// * Presumed Commit: commit no, abort yes.
+    /// * 2PC / 3PC: both forced.
+    /// * Baselines: no cohort records at all.
+    pub fn cohort_decision_forced(self, commit: bool) -> bool {
+        match self {
+            BaseProtocol::Centralized | BaseProtocol::Dpcc => false,
+            BaseProtocol::PresumedAbort => commit,
+            BaseProtocol::PresumedCommit => !commit,
+            BaseProtocol::TwoPC | BaseProtocol::ThreePC | BaseProtocol::Linear2PC => true,
+        }
+    }
+
+    /// Does a prepared cohort acknowledge the decision message?
+    ///
+    /// * Presumed Abort drops abort ACKs; Presumed Commit drops commit
+    ///   ACKs; 2PC / 3PC require both.
+    pub fn cohort_ack(self, commit: bool) -> bool {
+        match self {
+            BaseProtocol::Centralized | BaseProtocol::Dpcc => false,
+            BaseProtocol::PresumedAbort => commit,
+            BaseProtocol::PresumedCommit => !commit,
+            BaseProtocol::TwoPC | BaseProtocol::ThreePC => true,
+            // The backward pass of the chain *is* the acknowledgement.
+            BaseProtocol::Linear2PC => false,
+        }
+    }
+
+    /// Does a cohort that votes NO force-write its abort record before
+    /// sending the vote? (Presumed Abort does not.)
+    pub fn no_vote_abort_forced(self) -> bool {
+        match self {
+            BaseProtocol::PresumedAbort => false,
+            _ => self.has_voting_phase(),
+        }
+    }
+
+    /// Two-phase protocols are susceptible to blocking on master
+    /// failure; only 3PC (and the baselines, trivially) are not.
+    pub fn is_blocking(self) -> bool {
+        matches!(
+            self,
+            BaseProtocol::TwoPC
+                | BaseProtocol::PresumedAbort
+                | BaseProtocol::PresumedCommit
+                | BaseProtocol::Linear2PC
+        )
+    }
+
+    /// Number of message phases in the commit protocol proper.
+    pub fn phases(self) -> u32 {
+        match self {
+            BaseProtocol::Centralized | BaseProtocol::Dpcc => 0,
+            BaseProtocol::TwoPC
+            | BaseProtocol::PresumedAbort
+            | BaseProtocol::PresumedCommit
+            | BaseProtocol::Linear2PC => 2,
+            BaseProtocol::ThreePC => 3,
+        }
+    }
+
+    /// Short paper name of the base protocol.
+    pub fn name(self) -> &'static str {
+        match self {
+            BaseProtocol::Centralized => "CENT",
+            BaseProtocol::Dpcc => "DPCC",
+            BaseProtocol::TwoPC => "2PC",
+            BaseProtocol::PresumedAbort => "PA",
+            BaseProtocol::PresumedCommit => "PC",
+            BaseProtocol::ThreePC => "3PC",
+            BaseProtocol::Linear2PC => "L2PC",
+        }
+    }
+}
+
+impl fmt::Display for BaseProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A complete protocol choice: a base schedule plus, optionally, the
+/// OPT lending rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProtocolSpec {
+    /// The message/logging schedule.
+    pub base: BaseProtocol,
+    /// Whether prepared cohorts lend uncommitted data (§3).
+    pub opt: bool,
+}
+
+impl ProtocolSpec {
+    /// Centralized baseline.
+    pub const CENT: ProtocolSpec = ProtocolSpec {
+        base: BaseProtocol::Centralized,
+        opt: false,
+    };
+    /// Distributed-processing / centralized-commit baseline.
+    pub const DPCC: ProtocolSpec = ProtocolSpec {
+        base: BaseProtocol::Dpcc,
+        opt: false,
+    };
+    /// Classical two-phase commit.
+    pub const TWO_PC: ProtocolSpec = ProtocolSpec {
+        base: BaseProtocol::TwoPC,
+        opt: false,
+    };
+    /// Presumed Abort.
+    pub const PA: ProtocolSpec = ProtocolSpec {
+        base: BaseProtocol::PresumedAbort,
+        opt: false,
+    };
+    /// Presumed Commit.
+    pub const PC: ProtocolSpec = ProtocolSpec {
+        base: BaseProtocol::PresumedCommit,
+        opt: false,
+    };
+    /// Three-phase commit.
+    pub const THREE_PC: ProtocolSpec = ProtocolSpec {
+        base: BaseProtocol::ThreePC,
+        opt: false,
+    };
+    /// The paper's OPT (2PC base).
+    pub const OPT_2PC: ProtocolSpec = ProtocolSpec {
+        base: BaseProtocol::TwoPC,
+        opt: true,
+    };
+    /// OPT combined with Presumed Abort.
+    pub const OPT_PA: ProtocolSpec = ProtocolSpec {
+        base: BaseProtocol::PresumedAbort,
+        opt: true,
+    };
+    /// OPT combined with Presumed Commit.
+    pub const OPT_PC: ProtocolSpec = ProtocolSpec {
+        base: BaseProtocol::PresumedCommit,
+        opt: true,
+    };
+    /// Non-blocking OPT (3PC base, §5.6).
+    pub const OPT_3PC: ProtocolSpec = ProtocolSpec {
+        base: BaseProtocol::ThreePC,
+        opt: true,
+    };
+    /// Linear (chained) 2PC (§2.5).
+    pub const LINEAR_2PC: ProtocolSpec = ProtocolSpec {
+        base: BaseProtocol::Linear2PC,
+        opt: false,
+    };
+    /// OPT over linear 2PC — the §3.2 synergy case (the chain extends
+    /// the prepared state, so there is more to lend).
+    pub const OPT_LINEAR_2PC: ProtocolSpec = ProtocolSpec {
+        base: BaseProtocol::Linear2PC,
+        opt: true,
+    };
+
+    /// Every spec the paper evaluates, plus the linear-2PC extension.
+    pub const ALL: [ProtocolSpec; 12] = [
+        ProtocolSpec::CENT,
+        ProtocolSpec::DPCC,
+        ProtocolSpec::TWO_PC,
+        ProtocolSpec::PA,
+        ProtocolSpec::PC,
+        ProtocolSpec::THREE_PC,
+        ProtocolSpec::OPT_2PC,
+        ProtocolSpec::OPT_PA,
+        ProtocolSpec::OPT_PC,
+        ProtocolSpec::OPT_3PC,
+        ProtocolSpec::LINEAR_2PC,
+        ProtocolSpec::OPT_LINEAR_2PC,
+    ];
+
+    /// Paper name ("OPT" alone denotes OPT on a 2PC base).
+    pub fn name(self) -> &'static str {
+        if !self.opt {
+            return self.base.name();
+        }
+        match self.base {
+            BaseProtocol::TwoPC => "OPT",
+            BaseProtocol::PresumedAbort => "OPT-PA",
+            BaseProtocol::PresumedCommit => "OPT-PC",
+            BaseProtocol::ThreePC => "OPT-3PC",
+            BaseProtocol::Linear2PC => "OPT-L2PC",
+            // OPT over the baselines is meaningless (no prepared state);
+            // name it explicitly so misuse is visible.
+            BaseProtocol::Centralized => "OPT-CENT(invalid)",
+            BaseProtocol::Dpcc => "OPT-DPCC(invalid)",
+        }
+    }
+
+    /// Is this spec meaningful? OPT needs a prepared state to lend
+    /// from, so it cannot be combined with the baselines.
+    pub fn is_valid(self) -> bool {
+        !self.opt || self.base.has_voting_phase()
+    }
+
+    /// Non-blocking protocols survive master failure without stalling
+    /// prepared cohorts.
+    pub fn is_non_blocking(self) -> bool {
+        !self.base.is_blocking()
+    }
+}
+
+impl fmt::Display for ProtocolSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned by [`ProtocolSpec::from_str`] for unknown names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProtocolError(pub String);
+
+impl fmt::Display for ParseProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown protocol name: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseProtocolError {}
+
+impl FromStr for ProtocolSpec {
+    type Err = ParseProtocolError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let up = s.trim().to_ascii_uppercase();
+        let spec = match up.as_str() {
+            "CENT" | "CENTRALIZED" => ProtocolSpec::CENT,
+            "DPCC" => ProtocolSpec::DPCC,
+            "2PC" => ProtocolSpec::TWO_PC,
+            "PA" | "PRESUMED-ABORT" => ProtocolSpec::PA,
+            "PC" | "PRESUMED-COMMIT" => ProtocolSpec::PC,
+            "3PC" => ProtocolSpec::THREE_PC,
+            "OPT" | "OPT-2PC" => ProtocolSpec::OPT_2PC,
+            "OPT-PA" => ProtocolSpec::OPT_PA,
+            "OPT-PC" => ProtocolSpec::OPT_PC,
+            "OPT-3PC" => ProtocolSpec::OPT_3PC,
+            "L2PC" | "LINEAR-2PC" => ProtocolSpec::LINEAR_2PC,
+            "OPT-L2PC" | "OPT-LINEAR-2PC" => ProtocolSpec::OPT_LINEAR_2PC,
+            _ => return Err(ParseProtocolError(s.to_string())),
+        };
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parsing() {
+        for spec in ProtocolSpec::ALL {
+            let parsed: ProtocolSpec = spec.name().parse().unwrap();
+            assert_eq!(parsed, spec, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn parsing_is_case_insensitive() {
+        assert_eq!(
+            "opt-3pc".parse::<ProtocolSpec>().unwrap(),
+            ProtocolSpec::OPT_3PC
+        );
+        assert_eq!(
+            " 2pc ".parse::<ProtocolSpec>().unwrap(),
+            ProtocolSpec::TWO_PC
+        );
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let err = "4PC".parse::<ProtocolSpec>().unwrap_err();
+        assert!(err.to_string().contains("4PC"));
+    }
+
+    #[test]
+    fn blocking_classification_matches_paper() {
+        // "two-phase commit protocols are susceptible to blocking whereas
+        //  three-phase commit protocols are non-blocking"
+        assert!(!ProtocolSpec::TWO_PC.is_non_blocking());
+        assert!(!ProtocolSpec::PA.is_non_blocking());
+        assert!(!ProtocolSpec::PC.is_non_blocking());
+        assert!(ProtocolSpec::THREE_PC.is_non_blocking());
+        assert!(ProtocolSpec::OPT_3PC.is_non_blocking());
+        assert!(!ProtocolSpec::OPT_2PC.is_non_blocking());
+    }
+
+    #[test]
+    fn opt_requires_a_voting_phase() {
+        assert!(ProtocolSpec::OPT_2PC.is_valid());
+        assert!(ProtocolSpec::OPT_3PC.is_valid());
+        assert!(!ProtocolSpec {
+            base: BaseProtocol::Centralized,
+            opt: true
+        }
+        .is_valid());
+        assert!(!ProtocolSpec {
+            base: BaseProtocol::Dpcc,
+            opt: true
+        }
+        .is_valid());
+        for spec in ProtocolSpec::ALL {
+            assert!(spec.is_valid());
+        }
+    }
+
+    #[test]
+    fn presumed_abort_flags() {
+        let pa = BaseProtocol::PresumedAbort;
+        // PA behaves identically to 2PC for committing transactions...
+        assert!(pa.master_decision_forced(true));
+        assert!(pa.cohort_decision_forced(true));
+        assert!(pa.cohort_ack(true));
+        // ...but drops all abort-side overheads.
+        assert!(!pa.master_decision_forced(false));
+        assert!(!pa.cohort_decision_forced(false));
+        assert!(!pa.cohort_ack(false));
+        assert!(!pa.no_vote_abort_forced());
+    }
+
+    #[test]
+    fn presumed_commit_flags() {
+        let pc = BaseProtocol::PresumedCommit;
+        assert!(pc.collecting_record());
+        assert!(pc.master_decision_forced(true));
+        // cohorts neither force the commit record nor ACK commit...
+        assert!(!pc.cohort_decision_forced(true));
+        assert!(!pc.cohort_ack(true));
+        // ...but pay full price on abort.
+        assert!(pc.cohort_decision_forced(false));
+        assert!(pc.cohort_ack(false));
+        assert!(pc.no_vote_abort_forced());
+    }
+
+    #[test]
+    fn three_pc_has_extra_phase() {
+        assert!(BaseProtocol::ThreePC.precommit_phase());
+        assert_eq!(BaseProtocol::ThreePC.phases(), 3);
+        assert_eq!(BaseProtocol::TwoPC.phases(), 2);
+        assert_eq!(BaseProtocol::Centralized.phases(), 0);
+    }
+
+    #[test]
+    fn baselines_have_no_voting() {
+        assert!(!BaseProtocol::Centralized.has_voting_phase());
+        assert!(!BaseProtocol::Dpcc.has_voting_phase());
+        assert!(!BaseProtocol::Dpcc.cohort_decision_forced(true));
+        assert!(!BaseProtocol::Centralized.cohort_ack(false));
+        for b in [BaseProtocol::Centralized, BaseProtocol::Dpcc] {
+            assert!(b.master_decision_forced(true));
+            assert!(b.master_decision_forced(false));
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ProtocolSpec::OPT_2PC.to_string(), "OPT");
+        assert_eq!(ProtocolSpec::TWO_PC.to_string(), "2PC");
+        assert_eq!(ProtocolSpec::CENT.to_string(), "CENT");
+        assert_eq!(BaseProtocol::PresumedCommit.to_string(), "PC");
+    }
+}

@@ -1,0 +1,279 @@
+//! The future-event list.
+//!
+//! A classic calendar for discrete-event simulation: events are
+//! scheduled at absolute instants and popped in time order. Events
+//! scheduled for the same instant are delivered in the order they were
+//! scheduled (FIFO), which keeps runs deterministic — a requirement for
+//! the reproducibility guarantees this repository makes about every
+//! experiment.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled entry: ordering key is `(time, seq)` so simultaneous
+/// events preserve scheduling order.
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The event calendar: a min-heap of `(time, seq, event)` plus the
+/// simulation clock.
+///
+/// The clock only advances when an event is popped; scheduling in the
+/// past is a logic error and panics in debug builds.
+#[derive(Debug)]
+pub struct Calendar<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    now: SimTime,
+    seq: u64,
+    scheduled: u64,
+    dispatched: u64,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// An empty calendar with the clock at time zero.
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            scheduled: 0,
+            dispatched: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting to fire.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (diagnostics).
+    #[inline]
+    pub fn scheduled_count(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Total events ever dispatched (diagnostics).
+    #[inline]
+    pub fn dispatched_count(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Schedule `event` to fire at the absolute instant `at`.
+    ///
+    /// `at` must not precede the current clock.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            event,
+        }));
+    }
+
+    /// Schedule `event` to fire `delay` after the current clock.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedule `event` to fire at the current instant, after every
+    /// event already scheduled for this instant.
+    #[inline]
+    pub fn schedule_now(&mut self, event: E) {
+        self.schedule_at(self.now, event);
+    }
+
+    /// Pop the next event, advancing the clock to its firing time.
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        self.dispatched += 1;
+        Some((entry.time, entry.event))
+    }
+
+    /// Firing time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule_at(SimTime(30), "c");
+        cal.schedule_at(SimTime(10), "a");
+        cal.schedule_at(SimTime(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| cal.next()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut cal = Calendar::new();
+        for i in 0..100u32 {
+            cal.schedule_at(SimTime(42), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| cal.next()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_to_event_time() {
+        let mut cal = Calendar::new();
+        cal.schedule_at(SimTime(5), ());
+        cal.schedule_at(SimTime(9), ());
+        assert_eq!(cal.now(), SimTime::ZERO);
+        cal.next();
+        assert_eq!(cal.now(), SimTime(5));
+        cal.next();
+        assert_eq!(cal.now(), SimTime(9));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut cal = Calendar::new();
+        cal.schedule_at(SimTime(100), 1);
+        cal.next();
+        cal.schedule_in(SimDuration(50), 2);
+        let (t, e) = cal.next().unwrap();
+        assert_eq!((t, e), (SimTime(150), 2));
+    }
+
+    #[test]
+    fn schedule_now_runs_after_existing_same_instant_events() {
+        let mut cal = Calendar::new();
+        cal.schedule_at(SimTime(7), "first");
+        cal.schedule_at(SimTime(7), "second");
+        let (_, e) = cal.next().unwrap();
+        assert_eq!(e, "first");
+        cal.schedule_now("third");
+        let (_, e) = cal.next().unwrap();
+        assert_eq!(e, "second");
+        let (t, e) = cal.next().unwrap();
+        assert_eq!((t, e), (SimTime(7), "third"));
+    }
+
+    #[test]
+    fn counters_track_flow() {
+        let mut cal = Calendar::new();
+        cal.schedule_at(SimTime(1), ());
+        cal.schedule_at(SimTime(2), ());
+        assert_eq!(cal.scheduled_count(), 2);
+        assert_eq!(cal.pending(), 2);
+        cal.next();
+        assert_eq!(cal.dispatched_count(), 1);
+        assert_eq!(cal.pending(), 1);
+        assert!(!cal.is_empty());
+        cal.next();
+        assert!(cal.is_empty());
+        assert!(cal.next().is_none());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut cal = Calendar::new();
+        cal.schedule_at(SimTime(11), ());
+        assert_eq!(cal.peek_time(), Some(SimTime(11)));
+        assert_eq!(cal.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_the_past_panics_in_debug() {
+        let mut cal = Calendar::new();
+        cal.schedule_at(SimTime(10), ());
+        cal.next();
+        cal.schedule_at(SimTime(5), ());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popping the calendar yields exactly the multiset of scheduled
+        /// events, sorted by (time, insertion order) — i.e. a stable sort.
+        #[test]
+        fn calendar_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..1000, 1..200)) {
+            let mut cal = Calendar::new();
+            for (i, &t) in times.iter().enumerate() {
+                cal.schedule_at(SimTime(t), i);
+            }
+            let mut reference: Vec<(u64, usize)> =
+                times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+            reference.sort(); // (time, seq) — seq equals insertion index here
+            let popped: Vec<(u64, usize)> =
+                std::iter::from_fn(|| cal.next()).map(|(t, i)| (t.0, i)).collect();
+            prop_assert_eq!(popped, reference);
+        }
+
+        /// The clock is monotone no matter the schedule.
+        #[test]
+        fn clock_is_monotone(times in proptest::collection::vec(0u64..1000, 1..200)) {
+            let mut cal = Calendar::new();
+            for &t in &times {
+                cal.schedule_at(SimTime(t), ());
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((t, _)) = cal.next() {
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Deterministic random-number facade.
+//!
+//! All stochastic choices in the model (page selection, remote-site
+//! selection, cohort sizes, update draws, surprise-abort votes) go
+//! through [`SimRng`], a thin wrapper over a seeded [`rand::rngs::StdRng`].
+//! Given the same seed, every run of every experiment is bit-for-bit
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Seeded RNG with the sampling helpers the workload generator needs.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    rng: StdRng,
+}
+
+impl SimRng {
+    /// Construct from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent stream for a sub-component; mixing in
+    /// `stream` keeps sibling components decorrelated.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let base: u64 = self.rng.gen();
+        SimRng::new(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform usize in `[lo, hi]` (inclusive).
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "empty range");
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.rng.gen_bool(p)
+        }
+    }
+
+    /// The paper's cohort-size draw: uniform over
+    /// `[0.5 * mean, 1.5 * mean]`, rounded to integers, never below 1.
+    pub fn around_mean(&mut self, mean: u32) -> u32 {
+        let lo = mean / 2;
+        let hi = mean + mean / 2;
+        self.uniform_u64(lo.max(1) as u64, hi.max(1) as u64) as u32
+    }
+
+    /// Sample `k` distinct values from `0..n` (uniform, without
+    /// replacement). Order is random.
+    ///
+    /// # Panics
+    /// Panics if `k > n`.
+    pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct values from {n}");
+        // Partial Fisher–Yates over an index vector for small n; for
+        // large n with small k, rejection sampling is cheaper.
+        if k * 4 >= n {
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = self.uniform_usize(i, n - 1);
+                idx.swap(i, j);
+            }
+            idx.truncate(k);
+            idx
+        } else {
+            let mut chosen = Vec::with_capacity(k);
+            while chosen.len() < k {
+                let v = self.uniform_usize(0, n - 1);
+                if !chosen.contains(&v) {
+                    chosen.push(v);
+                }
+            }
+            chosen
+        }
+    }
+
+    /// Pick one element of a slice uniformly.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        items.choose(&mut self.rng).expect("pick from empty slice")
+    }
+
+    /// Raw f64 in [0,1).
+    pub fn f64(&mut self) -> f64 {
+        self.rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform_u64(0, 1_000_000), b.uniform_u64(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let va: Vec<u64> = (0..32).map(|_| a.uniform_u64(0, u64::MAX - 1)).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.uniform_u64(0, u64::MAX - 1)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn forked_streams_are_deterministic() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        let mut fa = a.fork(3);
+        let mut fb = b.fork(3);
+        assert_eq!(fa.uniform_u64(0, 999), fb.uniform_u64(0, 999));
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = SimRng::new(9);
+        for _ in 0..1000 {
+            let v = r.uniform_u64(10, 20);
+            assert!((10..=20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = SimRng::new(11);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_700..=3_300).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn around_mean_covers_paper_range() {
+        let mut r = SimRng::new(13);
+        let mut seen = HashSet::new();
+        for _ in 0..10_000 {
+            let v = r.around_mean(6);
+            assert!((3..=9).contains(&v), "got {v}");
+            seen.insert(v);
+        }
+        // all seven values of U[3,9] should occur
+        assert_eq!(seen.len(), 7);
+    }
+
+    #[test]
+    fn around_mean_never_below_one() {
+        let mut r = SimRng::new(17);
+        for _ in 0..100 {
+            assert!(r.around_mean(1) >= 1);
+        }
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_and_in_range() {
+        let mut r = SimRng::new(21);
+        for &(n, k) in &[(10usize, 10usize), (100, 3), (8, 5), (1, 1), (1000, 2)] {
+            let s = r.sample_distinct(n, k);
+            assert_eq!(s.len(), k);
+            let set: HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), k, "duplicates in sample");
+            assert!(s.iter().all(|&v| v < n));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_zero() {
+        let mut r = SimRng::new(23);
+        assert!(r.sample_distinct(5, 0).is_empty());
+        assert!(r.sample_distinct(0, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_distinct_overdraw_panics() {
+        let mut r = SimRng::new(25);
+        r.sample_distinct(3, 4);
+    }
+
+    #[test]
+    fn sample_distinct_is_roughly_uniform() {
+        let mut r = SimRng::new(29);
+        let mut counts = [0u32; 8];
+        for _ in 0..8_000 {
+            for v in r.sample_distinct(8, 2) {
+                counts[v] += 1;
+            }
+        }
+        // each slot expects 2000 hits
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((1_700..=2_300).contains(&c), "slot {i} got {c}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    proptest! {
+        #[test]
+        fn sample_distinct_always_valid(seed in 0u64..1000, n in 1usize..200, k_frac in 0usize..=100) {
+            let k = n * k_frac / 100;
+            let mut r = SimRng::new(seed);
+            let s = r.sample_distinct(n, k);
+            prop_assert_eq!(s.len(), k);
+            let set: HashSet<_> = s.iter().copied().collect();
+            prop_assert_eq!(set.len(), k);
+            prop_assert!(s.iter().all(|&v| v < n));
+        }
+
+        #[test]
+        fn around_mean_in_range(seed in 0u64..1000, mean in 1u32..100) {
+            let mut r = SimRng::new(seed);
+            let v = r.around_mean(mean);
+            prop_assert!(v >= (mean / 2).max(1));
+            prop_assert!(v <= mean + mean / 2);
+        }
+    }
+}

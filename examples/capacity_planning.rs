@@ -1,0 +1,121 @@
+//! Capacity planning with the simulator: a scenario the paper's
+//! introduction motivates — you run a distributed OLTP system on
+//! 2PC-class commit processing and want to know (a) the admission
+//! level (MPL) that maximizes throughput, and (b) what switching the
+//! commit protocol would buy on *your* hardware, before touching
+//! production.
+//!
+//! The example models a mid-size installation (faster network and an
+//! extra disk per site than the paper's 1997 baseline), finds each
+//! protocol's peak operating point, and prints a migration summary —
+//! including the paper's "win-win" check: does OPT-3PC beat your
+//! current blocking protocol while adding non-blocking recovery?
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use distcommit::db::config::SystemConfig;
+use distcommit::db::engine::Simulation;
+use distcommit::db::metrics::SimReport;
+use distcommit::proto::ProtocolSpec;
+use simkernel::SimDuration;
+
+/// Sweep MPL for one protocol and return the best operating point.
+fn find_peak(cfg: &SystemConfig, spec: ProtocolSpec) -> (u32, SimReport) {
+    let mut best: Option<(u32, SimReport)> = None;
+    for mpl in [1u32, 2, 3, 4, 5, 6, 8, 10, 12] {
+        let mut cfg = cfg.clone();
+        cfg.mpl = mpl;
+        let report = Simulation::run(&cfg, spec, 7).expect("valid config");
+        let better = best
+            .as_ref()
+            .map_or(true, |(_, b)| report.throughput > b.throughput);
+        if better {
+            best = Some((mpl, report));
+        }
+    }
+    best.expect("at least one MPL swept")
+}
+
+fn main() {
+    // "Our" installation: the paper's topology with year-2000 hardware —
+    // 1 ms message path and three data disks per site.
+    let mut cfg = SystemConfig::paper_baseline().fast_network();
+    cfg.num_data_disks = 3;
+    cfg.run.warmup_transactions = 300;
+    cfg.run.measured_transactions = 3_000;
+
+    println!("Installation under study:\n{cfg}");
+
+    let current = ProtocolSpec::TWO_PC;
+    let candidates = [
+        ProtocolSpec::TWO_PC,
+        ProtocolSpec::PA,
+        ProtocolSpec::PC,
+        ProtocolSpec::OPT_2PC,
+        ProtocolSpec::THREE_PC,
+        ProtocolSpec::OPT_3PC,
+    ];
+
+    println!(
+        "{:<10} {:>5} {:>12} {:>12} {:>10} {:>14}",
+        "protocol", "MPL*", "peak txn/s", "resp @peak", "blocking?", "vs current"
+    );
+    let mut results = Vec::new();
+    for spec in candidates {
+        let (mpl, report) = find_peak(&cfg, spec);
+        results.push((spec, mpl, report));
+    }
+    let baseline = results
+        .iter()
+        .find(|(s, _, _)| *s == current)
+        .map(|(_, _, r)| r.throughput)
+        .expect("current protocol swept");
+    for (spec, mpl, report) in &results {
+        println!(
+            "{:<10} {:>5} {:>12.2} {:>11.3}s {:>10} {:>+13.1}%",
+            spec.name(),
+            mpl,
+            report.throughput,
+            report.mean_response_s,
+            if spec.is_non_blocking() { "no" } else { "yes" },
+            100.0 * (report.throughput - baseline) / baseline,
+        );
+    }
+
+    // The §5.6 "win-win" check: a non-blocking protocol that still beats
+    // the blocking incumbent.
+    let opt3 = results
+        .iter()
+        .find(|(s, _, _)| *s == ProtocolSpec::OPT_3PC)
+        .unwrap();
+    println!();
+    if opt3.2.throughput > baseline {
+        println!(
+            "win-win: OPT-3PC is non-blocking AND {:.1}% faster than 2PC at its peak —\n\
+             the migration the paper recommends for high-contention systems.",
+            100.0 * (opt3.2.throughput - baseline) / baseline
+        );
+    } else {
+        println!(
+            "on this hardware OPT-3PC gives up {:.1}% peak throughput as the price of \
+             non-blocking recovery.",
+            100.0 * (baseline - opt3.2.throughput) / baseline
+        );
+    }
+
+    // Sensitivity: what if the network were the paper's slow 5 ms path?
+    let mut slow = cfg.clone();
+    slow.msg_cpu = SimDuration::from_millis(5);
+    let (_, slow_2pc) = find_peak(&slow, ProtocolSpec::TWO_PC);
+    let (_, slow_opt) = find_peak(&slow, ProtocolSpec::OPT_2PC);
+    println!(
+        "\nsensitivity: with a 5 ms message path, 2PC peaks at {:.2} txn/s and OPT at {:.2} \
+         ({:+.1}%) — OPT's advantage persists on fast networks because it attacks data\n\
+         contention, not message cost (§5.4).",
+        slow_2pc.throughput,
+        slow_opt.throughput,
+        100.0 * (slow_opt.throughput - slow_2pc.throughput) / slow_2pc.throughput
+    );
+}

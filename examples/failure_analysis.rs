@@ -1,0 +1,69 @@
+//! Failure analysis: what the paper's §2.4 blocking argument costs in
+//! practice. The paper's experiments are failure-free and find 3PC
+//! ~20% behind 2PC; this example injects master crashes at the
+//! decision point and finds where the ordering flips — the operational
+//! question behind choosing OPT-3PC.
+//!
+//! ```sh
+//! cargo run --release --example failure_analysis
+//! ```
+
+use distcommit::db::config::{FailureConfig, SystemConfig};
+use distcommit::db::engine::Simulation;
+use distcommit::proto::ProtocolSpec;
+use simkernel::SimDuration;
+
+fn main() {
+    let mut base = SystemConfig::paper_baseline();
+    base.mpl = 4;
+    base.run.warmup_transactions = 300;
+    base.run.measured_transactions = 3_000;
+
+    println!("Master crashes at the decision point; detection 300 ms, recovery 5 s.");
+    println!("Throughput (txn/s) at MPL 4:\n");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>10}",
+        "crash prob", "2PC", "OPT", "3PC", "OPT-3PC"
+    );
+
+    let mut flip: Option<f64> = None;
+    for &p in &[0.0, 0.001, 0.005, 0.01, 0.02, 0.05] {
+        let mut cfg = base.clone();
+        if p > 0.0 {
+            cfg.failures = Some(FailureConfig {
+                master_crash_prob: p,
+                detection_timeout: SimDuration::from_millis(300),
+                recovery_time: SimDuration::from_secs(5),
+            });
+        }
+        let t = |spec| {
+            Simulation::run(&cfg, spec, 42)
+                .expect("valid config")
+                .throughput
+        };
+        let two_pc = t(ProtocolSpec::TWO_PC);
+        let opt = t(ProtocolSpec::OPT_2PC);
+        let three_pc = t(ProtocolSpec::THREE_PC);
+        let opt_3pc = t(ProtocolSpec::OPT_3PC);
+        println!(
+            "{:>11.1}% {two_pc:>10.2} {opt:>10.2} {three_pc:>10.2} {opt_3pc:>10.2}",
+            p * 100.0
+        );
+        if flip.is_none() && three_pc > two_pc {
+            flip = Some(p);
+        }
+    }
+
+    println!();
+    match flip {
+        Some(p) => println!(
+            "the blocking/non-blocking ordering flips near a {:.1}% master-crash rate:\n\
+             below it, 3PC's extra phase is wasted overhead; above it, every 2PC crash\n\
+             strands ~12 update locks for the full 5 s recovery and blocking cascades.\n\
+             OPT-3PC pairs the non-blocking guarantee with OPT's lending — the paper's\n\
+             \"win-win\" recommendation, now with the failure axis made explicit.",
+            p * 100.0
+        ),
+        None => println!("no flip in the swept range — failures too rare or recovery too fast."),
+    }
+}

@@ -1,0 +1,43 @@
+//! Protocol face-off: sweep the multiprogramming level for every
+//! protocol the paper evaluates and print throughput, block-ratio and
+//! borrow-ratio tables — a miniature of Figures 1a–1c.
+//!
+//! ```sh
+//! cargo run --release --example protocol_faceoff            # RC+DC
+//! cargo run --release --example protocol_faceoff -- dc      # pure data contention
+//! ```
+
+use distcommit::db::experiments::{fig1, fig2, Scale};
+use distcommit::db::output::{render_peaks, render_table, Metric};
+
+fn main() {
+    let pure_dc = std::env::args().nth(1).as_deref() == Some("dc");
+    let scale = Scale {
+        warmup: 200,
+        measured: 2_000,
+        mpls: vec![1, 2, 4, 6, 8, 10],
+        seed: 42,
+    };
+
+    let exp = if pure_dc {
+        fig2(&scale).expect("valid config")
+    } else {
+        fig1(&scale).expect("valid config")
+    };
+
+    print!("{}", render_table(&exp, Metric::Throughput));
+    println!();
+    print!("{}", render_table(&exp, Metric::BlockRatio));
+    println!();
+    print!("{}", render_table(&exp, Metric::BorrowRatio));
+    println!();
+    print!("{}", render_peaks(&exp));
+
+    println!();
+    println!("Reading the tables against the paper's §5.2/§5.3 claims:");
+    println!(" * every protocol's throughput rises to a knee (MPL ≈ 4-5), then thrashes;");
+    println!(" * CENT ≈ DPCC ≫ 2PC: distributed commit costs more than distributed data;");
+    println!(" * 3PC trails 2PC (extra phase, extra forced writes);");
+    println!(" * OPT tracks 2PC at low MPL and approaches DPCC once borrowing kicks in;");
+    println!(" * OPT's block ratio sits below every classical protocol's.");
+}

@@ -1,0 +1,67 @@
+//! Quickstart: run the paper's baseline workload under 2PC and OPT and
+//! compare them.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use distcommit::db::config::SystemConfig;
+use distcommit::db::engine::Simulation;
+use distcommit::proto::ProtocolSpec;
+
+fn main() {
+    // The reconstructed Table 2 baseline: 8 sites, parallel
+    // transactions over 3 sites, 6 pages per cohort, all updates.
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.mpl = 4; // the throughput knee in the paper's figures
+    cfg.run.warmup_transactions = 500;
+    cfg.run.measured_transactions = 5_000;
+
+    println!("Workload / system configuration (Table 2):\n{cfg}");
+
+    println!("running 2PC, Presumed Abort, Presumed Commit, 3PC, OPT, OPT-3PC ...\n");
+    let specs = [
+        ProtocolSpec::CENT,
+        ProtocolSpec::DPCC,
+        ProtocolSpec::TWO_PC,
+        ProtocolSpec::PA,
+        ProtocolSpec::PC,
+        ProtocolSpec::THREE_PC,
+        ProtocolSpec::OPT_2PC,
+        ProtocolSpec::OPT_3PC,
+    ];
+    let mut reports = Vec::new();
+    for spec in specs {
+        let report = Simulation::run(&cfg, spec, 42).expect("valid baseline config");
+        println!("{}", report.summary());
+        reports.push((spec, report));
+    }
+
+    // The paper's headline observations, recomputed live:
+    let get = |name: &str| {
+        reports
+            .iter()
+            .find(|(s, _)| s.name() == name)
+            .map(|(_, r)| r.throughput)
+            .unwrap()
+    };
+    let cent = get("CENT");
+    let dpcc = get("DPCC");
+    let two_pc = get("2PC");
+    let opt = get("OPT");
+
+    println!();
+    println!(
+        "distribution cost   (CENT − DPCC): {:>6.2} txn/s — the price of distributed *data* processing",
+        cent - dpcc
+    );
+    println!(
+        "commit cost         (DPCC − 2PC) : {:>6.2} txn/s — the price of distributed *commit* processing",
+        dpcc - two_pc
+    );
+    println!(
+        "OPT's recovery      (OPT − 2PC)  : {:>6.2} txn/s — borrowing prepared data wins back {:.0}% of the commit cost",
+        opt - two_pc,
+        100.0 * (opt - two_pc) / (dpcc - two_pc).max(f64::EPSILON)
+    );
+}

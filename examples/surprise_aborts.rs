@@ -1,0 +1,63 @@
+//! OPT robustness under "surprise aborts" (§5.7): how far can the
+//! probability of commit-phase NO votes rise before optimistic
+//! borrowing stops paying off?
+//!
+//! The paper's claim: OPT keeps its edge until roughly fifteen percent
+//! of transactions abort in the commit phase — far above anything seen
+//! in practice. This example sweeps the cohort NO-vote probability and
+//! finds the crossover empirically.
+//!
+//! ```sh
+//! cargo run --release --example surprise_aborts
+//! ```
+
+use distcommit::db::config::SystemConfig;
+use distcommit::db::engine::Simulation;
+use distcommit::proto::ProtocolSpec;
+
+fn main() {
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.mpl = 4;
+    cfg.run.warmup_transactions = 300;
+    cfg.run.measured_transactions = 4_000;
+
+    println!(
+        "{:>10} {:>12} {:>10} {:>10} {:>10} {:>12}",
+        "cohort p", "~txn aborts", "2PC", "PA", "OPT", "OPT-PA"
+    );
+
+    let mut crossover: Option<f64> = None;
+    for &p in &[0.0, 0.01, 0.02, 0.05, 0.08, 0.10, 0.12] {
+        cfg.cohort_abort_prob = p;
+        let run = |spec| Simulation::run(&cfg, spec, 42).expect("valid config");
+        let two_pc = run(ProtocolSpec::TWO_PC);
+        let pa = run(ProtocolSpec::PA);
+        let opt = run(ProtocolSpec::OPT_2PC);
+        let opt_pa = run(ProtocolSpec::OPT_PA);
+        // At DistDegree 3 a transaction aborts unless all three cohorts
+        // vote YES: P(abort) = 1 - (1-p)^3.
+        let txn_abort = 1.0 - (1.0 - p).powi(3);
+        println!(
+            "{:>10.2} {:>11.1}% {:>10.2} {:>10.2} {:>10.2} {:>12.2}",
+            p,
+            txn_abort * 100.0,
+            two_pc.throughput,
+            pa.throughput,
+            opt.throughput,
+            opt_pa.throughput,
+        );
+        if crossover.is_none() && opt.throughput < two_pc.throughput * 0.97 {
+            crossover = Some(txn_abort);
+        }
+    }
+
+    println!();
+    match crossover {
+        Some(t) => println!(
+            "OPT falls >3% behind 2PC once ~{:.0}% of transactions abort in the commit phase;\n\
+             the paper's robustness bound is ~15%, and real systems sit far below either figure.",
+            t * 100.0
+        ),
+        None => println!("OPT never fell behind 2PC in the swept range."),
+    }
+}

@@ -1,0 +1,575 @@
+//! Command-line interface: run single simulations, protocol sweeps, or
+//! the paper's experiment presets from the shell.
+//!
+//! ```sh
+//! distcommit run --protocol OPT --mpl 5 --seed 7
+//! distcommit sweep --protocols 2PC,OPT,3PC --mpls 1,2,4,6,8,10
+//! distcommit experiment fig1
+//! distcommit tables
+//! ```
+//!
+//! Argument parsing is hand-rolled (the repository's only dependencies
+//! are the simulation crates); [`parse`] is pure and unit-tested.
+
+use commitproto::ProtocolSpec;
+use distdb::config::{ResourceMode, RestartPolicy, SystemConfig, TransType};
+use distdb::engine::Simulation;
+use distdb::experiments::{self, Scale};
+use distdb::output::{render_ascii_chart, render_peaks, render_table, Metric};
+use simkernel::SimDuration;
+use std::fmt;
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// One simulation run, full report.
+    Run {
+        cfg: SystemConfig,
+        protocol: ProtocolSpec,
+        seed: u64,
+    },
+    /// Protocols × MPLs sweep with tables and a chart.
+    Sweep {
+        cfg: SystemConfig,
+        protocols: Vec<ProtocolSpec>,
+        mpls: Vec<u32>,
+        seed: u64,
+    },
+    /// A named paper experiment (`fig1`, `fig2`, `expt3`, `fig3`,
+    /// `fig4`, `fig5`, `seq`).
+    Experiment { id: String, full: bool },
+    /// Tables 2–4.
+    Tables,
+    /// Usage text.
+    Help,
+}
+
+/// A CLI parsing error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Usage text printed by `help` and on errors.
+pub const USAGE: &str = "\
+distcommit — the SIGMOD'97 commit-processing simulator
+
+USAGE:
+  distcommit run   [OPTIONS]                 one simulation run
+  distcommit sweep [OPTIONS]                 protocols x MPLs sweep
+  distcommit experiment <fig1|fig2|expt3|fig3|fig4|fig5|seq> [--full]
+  distcommit tables                          Tables 2-4
+  distcommit help
+
+OPTIONS (run & sweep):
+  --protocol <NAME>        protocol for `run` (default 2PC)
+  --protocols <A,B,..>     protocols for `sweep` (default CENT,DPCC,2PC,3PC,OPT)
+  --mpl <N>                multiprogramming level for `run` (default 4)
+  --mpls <N,N,..>          MPL axis for `sweep` (default 1..10)
+  --seed <N>               RNG seed (default 42)
+  --sites <N>              number of sites (default 8)
+  --db-size <PAGES>        database size (default 8000)
+  --dist-degree <N>        cohorts per transaction (default 3)
+  --cohort-size <N>        mean pages per cohort (default 6)
+  --update-prob <P>        page update probability (default 1.0)
+  --msg-cpu-ms <MS>        message send/receive CPU time (default 5)
+  --page-cpu-ms <MS>       page processing CPU time (default 5)
+  --page-disk-ms <MS>      disk page access time (default 20)
+  --cpus <N>               CPUs per site (default 1)
+  --data-disks <N>         data disks per site (default 2)
+  --log-disks <N>          log disks per site (default 1)
+  --abort-prob <P>         cohort surprise NO-vote probability (default 0)
+  --hot-spot <D,A>         b-c access skew: A of accesses hit first D of pages
+  --sequential             sequential cohort execution
+  --infinite               infinite resources (pure data contention)
+  --read-only-opt          enable the Read-Only commit optimization
+  --group-commit <N>       batch up to N forced writes per log service
+  --restart-fixed-ms <MS>  fixed restart delay instead of adaptive
+  --warmup <N>             warm-up transactions (default 500)
+  --measured <N>           measured transactions (default 5000)
+
+Protocols: CENT DPCC 2PC PA PC 3PC OPT OPT-PA OPT-PC OPT-3PC
+";
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut std::slice::Iter<'a, String>,
+) -> Result<&'a String, CliError> {
+    it.next()
+        .ok_or_else(|| CliError(format!("{flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, CliError> {
+    v.parse()
+        .map_err(|_| CliError(format!("{flag}: cannot parse {v:?}")))
+}
+
+fn parse_protocol(v: &str) -> Result<ProtocolSpec, CliError> {
+    v.parse::<ProtocolSpec>()
+        .map_err(|e| CliError(e.to_string()))
+}
+
+fn parse_list<T: std::str::FromStr>(flag: &str, v: &str) -> Result<Vec<T>, CliError> {
+    v.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_num(flag, s))
+        .collect()
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "tables" => Ok(Command::Tables),
+        "experiment" => {
+            let mut id = None;
+            let mut full = false;
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--full" => full = true,
+                    other if id.is_none() && !other.starts_with('-') => {
+                        id = Some(other.to_string())
+                    }
+                    other => return err(format!("unexpected argument {other:?}")),
+                }
+            }
+            match id {
+                Some(id) => Ok(Command::Experiment { id, full }),
+                None => err("experiment needs an id (fig1|fig2|expt3|fig3|fig4|fig5|seq)"),
+            }
+        }
+        "run" | "sweep" => {
+            let mut cfg = SystemConfig::paper_baseline();
+            cfg.run.warmup_transactions = 500;
+            cfg.run.measured_transactions = 5_000;
+            let mut protocol = ProtocolSpec::TWO_PC;
+            let mut protocols = vec![
+                ProtocolSpec::CENT,
+                ProtocolSpec::DPCC,
+                ProtocolSpec::TWO_PC,
+                ProtocolSpec::THREE_PC,
+                ProtocolSpec::OPT_2PC,
+            ];
+            let mut mpls: Vec<u32> = (1..=10).collect();
+            let mut seed = 42u64;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--protocol" => protocol = parse_protocol(take_value(a, &mut it)?)?,
+                    "--protocols" => {
+                        protocols = take_value(a, &mut it)?
+                            .split(',')
+                            .map(str::trim)
+                            .filter(|s| !s.is_empty())
+                            .map(parse_protocol)
+                            .collect::<Result<_, _>>()?;
+                    }
+                    "--mpl" => cfg.mpl = parse_num(a, take_value(a, &mut it)?)?,
+                    "--mpls" => mpls = parse_list(a, take_value(a, &mut it)?)?,
+                    "--seed" => seed = parse_num(a, take_value(a, &mut it)?)?,
+                    "--sites" => cfg.num_sites = parse_num(a, take_value(a, &mut it)?)?,
+                    "--db-size" => cfg.db_size = parse_num(a, take_value(a, &mut it)?)?,
+                    "--dist-degree" => cfg.dist_degree = parse_num(a, take_value(a, &mut it)?)?,
+                    "--cohort-size" => cfg.cohort_size = parse_num(a, take_value(a, &mut it)?)?,
+                    "--update-prob" => cfg.update_prob = parse_num(a, take_value(a, &mut it)?)?,
+                    "--msg-cpu-ms" => {
+                        cfg.msg_cpu =
+                            SimDuration::from_millis_f64(parse_num(a, take_value(a, &mut it)?)?)
+                    }
+                    "--page-cpu-ms" => {
+                        cfg.page_cpu =
+                            SimDuration::from_millis_f64(parse_num(a, take_value(a, &mut it)?)?)
+                    }
+                    "--page-disk-ms" => {
+                        cfg.page_disk =
+                            SimDuration::from_millis_f64(parse_num(a, take_value(a, &mut it)?)?)
+                    }
+                    "--cpus" => cfg.num_cpus = parse_num(a, take_value(a, &mut it)?)?,
+                    "--data-disks" => cfg.num_data_disks = parse_num(a, take_value(a, &mut it)?)?,
+                    "--log-disks" => cfg.num_log_disks = parse_num(a, take_value(a, &mut it)?)?,
+                    "--abort-prob" => {
+                        cfg.cohort_abort_prob = parse_num(a, take_value(a, &mut it)?)?
+                    }
+                    "--hot-spot" => {
+                        let parts: Vec<f64> = parse_list(a, take_value(a, &mut it)?)?;
+                        if parts.len() != 2 {
+                            return err("--hot-spot wants DATA_FRACTION,ACCESS_FRACTION");
+                        }
+                        cfg.hot_spot = Some(distdb::config::HotSpot {
+                            data_fraction: parts[0],
+                            access_fraction: parts[1],
+                        });
+                    }
+                    "--sequential" => cfg.trans_type = TransType::Sequential,
+                    "--infinite" => cfg.resources = ResourceMode::Infinite,
+                    "--read-only-opt" => cfg.read_only_optimization = true,
+                    "--group-commit" => {
+                        cfg.group_commit_batch = Some(parse_num(a, take_value(a, &mut it)?)?)
+                    }
+                    "--restart-fixed-ms" => {
+                        cfg.restart_policy = RestartPolicy::Fixed(SimDuration::from_millis_f64(
+                            parse_num(a, take_value(a, &mut it)?)?,
+                        ))
+                    }
+                    "--warmup" => {
+                        cfg.run.warmup_transactions = parse_num(a, take_value(a, &mut it)?)?
+                    }
+                    "--measured" => {
+                        cfg.run.measured_transactions = parse_num(a, take_value(a, &mut it)?)?
+                    }
+                    other => return err(format!("unknown option {other:?}")),
+                }
+            }
+            cfg.validate().map_err(|e| CliError(e.to_string()))?;
+            if sub == "run" {
+                Ok(Command::Run {
+                    cfg,
+                    protocol,
+                    seed,
+                })
+            } else {
+                if protocols.is_empty() || mpls.is_empty() {
+                    return err("sweep needs at least one protocol and one MPL");
+                }
+                Ok(Command::Sweep {
+                    cfg,
+                    protocols,
+                    mpls,
+                    seed,
+                })
+            }
+        }
+        other => err(format!("unknown command {other:?}; try `distcommit help`")),
+    }
+}
+
+/// Execute a parsed command, writing to stdout. Returns the process
+/// exit code.
+pub fn execute(cmd: Command) -> i32 {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            0
+        }
+        Command::Tables => {
+            println!("Table 2 — Baseline Parameter Settings (reconstructed):");
+            println!("{}", SystemConfig::paper_baseline());
+            for d in [3u32, 6] {
+                println!(
+                    "Table {} — Protocol Overheads (DistDegree = {d}):",
+                    if d == 3 { 3 } else { 4 }
+                );
+                println!(
+                    "{:<9} {:>9} {:>13} {:>11}",
+                    "Protocol", "ExecMsgs", "ForcedWrites", "CommitMsgs"
+                );
+                for spec in [
+                    ProtocolSpec::TWO_PC,
+                    ProtocolSpec::PA,
+                    ProtocolSpec::PC,
+                    ProtocolSpec::THREE_PC,
+                    ProtocolSpec::DPCC,
+                    ProtocolSpec::CENT,
+                ] {
+                    let o = spec.committed_overheads(d);
+                    println!(
+                        "{:<9} {:>9} {:>13} {:>11}",
+                        spec.name(),
+                        o.exec_messages,
+                        o.forced_writes,
+                        o.commit_messages
+                    );
+                }
+                println!();
+            }
+            0
+        }
+        Command::Run {
+            cfg,
+            protocol,
+            seed,
+        } => {
+            println!("{cfg}");
+            match Simulation::run(&cfg, protocol, seed) {
+                Ok(r) => {
+                    println!("{}", r.summary());
+                    println!();
+                    println!("committed            {}", r.committed);
+                    println!(
+                        "aborts               {} deadlock, {} surprise, {} cascade",
+                        r.aborted_deadlock, r.aborted_surprise, r.aborted_borrower
+                    );
+                    println!(
+                        "throughput           {:.3} txn/s (90% CI ±{:.1}%)",
+                        r.throughput,
+                        r.throughput_ci.relative_half_width() * 100.0
+                    );
+                    println!("response             {:.4}s mean", r.mean_response_s);
+                    println!("block ratio          {:.4}", r.block_ratio);
+                    println!("borrow ratio         {:.4} pages/txn", r.borrow_ratio);
+                    println!(
+                        "messages / commit    {:.2} exec + {:.2} commit",
+                        r.exec_messages_per_commit, r.commit_messages_per_commit
+                    );
+                    println!(
+                        "forced writes        {:.2} / commit",
+                        r.forced_writes_per_commit
+                    );
+                    println!(
+                        "utilization          cpu {:.2}, data disk {:.2}, log disk {:.2}",
+                        r.utilizations.cpu, r.utilizations.data_disk, r.utilizations.log_disk
+                    );
+                    if r.mean_log_batch > 1.0 {
+                        println!(
+                            "log batch            {:.2} writes / service",
+                            r.mean_log_batch
+                        );
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
+        Command::Sweep {
+            cfg,
+            protocols,
+            mpls,
+            seed,
+        } => {
+            let scale = Scale {
+                warmup: cfg.run.warmup_transactions,
+                measured: cfg.run.measured_transactions,
+                mpls,
+                seed,
+            };
+            let specs: Vec<(String, ProtocolSpec, SystemConfig)> = protocols
+                .iter()
+                .map(|&p| (p.name().to_string(), p, cfg.clone()))
+                .collect();
+            match experiments::sweep(&cfg, &specs, &scale) {
+                Ok(series) => {
+                    let exp = experiments::Experiment {
+                        id: "cli-sweep".into(),
+                        title: "CLI sweep".into(),
+                        config: cfg,
+                        series,
+                    };
+                    print!("{}", render_table(&exp, Metric::Throughput));
+                    println!();
+                    print!("{}", render_table(&exp, Metric::BlockRatio));
+                    println!();
+                    print!("{}", render_ascii_chart(&exp, Metric::Throughput, 64, 18));
+                    print!("{}", render_peaks(&exp));
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
+        Command::Experiment { id, full } => {
+            let scale = if full { Scale::full() } else { Scale::quick() };
+            let print = |exp: &experiments::Experiment| {
+                print!("{}", render_table(exp, Metric::Throughput));
+                println!();
+                print!("{}", render_ascii_chart(exp, Metric::Throughput, 64, 18));
+                print!("{}", render_peaks(exp));
+            };
+            let result: Result<Vec<experiments::Experiment>, _> = match id.as_str() {
+                "fig1" => experiments::fig1(&scale).map(|e| vec![e]),
+                "fig2" => experiments::fig2(&scale).map(|e| vec![e]),
+                "expt3" => experiments::expt3(&scale).map(|(a, b)| vec![a, b]),
+                "fig3" => experiments::fig3(&scale).map(|(a, b)| vec![a, b]),
+                "fig4" => experiments::fig4(&scale).map(|(a, b)| vec![a, b]),
+                "fig5" => experiments::fig5(&scale).map(|(a, b)| vec![a, b]),
+                "seq" => experiments::seq(&scale).map(|e| vec![e]),
+                "failures" => experiments::failures(&scale).map(|e| vec![e]),
+                other => {
+                    eprintln!(
+                        "unknown experiment {other:?} (fig1|fig2|expt3|fig3|fig4|fig5|seq|failures)"
+                    );
+                    return 1;
+                }
+            };
+            match result {
+                Ok(exps) => {
+                    for e in &exps {
+                        print(e);
+                        println!();
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn tables_command() {
+        assert_eq!(parse(&argv("tables")).unwrap(), Command::Tables);
+    }
+
+    #[test]
+    fn run_with_defaults() {
+        let Command::Run {
+            cfg,
+            protocol,
+            seed,
+        } = parse(&argv("run")).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(protocol, ProtocolSpec::TWO_PC);
+        assert_eq!(seed, 42);
+        assert_eq!(cfg.mpl, 4);
+    }
+
+    #[test]
+    fn run_with_everything() {
+        let cmd = parse(&argv(
+            "run --protocol OPT-3PC --mpl 7 --seed 9 --sites 4 --db-size 4000 \
+             --dist-degree 4 --cohort-size 3 --update-prob 0.5 --msg-cpu-ms 1 \
+             --page-cpu-ms 6 --page-disk-ms 18 --cpus 2 --data-disks 3 --log-disks 2 \
+             --abort-prob 0.05 --sequential --infinite --read-only-opt \
+             --group-commit 8 --restart-fixed-ms 250 --warmup 10 --measured 100",
+        ))
+        .unwrap();
+        let Command::Run {
+            cfg,
+            protocol,
+            seed,
+        } = cmd
+        else {
+            panic!("expected Run")
+        };
+        assert_eq!(protocol, ProtocolSpec::OPT_3PC);
+        assert_eq!(seed, 9);
+        assert_eq!(cfg.num_sites, 4);
+        assert_eq!(cfg.db_size, 4000);
+        assert_eq!(cfg.mpl, 7);
+        assert_eq!(cfg.dist_degree, 4);
+        assert_eq!(cfg.cohort_size, 3);
+        assert_eq!(cfg.update_prob, 0.5);
+        assert_eq!(cfg.msg_cpu, SimDuration::from_millis(1));
+        assert_eq!(cfg.page_cpu, SimDuration::from_millis(6));
+        assert_eq!(cfg.page_disk, SimDuration::from_millis(18));
+        assert_eq!(cfg.num_cpus, 2);
+        assert_eq!(cfg.num_data_disks, 3);
+        assert_eq!(cfg.num_log_disks, 2);
+        assert_eq!(cfg.cohort_abort_prob, 0.05);
+        assert_eq!(cfg.trans_type, TransType::Sequential);
+        assert_eq!(cfg.resources, ResourceMode::Infinite);
+        assert!(cfg.read_only_optimization);
+        assert_eq!(cfg.group_commit_batch, Some(8));
+        assert_eq!(
+            cfg.restart_policy,
+            RestartPolicy::Fixed(SimDuration::from_millis(250))
+        );
+        assert_eq!(cfg.run.warmup_transactions, 10);
+        assert_eq!(cfg.run.measured_transactions, 100);
+    }
+
+    #[test]
+    fn hot_spot_flag() {
+        let Command::Run { cfg, .. } = parse(&argv("run --hot-spot 0.2,0.8")).unwrap() else {
+            panic!("expected Run");
+        };
+        let h = cfg.hot_spot.unwrap();
+        assert_eq!(h.data_fraction, 0.2);
+        assert_eq!(h.access_fraction, 0.8);
+        assert!(parse(&argv("run --hot-spot 0.2")).is_err());
+        assert!(parse(&argv("run --hot-spot 0.2,1.5")).is_err()); // validation
+    }
+
+    #[test]
+    fn sweep_parses_lists() {
+        let cmd = parse(&argv("sweep --protocols 2PC,OPT --mpls 1,4,8 --seed 3")).unwrap();
+        let Command::Sweep {
+            protocols,
+            mpls,
+            seed,
+            ..
+        } = cmd
+        else {
+            panic!("expected Sweep")
+        };
+        assert_eq!(protocols, vec![ProtocolSpec::TWO_PC, ProtocolSpec::OPT_2PC]);
+        assert_eq!(mpls, vec![1, 4, 8]);
+        assert_eq!(seed, 3);
+    }
+
+    #[test]
+    fn experiment_parses_id_and_full() {
+        assert_eq!(
+            parse(&argv("experiment fig4 --full")).unwrap(),
+            Command::Experiment {
+                id: "fig4".into(),
+                full: true
+            }
+        );
+        assert_eq!(
+            parse(&argv("experiment seq")).unwrap(),
+            Command::Experiment {
+                id: "seq".into(),
+                full: false
+            }
+        );
+        assert!(parse(&argv("experiment")).is_err());
+    }
+
+    #[test]
+    fn bad_input_errors() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("run --protocol 4PC")).is_err());
+        assert!(parse(&argv("run --mpl")).is_err());
+        assert!(parse(&argv("run --mpl notanumber")).is_err());
+        assert!(parse(&argv("run --unknown-flag 3")).is_err());
+        // validation runs at parse time: dist_degree > sites
+        assert!(parse(&argv("run --sites 2 --dist-degree 3")).is_err());
+        assert!(parse(&argv("sweep --protocols , --mpls 1")).is_err());
+    }
+
+    #[test]
+    fn usage_mentions_every_subcommand() {
+        for word in ["run", "sweep", "experiment", "tables", "help"] {
+            assert!(USAGE.contains(word), "usage missing {word}");
+        }
+    }
+}

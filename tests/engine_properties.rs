@@ -1,0 +1,148 @@
+//! Property-based tests over the whole engine: random (valid)
+//! configurations and protocols must always produce runs that satisfy
+//! the global invariants — completion, conservation, metric sanity,
+//! and agreement with the analytic overhead model when conflict-free.
+
+use distcommit::db::config::{ResourceMode, SystemConfig, TransType};
+use distcommit::db::engine::Simulation;
+use distcommit::proto::ProtocolSpec;
+use proptest::prelude::*;
+use simkernel::SimDuration;
+
+fn arb_protocol() -> impl Strategy<Value = ProtocolSpec> {
+    proptest::sample::select(ProtocolSpec::ALL.to_vec())
+}
+
+fn arb_config() -> impl Strategy<Value = SystemConfig> {
+    (
+        2usize..=8,          // num_sites
+        1u32..=4,            // dist_degree (clamped to sites below)
+        2u32..=8,            // cohort_size
+        0u32..=10,           // update_prob tenths
+        1u32..=2,            // num_cpus
+        1u32..=3,            // num_data_disks
+        1u32..=2,            // num_log_disks
+        1u32..=6,            // mpl
+        proptest::bool::ANY, // sequential?
+        proptest::bool::ANY, // infinite resources?
+        0u32..=1,            // abort prob in {0, 0.05}
+        50u64..=600,         // pages per site scale
+    )
+        .prop_map(
+            |(sites, degree, cohort, upd, cpus, dd, ld, mpl, seq, inf, abortp, pps)| {
+                let mut cfg = SystemConfig::paper_baseline();
+                cfg.num_sites = sites;
+                cfg.dist_degree = degree.min(sites as u32);
+                cfg.cohort_size = cohort;
+                cfg.update_prob = upd as f64 / 10.0;
+                cfg.num_cpus = cpus;
+                cfg.num_data_disks = dd;
+                cfg.num_log_disks = ld;
+                cfg.mpl = mpl;
+                cfg.trans_type = if seq {
+                    TransType::Sequential
+                } else {
+                    TransType::Parallel
+                };
+                cfg.resources = if inf {
+                    ResourceMode::Infinite
+                } else {
+                    ResourceMode::Finite
+                };
+                cfg.cohort_abort_prob = abortp as f64 * 0.05;
+                // keep the hot path fast and the page pool valid
+                let pps = pps.max(cfg.max_cohort_pages() * 2);
+                cfg.db_size = pps * sites as u64;
+                cfg.page_cpu = SimDuration::from_millis(5);
+                cfg.run.warmup_transactions = 20;
+                cfg.run.measured_transactions = 150;
+                cfg
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any valid configuration × protocol × seed runs to completion
+    /// with sane metrics.
+    #[test]
+    fn random_configs_run_clean(cfg in arb_config(), spec in arb_protocol(), seed in 0u64..1000) {
+        prop_assume!(cfg.validate().is_ok());
+        // feature-compatibility the engine enforces:
+        prop_assume!(spec.is_valid());
+        let r = match Simulation::run(&cfg, spec, seed) {
+            Ok(r) => r,
+            Err(e) => return Err(TestCaseError::fail(format!("rejected: {e}"))),
+        };
+        prop_assert_eq!(r.committed, 150, "run must reach its commit target");
+        prop_assert!(r.throughput > 0.0);
+        prop_assert!(r.sim_seconds > 0.0);
+        prop_assert!((0.0..=1.0).contains(&r.block_ratio), "block ratio {}", r.block_ratio);
+        prop_assert!(r.mean_response_s > 0.0);
+        prop_assert!(r.p50_response_s <= r.p95_response_s && r.p95_response_s <= r.p99_response_s);
+        if cfg.resources == ResourceMode::Finite {
+            prop_assert!(r.utilizations.cpu <= 1.0 + 1e-9);
+            prop_assert!(r.utilizations.data_disk <= 1.0 + 1e-9);
+            prop_assert!(r.utilizations.log_disk <= 1.0 + 1e-9);
+        } else {
+            // infinite-server "utilization" is mean concurrency — just
+            // finite and non-negative
+            prop_assert!(r.utilizations.cpu.is_finite() && r.utilizations.cpu >= 0.0);
+        }
+        // lending happens only under OPT
+        if !spec.opt {
+            prop_assert_eq!(r.borrow_ratio, 0.0);
+            prop_assert_eq!(r.aborted_borrower, 0);
+        }
+        // surprise aborts only when configured
+        if cfg.cohort_abort_prob == 0.0 {
+            prop_assert_eq!(r.aborted_surprise, 0);
+        }
+        // no failures configured => none observed
+        prop_assert_eq!(r.master_crashes, 0);
+    }
+
+    /// Determinism holds across the whole configuration space.
+    #[test]
+    fn random_configs_are_deterministic(cfg in arb_config(), spec in arb_protocol(), seed in 0u64..1000) {
+        prop_assume!(cfg.validate().is_ok() && spec.is_valid());
+        let a = Simulation::run(&cfg, spec, seed).unwrap();
+        let b = Simulation::run(&cfg, spec, seed).unwrap();
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.committed, b.committed);
+        prop_assert!((a.throughput - b.throughput).abs() < 1e-12);
+        prop_assert!((a.block_ratio - b.block_ratio).abs() < 1e-12);
+    }
+
+    /// In conflict-free runs the measured overheads equal the analytic
+    /// model for every protocol and degree of distribution.
+    #[test]
+    fn random_degrees_match_overhead_model(
+        degree in 1u32..=6,
+        spec in arb_protocol(),
+        seed in 0u64..100,
+    ) {
+        let mut cfg = SystemConfig::paper_baseline();
+        cfg.num_sites = 8;
+        cfg.dist_degree = degree;
+        cfg.cohort_size = 3;
+        cfg.db_size = 80_000;
+        cfg.mpl = 1;
+        cfg.run.warmup_transactions = 20;
+        cfg.run.measured_transactions = 300;
+        let r = Simulation::run(&cfg, spec, seed).unwrap();
+        prop_assert_eq!(r.total_aborts(), 0);
+        let o = spec.committed_overheads(degree);
+        // Transactions straddling the window boundary shift the ratios
+        // by up to (in-flight / measured) of the per-txn count: use a
+        // tolerance relative to the expected value.
+        let tol = |expected: u64| (expected as f64 * 0.03).max(0.3);
+        prop_assert!((r.exec_messages_per_commit - o.exec_messages as f64).abs() < tol(o.exec_messages),
+            "{} d={degree}: exec {} vs {}", spec.name(), r.exec_messages_per_commit, o.exec_messages);
+        prop_assert!((r.commit_messages_per_commit - o.commit_messages as f64).abs() < tol(o.commit_messages),
+            "{} d={degree}: commit {} vs {}", spec.name(), r.commit_messages_per_commit, o.commit_messages);
+        prop_assert!((r.forced_writes_per_commit - o.forced_writes as f64).abs() < tol(o.forced_writes),
+            "{} d={degree}: forced {} vs {}", spec.name(), r.forced_writes_per_commit, o.forced_writes);
+    }
+}

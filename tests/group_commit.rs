@@ -1,0 +1,159 @@
+//! Group commit (§3.2): forced writes batched at the log disks.
+//! Checks correctness (identical protocol accounting), the latency/
+//! throughput trade, and the OPT synergy the paper predicts ("OPT is
+//! especially attractive to integrate with ... Group Commit, since
+//! they extend the period during which data is held in the prepared
+//! state").
+
+use distcommit::db::config::SystemConfig;
+use distcommit::db::engine::Simulation;
+use distcommit::db::metrics::SimReport;
+use distcommit::proto::ProtocolSpec;
+
+fn run(cfg: &SystemConfig, spec: ProtocolSpec, seed: u64) -> SimReport {
+    let mut cfg = cfg.clone();
+    cfg.run.warmup_transactions = 150;
+    cfg.run.measured_transactions = 1_200;
+    Simulation::run(&cfg, spec, seed).expect("valid config")
+}
+
+#[test]
+fn group_commit_preserves_protocol_accounting() {
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.db_size = 80_000; // conflict-free, exact counts
+    cfg.mpl = 2;
+    cfg.group_commit_batch = Some(8);
+    let r = run(&cfg, ProtocolSpec::TWO_PC, 1);
+    assert_eq!(r.total_aborts(), 0);
+    let expect = ProtocolSpec::TWO_PC.committed_overheads(3);
+    // Batched or not, the same records are forced and the same messages
+    // sent.
+    assert!((r.forced_writes_per_commit - expect.forced_writes as f64).abs() < 0.15);
+    assert!((r.commit_messages_per_commit - expect.commit_messages as f64).abs() < 0.15);
+}
+
+#[test]
+fn batch_of_one_behaves_like_no_batching() {
+    // A batcher with max_batch = 1 is a plain FCFS log disk; the runs
+    // should be statistically indistinguishable (they are not
+    // event-identical because the batcher and the station schedule
+    // through different event variants, but every latency is the same).
+    let mut plain = SystemConfig::paper_baseline();
+    plain.mpl = 3;
+    let mut batched = plain.clone();
+    batched.group_commit_batch = Some(1);
+    let a = run(&plain, ProtocolSpec::TWO_PC, 2);
+    let b = run(&batched, ProtocolSpec::TWO_PC, 2);
+    assert_eq!(a.committed, b.committed);
+    assert!(
+        (a.throughput - b.throughput).abs() / a.throughput < 0.02,
+        "batch=1 should equal no batching: {:.2} vs {:.2}",
+        a.throughput,
+        b.throughput
+    );
+    assert!((a.mean_response_s - b.mean_response_s).abs() / a.mean_response_s < 0.02);
+}
+
+/// A configuration whose bottleneck is genuinely the log disks: no data
+/// contention (huge database), plenty of data disks, and 3PC's eleven
+/// forced writes per transaction.
+fn log_bound() -> SystemConfig {
+    // Fast network so the CPUs stay out of the way: per transaction,
+    // 3PC then demands ~27.5 ms of log disk against ~15 ms of CPU and
+    // ~11 ms of data disk.
+    let mut cfg = SystemConfig::paper_baseline().fast_network();
+    cfg.db_size = 80_000;
+    cfg.num_data_disks = 4;
+    cfg.mpl = 10;
+    cfg
+}
+
+#[test]
+fn group_commit_relieves_a_log_bound_system() {
+    let cfg = log_bound();
+    let plain = run(&cfg, ProtocolSpec::THREE_PC, 3);
+    let mut gc = cfg.clone();
+    gc.group_commit_batch = Some(8);
+    let batched = run(&gc, ProtocolSpec::THREE_PC, 3);
+    assert!(
+        plain.utilizations.log_disk > plain.utilizations.data_disk,
+        "setup must be log-bound (log {:.2} vs data {:.2})",
+        plain.utilizations.log_disk,
+        plain.utilizations.data_disk
+    );
+    assert!(
+        batched.throughput > plain.throughput * 1.05,
+        "group commit should lift a log-bound system ({:.2} vs {:.2}; plain log util {:.2})",
+        batched.throughput,
+        plain.throughput,
+        plain.utilizations.log_disk,
+    );
+    assert!(
+        batched.mean_log_batch > 1.3,
+        "batches should actually form under load, got {:.2}",
+        batched.mean_log_batch
+    );
+    assert!((plain.mean_log_batch - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn batches_shrink_when_the_log_is_idle() {
+    // At MPL 1 with no contention, forced writes rarely meet in a
+    // queue: batch sizes stay near 1 and throughput is unchanged.
+    let mut cfg = log_bound();
+    cfg.mpl = 1;
+    let plain = run(&cfg, ProtocolSpec::TWO_PC, 4);
+    let mut gc = cfg.clone();
+    gc.group_commit_batch = Some(8);
+    let batched = run(&gc, ProtocolSpec::TWO_PC, 4);
+    assert!(
+        batched.mean_log_batch < 1.2,
+        "got {:.3}",
+        batched.mean_log_batch
+    );
+    let rel = (batched.throughput - plain.throughput).abs() / plain.throughput;
+    assert!(rel < 0.03, "idle-log batching must be a no-op ({rel:.3})");
+}
+
+#[test]
+fn bigger_batches_help_more_under_log_pressure() {
+    let cfg = log_bound();
+    let mut t = Vec::new();
+    for batch in [1u32, 4, 16] {
+        let mut c = cfg.clone();
+        c.group_commit_batch = Some(batch);
+        t.push(run(&c, ProtocolSpec::THREE_PC, 5).throughput);
+    }
+    assert!(
+        t[1] > t[0],
+        "batch 4 ({:.2}) should beat batch 1 ({:.2})",
+        t[1],
+        t[0]
+    );
+    assert!(
+        t[2] >= t[1] * 0.97,
+        "batch 16 ({:.2}) should not regress vs 4 ({:.2})",
+        t[2],
+        t[1]
+    );
+}
+
+#[test]
+fn group_commit_is_ignored_under_infinite_resources() {
+    let mut cfg = SystemConfig::pure_data_contention();
+    cfg.mpl = 4;
+    let plain = run(&cfg, ProtocolSpec::TWO_PC, 6);
+    let mut gc = cfg.clone();
+    gc.group_commit_batch = Some(8);
+    let batched = run(&gc, ProtocolSpec::TWO_PC, 6);
+    // identical runs: the flag is meaningless without queueing
+    assert_eq!(plain.events, batched.events);
+    assert!((plain.throughput - batched.throughput).abs() < 1e-9);
+}
+
+#[test]
+fn zero_batch_size_is_rejected() {
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.group_commit_batch = Some(0);
+    assert!(cfg.validate().is_err());
+}

@@ -1,0 +1,134 @@
+//! Every simulation run must obey the operational laws of queueing
+//! theory — model-independent identities that hold for any
+//! work-conserving system. A violation would mean the engine loses or
+//! invents work. This is the strongest black-box validation the
+//! simulator has.
+
+use distcommit::db::analysis::{check_laws, ServiceDemands};
+use distcommit::db::config::SystemConfig;
+use distcommit::db::engine::Simulation;
+use distcommit::proto::ProtocolSpec;
+
+fn run(cfg: &SystemConfig, spec: ProtocolSpec, seed: u64) -> distcommit::db::metrics::SimReport {
+    let mut cfg = cfg.clone();
+    cfg.run.warmup_transactions = 200;
+    cfg.run.measured_transactions = 2_000;
+    Simulation::run(&cfg, spec, seed).expect("valid config")
+}
+
+/// Utilization law `U_k = X · D_k`, per resource class, for every
+/// protocol, in a conflict-light configuration (aborted work would
+/// add unmodeled demand).
+#[test]
+fn utilization_laws_hold_for_every_protocol() {
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.db_size = 80_000; // negligible aborts => demands are exact
+    cfg.mpl = 4;
+    for spec in [
+        ProtocolSpec::CENT,
+        ProtocolSpec::DPCC,
+        ProtocolSpec::TWO_PC,
+        ProtocolSpec::PA,
+        ProtocolSpec::PC,
+        ProtocolSpec::THREE_PC,
+        ProtocolSpec::OPT_2PC,
+        ProtocolSpec::LINEAR_2PC,
+    ] {
+        let r = run(&cfg, spec, 42);
+        assert!(
+            r.abort_fraction() < 0.005,
+            "{}: too many aborts for the law check",
+            spec.name()
+        );
+        for check in check_laws(&cfg, spec, &r) {
+            if check.law.starts_with("utilization") {
+                assert!(
+                    check.relative_error() < 0.05,
+                    "{}: {} predicted {:.4}, observed {:.4} ({:.1}% off)",
+                    spec.name(),
+                    check.law,
+                    check.predicted,
+                    check.observed,
+                    check.relative_error() * 100.0
+                );
+            }
+        }
+    }
+}
+
+/// Little's law `N = X · R` over the full population, when no
+/// transaction ever leaves the system (no aborts ⇒ no backoff time
+/// spent outside).
+#[test]
+fn littles_law_holds_without_aborts() {
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.db_size = 80_000;
+    cfg.mpl = 6;
+    let r = run(&cfg, ProtocolSpec::TWO_PC, 7);
+    assert!(r.abort_fraction() < 0.005);
+    let n_predicted = r.throughput * r.mean_response_s;
+    let n_actual = (cfg.mpl as usize * cfg.num_sites) as f64;
+    let rel = (n_predicted - n_actual).abs() / n_actual;
+    assert!(
+        rel < 0.05,
+        "Little's law: X*R = {n_predicted:.2}, population = {n_actual} ({:.1}% off)",
+        rel * 100.0
+    );
+}
+
+/// The measured throughput never exceeds the demand-based ceiling, and
+/// approaches it at the peak for the bottleneck-bound baselines.
+#[test]
+fn throughput_respects_the_demand_bound() {
+    let cfg = SystemConfig::paper_baseline();
+    for spec in [
+        ProtocolSpec::CENT,
+        ProtocolSpec::DPCC,
+        ProtocolSpec::TWO_PC,
+        ProtocolSpec::THREE_PC,
+    ] {
+        let bound = ServiceDemands::committed(&cfg, spec).throughput_bound(&cfg);
+        let mut best: f64 = 0.0;
+        for mpl in [2u32, 4, 6] {
+            let mut c = cfg.clone();
+            c.mpl = mpl;
+            best = best.max(run(&c, spec, 9).throughput);
+        }
+        assert!(
+            best <= bound * 1.02,
+            "{}: measured peak {best:.2} exceeds demand bound {bound:.2}",
+            spec.name()
+        );
+        assert!(
+            best > bound * 0.5,
+            "{}: peak {best:.2} suspiciously far below the bound {bound:.2}",
+            spec.name()
+        );
+    }
+}
+
+/// The analytic bottleneck prediction matches the measured utilization
+/// ordering.
+#[test]
+fn predicted_bottleneck_is_the_busiest_resource() {
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.db_size = 80_000;
+    cfg.mpl = 6;
+    for spec in [
+        ProtocolSpec::TWO_PC,
+        ProtocolSpec::CENT,
+        ProtocolSpec::THREE_PC,
+    ] {
+        let predicted = ServiceDemands::committed(&cfg, spec).bottleneck(&cfg);
+        let r = run(&cfg, spec, 10);
+        let u = r.utilizations;
+        let measured = if u.cpu >= u.data_disk && u.cpu >= u.log_disk {
+            "cpu"
+        } else if u.data_disk >= u.log_disk {
+            "data disk"
+        } else {
+            "log disk"
+        };
+        assert_eq!(predicted, measured, "{}: {u:?}", spec.name());
+    }
+}

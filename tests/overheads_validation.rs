@@ -1,0 +1,129 @@
+//! End-to-end validation of the simulator against the paper's Tables 3
+//! and 4: in a conflict-free configuration the *measured* per-commit
+//! message and forced-write counts must equal the analytic overhead
+//! model (which the `commitproto` unit tests pin to the tables).
+//!
+//! The runs use a huge database at MPL 1 so no aborts occur; counts are
+//! ratios over the measurement window, so we allow a sub-2% tolerance
+//! for transactions straddling the window boundaries.
+
+use distcommit::db::experiments::measured_overheads;
+use distcommit::proto::ProtocolSpec;
+
+fn assert_close(measured: f64, expected: u64, what: &str) {
+    let expected = expected as f64;
+    let tol = (expected * 0.02).max(0.05);
+    assert!(
+        (measured - expected).abs() <= tol,
+        "{what}: measured {measured:.3}, expected {expected} (tol {tol:.3})"
+    );
+}
+
+fn validate(dist_degree: u32, spec: ProtocolSpec) {
+    let report = measured_overheads(dist_degree, spec, 0xD15C).expect("valid config");
+    assert_eq!(
+        report.total_aborts(),
+        0,
+        "{} d={dist_degree}: the validation workload must be conflict-free",
+        spec.name()
+    );
+    let expected = spec.committed_overheads(dist_degree);
+    assert_close(
+        report.exec_messages_per_commit,
+        expected.exec_messages,
+        &format!("{} d={dist_degree} exec messages", spec.name()),
+    );
+    assert_close(
+        report.commit_messages_per_commit,
+        expected.commit_messages,
+        &format!("{} d={dist_degree} commit messages", spec.name()),
+    );
+    assert_close(
+        report.forced_writes_per_commit,
+        expected.forced_writes,
+        &format!("{} d={dist_degree} forced writes", spec.name()),
+    );
+}
+
+#[test]
+fn table_3_two_phase_commit() {
+    validate(3, ProtocolSpec::TWO_PC);
+}
+
+#[test]
+fn table_3_presumed_abort() {
+    validate(3, ProtocolSpec::PA);
+}
+
+#[test]
+fn table_3_presumed_commit() {
+    validate(3, ProtocolSpec::PC);
+}
+
+#[test]
+fn table_3_three_phase_commit() {
+    validate(3, ProtocolSpec::THREE_PC);
+}
+
+#[test]
+fn table_3_dpcc_baseline() {
+    validate(3, ProtocolSpec::DPCC);
+}
+
+#[test]
+fn table_3_cent_baseline() {
+    validate(3, ProtocolSpec::CENT);
+}
+
+#[test]
+fn table_4_two_phase_commit() {
+    validate(6, ProtocolSpec::TWO_PC);
+}
+
+#[test]
+fn table_4_presumed_abort() {
+    validate(6, ProtocolSpec::PA);
+}
+
+#[test]
+fn table_4_presumed_commit() {
+    validate(6, ProtocolSpec::PC);
+}
+
+#[test]
+fn table_4_three_phase_commit() {
+    validate(6, ProtocolSpec::THREE_PC);
+}
+
+#[test]
+fn table_4_dpcc_baseline() {
+    validate(6, ProtocolSpec::DPCC);
+}
+
+#[test]
+fn table_4_cent_baseline() {
+    validate(6, ProtocolSpec::CENT);
+}
+
+#[test]
+fn opt_variants_cost_the_same_as_their_bases() {
+    // OPT changes lock-manager behaviour, not the message/logging
+    // schedule — its measured overheads must match the base protocol's.
+    for (opt, d) in [
+        (ProtocolSpec::OPT_2PC, 3),
+        (ProtocolSpec::OPT_PA, 3),
+        (ProtocolSpec::OPT_PC, 3),
+        (ProtocolSpec::OPT_3PC, 3),
+        (ProtocolSpec::OPT_2PC, 6),
+    ] {
+        validate(d, opt);
+    }
+}
+
+#[test]
+fn intermediate_degrees_match_the_analytic_model() {
+    for d in [2, 4, 5] {
+        validate(d, ProtocolSpec::TWO_PC);
+        validate(d, ProtocolSpec::PC);
+    }
+}

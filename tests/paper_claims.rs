@@ -1,0 +1,231 @@
+//! The paper's qualitative claims, re-verified on every test run.
+//!
+//! These are *shape* assertions — who beats whom, and by roughly what
+//! kind of margin — evaluated on short but statistically adequate runs
+//! with fixed seeds. Absolute numbers are pinned loosely; orderings are
+//! pinned hard.
+
+use distcommit::db::config::{ResourceMode, SystemConfig};
+use distcommit::db::engine::Simulation;
+use distcommit::db::metrics::SimReport;
+use distcommit::proto::ProtocolSpec;
+
+fn run_at(cfg: &SystemConfig, spec: ProtocolSpec, mpl: u32, seed: u64) -> SimReport {
+    let mut cfg = cfg.clone();
+    cfg.mpl = mpl;
+    cfg.run.warmup_transactions = 200;
+    cfg.run.measured_transactions = 1_500;
+    Simulation::run(&cfg, spec, seed).expect("valid config")
+}
+
+/// §5.2 headline: "distributed commit processing can have considerably
+/// more effect than distributed data processing".
+#[test]
+fn commit_processing_costs_more_than_data_distribution() {
+    let cfg = SystemConfig::paper_baseline();
+    let cent = run_at(&cfg, ProtocolSpec::CENT, 4, 42);
+    let dpcc = run_at(&cfg, ProtocolSpec::DPCC, 4, 42);
+    let two_pc = run_at(&cfg, ProtocolSpec::TWO_PC, 4, 42);
+    let data_cost = cent.throughput - dpcc.throughput;
+    let commit_cost = dpcc.throughput - two_pc.throughput;
+    assert!(
+        commit_cost > data_cost,
+        "commit cost {commit_cost:.2} should exceed data-distribution cost {data_cost:.2}"
+    );
+    assert!(commit_cost > 0.0);
+}
+
+/// Baseline dominance across the loading range: CENT ≥ DPCC ≥ 2PC ≥ 3PC.
+#[test]
+fn baseline_ordering_holds_across_mpls() {
+    let cfg = SystemConfig::paper_baseline();
+    for mpl in [2, 4, 8] {
+        let cent = run_at(&cfg, ProtocolSpec::CENT, mpl, 11);
+        let dpcc = run_at(&cfg, ProtocolSpec::DPCC, mpl, 11);
+        let two_pc = run_at(&cfg, ProtocolSpec::TWO_PC, mpl, 11);
+        let three_pc = run_at(&cfg, ProtocolSpec::THREE_PC, mpl, 11);
+        // 3% slack for run-to-run noise on the near-ties.
+        assert!(
+            cent.throughput * 1.03 >= dpcc.throughput,
+            "CENT < DPCC at MPL {mpl}"
+        );
+        assert!(
+            dpcc.throughput * 1.03 >= two_pc.throughput,
+            "DPCC < 2PC at MPL {mpl}"
+        );
+        assert!(
+            two_pc.throughput > three_pc.throughput,
+            "2PC <= 3PC at MPL {mpl}"
+        );
+    }
+}
+
+/// §5.2/§5.3: OPT matches 2PC when there is little to borrow and beats
+/// it clearly under contention, approaching the DPCC bound.
+#[test]
+fn opt_beats_2pc_under_contention() {
+    let cfg = SystemConfig::pure_data_contention();
+    let mpl = 6;
+    let two_pc = run_at(&cfg, ProtocolSpec::TWO_PC, mpl, 21);
+    let opt = run_at(&cfg, ProtocolSpec::OPT_2PC, mpl, 21);
+    let dpcc = run_at(&cfg, ProtocolSpec::DPCC, mpl, 21);
+    assert!(
+        opt.throughput > two_pc.throughput * 1.15,
+        "OPT ({:.1}) should clearly beat 2PC ({:.1}) under pure DC",
+        opt.throughput,
+        two_pc.throughput
+    );
+    assert!(
+        opt.throughput <= dpcc.throughput * 1.05,
+        "OPT cannot beat the DPCC bound"
+    );
+    // And the mechanism is visible: borrowing happened, blocking fell.
+    assert!(opt.borrow_ratio > 0.5);
+    assert_eq!(two_pc.borrow_ratio, 0.0);
+    assert!(opt.block_ratio < two_pc.block_ratio);
+}
+
+/// At MPL 1 with almost no contention, OPT ≈ 2PC ("at low MPLs ... OPT
+/// is virtually identical to 2PC").
+#[test]
+fn opt_equals_2pc_without_contention() {
+    let cfg = SystemConfig::paper_baseline();
+    let two_pc = run_at(&cfg, ProtocolSpec::TWO_PC, 1, 31);
+    let opt = run_at(&cfg, ProtocolSpec::OPT_2PC, 1, 31);
+    let rel = (opt.throughput - two_pc.throughput).abs() / two_pc.throughput;
+    assert!(
+        rel < 0.05,
+        "OPT and 2PC differ by {:.1}% at MPL 1",
+        rel * 100.0
+    );
+    assert!(opt.borrow_ratio < 0.5, "little borrowing expected at MPL 1");
+}
+
+/// §5.6: OPT-3PC buys non-blocking recovery *and* a peak throughput at
+/// least comparable to 2PC — the "win-win".
+#[test]
+fn opt_3pc_wins_back_3pcs_overheads() {
+    let cfg = SystemConfig::pure_data_contention();
+    let mpl = 5;
+    let two_pc = run_at(&cfg, ProtocolSpec::TWO_PC, mpl, 41);
+    let three_pc = run_at(&cfg, ProtocolSpec::THREE_PC, mpl, 41);
+    let opt_3pc = run_at(&cfg, ProtocolSpec::OPT_3PC, mpl, 41);
+    assert!(
+        opt_3pc.throughput > three_pc.throughput * 1.2,
+        "OPT must lift 3PC substantially"
+    );
+    assert!(
+        opt_3pc.throughput > two_pc.throughput * 0.95,
+        "OPT-3PC ({:.1}) should be at least comparable to 2PC ({:.1}) under DC",
+        opt_3pc.throughput,
+        two_pc.throughput
+    );
+}
+
+/// §5.6: the prepared state lasts longer under 3PC, so borrowing is
+/// *more* valuable there.
+#[test]
+fn borrowing_is_bigger_under_3pc() {
+    let cfg = SystemConfig::pure_data_contention();
+    let opt = run_at(&cfg, ProtocolSpec::OPT_2PC, 6, 51);
+    let opt_3pc = run_at(&cfg, ProtocolSpec::OPT_3PC, 6, 51);
+    assert!(
+        opt_3pc.borrow_ratio > opt.borrow_ratio,
+        "3PC's longer prepared state should increase borrowing ({:.2} vs {:.2})",
+        opt_3pc.borrow_ratio,
+        opt.borrow_ratio
+    );
+    assert!(opt_3pc.mean_prepared_time_s > opt.mean_prepared_time_s);
+}
+
+/// §5.5: at DistDegree 6 the system turns CPU-bound, PC clearly beats
+/// 2PC, OPT's edge shrinks, and OPT-PC is the best of the four.
+#[test]
+fn high_distribution_shifts_the_balance() {
+    let cfg = SystemConfig::paper_baseline().higher_distribution();
+    let mpl = 4;
+    let two_pc = run_at(&cfg, ProtocolSpec::TWO_PC, mpl, 61);
+    let pc = run_at(&cfg, ProtocolSpec::PC, mpl, 61);
+    let opt = run_at(&cfg, ProtocolSpec::OPT_2PC, mpl, 61);
+    let opt_pc = run_at(&cfg, ProtocolSpec::OPT_PC, mpl, 61);
+    // CPU-bound: utilization well above the data disks'.
+    assert!(two_pc.utilizations.cpu > two_pc.utilizations.data_disk);
+    assert!(two_pc.utilizations.cpu > 0.7);
+    assert!(
+        pc.throughput > two_pc.throughput * 1.05,
+        "PC should clearly beat 2PC at d=6"
+    );
+    // OPT alone is only marginally better than 2PC here...
+    assert!(opt.throughput > two_pc.throughput * 0.97);
+    // ...but composing the optimizations wins.
+    assert!(opt_pc.throughput >= pc.throughput * 0.97);
+    assert!(opt_pc.throughput > two_pc.throughput);
+}
+
+/// §5.3: under pure data contention everything is contention-limited —
+/// infinite resources mean zero queueing, so at MPL 1 a transaction's
+/// response time is essentially its raw service demand.
+#[test]
+fn infinite_resources_remove_queueing() {
+    let mut cfg = SystemConfig::pure_data_contention();
+    assert_eq!(cfg.resources, ResourceMode::Infinite);
+    cfg.run.warmup_transactions = 100;
+    cfg.run.measured_transactions = 800;
+    cfg.mpl = 1;
+    let r = Simulation::run(&cfg, ProtocolSpec::CENT, 71).unwrap();
+    // A mean CENT transaction: ~6 pages per cohort in parallel cohorts,
+    // each page 25 ms, plus the decision write — a few hundred ms; any
+    // queueing would push it well past this band.
+    assert!(
+        (0.12..0.45).contains(&r.mean_response_s),
+        "pure-DC CENT response at MPL 1 should be near raw service time, got {:.3}",
+        r.mean_response_s
+    );
+    // Infinite stations never queue, so utilization-as-concurrency is
+    // finite but the run must show no deadlock-free anomalies.
+    assert_eq!(r.total_aborts() > r.committed, false);
+}
+
+/// Thrashing: throughput rises to a knee and falls beyond it.
+#[test]
+fn throughput_knee_exists() {
+    let cfg = SystemConfig::paper_baseline();
+    let lo = run_at(&cfg, ProtocolSpec::TWO_PC, 1, 81);
+    let peak = run_at(&cfg, ProtocolSpec::TWO_PC, 4, 81);
+    let hi = run_at(&cfg, ProtocolSpec::TWO_PC, 10, 81);
+    assert!(
+        peak.throughput > lo.throughput,
+        "throughput should rise toward the knee"
+    );
+    assert!(
+        peak.throughput > hi.throughput,
+        "throughput should fall past the knee"
+    );
+    assert!(
+        hi.block_ratio > peak.block_ratio,
+        "blocking should grow with MPL"
+    );
+}
+
+/// Block ratios are well-formed and OPT's is the lowest.
+#[test]
+fn block_ratio_sanity() {
+    let cfg = SystemConfig::paper_baseline();
+    for spec in [
+        ProtocolSpec::TWO_PC,
+        ProtocolSpec::THREE_PC,
+        ProtocolSpec::OPT_2PC,
+    ] {
+        let r = run_at(&cfg, spec, 8, 91);
+        assert!(
+            (0.0..=1.0).contains(&r.block_ratio),
+            "{}: {}",
+            spec.name(),
+            r.block_ratio
+        );
+        assert!(r.block_ratio > 0.3, "MPL 8 must show substantial blocking");
+    }
+    let opt = run_at(&cfg, ProtocolSpec::OPT_2PC, 8, 91);
+    let three = run_at(&cfg, ProtocolSpec::THREE_PC, 8, 91);
+    assert!(opt.block_ratio < three.block_ratio);
+}

@@ -1,0 +1,250 @@
+//! Cross-regime integration tests: sequential transactions (§5.8),
+//! fast networks (§5.4), read-mixed workloads, and odd-but-legal
+//! configurations. These exercise engine paths the figure experiments
+//! do not.
+
+use distcommit::db::config::{SystemConfig, TransType};
+use distcommit::db::engine::Simulation;
+use distcommit::proto::ProtocolSpec;
+
+fn short(cfg: &SystemConfig, spec: ProtocolSpec, seed: u64) -> distcommit::db::metrics::SimReport {
+    let mut cfg = cfg.clone();
+    cfg.run.warmup_transactions = 150;
+    cfg.run.measured_transactions = 1_000;
+    Simulation::run(&cfg, spec, seed).expect("valid config")
+}
+
+/// §5.8: sequential transactions stretch the execution phase, so the
+/// commit-to-execution ratio falls and protocol differences shrink.
+#[test]
+fn sequential_execution_shrinks_protocol_differences() {
+    let mut par = SystemConfig::paper_baseline();
+    par.mpl = 4;
+    let mut seq = par.clone();
+    seq.trans_type = TransType::Sequential;
+
+    let par_2pc = short(&par, ProtocolSpec::TWO_PC, 1);
+    let par_dpcc = short(&par, ProtocolSpec::DPCC, 1);
+    let seq_2pc = short(&seq, ProtocolSpec::TWO_PC, 1);
+    let seq_dpcc = short(&seq, ProtocolSpec::DPCC, 1);
+
+    let par_gap = (par_dpcc.throughput - par_2pc.throughput) / par_dpcc.throughput;
+    let seq_gap = (seq_dpcc.throughput - seq_2pc.throughput) / seq_dpcc.throughput;
+    assert!(
+        seq_gap < par_gap,
+        "relative DPCC-2PC gap should shrink for sequential txns ({seq_gap:.3} vs {par_gap:.3})"
+    );
+    // Sequential responses are longer at equal MPL.
+    assert!(seq_2pc.mean_response_s > par_2pc.mean_response_s);
+}
+
+/// Sequential transactions commit with exactly the same overheads.
+#[test]
+fn sequential_overheads_match_parallel() {
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.trans_type = TransType::Sequential;
+    cfg.db_size = 80_000; // conflict-free
+    cfg.mpl = 1;
+    let r = short(&cfg, ProtocolSpec::TWO_PC, 2);
+    assert_eq!(r.total_aborts(), 0);
+    let expected = ProtocolSpec::TWO_PC.committed_overheads(3);
+    assert!((r.forced_writes_per_commit - expected.forced_writes as f64).abs() < 0.2);
+    assert!((r.commit_messages_per_commit - expected.commit_messages as f64).abs() < 0.2);
+}
+
+/// §5.4: a 5x faster network lifts every distributed protocol and
+/// narrows (but does not erase) the DPCC-2PC gap; OPT still wins under
+/// contention because borrowing attacks data contention, not messages.
+#[test]
+fn fast_network_narrows_but_keeps_the_gaps() {
+    let slow = {
+        let mut c = SystemConfig::paper_baseline();
+        c.mpl = 4;
+        c
+    };
+    let fast = slow.fast_network();
+
+    let slow_2pc = short(&slow, ProtocolSpec::TWO_PC, 3);
+    let fast_2pc = short(&fast, ProtocolSpec::TWO_PC, 3);
+    assert!(
+        fast_2pc.throughput > slow_2pc.throughput,
+        "faster network must help 2PC"
+    );
+
+    let fast_dpcc = short(&fast, ProtocolSpec::DPCC, 3);
+    let fast_cent = short(&fast, ProtocolSpec::CENT, 3);
+    // "DPCC and CENT are virtually indistinguishable" with MsgCPU = 1ms.
+    let rel = (fast_cent.throughput - fast_dpcc.throughput).abs() / fast_cent.throughput;
+    assert!(
+        rel < 0.08,
+        "CENT and DPCC should nearly coincide on a fast network ({rel:.3})"
+    );
+
+    // Forced-write overheads still separate 2PC from DPCC under pure DC.
+    let mut fast_dc = SystemConfig::pure_data_contention().fast_network();
+    fast_dc.mpl = 5;
+    let dc_2pc = short(&fast_dc, ProtocolSpec::TWO_PC, 4);
+    let dc_dpcc = short(&fast_dc, ProtocolSpec::DPCC, 4);
+    let dc_opt = short(&fast_dc, ProtocolSpec::OPT_2PC, 4);
+    assert!(dc_dpcc.throughput > dc_2pc.throughput * 1.1);
+    assert!(dc_opt.throughput > dc_2pc.throughput * 1.05);
+}
+
+/// Read-heavy workloads: read locks released at PREPARE leave little
+/// prepared data to lend, so OPT ≈ 2PC, and deadlocks nearly vanish.
+#[test]
+fn read_mostly_workload_behaves() {
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.update_prob = 0.2;
+    cfg.mpl = 6;
+    let two_pc = short(&cfg, ProtocolSpec::TWO_PC, 5);
+    let opt = short(&cfg, ProtocolSpec::OPT_2PC, 5);
+    let mut all_upd = cfg.clone();
+    all_upd.update_prob = 1.0;
+    let upd_2pc = short(&all_upd, ProtocolSpec::TWO_PC, 5);
+    assert!(
+        two_pc.abort_fraction() < upd_2pc.abort_fraction(),
+        "fewer updates, fewer deadlocks"
+    );
+    assert!(
+        two_pc.block_ratio < upd_2pc.block_ratio,
+        "fewer updates, less blocking"
+    );
+    assert!(
+        opt.borrow_ratio < 1.0,
+        "read-mostly leaves little to borrow"
+    );
+}
+
+/// A pure read-only workload never deadlocks and never blocks on data.
+#[test]
+fn read_only_workload_is_conflict_free() {
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.update_prob = 0.0;
+    cfg.mpl = 6;
+    let r = short(&cfg, ProtocolSpec::TWO_PC, 6);
+    assert_eq!(r.total_aborts(), 0);
+    assert!(
+        r.block_ratio < 1e-9,
+        "readers never block readers, got {}",
+        r.block_ratio
+    );
+}
+
+/// Single-site "distributed" transactions (DistDegree = 1) degenerate
+/// gracefully: no messages at all, and a full local commit protocol.
+#[test]
+fn degree_one_transactions_work() {
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.dist_degree = 1;
+    cfg.db_size = 80_000;
+    cfg.mpl = 2;
+    let r = short(&cfg, ProtocolSpec::TWO_PC, 7);
+    assert_eq!(r.total_aborts(), 0);
+    assert!(r.exec_messages_per_commit < 0.01);
+    assert!(r.commit_messages_per_commit < 0.01);
+    // prepare + commit at the lone cohort + master decision
+    assert!((r.forced_writes_per_commit - 3.0).abs() < 0.1);
+}
+
+/// Transactions spanning every site (DistDegree = NumSites).
+#[test]
+fn full_span_transactions_work() {
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.dist_degree = 8;
+    cfg.cohort_size = 2;
+    cfg.mpl = 2;
+    let r = short(&cfg, ProtocolSpec::OPT_2PC, 8);
+    assert_eq!(r.committed, 1_000);
+    // 7 remote cohorts * 2 transfers
+    assert!((r.exec_messages_per_commit - 14.0).abs() < 1.0);
+}
+
+/// Big multiprocessor sites: several CPUs drain one queue.
+#[test]
+fn multi_cpu_sites_scale() {
+    let mut one = SystemConfig::paper_baseline().higher_distribution();
+    one.mpl = 4;
+    let mut four = one.clone();
+    four.num_cpus = 4;
+    // d=6 is CPU-bound, so quadrupling CPUs must raise throughput.
+    let r1 = short(&one, ProtocolSpec::TWO_PC, 9);
+    let r4 = short(&four, ProtocolSpec::TWO_PC, 9);
+    assert!(
+        r4.throughput > r1.throughput * 1.3,
+        "4 CPUs ({:.1}) should clearly beat 1 CPU ({:.1}) in a CPU-bound regime",
+        r4.throughput,
+        r1.throughput
+    );
+}
+
+/// Skewed (hot-spot) access concentrates conflicts: an 80–20 workload
+/// must show more blocking and more deadlocks than uniform access, and
+/// OPT's lending must matter more.
+#[test]
+fn hot_spots_concentrate_contention() {
+    use distcommit::db::config::HotSpot;
+    let mut uniform = SystemConfig::paper_baseline();
+    uniform.mpl = 6;
+    let mut skewed = uniform.clone();
+    skewed.hot_spot = Some(HotSpot {
+        data_fraction: 0.2,
+        access_fraction: 0.8,
+    });
+
+    let u = short(&uniform, ProtocolSpec::TWO_PC, 11);
+    let s = short(&skewed, ProtocolSpec::TWO_PC, 11);
+    assert!(
+        s.block_ratio > u.block_ratio,
+        "skew must increase blocking ({:.3} vs {:.3})",
+        s.block_ratio,
+        u.block_ratio
+    );
+    assert!(s.throughput < u.throughput, "skew must cost throughput");
+    assert!(s.abort_fraction() >= u.abort_fraction());
+
+    // OPT wins back more under skew than under uniform access.
+    let u_opt = short(&uniform, ProtocolSpec::OPT_2PC, 11);
+    let s_opt = short(&skewed, ProtocolSpec::OPT_2PC, 11);
+    let uniform_gain = u_opt.throughput / u.throughput;
+    let skew_gain = s_opt.throughput / s.throughput;
+    assert!(
+        skew_gain > uniform_gain,
+        "OPT should matter more on a hot-spot workload ({skew_gain:.3}x vs {uniform_gain:.3}x)"
+    );
+    assert!(s_opt.borrow_ratio > u_opt.borrow_ratio);
+}
+
+/// Response-time percentiles are ordered and the tail is heavier than
+/// the middle under contention.
+#[test]
+fn response_percentiles_are_coherent() {
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.mpl = 8;
+    let r = short(&cfg, ProtocolSpec::TWO_PC, 12);
+    assert!(r.p50_response_s > 0.0);
+    assert!(r.p50_response_s <= r.p95_response_s);
+    assert!(r.p95_response_s <= r.p99_response_s);
+    // Heavy-tailed under contention: the p99 clearly exceeds the mean.
+    assert!(r.p99_response_s > r.mean_response_s);
+    // The median sits below the mean for a right-skewed distribution.
+    assert!(r.p50_response_s < r.mean_response_s * 1.05);
+}
+
+/// The deferred-write flag only adds disk load — turning it on must not
+/// change any commit-protocol accounting, just slow things down.
+#[test]
+fn deferred_writes_cost_throughput_not_correctness() {
+    let mut off = SystemConfig::paper_baseline();
+    off.mpl = 4;
+    let mut on = off.clone();
+    on.model_deferred_writes = true;
+    let r_off = short(&off, ProtocolSpec::TWO_PC, 10);
+    let r_on = short(&on, ProtocolSpec::TWO_PC, 10);
+    assert!(
+        r_on.throughput < r_off.throughput,
+        "write-back load must cost throughput"
+    );
+    assert!((r_on.forced_writes_per_commit - r_off.forced_writes_per_commit).abs() < 0.2);
+    assert!(r_on.utilizations.data_disk > r_off.utilizations.data_disk);
+}
