@@ -1,9 +1,12 @@
-//! Criterion micro-benchmarks for the simulator's hot paths: the event
-//! calendar, the lock manager (plain and lending), deadlock detection,
-//! and a complete short simulation per protocol — the numbers that
-//! determine how long the figure sweeps take.
+//! Micro-benchmarks for the simulator's hot paths: the event calendar,
+//! the lock manager (plain and lending), deadlock detection, and a
+//! complete short simulation per protocol — the numbers that determine
+//! how long the figure sweeps take.
+//!
+//! Uses the std-only harness in [`distbench::micro`]; run with
+//! `cargo bench -p distbench --bench micro`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use distbench::micro::{bench, bench_with_setup};
 use distdb::config::SystemConfig;
 use distdb::engine::Simulation;
 use distdb::protocol::ProtocolSpec;
@@ -13,115 +16,102 @@ use simkernel::{Calendar, SimTime};
 use std::collections::HashMap;
 use std::hint::black_box;
 
-fn bench_calendar(c: &mut Criterion) {
-    c.bench_function("calendar/push-pop 1k interleaved", |b| {
-        b.iter(|| {
-            let mut cal: Calendar<u32> = Calendar::new();
-            // deterministic pseudo-random times
-            let mut x = 0x9E3779B9u64;
-            for i in 0..1_000u32 {
-                x = x
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                cal.schedule_at(SimTime(cal.now().0 + (x >> 40)), i);
-                if i % 3 == 0 {
-                    black_box(cal.next());
-                }
+fn bench_calendar() {
+    bench("calendar/push-pop 1k interleaved", || {
+        let mut cal: Calendar<u32> = Calendar::new();
+        // deterministic pseudo-random times
+        let mut x = 0x9E3779B9u64;
+        for i in 0..1_000u32 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            cal.schedule_at(SimTime(cal.now().0 + (x >> 40)), i);
+            if i % 3 == 0 {
+                black_box(cal.next());
             }
-            while cal.next().is_some() {}
-            black_box(cal.dispatched_count())
-        })
+        }
+        while cal.next().is_some() {}
+        black_box(cal.dispatched_count())
     });
 }
 
-fn bench_lock_manager(c: &mut Criterion) {
-    c.bench_function("locks/request-release 1k no-conflict", |b| {
-        b.iter(|| {
+fn bench_lock_manager() {
+    bench("locks/request-release 1k no-conflict", || {
+        let mut lm = LockManager::new(false);
+        for i in 0..1_000u64 {
+            black_box(lm.request(i % 16, i, LockMode::Update));
+        }
+        for owner in 0..16u64 {
+            black_box(lm.release_all(owner));
+        }
+    });
+
+    bench_with_setup(
+        "locks/contended queue drain",
+        || {
             let mut lm = LockManager::new(false);
-            for i in 0..1_000u64 {
-                black_box(lm.request(i % 16, i, LockMode::Update));
+            lm.request(0, 42, LockMode::Update);
+            for owner in 1..64u64 {
+                lm.request(owner, 42, LockMode::Read);
             }
-            for owner in 0..16u64 {
-                black_box(lm.release_all(owner));
+            lm
+        },
+        |mut lm| black_box(lm.release_all(0)),
+    );
+
+    bench_with_setup(
+        "locks/lending grant via mark_prepared",
+        || {
+            let mut lm = LockManager::new(true);
+            for page in 0..32u64 {
+                lm.request(1, page, LockMode::Update);
             }
-        })
-    });
-
-    c.bench_function("locks/contended queue drain", |b| {
-        b.iter_batched(
-            || {
-                let mut lm = LockManager::new(false);
-                lm.request(0, 42, LockMode::Update);
-                for owner in 1..64u64 {
-                    lm.request(owner, 42, LockMode::Read);
-                }
-                lm
-            },
-            |mut lm| black_box(lm.release_all(0)),
-            BatchSize::SmallInput,
-        )
-    });
-
-    c.bench_function("locks/lending grant via mark_prepared", |b| {
-        b.iter_batched(
-            || {
-                let mut lm = LockManager::new(true);
-                for page in 0..32u64 {
-                    lm.request(1, page, LockMode::Update);
-                }
-                for (i, page) in (0..32u64).enumerate() {
-                    lm.request(100 + i as u64, page, LockMode::Update);
-                }
-                lm
-            },
-            |mut lm| black_box(lm.mark_prepared(1)),
-            BatchSize::SmallInput,
-        )
-    });
+            for (i, page) in (0..32u64).enumerate() {
+                lm.request(100 + i as u64, page, LockMode::Update);
+            }
+            lm
+        },
+        |mut lm| black_box(lm.mark_prepared(1)),
+    );
 }
 
-fn bench_deadlock(c: &mut Criterion) {
+fn bench_deadlock() {
     // A 64-node wait-for graph with a long cycle through node 0.
     let mut graph: HashMap<u32, Vec<u32>> = HashMap::new();
     for n in 0..64u32 {
         graph.insert(n, vec![(n + 1) % 64, (n * 7 + 3) % 64]);
     }
-    c.bench_function("deadlock/find_cycle 64-node graph", |b| {
-        b.iter(|| {
-            black_box(find_cycle(0u32, |n| {
-                graph.get(&n).cloned().unwrap_or_default()
-            }))
-        })
+    bench("deadlock/find_cycle 64-node graph", || {
+        black_box(find_cycle(0u32, |n| {
+            graph.get(&n).cloned().unwrap_or_default()
+        }))
     });
 }
 
-fn bench_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulation/200-commit run");
-    group.sample_size(10);
+fn bench_simulation() {
     for spec in [
         ProtocolSpec::TWO_PC,
         ProtocolSpec::OPT_2PC,
         ProtocolSpec::THREE_PC,
         ProtocolSpec::CENT,
     ] {
-        group.bench_function(spec.name(), |b| {
-            b.iter(|| {
+        bench(
+            &format!("simulation/200-commit run/{}", spec.name()),
+            || {
                 let mut cfg = SystemConfig::paper_baseline();
                 cfg.mpl = 4;
                 cfg.run.warmup_transactions = 20;
                 cfg.run.measured_transactions = 200;
                 black_box(Simulation::run(&cfg, spec, 42).unwrap())
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_calendar,
-    bench_lock_manager,
-    bench_deadlock,
-    bench_simulation
-);
-criterion_main!(benches);
+fn main() {
+    distbench::banner("micro", "hot-path micro-benchmarks");
+    bench_calendar();
+    bench_lock_manager();
+    bench_deadlock();
+    bench_simulation();
+}

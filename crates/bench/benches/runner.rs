@@ -1,0 +1,65 @@
+//! Scaling of the parallel experiment runner: the same quick fig1-style
+//! grid at 1, 2, 4, ... workers, reporting wall-clock and speedup over
+//! the serial run — and verifying on the way that every worker count
+//! produced identical numbers (the runner's core guarantee).
+//!
+//! ```sh
+//! cargo bench -p distbench --bench runner
+//! DISTCOMMIT_JOBS=8 cargo bench -p distbench --bench runner   # add a point
+//! ```
+
+use distdb::experiments::{self, Scale};
+use distdb::output::{render_csv, Metric};
+use std::time::Instant;
+
+fn grid_scale(jobs: usize) -> Scale {
+    Scale {
+        warmup: 100,
+        measured: 1_200,
+        mpls: vec![1, 2, 4, 6, 8],
+        seed: 42,
+        replications: 2,
+        jobs: Some(jobs),
+    }
+}
+
+fn main() {
+    distbench::banner("runner", "parallel sweep scaling (quick fig1 grid)");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize, 2, 4];
+    if cores > 4 {
+        counts.push(cores);
+    }
+    counts.dedup();
+
+    println!("grid: 7 protocols x 5 MPLs x 2 replications = 70 runs, {cores} cores available\n");
+    println!("{:>6} {:>12} {:>10}", "jobs", "wall-clock", "speedup");
+
+    let mut baseline_secs = None;
+    let mut baseline_csv = None;
+    for &jobs in &counts {
+        let start = Instant::now();
+        let exp = experiments::fig1(&grid_scale(jobs)).expect("valid config");
+        let secs = start.elapsed().as_secs_f64();
+        let csv = render_csv(&exp, Metric::Throughput);
+        match (&baseline_secs, &baseline_csv) {
+            (None, _) => {
+                baseline_secs = Some(secs);
+                baseline_csv = Some(csv);
+                println!("{jobs:>6} {secs:>11.2}s {:>10}", "1.00x");
+            }
+            (Some(base), Some(expected)) => {
+                assert_eq!(
+                    &csv, expected,
+                    "jobs={jobs} changed the numbers — determinism broken"
+                );
+                println!("{jobs:>6} {secs:>11.2}s {:>9.2}x", base / secs);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    println!("\n(identical CSV output verified at every worker count)");
+}

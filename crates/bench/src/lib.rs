@@ -34,9 +34,14 @@ pub fn scale_name() -> &'static str {
 /// (bench targets run with the package directory as CWD, so a relative
 /// path would scatter results under `crates/bench`).
 pub fn results_dir() -> PathBuf {
-    let base = std::env::var("CARGO_TARGET_DIR").map(PathBuf::from).unwrap_or_else(|_| {
-        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..").join("target")
-    });
+    let base = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("target")
+        });
     let dir = base.join("bench-results");
     let _ = std::fs::create_dir_all(&dir);
     dir
@@ -80,6 +85,66 @@ pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
         start.elapsed().as_secs_f64()
     );
     out
+}
+
+/// Minimal std-only micro-benchmark harness (replaces the former
+/// criterion dev-dependency so `cargo bench` works offline): each
+/// benchmark is warmed up, then timed over enough iterations to fill a
+/// short measurement window, reporting mean time per iteration.
+pub mod micro {
+    use std::time::{Duration, Instant};
+
+    /// Measurement window per benchmark (after warm-up).
+    const WINDOW: Duration = Duration::from_millis(300);
+
+    fn fmt_duration(d: Duration) -> String {
+        let ns = d.as_nanos();
+        if ns < 1_000 {
+            format!("{ns} ns")
+        } else if ns < 1_000_000 {
+            format!("{:.2} µs", ns as f64 / 1_000.0)
+        } else if ns < 1_000_000_000 {
+            format!("{:.2} ms", ns as f64 / 1_000_000.0)
+        } else {
+            format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+        }
+    }
+
+    /// Time `f` repeatedly and print `name: <mean per iter> (<iters> iters)`.
+    pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+        // Warm-up: one timed call sizes the batch.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (WINDOW.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let per_iter = start.elapsed() / iters as u32;
+        println!("{name:<44} {:>12}  ({iters} iters)", fmt_duration(per_iter));
+    }
+
+    /// Like [`bench`], but rebuilds fresh input state with `setup`
+    /// outside the timed region before every iteration.
+    pub fn bench_with_setup<S, T>(
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> T,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(f(input));
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (WINDOW.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let inputs: Vec<S> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            std::hint::black_box(f(input));
+        }
+        let per_iter = start.elapsed() / iters as u32;
+        println!("{name:<44} {:>12}  ({iters} iters)", fmt_duration(per_iter));
+    }
 }
 
 #[cfg(test)]

@@ -73,6 +73,20 @@ pub struct Simulation {
     trace_txn_limit: TxnId,
 }
 
+// The experiment runner fans independent runs out over worker threads:
+// everything a worker receives (configuration, protocol spec) and
+// returns (the report) must cross thread boundaries, and a whole
+// `Simulation` must be constructible on a worker. Compile-time
+// assertions so a non-thread-safe field can never sneak in unnoticed.
+const _: () = {
+    const fn send_sync<T: Send + Sync>() {}
+    const fn send<T: Send>() {}
+    send_sync::<SystemConfig>();
+    send_sync::<ProtocolSpec>();
+    send_sync::<SimReport>();
+    send::<Simulation>();
+};
+
 impl Simulation {
     /// Run `cfg` under `spec` with the given RNG `seed` and return the
     /// measured report.

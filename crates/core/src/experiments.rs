@@ -10,6 +10,7 @@
 use crate::config::{ConfigError, SystemConfig, TransType};
 use crate::engine::Simulation;
 use crate::metrics::SimReport;
+use crate::runner;
 use commitproto::ProtocolSpec;
 
 /// Run-length scaling for an experiment sweep.
@@ -21,8 +22,20 @@ pub struct Scale {
     pub measured: u64,
     /// MPL values to sweep (the paper's x-axis, 1..10).
     pub mpls: Vec<u32>,
-    /// Base RNG seed; each (protocol, MPL) run derives its own.
+    /// Base RNG seed; each (protocol, MPL, replication) cell derives
+    /// its own via [`cell_seed`].
     pub seed: u64,
+    /// Independent replications per (protocol, MPL) cell. Each runs
+    /// with its own derived seed; results are merged by
+    /// [`SimReport::merge_replications`], so with 2 or more the
+    /// throughput confidence interval is computed across replications.
+    /// 1 (the default) is bit-identical to the pre-replication sweep.
+    pub replications: u32,
+    /// Worker threads for the sweep: `None` defers to
+    /// [`runner::default_jobs`] (`DISTCOMMIT_JOBS`, then available
+    /// cores). Results are identical for every value — parallelism
+    /// changes wall-clock time, never numbers.
+    pub jobs: Option<usize>,
 }
 
 impl Scale {
@@ -33,6 +46,8 @@ impl Scale {
             measured: 4_000,
             mpls: (1..=10).collect(),
             seed: 42,
+            replications: 1,
+            jobs: None,
         }
     }
 
@@ -44,6 +59,8 @@ impl Scale {
             measured: 50_000,
             mpls: (1..=10).collect(),
             seed: 42,
+            replications: 1,
+            jobs: None,
         }
     }
 
@@ -119,21 +136,62 @@ impl Experiment {
     }
 }
 
+/// Seed for one (series, MPL-index, replication) cell of a sweep grid.
+///
+/// The three indices occupy disjoint bit ranges of the base seed and
+/// the XOR is finalized with a bijective mixer, so distinct cells can
+/// never share a seed (see `simkernel::rng::mix_seed`) — replications
+/// are genuinely independent and adding a replication never perturbs
+/// any other cell's stream.
+pub fn cell_seed(base: u64, series: usize, mpl_index: usize, replication: u32) -> u64 {
+    simkernel::mix_seed(base, series as u64, mpl_index as u64, replication as u64)
+}
+
 /// Sweep `specs` over the scale's MPL axis on `cfg`.
+///
+/// Every (protocol, MPL, replication) cell is an independent
+/// [`Simulation::run`] with its own [`cell_seed`]; the grid is executed
+/// on [`runner::run_ordered`] worker threads (`scale.jobs`) and
+/// reassembled in grid order, so the returned series — and anything
+/// rendered from them — are byte-identical for any worker count.
+/// Replications of a cell are merged with
+/// [`SimReport::merge_replications`].
 pub fn sweep(
     cfg: &SystemConfig,
     specs: &[(String, ProtocolSpec, SystemConfig)],
     scale: &Scale,
 ) -> Result<Vec<ProtocolSeries>, ConfigError> {
-    let mut out = Vec::with_capacity(specs.len());
-    for (si, (label, spec, cfg_override)) in specs.iter().enumerate() {
-        let _ = cfg; // the per-spec override already embeds the base
-        let mut points = Vec::with_capacity(scale.mpls.len());
+    let _ = cfg; // the per-spec override already embeds the base
+    let reps = scale.replications.clamp(1, u16::MAX as u32);
+
+    // Flat job grid in output order: series-major, then MPL, then
+    // replication.
+    let mut grid: Vec<(SystemConfig, ProtocolSpec, u64)> =
+        Vec::with_capacity(specs.len() * scale.mpls.len() * reps as usize);
+    for (si, (_, spec, cfg_override)) in specs.iter().enumerate() {
         for (mi, &mpl) in scale.mpls.iter().enumerate() {
-            let mut cfg = scale.apply(cfg_override);
-            cfg.mpl = mpl;
-            let seed = scale.seed ^ ((si as u64) << 32) ^ ((mi as u64) << 16);
-            points.push(Simulation::run(&cfg, *spec, seed)?);
+            let mut cell_cfg = scale.apply(cfg_override);
+            cell_cfg.mpl = mpl;
+            for rep in 0..reps {
+                grid.push((cell_cfg.clone(), *spec, cell_seed(scale.seed, si, mi, rep)));
+            }
+        }
+    }
+
+    let jobs = runner::resolve_jobs(scale.jobs);
+    let results = runner::run_ordered(&grid, jobs, |(cell_cfg, spec, seed)| {
+        Simulation::run(cell_cfg, *spec, *seed)
+    });
+
+    let mut it = results.into_iter();
+    let mut out = Vec::with_capacity(specs.len());
+    for (label, _, _) in specs {
+        let mut points = Vec::with_capacity(scale.mpls.len());
+        for _ in &scale.mpls {
+            let cell: Vec<SimReport> = (0..reps)
+                .map(|_| it.next().expect("grid covers every cell"))
+                .collect::<Result<_, _>>()?;
+            points.push(SimReport::merge_replications(&cell));
         }
         out.push(ProtocolSeries {
             label: label.clone(),
@@ -429,6 +487,8 @@ mod tests {
             measured: 120,
             mpls: vec![2],
             seed: 7,
+            replications: 1,
+            jobs: Some(1),
         }
     }
 
@@ -473,6 +533,100 @@ mod tests {
         assert!(s.points.iter().any(|p| p.mpl == s.peak_mpl()));
     }
 
+    /// The exact same grid run on 1 and on 4 workers must agree on
+    /// every number — parallelism is wall-clock only.
+    #[test]
+    fn sweep_is_invariant_under_worker_count() {
+        let cfg = SystemConfig::paper_baseline();
+        let specs = plain(&cfg, &[ProtocolSpec::TWO_PC, ProtocolSpec::DPCC]);
+        let mut scale = tiny();
+        scale.mpls = vec![1, 3];
+        scale.replications = 2;
+        scale.jobs = Some(1);
+        let serial = sweep(&cfg, &specs, &scale).unwrap();
+        scale.jobs = Some(4);
+        let parallel = sweep(&cfg, &specs, &scale).unwrap();
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.label, b.label);
+            for (x, y) in a.points.iter().zip(&b.points) {
+                assert_eq!(x.events, y.events);
+                assert_eq!(x.committed, y.committed);
+                assert_eq!(x.throughput.to_bits(), y.throughput.to_bits());
+                assert_eq!(
+                    x.throughput_ci.half_width.to_bits(),
+                    y.throughput_ci.half_width.to_bits()
+                );
+            }
+        }
+    }
+
+    /// One replication must reproduce the plain single-run sweep
+    /// bit for bit (`merge_replications` is the identity at n = 1).
+    #[test]
+    fn single_replication_matches_plain_sweep() {
+        let cfg = SystemConfig::paper_baseline();
+        let specs = plain(&cfg, &[ProtocolSpec::TWO_PC]);
+        let scale = tiny();
+        let series = sweep(&cfg, &specs, &scale).unwrap();
+        let direct = {
+            let mut c = scale.apply(&cfg);
+            c.mpl = scale.mpls[0];
+            Simulation::run(&c, ProtocolSpec::TWO_PC, cell_seed(scale.seed, 0, 0, 0)).unwrap()
+        };
+        assert_eq!(series[0].points[0].events, direct.events);
+        assert_eq!(
+            series[0].points[0].throughput.to_bits(),
+            direct.throughput.to_bits()
+        );
+    }
+
+    /// Replications merge into one point per MPL, averaged across
+    /// genuinely different runs, with a cross-replication CI.
+    #[test]
+    fn replications_merge_into_one_point_per_mpl() {
+        let cfg = SystemConfig::paper_baseline();
+        let specs = plain(&cfg, &[ProtocolSpec::TWO_PC]);
+        let mut scale = tiny();
+        scale.replications = 3;
+        let series = sweep(&cfg, &specs, &scale).unwrap();
+        assert_eq!(series[0].points.len(), 1);
+        let p = &series[0].points[0];
+        assert_eq!(p.throughput_ci.batches, 3);
+        assert!(
+            p.throughput_ci.half_width > 0.0,
+            "distinct seeds must differ"
+        );
+        // merged point averages the three independent runs
+        let singles: Vec<f64> = (0..3)
+            .map(|rep| {
+                let mut c = scale.apply(&cfg);
+                c.mpl = scale.mpls[0];
+                Simulation::run(&c, ProtocolSpec::TWO_PC, cell_seed(scale.seed, 0, 0, rep))
+                    .unwrap()
+                    .throughput
+            })
+            .collect();
+        let mean = singles.iter().sum::<f64>() / 3.0;
+        assert!((p.throughput - mean).abs() < 1e-12);
+    }
+
+    /// Cell seeds never collide across the whole (series, MPL, rep)
+    /// grid of the largest preset.
+    #[test]
+    fn cell_seeds_never_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for series in 0..16 {
+            for mpl_index in 0..10 {
+                for rep in 0..8 {
+                    assert!(
+                        seen.insert(cell_seed(42, series, mpl_index, rep)),
+                        "seed collision at ({series}, {mpl_index}, {rep})"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn scale_from_env_defaults_to_quick() {
         // (no env var set in tests)
@@ -497,6 +651,8 @@ mod tests {
             measured: 40,
             mpls: vec![2],
             seed: 3,
+            replications: 1,
+            jobs: None,
         };
         let check = |e: &Experiment, min_series: usize| {
             assert!(
@@ -537,6 +693,8 @@ mod tests {
             measured: 30,
             mpls: vec![1],
             seed: 4,
+            replications: 1,
+            jobs: None,
         };
         let (rc, _) = fig5(&micro).unwrap();
         assert!(rc.series("2PC abort=3%").is_some());
@@ -550,6 +708,8 @@ mod tests {
             measured: 30,
             mpls: vec![1, 2, 3],
             seed: 5,
+            replications: 1,
+            jobs: None,
         };
         let e = failures(&micro).unwrap();
         // the failure sweep intentionally collapses the MPL axis

@@ -29,6 +29,7 @@ pub mod engine;
 pub mod experiments;
 pub mod metrics;
 pub mod output;
+pub mod runner;
 pub mod workload;
 
 /// The protocol taxonomy, re-exported for convenience.

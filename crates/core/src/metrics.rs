@@ -226,6 +226,76 @@ impl SimReport {
         }
     }
 
+    /// Merge independent replications of the *same* (protocol, MPL)
+    /// cell into one report.
+    ///
+    /// Counts (commits, aborts, messages, events) and simulated time
+    /// are summed; rates, ratios and response times are averaged
+    /// unweighted (every replication runs the same number of measured
+    /// transactions). The throughput confidence interval is computed
+    /// *across replications* — mean ± `t₀.₉₅(n−1)·s/√n` over the
+    /// per-replication throughputs — which is the textbook independent-
+    /// replications estimator and supersedes the per-run batch-means
+    /// interval. A single replication is returned unchanged, so
+    /// `replications = 1` is bit-identical to a plain run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty.
+    pub fn merge_replications(reports: &[SimReport]) -> SimReport {
+        assert!(!reports.is_empty(), "cannot merge zero replications");
+        if reports.len() == 1 {
+            return reports[0].clone();
+        }
+        let n = reports.len() as f64;
+        let mean = |f: &dyn Fn(&SimReport) -> f64| reports.iter().map(f).sum::<f64>() / n;
+        let sum = |f: &dyn Fn(&SimReport) -> u64| reports.iter().map(f).sum::<u64>();
+
+        let mut throughputs = Tally::new();
+        for r in reports {
+            throughputs.record(r.throughput);
+        }
+        let df = throughputs.count().saturating_sub(1);
+        let half_width = simkernel::stats::t_critical_90(df) * throughputs.std_dev()
+            / (throughputs.count() as f64).sqrt();
+
+        SimReport {
+            protocol: reports[0].protocol.clone(),
+            mpl: reports[0].mpl,
+            sim_seconds: reports.iter().map(|r| r.sim_seconds).sum(),
+            committed: sum(&|r| r.committed),
+            aborted_deadlock: sum(&|r| r.aborted_deadlock),
+            aborted_surprise: sum(&|r| r.aborted_surprise),
+            aborted_borrower: sum(&|r| r.aborted_borrower),
+            throughput: throughputs.mean(),
+            throughput_ci: ConfidenceInterval {
+                mean: throughputs.mean(),
+                half_width,
+                batches: throughputs.count(),
+            },
+            mean_response_s: mean(&|r| r.mean_response_s),
+            p50_response_s: mean(&|r| r.p50_response_s),
+            p95_response_s: mean(&|r| r.p95_response_s),
+            p99_response_s: mean(&|r| r.p99_response_s),
+            mean_attempt_response_s: mean(&|r| r.mean_attempt_response_s),
+            block_ratio: mean(&|r| r.block_ratio),
+            borrow_ratio: mean(&|r| r.borrow_ratio),
+            exec_messages_per_commit: mean(&|r| r.exec_messages_per_commit),
+            commit_messages_per_commit: mean(&|r| r.commit_messages_per_commit),
+            forced_writes_per_commit: mean(&|r| r.forced_writes_per_commit),
+            mean_shelf_time_s: mean(&|r| r.mean_shelf_time_s),
+            mean_prepared_time_s: mean(&|r| r.mean_prepared_time_s),
+            utilizations: Utilizations {
+                cpu: mean(&|r| r.utilizations.cpu),
+                data_disk: mean(&|r| r.utilizations.data_disk),
+                log_disk: mean(&|r| r.utilizations.log_disk),
+            },
+            mean_log_batch: mean(&|r| r.mean_log_batch),
+            master_crashes: sum(&|r| r.master_crashes),
+            events: sum(&|r| r.events),
+        }
+    }
+
     /// One-line summary for logs and examples.
     pub fn summary(&self) -> String {
         format!(
@@ -298,9 +368,8 @@ mod tests {
         assert_eq!(m.aborted_borrower.get(), 1);
     }
 
-    #[test]
-    fn report_derived_quantities() {
-        let r = SimReport {
+    fn sample_report() -> SimReport {
+        SimReport {
             protocol: "2PC".into(),
             mpl: 4,
             sim_seconds: 100.0,
@@ -330,11 +399,60 @@ mod tests {
             mean_log_batch: 1.0,
             master_crashes: 0,
             events: 1,
-        };
+        }
+    }
+
+    #[test]
+    fn report_derived_quantities() {
+        let r = sample_report();
         assert_eq!(r.total_aborts(), 100);
         assert!((r.abort_fraction() - 0.1).abs() < 1e-12);
         let s = r.summary();
         assert!(s.contains("2PC"));
         assert!(s.contains("9.00"));
+    }
+
+    #[test]
+    fn merge_of_one_replication_is_identity() {
+        let r = sample_report();
+        let m = SimReport::merge_replications(std::slice::from_ref(&r));
+        assert_eq!(m.throughput, r.throughput);
+        assert_eq!(m.throughput_ci.half_width, r.throughput_ci.half_width);
+        assert_eq!(m.committed, r.committed);
+        assert_eq!(m.events, r.events);
+    }
+
+    #[test]
+    fn merge_averages_rates_and_sums_counts() {
+        let a = sample_report();
+        let mut b = sample_report();
+        b.throughput = 11.0;
+        b.committed = 1_100;
+        b.block_ratio = 0.4;
+        b.mean_response_s = 0.6;
+        b.events = 3;
+        let m = SimReport::merge_replications(&[a.clone(), b]);
+        assert!((m.throughput - 10.0).abs() < 1e-12); // mean of 9 and 11
+        assert_eq!(m.committed, 2_000);
+        assert_eq!(m.events, 4);
+        assert!((m.block_ratio - 0.3).abs() < 1e-12);
+        assert!((m.mean_response_s - 0.5).abs() < 1e-12);
+        assert_eq!(m.protocol, a.protocol);
+        assert_eq!(m.mpl, a.mpl);
+        // CI across the two replications: t(1) * s / sqrt(2), s = sqrt(2)
+        let expected = simkernel::stats::t_critical_90(1) * 2.0_f64.sqrt() / 2.0_f64.sqrt();
+        assert_eq!(m.throughput_ci.batches, 2);
+        assert!((m.throughput_ci.mean - 10.0).abs() < 1e-12);
+        assert!((m.throughput_ci.half_width - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_of_identical_replications_has_zero_width() {
+        let reports = vec![sample_report(); 5];
+        let m = SimReport::merge_replications(&reports);
+        assert!((m.throughput - 9.0).abs() < 1e-12);
+        assert!(m.throughput_ci.half_width < 1e-9);
+        assert_eq!(m.throughput_ci.batches, 5);
+        assert_eq!(m.sim_seconds, 500.0);
     }
 }

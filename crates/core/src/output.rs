@@ -85,6 +85,71 @@ pub fn render_table(exp: &Experiment, metric: Metric) -> String {
     out
 }
 
+/// Render the throughput table with each cell as `mean ±hw`, where the
+/// half-width is the 90% confidence interval — across replications for
+/// replicated sweeps, batch-means within the single run otherwise.
+pub fn render_table_ci(exp: &Experiment) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== {} — Throughput (txn/s, mean ±90% CI) ==",
+        exp.title
+    );
+    let cell = |r: &SimReport| format!("{:.2} ±{:.2}", r.throughput, r.throughput_ci.half_width);
+    let width = exp
+        .series
+        .iter()
+        .flat_map(|s| std::iter::once(s.label.len()).chain(s.points.iter().map(|r| cell(r).len())))
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    let _ = write!(out, "{:>6}", "MPL");
+    for s in &exp.series {
+        let _ = write!(out, " {:>width$}", s.label, width = width);
+    }
+    let _ = writeln!(out);
+    for (i, mpl) in exp.mpls().iter().enumerate() {
+        let _ = write!(out, "{mpl:>6}");
+        for s in &exp.series {
+            let v = s.points.get(i).map(&cell).unwrap_or_else(|| "-".into());
+            let _ = write!(out, " {v:>width$}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Throughput CSV with a `<series> ci90` half-width column after each
+/// series mean — the plottable form of [`render_table_ci`].
+pub fn render_csv_ci(exp: &Experiment) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "mpl");
+    for s in &exp.series {
+        let label = s.label.replace(',', ";");
+        let _ = write!(out, ",{label},{label} ci90");
+    }
+    let _ = writeln!(out);
+    for (i, mpl) in exp.mpls().iter().enumerate() {
+        let _ = write!(out, "{mpl}");
+        for s in &exp.series {
+            match s.points.get(i) {
+                Some(r) => {
+                    let _ = write!(
+                        out,
+                        ",{:.6},{:.6}",
+                        r.throughput, r.throughput_ci.half_width
+                    );
+                }
+                None => {
+                    let _ = write!(out, ",NaN,NaN");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
 /// Render one metric as CSV (`mpl,<series...>`), for plotting.
 pub fn render_csv(exp: &Experiment, metric: Metric) -> String {
     let mut out = String::new();
@@ -197,6 +262,8 @@ mod tests {
             measured: 80,
             mpls: vec![1, 2],
             seed: 3,
+            replications: 1,
+            jobs: Some(1),
         };
         let specs = vec![
             ("2PC".to_string(), ProtocolSpec::TWO_PC, cfg.clone()),
@@ -218,6 +285,34 @@ mod tests {
         assert!(t.contains("OPT"));
         assert!(t.contains("Throughput"));
         assert_eq!(t.lines().count(), 2 + 2); // header + title + 2 MPL rows
+    }
+
+    #[test]
+    fn ci_table_shows_mean_and_half_width() {
+        let e = tiny_experiment();
+        let t = render_table_ci(&e);
+        assert!(t.contains("±90% CI"));
+        assert!(t.contains('±'));
+        assert!(t.contains("2PC"));
+        assert_eq!(t.lines().count(), 2 + 2); // title + header + 2 MPL rows
+    }
+
+    #[test]
+    fn ci_csv_adds_one_half_width_column_per_series() {
+        let e = tiny_experiment();
+        let csv = render_csv_ci(&e);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        // mpl + (mean, ci) per series
+        assert_eq!(header.split(',').count(), 1 + 2 * e.series.len());
+        assert!(header.contains("2PC ci90"));
+        for line in lines {
+            assert_eq!(
+                line.split(',').count(),
+                1 + 2 * e.series.len(),
+                "ragged: {line}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Deterministic parallel execution of independent simulation jobs.
+//!
+//! Every cell of an experiment grid — one (protocol, MPL, replication)
+//! triple — is an independent [`crate::engine::Simulation::run`] with
+//! its own derived seed, so the grid is embarrassingly parallel. This
+//! module fans a job list out over `std::thread::scope` workers (the
+//! repository is std-only by design) and reassembles the results **in
+//! input order**, so the output of a sweep is byte-identical for any
+//! worker count: parallelism changes wall-clock time, never results.
+//!
+//! The worker count comes from, in order of precedence: an explicit
+//! request (the `--jobs` CLI flag), the `DISTCOMMIT_JOBS` environment
+//! variable, and [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable consulted by [`default_jobs`].
+pub const JOBS_ENV: &str = "DISTCOMMIT_JOBS";
+
+/// Parse a jobs value: positive decimal integer, clamped to ≥ 1.
+/// Returns `None` for anything unparsable so callers can fall through
+/// to the next source.
+pub fn parse_jobs(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// The worker count used when the caller does not specify one:
+/// `DISTCOMMIT_JOBS` if set and valid, else the machine's available
+/// parallelism, else 1.
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var(JOBS_ENV) {
+        if let Some(n) = parse_jobs(&v) {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolve an optional explicit request against [`default_jobs`].
+pub fn resolve_jobs(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) => n.max(1),
+        None => default_jobs(),
+    }
+}
+
+/// Map `f` over `inputs` on up to `jobs` worker threads, returning the
+/// outputs **in input order** regardless of completion order.
+///
+/// Work is distributed dynamically (an atomic cursor), so stragglers —
+/// e.g. high-MPL cells that simulate more events — do not serialize the
+/// grid the way fixed chunking would. With `jobs <= 1` (or a single
+/// input) this degenerates to a plain sequential map on the calling
+/// thread, with no thread machinery at all.
+pub fn run_ordered<I, O, F>(inputs: &[I], jobs: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = inputs.len();
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        return inputs.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Mutex<Option<O>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || Mutex::new(None));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(&inputs[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every input index was claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn parse_jobs_accepts_positive_integers() {
+        assert_eq!(parse_jobs("4"), Some(4));
+        assert_eq!(parse_jobs(" 12 "), Some(12));
+        assert_eq!(parse_jobs("1"), Some(1));
+        assert_eq!(parse_jobs("0"), None);
+        assert_eq!(parse_jobs("-3"), None);
+        assert_eq!(parse_jobs("many"), None);
+        assert_eq!(parse_jobs(""), None);
+    }
+
+    #[test]
+    fn resolve_jobs_clamps_explicit_zero() {
+        assert_eq!(resolve_jobs(Some(0)), 1);
+        assert_eq!(resolve_jobs(Some(7)), 7);
+        assert!(resolve_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn ordered_output_for_any_worker_count() {
+        let inputs: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = inputs.iter().map(|x| x * x + 1).collect();
+        for jobs in [1, 2, 3, 4, 8, 200] {
+            let got = run_ordered(&inputs, jobs, |&x| x * x + 1);
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn uneven_work_still_reassembles_in_order() {
+        // Make late indices cheap and early ones expensive so threads
+        // finish far out of submission order.
+        let inputs: Vec<usize> = (0..32).collect();
+        let got = run_ordered(&inputs, 4, |&i| {
+            let spins = (32 - i) * 2_000;
+            let mut acc = i as u64;
+            for k in 0..spins as u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            std::hint::black_box(acc);
+            i
+        });
+        assert_eq!(got, inputs);
+    }
+
+    #[test]
+    fn every_input_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+        let inputs: Vec<usize> = (0..50).collect();
+        run_ordered(&inputs, 6, |&i| counters[i].fetch_add(1, Ordering::SeqCst));
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "input {i}");
+        }
+    }
+
+    #[test]
+    fn sequential_path_used_for_single_job() {
+        // With jobs=1 the closure runs on the calling thread.
+        let caller = std::thread::current().id();
+        let ids = run_ordered(&[1, 2, 3], 1, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn errors_propagate_as_values() {
+        let inputs = [1i32, -2, 3];
+        let got: Result<Vec<i32>, String> = run_ordered(&inputs, 2, |&x| {
+            if x < 0 {
+                Err(format!("negative: {x}"))
+            } else {
+                Ok(x)
+            }
+        })
+        .into_iter()
+        .collect();
+        assert_eq!(got, Err("negative: -2".to_string()));
+    }
+}

@@ -1035,7 +1035,7 @@ mod tests {
         assert_eq!(lm.mode_held(1, 10), Some(LockMode::Update));
         assert_eq!(lm.mode_held(1, 11), None);
         assert_eq!(lm.pages_held(2), 0);
-        assert!(lm.is_prepared(1) == false);
+        assert!(!lm.is_prepared(1));
         lm.mark_prepared(1);
         assert!(lm.is_prepared(1));
     }
@@ -1082,10 +1082,12 @@ mod tests {
     }
 }
 
+// Seeded-loop generative tests (former proptest suite, rewritten as
+// deterministic randomized loops over the same op space).
 #[cfg(test)]
-mod proptests {
+mod generative_tests {
     use super::*;
-    use proptest::prelude::*;
+    use simkernel::SimRng;
 
     #[derive(Debug, Clone)]
     enum Op {
@@ -1096,38 +1098,52 @@ mod proptests {
         Settle { owner: u8 },
     }
 
-    fn op_strategy() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            (0u8..8, 0u8..6, proptest::bool::ANY).prop_map(|(owner, page, update)| Op::Request {
+    fn random_op(r: &mut SimRng) -> Op {
+        let owner = r.uniform_u64(0, 7) as u8;
+        match r.uniform_u64(0, 4) {
+            0 => Op::Request {
                 owner,
-                page,
-                update
-            }),
-            (0u8..8).prop_map(|owner| Op::ReleaseAll { owner }),
-            (0u8..8).prop_map(|owner| Op::ReleaseReads { owner }),
-            (0u8..8).prop_map(|owner| Op::Prepare { owner }),
-            (0u8..8).prop_map(|owner| Op::Settle { owner }),
-        ]
+                page: r.uniform_u64(0, 5) as u8,
+                update: r.chance(0.5),
+            },
+            1 => Op::ReleaseAll { owner },
+            2 => Op::ReleaseReads { owner },
+            3 => Op::Prepare { owner },
+            _ => Op::Settle { owner },
+        }
     }
 
-    proptest! {
-        /// Random op sequences keep every audit invariant intact, with and
-        /// without lending.
-        #[test]
-        fn random_ops_never_violate_invariants(
-            ops in proptest::collection::vec(op_strategy(), 1..120),
-            lending in proptest::bool::ANY,
-        ) {
+    fn random_ops(r: &mut SimRng, max_len: usize) -> Vec<Op> {
+        let len = r.uniform_usize(1, max_len);
+        (0..len).map(|_| random_op(r)).collect()
+    }
+
+    /// Random op sequences keep every audit invariant intact, with and
+    /// without lending.
+    #[test]
+    fn random_ops_never_violate_invariants() {
+        let mut r = SimRng::new(0x10CC_7AB1);
+        for case in 0..300 {
+            let lending = case % 2 == 0;
+            let ops = random_ops(&mut r, 119);
             let mut lm = LockManager::new(lending);
             let mut prepared = std::collections::HashSet::new();
             for op in ops {
                 match op {
-                    Op::Request { owner, page, update } => {
+                    Op::Request {
+                        owner,
+                        page,
+                        update,
+                    } => {
                         let owner = owner as u64;
                         if lm.is_waiting(owner) || prepared.contains(&owner) {
                             continue;
                         }
-                        let mode = if update { LockMode::Update } else { LockMode::Read };
+                        let mode = if update {
+                            LockMode::Update
+                        } else {
+                            LockMode::Read
+                        };
                         let _ = lm.request(owner, page as u64, mode);
                     }
                     Op::ReleaseAll { owner } => {
@@ -1143,8 +1159,10 @@ mod proptests {
                     Op::Prepare { owner } => {
                         let owner = owner as u64;
                         // only owners not waiting and not already prepared
-                        if !lm.is_waiting(owner) && !prepared.contains(&owner)
-                            && lm.pages_held(owner) > 0 && !lm.has_live_borrows(owner)
+                        if !lm.is_waiting(owner)
+                            && !prepared.contains(&owner)
+                            && lm.pages_held(owner) > 0
+                            && !lm.has_live_borrows(owner)
                         {
                             lm.mark_prepared(owner);
                             prepared.insert(owner);
@@ -1160,26 +1178,36 @@ mod proptests {
                     }
                 }
                 if let Err(e) = lm.audit() {
-                    return Err(TestCaseError::fail(e));
+                    panic!("audit failed (lending={lending}): {e}");
                 }
             }
         }
+    }
 
-        /// Without lending, conflicting pages serialize: at most one update
-        /// holder, and never an update holder together with any other holder.
-        #[test]
-        fn no_lending_means_strict_exclusivity(
-            ops in proptest::collection::vec(op_strategy(), 1..100),
-        ) {
+    /// Without lending, conflicting pages serialize: at most one update
+    /// holder, and never an update holder together with any other holder.
+    #[test]
+    fn no_lending_means_strict_exclusivity() {
+        let mut r = SimRng::new(0x10CC_7AB2);
+        for _ in 0..300 {
+            let ops = random_ops(&mut r, 99);
             let mut lm = LockManager::new(false);
             for op in ops {
                 match op {
-                    Op::Request { owner, page, update } => {
+                    Op::Request {
+                        owner,
+                        page,
+                        update,
+                    } => {
                         let owner = owner as u64;
                         if lm.is_waiting(owner) {
                             continue;
                         }
-                        let mode = if update { LockMode::Update } else { LockMode::Read };
+                        let mode = if update {
+                            LockMode::Update
+                        } else {
+                            LockMode::Read
+                        };
                         let _ = lm.request(owner, page as u64, mode);
                     }
                     Op::ReleaseAll { owner } => {
@@ -1187,7 +1215,7 @@ mod proptests {
                     }
                     _ => {}
                 }
-                prop_assert!(lm.audit().is_ok());
+                assert!(lm.audit().is_ok());
             }
         }
     }

@@ -240,16 +240,25 @@ mod tests {
     }
 }
 
+// Seeded-loop generative tests (former proptest suite, rewritten as
+// deterministic randomized loops over the same input space).
 #[cfg(test)]
-mod proptests {
+mod generative_tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SimRng;
 
-    proptest! {
-        /// Popping the calendar yields exactly the multiset of scheduled
-        /// events, sorted by (time, insertion order) — i.e. a stable sort.
-        #[test]
-        fn calendar_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..1000, 1..200)) {
+    fn random_times(r: &mut SimRng) -> Vec<u64> {
+        let len = r.uniform_usize(1, 199);
+        (0..len).map(|_| r.uniform_u64(0, 999)).collect()
+    }
+
+    /// Popping the calendar yields exactly the multiset of scheduled
+    /// events, sorted by (time, insertion order) — i.e. a stable sort.
+    #[test]
+    fn calendar_is_a_stable_priority_queue() {
+        let mut r = SimRng::new(0xCA1E_11DA);
+        for _ in 0..100 {
+            let times = random_times(&mut r);
             let mut cal = Calendar::new();
             for (i, &t) in times.iter().enumerate() {
                 cal.schedule_at(SimTime(t), i);
@@ -257,21 +266,26 @@ mod proptests {
             let mut reference: Vec<(u64, usize)> =
                 times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
             reference.sort(); // (time, seq) — seq equals insertion index here
-            let popped: Vec<(u64, usize)> =
-                std::iter::from_fn(|| cal.next()).map(|(t, i)| (t.0, i)).collect();
-            prop_assert_eq!(popped, reference);
+            let popped: Vec<(u64, usize)> = std::iter::from_fn(|| cal.next())
+                .map(|(t, i)| (t.0, i))
+                .collect();
+            assert_eq!(popped, reference);
         }
+    }
 
-        /// The clock is monotone no matter the schedule.
-        #[test]
-        fn clock_is_monotone(times in proptest::collection::vec(0u64..1000, 1..200)) {
+    /// The clock is monotone no matter the schedule.
+    #[test]
+    fn clock_is_monotone() {
+        let mut r = SimRng::new(0xC10C_7151);
+        for _ in 0..100 {
+            let times = random_times(&mut r);
             let mut cal = Calendar::new();
             for &t in &times {
                 cal.schedule_at(SimTime(t), ());
             }
             let mut last = SimTime::ZERO;
             while let Some((t, _)) = cal.next() {
-                prop_assert!(t >= last);
+                assert!(t >= last);
                 last = t;
             }
         }

@@ -31,5 +31,5 @@ pub mod time;
 
 pub use calendar::Calendar;
 pub use resource::{JobClass, Station, StationKind};
-pub use rng::SimRng;
+pub use rng::{mix_seed, SimRng};
 pub use time::{SimDuration, SimTime};

@@ -624,73 +624,95 @@ mod tests {
     }
 }
 
+// Seeded-loop generative tests (former proptest suite, rewritten as
+// deterministic randomized loops over the same input space).
 #[cfg(test)]
-mod proptests {
+mod generative_tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SimRng;
 
-    proptest! {
-        /// Welford mean equals the naive mean.
-        #[test]
-        fn tally_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+    fn random_vec(r: &mut SimRng, min_len: usize, max_len: usize, lo: f64, hi: f64) -> Vec<f64> {
+        let len = r.uniform_usize(min_len, max_len);
+        (0..len).map(|_| lo + r.f64() * (hi - lo)).collect()
+    }
+
+    /// Welford mean equals the naive mean.
+    #[test]
+    fn tally_matches_naive() {
+        let mut r = SimRng::new(0x7A11_0001);
+        for _ in 0..100 {
+            let xs = random_vec(&mut r, 1, 299, -1e6, 1e6);
             let mut t = Tally::new();
             for &x in &xs {
                 t.record(x);
             }
             let naive_mean = xs.iter().sum::<f64>() / xs.len() as f64;
-            prop_assert!((t.mean() - naive_mean).abs() < 1e-6 * (1.0 + naive_mean.abs()));
+            assert!((t.mean() - naive_mean).abs() < 1e-6 * (1.0 + naive_mean.abs()));
             if xs.len() >= 2 {
                 let naive_var = xs.iter().map(|x| (x - naive_mean).powi(2)).sum::<f64>()
                     / (xs.len() - 1) as f64;
-                prop_assert!((t.variance() - naive_var).abs() < 1e-4 * (1.0 + naive_var.abs()));
+                assert!((t.variance() - naive_var).abs() < 1e-4 * (1.0 + naive_var.abs()));
             }
         }
+    }
 
-        /// Merging arbitrary splits equals sequential recording.
-        #[test]
-        fn merge_is_split_invariant(
-            xs in proptest::collection::vec(-1e3f64..1e3, 2..200),
-            split in 0usize..200
-        ) {
-            let split = split % xs.len();
+    /// Merging arbitrary splits equals sequential recording.
+    #[test]
+    fn merge_is_split_invariant() {
+        let mut r = SimRng::new(0x7A11_0002);
+        for _ in 0..100 {
+            let xs = random_vec(&mut r, 2, 199, -1e3, 1e3);
+            let split = r.uniform_usize(0, xs.len() - 1);
             let mut whole = Tally::new();
-            for &x in &xs { whole.record(x); }
+            for &x in &xs {
+                whole.record(x);
+            }
             let mut a = Tally::new();
             let mut b = Tally::new();
-            for &x in &xs[..split] { a.record(x); }
-            for &x in &xs[split..] { b.record(x); }
+            for &x in &xs[..split] {
+                a.record(x);
+            }
+            for &x in &xs[split..] {
+                b.record(x);
+            }
             a.merge(&b);
-            prop_assert_eq!(a.count(), whole.count());
-            prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
-            prop_assert!((a.variance() - whole.variance()).abs() < 1e-4);
+            assert_eq!(a.count(), whole.count());
+            assert!((a.mean() - whole.mean()).abs() < 1e-6);
+            assert!((a.variance() - whole.variance()).abs() < 1e-4);
         }
+    }
 
-        /// Time-weighted average always lies within [min level, max level].
-        #[test]
-        fn time_average_is_bounded(
-            changes in proptest::collection::vec((1u64..100, 0f64..10.0), 1..100)
-        ) {
+    /// Time-weighted average always lies within [min level, max level].
+    #[test]
+    fn time_average_is_bounded() {
+        let mut r = SimRng::new(0x7A11_0003);
+        for _ in 0..100 {
+            let n = r.uniform_usize(1, 99);
             let mut tw = TimeWeighted::new(SimTime(0), 5.0);
             let mut t = 0u64;
             let mut lo = 5.0f64;
             let mut hi = 5.0f64;
-            for &(gap, level) in &changes {
-                t += gap;
+            for _ in 0..n {
+                t += r.uniform_u64(1, 99);
+                let level = r.f64() * 10.0;
                 tw.set(SimTime(t), level);
                 lo = lo.min(level);
                 hi = hi.max(level);
             }
             let avg = tw.time_average(SimTime(t + 10));
-            prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9);
+            assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9);
         }
+    }
 
-        /// Histogram quantiles are within the bucket resolution of the true
-        /// order statistics, for arbitrary data.
-        #[test]
-        fn histogram_matches_sorted_reference(
-            us in proptest::collection::vec(0u64..10_000_000, 1..300),
-            q in 0.0f64..=1.0,
-        ) {
+    /// Histogram quantiles are within the bucket resolution of the true
+    /// order statistics, for arbitrary data.
+    #[test]
+    fn histogram_matches_sorted_reference() {
+        let mut r = SimRng::new(0x7A11_0004);
+        for _ in 0..100 {
+            let len = r.uniform_usize(1, 299);
+            let us: Vec<u64> = (0..len).map(|_| r.uniform_u64(0, 9_999_999)).collect();
+            let q = r.f64();
             let mut h = DurationHistogram::new();
             for &v in &us {
                 h.record(SimDuration(v));
@@ -701,21 +723,30 @@ mod proptests {
             let truth = sorted[idx] as f64;
             let got = h.quantile(q).as_micros() as f64;
             // bucket lower bound: within 6.25% below the true value
-            prop_assert!(got <= truth + 1.0, "got {got}, truth {truth}");
-            prop_assert!(got >= truth * (1.0 - 0.0625) - 1.0, "got {got}, truth {truth}");
+            assert!(got <= truth + 1.0, "got {got}, truth {truth}");
+            assert!(
+                got >= truth * (1.0 - 0.0625) - 1.0,
+                "got {got}, truth {truth}"
+            );
         }
+    }
 
-        /// BatchMeans grand mean equals the plain mean of all complete batches.
-        #[test]
-        fn batch_means_grand_mean(xs in proptest::collection::vec(0f64..100.0, 10..300)) {
+    /// BatchMeans grand mean equals the plain mean of all complete batches.
+    #[test]
+    fn batch_means_grand_mean() {
+        let mut r = SimRng::new(0x7A11_0005);
+        for _ in 0..100 {
+            let xs = random_vec(&mut r, 10, 299, 0.0, 100.0);
             let batch = 5u64;
             let mut bm = BatchMeans::new(batch);
-            for &x in &xs { bm.record(x); }
+            for &x in &xs {
+                bm.record(x);
+            }
             let complete = (xs.len() as u64 / batch * batch) as usize;
             if complete > 0 {
                 let expect = xs[..complete].iter().sum::<f64>() / complete as f64;
                 let ci = bm.confidence_interval();
-                prop_assert!((ci.mean - expect).abs() < 1e-6);
+                assert!((ci.mean - expect).abs() < 1e-6);
             }
         }
     }

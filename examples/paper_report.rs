@@ -25,6 +25,8 @@ fn main() {
         measured: 2_500,
         mpls: vec![1, 2, 4, 5, 6, 8, 10],
         seed: 42,
+        replications: 1,
+        jobs: None,
     };
     println!("running compact versions of Experiments 1, 2, 5 and 6 ...\n");
 

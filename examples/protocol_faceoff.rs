@@ -17,6 +17,8 @@ fn main() {
         measured: 2_000,
         mpls: vec![1, 2, 4, 6, 8, 10],
         seed: 42,
+        replications: 1,
+        jobs: None,
     };
 
     let exp = if pure_dc {

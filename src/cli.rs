@@ -15,7 +15,7 @@ use commitproto::ProtocolSpec;
 use distdb::config::{ResourceMode, RestartPolicy, SystemConfig, TransType};
 use distdb::engine::Simulation;
 use distdb::experiments::{self, Scale};
-use distdb::output::{render_ascii_chart, render_peaks, render_table, Metric};
+use distdb::output::{render_ascii_chart, render_peaks, render_table, render_table_ci, Metric};
 use simkernel::SimDuration;
 use std::fmt;
 
@@ -34,10 +34,17 @@ pub enum Command {
         protocols: Vec<ProtocolSpec>,
         mpls: Vec<u32>,
         seed: u64,
+        reps: u32,
+        jobs: Option<usize>,
     },
     /// A named paper experiment (`fig1`, `fig2`, `expt3`, `fig3`,
     /// `fig4`, `fig5`, `seq`).
-    Experiment { id: String, full: bool },
+    Experiment {
+        id: String,
+        full: bool,
+        reps: u32,
+        jobs: Option<usize>,
+    },
     /// Tables 2–4.
     Tables,
     /// Usage text.
@@ -67,9 +74,19 @@ distcommit — the SIGMOD'97 commit-processing simulator
 USAGE:
   distcommit run   [OPTIONS]                 one simulation run
   distcommit sweep [OPTIONS]                 protocols x MPLs sweep
-  distcommit experiment <fig1|fig2|expt3|fig3|fig4|fig5|seq> [--full]
+  distcommit experiment <fig1|fig2|expt3|fig3|fig4|fig5|seq|failures>
+                        [--full] [--reps N] [--jobs N]
   distcommit tables                          Tables 2-4
   distcommit help
+
+PARALLELISM & REPLICATIONS (sweep & experiment):
+  --jobs <N>               worker threads for the run grid (default:
+                           DISTCOMMIT_JOBS, else all cores); results
+                           are byte-identical for every N
+  --reps <N>               independent replications per (protocol, MPL)
+                           cell, each with its own derived seed; with
+                           N >= 2 every point reports mean +-90% CI
+                           across replications (default 1)
 
 OPTIONS (run & sweep):
   --protocol <NAME>        protocol for `run` (default 2PC)
@@ -138,17 +155,30 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "experiment" => {
             let mut id = None;
             let mut full = false;
-            for a in &args[1..] {
+            let mut reps = 1u32;
+            let mut jobs = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
                 match a.as_str() {
                     "--full" => full = true,
+                    "--reps" => reps = parse_num(a, take_value(a, &mut it)?)?,
+                    "--jobs" => jobs = Some(parse_num(a, take_value(a, &mut it)?)?),
                     other if id.is_none() && !other.starts_with('-') => {
                         id = Some(other.to_string())
                     }
                     other => return err(format!("unexpected argument {other:?}")),
                 }
             }
+            if reps == 0 {
+                return err("--reps must be at least 1");
+            }
             match id {
-                Some(id) => Ok(Command::Experiment { id, full }),
+                Some(id) => Ok(Command::Experiment {
+                    id,
+                    full,
+                    reps,
+                    jobs,
+                }),
                 None => err("experiment needs an id (fig1|fig2|expt3|fig3|fig4|fig5|seq)"),
             }
         }
@@ -166,10 +196,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             ];
             let mut mpls: Vec<u32> = (1..=10).collect();
             let mut seed = 42u64;
+            let mut reps = 1u32;
+            let mut jobs = None;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--protocol" => protocol = parse_protocol(take_value(a, &mut it)?)?,
+                    "--reps" => reps = parse_num(a, take_value(a, &mut it)?)?,
+                    "--jobs" => jobs = Some(parse_num(a, take_value(a, &mut it)?)?),
                     "--protocols" => {
                         protocols = take_value(a, &mut it)?
                             .split(',')
@@ -236,6 +270,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             cfg.validate().map_err(|e| CliError(e.to_string()))?;
             if sub == "run" {
+                if reps != 1 || jobs.is_some() {
+                    return err("--reps/--jobs apply to sweep and experiment, not run");
+                }
                 Ok(Command::Run {
                     cfg,
                     protocol,
@@ -245,11 +282,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 if protocols.is_empty() || mpls.is_empty() {
                     return err("sweep needs at least one protocol and one MPL");
                 }
+                if reps == 0 {
+                    return err("--reps must be at least 1");
+                }
                 Ok(Command::Sweep {
                     cfg,
                     protocols,
                     mpls,
                     seed,
+                    reps,
+                    jobs,
                 })
             }
         }
@@ -352,12 +394,16 @@ pub fn execute(cmd: Command) -> i32 {
             protocols,
             mpls,
             seed,
+            reps,
+            jobs,
         } => {
             let scale = Scale {
                 warmup: cfg.run.warmup_transactions,
                 measured: cfg.run.measured_transactions,
                 mpls,
                 seed,
+                replications: reps,
+                jobs,
             };
             let specs: Vec<(String, ProtocolSpec, SystemConfig)> = protocols
                 .iter()
@@ -371,7 +417,11 @@ pub fn execute(cmd: Command) -> i32 {
                         config: cfg,
                         series,
                     };
-                    print!("{}", render_table(&exp, Metric::Throughput));
+                    if reps >= 2 {
+                        print!("{}", render_table_ci(&exp));
+                    } else {
+                        print!("{}", render_table(&exp, Metric::Throughput));
+                    }
                     println!();
                     print!("{}", render_table(&exp, Metric::BlockRatio));
                     println!();
@@ -385,10 +435,21 @@ pub fn execute(cmd: Command) -> i32 {
                 }
             }
         }
-        Command::Experiment { id, full } => {
-            let scale = if full { Scale::full() } else { Scale::quick() };
+        Command::Experiment {
+            id,
+            full,
+            reps,
+            jobs,
+        } => {
+            let mut scale = if full { Scale::full() } else { Scale::quick() };
+            scale.replications = reps;
+            scale.jobs = jobs;
             let print = |exp: &experiments::Experiment| {
-                print!("{}", render_table(exp, Metric::Throughput));
+                if reps >= 2 {
+                    print!("{}", render_table_ci(exp));
+                } else {
+                    print!("{}", render_table(exp, Metric::Throughput));
+                }
                 println!();
                 print!("{}", render_ascii_chart(exp, Metric::Throughput, 64, 18));
                 print!("{}", render_peaks(exp));
@@ -525,6 +586,8 @@ mod tests {
             protocols,
             mpls,
             seed,
+            reps,
+            jobs,
             ..
         } = cmd
         else {
@@ -533,6 +596,22 @@ mod tests {
         assert_eq!(protocols, vec![ProtocolSpec::TWO_PC, ProtocolSpec::OPT_2PC]);
         assert_eq!(mpls, vec![1, 4, 8]);
         assert_eq!(seed, 3);
+        assert_eq!(reps, 1);
+        assert_eq!(jobs, None);
+    }
+
+    #[test]
+    fn sweep_parses_reps_and_jobs() {
+        let cmd = parse(&argv("sweep --protocols 2PC --mpls 2 --reps 5 --jobs 4")).unwrap();
+        let Command::Sweep { reps, jobs, .. } = cmd else {
+            panic!("expected Sweep")
+        };
+        assert_eq!(reps, 5);
+        assert_eq!(jobs, Some(4));
+        // reps must be positive; run takes neither flag
+        assert!(parse(&argv("sweep --protocols 2PC --mpls 2 --reps 0")).is_err());
+        assert!(parse(&argv("run --reps 3")).is_err());
+        assert!(parse(&argv("run --jobs 2")).is_err());
     }
 
     #[test]
@@ -541,17 +620,36 @@ mod tests {
             parse(&argv("experiment fig4 --full")).unwrap(),
             Command::Experiment {
                 id: "fig4".into(),
-                full: true
+                full: true,
+                reps: 1,
+                jobs: None,
             }
         );
         assert_eq!(
             parse(&argv("experiment seq")).unwrap(),
             Command::Experiment {
                 id: "seq".into(),
-                full: false
+                full: false,
+                reps: 1,
+                jobs: None,
             }
         );
         assert!(parse(&argv("experiment")).is_err());
+    }
+
+    #[test]
+    fn experiment_parses_reps_and_jobs() {
+        assert_eq!(
+            parse(&argv("experiment fig1 --reps 4 --jobs 8")).unwrap(),
+            Command::Experiment {
+                id: "fig1".into(),
+                full: false,
+                reps: 4,
+                jobs: Some(8),
+            }
+        );
+        assert!(parse(&argv("experiment fig1 --reps 0")).is_err());
+        assert!(parse(&argv("experiment fig1 --jobs")).is_err());
     }
 
     #[test]

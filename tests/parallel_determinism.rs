@@ -1,0 +1,165 @@
+//! The parallel experiment runner's two contracts, tested end to end:
+//!
+//! 1. **Determinism** — a sweep's results (and everything rendered from
+//!    them) are byte-identical for any worker count; parallelism only
+//!    changes wall-clock time.
+//! 2. **Replication statistics** — independent replications of a cell
+//!    never share a seed, their merged 90% confidence interval shrinks
+//!    roughly as 1/√reps, and replicated sweeps agree with single-rep
+//!    sweeps on the headline peak-throughput comparison.
+
+use distcommit::db::config::SystemConfig;
+use distcommit::db::engine::Simulation;
+use distcommit::db::experiments::{self, cell_seed, Scale};
+use distcommit::db::metrics::SimReport;
+use distcommit::db::output::{render_csv, render_csv_ci, render_table_ci, Metric};
+use distcommit::db::runner;
+use distcommit::proto::ProtocolSpec;
+use std::collections::HashSet;
+
+fn small_scale() -> Scale {
+    Scale {
+        warmup: 30,
+        measured: 250,
+        mpls: vec![1, 3],
+        seed: 42,
+        replications: 2,
+        jobs: Some(1),
+    }
+}
+
+/// `--jobs 4` must be byte-identical to `--jobs 1` on a small fig1
+/// grid: same numbers in every report, same rendered CSV bytes.
+#[test]
+fn four_jobs_bit_identical_to_one_job() {
+    let mut serial_scale = small_scale();
+    serial_scale.jobs = Some(1);
+    let mut parallel_scale = small_scale();
+    parallel_scale.jobs = Some(4);
+
+    let serial = experiments::fig1(&serial_scale).unwrap();
+    let parallel = experiments::fig1(&parallel_scale).unwrap();
+
+    assert_eq!(serial.series.len(), parallel.series.len());
+    for (a, b) in serial.series.iter().zip(&parallel.series) {
+        assert_eq!(a.label, b.label);
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert_eq!(x.events, y.events, "{}", a.label);
+            assert_eq!(x.committed, y.committed);
+            assert_eq!(x.throughput.to_bits(), y.throughput.to_bits());
+            assert_eq!(x.block_ratio.to_bits(), y.block_ratio.to_bits());
+            assert_eq!(
+                x.throughput_ci.half_width.to_bits(),
+                y.throughput_ci.half_width.to_bits()
+            );
+        }
+    }
+    // Rendered output is the user-facing determinism guarantee.
+    assert_eq!(
+        render_csv(&serial, Metric::Throughput),
+        render_csv(&parallel, Metric::Throughput)
+    );
+    assert_eq!(render_csv_ci(&serial), render_csv_ci(&parallel));
+    assert_eq!(render_table_ci(&serial), render_table_ci(&parallel));
+}
+
+/// An absurd worker count (more workers than jobs) is also identical.
+#[test]
+fn oversubscribed_workers_change_nothing() {
+    let inputs: Vec<u64> = (0..7).collect();
+    let a = runner::run_ordered(&inputs, 1, |&x| x * 3);
+    let b = runner::run_ordered(&inputs, 64, |&x| x * 3);
+    assert_eq!(a, b);
+}
+
+/// Per-cell seeds never collide across the full (protocol, MPL, rep)
+/// grid, for several base seeds — replications are truly independent.
+#[test]
+fn cell_seeds_are_collision_free() {
+    for base in [0u64, 42, u64::MAX, 0xDEAD_BEEF] {
+        let mut seen = HashSet::new();
+        for series in 0..12 {
+            for mpl_index in 0..10 {
+                for rep in 0..16 {
+                    assert!(
+                        seen.insert(cell_seed(base, series, mpl_index, rep)),
+                        "collision at base={base} ({series}, {mpl_index}, {rep})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn merged_cell(reps: u32) -> SimReport {
+    let reports: Vec<SimReport> = (0..reps)
+        .map(|rep| {
+            let mut cfg = SystemConfig::paper_baseline();
+            cfg.mpl = 4;
+            cfg.run.warmup_transactions = 50;
+            cfg.run.measured_transactions = 600;
+            Simulation::run(&cfg, ProtocolSpec::TWO_PC, cell_seed(42, 0, 0, rep)).unwrap()
+        })
+        .collect();
+    SimReport::merge_replications(&reports)
+}
+
+/// The merged 90% CI half-width shrinks roughly as 1/√reps: quadrupling
+/// the replications (4 → 16) should roughly halve the half-width
+/// (the t-critical factor shrinks it a bit further; the sampled
+/// standard deviation wobbles it either way).
+#[test]
+fn ci_half_width_shrinks_with_replications() {
+    let r4 = merged_cell(4);
+    let r16 = merged_cell(16);
+    assert_eq!(r4.throughput_ci.batches, 4);
+    assert_eq!(r16.throughput_ci.batches, 16);
+    assert!(r4.throughput_ci.half_width > 0.0);
+    let ratio = r16.throughput_ci.half_width / r4.throughput_ci.half_width;
+    assert!(
+        (0.2..0.8).contains(&ratio),
+        "expected ~0.5x shrink from 4 to 16 reps, got {ratio:.3} \
+         (hw4 {:.4}, hw16 {:.4})",
+        r4.throughput_ci.half_width,
+        r16.throughput_ci.half_width
+    );
+    // Both estimates agree on the underlying mean.
+    let diff = (r4.throughput - r16.throughput).abs();
+    assert!(diff < r4.throughput_ci.half_width + r16.throughput_ci.half_width);
+}
+
+/// Replicated sweeps tell the same headline story as single-rep sweeps:
+/// the peak sits at the same MPL and the peak throughput agrees within
+/// the statistical noise of short runs.
+#[test]
+fn replicated_peaks_agree_with_single_rep() {
+    let cfg = SystemConfig::paper_baseline();
+    let specs = vec![("2PC".to_string(), ProtocolSpec::TWO_PC, cfg.clone())];
+    // A coarse MPL axis (1, 4, 10) where the paper baseline's peak at
+    // the knee (MPL ≈ 4) is unambiguous.
+    let mut scale = Scale {
+        warmup: 40,
+        measured: 400,
+        mpls: vec![1, 4, 10],
+        seed: 42,
+        replications: 1,
+        jobs: None,
+    };
+    let single = experiments::sweep(&cfg, &specs, &scale).unwrap();
+    scale.replications = 3;
+    let replicated = experiments::sweep(&cfg, &specs, &scale).unwrap();
+
+    let s = &single[0];
+    let r = &replicated[0];
+    assert_eq!(s.peak_mpl(), 4);
+    assert_eq!(r.peak_mpl(), 4);
+    let rel = (s.peak_throughput() - r.peak_throughput()).abs() / s.peak_throughput();
+    assert!(
+        rel < 0.15,
+        "replicated peak {:.2} vs single-rep peak {:.2} ({rel:.3} apart)",
+        r.peak_throughput(),
+        s.peak_throughput()
+    );
+    // The replicated sweep carries a real cross-replication interval.
+    assert!(r.points.iter().all(|p| p.throughput_ci.batches == 3));
+}

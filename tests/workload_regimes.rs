@@ -16,6 +16,12 @@ fn short(cfg: &SystemConfig, spec: ProtocolSpec, seed: u64) -> distcommit::db::m
 
 /// §5.8: sequential transactions stretch the execution phase, so the
 /// commit-to-execution ratio falls and protocol differences shrink.
+///
+/// The paper's claim is about *expected* throughput: at 1 000 measured
+/// transactions the per-seed gap estimate has a standard error of the
+/// same order as the shrinkage itself, so a single-seed comparison is a
+/// coin flip, not a test of §5.8. Average the relative gap over several
+/// seeds in both regimes before comparing.
 #[test]
 fn sequential_execution_shrinks_protocol_differences() {
     let mut par = SystemConfig::paper_baseline();
@@ -23,19 +29,22 @@ fn sequential_execution_shrinks_protocol_differences() {
     let mut seq = par.clone();
     seq.trans_type = TransType::Sequential;
 
-    let par_2pc = short(&par, ProtocolSpec::TWO_PC, 1);
-    let par_dpcc = short(&par, ProtocolSpec::DPCC, 1);
-    let seq_2pc = short(&seq, ProtocolSpec::TWO_PC, 1);
-    let seq_dpcc = short(&seq, ProtocolSpec::DPCC, 1);
-
-    let par_gap = (par_dpcc.throughput - par_2pc.throughput) / par_dpcc.throughput;
-    let seq_gap = (seq_dpcc.throughput - seq_2pc.throughput) / seq_dpcc.throughput;
+    let gap = |cfg: &SystemConfig, seed: u64| {
+        let two_pc = short(cfg, ProtocolSpec::TWO_PC, seed);
+        let dpcc = short(cfg, ProtocolSpec::DPCC, seed);
+        (dpcc.throughput - two_pc.throughput) / dpcc.throughput
+    };
+    let seeds = [1u64, 2, 3];
+    let par_gap: f64 = seeds.iter().map(|&s| gap(&par, s)).sum::<f64>() / seeds.len() as f64;
+    let seq_gap: f64 = seeds.iter().map(|&s| gap(&seq, s)).sum::<f64>() / seeds.len() as f64;
     assert!(
         seq_gap < par_gap,
         "relative DPCC-2PC gap should shrink for sequential txns ({seq_gap:.3} vs {par_gap:.3})"
     );
     // Sequential responses are longer at equal MPL.
-    assert!(seq_2pc.mean_response_s > par_2pc.mean_response_s);
+    let par_resp = short(&par, ProtocolSpec::TWO_PC, 1).mean_response_s;
+    let seq_resp = short(&seq, ProtocolSpec::TWO_PC, 1).mean_response_s;
+    assert!(seq_resp > par_resp);
 }
 
 /// Sequential transactions commit with exactly the same overheads.
