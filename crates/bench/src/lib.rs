@@ -125,7 +125,7 @@ pub mod micro {
         println!("{name:<44} {:>12}  ({iters} iters)", fmt_duration(per_iter));
     }
 
-    /// Like [`bench`], but rebuilds fresh input state with `setup`
+    /// Like [`bench()`], but rebuilds fresh input state with `setup`
     /// outside the timed region before every iteration.
     pub fn bench_with_setup<S, T>(
         name: &str,

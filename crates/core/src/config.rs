@@ -272,7 +272,7 @@ impl SystemConfig {
         if self.cohort_size == 0 {
             return Err(Invalid("cohort_size must be positive"));
         }
-        if self.db_size % self.num_sites as u64 != 0 {
+        if !self.db_size.is_multiple_of(self.num_sites as u64) {
             return Err(Invalid("db_size must divide evenly across sites"));
         }
         if self.pages_per_site() < self.max_cohort_pages() {

@@ -1,0 +1,358 @@
+//! Chrome trace-event export: turns a recorded [`Trace`] into the JSON
+//! Array Format understood by `chrome://tracing` and Perfetto.
+//!
+//! Mapping (see the Trace Event Format spec):
+//! - `pid` = transaction id (one "process" lane per transaction),
+//! - `tid` = site id (one "thread" row per site within the lane),
+//! - `ts`  = simulation time in microseconds (`SimTime` is already
+//!   microsecond-granular, so the conversion is the identity),
+//! - forced-write issue/durable pairs become `ph:"X"` complete events
+//!   with a duration (FIFO-matched per txn/label/site, mirroring the
+//!   per-station FIFO log-disk queue),
+//! - everything else becomes a thread-scoped instant event (`ph:"i"`,
+//!   `s:"t"`),
+//! - `ph:"M"` metadata events name each transaction lane and site row.
+//!
+//! The writer is hand-rolled on `std::fmt::Write` — no serde — because
+//! the repo is dependency-free by charter. Every emitted string passes
+//! through `escape_json`, although in practice labels are plain ASCII.
+
+use super::trace::{Trace, TraceEvent};
+use super::types::TxnId;
+use crate::workload::SiteId;
+use std::fmt::Write as _;
+
+/// Escape a string for inclusion inside a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One flattened trace-event record, pre-serialization.
+struct Record {
+    ts: u64,
+    dur: Option<u64>,
+    ph: char,
+    pid: TxnId,
+    tid: SiteId,
+    name: String,
+    args: Vec<(&'static str, String)>,
+}
+
+impl Record {
+    fn instant(ts: u64, pid: TxnId, tid: SiteId, name: String) -> Self {
+        Record {
+            ts,
+            dur: None,
+            ph: 'i',
+            pid,
+            tid,
+            name,
+            args: Vec::new(),
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+            escape_json(&self.name),
+            self.ph,
+            self.ts,
+            self.pid,
+            self.tid
+        );
+        if let Some(dur) = self.dur {
+            let _ = write!(out, ",\"dur\":{dur}");
+        }
+        if self.ph == 'i' {
+            // Thread-scoped instant: renders as a tick on the row.
+            out.push_str(",\"s\":\"t\"");
+        }
+        if !self.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (k, v)) in self.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{k}\":{v}");
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+}
+
+/// Serialize a trace to Chrome trace-event JSON (object form, with a
+/// `traceEvents` array), loadable in `chrome://tracing` or Perfetto.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut records: Vec<Record> = Vec::with_capacity(trace.events.len() + 8);
+
+    // FIFO-match ForceLog (issue) with LogDone (durable) per
+    // (txn, label, site): the log disk at each site serves records in
+    // order, so the first unmatched issue is always the one completing.
+    let mut open_forces: Vec<(usize, u64)> = Vec::new(); // (event idx, ts)
+    for (i, e) in trace.events.iter().enumerate() {
+        match e {
+            TraceEvent::Send {
+                at,
+                label,
+                from,
+                to,
+                local,
+                ..
+            } => {
+                let name = if *local {
+                    format!("{label:?} (local)")
+                } else {
+                    format!("{label:?} {from}\u{2192}{to}")
+                };
+                let mut r = Record::instant(at.0, e.txn(), *from, name);
+                r.args = vec![
+                    ("from", from.to_string()),
+                    ("to", to.to_string()),
+                    ("local", local.to_string()),
+                ];
+                records.push(r);
+            }
+            TraceEvent::ForceLog { at, .. } => {
+                open_forces.push((i, at.0));
+            }
+            TraceEvent::LogDone {
+                at,
+                txn,
+                label,
+                site,
+            } => {
+                let matched = open_forces.iter().position(|&(j, _)| {
+                    matches!(&trace.events[j],
+                        TraceEvent::ForceLog { txn: t, label: l, site: s, .. }
+                            if t == txn && l == label && s == site)
+                });
+                if let Some(p) = matched {
+                    let (_, start) = open_forces.remove(p);
+                    records.push(Record {
+                        ts: start,
+                        dur: Some(at.0.saturating_sub(start)),
+                        ph: 'X',
+                        pid: *txn,
+                        tid: *site,
+                        name: format!("force {label:?}"),
+                        args: vec![("site", site.to_string())],
+                    });
+                } else {
+                    // Durable record with no traced issue (the issue
+                    // predated the trace window): keep it as an instant
+                    // so the event is not silently dropped.
+                    records.push(Record::instant(
+                        at.0,
+                        *txn,
+                        *site,
+                        format!("force {label:?} durable"),
+                    ));
+                }
+            }
+            TraceEvent::Prepared {
+                at, cohort, site, ..
+            } => {
+                records.push(Record::instant(
+                    at.0,
+                    e.txn(),
+                    *site,
+                    format!("cohort {cohort} PREPARED"),
+                ));
+            }
+            TraceEvent::Borrowed {
+                at,
+                cohort,
+                lenders,
+                ..
+            } => {
+                records.push(Record::instant(
+                    at.0,
+                    e.txn(),
+                    0,
+                    format!("cohort {cohort} borrowed ({lenders} lenders)"),
+                ));
+            }
+            TraceEvent::Shelved { at, cohort, .. } => {
+                records.push(Record::instant(
+                    at.0,
+                    e.txn(),
+                    0,
+                    format!("cohort {cohort} shelved"),
+                ));
+            }
+            TraceEvent::Unshelved { at, cohort, .. } => {
+                records.push(Record::instant(
+                    at.0,
+                    e.txn(),
+                    0,
+                    format!("cohort {cohort} unshelved"),
+                ));
+            }
+            TraceEvent::Decided { at, commit, .. } => {
+                let name = if *commit {
+                    "GLOBAL COMMIT"
+                } else {
+                    "GLOBAL ABORT"
+                };
+                records.push(Record::instant(at.0, e.txn(), 0, name.to_string()));
+            }
+            TraceEvent::Aborted { at, .. } => {
+                records.push(Record::instant(at.0, e.txn(), 0, "aborted".to_string()));
+            }
+            TraceEvent::MasterCrashed { at, .. } => {
+                records.push(Record::instant(
+                    at.0,
+                    e.txn(),
+                    0,
+                    "MASTER CRASH".to_string(),
+                ));
+            }
+            TraceEvent::TerminationStarted {
+                at, coordinator, ..
+            } => {
+                records.push(Record::instant(
+                    at.0,
+                    e.txn(),
+                    0,
+                    format!("termination (coordinator cohort {coordinator})"),
+                ));
+            }
+        }
+    }
+
+    // An unmatched issue at trace end (force still in the log queue)
+    // becomes a zero-length complete event at its issue time.
+    for (i, ts) in open_forces {
+        if let TraceEvent::ForceLog {
+            txn, label, site, ..
+        } = &trace.events[i]
+        {
+            records.push(Record {
+                ts,
+                dur: Some(0),
+                ph: 'X',
+                pid: *txn,
+                tid: *site,
+                name: format!("force {label:?} (incomplete)"),
+                args: vec![("site", site.to_string())],
+            });
+        }
+    }
+
+    // The viewer sorts lanes by pid; metadata events give them names.
+    records.sort_by_key(|r| (r.ts, r.pid, r.tid));
+
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for txn in trace.txns() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{txn},\"tid\":0,\
+             \"args\":{{\"name\":\"txn {txn}\"}}}}"
+        );
+    }
+    for r in &records {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        r.write_json(&mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::trace::{LogLabel, MsgLabel};
+    use simkernel::SimTime;
+
+    #[test]
+    fn escapes_json_special_characters() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn force_pairs_become_complete_events() {
+        let tr = Trace {
+            events: vec![
+                TraceEvent::ForceLog {
+                    at: SimTime(100),
+                    txn: 1,
+                    label: LogLabel::Prepare,
+                    site: 2,
+                },
+                TraceEvent::LogDone {
+                    at: SimTime(350),
+                    txn: 1,
+                    label: LogLabel::Prepare,
+                    site: 2,
+                },
+            ],
+        };
+        let json = chrome_trace_json(&tr);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":100"));
+        assert!(json.contains("\"dur\":250"));
+    }
+
+    #[test]
+    fn unmatched_force_is_kept() {
+        let tr = Trace {
+            events: vec![TraceEvent::ForceLog {
+                at: SimTime(7),
+                txn: 4,
+                label: LogLabel::MasterCommit,
+                site: 0,
+            }],
+        };
+        let json = chrome_trace_json(&tr);
+        assert!(json.contains("incomplete"));
+        assert!(json.contains("\"dur\":0"));
+    }
+
+    #[test]
+    fn sends_map_txn_to_pid_and_site_to_tid() {
+        let tr = Trace {
+            events: vec![TraceEvent::Send {
+                at: SimTime(42),
+                txn: 9,
+                label: MsgLabel::Prepare,
+                from: 3,
+                to: 5,
+                local: false,
+            }],
+        };
+        let json = chrome_trace_json(&tr);
+        assert!(json.contains("\"pid\":9"));
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.contains("\"ts\":42"));
+        assert!(json.contains("\"s\":\"t\""));
+        // Metadata names the transaction lane.
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("txn 9"));
+    }
+}

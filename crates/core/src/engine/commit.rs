@@ -41,7 +41,9 @@ impl Simulation {
 
     /// All cohorts reported: start commit processing.
     fn begin_commit(&mut self, txn_id: TxnId) {
+        let now = self.cal.now();
         let t = self.txns.get_mut(&txn_id).expect("live txn");
+        t.commit_started = Some(now);
         let home = t.home;
         match self.spec.base {
             // Baselines: the whole commit is one forced decision record
@@ -384,6 +386,7 @@ impl Simulation {
             if let Some(f) = self.cfg.failures {
                 if self.spec.base.has_voting_phase() && self.rng.chance(f.master_crash_prob) {
                     self.metrics.master_crashes.bump();
+                    self.txns.get_mut(&txn_id).expect("live txn").crashed = true;
                     self.trace_event(txn_id, |at| super::trace::TraceEvent::MasterCrashed {
                         at,
                         txn: txn_id,
@@ -503,15 +506,25 @@ impl Simulation {
         });
         let t = self.txns.get_mut(&txn_id).expect("live txn");
         t.phase = TxnPhase::Decided { commit };
+        t.decided_at = Some(now);
         let home = t.home;
         let control = t.control_site();
+        let commit_started = t.commit_started;
         self.metrics.live_txns.add(now, -1.0);
 
         if commit {
             let response = now.since(t.original_birth);
             let attempt = now.since(t.birth);
+            let birth = t.birth;
             self.resp_estimate.record(response.as_secs_f64());
             self.metrics.record_commit(now, response, attempt);
+            // Phase split: execution runs from (re)submission to the
+            // start of commit processing; voting from there to the
+            // decision. Baselines without a voting phase start commit
+            // processing at the decision point itself.
+            let started = commit_started.unwrap_or(now);
+            self.metrics.phase_execution.record(started.since(birth));
+            self.metrics.phase_voting.record(now.since(started));
             self.cal.schedule_now(super::types::Event::Submit {
                 home,
                 template: None,
@@ -749,7 +762,12 @@ impl Simulation {
             return;
         };
         if t.master_done && t.open_cohorts == 0 && t.pending_acks == 0 {
-            self.txns.remove(&txn_id);
+            let t = self.txns.remove(&txn_id).expect("live txn");
+            if let (TxnPhase::Decided { commit: true }, Some(decided)) = (&t.phase, t.decided_at) {
+                let now = self.cal.now();
+                self.metrics.phase_decision.record(now.since(decided));
+                self.check_commit_overheads(&t);
+            }
         }
     }
 }

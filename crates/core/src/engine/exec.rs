@@ -71,6 +71,12 @@ impl Simulation {
                 master_done: false,
                 coordinator_site: None,
                 pending_term_reps: 0,
+                commit_started: None,
+                decided_at: None,
+                msg_exec: 0,
+                msg_commit: 0,
+                forced: 0,
+                crashed: false,
             },
         );
         self.metrics.live_txns.add(now, 1.0);

@@ -20,6 +20,8 @@ pub(crate) struct BatchedLog {
     last_change: SimTime,
     stats_origin: SimTime,
     busy_time: u64,
+    queue_unit_time: u64,
+    max_queue: usize,
     batches_served: u64,
     writes_served: u64,
 }
@@ -35,15 +37,19 @@ impl BatchedLog {
             last_change: SimTime::ZERO,
             stats_origin: SimTime::ZERO,
             busy_time: 0,
+            queue_unit_time: 0,
+            max_queue: 0,
             batches_served: 0,
             writes_served: 0,
         }
     }
 
     fn accumulate(&mut self, now: SimTime) {
+        let dt = now.since(self.last_change).as_micros();
         if !self.in_flight.is_empty() {
-            self.busy_time += now.since(self.last_change).as_micros();
+            self.busy_time += dt;
         }
+        self.queue_unit_time += self.queue.len() as u64 * dt;
         self.last_change = now;
     }
 
@@ -57,6 +63,7 @@ impl BatchedLog {
             Some(now + service)
         } else {
             self.queue.push_back(work);
+            self.max_queue = self.max_queue.max(self.queue.len());
             None
         }
     }
@@ -131,10 +138,29 @@ impl BatchedLog {
         }
     }
 
+    /// Time-averaged number of records waiting for a batch slot over
+    /// the statistics window ending at `now`.
+    pub fn mean_queue_depth(&mut self, now: SimTime) -> f64 {
+        self.accumulate(now);
+        let elapsed = now.since(self.stats_origin).as_micros();
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.queue_unit_time as f64 / elapsed as f64
+        }
+    }
+
+    /// Largest queue length observed in the statistics window.
+    pub fn max_queue_depth(&self) -> usize {
+        self.max_queue
+    }
+
     /// Reset statistics at the end of warm-up.
     pub fn reset_stats(&mut self, now: SimTime) {
         self.accumulate(now);
         self.busy_time = 0;
+        self.queue_unit_time = 0;
+        self.max_queue = self.queue.len();
         self.batches_served = 0;
         self.writes_served = 0;
         self.last_change = now;
@@ -210,6 +236,22 @@ mod tests {
         b.arrive(at(0), work(1), ms(10));
         b.complete(at(10), ms(10));
         assert!((b.utilization(at(20)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_depth_integrates_waiting_records() {
+        let mut b = BatchedLog::new(4);
+        b.arrive(at(0), work(1), ms(10));
+        b.arrive(at(0), work(2), ms(10)); // queued [0,10)
+        b.arrive(at(5), work(3), ms(10)); // queued [5,10)
+        b.complete(at(10), ms(10)); // both queued records start
+        b.complete(at(20), ms(10));
+        // queue length: 1 on [0,5), 2 on [5,10), 0 after.
+        // integral = 5 + 10 = 15 record-ms over 20ms.
+        assert!((b.mean_queue_depth(at(20)) - 15.0 / 20.0).abs() < 1e-9);
+        assert_eq!(b.max_queue_depth(), 2);
+        b.reset_stats(at(20));
+        assert_eq!(b.max_queue_depth(), 0);
     }
 
     #[test]

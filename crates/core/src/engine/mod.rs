@@ -11,6 +11,7 @@
 //! configuration, protocol, and seed it reproduces the same metrics
 //! bit for bit.
 
+pub mod chrome;
 mod commit;
 mod exec;
 mod glog;
@@ -19,11 +20,14 @@ mod tests;
 pub mod trace;
 mod types;
 
+pub use chrome::chrome_trace_json;
 pub use trace::{LogLabel, MsgLabel, Trace, TraceEvent};
 pub use types::{CohortId, TxnId};
 
 use crate::config::{ConfigError, ResourceMode, SystemConfig};
-use crate::metrics::{Metrics, SimReport, Utilizations};
+use crate::metrics::{
+    LatencySummary, Metrics, PhaseLatencies, ResourceReport, ResourceStats, SimReport, Utilizations,
+};
 use crate::workload::{SiteId, WorkloadGenerator};
 use commitproto::ProtocolSpec;
 use distlocks::LockManager;
@@ -31,6 +35,38 @@ use simkernel::stats::Tally;
 use simkernel::{Calendar, JobClass, SimDuration, SimRng, SimTime, Station};
 use std::collections::HashMap;
 use types::{CpuJob, DiskJob, Event, LogWork, Message, MsgKind, Txn};
+
+/// Accumulates per-station observations into one [`ResourceStats`] for
+/// a resource class (utilizations/queue depths averaged across the
+/// class's stations, max depth taken over them).
+#[derive(Default)]
+struct ResourceAcc {
+    util: f64,
+    queue: f64,
+    wait_s: f64,
+    max_queue: usize,
+    n: usize,
+}
+
+impl ResourceAcc {
+    fn push(&mut self, util: f64, queue: f64, wait_s: f64, max_queue: usize) {
+        self.util += util;
+        self.queue += queue;
+        self.wait_s += wait_s;
+        self.max_queue = self.max_queue.max(max_queue);
+        self.n += 1;
+    }
+
+    fn stats(&self) -> ResourceStats {
+        let n = self.n.max(1) as f64;
+        ResourceStats {
+            utilization: self.util / n,
+            mean_queue_depth: self.queue / n,
+            max_queue_depth: self.max_queue as u64,
+            mean_wait_s: self.wait_s / n,
+        }
+    }
+}
 
 /// One site's physical resources and lock table.
 pub(crate) struct Site {
@@ -482,6 +518,9 @@ impl Simulation {
                 label,
                 site,
             });
+            if let Some(t) = self.txns.get_mut(&txn) {
+                t.forced += 1;
+            }
         }
         self.metrics.forced_writes.bump();
         let now = self.cal.now();
@@ -513,7 +552,8 @@ impl Simulation {
     /// zero-delay event; remote messages cost `MsgCPU` at both ends and
     /// are counted in the execution/commit tallies.
     pub(crate) fn send(&mut self, from: SiteId, to: SiteId, kind: MsgKind) {
-        if let Some(txn) = self.msg_txn(&kind) {
+        let owner = self.msg_txn(&kind);
+        if let Some(txn) = owner {
             let label = kind.label();
             let local = from == to;
             self.trace_event(txn, |at| TraceEvent::Send {
@@ -534,6 +574,13 @@ impl Simulation {
             self.metrics.exec_messages.bump();
         } else {
             self.metrics.commit_messages.bump();
+        }
+        if let Some(t) = owner.and_then(|txn| self.txns.get_mut(&txn)) {
+            if kind.is_execution() {
+                t.msg_exec += 1;
+            } else {
+                t.msg_commit += 1;
+            }
         }
         self.cpu_arrive(
             from,
@@ -609,6 +656,66 @@ impl Simulation {
     // Reporting
     // ------------------------------------------------------------------
 
+    /// Cross-check a cleanly committed transaction's measured message
+    /// and forced-write counts against the analytic model of Tables 3–4
+    /// (`ProtocolSpec::committed_overheads`). The counters are
+    /// per-incarnation, every send/force is issued before the
+    /// transaction is forgotten, and the master/local-cohort messages
+    /// are free in both model and engine — so for a commit with no
+    /// master crash the two must agree *exactly*. A divergence is a
+    /// simulator bug: debug builds assert, release builds report it via
+    /// [`crate::metrics::OverheadCheck`].
+    pub(crate) fn check_commit_overheads(&mut self, t: &Txn) {
+        if t.crashed {
+            // Recovery/termination traffic is outside the analytic model.
+            return;
+        }
+        let d = t.template.sites.len() as u32;
+        let predicted = if self.cfg.read_only_optimization && self.spec.base.has_voting_phase() {
+            // Which cohorts dropped out with a READ vote is a property
+            // of the template: a cohort is read-only iff it updates
+            // nothing.
+            let mut remote_read_only = 0u32;
+            let mut local_read_only = false;
+            for (i, &site) in t.template.sites.iter().enumerate() {
+                if t.template.accesses[i].iter().all(|a| !a.update) {
+                    if site == t.home {
+                        local_read_only = true;
+                    } else {
+                        remote_read_only += 1;
+                    }
+                }
+            }
+            self.spec
+                .committed_overheads_read_only(commitproto::ReadOnlyScenario {
+                    dist_degree: d,
+                    remote_read_only,
+                    local_read_only,
+                })
+        } else {
+            self.spec.committed_overheads(d)
+        };
+        let message_delta = t.msg_exec.abs_diff(predicted.exec_messages)
+            + t.msg_commit.abs_diff(predicted.commit_messages);
+        let forced_write_delta = t.forced.abs_diff(predicted.forced_writes);
+        debug_assert!(
+            message_delta == 0 && forced_write_delta == 0,
+            "overhead model mismatch for txn {} ({}, d={d}): measured exec {} / commit {} / \
+             forced {}, predicted exec {} / commit {} / forced {}",
+            t.id,
+            self.spec.name(),
+            t.msg_exec,
+            t.msg_commit,
+            t.forced,
+            predicted.exec_messages,
+            predicted.commit_messages,
+            predicted.forced_writes,
+        );
+        self.metrics
+            .overhead_check
+            .record(message_delta, forced_write_delta);
+    }
+
     fn report(&mut self) -> SimReport {
         let now = self.cal.now();
         let window = now.since(self.metrics.start).as_secs_f64();
@@ -619,37 +726,58 @@ impl Simulation {
             0.0
         };
 
-        let mut cpu = 0.0;
-        let mut dd = 0.0;
-        let mut ld = 0.0;
-        let mut ndd = 0usize;
-        let mut nld = 0usize;
+        let mut cpu_acc = ResourceAcc::default();
+        let mut dd_acc = ResourceAcc::default();
+        let mut ld_acc = ResourceAcc::default();
         for site in &mut self.sites {
-            cpu += site.cpu.utilization(now);
+            cpu_acc.push(
+                site.cpu.utilization(now),
+                site.cpu.mean_queue_depth(now),
+                site.cpu.mean_wait().as_secs_f64(),
+                site.cpu.max_queue_depth(),
+            );
             for d in &mut site.data_disks {
-                dd += d.utilization(now);
-                ndd += 1;
+                dd_acc.push(
+                    d.utilization(now),
+                    d.mean_queue_depth(now),
+                    d.mean_wait().as_secs_f64(),
+                    d.max_queue_depth(),
+                );
             }
             match site.batched_logs.as_mut() {
                 Some(batchers) => {
                     for b in batchers {
-                        ld += b.utilization(now);
-                        nld += 1;
+                        // Per-record waits are not tracked under group
+                        // commit; the queue-depth integral still is.
+                        ld_acc.push(
+                            b.utilization(now),
+                            b.mean_queue_depth(now),
+                            0.0,
+                            b.max_queue_depth(),
+                        );
                     }
                 }
                 None => {
                     for d in &mut site.log_disks {
-                        ld += d.utilization(now);
-                        nld += 1;
+                        ld_acc.push(
+                            d.utilization(now),
+                            d.mean_queue_depth(now),
+                            d.mean_wait().as_secs_f64(),
+                            d.max_queue_depth(),
+                        );
                     }
                 }
             }
         }
-        let nsites = self.sites.len().max(1) as f64;
+        let resources = ResourceReport {
+            cpu: cpu_acc.stats(),
+            data_disk: dd_acc.stats(),
+            log_disk: ld_acc.stats(),
+        };
         let utilizations = Utilizations {
-            cpu: cpu / nsites,
-            data_disk: if ndd > 0 { dd / ndd as f64 } else { 0.0 },
-            log_disk: if nld > 0 { ld / nld as f64 } else { 0.0 },
+            cpu: resources.cpu.utilization,
+            data_disk: resources.data_disk.utilization,
+            log_disk: resources.log_disk.utilization,
         };
 
         let mut batches = 0u64;
@@ -706,7 +834,14 @@ impl Simulation {
             forced_writes_per_commit: self.metrics.forced_writes.per(committed),
             mean_shelf_time_s: self.metrics.shelf_time.mean(),
             mean_prepared_time_s: self.metrics.prepared_time.mean(),
+            phase_latencies: PhaseLatencies {
+                execution: LatencySummary::from_histogram(&self.metrics.phase_execution),
+                voting: LatencySummary::from_histogram(&self.metrics.phase_voting),
+                decision: LatencySummary::from_histogram(&self.metrics.phase_decision),
+            },
             utilizations,
+            resources,
+            overhead_check: self.metrics.overhead_check,
             mean_log_batch,
             master_crashes: self.metrics.master_crashes.get(),
             events: self.cal.dispatched_count(),

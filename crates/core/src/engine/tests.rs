@@ -330,6 +330,12 @@ fn control_site_defaults_to_home() {
         master_done: false,
         coordinator_site: None,
         pending_term_reps: 0,
+        commit_started: None,
+        decided_at: None,
+        msg_exec: 0,
+        msg_commit: 0,
+        forced: 0,
+        crashed: false,
     };
     assert_eq!(t.control_site(), 3);
     let t2 = Txn {

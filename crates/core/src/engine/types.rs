@@ -259,6 +259,22 @@ pub(crate) struct Txn {
     pub coordinator_site: Option<SiteId>,
     /// Outstanding termination state reports.
     pub pending_term_reps: usize,
+    /// When this incarnation entered commit processing (all WORKDONEs
+    /// collected) — the execution/voting phase boundary.
+    pub commit_started: Option<SimTime>,
+    /// When the master's decision became durable — the voting/decision
+    /// phase boundary.
+    pub decided_at: Option<SimTime>,
+    /// Execution-phase remote messages sent on behalf of this
+    /// incarnation (overhead cross-check against Tables 3–4).
+    pub msg_exec: u64,
+    /// Commit-phase remote messages sent on behalf of this incarnation.
+    pub msg_commit: u64,
+    /// Forced log writes issued on behalf of this incarnation.
+    pub forced: u64,
+    /// Master crashed at the decision point (failure injection) — the
+    /// recovery/termination traffic puts it outside the analytic model.
+    pub crashed: bool,
 }
 
 impl Txn {

@@ -179,8 +179,15 @@ pub fn sweep(
     }
 
     let jobs = runner::resolve_jobs(scale.jobs);
+    let progress = runner::Progress::new("sweep", grid.len());
     let results = runner::run_ordered(&grid, jobs, |(cell_cfg, spec, seed)| {
-        Simulation::run(cell_cfg, *spec, *seed)
+        let t0 = std::time::Instant::now();
+        let out = Simulation::run(cell_cfg, *spec, *seed);
+        progress.cell_done(
+            &format!("{} mpl {} seed {}", spec.name(), cell_cfg.mpl, seed),
+            t0.elapsed().as_secs_f64(),
+        );
+        out
     });
 
     let mut it = results.into_iter();

@@ -45,6 +45,15 @@ pub(crate) struct Metrics {
     pub attempt_response: Tally,
     pub shelf_time: Tally,
     pub prepared_time: Tally,
+    /// Submission → WORKDONE collection complete, committed txns only.
+    pub phase_execution: DurationHistogram,
+    /// Commit-protocol start → master decision logged.
+    pub phase_voting: DurationHistogram,
+    /// Master decision → last cohort acknowledged (protocol fully drained).
+    pub phase_decision: DurationHistogram,
+    /// Running cross-check of measured per-commit overheads against the
+    /// analytic model (Tables 3–4).
+    pub overhead_check: OverheadCheck,
     pub blocked_txns: TimeWeighted,
     pub live_txns: TimeWeighted,
     pub throughput_batches: BatchMeans,
@@ -72,6 +81,10 @@ impl Metrics {
             attempt_response: Tally::new(),
             shelf_time: Tally::new(),
             prepared_time: Tally::new(),
+            phase_execution: DurationHistogram::new(),
+            phase_voting: DurationHistogram::new(),
+            phase_decision: DurationHistogram::new(),
+            overhead_check: OverheadCheck::default(),
             blocked_txns: TimeWeighted::new(now, 0.0),
             live_txns: TimeWeighted::new(now, 0.0),
             throughput_batches: BatchMeans::new(1), // placeholder, see below
@@ -98,6 +111,10 @@ impl Metrics {
         self.attempt_response = Tally::new();
         self.shelf_time = Tally::new();
         self.prepared_time = Tally::new();
+        self.phase_execution = DurationHistogram::new();
+        self.phase_voting = DurationHistogram::new();
+        self.phase_decision = DurationHistogram::new();
+        self.overhead_check = OverheadCheck::default();
         self.blocked_txns.reset(now);
         self.live_txns.reset(now);
         self.throughput_batches = BatchMeans::new(1);
@@ -143,6 +160,110 @@ pub struct Utilizations {
     pub data_disk: f64,
     /// Log disks, averaged over all sites and disks.
     pub log_disk: f64,
+}
+
+/// Summary statistics of one latency distribution, in seconds.
+/// Percentiles come from a log-linear histogram (≤6.25% bucket
+/// resolution); the mean is exact.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Observations the summary is based on.
+    pub count: u64,
+    /// Exact mean, seconds.
+    pub mean_s: f64,
+    /// Median, seconds.
+    pub p50_s: f64,
+    /// 90th percentile, seconds.
+    pub p90_s: f64,
+    /// 99th percentile, seconds.
+    pub p99_s: f64,
+}
+
+impl LatencySummary {
+    pub(crate) fn from_histogram(h: &DurationHistogram) -> Self {
+        LatencySummary {
+            count: h.count(),
+            mean_s: h.mean().as_secs_f64(),
+            p50_s: h.p50().as_secs_f64(),
+            p90_s: h.p90().as_secs_f64(),
+            p99_s: h.p99().as_secs_f64(),
+        }
+    }
+}
+
+/// Where a committed transaction's time went, split at the commit
+/// protocol's phase boundaries (the decomposition behind Tables 3–4:
+/// execution messages vs. voting-phase vs. decision-phase overheads).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseLatencies {
+    /// Submission to WORKDONE collection complete (execution phase).
+    pub execution: LatencySummary,
+    /// Commit-protocol start to the master's decision being durable
+    /// (voting phase, plus PC's collecting / 3PC's precommit rounds).
+    pub voting: LatencySummary,
+    /// Master decision to the last cohort acknowledgment (decision/ack
+    /// drain; the transaction holds no locks for most of it).
+    pub decision: LatencySummary,
+}
+
+/// Observed behaviour of one resource class over the window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceStats {
+    /// Mean utilization per server (or mean concurrency when infinite).
+    pub utilization: f64,
+    /// Time-averaged queue length (jobs waiting, not in service).
+    pub mean_queue_depth: f64,
+    /// Largest queue length seen at any single station of the class.
+    pub max_queue_depth: u64,
+    /// Mean queueing delay per served job, seconds.
+    pub mean_wait_s: f64,
+}
+
+/// Queue-depth and utilization report for the three station classes of
+/// the paper's physical model (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceReport {
+    /// CPUs (common queue per site).
+    pub cpu: ResourceStats,
+    /// Data disks.
+    pub data_disk: ResourceStats,
+    /// Log disks (including group-commit batchers when enabled).
+    pub log_disk: ResourceStats,
+}
+
+/// Runtime cross-check of measured per-commit message/forced-write
+/// counts against the analytic model of Tables 3–4
+/// (`commitproto`'s `committed_overheads`). Every cleanly committed
+/// transaction (no restarts in its history, no master crash) is
+/// compared against the model at its actual degree of distribution;
+/// any divergence is a simulator bug, not workload noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverheadCheck {
+    /// Clean commits whose counters were compared against the model.
+    pub checked_commits: u64,
+    /// Checked commits whose counters diverged from the prediction.
+    pub mismatched_commits: u64,
+    /// Sum of |measured − predicted| messages over checked commits.
+    pub message_delta: u64,
+    /// Sum of |measured − predicted| forced writes over checked commits.
+    pub forced_write_delta: u64,
+}
+
+impl OverheadCheck {
+    /// True when every checked commit matched the analytic model.
+    pub fn is_clean(&self) -> bool {
+        self.mismatched_commits == 0
+    }
+
+    /// Fold one commit's comparison into the running check.
+    pub(crate) fn record(&mut self, message_delta: u64, forced_write_delta: u64) {
+        self.checked_commits += 1;
+        if message_delta != 0 || forced_write_delta != 0 {
+            self.mismatched_commits += 1;
+            self.message_delta += message_delta;
+            self.forced_write_delta += forced_write_delta;
+        }
+    }
 }
 
 /// The result of one simulation run — everything the experiment
@@ -192,8 +313,14 @@ pub struct SimReport {
     pub mean_shelf_time_s: f64,
     /// Mean time cohorts spent in the prepared state, seconds.
     pub mean_prepared_time_s: f64,
+    /// Per-phase latency breakdown of committed transactions.
+    pub phase_latencies: PhaseLatencies,
     /// Resource utilizations over the window.
     pub utilizations: Utilizations,
+    /// Queue-depth/wait/utilization detail per resource class.
+    pub resources: ResourceReport,
+    /// Measured-vs-analytic overhead cross-check (Tables 3–4).
+    pub overhead_check: OverheadCheck,
     /// Mean forced writes per log-disk service (1.0 without group
     /// commit; higher when batching actually groups writes; 0 when no
     /// log write completed).
@@ -203,6 +330,40 @@ pub struct SimReport {
     pub master_crashes: u64,
     /// Total simulation events dispatched (diagnostics).
     pub events: u64,
+}
+
+fn merge_latency(
+    reports: &[SimReport],
+    f: &dyn Fn(&SimReport) -> &LatencySummary,
+) -> LatencySummary {
+    let n = reports.len() as f64;
+    let mean =
+        |g: &dyn Fn(&LatencySummary) -> f64| reports.iter().map(|r| g(f(r))).sum::<f64>() / n;
+    LatencySummary {
+        count: reports.iter().map(|r| f(r).count).sum(),
+        mean_s: mean(&|l| l.mean_s),
+        p50_s: mean(&|l| l.p50_s),
+        p90_s: mean(&|l| l.p90_s),
+        p99_s: mean(&|l| l.p99_s),
+    }
+}
+
+fn merge_resource(
+    reports: &[SimReport],
+    f: &dyn Fn(&SimReport) -> &ResourceStats,
+) -> ResourceStats {
+    let n = reports.len() as f64;
+    let mean = |g: &dyn Fn(&ResourceStats) -> f64| reports.iter().map(|r| g(f(r))).sum::<f64>() / n;
+    ResourceStats {
+        utilization: mean(&|s| s.utilization),
+        mean_queue_depth: mean(&|s| s.mean_queue_depth),
+        max_queue_depth: reports
+            .iter()
+            .map(|r| f(r).max_queue_depth)
+            .max()
+            .unwrap_or(0),
+        mean_wait_s: mean(&|s| s.mean_wait_s),
+    }
 }
 
 impl SimReport {
@@ -285,10 +446,26 @@ impl SimReport {
             forced_writes_per_commit: mean(&|r| r.forced_writes_per_commit),
             mean_shelf_time_s: mean(&|r| r.mean_shelf_time_s),
             mean_prepared_time_s: mean(&|r| r.mean_prepared_time_s),
+            phase_latencies: PhaseLatencies {
+                execution: merge_latency(reports, &|r| &r.phase_latencies.execution),
+                voting: merge_latency(reports, &|r| &r.phase_latencies.voting),
+                decision: merge_latency(reports, &|r| &r.phase_latencies.decision),
+            },
             utilizations: Utilizations {
                 cpu: mean(&|r| r.utilizations.cpu),
                 data_disk: mean(&|r| r.utilizations.data_disk),
                 log_disk: mean(&|r| r.utilizations.log_disk),
+            },
+            resources: ResourceReport {
+                cpu: merge_resource(reports, &|r| &r.resources.cpu),
+                data_disk: merge_resource(reports, &|r| &r.resources.data_disk),
+                log_disk: merge_resource(reports, &|r| &r.resources.log_disk),
+            },
+            overhead_check: OverheadCheck {
+                checked_commits: sum(&|r| r.overhead_check.checked_commits),
+                mismatched_commits: sum(&|r| r.overhead_check.mismatched_commits),
+                message_delta: sum(&|r| r.overhead_check.message_delta),
+                forced_write_delta: sum(&|r| r.overhead_check.forced_write_delta),
             },
             mean_log_batch: mean(&|r| r.mean_log_batch),
             master_crashes: sum(&|r| r.master_crashes),
@@ -296,10 +473,21 @@ impl SimReport {
         }
     }
 
-    /// One-line summary for logs and examples.
+    /// Compact summary for logs and examples: the headline line, the
+    /// abort-reason breakdown, and the per-phase latency percentiles.
     pub fn summary(&self) -> String {
+        let phase = |l: &LatencySummary| {
+            format!(
+                "{:.1}/{:.1}/{:.1}",
+                l.p50_s * 1e3,
+                l.p90_s * 1e3,
+                l.p99_s * 1e3
+            )
+        };
         format!(
-            "{:<8} MPL {:>2}: {:>7.2} txn/s (±{:>4.1}%), resp {:>6.3}s, block {:>5.3}, borrow {:>5.3}, aborts {:.1}%",
+            "{:<8} MPL {:>2}: {:>7.2} txn/s (±{:>4.1}%), resp {:>6.3}s, block {:>5.3}, borrow {:>5.3}, \
+             aborts {:.1}% (deadlock {}, vote {}, cascade {})\n         \
+             phase p50/p90/p99 ms: exec {} | vote {} | ack {}",
             self.protocol,
             self.mpl,
             self.throughput,
@@ -308,6 +496,12 @@ impl SimReport {
             self.block_ratio,
             self.borrow_ratio,
             self.abort_fraction() * 100.0,
+            self.aborted_deadlock,
+            self.aborted_surprise,
+            self.aborted_borrower,
+            phase(&self.phase_latencies.execution),
+            phase(&self.phase_latencies.voting),
+            phase(&self.phase_latencies.decision),
         )
     }
 }
@@ -395,7 +589,46 @@ mod tests {
             forced_writes_per_commit: 7.0,
             mean_shelf_time_s: 0.0,
             mean_prepared_time_s: 0.05,
+            phase_latencies: PhaseLatencies {
+                execution: LatencySummary {
+                    count: 900,
+                    mean_s: 0.3,
+                    p50_s: 0.28,
+                    p90_s: 0.4,
+                    p99_s: 0.5,
+                },
+                voting: LatencySummary {
+                    count: 900,
+                    mean_s: 0.08,
+                    p50_s: 0.07,
+                    p90_s: 0.1,
+                    p99_s: 0.12,
+                },
+                decision: LatencySummary {
+                    count: 900,
+                    mean_s: 0.02,
+                    p50_s: 0.02,
+                    p90_s: 0.03,
+                    p99_s: 0.04,
+                },
+            },
             utilizations: Utilizations::default(),
+            resources: ResourceReport {
+                cpu: ResourceStats {
+                    utilization: 0.5,
+                    mean_queue_depth: 1.5,
+                    max_queue_depth: 6,
+                    mean_wait_s: 0.001,
+                },
+                data_disk: ResourceStats::default(),
+                log_disk: ResourceStats::default(),
+            },
+            overhead_check: OverheadCheck {
+                checked_commits: 900,
+                mismatched_commits: 0,
+                message_delta: 0,
+                forced_write_delta: 0,
+            },
             mean_log_batch: 1.0,
             master_crashes: 0,
             events: 1,
@@ -454,5 +687,39 @@ mod tests {
         assert!(m.throughput_ci.half_width < 1e-9);
         assert_eq!(m.throughput_ci.batches, 5);
         assert_eq!(m.sim_seconds, 500.0);
+    }
+
+    #[test]
+    fn merge_covers_observability_fields() {
+        let a = sample_report();
+        let mut b = sample_report();
+        b.phase_latencies.voting.p90_s = 0.2;
+        b.resources.cpu.max_queue_depth = 10;
+        b.resources.cpu.mean_queue_depth = 2.5;
+        b.overhead_check.checked_commits = 100;
+        b.overhead_check.mismatched_commits = 1;
+        b.overhead_check.message_delta = 2;
+        let m = SimReport::merge_replications(&[a, b]);
+        // Phase percentiles average, counts sum.
+        assert!((m.phase_latencies.voting.p90_s - 0.15).abs() < 1e-12);
+        assert_eq!(m.phase_latencies.voting.count, 1_800);
+        // Queue depth means average, max is the max over replications.
+        assert!((m.resources.cpu.mean_queue_depth - 2.0).abs() < 1e-12);
+        assert_eq!(m.resources.cpu.max_queue_depth, 10);
+        // Overhead checks sum, and any mismatch survives the merge.
+        assert_eq!(m.overhead_check.checked_commits, 1_000);
+        assert_eq!(m.overhead_check.mismatched_commits, 1);
+        assert_eq!(m.overhead_check.message_delta, 2);
+        assert!(!m.overhead_check.is_clean());
+    }
+
+    #[test]
+    fn summary_renders_abort_breakdown_and_phases() {
+        let s = sample_report().summary();
+        assert!(s.contains("deadlock 50"), "{s}");
+        assert!(s.contains("vote 25"), "{s}");
+        assert!(s.contains("cascade 25"), "{s}");
+        assert!(s.contains("phase p50/p90/p99"), "{s}");
+        assert!(s.contains("exec 280.0/400.0/500.0"), "{s}");
     }
 }

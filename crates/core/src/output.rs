@@ -150,6 +150,44 @@ pub fn render_csv_ci(exp: &Experiment) -> String {
     out
 }
 
+/// Per-phase latency percentiles as CSV: for every series, nine
+/// columns — p50/p90/p99 of the execution, voting, and decision/ack
+/// phases, in seconds. The plottable form of the phase line in
+/// [`SimReport::summary`].
+pub fn render_phase_csv(exp: &Experiment) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "mpl");
+    for s in &exp.series {
+        let label = s.label.replace(',', ";");
+        for phase in ["exec", "vote", "ack"] {
+            for q in ["p50", "p90", "p99"] {
+                let _ = write!(out, ",{label} {phase} {q}");
+            }
+        }
+    }
+    let _ = writeln!(out);
+    for (i, mpl) in exp.mpls().iter().enumerate() {
+        let _ = write!(out, "{mpl}");
+        for s in &exp.series {
+            match s.points.get(i) {
+                Some(r) => {
+                    let ph = &r.phase_latencies;
+                    for l in [&ph.execution, &ph.voting, &ph.decision] {
+                        let _ = write!(out, ",{:.6},{:.6},{:.6}", l.p50_s, l.p90_s, l.p99_s);
+                    }
+                }
+                None => {
+                    for _ in 0..9 {
+                        let _ = write!(out, ",NaN");
+                    }
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
 /// Render one metric as CSV (`mpl,<series...>`), for plotting.
 pub fn render_csv(exp: &Experiment, metric: Metric) -> String {
     let mut out = String::new();
@@ -313,6 +351,28 @@ mod tests {
                 "ragged: {line}"
             );
         }
+    }
+
+    #[test]
+    fn phase_csv_has_nine_columns_per_series() {
+        let e = tiny_experiment();
+        let csv = render_phase_csv(&e);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), 1 + 9 * e.series.len());
+        assert!(header.contains("2PC exec p50"));
+        assert!(header.contains("OPT ack p99"));
+        for line in lines {
+            assert_eq!(
+                line.split(',').count(),
+                1 + 9 * e.series.len(),
+                "ragged: {line}"
+            );
+        }
+        // Committed transactions exist, so percentiles are positive.
+        let first = csv.lines().nth(1).unwrap();
+        let exec_p50: f64 = first.split(',').nth(1).unwrap().parse().unwrap();
+        assert!(exec_p50 > 0.0);
     }
 
     #[test]

@@ -197,7 +197,7 @@ impl LockManager {
         );
         let held_mode = self.mode_held(owner, page);
         match held_mode {
-            Some(m) if m >= mode => return RequestOutcome::AlreadyHeld,
+            Some(m) if m >= mode => RequestOutcome::AlreadyHeld,
             Some(_) => self.request_upgrade(owner, page),
             None => self.request_fresh(owner, page, mode),
         }

@@ -132,6 +132,11 @@ impl<E> Calendar<E> {
     }
 
     /// Pop the next event, advancing the clock to its firing time.
+    ///
+    /// Deliberately *not* an `Iterator`: handlers schedule further
+    /// events between pops, so holding an iterator would borrow the
+    /// calendar across exactly the calls that need `&mut` access.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, E)> {
         let Reverse(entry) = self.heap.pop()?;
         debug_assert!(entry.time >= self.now);

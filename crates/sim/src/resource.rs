@@ -68,6 +68,10 @@ pub struct Station<J> {
     /// Start of the statistics window (reset at the end of warm-up).
     stats_origin: SimTime,
     busy_unit_time: u64,
+    /// Time-integral of the queue length (job-µs), for mean queue depth.
+    queue_unit_time: u64,
+    /// Largest queue length seen in the statistics window.
+    max_queue: usize,
     served: u64,
     total_wait: u64,
     total_service: u64,
@@ -98,6 +102,8 @@ impl<J> Station<J> {
             last_change: SimTime::ZERO,
             stats_origin: SimTime::ZERO,
             busy_unit_time: 0,
+            queue_unit_time: 0,
+            max_queue: 0,
             served: 0,
             total_wait: 0,
             total_service: 0,
@@ -126,7 +132,9 @@ impl<J> Station<J> {
 
     fn accumulate(&mut self, now: SimTime) {
         debug_assert!(now >= self.last_change);
-        self.busy_unit_time += self.busy as u64 * (now - self.last_change).as_micros();
+        let dt = (now - self.last_change).as_micros();
+        self.busy_unit_time += self.busy as u64 * dt;
+        self.queue_unit_time += (self.high.len() + self.low.len()) as u64 * dt;
         self.last_change = now;
     }
 
@@ -169,6 +177,7 @@ impl<J> Station<J> {
                 JobClass::High => self.high.push_back(w),
                 JobClass::Low => self.low.push_back(w),
             }
+            self.max_queue = self.max_queue.max(self.queued());
             None
         }
     }
@@ -211,17 +220,32 @@ impl<J> Station<J> {
 
     /// Mean queueing delay (excluding service) over all served jobs.
     pub fn mean_wait(&self) -> SimDuration {
-        if self.served == 0 {
-            SimDuration::ZERO
+        SimDuration(self.total_wait.checked_div(self.served).unwrap_or(0))
+    }
+
+    /// Time-averaged queue length (jobs waiting, excluding those in
+    /// service) over the statistics window ending at `now`.
+    pub fn mean_queue_depth(&mut self, now: SimTime) -> f64 {
+        self.accumulate(now);
+        let elapsed = now.since(self.stats_origin).as_micros();
+        if elapsed == 0 {
+            0.0
         } else {
-            SimDuration(self.total_wait / self.served)
+            self.queue_unit_time as f64 / elapsed as f64
         }
+    }
+
+    /// Largest queue length observed in the statistics window.
+    pub fn max_queue_depth(&self) -> usize {
+        self.max_queue
     }
 
     /// Reset statistics (not state) — used at the end of warm-up.
     pub fn reset_stats(&mut self, now: SimTime) {
         self.accumulate(now);
         self.busy_unit_time = 0;
+        self.queue_unit_time = 0;
+        self.max_queue = self.queued();
         self.served = 0;
         self.total_wait = 0;
         self.total_service = 0;
@@ -333,6 +357,24 @@ mod tests {
         s.complete(at(10));
         // job 1 waited 0, job 2 waited 10ms => mean 5ms
         assert_eq!(s.mean_wait().as_micros(), 5 * MS);
+    }
+
+    #[test]
+    fn queue_depth_integrates_waiting_jobs() {
+        let mut s: Station<u32> = Station::finite(1);
+        s.arrive(at(0), 1, ms(10), JobClass::Low).unwrap();
+        s.arrive(at(0), 2, ms(10), JobClass::Low); // queued [0,10)
+        s.arrive(at(5), 3, ms(10), JobClass::Low); // queued [5,20)
+        s.complete(at(10)); // job 2 starts, job 3 still queued
+        s.complete(at(20)); // job 3 starts
+        s.complete(at(30));
+        // queue length: 1 on [0,5), 2 on [5,10), 1 on [10,20), 0 after.
+        // integral = 5 + 10 + 10 = 25 job-ms over 30ms elapsed.
+        assert!((s.mean_queue_depth(at(30)) - 25.0 / 30.0).abs() < 1e-9);
+        assert_eq!(s.max_queue_depth(), 2);
+        s.reset_stats(at(30));
+        assert_eq!(s.max_queue_depth(), 0);
+        assert_eq!(s.mean_queue_depth(at(40)), 0.0);
     }
 
     #[test]

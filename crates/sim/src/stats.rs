@@ -393,6 +393,11 @@ impl DurationHistogram {
         self.quantile(0.50)
     }
 
+    /// Shorthand: the 90th percentile.
+    pub fn p90(&self) -> SimDuration {
+        self.quantile(0.90)
+    }
+
     /// Shorthand: the 95th percentile.
     pub fn p95(&self) -> SimDuration {
         self.quantile(0.95)
@@ -401,6 +406,18 @@ impl DurationHistogram {
     /// Shorthand: the 99th percentile.
     pub fn p99(&self) -> SimDuration {
         self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one; equivalent to having
+    /// recorded both observation streams into a single histogram.
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            for (m, t) in mine.iter_mut().zip(theirs.iter()) {
+                *m += t;
+            }
+        }
+        self.total += other.total;
+        self.sum_micros += other.sum_micros;
     }
 }
 
@@ -598,6 +615,39 @@ mod tests {
         h.record(SimDuration::from_secs(2));
         assert_eq!(h.p50(), h.p99());
         assert!(h.p95().as_secs_f64() > 1.8 && h.p95().as_secs_f64() <= 2.0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_sequential() {
+        let mut whole = DurationHistogram::new();
+        let mut a = DurationHistogram::new();
+        let mut b = DurationHistogram::new();
+        for ms in 1..=1_000u64 {
+            whole.record(SimDuration::from_millis(ms));
+            if ms % 3 == 0 {
+                a.record(SimDuration::from_millis(ms));
+            } else {
+                b.record(SimDuration::from_millis(ms));
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.mean(), whole.mean());
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_p90_orders_between_p50_and_p95() {
+        let mut h = DurationHistogram::new();
+        for ms in 1..=10_000u64 {
+            h.record(SimDuration::from_millis(ms));
+        }
+        assert!(h.p50() <= h.p90());
+        assert!(h.p90() <= h.p95());
+        let rel = (h.p90().as_millis_f64() - 9_000.0).abs() / 9_000.0;
+        assert!(rel < 0.07, "p90 = {}", h.p90().as_millis_f64());
     }
 
     #[test]

@@ -30,7 +30,7 @@ fn find_peak(cfg: &SystemConfig, spec: ProtocolSpec) -> (u32, SimReport) {
         let report = Simulation::run(&cfg, spec, 7).expect("valid config");
         let better = best
             .as_ref()
-            .map_or(true, |(_, b)| report.throughput > b.throughput);
+            .is_none_or(|(_, b)| report.throughput > b.throughput);
         if better {
             best = Some((mpl, report));
         }

@@ -28,6 +28,15 @@ pub enum Command {
         protocol: ProtocolSpec,
         seed: u64,
     },
+    /// Per-transaction commit choreography: readable timelines plus an
+    /// optional Chrome trace-event JSON export.
+    Trace {
+        cfg: SystemConfig,
+        protocol: ProtocolSpec,
+        seed: u64,
+        txns: u64,
+        out: Option<String>,
+    },
     /// Protocols × MPLs sweep with tables and a chart.
     Sweep {
         cfg: SystemConfig,
@@ -73,11 +82,18 @@ distcommit — the SIGMOD'97 commit-processing simulator
 
 USAGE:
   distcommit run   [OPTIONS]                 one simulation run
+  distcommit trace [OPTIONS]                 per-txn commit choreography
   distcommit sweep [OPTIONS]                 protocols x MPLs sweep
   distcommit experiment <fig1|fig2|expt3|fig3|fig4|fig5|seq|failures>
                         [--full] [--reps N] [--jobs N]
   distcommit tables                          Tables 2-4
   distcommit help
+
+TRACE:
+  --txns <N>               transactions to trace from the start of the
+                           run (default 3)
+  --out <FILE>             also write Chrome trace-event JSON, loadable
+                           in chrome://tracing or Perfetto
 
 PARALLELISM & REPLICATIONS (sweep & experiment):
   --jobs <N>               worker threads for the run grid (default:
@@ -182,10 +198,18 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 None => err("experiment needs an id (fig1|fig2|expt3|fig3|fig4|fig5|seq)"),
             }
         }
-        "run" | "sweep" => {
+        "run" | "sweep" | "trace" => {
             let mut cfg = SystemConfig::paper_baseline();
             cfg.run.warmup_transactions = 500;
             cfg.run.measured_transactions = 5_000;
+            if sub == "trace" {
+                // Tracing inspects individual transactions; a short run
+                // keeps the timeline readable (flags still override).
+                cfg.run.warmup_transactions = 50;
+                cfg.run.measured_transactions = 200;
+            }
+            let mut txns = 3u64;
+            let mut out: Option<String> = None;
             let mut protocol = ProtocolSpec::TWO_PC;
             let mut protocols = vec![
                 ProtocolSpec::CENT,
@@ -202,6 +226,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--protocol" => protocol = parse_protocol(take_value(a, &mut it)?)?,
+                    "--txns" => txns = parse_num(a, take_value(a, &mut it)?)?,
+                    "--out" => out = Some(take_value(a, &mut it)?.clone()),
                     "--reps" => reps = parse_num(a, take_value(a, &mut it)?)?,
                     "--jobs" => jobs = Some(parse_num(a, take_value(a, &mut it)?)?),
                     "--protocols" => {
@@ -269,9 +295,24 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 }
             }
             cfg.validate().map_err(|e| CliError(e.to_string()))?;
-            if sub == "run" {
+            if sub != "trace" && (txns != 3 || out.is_some()) {
+                return err("--txns/--out apply to trace only");
+            }
+            if sub == "run" || sub == "trace" {
                 if reps != 1 || jobs.is_some() {
-                    return err("--reps/--jobs apply to sweep and experiment, not run");
+                    return err("--reps/--jobs apply to sweep and experiment, not run/trace");
+                }
+                if sub == "trace" {
+                    if txns == 0 {
+                        return err("--txns must be at least 1");
+                    }
+                    return Ok(Command::Trace {
+                        cfg,
+                        protocol,
+                        seed,
+                        txns,
+                        out,
+                    });
                 }
                 Ok(Command::Run {
                     cfg,
@@ -371,9 +412,44 @@ pub fn execute(cmd: Command) -> i32 {
                         "forced writes        {:.2} / commit",
                         r.forced_writes_per_commit
                     );
+                    let ph = [
+                        ("exec", &r.phase_latencies.execution),
+                        ("vote", &r.phase_latencies.voting),
+                        ("ack", &r.phase_latencies.decision),
+                    ];
+                    for (name, l) in ph {
+                        println!(
+                            "phase {name:<14} mean {:7.2} ms, p50 {:7.2}, p90 {:7.2}, p99 {:7.2}",
+                            l.mean_s * 1e3,
+                            l.p50_s * 1e3,
+                            l.p90_s * 1e3,
+                            l.p99_s * 1e3
+                        );
+                    }
+                    let res = [
+                        ("cpu", &r.resources.cpu),
+                        ("data disk", &r.resources.data_disk),
+                        ("log disk", &r.resources.log_disk),
+                    ];
+                    for (name, s) in res {
+                        println!(
+                            "{name:<20} util {:.2}, queue mean {:.2} / max {}, wait {:.4}s",
+                            s.utilization, s.mean_queue_depth, s.max_queue_depth, s.mean_wait_s
+                        );
+                    }
+                    let oc = &r.overhead_check;
                     println!(
-                        "utilization          cpu {:.2}, data disk {:.2}, log disk {:.2}",
-                        r.utilizations.cpu, r.utilizations.data_disk, r.utilizations.log_disk
+                        "overhead model       {}/{} commits match Tables 3-4{}",
+                        oc.checked_commits - oc.mismatched_commits,
+                        oc.checked_commits,
+                        if oc.is_clean() {
+                            String::new()
+                        } else {
+                            format!(
+                                " (MISMATCH: msg delta {}, forced-write delta {})",
+                                oc.message_delta, oc.forced_write_delta
+                            )
+                        }
                     );
                     if r.mean_log_batch > 1.0 {
                         println!(
@@ -381,7 +457,7 @@ pub fn execute(cmd: Command) -> i32 {
                             r.mean_log_batch
                         );
                     }
-                    0
+                    i32::from(!oc.is_clean())
                 }
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -389,6 +465,45 @@ pub fn execute(cmd: Command) -> i32 {
                 }
             }
         }
+        Command::Trace {
+            cfg,
+            protocol,
+            seed,
+            txns,
+            out,
+        } => match Simulation::run_traced(&cfg, protocol, seed, txns) {
+            Ok((report, trace)) => {
+                println!(
+                    "{} — first {txns} transaction(s), seed {seed}",
+                    protocol.name()
+                );
+                println!();
+                for txn in trace.txns() {
+                    print!("{}", trace.render_txn(txn));
+                    println!();
+                }
+                println!("{}", report.summary());
+                if let Some(path) = out {
+                    let json = distdb::engine::chrome_trace_json(&trace);
+                    match std::fs::write(&path, &json) {
+                        Ok(()) => println!(
+                            "chrome trace ({} events) written to {path} — open in \
+                             chrome://tracing or https://ui.perfetto.dev",
+                            trace.events.len()
+                        ),
+                        Err(e) => {
+                            eprintln!("error: cannot write {path}: {e}");
+                            return 1;
+                        }
+                    }
+                }
+                0
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
         Command::Sweep {
             cfg,
             protocols,
@@ -666,8 +781,46 @@ mod tests {
 
     #[test]
     fn usage_mentions_every_subcommand() {
-        for word in ["run", "sweep", "experiment", "tables", "help"] {
+        for word in ["run", "trace", "sweep", "experiment", "tables", "help"] {
             assert!(USAGE.contains(word), "usage missing {word}");
         }
+    }
+
+    #[test]
+    fn trace_parses_txns_and_out() {
+        let cmd = parse(&argv(
+            "trace --protocol 3PC --txns 5 --out /tmp/t.json --seed 2",
+        ))
+        .unwrap();
+        let Command::Trace {
+            cfg,
+            protocol,
+            seed,
+            txns,
+            out,
+        } = cmd
+        else {
+            panic!("expected Trace")
+        };
+        assert_eq!(protocol, ProtocolSpec::THREE_PC);
+        assert_eq!(seed, 2);
+        assert_eq!(txns, 5);
+        assert_eq!(out.as_deref(), Some("/tmp/t.json"));
+        // trace defaults to a short run; flags still override
+        assert_eq!(cfg.run.warmup_transactions, 50);
+        assert_eq!(cfg.run.measured_transactions, 200);
+        let Command::Trace { cfg, txns, out, .. } = parse(&argv("trace --measured 80")).unwrap()
+        else {
+            panic!("expected Trace")
+        };
+        assert_eq!(cfg.run.measured_transactions, 80);
+        assert_eq!(txns, 3);
+        assert_eq!(out, None);
+        // --txns/--out are trace-only; trace takes no --reps/--jobs
+        assert!(parse(&argv("run --txns 5")).is_err());
+        assert!(parse(&argv("run --out x.json")).is_err());
+        assert!(parse(&argv("sweep --out x.json")).is_err());
+        assert!(parse(&argv("trace --txns 0")).is_err());
+        assert!(parse(&argv("trace --reps 2")).is_err());
     }
 }

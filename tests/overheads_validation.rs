@@ -127,3 +127,44 @@ fn intermediate_degrees_match_the_analytic_model() {
         validate(d, ProtocolSpec::PC);
     }
 }
+
+/// The engine cross-checks every clean commit against the analytic
+/// model at cleanup time and accumulates the result in
+/// `SimReport::overhead_check`. On a no-abort workload the check must
+/// cover every commit and find zero mismatches — this is *exact*
+/// per-transaction accounting, unlike the windowed ratios above.
+#[test]
+fn per_transaction_counters_match_model_exactly() {
+    for spec in [ProtocolSpec::TWO_PC, ProtocolSpec::PA, ProtocolSpec::PC] {
+        for d in [3, 6] {
+            let r = measured_overheads(d, spec, 0xBEEF).expect("valid config");
+            assert_eq!(
+                r.total_aborts(),
+                0,
+                "{} d={d}: no-abort workload",
+                spec.name()
+            );
+            let oc = r.overhead_check;
+            // The check fires at cleanup; txns decided but not yet
+            // cleaned up when the run ends are counted as committed but
+            // never checked, so allow a handful in flight.
+            assert!(
+                oc.checked_commits + 20 >= r.committed,
+                "{} d={d}: only {} of {} commits checked",
+                spec.name(),
+                oc.checked_commits,
+                r.committed
+            );
+            assert!(
+                oc.is_clean(),
+                "{} d={d}: {}/{} commits diverged from Tables 3-4 \
+                 (message delta {}, forced-write delta {})",
+                spec.name(),
+                oc.mismatched_commits,
+                oc.checked_commits,
+                oc.message_delta,
+                oc.forced_write_delta
+            );
+        }
+    }
+}

@@ -183,7 +183,7 @@ fn infinite_resources_remove_queueing() {
     );
     // Infinite stations never queue, so utilization-as-concurrency is
     // finite but the run must show no deadlock-free anomalies.
-    assert_eq!(r.total_aborts() > r.committed, false);
+    assert!(r.total_aborts() <= r.committed);
 }
 
 /// Thrashing: throughput rises to a knee and falls beyond it.
