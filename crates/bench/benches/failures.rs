@@ -29,7 +29,7 @@ fn main() {
         let r = &s.points[0];
         println!(
             "{:<18} {:>12.2} {:>10.3} {:>10.3} {:>9}",
-            s.label, r.throughput, r.mean_response_s, r.block_ratio, r.master_crashes
+            s.label, r.throughput, r.mean_response_s, r.block_ratio, r.faults.master_crashes
         );
     }
     println!();

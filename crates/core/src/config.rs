@@ -25,13 +25,17 @@ pub enum ResourceMode {
     Infinite,
 }
 
-/// Master-failure injection (an extension beyond the paper's no-failure
+/// Fault injection (an extension beyond the paper's no-failure
 /// experiments, quantifying §2.4's blocking argument).
 ///
-/// With probability `master_crash_prob`, a master process crashes at
-/// its commit point — after collecting votes (and, for 3PC, the
-/// precommit round), before announcing the decision. This is the
-/// classic blocking window:
+/// Three fault classes, each driven by the run's deterministic
+/// [`simkernel::SimRng`] so a fault schedule is replayable from the
+/// seed:
+///
+/// **Master crashes.** With probability `master_crash_prob`, a master
+/// process crashes at its commit point — after collecting votes (and,
+/// for 3PC, the precommit round), before announcing the decision. This
+/// is the classic blocking window:
 ///
 /// * **blocking protocols** (2PC, PA, PC): the prepared cohorts hold
 ///   their update locks until the master recovers `recovery_time`
@@ -40,6 +44,24 @@ pub enum ResourceMode {
 ///   lowest-site cohort as coordinator, exchange state, and terminate
 ///   the transaction themselves (all cohorts are precommitted at this
 ///   crash point, so the termination rule decides commit).
+///
+/// **Cohort crashes.** With probability `cohort_crash_prob`, a cohort
+/// crashes right after forcing its prepare (or precommit) record,
+/// before its vote (or precommit ack) reaches the master. The master
+/// waits — it cannot unilaterally decide with a vote outstanding —
+/// and `cohort_recovery_time` later the cohort restarts, replays its
+/// last forced log record, and rejoins the protocol per the
+/// protocol's recovery rule (see `BaseProtocol::recovery_action` in
+/// `crates/protocols`): a prepared cohort re-sends its YES vote, a
+/// precommitted 3PC cohort re-sends its precommit ack.
+///
+/// **Message loss.** With probability `msg_loss_prob`, a remote
+/// commit-choreography message from the master (PREPARE, PRECOMMIT or
+/// the decision) is lost in transit. The sender retransmits after
+/// `msg_timeout`, up to `max_retransmits` times; after that the
+/// transfer escalates to a reliable out-of-band path (modelling the
+/// cooperative termination protocol / operator recovery) so the run
+/// always terminates.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FailureConfig {
     /// Probability that a committing master crashes at its decision
@@ -51,6 +73,52 @@ pub struct FailureConfig {
     /// Time until a crashed master recovers and resumes the protocol
     /// (blocking protocols wait this long).
     pub recovery_time: SimDuration,
+    /// Probability that a cohort crashes right after forcing its
+    /// prepare (or, for 3PC, precommit) record, before answering the
+    /// master.
+    pub cohort_crash_prob: f64,
+    /// Time until a crashed cohort restarts and replays its log.
+    pub cohort_recovery_time: SimDuration,
+    /// Probability that a remote master→cohort commit message
+    /// (PREPARE / PRECOMMIT / decision) is lost in transit.
+    pub msg_loss_prob: f64,
+    /// Sender-side timeout before a loss-eligible message is
+    /// retransmitted.
+    pub msg_timeout: SimDuration,
+    /// Retransmissions attempted before escalating to the reliable
+    /// out-of-band path.
+    pub max_retransmits: u32,
+}
+
+impl FailureConfig {
+    /// Master crashes only, matching the pre-existing single-fault
+    /// model: crash probability `p`, 300 ms detection timeout, 5 s
+    /// recovery. Cohort-crash and message-loss probabilities are zero.
+    pub fn master_crashes(p: f64) -> Self {
+        FailureConfig {
+            master_crash_prob: p,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for FailureConfig {
+    /// All fault probabilities zero, with the timing constants used
+    /// throughout the failure test suite: 300 ms detection timeout,
+    /// 5 s master recovery, 1 s cohort recovery, 100 ms message
+    /// timeout, 3 retransmissions.
+    fn default() -> Self {
+        FailureConfig {
+            master_crash_prob: 0.0,
+            detection_timeout: SimDuration::from_millis(300),
+            recovery_time: SimDuration::from_secs(5),
+            cohort_crash_prob: 0.0,
+            cohort_recovery_time: SimDuration::from_secs(1),
+            msg_loss_prob: 0.0,
+            msg_timeout: SimDuration::from_millis(100),
+            max_retransmits: 3,
+        }
+    }
 }
 
 /// Skewed ("hot spot") page access, the classic b–c rule: a fraction
@@ -313,6 +381,18 @@ impl SystemConfig {
             if f.recovery_time.is_zero() {
                 return Err(Invalid("recovery_time must be positive"));
             }
+            if !(0.0..=1.0).contains(&f.cohort_crash_prob) {
+                return Err(Invalid("cohort_crash_prob must be a probability"));
+            }
+            if f.cohort_crash_prob > 0.0 && f.cohort_recovery_time.is_zero() {
+                return Err(Invalid("cohort_recovery_time must be positive"));
+            }
+            if !(0.0..=1.0).contains(&f.msg_loss_prob) {
+                return Err(Invalid("msg_loss_prob must be a probability"));
+            }
+            if f.msg_loss_prob > 0.0 && f.msg_timeout.is_zero() {
+                return Err(Invalid("msg_timeout must be positive"));
+            }
         }
         if self.run.measured_transactions == 0 {
             return Err(Invalid("measured_transactions must be positive"));
@@ -447,6 +527,54 @@ mod tests {
         let mut c = SystemConfig::paper_baseline();
         c.run.batches = 1;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_failure_configs() {
+        let mut c = SystemConfig::paper_baseline();
+        c.failures = Some(FailureConfig {
+            cohort_crash_prob: 1.5,
+            ..FailureConfig::default()
+        });
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::paper_baseline();
+        c.failures = Some(FailureConfig {
+            cohort_crash_prob: 0.1,
+            cohort_recovery_time: SimDuration::ZERO,
+            ..FailureConfig::default()
+        });
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::paper_baseline();
+        c.failures = Some(FailureConfig {
+            msg_loss_prob: -0.1,
+            ..FailureConfig::default()
+        });
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::paper_baseline();
+        c.failures = Some(FailureConfig {
+            msg_loss_prob: 0.1,
+            msg_timeout: SimDuration::ZERO,
+            ..FailureConfig::default()
+        });
+        assert!(c.validate().is_err());
+
+        // The all-defaults config (zero probabilities) is valid.
+        let mut c = SystemConfig::paper_baseline();
+        c.failures = Some(FailureConfig::default());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn master_crashes_constructor_sets_only_the_master_prob() {
+        let f = FailureConfig::master_crashes(0.05);
+        assert_eq!(f.master_crash_prob, 0.05);
+        assert_eq!(f.cohort_crash_prob, 0.0);
+        assert_eq!(f.msg_loss_prob, 0.0);
+        assert_eq!(f.detection_timeout, SimDuration::from_millis(300));
+        assert_eq!(f.recovery_time, SimDuration::from_secs(5));
     }
 
     #[test]

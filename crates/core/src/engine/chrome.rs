@@ -223,6 +223,35 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                     "MASTER CRASH".to_string(),
                 ));
             }
+            TraceEvent::CohortCrashed { at, cohort, .. } => {
+                records.push(Record::instant(
+                    at.0,
+                    e.txn(),
+                    0,
+                    format!("COHORT {cohort} CRASH"),
+                ));
+            }
+            TraceEvent::CohortRecovered { at, cohort, .. } => {
+                records.push(Record::instant(
+                    at.0,
+                    e.txn(),
+                    0,
+                    format!("cohort {cohort} recovered"),
+                ));
+            }
+            TraceEvent::MsgLost { at, label, .. } => {
+                records.push(Record::instant(at.0, e.txn(), 0, format!("{label:?} lost")));
+            }
+            TraceEvent::Retransmitted {
+                at, label, attempt, ..
+            } => {
+                records.push(Record::instant(
+                    at.0,
+                    e.txn(),
+                    0,
+                    format!("retransmit {label:?} #{attempt}"),
+                ));
+            }
             TraceEvent::TerminationStarted {
                 at, coordinator, ..
             } => {

@@ -183,8 +183,22 @@ impl Simulation {
     /// With probability `cohort_abort_prob` the vote is a surprise NO
     /// (§5.7); otherwise the cohort force-writes its prepare record.
     pub(crate) fn cohort_prepare(&mut self, cohort: CohortId) {
-        let c = self.cohorts.get_mut(&cohort).expect("no stale PREPAREs");
-        debug_assert_eq!(c.phase, CohortPhase::WorkDone);
+        // Under message loss PREPAREs are retransmitted on a timer, so a
+        // duplicate can reach a cohort that already acted on the first
+        // copy (or finished entirely). Without fault injection a stale
+        // PREPARE is still an engine bug.
+        let Some(c) = self.cohorts.get_mut(&cohort) else {
+            debug_assert!(self.cfg.failures.is_some(), "stale PREPARE without faults");
+            return;
+        };
+        if c.phase != CohortPhase::WorkDone {
+            debug_assert!(
+                self.cfg.failures.is_some(),
+                "PREPARE in {:?} without faults",
+                c.phase
+            );
+            return;
+        }
         let site = c.site;
 
         // Read-Only optimization (§3.2): a cohort with no updates has
@@ -281,6 +295,13 @@ impl Simulation {
             cohort,
             site,
         });
+        // Cohort-crash injection point #1: the prepare record is
+        // durable, but the cohort dies before lending its locks or
+        // voting. The master cannot decide with the vote outstanding,
+        // so it waits; recovery replays the record and re-votes.
+        if self.cohort_crash_roll(cohort, txn_id) {
+            return;
+        }
         let home = self.txns[&txn_id].home;
         let grants = self.sites[site].locks.mark_prepared(cohort);
         self.process_grants(grants);
@@ -295,6 +316,85 @@ impl Simulation {
                     vote: Vote::Yes,
                 },
             );
+        }
+    }
+
+    /// Roll for a cohort crash at one of the two replay points (prepare
+    /// record durable / precommit record durable). On a hit the cohort
+    /// goes silent — locks held, nothing lent, no answer to the master
+    /// — and a restart is scheduled `cohort_recovery_time` later.
+    fn cohort_crash_roll(&mut self, cohort: CohortId, txn_id: TxnId) -> bool {
+        let Some(f) = self.cfg.failures else {
+            return false;
+        };
+        if f.cohort_crash_prob == 0.0 {
+            return false;
+        }
+        self.metrics.cohort_crash_trials.bump();
+        if !self.rng.chance(f.cohort_crash_prob) {
+            return false;
+        }
+        let now = self.cal.now();
+        self.metrics.cohort_crashes.bump();
+        let t = self.txns.get_mut(&txn_id).expect("live txn");
+        t.crashed = true;
+        t.crashed_at.get_or_insert(now);
+        self.trace_event(txn_id, |at| super::trace::TraceEvent::CohortCrashed {
+            at,
+            txn: txn_id,
+            cohort,
+        });
+        self.cal.schedule_in(
+            f.cohort_recovery_time,
+            super::types::Event::CohortRecovered { cohort },
+        );
+        true
+    }
+
+    /// A crashed cohort restarted: re-read the last forced log record
+    /// and rejoin the protocol per the presumption rules
+    /// ([`BaseProtocol::recovery_action`]). The cohort is guaranteed to
+    /// still exist — the master cannot have decided with this cohort's
+    /// vote (or precommit ack) outstanding.
+    pub(crate) fn cohort_recovered(&mut self, cohort: CohortId) {
+        let c = self
+            .cohorts
+            .get(&cohort)
+            .expect("master waits on a crashed cohort");
+        let (site, txn_id, phase) = (c.site, c.txn, c.phase);
+        self.trace_event(txn_id, |at| super::trace::TraceEvent::CohortRecovered {
+            at,
+            txn: txn_id,
+            cohort,
+        });
+        let record = match phase {
+            CohortPhase::Prepared => commitproto::RecoveryRecord::Prepared,
+            CohortPhase::Precommitted => commitproto::RecoveryRecord::Precommitted,
+            _ => commitproto::RecoveryRecord::None,
+        };
+        let home = self.txns[&txn_id].home;
+        match self.spec.base.recovery_action(record) {
+            commitproto::RecoveryAction::ResendVote => {
+                // The replayed prepare record re-enters the prepared
+                // state: only now do the locks become lendable (a down
+                // site cannot serve borrow requests).
+                let grants = self.sites[site].locks.mark_prepared(cohort);
+                self.process_grants(grants);
+                self.send(
+                    site,
+                    home,
+                    MsgKind::Vote {
+                        txn: txn_id,
+                        vote: Vote::Yes,
+                    },
+                );
+            }
+            commitproto::RecoveryAction::ResendPreAck => {
+                self.send(site, home, MsgKind::PreAck { txn: txn_id });
+            }
+            commitproto::RecoveryAction::PresumeAbort => {
+                unreachable!("crash points always force a record first")
+            }
         }
     }
 
@@ -353,8 +453,23 @@ impl Simulation {
     }
 
     pub(crate) fn cohort_precommit(&mut self, cohort: CohortId) {
-        let c = self.cohorts.get_mut(&cohort).expect("live cohort");
-        debug_assert_eq!(c.phase, CohortPhase::Prepared);
+        let Some(c) = self.cohorts.get_mut(&cohort) else {
+            debug_assert!(
+                self.cfg.failures.is_some(),
+                "stale PRECOMMIT without faults"
+            );
+            return;
+        };
+        if c.phase != CohortPhase::Prepared {
+            // A retransmitted PRECOMMIT reached a cohort already past
+            // the prepared state — duplicate, ignore.
+            debug_assert!(
+                self.cfg.failures.is_some(),
+                "PRECOMMIT in {:?} without faults",
+                c.phase
+            );
+            return;
+        }
         c.phase = CohortPhase::Precommitting;
         let site = c.site;
         self.force_log(site, LogWork::CohortPrecommit { cohort });
@@ -364,6 +479,12 @@ impl Simulation {
         let c = self.cohorts.get_mut(&cohort).expect("live cohort");
         c.phase = CohortPhase::Precommitted;
         let (site, txn_id) = (c.site, c.txn);
+        // Cohort-crash injection point #2: the precommit record is
+        // durable but the ack never leaves. Recovery re-announces the
+        // precommitted state.
+        if self.cohort_crash_roll(cohort, txn_id) {
+            return;
+        }
         let home = self.txns[&txn_id].home;
         self.send(site, home, MsgKind::PreAck { txn: txn_id });
     }
@@ -384,28 +505,34 @@ impl Simulation {
     fn decide(&mut self, txn_id: TxnId, commit: bool) {
         if commit {
             if let Some(f) = self.cfg.failures {
-                if self.spec.base.has_voting_phase() && self.rng.chance(f.master_crash_prob) {
-                    self.metrics.master_crashes.bump();
-                    self.txns.get_mut(&txn_id).expect("live txn").crashed = true;
-                    self.trace_event(txn_id, |at| super::trace::TraceEvent::MasterCrashed {
-                        at,
-                        txn: txn_id,
-                    });
-                    if self.spec.base.precommit_phase() {
-                        self.cal.schedule_in(
-                            f.detection_timeout,
-                            super::types::Event::StartTermination { txn: txn_id },
-                        );
-                    } else {
-                        self.cal.schedule_in(
-                            f.recovery_time,
-                            super::types::Event::MasterRecovered {
-                                txn: txn_id,
-                                commit,
-                            },
-                        );
+                if f.master_crash_prob > 0.0 && self.spec.base.has_voting_phase() {
+                    self.metrics.master_crash_trials.bump();
+                    if self.rng.chance(f.master_crash_prob) {
+                        let now = self.cal.now();
+                        self.metrics.master_crashes.bump();
+                        let t = self.txns.get_mut(&txn_id).expect("live txn");
+                        t.crashed = true;
+                        t.crashed_at.get_or_insert(now);
+                        self.trace_event(txn_id, |at| super::trace::TraceEvent::MasterCrashed {
+                            at,
+                            txn: txn_id,
+                        });
+                        if self.spec.base.precommit_phase() {
+                            self.cal.schedule_in(
+                                f.detection_timeout,
+                                super::types::Event::StartTermination { txn: txn_id },
+                            );
+                        } else {
+                            self.cal.schedule_in(
+                                f.recovery_time,
+                                super::types::Event::MasterRecovered {
+                                    txn: txn_id,
+                                    commit,
+                                },
+                            );
+                        }
+                        return;
                     }
-                    return;
                 }
             }
         }
@@ -442,6 +569,7 @@ impl Simulation {
     /// modeled crash point every cohort is precommitted, so the
     /// termination rule decides commit.
     pub(crate) fn start_termination(&mut self, txn_id: TxnId) {
+        self.metrics.termination_rounds.bump();
         let t = self.txns.get(&txn_id).expect("live txn");
         debug_assert!(self.spec.base.precommit_phase());
         let mut live: Vec<(CohortId, usize)> = t
@@ -613,7 +741,14 @@ impl Simulation {
     /// cohort.
     pub(crate) fn cohort_decision(&mut self, cohort: CohortId, commit: bool) {
         let now = self.cal.now();
-        let c = self.cohorts.get_mut(&cohort).expect("no stale decisions");
+        // Under message loss the decision is retransmitted on a timer:
+        // a duplicate can arrive after the first copy finished the
+        // cohort (gone from the map) or while its decision record is
+        // being forced (`Deciding`). Without faults both are bugs.
+        let Some(c) = self.cohorts.get_mut(&cohort) else {
+            debug_assert!(self.cfg.failures.is_some(), "stale decision without faults");
+            return;
+        };
         // Linear 2PC only: a cohort the forward chain never reached
         // (still WorkDone) learns of the abort from the master. It was
         // never prepared, so it aborts like an active cohort: no log
@@ -628,13 +763,31 @@ impl Simulation {
             self.cohort_done(cohort);
             return;
         }
-        debug_assert!(
-            matches!(c.phase, CohortPhase::Prepared | CohortPhase::Precommitted),
-            "decision in {:?}",
-            c.phase
-        );
+        if !matches!(c.phase, CohortPhase::Prepared | CohortPhase::Precommitted) {
+            debug_assert!(
+                self.cfg.failures.is_some(),
+                "decision in {:?} without faults",
+                c.phase
+            );
+            return;
+        }
+        let txn_id = c.txn;
         if let Some(since) = c.prepared_since.take() {
             self.metrics.prepared_time.record_duration(now.since(since));
+            // Blocked-on-crash lock-hold time: the part of this
+            // cohort's prepared window spent with a crash outstanding
+            // somewhere in its transaction.
+            if let Some(crashed_at) = self.txns[&txn_id].crashed_at {
+                let from = if crashed_at > since {
+                    crashed_at
+                } else {
+                    since
+                };
+                self.metrics.blocked_on_crash_cohorts.bump();
+                self.metrics
+                    .crash_block_time
+                    .record(now.since(from).as_secs_f64());
+            }
         }
         let site = c.site;
         if self.spec.base.cohort_decision_forced(commit) {

@@ -77,6 +77,7 @@ impl Simulation {
                 msg_commit: 0,
                 forced: 0,
                 crashed: false,
+                crashed_at: None,
             },
         );
         self.metrics.live_txns.add(now, 1.0);

@@ -34,7 +34,7 @@ use distlocks::LockManager;
 use simkernel::stats::Tally;
 use simkernel::{Calendar, JobClass, SimDuration, SimRng, SimTime, Station};
 use std::collections::HashMap;
-use types::{CpuJob, DiskJob, Event, LogWork, Message, MsgKind, Txn};
+use types::{CpuJob, DiskJob, Event, LogWork, Message, MsgKind, Retry, Txn};
 
 /// Accumulates per-station observations into one [`ResourceStats`] for
 /// a resource class (utilizations/queue depths averaged across the
@@ -388,6 +388,8 @@ impl Simulation {
                 // The recovered master resumes where the crash hit.
                 self.decide_now(txn, commit);
             }
+            Event::CohortRecovered { cohort } => self.cohort_recovered(cohort),
+            Event::MsgRetry { retry, attempt } => self.handle_msg_retry(retry, attempt),
             Event::StartTermination { txn } => self.start_termination(txn),
             Event::LocalMsg { msg } => self.handle_message(msg),
         }
@@ -397,6 +399,13 @@ impl Simulation {
         match job {
             CpuJob::Data { cohort } => self.cohort_page_processed(cohort),
             CpuJob::MsgSend { msg } => {
+                if msg.lost {
+                    // Fault injection dropped this transfer in the
+                    // switch: the sender paid its MsgCPU, the receiver
+                    // never sees it. The sender's retransmission timer
+                    // is already running.
+                    return;
+                }
                 // The network is an instantaneous switch (§4): delivery
                 // costs only receive-side CPU.
                 self.cpu_arrive(
@@ -552,6 +561,28 @@ impl Simulation {
     /// zero-delay event; remote messages cost `MsgCPU` at both ends and
     /// are counted in the execution/commit tallies.
     pub(crate) fn send(&mut self, from: SiteId, to: SiteId, kind: MsgKind) {
+        self.send_attempt(from, to, kind, 0);
+    }
+
+    /// The retransmission handle for a loss-eligible message class —
+    /// the master→cohort commit choreography, whose loss would
+    /// otherwise wedge the protocol. Cohort→master replies ride the
+    /// cohort's own recovery/retry machinery instead.
+    fn loss_retry(kind: &MsgKind) -> Option<Retry> {
+        match *kind {
+            MsgKind::Prepare { cohort } => Some(Retry::Prepare { cohort }),
+            MsgKind::PreCommit { cohort } => Some(Retry::PreCommit { cohort }),
+            MsgKind::Decision { cohort, commit } => Some(Retry::Decision { cohort, commit }),
+            _ => None,
+        }
+    }
+
+    /// [`Simulation::send`] with an attempt count for the message-loss
+    /// machinery. Attempts `0..max_retransmits` of a loss-eligible
+    /// remote message may be dropped (each is watched by a `MsgRetry`
+    /// timer); attempt `max_retransmits` is the escalated transfer and
+    /// is delivered reliably, so the protocol always terminates.
+    fn send_attempt(&mut self, from: SiteId, to: SiteId, kind: MsgKind, attempt: u32) {
         let owner = self.msg_txn(&kind);
         if let Some(txn) = owner {
             let label = kind.label();
@@ -565,7 +596,40 @@ impl Simulation {
                 local,
             });
         }
-        let msg = Message { from, to, kind };
+        let mut lost = false;
+        if from != to {
+            if let Some(f) = self.cfg.failures {
+                if f.msg_loss_prob > 0.0 && attempt < f.max_retransmits {
+                    if let Some(retry) = Self::loss_retry(&kind) {
+                        self.metrics.message_loss_trials.bump();
+                        if self.rng.chance(f.msg_loss_prob) {
+                            lost = true;
+                            self.metrics.messages_lost.bump();
+                            if let Some(txn) = owner {
+                                // Loss traffic is outside the analytic
+                                // overhead model of Tables 3–4.
+                                if let Some(t) = self.txns.get_mut(&txn) {
+                                    t.crashed = true;
+                                }
+                                let label = kind.label();
+                                self.trace_event(txn, |at| TraceEvent::MsgLost { at, txn, label });
+                            }
+                        }
+                        // Watch the transfer either way: the timer
+                        // inspects the receiver's phase and dies if the
+                        // message evidently arrived.
+                        self.cal
+                            .schedule_in(f.msg_timeout, Event::MsgRetry { retry, attempt });
+                    }
+                }
+            }
+        }
+        let msg = Message {
+            from,
+            to,
+            kind,
+            lost,
+        };
         if from == to {
             self.cal.schedule_now(Event::LocalMsg { msg });
             return;
@@ -588,6 +652,59 @@ impl Simulation {
             self.cfg.msg_cpu,
             JobClass::High,
         );
+    }
+
+    /// A retransmission timer fired. If the receiver's phase shows the
+    /// watched transfer never arrived, repeat it (the repeat is itself
+    /// loss-eligible until the retry budget runs out, after which the
+    /// escalated transfer is reliable).
+    fn handle_msg_retry(&mut self, retry: Retry, attempt: u32) {
+        let Some(f) = self.cfg.failures else {
+            return;
+        };
+        let (cohort, kind) = match retry {
+            Retry::Prepare { cohort } => (cohort, MsgKind::Prepare { cohort }),
+            Retry::PreCommit { cohort } => (cohort, MsgKind::PreCommit { cohort }),
+            Retry::Decision { cohort, commit } => (cohort, MsgKind::Decision { cohort, commit }),
+        };
+        let Some(c) = self.cohorts.get(&cohort) else {
+            // The cohort finished: the transfer (or a duplicate of it)
+            // arrived, or an abort tore the cohort down. Timer dies.
+            return;
+        };
+        let awaited = match retry {
+            Retry::Prepare { .. } => c.phase == types::CohortPhase::WorkDone,
+            Retry::PreCommit { .. } => c.phase == types::CohortPhase::Prepared,
+            Retry::Decision { .. } => matches!(
+                c.phase,
+                types::CohortPhase::Prepared | types::CohortPhase::Precommitted
+            ),
+        };
+        if !awaited {
+            return;
+        }
+        let (to, txn_id) = (c.site, c.txn);
+        self.metrics.retransmissions.bump();
+        if attempt + 1 >= f.max_retransmits {
+            // Out of retries: this repeat goes over the reliable
+            // out-of-band path (cooperative termination / operator
+            // action in a real system).
+            self.metrics.retry_escalations.bump();
+        }
+        let t = self.txns.get_mut(&txn_id).expect("live txn");
+        // A retransmission — even a spurious one fired while the
+        // original sat in a queue — puts the incarnation outside the
+        // analytic overhead model.
+        t.crashed = true;
+        let label = kind.label();
+        self.trace_event(txn_id, |at| TraceEvent::Retransmitted {
+            at,
+            txn: txn_id,
+            label,
+            attempt: attempt + 1,
+        });
+        let from = self.txns[&txn_id].control_site();
+        self.send_attempt(from, to, kind, attempt + 1);
     }
 
     // ------------------------------------------------------------------
@@ -843,7 +960,19 @@ impl Simulation {
             resources,
             overhead_check: self.metrics.overhead_check,
             mean_log_batch,
-            master_crashes: self.metrics.master_crashes.get(),
+            faults: crate::metrics::FaultCounters {
+                master_crashes: self.metrics.master_crashes.get(),
+                cohort_crashes: self.metrics.cohort_crashes.get(),
+                messages_lost: self.metrics.messages_lost.get(),
+                retransmissions: self.metrics.retransmissions.get(),
+                retry_escalations: self.metrics.retry_escalations.get(),
+                termination_rounds: self.metrics.termination_rounds.get(),
+                master_crash_trials: self.metrics.master_crash_trials.get(),
+                cohort_crash_trials: self.metrics.cohort_crash_trials.get(),
+                message_loss_trials: self.metrics.message_loss_trials.get(),
+                blocked_on_crash_cohorts: self.metrics.blocked_on_crash_cohorts.get(),
+                mean_blocked_on_crash_s: self.metrics.crash_block_time.mean(),
+            },
             events: self.cal.dispatched_count(),
         }
     }

@@ -303,6 +303,64 @@ fn seeds_change_workloads_not_accounting() {
 }
 
 #[test]
+fn opt_lending_under_master_crashes_leaks_no_locks() {
+    // OPT lends uncommitted updates to borrowers; a master crash at the
+    // decision point strands prepared lenders for the full recovery
+    // time, so borrower chains must resolve only when the delayed
+    // decision finally lands. This drives lending and crashes together
+    // and then audits every lock table: the structural invariants hold,
+    // and no cohort id that has died still holds, waits for, or borrows
+    // anything. (The system is closed — the live incarnations at drain
+    // time legitimately hold locks — so "no leak" means dead ids own
+    // nothing.)
+    use crate::config::FailureConfig;
+    let mut cfg = tiny();
+    cfg.mpl = 8;
+    cfg.run.measured_transactions = 400;
+    cfg.failures = Some(FailureConfig {
+        master_crash_prob: 0.05,
+        ..FailureConfig::default()
+    });
+    for spec in [ProtocolSpec::OPT_2PC, ProtocolSpec::OPT_3PC] {
+        let mut sim = Simulation::new(&cfg, spec, 13).expect("valid config");
+        sim.execute();
+        let report = sim.report();
+        // The scenario really exercised lending under crashes.
+        assert!(report.faults.master_crashes > 0, "{}", spec.name());
+        assert!(report.borrow_ratio > 0.0, "{}", spec.name());
+
+        for (si, site) in sim.sites.iter().enumerate() {
+            site.locks.audit().unwrap_or_else(|e| {
+                panic!("{}: lock table corrupt at site {si}: {e}", spec.name())
+            });
+        }
+        for id in 1..sim.next_cohort_id {
+            if sim.cohorts.contains_key(&id) {
+                continue; // live incarnation, may hold locks
+            }
+            for (si, site) in sim.sites.iter().enumerate() {
+                assert_eq!(
+                    site.locks.pages_held(id),
+                    0,
+                    "{}: dead cohort {id} still holds locks at site {si}",
+                    spec.name()
+                );
+                assert!(
+                    !site.locks.is_waiting(id),
+                    "{}: dead cohort {id} still queued at site {si}",
+                    spec.name()
+                );
+                assert!(
+                    !site.locks.has_live_borrows(id),
+                    "{}: dead cohort {id} still borrowing at site {si}",
+                    spec.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn control_site_defaults_to_home() {
     // Covered indirectly everywhere; pin the accessor contract here.
     use super::types::{Txn, TxnPhase};
@@ -336,6 +394,7 @@ fn control_site_defaults_to_home() {
         msg_commit: 0,
         forced: 0,
         crashed: false,
+        crashed_at: None,
     };
     assert_eq!(t.control_site(), 3);
     let t2 = Txn {

@@ -128,6 +128,32 @@ pub enum TraceEvent {
     Aborted { at: SimTime, txn: TxnId },
     /// The master crashed at its decision point (failure injection).
     MasterCrashed { at: SimTime, txn: TxnId },
+    /// A cohort crashed right after forcing its prepare/precommit
+    /// record (failure injection).
+    CohortCrashed {
+        at: SimTime,
+        txn: TxnId,
+        cohort: CohortId,
+    },
+    /// A crashed cohort restarted and replayed its log.
+    CohortRecovered {
+        at: SimTime,
+        txn: TxnId,
+        cohort: CohortId,
+    },
+    /// A remote transfer was lost in-flight (failure injection).
+    MsgLost {
+        at: SimTime,
+        txn: TxnId,
+        label: MsgLabel,
+    },
+    /// A sender timed out and repeated a lost transfer.
+    Retransmitted {
+        at: SimTime,
+        txn: TxnId,
+        label: MsgLabel,
+        attempt: u32,
+    },
     /// 3PC termination began; `coordinator` is the elected cohort.
     TerminationStarted {
         at: SimTime,
@@ -150,6 +176,10 @@ impl TraceEvent {
             | TraceEvent::Decided { txn, .. }
             | TraceEvent::Aborted { txn, .. }
             | TraceEvent::MasterCrashed { txn, .. }
+            | TraceEvent::CohortCrashed { txn, .. }
+            | TraceEvent::CohortRecovered { txn, .. }
+            | TraceEvent::MsgLost { txn, .. }
+            | TraceEvent::Retransmitted { txn, .. }
             | TraceEvent::TerminationStarted { txn, .. } => txn,
         }
     }
@@ -167,6 +197,10 @@ impl TraceEvent {
             | TraceEvent::Decided { at, .. }
             | TraceEvent::Aborted { at, .. }
             | TraceEvent::MasterCrashed { at, .. }
+            | TraceEvent::CohortCrashed { at, .. }
+            | TraceEvent::CohortRecovered { at, .. }
+            | TraceEvent::MsgLost { at, .. }
+            | TraceEvent::Retransmitted { at, .. }
             | TraceEvent::TerminationStarted { at, .. } => at,
         }
     }
@@ -282,6 +316,18 @@ impl Trace {
                 }
                 TraceEvent::Aborted { .. } => "incarnation aborted; restart scheduled".into(),
                 TraceEvent::MasterCrashed { .. } => "MASTER CRASHED at decision point".into(),
+                TraceEvent::CohortCrashed { cohort, .. } => {
+                    format!("cohort {cohort} CRASHED after forcing its record")
+                }
+                TraceEvent::CohortRecovered { cohort, .. } => {
+                    format!("cohort {cohort} recovered, log replayed")
+                }
+                TraceEvent::MsgLost { label, .. } => {
+                    format!("{label:?} LOST in transit")
+                }
+                TraceEvent::Retransmitted { label, attempt, .. } => {
+                    format!("{label:?} retransmitted (attempt {attempt})")
+                }
                 TraceEvent::TerminationStarted { coordinator, .. } => {
                     format!("termination protocol started, coordinator = cohort {coordinator}")
                 }
@@ -442,6 +488,36 @@ mod tests {
             TraceEvent::Aborted {
                 at: SimTime(8),
                 txn: 3,
+            },
+            TraceEvent::MasterCrashed {
+                at: SimTime(9),
+                txn: 3,
+            },
+            TraceEvent::CohortCrashed {
+                at: SimTime(10),
+                txn: 3,
+                cohort: 9,
+            },
+            TraceEvent::CohortRecovered {
+                at: SimTime(11),
+                txn: 3,
+                cohort: 9,
+            },
+            TraceEvent::MsgLost {
+                at: SimTime(12),
+                txn: 3,
+                label: MsgLabel::Prepare,
+            },
+            TraceEvent::Retransmitted {
+                at: SimTime(13),
+                txn: 3,
+                label: MsgLabel::Prepare,
+                attempt: 1,
+            },
+            TraceEvent::TerminationStarted {
+                at: SimTime(14),
+                txn: 3,
+                coordinator: 9,
             },
         ];
         for (i, e) in events.iter().enumerate() {

@@ -43,6 +43,12 @@ pub(crate) enum Event {
     /// A crashed master recovered (blocking protocols) — resume the
     /// interrupted decision.
     MasterRecovered { txn: TxnId, commit: bool },
+    /// A crashed cohort restarted: replay its last forced log record
+    /// and rejoin the protocol per the recovery rule.
+    CohortRecovered { cohort: CohortId },
+    /// Sender-side retransmission timer for a loss-eligible message
+    /// fired; retransmit if the receiver still hasn't progressed.
+    MsgRetry { retry: Retry, attempt: u32 },
     /// The cohorts of a crashed 3PC master detected the failure — run
     /// the termination protocol.
     StartTermination { txn: TxnId },
@@ -93,6 +99,20 @@ pub(crate) enum LogWork {
     MasterDecision { txn: TxnId, commit: bool },
 }
 
+/// A loss-eligible master→cohort transfer being watched by a
+/// retransmission timer (message-loss injection). The timer checks the
+/// receiver's phase: if the message evidently arrived, the timer dies;
+/// otherwise the transfer is repeated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Retry {
+    /// A PREPARE to `cohort` (chain variant included).
+    Prepare { cohort: CohortId },
+    /// A 3PC PRECOMMIT to `cohort`.
+    PreCommit { cohort: CohortId },
+    /// The decision to `cohort`.
+    Decision { cohort: CohortId, commit: bool },
+}
+
 /// A network message. Transfers between distinct sites cost `MsgCPU`
 /// at the sender and at the receiver; same-site messages are free.
 #[derive(Debug, Clone, Copy)]
@@ -102,6 +122,9 @@ pub(crate) struct Message {
     pub from: SiteId,
     pub to: SiteId,
     pub kind: MsgKind,
+    /// Fault injection decided this transfer is lost: the sender still
+    /// pays `MsgCPU`, but the receiver never processes it.
+    pub lost: bool,
 }
 
 /// A cohort's vote in the first protocol phase.
@@ -272,9 +295,13 @@ pub(crate) struct Txn {
     pub msg_commit: u64,
     /// Forced log writes issued on behalf of this incarnation.
     pub forced: u64,
-    /// Master crashed at the decision point (failure injection) — the
-    /// recovery/termination traffic puts it outside the analytic model.
+    /// A fault hit this incarnation (master/cohort crash or message
+    /// loss) — the recovery/retransmission traffic puts it outside the
+    /// analytic model.
     pub crashed: bool,
+    /// Instant of the first crash that hit this incarnation, for the
+    /// blocked-on-crash lock-hold accounting.
+    pub crashed_at: Option<SimTime>,
 }
 
 impl Txn {

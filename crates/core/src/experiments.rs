@@ -429,7 +429,6 @@ pub fn seq(scale: &Scale) -> Result<Experiment, ConfigError> {
 /// detect the crash and terminate on their own.
 pub fn failures(scale: &Scale) -> Result<Experiment, ConfigError> {
     use crate::config::FailureConfig;
-    use simkernel::SimDuration;
     let base = SystemConfig::paper_baseline();
     let protocols = [
         ProtocolSpec::TWO_PC,
@@ -442,11 +441,7 @@ pub fn failures(scale: &Scale) -> Result<Experiment, ConfigError> {
         for spec in protocols {
             let mut cfg = base.clone();
             if p > 0.0 {
-                cfg.failures = Some(FailureConfig {
-                    master_crash_prob: p,
-                    detection_timeout: SimDuration::from_millis(300),
-                    recovery_time: SimDuration::from_secs(5),
-                });
+                cfg.failures = Some(FailureConfig::master_crashes(p));
             }
             specs.push((format!("{} crash={}", spec.name(), label), spec, cfg));
         }
@@ -459,6 +454,53 @@ pub fn failures(scale: &Scale) -> Result<Experiment, ConfigError> {
     Ok(Experiment {
         id: "failures".into(),
         title: "Extension: Master Failures — blocking vs non-blocking".into(),
+        config: base,
+        series,
+    })
+}
+
+/// **Fault-injection extension** — the full fault model at a fixed MPL:
+/// master crashes alone, then cohort crashes added, then message loss
+/// added on top, for 2PC, OPT, 3PC and OPT-3PC. The per-series
+/// [`FaultCounters`](crate::metrics::FaultCounters) — in particular the
+/// mean blocked-on-crash time — make §2.4's blocking argument
+/// measurable: 2PC's blocked time tracks the recovery time while 3PC's
+/// stays bounded by the detection timeout plus termination rounds.
+pub fn fault_injection(scale: &Scale) -> Result<Experiment, ConfigError> {
+    use crate::config::FailureConfig;
+    let base = SystemConfig::paper_baseline();
+    let protocols = [
+        ProtocolSpec::TWO_PC,
+        ProtocolSpec::OPT_2PC,
+        ProtocolSpec::THREE_PC,
+        ProtocolSpec::OPT_3PC,
+    ];
+    let levels: [(f64, f64, f64, &str); 3] = [
+        (0.01, 0.0, 0.0, "mc=1%"),
+        (0.01, 0.005, 0.0, "mc=1% cc=0.5%"),
+        (0.01, 0.005, 0.01, "mc=1% cc=0.5% loss=1%"),
+    ];
+    let mut specs = Vec::new();
+    for &(mc, cc, loss, label) in &levels {
+        for spec in protocols {
+            let mut cfg = base.clone();
+            cfg.failures = Some(FailureConfig {
+                master_crash_prob: mc,
+                cohort_crash_prob: cc,
+                msg_loss_prob: loss,
+                ..FailureConfig::default()
+            });
+            specs.push((format!("{} {}", spec.name(), label), spec, cfg));
+        }
+    }
+    // Like the master-failure sweep, hold MPL fixed and vary the fault
+    // mix instead.
+    let mut scale = scale.clone();
+    scale.mpls = vec![4];
+    let series = sweep(&base, &specs, &scale)?;
+    Ok(Experiment {
+        id: "faults".into(),
+        title: "Extension: Generalized Fault Injection (crashes + message loss)".into(),
         config: base,
         series,
     })
@@ -691,6 +733,7 @@ mod tests {
         check(&expt6_high_distribution(&micro).unwrap(), 4);
         check(&seq(&micro).unwrap(), 5);
         check(&failures(&micro).unwrap(), 16); // 4 protocols x 4 crash rates
+        check(&fault_injection(&micro).unwrap(), 12); // 4 protocols x 3 mixes
     }
 
     #[test]

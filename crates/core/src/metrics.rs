@@ -40,6 +40,18 @@ pub(crate) struct Metrics {
     pub forced_writes: Counter,
     pub borrowed_pages: Counter,
     pub master_crashes: Counter,
+    pub cohort_crashes: Counter,
+    pub messages_lost: Counter,
+    pub retransmissions: Counter,
+    pub retry_escalations: Counter,
+    pub termination_rounds: Counter,
+    pub master_crash_trials: Counter,
+    pub cohort_crash_trials: Counter,
+    pub message_loss_trials: Counter,
+    pub blocked_on_crash_cohorts: Counter,
+    /// Per-cohort time spent prepared *and* waiting out a crash, from
+    /// the later of (crash instant, prepared instant) to the decision.
+    pub crash_block_time: Tally,
     pub response: Tally,
     pub response_hist: DurationHistogram,
     pub attempt_response: Tally,
@@ -76,6 +88,16 @@ impl Metrics {
             forced_writes: Counter::default(),
             borrowed_pages: Counter::default(),
             master_crashes: Counter::default(),
+            cohort_crashes: Counter::default(),
+            messages_lost: Counter::default(),
+            retransmissions: Counter::default(),
+            retry_escalations: Counter::default(),
+            termination_rounds: Counter::default(),
+            master_crash_trials: Counter::default(),
+            cohort_crash_trials: Counter::default(),
+            message_loss_trials: Counter::default(),
+            blocked_on_crash_cohorts: Counter::default(),
+            crash_block_time: Tally::new(),
             response: Tally::new(),
             response_hist: DurationHistogram::new(),
             attempt_response: Tally::new(),
@@ -106,6 +128,16 @@ impl Metrics {
         self.forced_writes = Counter::default();
         self.borrowed_pages = Counter::default();
         self.master_crashes = Counter::default();
+        self.cohort_crashes = Counter::default();
+        self.messages_lost = Counter::default();
+        self.retransmissions = Counter::default();
+        self.retry_escalations = Counter::default();
+        self.termination_rounds = Counter::default();
+        self.master_crash_trials = Counter::default();
+        self.cohort_crash_trials = Counter::default();
+        self.message_loss_trials = Counter::default();
+        self.blocked_on_crash_cohorts = Counter::default();
+        self.crash_block_time = Tally::new();
         self.response = Tally::new();
         self.response_hist = DurationHistogram::new();
         self.attempt_response = Tally::new();
@@ -266,6 +298,95 @@ impl OverheadCheck {
     }
 }
 
+/// Fault-injection observability: what the failure subsystem actually
+/// did during the measurement window (§2.4 failure experiments).
+///
+/// The `*_trials` fields count RNG rolls, so observed fault rates
+/// (`master_crashes / master_crash_trials`, …) can be cross-checked
+/// against the configured probabilities the same way the Tables 3–4
+/// overhead check validates message counts. Everything is exactly zero
+/// when `failures: None` — the fault paths are never entered.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultCounters {
+    /// Masters crashed at their decision point.
+    pub master_crashes: u64,
+    /// Cohorts crashed right after forcing a prepare/precommit record.
+    pub cohort_crashes: u64,
+    /// Coordinator messages dropped in transit.
+    pub messages_lost: u64,
+    /// Timeout-driven retransmissions actually sent.
+    pub retransmissions: u64,
+    /// Retransmissions that exhausted the retry budget and escalated to
+    /// a reliable send.
+    pub retry_escalations: u64,
+    /// 3PC termination-protocol elections run after a master crash.
+    pub termination_rounds: u64,
+    /// Master-crash RNG rolls (denominator for the observed crash rate).
+    pub master_crash_trials: u64,
+    /// Cohort-crash RNG rolls.
+    pub cohort_crash_trials: u64,
+    /// Message-loss RNG rolls.
+    pub message_loss_trials: u64,
+    /// Prepared cohorts that spent time blocked behind a crash.
+    pub blocked_on_crash_cohorts: u64,
+    /// Mean per-cohort blocked-on-crash time, seconds: from the later
+    /// of (crash instant, prepared instant) to the cohort's decision.
+    /// This is the §2.4 blocking metric — unbounded recovery wait under
+    /// 2PC, bounded by detection timeout + termination under 3PC.
+    pub mean_blocked_on_crash_s: f64,
+}
+
+impl FaultCounters {
+    /// True when no fault of any kind fired (the no-failure invariant).
+    pub fn is_quiet(&self) -> bool {
+        self.master_crashes == 0
+            && self.cohort_crashes == 0
+            && self.messages_lost == 0
+            && self.retransmissions == 0
+            && self.retry_escalations == 0
+            && self.termination_rounds == 0
+            && self.master_crash_trials == 0
+            && self.cohort_crash_trials == 0
+            && self.message_loss_trials == 0
+            && self.blocked_on_crash_cohorts == 0
+            && self.mean_blocked_on_crash_s == 0.0
+    }
+
+    /// Merge replications: counts sum; the blocked-time mean is
+    /// weighted by each replication's blocked-cohort count.
+    pub(crate) fn merge(reports: &[SimReport]) -> FaultCounters {
+        let sum = |f: &dyn Fn(&FaultCounters) -> u64| reports.iter().map(|r| f(&r.faults)).sum();
+        let blocked: u64 = reports
+            .iter()
+            .map(|r| r.faults.blocked_on_crash_cohorts)
+            .sum();
+        let mean_blocked = if blocked == 0 {
+            0.0
+        } else {
+            reports
+                .iter()
+                .map(|r| {
+                    r.faults.mean_blocked_on_crash_s * r.faults.blocked_on_crash_cohorts as f64
+                })
+                .sum::<f64>()
+                / blocked as f64
+        };
+        FaultCounters {
+            master_crashes: sum(&|f| f.master_crashes),
+            cohort_crashes: sum(&|f| f.cohort_crashes),
+            messages_lost: sum(&|f| f.messages_lost),
+            retransmissions: sum(&|f| f.retransmissions),
+            retry_escalations: sum(&|f| f.retry_escalations),
+            termination_rounds: sum(&|f| f.termination_rounds),
+            master_crash_trials: sum(&|f| f.master_crash_trials),
+            cohort_crash_trials: sum(&|f| f.cohort_crash_trials),
+            message_loss_trials: sum(&|f| f.message_loss_trials),
+            blocked_on_crash_cohorts: blocked,
+            mean_blocked_on_crash_s: mean_blocked,
+        }
+    }
+}
+
 /// The result of one simulation run — everything the experiment
 /// harness and the figures need.
 #[derive(Debug, Clone)]
@@ -325,9 +446,9 @@ pub struct SimReport {
     /// commit; higher when batching actually groups writes; 0 when no
     /// log write completed).
     pub mean_log_batch: f64,
-    /// Masters crashed at their decision point inside the window
-    /// (failure injection; 0 in the paper's no-failure experiments).
-    pub master_crashes: u64,
+    /// Fault-injection counters (all zero in the paper's no-failure
+    /// experiments).
+    pub faults: FaultCounters,
     /// Total simulation events dispatched (diagnostics).
     pub events: u64,
 }
@@ -468,7 +589,7 @@ impl SimReport {
                 forced_write_delta: sum(&|r| r.overhead_check.forced_write_delta),
             },
             mean_log_batch: mean(&|r| r.mean_log_batch),
-            master_crashes: sum(&|r| r.master_crashes),
+            faults: FaultCounters::merge(reports),
             events: sum(&|r| r.events),
         }
     }
@@ -484,7 +605,7 @@ impl SimReport {
                 l.p99_s * 1e3
             )
         };
-        format!(
+        let mut s = format!(
             "{:<8} MPL {:>2}: {:>7.2} txn/s (±{:>4.1}%), resp {:>6.3}s, block {:>5.3}, borrow {:>5.3}, \
              aborts {:.1}% (deadlock {}, vote {}, cascade {})\n         \
              phase p50/p90/p99 ms: exec {} | vote {} | ack {}",
@@ -502,7 +623,24 @@ impl SimReport {
             phase(&self.phase_latencies.execution),
             phase(&self.phase_latencies.voting),
             phase(&self.phase_latencies.decision),
-        )
+        );
+        if !self.faults.is_quiet() {
+            let f = &self.faults;
+            s.push_str(&format!(
+                "\n         faults: master crashes {}, cohort crashes {}, lost {}, \
+                 retransmits {} (escalated {}), termination rounds {}, \
+                 blocked-on-crash {} cohorts, mean {:.3}s",
+                f.master_crashes,
+                f.cohort_crashes,
+                f.messages_lost,
+                f.retransmissions,
+                f.retry_escalations,
+                f.termination_rounds,
+                f.blocked_on_crash_cohorts,
+                f.mean_blocked_on_crash_s,
+            ));
+        }
+        s
     }
 }
 
@@ -630,7 +768,7 @@ mod tests {
                 forced_write_delta: 0,
             },
             mean_log_batch: 1.0,
-            master_crashes: 0,
+            faults: FaultCounters::default(),
             events: 1,
         }
     }
@@ -711,6 +849,50 @@ mod tests {
         assert_eq!(m.overhead_check.mismatched_commits, 1);
         assert_eq!(m.overhead_check.message_delta, 2);
         assert!(!m.overhead_check.is_clean());
+    }
+
+    #[test]
+    fn merge_sums_fault_counts_and_weights_blocked_time() {
+        let mut a = sample_report();
+        a.faults = FaultCounters {
+            master_crashes: 2,
+            cohort_crashes: 1,
+            messages_lost: 3,
+            retransmissions: 4,
+            retry_escalations: 1,
+            termination_rounds: 2,
+            master_crash_trials: 100,
+            cohort_crash_trials: 50,
+            message_loss_trials: 200,
+            blocked_on_crash_cohorts: 1,
+            mean_blocked_on_crash_s: 5.0,
+        };
+        let mut b = sample_report();
+        b.faults.blocked_on_crash_cohorts = 3;
+        b.faults.mean_blocked_on_crash_s = 1.0;
+        b.faults.master_crash_trials = 100;
+        let m = SimReport::merge_replications(&[a, b]);
+        assert_eq!(m.faults.master_crashes, 2);
+        assert_eq!(m.faults.messages_lost, 3);
+        assert_eq!(m.faults.retransmissions, 4);
+        assert_eq!(m.faults.termination_rounds, 2);
+        assert_eq!(m.faults.master_crash_trials, 200);
+        assert_eq!(m.faults.blocked_on_crash_cohorts, 4);
+        // Weighted: (1*5.0 + 3*1.0) / 4 = 2.0
+        assert!((m.faults.mean_blocked_on_crash_s - 2.0).abs() < 1e-12);
+        assert!(!m.faults.is_quiet());
+    }
+
+    #[test]
+    fn quiet_faults_are_quiet_and_stay_out_of_the_summary() {
+        let r = sample_report();
+        assert!(r.faults.is_quiet());
+        assert!(!r.summary().contains("faults:"));
+        let mut f = sample_report();
+        f.faults.master_crashes = 7;
+        f.faults.master_crash_trials = 90;
+        assert!(!f.faults.is_quiet());
+        assert!(f.summary().contains("master crashes 7"), "{}", f.summary());
     }
 
     #[test]

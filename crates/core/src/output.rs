@@ -188,6 +188,18 @@ pub fn render_phase_csv(exp: &Experiment) -> String {
     out
 }
 
+/// The sweep CLI's `--csv` output: the throughput CSV (means plus 90%
+/// CI half-widths) followed by a blank line and the per-phase latency
+/// percentile CSV — two machine-readable blocks from the same runs.
+/// Like every renderer over a [`sweep`](crate::experiments::sweep)
+/// result, the output is byte-identical for every `--jobs` count.
+pub fn render_sweep_csv(exp: &Experiment) -> String {
+    let mut out = render_csv_ci(exp);
+    out.push('\n');
+    out.push_str(&render_phase_csv(exp));
+    out
+}
+
 /// Render one metric as CSV (`mpl,<series...>`), for plotting.
 pub fn render_csv(exp: &Experiment, metric: Metric) -> String {
     let mut out = String::new();
@@ -373,6 +385,16 @@ mod tests {
         let first = csv.lines().nth(1).unwrap();
         let exec_p50: f64 = first.split(',').nth(1).unwrap().parse().unwrap();
         assert!(exec_p50 > 0.0);
+    }
+
+    #[test]
+    fn sweep_csv_concatenates_both_blocks() {
+        let e = tiny_experiment();
+        let csv = render_sweep_csv(&e);
+        let blocks: Vec<&str> = csv.split("\n\n").collect();
+        assert_eq!(blocks.len(), 2, "throughput block + phase block");
+        assert_eq!(blocks[0], render_csv_ci(&e).trim_end_matches('\n'));
+        assert!(blocks[1].starts_with("mpl,2PC exec p50"));
     }
 
     #[test]

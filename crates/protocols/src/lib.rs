@@ -22,4 +22,4 @@ pub mod overheads;
 pub mod spec;
 
 pub use overheads::{AbortScenario, Overheads, ReadOnlyScenario};
-pub use spec::{BaseProtocol, ProtocolSpec};
+pub use spec::{BaseProtocol, ProtocolSpec, RecoveryAction, RecoveryRecord};

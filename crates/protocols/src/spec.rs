@@ -165,6 +165,59 @@ impl fmt::Display for BaseProtocol {
     }
 }
 
+/// The last record a restarting cohort finds force-written in its log
+/// for an in-doubt transaction (recovery-log replay, §2.2–2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryRecord {
+    /// No forced record for the transaction survived the crash.
+    None,
+    /// The cohort's forced prepare record.
+    Prepared,
+    /// The cohort's forced 3PC precommit record.
+    Precommitted,
+}
+
+/// What a restarted cohort does after replaying its log, per the
+/// protocol's presumption rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryAction {
+    /// No record ⇒ the cohort never voted, so the master cannot have
+    /// committed; the cohort aborts unilaterally (the in-case-of-doubt
+    /// rule every variant shares before the prepare record is forced).
+    PresumeAbort,
+    /// A prepare record ⇒ the cohort is in doubt: it re-sends its YES
+    /// vote and asks the master for the outcome.
+    ResendVote,
+    /// A 3PC precommit record ⇒ re-send the precommit ack; the
+    /// termination rule commits from this state.
+    ResendPreAck,
+}
+
+impl BaseProtocol {
+    /// The action a restarted cohort takes for a transaction whose last
+    /// forced log record is `record`. Baselines never crash-recover a
+    /// cohort (they have no cohort records), so they presume abort for
+    /// every record state.
+    pub fn recovery_action(self, record: RecoveryRecord) -> RecoveryAction {
+        if !self.has_voting_phase() {
+            return RecoveryAction::PresumeAbort;
+        }
+        match record {
+            RecoveryRecord::None => RecoveryAction::PresumeAbort,
+            RecoveryRecord::Prepared => RecoveryAction::ResendVote,
+            // Only 3PC writes precommit records; a precommitted cohort
+            // re-announces that state so termination can commit.
+            RecoveryRecord::Precommitted => {
+                if self.precommit_phase() {
+                    RecoveryAction::ResendPreAck
+                } else {
+                    RecoveryAction::ResendVote
+                }
+            }
+        }
+    }
+}
+
 /// A complete protocol choice: a base schedule plus, optionally, the
 /// OPT lending rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -434,6 +487,44 @@ mod tests {
             assert!(b.master_decision_forced(true));
             assert!(b.master_decision_forced(false));
         }
+    }
+
+    #[test]
+    fn recovery_replay_follows_presumption_rules() {
+        use RecoveryAction::*;
+        use RecoveryRecord::*;
+        // No forced record: every protocol presumes abort.
+        for b in BaseProtocol::ALL {
+            assert_eq!(b.recovery_action(None), PresumeAbort, "{b}");
+        }
+        // A prepare record leaves a voting cohort in doubt.
+        for b in [
+            BaseProtocol::TwoPC,
+            BaseProtocol::PresumedAbort,
+            BaseProtocol::PresumedCommit,
+            BaseProtocol::ThreePC,
+            BaseProtocol::Linear2PC,
+        ] {
+            assert_eq!(b.recovery_action(Prepared), ResendVote, "{b}");
+        }
+        // Only 3PC recovers into the precommitted state.
+        assert_eq!(
+            BaseProtocol::ThreePC.recovery_action(Precommitted),
+            ResendPreAck
+        );
+        assert_eq!(
+            BaseProtocol::TwoPC.recovery_action(Precommitted),
+            ResendVote
+        );
+        // Baselines have no cohort log records at all.
+        assert_eq!(
+            BaseProtocol::Centralized.recovery_action(Prepared),
+            PresumeAbort
+        );
+        assert_eq!(
+            BaseProtocol::Dpcc.recovery_action(Precommitted),
+            PresumeAbort
+        );
     }
 
     #[test]

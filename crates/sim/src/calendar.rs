@@ -237,6 +237,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "scheduling into the past")]
+    #[cfg(debug_assertions)] // the guard is a debug_assert; release compiles it out
     fn scheduling_into_the_past_panics_in_debug() {
         let mut cal = Calendar::new();
         cal.schedule_at(SimTime(10), ());

@@ -11,7 +11,6 @@
 use distcommit::db::config::{FailureConfig, SystemConfig};
 use distcommit::db::engine::Simulation;
 use distcommit::proto::ProtocolSpec;
-use simkernel::SimDuration;
 
 fn main() {
     let mut base = SystemConfig::paper_baseline();
@@ -30,11 +29,7 @@ fn main() {
     for &p in &[0.0, 0.001, 0.005, 0.01, 0.02, 0.05] {
         let mut cfg = base.clone();
         if p > 0.0 {
-            cfg.failures = Some(FailureConfig {
-                master_crash_prob: p,
-                detection_timeout: SimDuration::from_millis(300),
-                recovery_time: SimDuration::from_secs(5),
-            });
+            cfg.failures = Some(FailureConfig::master_crashes(p));
         }
         let t = |spec| {
             Simulation::run(&cfg, spec, 42)

@@ -12,10 +12,12 @@
 //! are the simulation crates); [`parse`] is pure and unit-tested.
 
 use commitproto::ProtocolSpec;
-use distdb::config::{ResourceMode, RestartPolicy, SystemConfig, TransType};
+use distdb::config::{FailureConfig, ResourceMode, RestartPolicy, SystemConfig, TransType};
 use distdb::engine::Simulation;
 use distdb::experiments::{self, Scale};
-use distdb::output::{render_ascii_chart, render_peaks, render_table, render_table_ci, Metric};
+use distdb::output::{
+    render_ascii_chart, render_peaks, render_sweep_csv, render_table, render_table_ci, Metric,
+};
 use simkernel::SimDuration;
 use std::fmt;
 
@@ -37,7 +39,7 @@ pub enum Command {
         txns: u64,
         out: Option<String>,
     },
-    /// Protocols × MPLs sweep with tables and a chart.
+    /// Protocols × MPLs sweep with tables and a chart, or CSV.
     Sweep {
         cfg: SystemConfig,
         protocols: Vec<ProtocolSpec>,
@@ -45,6 +47,7 @@ pub enum Command {
         seed: u64,
         reps: u32,
         jobs: Option<usize>,
+        csv: bool,
     },
     /// A named paper experiment (`fig1`, `fig2`, `expt3`, `fig3`,
     /// `fig4`, `fig5`, `seq`).
@@ -84,7 +87,7 @@ USAGE:
   distcommit run   [OPTIONS]                 one simulation run
   distcommit trace [OPTIONS]                 per-txn commit choreography
   distcommit sweep [OPTIONS]                 protocols x MPLs sweep
-  distcommit experiment <fig1|fig2|expt3|fig3|fig4|fig5|seq|failures>
+  distcommit experiment <fig1|fig2|expt3|fig3|fig4|fig5|seq|failures|faults>
                         [--full] [--reps N] [--jobs N]
   distcommit tables                          Tables 2-4
   distcommit help
@@ -94,6 +97,24 @@ TRACE:
                            run (default 3)
   --out <FILE>             also write Chrome trace-event JSON, loadable
                            in chrome://tracing or Perfetto
+
+SWEEP OUTPUT:
+  --csv                    emit CSV instead of tables/chart: throughput
+                           (mean + 90% CI half-width per series), a
+                           blank line, then per-phase p50/p90/p99
+                           latencies; byte-identical for every --jobs
+
+FAULT INJECTION (run, trace & sweep):
+  --faults <K=V,..>        enable the failure model; keys:
+                             mc=P                 master crash probability
+                             cc=P                 cohort crash probability
+                             loss=P               message loss probability
+                             detect-ms=MS         3PC crash-detection timeout (300)
+                             recover-ms=MS        master recovery time (5000)
+                             cohort-recover-ms=MS cohort recovery time (1000)
+                             retry-ms=MS          retransmission timeout (100)
+                             retries=N            max retransmissions (3)
+                           e.g. --faults mc=0.01,cc=0.005,loss=0.01
 
 PARALLELISM & REPLICATIONS (sweep & experiment):
   --jobs <N>               worker threads for the run grid (default:
@@ -160,6 +181,38 @@ fn parse_list<T: std::str::FromStr>(flag: &str, v: &str) -> Result<Vec<T>, CliEr
         .collect()
 }
 
+/// Parse a `--faults` specification: comma-separated `key=value`
+/// pairs over [`FailureConfig::default`] (all probabilities zero, the
+/// failure suite's timing constants).
+fn parse_faults(v: &str) -> Result<FailureConfig, CliError> {
+    let mut f = FailureConfig::default();
+    let ms = |key: &str, val: &str| -> Result<SimDuration, CliError> {
+        Ok(SimDuration::from_millis_f64(parse_num(key, val)?))
+    };
+    for part in v.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let Some((key, val)) = part.split_once('=') else {
+            return err(format!("--faults: expected key=value, got {part:?}"));
+        };
+        match key {
+            "mc" => f.master_crash_prob = parse_num(key, val)?,
+            "cc" => f.cohort_crash_prob = parse_num(key, val)?,
+            "loss" => f.msg_loss_prob = parse_num(key, val)?,
+            "detect-ms" => f.detection_timeout = ms(key, val)?,
+            "recover-ms" => f.recovery_time = ms(key, val)?,
+            "cohort-recover-ms" => f.cohort_recovery_time = ms(key, val)?,
+            "retry-ms" => f.msg_timeout = ms(key, val)?,
+            "retries" => f.max_retransmits = parse_num(key, val)?,
+            other => {
+                return err(format!(
+                    "--faults: unknown key {other:?} (mc, cc, loss, detect-ms, \
+                     recover-ms, cohort-recover-ms, retry-ms, retries)"
+                ))
+            }
+        }
+    }
+    Ok(f)
+}
+
 /// Parse an argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let Some(sub) = args.first() else {
@@ -222,10 +275,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut seed = 42u64;
             let mut reps = 1u32;
             let mut jobs = None;
+            let mut csv = false;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--protocol" => protocol = parse_protocol(take_value(a, &mut it)?)?,
+                    "--csv" => csv = true,
+                    "--faults" => cfg.failures = Some(parse_faults(take_value(a, &mut it)?)?),
                     "--txns" => txns = parse_num(a, take_value(a, &mut it)?)?,
                     "--out" => out = Some(take_value(a, &mut it)?.clone()),
                     "--reps" => reps = parse_num(a, take_value(a, &mut it)?)?,
@@ -298,6 +354,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             if sub != "trace" && (txns != 3 || out.is_some()) {
                 return err("--txns/--out apply to trace only");
             }
+            if sub != "sweep" && csv {
+                return err("--csv applies to sweep only");
+            }
             if sub == "run" || sub == "trace" {
                 if reps != 1 || jobs.is_some() {
                     return err("--reps/--jobs apply to sweep and experiment, not run/trace");
@@ -333,6 +392,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     seed,
                     reps,
                     jobs,
+                    csv,
                 })
             }
         }
@@ -511,6 +571,7 @@ pub fn execute(cmd: Command) -> i32 {
             seed,
             reps,
             jobs,
+            csv,
         } => {
             let scale = Scale {
                 warmup: cfg.run.warmup_transactions,
@@ -532,6 +593,10 @@ pub fn execute(cmd: Command) -> i32 {
                         config: cfg,
                         series,
                     };
+                    if csv {
+                        print!("{}", render_sweep_csv(&exp));
+                        return 0;
+                    }
                     if reps >= 2 {
                         print!("{}", render_table_ci(&exp));
                     } else {
@@ -578,9 +643,11 @@ pub fn execute(cmd: Command) -> i32 {
                 "fig5" => experiments::fig5(&scale).map(|(a, b)| vec![a, b]),
                 "seq" => experiments::seq(&scale).map(|e| vec![e]),
                 "failures" => experiments::failures(&scale).map(|e| vec![e]),
+                "faults" => experiments::fault_injection(&scale).map(|e| vec![e]),
                 other => {
                     eprintln!(
-                        "unknown experiment {other:?} (fig1|fig2|expt3|fig3|fig4|fig5|seq|failures)"
+                        "unknown experiment {other:?} \
+                         (fig1|fig2|expt3|fig3|fig4|fig5|seq|failures|faults)"
                     );
                     return 1;
                 }
@@ -765,6 +832,56 @@ mod tests {
         );
         assert!(parse(&argv("experiment fig1 --reps 0")).is_err());
         assert!(parse(&argv("experiment fig1 --jobs")).is_err());
+    }
+
+    #[test]
+    fn faults_flag_parses_key_value_pairs() {
+        let Command::Run { cfg, .. } = parse(&argv(
+            "run --faults mc=0.01,cc=0.005,loss=0.02,detect-ms=200,recover-ms=4000,\
+             cohort-recover-ms=800,retry-ms=50,retries=2",
+        ))
+        .unwrap() else {
+            panic!("expected Run");
+        };
+        let f = cfg.failures.unwrap();
+        assert_eq!(f.master_crash_prob, 0.01);
+        assert_eq!(f.cohort_crash_prob, 0.005);
+        assert_eq!(f.msg_loss_prob, 0.02);
+        assert_eq!(f.detection_timeout, SimDuration::from_millis(200));
+        assert_eq!(f.recovery_time, SimDuration::from_millis(4000));
+        assert_eq!(f.cohort_recovery_time, SimDuration::from_millis(800));
+        assert_eq!(f.msg_timeout, SimDuration::from_millis(50));
+        assert_eq!(f.max_retransmits, 2);
+        // Unspecified keys keep the suite's defaults.
+        let Command::Trace { cfg, .. } = parse(&argv("trace --faults mc=0.05")).unwrap() else {
+            panic!("expected Trace");
+        };
+        let f = cfg.failures.unwrap();
+        assert_eq!(f.master_crash_prob, 0.05);
+        assert_eq!(f.cohort_crash_prob, 0.0);
+        assert_eq!(f.max_retransmits, 3);
+        // Bad keys, bad shapes and invalid probabilities are rejected.
+        assert!(parse(&argv("run --faults bogus=1")).is_err());
+        assert!(parse(&argv("run --faults mc")).is_err());
+        assert!(parse(&argv("run --faults mc=1.5")).is_err()); // validation
+        assert!(parse(&argv("run --faults")).is_err());
+    }
+
+    #[test]
+    fn csv_flag_is_sweep_only() {
+        let Command::Sweep { csv, .. } =
+            parse(&argv("sweep --protocols 2PC --mpls 1,2 --csv")).unwrap()
+        else {
+            panic!("expected Sweep");
+        };
+        assert!(csv);
+        let Command::Sweep { csv, .. } = parse(&argv("sweep --protocols 2PC --mpls 1")).unwrap()
+        else {
+            panic!("expected Sweep");
+        };
+        assert!(!csv);
+        assert!(parse(&argv("run --csv")).is_err());
+        assert!(parse(&argv("trace --csv")).is_err());
     }
 
     #[test]

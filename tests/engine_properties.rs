@@ -92,7 +92,7 @@ fn random_configs_run_clean() {
             assert_eq!(r.aborted_surprise, 0);
         }
         // no failures configured => none observed
-        assert_eq!(r.master_crashes, 0);
+        assert_eq!(r.faults.master_crashes, 0);
     }
 }
 

@@ -13,27 +13,45 @@ use simkernel::SimDuration;
 fn failing_cfg(p: f64) -> SystemConfig {
     let mut cfg = SystemConfig::paper_baseline();
     cfg.mpl = 4;
-    cfg.failures = Some(FailureConfig {
-        master_crash_prob: p,
-        detection_timeout: SimDuration::from_millis(300),
-        recovery_time: SimDuration::from_secs(5),
-    });
+    cfg.failures = Some(FailureConfig::master_crashes(p));
     cfg.run.warmup_transactions = 100;
     cfg.run.measured_transactions = 1_000;
     cfg
 }
 
+/// CI's failure matrix re-runs this suite under shifted seeds
+/// (`DISTCOMMIT_TEST_SEED_OFFSET`); every assertion here is structural
+/// and must hold for any seed.
+fn seed_offset() -> u64 {
+    std::env::var("DISTCOMMIT_TEST_SEED_OFFSET")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
 fn run(cfg: &SystemConfig, spec: ProtocolSpec, seed: u64) -> SimReport {
-    Simulation::run(cfg, spec, seed).expect("valid config")
+    Simulation::run(cfg, spec, seed + seed_offset()).expect("valid config")
 }
 
 #[test]
 fn crashes_happen_at_the_configured_rate() {
-    let r = run(&failing_cfg(0.05), ProtocolSpec::THREE_PC, 1);
-    let rate = r.master_crashes as f64 / r.committed as f64;
+    // Average the observed rate over several independent seeds: a
+    // single run's rate is itself a random variable with noticeable
+    // variance at 1 000 transactions, so a per-seed tolerance band is
+    // either flaky or vacuous. The trials counter is the exact
+    // denominator — every committed decision point rolls once.
+    let mut crashes = 0u64;
+    let mut trials = 0u64;
+    for seed in 1..=4 {
+        let r = run(&failing_cfg(0.05), ProtocolSpec::THREE_PC, seed);
+        assert!(r.faults.master_crash_trials > 0);
+        crashes += r.faults.master_crashes;
+        trials += r.faults.master_crash_trials;
+    }
+    let rate = crashes as f64 / trials as f64;
     assert!(
-        (rate - 0.05).abs() < 0.02,
-        "crash rate {rate:.3}, expected ≈ 0.05"
+        (rate - 0.05).abs() < 0.01,
+        "crash rate {rate:.3} over {trials} trials, expected ≈ 0.05"
     );
 }
 
@@ -42,7 +60,7 @@ fn no_failures_without_the_config() {
     let mut cfg = failing_cfg(0.05);
     cfg.failures = None;
     let r = run(&cfg, ProtocolSpec::TWO_PC, 2);
-    assert_eq!(r.master_crashes, 0);
+    assert_eq!(r.faults.master_crashes, 0);
 }
 
 #[test]
@@ -55,7 +73,7 @@ fn blocking_protocols_stall_with_the_crashed_master() {
         run(&c, ProtocolSpec::TWO_PC, 3)
     };
     let crashed = run(&failing_cfg(0.01), ProtocolSpec::TWO_PC, 3);
-    assert!(crashed.master_crashes > 0);
+    assert!(crashed.faults.master_crashes > 0);
     assert!(
         crashed.throughput < clean.throughput * 0.85,
         "1% crashes should cost 2PC dearly ({:.2} vs {:.2})",
@@ -111,15 +129,16 @@ fn termination_choreography() {
     cfg.mpl = 1;
     cfg.run.warmup_transactions = 0;
     cfg.run.measured_transactions = 20;
-    let (report, tr) = Simulation::run_traced(&cfg, ProtocolSpec::THREE_PC, 6, 5).unwrap();
+    let (report, tr) =
+        Simulation::run_traced(&cfg, ProtocolSpec::THREE_PC, 6 + seed_offset(), 5).unwrap();
     // p = 1.0: every committed transaction crashed first; up to one
     // crashed-but-unterminated transaction per site may straddle the
     // window end.
-    assert!(report.master_crashes >= report.committed);
+    assert!(report.faults.master_crashes >= report.committed);
     assert!(
-        report.master_crashes - report.committed <= 8,
+        report.faults.master_crashes - report.committed <= 8,
         "crashes {} vs commits {}",
-        report.master_crashes,
+        report.faults.master_crashes,
         report.committed
     );
 
@@ -155,8 +174,9 @@ fn blocking_recovery_resumes_and_commits() {
     cfg.mpl = 1;
     cfg.run.warmup_transactions = 0;
     cfg.run.measured_transactions = 10;
-    let (report, tr) = Simulation::run_traced(&cfg, ProtocolSpec::TWO_PC, 7, 3).unwrap();
-    assert!(report.master_crashes > 0);
+    let (report, tr) =
+        Simulation::run_traced(&cfg, ProtocolSpec::TWO_PC, 7 + seed_offset(), 3).unwrap();
+    assert!(report.faults.master_crashes > 0);
     // Each crashed transaction eventually decided commit (after
     // recovery) and the response time shows the 5 s stall.
     assert!(
@@ -183,7 +203,7 @@ fn failures_are_deterministic() {
     let a = run(&cfg, ProtocolSpec::OPT_3PC, 8);
     let b = run(&cfg, ProtocolSpec::OPT_3PC, 8);
     assert_eq!(a.events, b.events);
-    assert_eq!(a.master_crashes, b.master_crashes);
+    assert_eq!(a.faults.master_crashes, b.faults.master_crashes);
     assert!((a.throughput - b.throughput).abs() < 1e-12);
 }
 
@@ -194,8 +214,8 @@ fn invalid_failure_configs_are_rejected() {
     cfg = failing_cfg(0.5);
     cfg.failures = Some(FailureConfig {
         master_crash_prob: 0.5,
-        detection_timeout: SimDuration::from_millis(300),
         recovery_time: SimDuration::ZERO,
+        ..FailureConfig::default()
     });
     assert!(cfg.validate().is_err());
 }

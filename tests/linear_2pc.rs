@@ -213,11 +213,7 @@ fn linear_rejects_incompatible_features() {
     assert!(Simulation::run(&cfg, ProtocolSpec::LINEAR_2PC, 7).is_err());
 
     let mut cfg = conflict_free();
-    cfg.failures = Some(distcommit::db::config::FailureConfig {
-        master_crash_prob: 0.01,
-        detection_timeout: simkernel::SimDuration::from_millis(300),
-        recovery_time: simkernel::SimDuration::from_secs(5),
-    });
+    cfg.failures = Some(distcommit::db::config::FailureConfig::master_crashes(0.01));
     assert!(Simulation::run(&cfg, ProtocolSpec::LINEAR_2PC, 7).is_err());
 }
 

@@ -1,0 +1,54 @@
+//! Golden determinism of the sweep CSV export (`distcommit sweep
+//! --csv`): the combined throughput + phase-latency CSV must be
+//! byte-identical regardless of how many worker threads executed the
+//! grid — including when fault injection is active, since the fault
+//! schedule is part of each cell's seeded stream.
+
+use distcommit::db::config::{FailureConfig, SystemConfig};
+use distcommit::db::experiments::{sweep, Experiment, Scale};
+use distcommit::db::output::render_sweep_csv;
+use distcommit::proto::ProtocolSpec;
+
+fn build(jobs: Option<usize>) -> Experiment {
+    let cfg = SystemConfig::paper_baseline();
+    let mut faulty = cfg.clone();
+    faulty.failures = Some(FailureConfig::master_crashes(0.02));
+    let scale = Scale {
+        warmup: 10,
+        measured: 120,
+        mpls: vec![1, 2, 4],
+        seed: 11,
+        replications: 2,
+        jobs,
+    };
+    let specs = vec![
+        ("2PC".to_string(), ProtocolSpec::TWO_PC, cfg.clone()),
+        ("3PC".to_string(), ProtocolSpec::THREE_PC, cfg.clone()),
+        ("2PC faulty".to_string(), ProtocolSpec::TWO_PC, faulty),
+    ];
+    Experiment {
+        id: "csv-golden".into(),
+        title: "sweep csv golden".into(),
+        config: cfg.clone(),
+        series: sweep(&cfg, &specs, &scale).unwrap(),
+    }
+}
+
+#[test]
+fn sweep_csv_is_byte_identical_across_worker_counts() {
+    let serial = render_sweep_csv(&build(Some(1)));
+    let parallel = render_sweep_csv(&build(Some(4)));
+    assert_eq!(serial, parallel);
+
+    // Shape: two blank-line-separated blocks, each with a header and
+    // one row per MPL; NaN never appears on a fully populated grid.
+    let blocks: Vec<&str> = serial.split("\n\n").collect();
+    assert_eq!(blocks.len(), 2);
+    for block in &blocks {
+        assert_eq!(block.trim_end().lines().count(), 1 + 3, "{block}");
+    }
+    assert!(blocks[0].starts_with("mpl,2PC,2PC ci90"));
+    assert!(blocks[1].starts_with("mpl,"));
+    assert!(blocks[1].contains("exec p50"));
+    assert!(!serial.contains("NaN"));
+}
