@@ -91,6 +91,33 @@ pub struct FailureConfig {
 }
 
 impl FailureConfig {
+    /// The `key=value` vocabulary accepted by [`std::str::FromStr`], as
+    /// `(key=SHAPE, description)` pairs. This table is the single
+    /// source of truth: the parser derives its unknown-key error from
+    /// it and the CLI usage text renders it verbatim, so the two can
+    /// never drift apart. Defaults in parentheses are those of
+    /// [`FailureConfig::default`].
+    pub const CLI_KEYS: [(&'static str, &'static str); 8] = [
+        ("mc=P", "master crash probability"),
+        ("cc=P", "cohort crash probability"),
+        ("loss=P", "message loss probability"),
+        ("detect-ms=MS", "3PC crash-detection timeout (300)"),
+        ("recover-ms=MS", "master recovery time (5000)"),
+        ("cohort-recover-ms=MS", "cohort recovery time (1000)"),
+        ("retry-ms=MS", "retransmission timeout (100)"),
+        ("retries=N", "max retransmissions (3)"),
+    ];
+
+    /// The bare key names from [`Self::CLI_KEYS`], comma-joined — the
+    /// vocabulary listed in unknown-key errors.
+    fn known_keys() -> String {
+        Self::CLI_KEYS
+            .iter()
+            .map(|(k, _)| k.split('=').next().unwrap_or(k))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
     /// Master crashes only, matching the pre-existing single-fault
     /// model: crash probability `p`, 300 ms detection timeout, 5 s
     /// recovery. Cohort-crash and message-loss probabilities are zero.
@@ -99,6 +126,60 @@ impl FailureConfig {
             master_crash_prob: p,
             ..Self::default()
         }
+    }
+}
+
+impl std::str::FromStr for FailureConfig {
+    type Err = String;
+
+    /// Parse a comma-separated `key=value` failure specification over
+    /// [`FailureConfig::default`] — the format the CLI's `--faults`
+    /// flag takes. Keys are listed in [`FailureConfig::CLI_KEYS`];
+    /// unspecified keys keep their defaults.
+    ///
+    /// ```
+    /// use distdb::config::FailureConfig;
+    /// let f: FailureConfig = "mc=0.01,loss=0.02,retries=2".parse().unwrap();
+    /// assert_eq!(f.master_crash_prob, 0.01);
+    /// assert_eq!(f.max_retransmits, 2);
+    /// assert_eq!(f.cohort_crash_prob, 0.0); // default preserved
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut f = FailureConfig::default();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let Some((key, val)) = part.split_once('=') else {
+                return Err(format!("expected key=value, got {part:?}"));
+            };
+            let num = |out: &mut f64| -> Result<(), String> {
+                *out = val
+                    .parse()
+                    .map_err(|_| format!("{key}: cannot parse {val:?}"))?;
+                Ok(())
+            };
+            let ms = |out: &mut SimDuration| -> Result<(), String> {
+                let v: f64 = val
+                    .parse()
+                    .map_err(|_| format!("{key}: cannot parse {val:?}"))?;
+                *out = SimDuration::from_millis_f64(v);
+                Ok(())
+            };
+            match key {
+                "mc" => num(&mut f.master_crash_prob)?,
+                "cc" => num(&mut f.cohort_crash_prob)?,
+                "loss" => num(&mut f.msg_loss_prob)?,
+                "detect-ms" => ms(&mut f.detection_timeout)?,
+                "recover-ms" => ms(&mut f.recovery_time)?,
+                "cohort-recover-ms" => ms(&mut f.cohort_recovery_time)?,
+                "retry-ms" => ms(&mut f.msg_timeout)?,
+                "retries" => {
+                    f.max_retransmits = val
+                        .parse()
+                        .map_err(|_| format!("{key}: cannot parse {val:?}"))?
+                }
+                other => return Err(format!("unknown key {other:?} ({})", Self::known_keys())),
+            }
+        }
+        Ok(f)
     }
 }
 
@@ -309,6 +390,82 @@ impl SystemConfig {
             msg_cpu: SimDuration::from_millis(1),
             ..self.clone()
         }
+    }
+
+    /// Set the multiprogramming level. Chainable builder form of the
+    /// public `mpl` field, for config pipelines that start from a
+    /// preset: `SystemConfig::paper_baseline().with_mpl(4)`.
+    #[must_use]
+    pub fn with_mpl(mut self, mpl: u32) -> Self {
+        self.mpl = mpl;
+        self
+    }
+
+    /// Set the run length: `warmup` transactions before statistics
+    /// start, then `measured` transactions in the measurement window.
+    #[must_use]
+    pub fn with_run_length(mut self, warmup: u64, measured: u64) -> Self {
+        self.run.warmup_transactions = warmup;
+        self.run.measured_transactions = measured;
+        self
+    }
+
+    /// Set the database size in pages (spread uniformly across sites).
+    #[must_use]
+    pub fn with_db_size(mut self, pages: u64) -> Self {
+        self.db_size = pages;
+        self
+    }
+
+    /// Set the page update probability.
+    #[must_use]
+    pub fn with_update_prob(mut self, p: f64) -> Self {
+        self.update_prob = p;
+        self
+    }
+
+    /// Set the transaction shape: `dist_degree` cohorts of
+    /// `cohort_size` mean pages each.
+    #[must_use]
+    pub fn with_shape(mut self, dist_degree: u32, cohort_size: u32) -> Self {
+        self.dist_degree = dist_degree;
+        self.cohort_size = cohort_size;
+        self
+    }
+
+    /// Enable the failure model with the given fault configuration.
+    #[must_use]
+    pub fn with_failures(mut self, failures: FailureConfig) -> Self {
+        self.failures = Some(failures);
+        self
+    }
+
+    /// Set the cohort surprise NO-vote probability (§5.7).
+    #[must_use]
+    pub fn with_cohort_abort_prob(mut self, p: f64) -> Self {
+        self.cohort_abort_prob = p;
+        self
+    }
+
+    /// Enable or disable the Read-Only commit optimization (§3.2).
+    #[must_use]
+    pub fn with_read_only_optimization(mut self, on: bool) -> Self {
+        self.read_only_optimization = on;
+        self
+    }
+
+    /// Set sequential or parallel cohort execution.
+    #[must_use]
+    pub fn with_trans_type(mut self, t: TransType) -> Self {
+        self.trans_type = t;
+        self
+    }
+
+    /// Set the number of data disks per site.
+    #[must_use]
+    pub fn with_data_disks(mut self, n: u32) -> Self {
+        self.num_data_disks = n;
+        self
     }
 
     /// Pages per site (`DBSize / NumSites`; validation requires the
@@ -575,6 +732,92 @@ mod tests {
         assert_eq!(f.msg_loss_prob, 0.0);
         assert_eq!(f.detection_timeout, SimDuration::from_millis(300));
         assert_eq!(f.recovery_time, SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn failure_config_parses_every_key() {
+        let f: FailureConfig = "mc=0.01,cc=0.005,loss=0.02,detect-ms=200,\
+             recover-ms=4000,cohort-recover-ms=800,retry-ms=50,retries=2"
+            .parse()
+            .unwrap();
+        assert_eq!(f.master_crash_prob, 0.01);
+        assert_eq!(f.cohort_crash_prob, 0.005);
+        assert_eq!(f.msg_loss_prob, 0.02);
+        assert_eq!(f.detection_timeout, SimDuration::from_millis(200));
+        assert_eq!(f.recovery_time, SimDuration::from_millis(4000));
+        assert_eq!(f.cohort_recovery_time, SimDuration::from_millis(800));
+        assert_eq!(f.msg_timeout, SimDuration::from_millis(50));
+        assert_eq!(f.max_retransmits, 2);
+    }
+
+    #[test]
+    fn failure_config_parse_keeps_defaults_for_unset_keys() {
+        let f: FailureConfig = "mc=0.05".parse().unwrap();
+        assert_eq!(f.master_crash_prob, 0.05);
+        assert_eq!(f.cohort_crash_prob, 0.0);
+        assert_eq!(f.max_retransmits, 3);
+        // The empty spec is the default config verbatim.
+        assert_eq!(
+            "".parse::<FailureConfig>().unwrap(),
+            FailureConfig::default()
+        );
+    }
+
+    #[test]
+    fn failure_config_parse_errors_name_the_problem() {
+        let e = "bogus=1".parse::<FailureConfig>().unwrap_err();
+        assert!(e.contains("unknown key \"bogus\""), "{e}");
+        // The error lists the vocabulary, sourced from CLI_KEYS.
+        for key in ["mc", "cc", "loss", "detect-ms", "retries"] {
+            assert!(e.contains(key), "{e} missing {key}");
+        }
+        let e = "mc".parse::<FailureConfig>().unwrap_err();
+        assert!(e.contains("expected key=value"), "{e}");
+        let e = "mc=x".parse::<FailureConfig>().unwrap_err();
+        assert!(e.contains("mc: cannot parse \"x\""), "{e}");
+        let e = "retries=1.5".parse::<FailureConfig>().unwrap_err();
+        assert!(e.contains("retries"), "{e}");
+    }
+
+    #[test]
+    fn cli_keys_cover_every_failure_field() {
+        // 8 struct fields, 8 documented keys: adding a field without
+        // extending the key table fails here.
+        assert_eq!(FailureConfig::CLI_KEYS.len(), 8);
+        for (key, desc) in FailureConfig::CLI_KEYS {
+            assert!(key.contains('='), "{key} lacks a value shape");
+            assert!(!desc.is_empty());
+        }
+    }
+
+    #[test]
+    fn builders_compose_and_match_field_assignment() {
+        let b = SystemConfig::paper_baseline()
+            .with_mpl(6)
+            .with_run_length(100, 1_000)
+            .with_db_size(16_000)
+            .with_update_prob(0.5)
+            .with_shape(6, 3)
+            .with_failures(FailureConfig::master_crashes(0.01))
+            .with_cohort_abort_prob(0.02)
+            .with_read_only_optimization(true)
+            .with_trans_type(TransType::Sequential)
+            .with_data_disks(3);
+        let mut m = SystemConfig::paper_baseline();
+        m.mpl = 6;
+        m.run.warmup_transactions = 100;
+        m.run.measured_transactions = 1_000;
+        m.db_size = 16_000;
+        m.update_prob = 0.5;
+        m.dist_degree = 6;
+        m.cohort_size = 3;
+        m.failures = Some(FailureConfig::master_crashes(0.01));
+        m.cohort_abort_prob = 0.02;
+        m.read_only_optimization = true;
+        m.trans_type = TransType::Sequential;
+        m.num_data_disks = 3;
+        assert_eq!(b, m);
+        b.validate().unwrap();
     }
 
     #[test]

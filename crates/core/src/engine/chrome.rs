@@ -1,4 +1,4 @@
-//! Chrome trace-event export: turns a recorded [`Trace`] into the JSON
+//! Chrome trace-event export: serializes trace events into the JSON
 //! Array Format understood by `chrome://tracing` and Perfetto.
 //!
 //! Mapping (see the Trace Event Format spec):
@@ -11,19 +11,38 @@
 //!   per-station FIFO log-disk queue),
 //! - everything else becomes a thread-scoped instant event (`ph:"i"`,
 //!   `s:"t"`),
-//! - `ph:"M"` metadata events name each transaction lane and site row.
+//! - `ph:"M"` metadata events name each transaction lane, emitted the
+//!   first time a transaction appears.
 //!
-//! The writer is hand-rolled on `std::fmt::Write` — no serde — because
+//! The heart of the module is [`ChromeWriter`], an *incremental*
+//! serializer: it emits each record as the corresponding event arrives,
+//! holding back only forced writes still waiting for their durable
+//! notification. That makes it usable both after the fact over a
+//! buffered [`Trace`] ([`chrome_trace_json`]) and *during* a run as a
+//! [`TraceSink`] ([`ChromeStreamSink`]) with memory bounded by the
+//! number of in-flight forces — not the run length. Both paths share
+//! every byte of serialization code, so they produce identical output
+//! for the same event sequence by construction.
+//!
+//! Records appear in event order (a complete event is written when its
+//! durable notification arrives, stamped with its issue `ts`), not
+//! sorted by timestamp; the Chrome/Perfetto importers do not require
+//! sorted input.
+//!
+//! The writer is hand-rolled on `std::io::Write` — no serde — because
 //! the repo is dependency-free by charter. Every emitted string passes
 //! through `escape_json`, although in practice labels are plain ASCII.
 
-use super::trace::{Trace, TraceEvent};
+use super::trace::{LogLabel, Trace, TraceEvent, TraceSink};
 use super::types::TxnId;
 use crate::workload::SiteId;
+use std::collections::HashSet;
 use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
 
 /// Escape a string for inclusion inside a JSON string literal.
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -96,17 +115,90 @@ impl Record {
     }
 }
 
-/// Serialize a trace to Chrome trace-event JSON (object form, with a
-/// `traceEvents` array), loadable in `chrome://tracing` or Perfetto.
-pub fn chrome_trace_json(trace: &Trace) -> String {
-    let mut records: Vec<Record> = Vec::with_capacity(trace.events.len() + 8);
+/// A forced write whose durable notification has not arrived yet.
+struct OpenForce {
+    txn: TxnId,
+    label: LogLabel,
+    site: SiteId,
+    ts: u64,
+}
 
-    // FIFO-match ForceLog (issue) with LogDone (durable) per
-    // (txn, label, site): the log disk at each site serves records in
-    // order, so the first unmatched issue is always the one completing.
-    let mut open_forces: Vec<(usize, u64)> = Vec::new(); // (event idx, ts)
-    for (i, e) in trace.events.iter().enumerate() {
-        match e {
+/// Incremental Chrome trace-event JSON serializer.
+///
+/// Feed it events with [`ChromeWriter::event`] and close the stream
+/// with [`ChromeWriter::finish`]. State kept between events is bounded
+/// by the simulation, not the run length: the list of forced writes
+/// still awaiting their durable notification (at most the number of
+/// in-flight log records, ~MPL per site) plus one id per transaction
+/// seen (for lane-naming metadata).
+pub struct ChromeWriter<W: io::Write> {
+    out: W,
+    first: bool,
+    open_forces: Vec<OpenForce>,
+    max_open_forces: usize,
+    seen_txns: HashSet<TxnId>,
+    /// Reused serialization buffer for one record.
+    buf: String,
+}
+
+impl<W: io::Write> ChromeWriter<W> {
+    /// Start a trace stream on `out`, writing the JSON preamble.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the underlying writer.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        out.write_all(b"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+        Ok(ChromeWriter {
+            out,
+            first: true,
+            open_forces: Vec::new(),
+            max_open_forces: 0,
+            seen_txns: HashSet::new(),
+            buf: String::new(),
+        })
+    }
+
+    /// High-water mark of forced writes held awaiting their durable
+    /// notification — the only event-derived buffering the writer does.
+    pub fn max_open_forces(&self) -> usize {
+        self.max_open_forces
+    }
+
+    fn write_record(&mut self, r: &Record) -> io::Result<()> {
+        self.buf.clear();
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        r.write_json(&mut self.buf);
+        self.out.write_all(self.buf.as_bytes())
+    }
+
+    /// Name the transaction's lane the first time it appears.
+    fn ensure_metadata(&mut self, txn: TxnId) -> io::Result<()> {
+        if !self.seen_txns.insert(txn) {
+            return Ok(());
+        }
+        self.buf.clear();
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        let _ = write!(
+            self.buf,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{txn},\"tid\":0,\
+             \"args\":{{\"name\":\"txn {txn}\"}}}}"
+        );
+        self.out.write_all(self.buf.as_bytes())
+    }
+
+    /// Serialize one trace event.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the underlying writer.
+    pub fn event(&mut self, e: &TraceEvent) -> io::Result<()> {
+        self.ensure_metadata(e.txn())?;
+        let record = match e {
             TraceEvent::Send {
                 at,
                 label,
@@ -126,10 +218,26 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                     ("to", to.to_string()),
                     ("local", local.to_string()),
                 ];
-                records.push(r);
+                r
             }
-            TraceEvent::ForceLog { at, .. } => {
-                open_forces.push((i, at.0));
+            TraceEvent::ForceLog {
+                at,
+                txn,
+                label,
+                site,
+            } => {
+                // FIFO-match issue with the durable notification per
+                // (txn, label, site): the log disk at each site serves
+                // records in order, so the first unmatched issue is
+                // always the one completing.
+                self.open_forces.push(OpenForce {
+                    txn: *txn,
+                    label: *label,
+                    site: *site,
+                    ts: at.0,
+                });
+                self.max_open_forces = self.max_open_forces.max(self.open_forces.len());
+                return Ok(());
             }
             TraceEvent::LogDone {
                 at,
@@ -137,72 +245,47 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                 label,
                 site,
             } => {
-                let matched = open_forces.iter().position(|&(j, _)| {
-                    matches!(&trace.events[j],
-                        TraceEvent::ForceLog { txn: t, label: l, site: s, .. }
-                            if t == txn && l == label && s == site)
-                });
+                let matched = self
+                    .open_forces
+                    .iter()
+                    .position(|o| o.txn == *txn && o.label == *label && o.site == *site);
                 if let Some(p) = matched {
-                    let (_, start) = open_forces.remove(p);
-                    records.push(Record {
-                        ts: start,
-                        dur: Some(at.0.saturating_sub(start)),
+                    let open = self.open_forces.remove(p);
+                    Record {
+                        ts: open.ts,
+                        dur: Some(at.0.saturating_sub(open.ts)),
                         ph: 'X',
                         pid: *txn,
                         tid: *site,
                         name: format!("force {label:?}"),
                         args: vec![("site", site.to_string())],
-                    });
+                    }
                 } else {
                     // Durable record with no traced issue (the issue
                     // predated the trace window): keep it as an instant
                     // so the event is not silently dropped.
-                    records.push(Record::instant(
-                        at.0,
-                        *txn,
-                        *site,
-                        format!("force {label:?} durable"),
-                    ));
+                    Record::instant(at.0, *txn, *site, format!("force {label:?} durable"))
                 }
             }
             TraceEvent::Prepared {
                 at, cohort, site, ..
-            } => {
-                records.push(Record::instant(
-                    at.0,
-                    e.txn(),
-                    *site,
-                    format!("cohort {cohort} PREPARED"),
-                ));
-            }
+            } => Record::instant(at.0, e.txn(), *site, format!("cohort {cohort} PREPARED")),
             TraceEvent::Borrowed {
                 at,
                 cohort,
                 lenders,
                 ..
-            } => {
-                records.push(Record::instant(
-                    at.0,
-                    e.txn(),
-                    0,
-                    format!("cohort {cohort} borrowed ({lenders} lenders)"),
-                ));
-            }
+            } => Record::instant(
+                at.0,
+                e.txn(),
+                0,
+                format!("cohort {cohort} borrowed ({lenders} lenders)"),
+            ),
             TraceEvent::Shelved { at, cohort, .. } => {
-                records.push(Record::instant(
-                    at.0,
-                    e.txn(),
-                    0,
-                    format!("cohort {cohort} shelved"),
-                ));
+                Record::instant(at.0, e.txn(), 0, format!("cohort {cohort} shelved"))
             }
             TraceEvent::Unshelved { at, cohort, .. } => {
-                records.push(Record::instant(
-                    at.0,
-                    e.txn(),
-                    0,
-                    format!("cohort {cohort} unshelved"),
-                ));
+                Record::instant(at.0, e.txn(), 0, format!("cohort {cohort} unshelved"))
             }
             TraceEvent::Decided { at, commit, .. } => {
                 let name = if *commit {
@@ -210,106 +293,160 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                 } else {
                     "GLOBAL ABORT"
                 };
-                records.push(Record::instant(at.0, e.txn(), 0, name.to_string()));
+                Record::instant(at.0, e.txn(), 0, name.to_string())
             }
             TraceEvent::Aborted { at, .. } => {
-                records.push(Record::instant(at.0, e.txn(), 0, "aborted".to_string()));
+                Record::instant(at.0, e.txn(), 0, "aborted".to_string())
             }
             TraceEvent::MasterCrashed { at, .. } => {
-                records.push(Record::instant(
-                    at.0,
-                    e.txn(),
-                    0,
-                    "MASTER CRASH".to_string(),
-                ));
+                Record::instant(at.0, e.txn(), 0, "MASTER CRASH".to_string())
             }
             TraceEvent::CohortCrashed { at, cohort, .. } => {
-                records.push(Record::instant(
-                    at.0,
-                    e.txn(),
-                    0,
-                    format!("COHORT {cohort} CRASH"),
-                ));
+                Record::instant(at.0, e.txn(), 0, format!("COHORT {cohort} CRASH"))
             }
             TraceEvent::CohortRecovered { at, cohort, .. } => {
-                records.push(Record::instant(
-                    at.0,
-                    e.txn(),
-                    0,
-                    format!("cohort {cohort} recovered"),
-                ));
+                Record::instant(at.0, e.txn(), 0, format!("cohort {cohort} recovered"))
             }
             TraceEvent::MsgLost { at, label, .. } => {
-                records.push(Record::instant(at.0, e.txn(), 0, format!("{label:?} lost")));
+                Record::instant(at.0, e.txn(), 0, format!("{label:?} lost"))
             }
             TraceEvent::Retransmitted {
                 at, label, attempt, ..
-            } => {
-                records.push(Record::instant(
-                    at.0,
-                    e.txn(),
-                    0,
-                    format!("retransmit {label:?} #{attempt}"),
-                ));
-            }
+            } => Record::instant(at.0, e.txn(), 0, format!("retransmit {label:?} #{attempt}")),
             TraceEvent::TerminationStarted {
                 at, coordinator, ..
-            } => {
-                records.push(Record::instant(
-                    at.0,
-                    e.txn(),
-                    0,
-                    format!("termination (coordinator cohort {coordinator})"),
-                ));
+            } => Record::instant(
+                at.0,
+                e.txn(),
+                0,
+                format!("termination (coordinator cohort {coordinator})"),
+            ),
+        };
+        self.write_record(&record)
+    }
+
+    /// Close the stream: an unmatched issue at trace end (force still
+    /// in the log queue) becomes a zero-length complete event at its
+    /// issue time, then the JSON footer is written. Returns the
+    /// underlying writer.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        let leftover = std::mem::take(&mut self.open_forces);
+        for o in leftover {
+            let r = Record {
+                ts: o.ts,
+                dur: Some(0),
+                ph: 'X',
+                pid: o.txn,
+                tid: o.site,
+                name: format!("force {:?} (incomplete)", o.label),
+                args: vec![("site", o.site.to_string())],
+            };
+            self.write_record(&r)?;
+        }
+        self.out.write_all(b"]}")?;
+        Ok(self.out)
+    }
+}
+
+/// Serialize a buffered trace to Chrome trace-event JSON (object form,
+/// with a `traceEvents` array), loadable in `chrome://tracing` or
+/// Perfetto. Delegates to [`ChromeWriter`], so the output is
+/// byte-identical to what [`ChromeStreamSink`] writes for the same
+/// event sequence.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut w = ChromeWriter::new(Vec::new()).expect("writing to a Vec cannot fail");
+    for e in &trace.events {
+        w.event(e).expect("writing to a Vec cannot fail");
+    }
+    let bytes = w.finish().expect("writing to a Vec cannot fail");
+    String::from_utf8(bytes).expect("the writer emits UTF-8")
+}
+
+/// A [`TraceSink`] that streams Chrome trace-event JSON to a file as
+/// the run progresses, with memory bounded by the number of in-flight
+/// forced writes rather than the run length.
+///
+/// I/O errors are latched on first occurrence (the sink goes quiet) and
+/// surfaced by [`ChromeStreamSink::into_result`]; a sink cannot return
+/// errors from inside the engine's event loop without perturbing the
+/// simulation it is observing.
+pub struct ChromeStreamSink {
+    writer: Option<ChromeWriter<io::BufWriter<std::fs::File>>>,
+    events: u64,
+    max_open_forces: usize,
+    error: Option<io::Error>,
+}
+
+impl ChromeStreamSink {
+    /// Create (truncating) `path` and write the JSON preamble.
+    ///
+    /// # Errors
+    /// Returns the error if the file cannot be created or written.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        let writer = ChromeWriter::new(io::BufWriter::new(file))?;
+        Ok(ChromeStreamSink {
+            writer: Some(writer),
+            events: 0,
+            max_open_forces: 0,
+            error: None,
+        })
+    }
+
+    /// Events successfully serialized so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Consume the sink: the number of events written, or the first
+    /// I/O error encountered.
+    ///
+    /// # Errors
+    /// Returns the first write error hit during the run, if any.
+    pub fn into_result(self) -> io::Result<u64> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.events),
+        }
+    }
+}
+
+impl TraceSink for ChromeStreamSink {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Some(w) = self.writer.as_mut() {
+            match w.event(event) {
+                Ok(()) => {
+                    self.events += 1;
+                    self.max_open_forces = self.max_open_forces.max(w.max_open_forces());
+                }
+                Err(e) => self.error = Some(e),
             }
         }
     }
 
-    // An unmatched issue at trace end (force still in the log queue)
-    // becomes a zero-length complete event at its issue time.
-    for (i, ts) in open_forces {
-        if let TraceEvent::ForceLog {
-            txn, label, site, ..
-        } = &trace.events[i]
-        {
-            records.push(Record {
-                ts,
-                dur: Some(0),
-                ph: 'X',
-                pid: *txn,
-                tid: *site,
-                name: format!("force {label:?} (incomplete)"),
-                args: vec![("site", site.to_string())],
-            });
+    fn finish(&mut self) {
+        if let Some(w) = self.writer.take() {
+            self.max_open_forces = self.max_open_forces.max(w.max_open_forces());
+            let flushed = w.finish().and_then(|mut out| io::Write::flush(&mut out));
+            if let (Err(e), None) = (flushed, self.error.as_ref()) {
+                self.error = Some(e);
+            }
         }
     }
+}
 
-    // The viewer sorts lanes by pid; metadata events give them names.
-    records.sort_by_key(|r| (r.ts, r.pid, r.tid));
-
-    let mut out = String::new();
-    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
-    let mut first = true;
-    for txn in trace.txns() {
-        if !first {
-            out.push(',');
-        }
-        first = false;
-        let _ = write!(
-            out,
-            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{txn},\"tid\":0,\
-             \"args\":{{\"name\":\"txn {txn}\"}}}}"
-        );
+impl ChromeStreamSink {
+    /// High-water mark of forced writes buffered while streaming — the
+    /// sink's only event-derived memory (see [`ChromeWriter`]).
+    pub fn max_open_forces(&self) -> usize {
+        self.max_open_forces
     }
-    for r in &records {
-        if !first {
-            out.push(',');
-        }
-        first = false;
-        r.write_json(&mut out);
-    }
-    out.push_str("]}");
-    out
 }
 
 #[cfg(test)]
@@ -383,5 +520,93 @@ mod tests {
         // Metadata names the transaction lane.
         assert!(json.contains("\"process_name\""));
         assert!(json.contains("txn 9"));
+    }
+
+    #[test]
+    fn metadata_is_emitted_once_per_txn_at_first_sight() {
+        let send = |ts: u64, txn: TxnId| TraceEvent::Send {
+            at: SimTime(ts),
+            txn,
+            label: MsgLabel::Prepare,
+            from: 0,
+            to: 1,
+            local: false,
+        };
+        let tr = Trace {
+            events: vec![send(1, 7), send(2, 3), send(3, 7)],
+        };
+        let json = chrome_trace_json(&tr);
+        assert_eq!(json.matches("\"txn 7\"").count(), 1);
+        assert_eq!(json.matches("\"txn 3\"").count(), 1);
+        // First sight order: txn 7's lane is named before txn 3's.
+        assert!(json.find("\"txn 7\"").unwrap() < json.find("\"txn 3\"").unwrap());
+    }
+
+    #[test]
+    fn incremental_writer_matches_batch_function() {
+        let tr = Trace {
+            events: vec![
+                TraceEvent::ForceLog {
+                    at: SimTime(10),
+                    txn: 1,
+                    label: LogLabel::Prepare,
+                    site: 0,
+                },
+                TraceEvent::Send {
+                    at: SimTime(15),
+                    txn: 2,
+                    label: MsgLabel::VoteYes,
+                    from: 1,
+                    to: 0,
+                    local: false,
+                },
+                TraceEvent::LogDone {
+                    at: SimTime(20),
+                    txn: 1,
+                    label: LogLabel::Prepare,
+                    site: 0,
+                },
+                TraceEvent::Decided {
+                    at: SimTime(25),
+                    txn: 1,
+                    commit: true,
+                },
+            ],
+        };
+        let mut w = ChromeWriter::new(Vec::new()).unwrap();
+        for e in &tr.events {
+            w.event(e).unwrap();
+        }
+        let incremental = String::from_utf8(w.finish().unwrap()).unwrap();
+        assert_eq!(incremental, chrome_trace_json(&tr));
+        // The X record for the force is stamped with its issue time
+        // even though it is written at durable time.
+        assert!(incremental.contains("\"ts\":10"));
+        assert!(incremental.contains("\"dur\":10"));
+    }
+
+    #[test]
+    fn open_force_high_water_mark_is_tracked() {
+        let mut w = ChromeWriter::new(Vec::new()).unwrap();
+        for site in 0..4 {
+            w.event(&TraceEvent::ForceLog {
+                at: SimTime(site as u64),
+                txn: 1,
+                label: LogLabel::Prepare,
+                site,
+            })
+            .unwrap();
+        }
+        for site in 0..4 {
+            w.event(&TraceEvent::LogDone {
+                at: SimTime(10 + site as u64),
+                txn: 1,
+                label: LogLabel::Prepare,
+                site,
+            })
+            .unwrap();
+        }
+        assert_eq!(w.max_open_forces(), 4);
+        w.finish().unwrap();
     }
 }

@@ -7,6 +7,7 @@
 //! [`BatchedLog::complete`].
 
 use super::types::LogWork;
+use simkernel::stats::OccupancyHistogram;
 use simkernel::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -21,6 +22,7 @@ pub(crate) struct BatchedLog {
     stats_origin: SimTime,
     busy_time: u64,
     queue_unit_time: u64,
+    occupancy: OccupancyHistogram,
     max_queue: usize,
     batches_served: u64,
     writes_served: u64,
@@ -38,6 +40,7 @@ impl BatchedLog {
             stats_origin: SimTime::ZERO,
             busy_time: 0,
             queue_unit_time: 0,
+            occupancy: OccupancyHistogram::new(),
             max_queue: 0,
             batches_served: 0,
             writes_served: 0,
@@ -45,11 +48,12 @@ impl BatchedLog {
     }
 
     fn accumulate(&mut self, now: SimTime) {
-        let dt = now.since(self.last_change).as_micros();
+        let dt = now.since(self.last_change);
         if !self.in_flight.is_empty() {
-            self.busy_time += dt;
+            self.busy_time += dt.as_micros();
         }
-        self.queue_unit_time += self.queue.len() as u64 * dt;
+        self.queue_unit_time += self.queue.len() as u64 * dt.as_micros();
+        self.occupancy.record_span(self.queue.len() as u64, dt);
         self.last_change = now;
     }
 
@@ -155,11 +159,19 @@ impl BatchedLog {
         self.max_queue
     }
 
+    /// Time-weighted queue-depth histogram over the statistics window,
+    /// with the final open interval flushed up to `now`.
+    pub fn occupancy(&mut self, now: SimTime) -> &OccupancyHistogram {
+        self.accumulate(now);
+        &self.occupancy
+    }
+
     /// Reset statistics at the end of warm-up.
     pub fn reset_stats(&mut self, now: SimTime) {
         self.accumulate(now);
         self.busy_time = 0;
         self.queue_unit_time = 0;
+        self.occupancy = OccupancyHistogram::new();
         self.max_queue = self.queue.len();
         self.batches_served = 0;
         self.writes_served = 0;
@@ -250,8 +262,14 @@ mod tests {
         // integral = 5 + 10 = 15 record-ms over 20ms.
         assert!((b.mean_queue_depth(at(20)) - 15.0 / 20.0).abs() < 1e-9);
         assert_eq!(b.max_queue_depth(), 2);
+        // The occupancy histogram sees the same spans: depth 0 on
+        // [10,20) dominates, depth 2 only on [5,10).
+        assert_eq!(b.occupancy(at(20)).p50(), 0);
+        assert_eq!(b.occupancy(at(20)).quantile(1.0), 2);
+        assert!((b.occupancy(at(20)).mean() - 15.0 / 20.0).abs() < 1e-9);
         b.reset_stats(at(20));
         assert_eq!(b.max_queue_depth(), 0);
+        assert_eq!(b.occupancy(at(20)).total_time(), SimDuration::ZERO);
     }
 
     #[test]

@@ -14,14 +14,16 @@
 pub mod chrome;
 mod commit;
 mod exec;
+pub mod fold;
 mod glog;
 #[cfg(test)]
 mod tests;
 pub mod trace;
 mod types;
 
-pub use chrome::chrome_trace_json;
-pub use trace::{LogLabel, MsgLabel, Trace, TraceEvent};
+pub use chrome::{chrome_trace_json, ChromeStreamSink, ChromeWriter};
+pub use fold::FoldSink;
+pub use trace::{LogLabel, MsgLabel, Trace, TraceEvent, TraceSink};
 pub use types::{CohortId, TxnId};
 
 use crate::config::{ConfigError, ResourceMode, SystemConfig};
@@ -37,23 +39,34 @@ use std::collections::HashMap;
 use types::{CpuJob, DiskJob, Event, LogWork, Message, MsgKind, Retry, Txn};
 
 /// Accumulates per-station observations into one [`ResourceStats`] for
-/// a resource class (utilizations/queue depths averaged across the
-/// class's stations, max depth taken over them).
+/// a resource class *within one site* (utilizations/queue depths
+/// averaged across the class's stations, max depth taken over them,
+/// occupancy histograms merged — valid because each is a time
+/// integral).
 #[derive(Default)]
 struct ResourceAcc {
     util: f64,
     queue: f64,
     wait_s: f64,
     max_queue: usize,
+    occupancy: simkernel::stats::OccupancyHistogram,
     n: usize,
 }
 
 impl ResourceAcc {
-    fn push(&mut self, util: f64, queue: f64, wait_s: f64, max_queue: usize) {
+    fn push(
+        &mut self,
+        util: f64,
+        queue: f64,
+        wait_s: f64,
+        max_queue: usize,
+        occupancy: &simkernel::stats::OccupancyHistogram,
+    ) {
         self.util += util;
         self.queue += queue;
         self.wait_s += wait_s;
         self.max_queue = self.max_queue.max(max_queue);
+        self.occupancy.merge(occupancy);
         self.n += 1;
     }
 
@@ -64,6 +77,9 @@ impl ResourceAcc {
             mean_queue_depth: self.queue / n,
             max_queue_depth: self.max_queue as u64,
             mean_wait_s: self.wait_s / n,
+            queue_depth_p50: self.occupancy.p50() as f64,
+            queue_depth_p90: self.occupancy.p90() as f64,
+            queue_depth_p99: self.occupancy.p99() as f64,
         }
     }
 }
@@ -103,9 +119,9 @@ pub struct Simulation {
     done: bool,
     truncated: bool,
     pages_per_site_eff: u64,
-    /// Optional protocol trace; events are recorded for transactions
-    /// with id ≤ `trace_txn_limit`.
-    trace_buf: Option<Trace>,
+    /// Optional trace-event consumer; events are recorded for
+    /// transactions with id ≤ `trace_txn_limit`.
+    sink: Option<Box<dyn TraceSink>>,
     trace_txn_limit: TxnId,
 }
 
@@ -151,12 +167,39 @@ impl Simulation {
         seed: u64,
         traced_txns: u64,
     ) -> Result<(SimReport, Trace), ConfigError> {
+        Self::run_with_sink(cfg, spec, seed, traced_txns, Trace::default())
+    }
+
+    /// Like [`Simulation::run`], but feeds every trace event of the
+    /// first `traced_txns` transactions to `sink` as the run progresses
+    /// and hands the sink back with the report. This is the streaming
+    /// counterpart of [`Simulation::run_traced`]: the engine holds no
+    /// event buffer of its own, so memory use is whatever the sink
+    /// retains — bounded for [`chrome::ChromeStreamSink`] and
+    /// [`fold::FoldSink`], the full event vector for [`Trace`].
+    ///
+    /// Observing a run does not perturb it: the report is identical to
+    /// an untraced run with the same inputs.
+    ///
+    /// # Errors
+    /// Returns an error if the configuration is invalid or the spec is
+    /// meaningless (OPT over a baseline).
+    pub fn run_with_sink<S: TraceSink>(
+        cfg: &SystemConfig,
+        spec: ProtocolSpec,
+        seed: u64,
+        traced_txns: u64,
+        sink: S,
+    ) -> Result<(SimReport, S), ConfigError> {
         let mut sim = Simulation::new(cfg, spec, seed)?;
-        sim.trace_buf = Some(Trace::default());
+        sim.sink = Some(Box::new(sink));
         sim.trace_txn_limit = traced_txns;
         sim.execute();
-        let trace = sim.trace_buf.take().unwrap_or_default();
-        Ok((sim.report(), trace))
+        let mut boxed = sim.sink.take().expect("sink installed above");
+        boxed.finish();
+        let any: Box<dyn std::any::Any> = boxed;
+        let sink = *any.downcast::<S>().expect("sink type is preserved");
+        Ok((sim.report(), sink))
     }
 
     /// Record one trace event for `txn`, if tracing is active and the
@@ -164,8 +207,8 @@ impl Simulation {
     pub(crate) fn trace_event(&mut self, txn: TxnId, make: impl FnOnce(SimTime) -> TraceEvent) {
         if self.trace_txn_limit >= txn {
             let now = self.cal.now();
-            if let Some(buf) = self.trace_buf.as_mut() {
-                buf.events.push(make(now));
+            if let Some(sink) = self.sink.as_mut() {
+                sink.record(&make(now));
             }
         }
     }
@@ -260,7 +303,7 @@ impl Simulation {
             done: false,
             truncated: false,
             pages_per_site_eff,
-            trace_buf: None,
+            sink: None,
             trace_txn_limit: 0,
         };
         // Closed system: MPL transactions per (effective) site. The
@@ -843,15 +886,17 @@ impl Simulation {
             0.0
         };
 
-        let mut cpu_acc = ResourceAcc::default();
-        let mut dd_acc = ResourceAcc::default();
-        let mut ld_acc = ResourceAcc::default();
+        let mut site_resources = Vec::with_capacity(self.sites.len());
         for site in &mut self.sites {
+            let mut cpu_acc = ResourceAcc::default();
+            let mut dd_acc = ResourceAcc::default();
+            let mut ld_acc = ResourceAcc::default();
             cpu_acc.push(
                 site.cpu.utilization(now),
                 site.cpu.mean_queue_depth(now),
                 site.cpu.mean_wait().as_secs_f64(),
                 site.cpu.max_queue_depth(),
+                site.cpu.occupancy(now),
             );
             for d in &mut site.data_disks {
                 dd_acc.push(
@@ -859,6 +904,7 @@ impl Simulation {
                     d.mean_queue_depth(now),
                     d.mean_wait().as_secs_f64(),
                     d.max_queue_depth(),
+                    d.occupancy(now),
                 );
             }
             match site.batched_logs.as_mut() {
@@ -866,12 +912,10 @@ impl Simulation {
                     for b in batchers {
                         // Per-record waits are not tracked under group
                         // commit; the queue-depth integral still is.
-                        ld_acc.push(
-                            b.utilization(now),
-                            b.mean_queue_depth(now),
-                            0.0,
-                            b.max_queue_depth(),
-                        );
+                        let util = b.utilization(now);
+                        let queue = b.mean_queue_depth(now);
+                        let max = b.max_queue_depth();
+                        ld_acc.push(util, queue, 0.0, max, b.occupancy(now));
                     }
                 }
                 None => {
@@ -881,20 +925,22 @@ impl Simulation {
                             d.mean_queue_depth(now),
                             d.mean_wait().as_secs_f64(),
                             d.max_queue_depth(),
+                            d.occupancy(now),
                         );
                     }
                 }
             }
+            site_resources.push(ResourceReport {
+                cpu: cpu_acc.stats(),
+                data_disk: dd_acc.stats(),
+                log_disk: ld_acc.stats(),
+            });
         }
-        let resources = ResourceReport {
-            cpu: cpu_acc.stats(),
-            data_disk: dd_acc.stats(),
-            log_disk: ld_acc.stats(),
-        };
+        let averaged = ResourceReport::average(&site_resources);
         let utilizations = Utilizations {
-            cpu: resources.cpu.utilization,
-            data_disk: resources.data_disk.utilization,
-            log_disk: resources.log_disk.utilization,
+            cpu: averaged.cpu.utilization,
+            data_disk: averaged.data_disk.utilization,
+            log_disk: averaged.log_disk.utilization,
         };
 
         let mut batches = 0u64;
@@ -957,7 +1003,7 @@ impl Simulation {
                 decision: LatencySummary::from_histogram(&self.metrics.phase_decision),
             },
             utilizations,
-            resources,
+            site_resources,
             overhead_check: self.metrics.overhead_check,
             mean_log_batch,
             faults: crate::metrics::FaultCounters {

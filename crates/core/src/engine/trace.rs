@@ -206,12 +206,42 @@ impl TraceEvent {
     }
 }
 
+/// A consumer of trace events, fed by the engine as the simulation
+/// runs.
+///
+/// The engine calls [`TraceSink::record`] for every event of a traced
+/// transaction, in occurrence order, and [`TraceSink::finish`] exactly
+/// once after the run completes. Implementations choose what to keep:
+/// [`Trace`] buffers everything (fine for tests and short runs), while
+/// streaming sinks such as [`super::ChromeStreamSink`] write each event
+/// out immediately so memory stays bounded no matter how long the run
+/// is, and [`super::FoldSink`] keeps only per-transaction aggregation
+/// state.
+///
+/// `Any` is a supertrait so [`super::Simulation::run_with_sink`] can
+/// hand the concrete sink back to the caller after the run; `Send` so
+/// the simulation (which owns the sink) stays shippable across the
+/// parallel runner's worker threads.
+pub trait TraceSink: std::any::Any + Send {
+    /// Observe one event. Events arrive in simulation order.
+    fn record(&mut self, event: &TraceEvent);
+
+    /// The run is over; flush any buffered state. Called exactly once.
+    fn finish(&mut self) {}
+}
+
 /// A recorded trace: events in simulation order, bounded by the number
 /// of transactions requested at [`super::Simulation::run_traced`].
 #[derive(Debug, Default, Clone)]
 pub struct Trace {
     /// All recorded events, in occurrence order.
     pub events: Vec<TraceEvent>,
+}
+
+impl TraceSink for Trace {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
+    }
 }
 
 impl Trace {

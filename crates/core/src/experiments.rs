@@ -73,6 +73,44 @@ impl Scale {
         }
     }
 
+    /// Set the per-run length: `warmup` commits before statistics,
+    /// then `measured` commits in the window. Chainable, so scales
+    /// compose from a preset: `Scale::quick().with_runs(100, 1_000)`.
+    #[must_use]
+    pub fn with_runs(mut self, warmup: u64, measured: u64) -> Self {
+        self.warmup = warmup;
+        self.measured = measured;
+        self
+    }
+
+    /// Set the MPL axis.
+    #[must_use]
+    pub fn with_mpls(mut self, mpls: Vec<u32>) -> Self {
+        self.mpls = mpls;
+        self
+    }
+
+    /// Set the base RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the replication count per (protocol, MPL) cell.
+    #[must_use]
+    pub fn with_replications(mut self, replications: u32) -> Self {
+        self.replications = replications;
+        self
+    }
+
+    /// Set the worker-thread count (`None` lets the runner pick).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: Option<usize>) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
     fn apply(&self, cfg: &SystemConfig) -> SystemConfig {
         let mut cfg = cfg.clone();
         cfg.run.warmup_transactions = self.warmup;
@@ -531,14 +569,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale {
-            warmup: 20,
-            measured: 120,
-            mpls: vec![2],
-            seed: 7,
-            replications: 1,
-            jobs: Some(1),
-        }
+        Scale::quick()
+            .with_runs(20, 120)
+            .with_mpls(vec![2])
+            .with_seed(7)
+            .with_jobs(Some(1))
     }
 
     #[test]

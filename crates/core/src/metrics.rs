@@ -249,6 +249,14 @@ pub struct ResourceStats {
     pub max_queue_depth: u64,
     /// Mean queueing delay per served job, seconds.
     pub mean_wait_s: f64,
+    /// Time-weighted median queue depth (from the occupancy histogram;
+    /// fractional after averaging across sites or replications).
+    pub queue_depth_p50: f64,
+    /// Queue depth not exceeded 90% of the time.
+    pub queue_depth_p90: f64,
+    /// Queue depth not exceeded 99% of the time — the tail the paper's
+    /// mean-based resource metrics cannot show.
+    pub queue_depth_p99: f64,
 }
 
 /// Queue-depth and utilization report for the three station classes of
@@ -261,6 +269,41 @@ pub struct ResourceReport {
     pub data_disk: ResourceStats,
     /// Log disks (including group-commit batchers when enabled).
     pub log_disk: ResourceStats,
+}
+
+impl ResourceReport {
+    /// Average a set of per-site reports into one class-level view:
+    /// utilizations, queue depths, waits and occupancy percentiles are
+    /// averaged; max queue depth is the max over sites. Returns the
+    /// default (all-zero) report for an empty slice.
+    pub fn average(sites: &[ResourceReport]) -> ResourceReport {
+        if sites.is_empty() {
+            return ResourceReport::default();
+        }
+        let avg = |f: &dyn Fn(&ResourceReport) -> &ResourceStats| {
+            let n = sites.len() as f64;
+            let mean =
+                |g: &dyn Fn(&ResourceStats) -> f64| sites.iter().map(|r| g(f(r))).sum::<f64>() / n;
+            ResourceStats {
+                utilization: mean(&|s| s.utilization),
+                mean_queue_depth: mean(&|s| s.mean_queue_depth),
+                max_queue_depth: sites
+                    .iter()
+                    .map(|r| f(r).max_queue_depth)
+                    .max()
+                    .unwrap_or(0),
+                mean_wait_s: mean(&|s| s.mean_wait_s),
+                queue_depth_p50: mean(&|s| s.queue_depth_p50),
+                queue_depth_p90: mean(&|s| s.queue_depth_p90),
+                queue_depth_p99: mean(&|s| s.queue_depth_p99),
+            }
+        };
+        ResourceReport {
+            cpu: avg(&|r| &r.cpu),
+            data_disk: avg(&|r| &r.data_disk),
+            log_disk: avg(&|r| &r.log_disk),
+        }
+    }
 }
 
 /// Runtime cross-check of measured per-commit message/forced-write
@@ -438,8 +481,10 @@ pub struct SimReport {
     pub phase_latencies: PhaseLatencies,
     /// Resource utilizations over the window.
     pub utilizations: Utilizations,
-    /// Queue-depth/wait/utilization detail per resource class.
-    pub resources: ResourceReport,
+    /// Queue-depth/wait/utilization detail per resource class, one
+    /// entry per (effective) site. The site-averaged view is derived by
+    /// [`SimReport::resources`], not stored.
+    pub site_resources: Vec<ResourceReport>,
     /// Measured-vs-analytic overhead cross-check (Tables 3–4).
     pub overhead_check: OverheadCheck,
     /// Mean forced writes per log-disk service (1.0 without group
@@ -484,6 +529,44 @@ fn merge_resource(
             .max()
             .unwrap_or(0),
         mean_wait_s: mean(&|s| s.mean_wait_s),
+        queue_depth_p50: mean(&|s| s.queue_depth_p50),
+        queue_depth_p90: mean(&|s| s.queue_depth_p90),
+        queue_depth_p99: mean(&|s| s.queue_depth_p99),
+    }
+}
+
+/// Output format for [`SimReport::render`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// The human-readable detail block `distcommit run` prints.
+    Table,
+    /// Long-format CSV: one `section,key,value` row per metric,
+    /// including per-site resource rows.
+    Csv,
+    /// A single JSON object with every report field (hand-rolled, no
+    /// serde; non-finite floats serialize as `null`).
+    Json,
+}
+
+impl std::str::FromStr for ReportFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "table" => Ok(ReportFormat::Table),
+            "csv" => Ok(ReportFormat::Csv),
+            "json" => Ok(ReportFormat::Json),
+            _ => Err(format!("unknown format {s:?} (table|csv|json)")),
+        }
+    }
+}
+
+/// A finite float for JSON (`null` otherwise — JSON has no Infinity).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -491,6 +574,12 @@ impl SimReport {
     /// Committed transactions per second — the paper's headline metric.
     pub fn throughput(&self) -> f64 {
         self.throughput
+    }
+
+    /// The site-averaged resource view, derived from
+    /// [`SimReport::site_resources`].
+    pub fn resources(&self) -> ResourceReport {
+        ResourceReport::average(&self.site_resources)
     }
 
     /// All aborts inside the window.
@@ -577,10 +666,15 @@ impl SimReport {
                 data_disk: mean(&|r| r.utilizations.data_disk),
                 log_disk: mean(&|r| r.utilizations.log_disk),
             },
-            resources: ResourceReport {
-                cpu: merge_resource(reports, &|r| &r.resources.cpu),
-                data_disk: merge_resource(reports, &|r| &r.resources.data_disk),
-                log_disk: merge_resource(reports, &|r| &r.resources.log_disk),
+            site_resources: {
+                let sites = reports.iter().map(|r| r.site_resources.len()).min();
+                (0..sites.unwrap_or(0))
+                    .map(|i| ResourceReport {
+                        cpu: merge_resource(reports, &|r| &r.site_resources[i].cpu),
+                        data_disk: merge_resource(reports, &|r| &r.site_resources[i].data_disk),
+                        log_disk: merge_resource(reports, &|r| &r.site_resources[i].log_disk),
+                    })
+                    .collect()
             },
             overhead_check: OverheadCheck {
                 checked_commits: sum(&|r| r.overhead_check.checked_commits),
@@ -605,10 +699,12 @@ impl SimReport {
                 l.p99_s * 1e3
             )
         };
+        let avg = self.resources();
         let mut s = format!(
             "{:<8} MPL {:>2}: {:>7.2} txn/s (±{:>4.1}%), resp {:>6.3}s, block {:>5.3}, borrow {:>5.3}, \
              aborts {:.1}% (deadlock {}, vote {}, cascade {})\n         \
-             phase p50/p90/p99 ms: exec {} | vote {} | ack {}",
+             phase p50/p90/p99 ms: exec {} | vote {} | ack {} \
+             | occ p99 cpu/data/log {:.0}/{:.0}/{:.0}",
             self.protocol,
             self.mpl,
             self.throughput,
@@ -623,6 +719,9 @@ impl SimReport {
             phase(&self.phase_latencies.execution),
             phase(&self.phase_latencies.voting),
             phase(&self.phase_latencies.decision),
+            avg.cpu.queue_depth_p99,
+            avg.data_disk.queue_depth_p99,
+            avg.log_disk.queue_depth_p99,
         );
         if !self.faults.is_quiet() {
             let f = &self.faults;
@@ -641,6 +740,379 @@ impl SimReport {
             ));
         }
         s
+    }
+
+    /// Render the full report in the requested format. This is the
+    /// single entry point the CLI uses, so every subcommand shows the
+    /// same numbers the same way.
+    pub fn render(&self, format: ReportFormat) -> String {
+        match format {
+            ReportFormat::Table => self.render_table(),
+            ReportFormat::Csv => self.render_csv(),
+            ReportFormat::Json => self.render_json(),
+        }
+    }
+
+    fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.summary());
+        let _ = writeln!(out);
+        let _ = writeln!(out, "committed            {}", self.committed);
+        let _ = writeln!(
+            out,
+            "aborts               {} deadlock, {} surprise, {} cascade",
+            self.aborted_deadlock, self.aborted_surprise, self.aborted_borrower
+        );
+        let _ = writeln!(
+            out,
+            "throughput           {:.3} txn/s (90% CI ±{:.1}%)",
+            self.throughput,
+            self.throughput_ci.relative_half_width() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "response             {:.4}s mean",
+            self.mean_response_s
+        );
+        let _ = writeln!(out, "block ratio          {:.4}", self.block_ratio);
+        let _ = writeln!(
+            out,
+            "borrow ratio         {:.4} pages/txn",
+            self.borrow_ratio
+        );
+        let _ = writeln!(
+            out,
+            "messages / commit    {:.2} exec + {:.2} commit",
+            self.exec_messages_per_commit, self.commit_messages_per_commit
+        );
+        let _ = writeln!(
+            out,
+            "forced writes        {:.2} / commit",
+            self.forced_writes_per_commit
+        );
+        for (name, l) in [
+            ("exec", &self.phase_latencies.execution),
+            ("vote", &self.phase_latencies.voting),
+            ("ack", &self.phase_latencies.decision),
+        ] {
+            let _ = writeln!(
+                out,
+                "phase {name:<14} mean {:7.2} ms, p50 {:7.2}, p90 {:7.2}, p99 {:7.2}",
+                l.mean_s * 1e3,
+                l.p50_s * 1e3,
+                l.p90_s * 1e3,
+                l.p99_s * 1e3
+            );
+        }
+        let resources = self.resources();
+        for (name, s) in [
+            ("cpu", &resources.cpu),
+            ("data disk", &resources.data_disk),
+            ("log disk", &resources.log_disk),
+        ] {
+            let _ = writeln!(
+                out,
+                "{name:<20} util {:.2}, queue mean {:.2} / max {}, wait {:.4}s",
+                s.utilization, s.mean_queue_depth, s.max_queue_depth, s.mean_wait_s
+            );
+        }
+        let _ = writeln!(
+            out,
+            "occupancy p50/90/99  cpu {:.1}/{:.1}/{:.1} | data {:.1}/{:.1}/{:.1} | \
+             log {:.1}/{:.1}/{:.1}",
+            resources.cpu.queue_depth_p50,
+            resources.cpu.queue_depth_p90,
+            resources.cpu.queue_depth_p99,
+            resources.data_disk.queue_depth_p50,
+            resources.data_disk.queue_depth_p90,
+            resources.data_disk.queue_depth_p99,
+            resources.log_disk.queue_depth_p50,
+            resources.log_disk.queue_depth_p90,
+            resources.log_disk.queue_depth_p99,
+        );
+        for (i, site) in self.site_resources.iter().enumerate() {
+            let name = format!("site {i}");
+            let _ = writeln!(
+                out,
+                "{name:<20} util {:.2}/{:.2}/{:.2}, occ p99 {:.0}/{:.0}/{:.0} (cpu/data/log)",
+                site.cpu.utilization,
+                site.data_disk.utilization,
+                site.log_disk.utilization,
+                site.cpu.queue_depth_p99,
+                site.data_disk.queue_depth_p99,
+                site.log_disk.queue_depth_p99,
+            );
+        }
+        let oc = &self.overhead_check;
+        let _ = writeln!(
+            out,
+            "overhead model       {}/{} commits match Tables 3-4{}",
+            oc.checked_commits - oc.mismatched_commits,
+            oc.checked_commits,
+            if oc.is_clean() {
+                String::new()
+            } else {
+                format!(
+                    " (MISMATCH: msg delta {}, forced-write delta {})",
+                    oc.message_delta, oc.forced_write_delta
+                )
+            }
+        );
+        if self.mean_log_batch > 1.0 {
+            let _ = writeln!(
+                out,
+                "log batch            {:.2} writes / service",
+                self.mean_log_batch
+            );
+        }
+        out
+    }
+
+    fn render_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("section,key,value\n");
+        {
+            let kv = |out: &mut String, sec: &str, key: &str, val: String| {
+                let _ = writeln!(out, "{sec},{key},{val}");
+            };
+            let f = |v: f64| format!("{v:.6}");
+            kv(&mut out, "run", "protocol", self.protocol.clone());
+            kv(&mut out, "run", "mpl", self.mpl.to_string());
+            kv(&mut out, "run", "sim_seconds", f(self.sim_seconds));
+            kv(&mut out, "run", "committed", self.committed.to_string());
+            kv(
+                &mut out,
+                "run",
+                "aborted_deadlock",
+                self.aborted_deadlock.to_string(),
+            );
+            kv(
+                &mut out,
+                "run",
+                "aborted_surprise",
+                self.aborted_surprise.to_string(),
+            );
+            kv(
+                &mut out,
+                "run",
+                "aborted_borrower",
+                self.aborted_borrower.to_string(),
+            );
+            kv(&mut out, "run", "throughput", f(self.throughput));
+            kv(
+                &mut out,
+                "run",
+                "throughput_ci90",
+                f(if self.throughput_ci.half_width.is_finite() {
+                    self.throughput_ci.half_width
+                } else {
+                    0.0
+                }),
+            );
+            kv(&mut out, "run", "mean_response_s", f(self.mean_response_s));
+            kv(&mut out, "run", "p50_response_s", f(self.p50_response_s));
+            kv(&mut out, "run", "p95_response_s", f(self.p95_response_s));
+            kv(&mut out, "run", "p99_response_s", f(self.p99_response_s));
+            kv(&mut out, "run", "block_ratio", f(self.block_ratio));
+            kv(&mut out, "run", "borrow_ratio", f(self.borrow_ratio));
+            kv(
+                &mut out,
+                "run",
+                "exec_messages_per_commit",
+                f(self.exec_messages_per_commit),
+            );
+            kv(
+                &mut out,
+                "run",
+                "commit_messages_per_commit",
+                f(self.commit_messages_per_commit),
+            );
+            kv(
+                &mut out,
+                "run",
+                "forced_writes_per_commit",
+                f(self.forced_writes_per_commit),
+            );
+            kv(&mut out, "run", "mean_log_batch", f(self.mean_log_batch));
+            kv(&mut out, "run", "events", self.events.to_string());
+            for (name, l) in [
+                ("exec", &self.phase_latencies.execution),
+                ("vote", &self.phase_latencies.voting),
+                ("ack", &self.phase_latencies.decision),
+            ] {
+                kv(&mut out, "phase", &format!("{name}_p50_s"), f(l.p50_s));
+                kv(&mut out, "phase", &format!("{name}_p90_s"), f(l.p90_s));
+                kv(&mut out, "phase", &format!("{name}_p99_s"), f(l.p99_s));
+            }
+            let mut resource_rows = |sec: String, r: &ResourceReport| {
+                for (name, s) in [
+                    ("cpu", &r.cpu),
+                    ("data_disk", &r.data_disk),
+                    ("log_disk", &r.log_disk),
+                ] {
+                    kv(&mut out, &sec, &format!("{name}_util"), f(s.utilization));
+                    kv(
+                        &mut out,
+                        &sec,
+                        &format!("{name}_queue_mean"),
+                        f(s.mean_queue_depth),
+                    );
+                    kv(
+                        &mut out,
+                        &sec,
+                        &format!("{name}_queue_max"),
+                        s.max_queue_depth.to_string(),
+                    );
+                    kv(&mut out, &sec, &format!("{name}_wait_s"), f(s.mean_wait_s));
+                    kv(
+                        &mut out,
+                        &sec,
+                        &format!("{name}_occ_p50"),
+                        f(s.queue_depth_p50),
+                    );
+                    kv(
+                        &mut out,
+                        &sec,
+                        &format!("{name}_occ_p90"),
+                        f(s.queue_depth_p90),
+                    );
+                    kv(
+                        &mut out,
+                        &sec,
+                        &format!("{name}_occ_p99"),
+                        f(s.queue_depth_p99),
+                    );
+                }
+            };
+            resource_rows("resources".to_string(), &self.resources());
+            for (i, site) in self.site_resources.iter().enumerate() {
+                resource_rows(format!("site{i}"), site);
+            }
+        }
+        out
+    }
+
+    fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let latency = |l: &LatencySummary| {
+            format!(
+                "{{\"count\":{},\"mean_s\":{},\"p50_s\":{},\"p90_s\":{},\"p99_s\":{}}}",
+                l.count,
+                json_f64(l.mean_s),
+                json_f64(l.p50_s),
+                json_f64(l.p90_s),
+                json_f64(l.p99_s)
+            )
+        };
+        let stats = |s: &ResourceStats| {
+            format!(
+                "{{\"utilization\":{},\"mean_queue_depth\":{},\"max_queue_depth\":{},\
+                 \"mean_wait_s\":{},\"queue_depth_p50\":{},\"queue_depth_p90\":{},\
+                 \"queue_depth_p99\":{}}}",
+                json_f64(s.utilization),
+                json_f64(s.mean_queue_depth),
+                s.max_queue_depth,
+                json_f64(s.mean_wait_s),
+                json_f64(s.queue_depth_p50),
+                json_f64(s.queue_depth_p90),
+                json_f64(s.queue_depth_p99)
+            )
+        };
+        let report = |r: &ResourceReport| {
+            format!(
+                "{{\"cpu\":{},\"data_disk\":{},\"log_disk\":{}}}",
+                stats(&r.cpu),
+                stats(&r.data_disk),
+                stats(&r.log_disk)
+            )
+        };
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"protocol\":\"{}\",\"mpl\":{},\"sim_seconds\":{},\"committed\":{},\
+             \"aborted_deadlock\":{},\"aborted_surprise\":{},\"aborted_borrower\":{},\
+             \"throughput\":{},\"throughput_ci90\":{},\"mean_response_s\":{},\
+             \"p50_response_s\":{},\"p95_response_s\":{},\"p99_response_s\":{},\
+             \"mean_attempt_response_s\":{},\"block_ratio\":{},\"borrow_ratio\":{},\
+             \"exec_messages_per_commit\":{},\"commit_messages_per_commit\":{},\
+             \"forced_writes_per_commit\":{},\"mean_shelf_time_s\":{},\
+             \"mean_prepared_time_s\":{},\"mean_log_batch\":{},\"events\":{}",
+            self.protocol,
+            self.mpl,
+            json_f64(self.sim_seconds),
+            self.committed,
+            self.aborted_deadlock,
+            self.aborted_surprise,
+            self.aborted_borrower,
+            json_f64(self.throughput),
+            json_f64(self.throughput_ci.half_width),
+            json_f64(self.mean_response_s),
+            json_f64(self.p50_response_s),
+            json_f64(self.p95_response_s),
+            json_f64(self.p99_response_s),
+            json_f64(self.mean_attempt_response_s),
+            json_f64(self.block_ratio),
+            json_f64(self.borrow_ratio),
+            json_f64(self.exec_messages_per_commit),
+            json_f64(self.commit_messages_per_commit),
+            json_f64(self.forced_writes_per_commit),
+            json_f64(self.mean_shelf_time_s),
+            json_f64(self.mean_prepared_time_s),
+            json_f64(self.mean_log_batch),
+            self.events
+        );
+        let _ = write!(
+            out,
+            ",\"phase_latencies\":{{\"execution\":{},\"voting\":{},\"decision\":{}}}",
+            latency(&self.phase_latencies.execution),
+            latency(&self.phase_latencies.voting),
+            latency(&self.phase_latencies.decision)
+        );
+        let _ = write!(
+            out,
+            ",\"utilizations\":{{\"cpu\":{},\"data_disk\":{},\"log_disk\":{}}}",
+            json_f64(self.utilizations.cpu),
+            json_f64(self.utilizations.data_disk),
+            json_f64(self.utilizations.log_disk)
+        );
+        let _ = write!(out, ",\"resources\":{}", report(&self.resources()));
+        out.push_str(",\"site_resources\":[");
+        for (i, site) in self.site_resources.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&report(site));
+        }
+        out.push(']');
+        let oc = &self.overhead_check;
+        let _ = write!(
+            out,
+            ",\"overhead_check\":{{\"checked_commits\":{},\"mismatched_commits\":{},\
+             \"message_delta\":{},\"forced_write_delta\":{}}}",
+            oc.checked_commits, oc.mismatched_commits, oc.message_delta, oc.forced_write_delta
+        );
+        let fc = &self.faults;
+        let _ = write!(
+            out,
+            ",\"faults\":{{\"master_crashes\":{},\"cohort_crashes\":{},\"messages_lost\":{},\
+             \"retransmissions\":{},\"retry_escalations\":{},\"termination_rounds\":{},\
+             \"master_crash_trials\":{},\"cohort_crash_trials\":{},\"message_loss_trials\":{},\
+             \"blocked_on_crash_cohorts\":{},\"mean_blocked_on_crash_s\":{}}}",
+            fc.master_crashes,
+            fc.cohort_crashes,
+            fc.messages_lost,
+            fc.retransmissions,
+            fc.retry_escalations,
+            fc.termination_rounds,
+            fc.master_crash_trials,
+            fc.cohort_crash_trials,
+            fc.message_loss_trials,
+            fc.blocked_on_crash_cohorts,
+            json_f64(fc.mean_blocked_on_crash_s)
+        );
+        out.push('}');
+        out
     }
 }
 
@@ -751,16 +1223,19 @@ mod tests {
                 },
             },
             utilizations: Utilizations::default(),
-            resources: ResourceReport {
+            site_resources: vec![ResourceReport {
                 cpu: ResourceStats {
                     utilization: 0.5,
                     mean_queue_depth: 1.5,
                     max_queue_depth: 6,
                     mean_wait_s: 0.001,
+                    queue_depth_p50: 1.0,
+                    queue_depth_p90: 3.0,
+                    queue_depth_p99: 5.0,
                 },
                 data_disk: ResourceStats::default(),
                 log_disk: ResourceStats::default(),
-            },
+            }],
             overhead_check: OverheadCheck {
                 checked_commits: 900,
                 mismatched_commits: 0,
@@ -832,8 +1307,8 @@ mod tests {
         let a = sample_report();
         let mut b = sample_report();
         b.phase_latencies.voting.p90_s = 0.2;
-        b.resources.cpu.max_queue_depth = 10;
-        b.resources.cpu.mean_queue_depth = 2.5;
+        b.site_resources[0].cpu.max_queue_depth = 10;
+        b.site_resources[0].cpu.mean_queue_depth = 2.5;
         b.overhead_check.checked_commits = 100;
         b.overhead_check.mismatched_commits = 1;
         b.overhead_check.message_delta = 2;
@@ -842,8 +1317,10 @@ mod tests {
         assert!((m.phase_latencies.voting.p90_s - 0.15).abs() < 1e-12);
         assert_eq!(m.phase_latencies.voting.count, 1_800);
         // Queue depth means average, max is the max over replications.
-        assert!((m.resources.cpu.mean_queue_depth - 2.0).abs() < 1e-12);
-        assert_eq!(m.resources.cpu.max_queue_depth, 10);
+        assert!((m.site_resources[0].cpu.mean_queue_depth - 2.0).abs() < 1e-12);
+        assert_eq!(m.site_resources[0].cpu.max_queue_depth, 10);
+        // The derived average view reflects the merged per-site stats.
+        assert!((m.resources().cpu.mean_queue_depth - 2.0).abs() < 1e-12);
         // Overhead checks sum, and any mismatch survives the merge.
         assert_eq!(m.overhead_check.checked_commits, 1_000);
         assert_eq!(m.overhead_check.mismatched_commits, 1);
@@ -903,5 +1380,108 @@ mod tests {
         assert!(s.contains("cascade 25"), "{s}");
         assert!(s.contains("phase p50/p90/p99"), "{s}");
         assert!(s.contains("exec 280.0/400.0/500.0"), "{s}");
+    }
+
+    #[test]
+    fn report_format_parses_and_rejects() {
+        assert_eq!(
+            "table".parse::<ReportFormat>().unwrap(),
+            ReportFormat::Table
+        );
+        assert_eq!("CSV".parse::<ReportFormat>().unwrap(), ReportFormat::Csv);
+        assert_eq!("json".parse::<ReportFormat>().unwrap(), ReportFormat::Json);
+        let err = "xml".parse::<ReportFormat>().unwrap_err();
+        assert!(err.contains("xml"), "{err}");
+        assert!(err.contains("table|csv|json"), "{err}");
+    }
+
+    #[test]
+    fn resource_average_means_stats_and_maxes_depth() {
+        let a = ResourceReport {
+            cpu: ResourceStats {
+                utilization: 0.2,
+                mean_queue_depth: 1.0,
+                max_queue_depth: 3,
+                mean_wait_s: 0.01,
+                queue_depth_p50: 1.0,
+                queue_depth_p90: 2.0,
+                queue_depth_p99: 3.0,
+            },
+            ..ResourceReport::default()
+        };
+        let b = ResourceReport {
+            cpu: ResourceStats {
+                utilization: 0.4,
+                mean_queue_depth: 3.0,
+                max_queue_depth: 7,
+                mean_wait_s: 0.03,
+                queue_depth_p50: 3.0,
+                queue_depth_p90: 4.0,
+                queue_depth_p99: 9.0,
+            },
+            ..ResourceReport::default()
+        };
+        let avg = ResourceReport::average(&[a, b]);
+        assert!((avg.cpu.utilization - 0.3).abs() < 1e-12);
+        assert!((avg.cpu.mean_queue_depth - 2.0).abs() < 1e-12);
+        assert_eq!(avg.cpu.max_queue_depth, 7);
+        assert!((avg.cpu.mean_wait_s - 0.02).abs() < 1e-12);
+        assert!((avg.cpu.queue_depth_p99 - 6.0).abs() < 1e-12);
+        // Empty slice degrades to the default rather than NaN.
+        assert_eq!(ResourceReport::average(&[]).cpu.max_queue_depth, 0);
+    }
+
+    #[test]
+    fn render_table_carries_core_lines_and_occupancy() {
+        let t = sample_report().render(ReportFormat::Table);
+        assert!(t.contains("committed            900"), "{t}");
+        assert!(
+            t.contains("throughput           9.000 txn/s (90% CI ±5.6%)"),
+            "{t}"
+        );
+        assert!(
+            t.contains("messages / commit    4.00 exec + 8.00 commit"),
+            "{t}"
+        );
+        assert!(t.contains("occupancy p50/90/99  cpu 1.0/3.0/5.0"), "{t}");
+        assert!(
+            t.contains("site 0               util 0.50/0.00/0.00"),
+            "{t}"
+        );
+        assert!(
+            t.contains("overhead model       900/900 commits match Tables 3-4"),
+            "{t}"
+        );
+    }
+
+    #[test]
+    fn render_csv_is_long_format_with_occupancy_columns() {
+        let c = sample_report().render(ReportFormat::Csv);
+        assert!(c.starts_with("section,key,value\n"), "{c}");
+        assert!(c.contains("run,committed,900\n"), "{c}");
+        assert!(c.contains("resources,cpu_occ_p99,5.000000\n"), "{c}");
+        assert!(c.contains("site0,cpu_occ_p90,3.000000\n"), "{c}");
+        // Every line is exactly three comma-separated fields.
+        for line in c.lines() {
+            assert_eq!(line.split(',').count(), 3, "{line}");
+        }
+    }
+
+    #[test]
+    fn render_json_is_balanced_and_nulls_non_finite() {
+        let mut r = sample_report();
+        r.throughput_ci.half_width = f64::INFINITY;
+        let j = r.render(ReportFormat::Json);
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced braces: {j}"
+        );
+        assert!(j.contains("\"throughput_ci90\":null"), "{j}");
+        assert!(j.contains("\"committed\":900"), "{j}");
+        assert!(j.contains("\"site_resources\":[{"), "{j}");
+        assert!(j.contains("\"queue_depth_p99\":5"), "{j}");
+        assert!(!j.contains("inf"), "{j}");
     }
 }

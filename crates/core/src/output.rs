@@ -188,15 +188,51 @@ pub fn render_phase_csv(exp: &Experiment) -> String {
     out
 }
 
+/// Per-site station-occupancy percentiles as CSV: one row per
+/// (MPL, series, site) with the time-weighted p50/p90/p99 queue depth
+/// of the site's CPU, data disks and log disks. The plottable form of
+/// [`SimReport::site_resources`].
+pub fn render_occupancy_csv(exp: &Experiment) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "mpl,series,site");
+    for station in ["cpu", "data", "log"] {
+        for q in ["p50", "p90", "p99"] {
+            let _ = write!(out, ",{station} occ {q}");
+        }
+    }
+    let _ = writeln!(out);
+    for (i, mpl) in exp.mpls().iter().enumerate() {
+        for s in &exp.series {
+            let Some(r) = s.points.get(i) else { continue };
+            let label = s.label.replace(',', ";");
+            for (site, res) in r.site_resources.iter().enumerate() {
+                let _ = write!(out, "{mpl},{label},{site}");
+                for st in [&res.cpu, &res.data_disk, &res.log_disk] {
+                    let _ = write!(
+                        out,
+                        ",{:.6},{:.6},{:.6}",
+                        st.queue_depth_p50, st.queue_depth_p90, st.queue_depth_p99
+                    );
+                }
+                let _ = writeln!(out);
+            }
+        }
+    }
+    out
+}
+
 /// The sweep CLI's `--csv` output: the throughput CSV (means plus 90%
-/// CI half-widths) followed by a blank line and the per-phase latency
-/// percentile CSV — two machine-readable blocks from the same runs.
-/// Like every renderer over a [`sweep`](crate::experiments::sweep)
-/// result, the output is byte-identical for every `--jobs` count.
+/// CI half-widths), the per-phase latency percentile CSV, and the
+/// per-site occupancy percentile CSV — three machine-readable blocks
+/// from the same runs, separated by blank lines. Like every renderer
+/// over a [`sweep`](crate::experiments::sweep) result, the output is
+/// byte-identical for every `--jobs` count.
 pub fn render_sweep_csv(exp: &Experiment) -> String {
     let mut out = render_csv_ci(exp);
     out.push('\n');
     out.push_str(&render_phase_csv(exp));
+    out.push('\n');
+    out.push_str(&render_occupancy_csv(exp));
     out
 }
 
@@ -307,14 +343,11 @@ mod tests {
 
     fn tiny_experiment() -> Experiment {
         let cfg = SystemConfig::paper_baseline();
-        let scale = Scale {
-            warmup: 10,
-            measured: 80,
-            mpls: vec![1, 2],
-            seed: 3,
-            replications: 1,
-            jobs: Some(1),
-        };
+        let scale = Scale::quick()
+            .with_runs(10, 80)
+            .with_mpls(vec![1, 2])
+            .with_seed(3)
+            .with_jobs(Some(1));
         let specs = vec![
             ("2PC".to_string(), ProtocolSpec::TWO_PC, cfg.clone()),
             ("OPT".to_string(), ProtocolSpec::OPT_2PC, cfg.clone()),
@@ -388,13 +421,34 @@ mod tests {
     }
 
     #[test]
-    fn sweep_csv_concatenates_both_blocks() {
+    fn sweep_csv_concatenates_all_three_blocks() {
         let e = tiny_experiment();
         let csv = render_sweep_csv(&e);
         let blocks: Vec<&str> = csv.split("\n\n").collect();
-        assert_eq!(blocks.len(), 2, "throughput block + phase block");
+        assert_eq!(blocks.len(), 3, "throughput + phase + occupancy blocks");
         assert_eq!(blocks[0], render_csv_ci(&e).trim_end_matches('\n'));
         assert!(blocks[1].starts_with("mpl,2PC exec p50"));
+        assert!(blocks[2].starts_with("mpl,series,site,cpu occ p50"));
+    }
+
+    #[test]
+    fn occupancy_csv_has_one_row_per_mpl_series_site() {
+        let e = tiny_experiment();
+        let csv = render_occupancy_csv(&e);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), 3 + 9);
+        assert!(header.contains("log occ p99"));
+        let sites = e.series[0].points[0].site_resources.len();
+        assert!(sites > 0);
+        let rows: Vec<&str> = lines.collect();
+        assert_eq!(rows.len(), e.mpls().len() * e.series.len() * sites);
+        for row in rows {
+            assert_eq!(row.split(',').count(), 3 + 9, "ragged: {row}");
+        }
+        // Rows name each series and enumerate sites from zero.
+        assert!(csv.contains("1,2PC,0,"));
+        assert!(csv.contains("2,OPT,0,"));
     }
 
     #[test]

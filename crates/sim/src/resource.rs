@@ -13,6 +13,7 @@
 //! any) whose service just started together with its completion time;
 //! the caller schedules the completion event on its [`crate::Calendar`].
 
+use crate::stats::OccupancyHistogram;
 use crate::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -70,6 +71,9 @@ pub struct Station<J> {
     busy_unit_time: u64,
     /// Time-integral of the queue length (job-µs), for mean queue depth.
     queue_unit_time: u64,
+    /// Time-weighted queue-depth distribution over the same spans as
+    /// `queue_unit_time`, for p50/p90/p99 occupancy.
+    occupancy: OccupancyHistogram,
     /// Largest queue length seen in the statistics window.
     max_queue: usize,
     served: u64,
@@ -103,6 +107,7 @@ impl<J> Station<J> {
             stats_origin: SimTime::ZERO,
             busy_unit_time: 0,
             queue_unit_time: 0,
+            occupancy: OccupancyHistogram::new(),
             max_queue: 0,
             served: 0,
             total_wait: 0,
@@ -132,9 +137,11 @@ impl<J> Station<J> {
 
     fn accumulate(&mut self, now: SimTime) {
         debug_assert!(now >= self.last_change);
-        let dt = (now - self.last_change).as_micros();
-        self.busy_unit_time += self.busy as u64 * dt;
-        self.queue_unit_time += (self.high.len() + self.low.len()) as u64 * dt;
+        let dt = now - self.last_change;
+        let depth = (self.high.len() + self.low.len()) as u64;
+        self.busy_unit_time += self.busy as u64 * dt.as_micros();
+        self.queue_unit_time += depth * dt.as_micros();
+        self.occupancy.record_span(depth, dt);
         self.last_change = now;
     }
 
@@ -240,11 +247,19 @@ impl<J> Station<J> {
         self.max_queue
     }
 
+    /// Time-weighted queue-depth histogram over the statistics window,
+    /// with the final open interval flushed up to `now`.
+    pub fn occupancy(&mut self, now: SimTime) -> &OccupancyHistogram {
+        self.accumulate(now);
+        &self.occupancy
+    }
+
     /// Reset statistics (not state) — used at the end of warm-up.
     pub fn reset_stats(&mut self, now: SimTime) {
         self.accumulate(now);
         self.busy_unit_time = 0;
         self.queue_unit_time = 0;
+        self.occupancy = OccupancyHistogram::new();
         self.max_queue = self.queued();
         self.served = 0;
         self.total_wait = 0;
@@ -375,6 +390,37 @@ mod tests {
         s.reset_stats(at(30));
         assert_eq!(s.max_queue_depth(), 0);
         assert_eq!(s.mean_queue_depth(at(40)), 0.0);
+    }
+
+    #[test]
+    fn occupancy_flushes_final_interval_and_resets() {
+        let mut s: Station<u32> = Station::finite(1);
+        s.arrive(at(0), 1, ms(10), JobClass::Low).unwrap();
+        s.arrive(at(0), 2, ms(10), JobClass::Low); // queued [0,10)
+        s.arrive(at(5), 3, ms(10), JobClass::Low); // queued [5,20)
+        s.complete(at(10));
+        s.complete(at(20));
+        s.complete(at(30));
+        // Queue depth: 1 on [0,5), 2 on [5,10), 1 on [10,20), 0 on [20,30).
+        // Querying at 40 must flush the still-open zero-depth interval.
+        let occ = s.occupancy(at(40));
+        assert_eq!(occ.total_time(), SimDuration::from_millis(40));
+        // Depth 0 holds for 20 of 40 ms, depth <= 1 for 35 of 40 ms.
+        assert_eq!(occ.p50(), 0);
+        assert_eq!(occ.quantile(0.875), 1);
+        assert_eq!(occ.p90(), 2);
+        assert_eq!(occ.quantile(1.0), 2);
+        assert!((occ.mean() - 25.0 / 40.0).abs() < 1e-9);
+        // Mean from the histogram agrees with the queue-length integral.
+        assert!((occ.mean() - s.mean_queue_depth(at(40))).abs() < 1e-9);
+        s.reset_stats(at(40));
+        assert_eq!(s.occupancy(at(40)).total_time(), SimDuration::ZERO);
+        // Post-reset the (empty) queue keeps integrating from the origin.
+        assert_eq!(
+            s.occupancy(at(50)).total_time(),
+            SimDuration::from_millis(10)
+        );
+        assert_eq!(s.occupancy(at(50)).quantile(1.0), 0);
     }
 
     #[test]

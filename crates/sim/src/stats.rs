@@ -297,6 +297,31 @@ impl BatchMeans {
     }
 }
 
+/// Number of major buckets in the shared log-linear geometry: up to
+/// 2^32 (µs ≈ 71.6 minutes for durations, or a queue depth of ~4·10^9).
+const LOG_LINEAR_MAJORS: usize = 33;
+
+/// Shared HDR-style bucket index: power-of-two major buckets, each split
+/// into 16 linear sub-buckets; the first major bucket is linear over
+/// 0..16 so small values are exact. Relative error ≤ 6.25%.
+fn log_linear_bucket(v: u64) -> (usize, usize) {
+    if v < 16 {
+        return (0, v as usize);
+    }
+    let major = 63 - v.leading_zeros() as usize; // floor(log2)
+    let minor = ((v >> (major - 4)) & 0xF) as usize;
+    (major.min(LOG_LINEAR_MAJORS - 1) - 3, minor)
+}
+
+/// Lower bound of a log-linear bucket (inverse of [`log_linear_bucket`]).
+fn log_linear_bucket_value(major: usize, minor: usize) -> u64 {
+    if major == 0 {
+        return minor as u64;
+    }
+    let m = major + 3;
+    (1u64 << m) + ((minor as u64) << (m - 4))
+}
+
 /// A log-linear duration histogram (HDR-style): power-of-two major
 /// buckets, each split into 16 linear sub-buckets, covering 1 µs to
 /// ~4 600 s with ≤ 6.25% relative error. Used for response-time
@@ -317,38 +342,18 @@ impl Default for DurationHistogram {
 }
 
 impl DurationHistogram {
-    const MAJORS: usize = 33; // up to 2^32 µs ≈ 71.6 minutes
-
     /// An empty histogram.
     pub fn new() -> Self {
         DurationHistogram {
-            counts: vec![[0; 16]; Self::MAJORS],
+            counts: vec![[0; 16]; LOG_LINEAR_MAJORS],
             total: 0,
             sum_micros: 0,
         }
     }
 
-    fn bucket(us: u64) -> (usize, usize) {
-        if us < 16 {
-            // The first major bucket is linear over 0..16 µs.
-            return (0, us as usize);
-        }
-        let major = 63 - us.leading_zeros() as usize; // floor(log2)
-        let minor = ((us >> (major - 4)) & 0xF) as usize;
-        (major.min(Self::MAJORS - 1) - 3, minor)
-    }
-
-    fn bucket_value(major: usize, minor: usize) -> u64 {
-        if major == 0 {
-            return minor as u64;
-        }
-        let m = major + 3;
-        (1u64 << m) + ((minor as u64) << (m - 4))
-    }
-
     /// Record one duration.
     pub fn record(&mut self, d: SimDuration) {
-        let (major, minor) = Self::bucket(d.as_micros());
+        let (major, minor) = log_linear_bucket(d.as_micros());
         self.counts[major][minor] += 1;
         self.total += 1;
         self.sum_micros += d.as_micros() as u128;
@@ -381,7 +386,7 @@ impl DurationHistogram {
             for (minor, &c) in row.iter().enumerate() {
                 seen += c;
                 if seen >= target {
-                    return SimDuration(Self::bucket_value(major, minor));
+                    return SimDuration(log_linear_bucket_value(major, minor));
                 }
             }
         }
@@ -418,6 +423,120 @@ impl DurationHistogram {
         }
         self.total += other.total;
         self.sum_micros += other.sum_micros;
+    }
+}
+
+/// A time-weighted occupancy histogram over the same log-linear bucket
+/// geometry as [`DurationHistogram`], but with *time* as the weight:
+/// each bucket accumulates the µs the tracked level (queue depth,
+/// population) spent at that value. Quantiles are therefore
+/// time-weighted — `p99()` is the depth the queue did not exceed for
+/// 99% of the observed interval, which explains throughput cliffs a
+/// mean depth cannot.
+///
+/// Feed it from the same piecewise-constant accumulation loop as a
+/// [`TimeWeighted`]: on every level change, record the span just ended
+/// with [`OccupancyHistogram::record_span`]. Zero-width spans are
+/// ignored (they carry no time weight), and the caller is responsible
+/// for flushing the final open interval before querying.
+#[derive(Debug, Clone)]
+pub struct OccupancyHistogram {
+    /// weight\[major\]\[minor\] in µs of time spent at that level.
+    weights: Vec<[u64; 16]>,
+    total_micros: u64,
+    /// Σ level·µs, for the exact time-weighted mean.
+    weighted_sum: u128,
+}
+
+impl Default for OccupancyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OccupancyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        OccupancyHistogram {
+            weights: vec![[0; 16]; LOG_LINEAR_MAJORS],
+            total_micros: 0,
+            weighted_sum: 0,
+        }
+    }
+
+    /// The level held `depth` for `dt`. Zero-width spans are dropped.
+    pub fn record_span(&mut self, depth: u64, dt: SimDuration) {
+        let micros = dt.as_micros();
+        if micros == 0 {
+            return;
+        }
+        let (major, minor) = log_linear_bucket(depth);
+        self.weights[major][minor] += micros;
+        self.total_micros += micros;
+        self.weighted_sum += depth as u128 * micros as u128;
+    }
+
+    /// Total observed time.
+    pub fn total_time(&self) -> SimDuration {
+        SimDuration(self.total_micros)
+    }
+
+    /// Exact time-weighted mean level (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.total_micros == 0 {
+            0.0
+        } else {
+            self.weighted_sum as f64 / self.total_micros as f64
+        }
+    }
+
+    /// The level not exceeded for fraction `q` of the observed time, as
+    /// a bucket lower bound (≤ 6.25% relative error; exact below 16).
+    /// Returns zero for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total_micros == 0 {
+            return 0;
+        }
+        let target = ((q * self.total_micros as f64).ceil() as u64).clamp(1, self.total_micros);
+        let mut seen = 0;
+        for (major, row) in self.weights.iter().enumerate() {
+            for (minor, &w) in row.iter().enumerate() {
+                seen += w;
+                if seen >= target {
+                    return log_linear_bucket_value(major, minor);
+                }
+            }
+        }
+        unreachable!("total_micros tracks bucket weights");
+    }
+
+    /// Shorthand: the time-weighted median level.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Shorthand: the level not exceeded 90% of the time.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// Shorthand: the level not exceeded 99% of the time.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one; valid because the weights
+    /// are plain time integrals, so merging equals having observed both
+    /// intervals back to back.
+    pub fn merge(&mut self, other: &OccupancyHistogram) {
+        for (mine, theirs) in self.weights.iter_mut().zip(other.weights.iter()) {
+            for (m, t) in mine.iter_mut().zip(theirs.iter()) {
+                *m += t;
+            }
+        }
+        self.total_micros += other.total_micros;
+        self.weighted_sum += other.weighted_sum;
     }
 }
 
@@ -661,6 +780,86 @@ mod tests {
     #[should_panic(expected = "quantile out of range")]
     fn histogram_rejects_bad_quantile() {
         DurationHistogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn occupancy_zero_width_spans_are_ignored() {
+        let mut h = OccupancyHistogram::new();
+        h.record_span(7, SimDuration(0));
+        assert_eq!(h.total_time(), SimDuration::ZERO);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p99(), 0);
+        // A zero-width span between real spans must not perturb them.
+        h.record_span(2, SimDuration(10));
+        h.record_span(9, SimDuration(0));
+        h.record_span(2, SimDuration(10));
+        assert_eq!(h.total_time(), SimDuration(20));
+        assert_eq!(h.p50(), 2);
+        assert_eq!(h.quantile(1.0), 2);
+    }
+
+    #[test]
+    fn occupancy_quantiles_are_time_weighted() {
+        let mut h = OccupancyHistogram::new();
+        // Depth 0 for 90 µs, depth 5 for 9 µs, depth 12 for 1 µs.
+        h.record_span(0, SimDuration(90));
+        h.record_span(5, SimDuration(9));
+        h.record_span(12, SimDuration(1));
+        assert_eq!(h.total_time(), SimDuration(100));
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p90(), 0); // exactly 90% of time at depth 0
+        assert_eq!(h.quantile(0.95), 5);
+        assert_eq!(h.p99(), 5);
+        assert_eq!(h.quantile(1.0), 12);
+        // Mean is exact: (0*90 + 5*9 + 12*1) / 100
+        assert!((h.mean() - 0.57).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_small_depths_are_exact() {
+        let mut h = OccupancyHistogram::new();
+        for depth in 0..16u64 {
+            h.record_span(depth, SimDuration(1));
+        }
+        // Uniform time at depths 0..=15: the median µs falls at depth 7.
+        assert_eq!(h.p50(), 7);
+        assert_eq!(h.quantile(1.0), 15);
+    }
+
+    #[test]
+    fn occupancy_merge_equals_sequential() {
+        let mut whole = OccupancyHistogram::new();
+        let mut a = OccupancyHistogram::new();
+        let mut b = OccupancyHistogram::new();
+        for depth in 0..200u64 {
+            let dt = SimDuration(depth % 17 + 1);
+            whole.record_span(depth, dt);
+            if depth % 2 == 0 {
+                a.record_span(depth, dt);
+            } else {
+                b.record_span(depth, dt);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.total_time(), whole.total_time());
+        assert_eq!(a.mean(), whole.mean());
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn occupancy_large_depths_within_relative_error() {
+        let mut h = OccupancyHistogram::new();
+        h.record_span(1000, SimDuration(100));
+        let p = h.p50();
+        assert!(p <= 1000 && p as f64 >= 1000.0 * (1.0 - 0.0625), "p50={p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn occupancy_rejects_bad_quantile() {
+        OccupancyHistogram::new().quantile(-0.1);
     }
 
     #[test]

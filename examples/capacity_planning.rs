@@ -25,8 +25,7 @@ use simkernel::SimDuration;
 fn find_peak(cfg: &SystemConfig, spec: ProtocolSpec) -> (u32, SimReport) {
     let mut best: Option<(u32, SimReport)> = None;
     for mpl in [1u32, 2, 3, 4, 5, 6, 8, 10, 12] {
-        let mut cfg = cfg.clone();
-        cfg.mpl = mpl;
+        let cfg = cfg.clone().with_mpl(mpl);
         let report = Simulation::run(&cfg, spec, 7).expect("valid config");
         let better = best
             .as_ref()
@@ -41,10 +40,10 @@ fn find_peak(cfg: &SystemConfig, spec: ProtocolSpec) -> (u32, SimReport) {
 fn main() {
     // "Our" installation: the paper's topology with year-2000 hardware —
     // 1 ms message path and three data disks per site.
-    let mut cfg = SystemConfig::paper_baseline().fast_network();
-    cfg.num_data_disks = 3;
-    cfg.run.warmup_transactions = 300;
-    cfg.run.measured_transactions = 3_000;
+    let cfg = SystemConfig::paper_baseline()
+        .fast_network()
+        .with_data_disks(3)
+        .with_run_length(300, 3_000);
 
     println!("Installation under study:\n{cfg}");
 

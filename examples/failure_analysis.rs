@@ -13,10 +13,9 @@ use distcommit::db::engine::Simulation;
 use distcommit::proto::ProtocolSpec;
 
 fn main() {
-    let mut base = SystemConfig::paper_baseline();
-    base.mpl = 4;
-    base.run.warmup_transactions = 300;
-    base.run.measured_transactions = 3_000;
+    let base = SystemConfig::paper_baseline()
+        .with_mpl(4)
+        .with_run_length(300, 3_000);
 
     println!("Master crashes at the decision point; detection 300 ms, recovery 5 s.");
     println!("Throughput (txn/s) at MPL 4:\n");
@@ -27,10 +26,11 @@ fn main() {
 
     let mut flip: Option<f64> = None;
     for &p in &[0.0, 0.001, 0.005, 0.01, 0.02, 0.05] {
-        let mut cfg = base.clone();
-        if p > 0.0 {
-            cfg.failures = Some(FailureConfig::master_crashes(p));
-        }
+        let cfg = if p > 0.0 {
+            base.clone().with_failures(FailureConfig::master_crashes(p))
+        } else {
+            base.clone()
+        };
         let t = |spec| {
             Simulation::run(&cfg, spec, 42)
                 .expect("valid config")

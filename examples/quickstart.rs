@@ -12,10 +12,9 @@ use distcommit::proto::ProtocolSpec;
 fn main() {
     // The reconstructed Table 2 baseline: 8 sites, parallel
     // transactions over 3 sites, 6 pages per cohort, all updates.
-    let mut cfg = SystemConfig::paper_baseline();
-    cfg.mpl = 4; // the throughput knee in the paper's figures
-    cfg.run.warmup_transactions = 500;
-    cfg.run.measured_transactions = 5_000;
+    let cfg = SystemConfig::paper_baseline()
+        .with_mpl(4) // the throughput knee in the paper's figures
+        .with_run_length(500, 5_000);
 
     println!("Workload / system configuration (Table 2):\n{cfg}");
 

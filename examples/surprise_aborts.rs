@@ -16,10 +16,9 @@ use distcommit::db::engine::Simulation;
 use distcommit::proto::ProtocolSpec;
 
 fn main() {
-    let mut cfg = SystemConfig::paper_baseline();
-    cfg.mpl = 4;
-    cfg.run.warmup_transactions = 300;
-    cfg.run.measured_transactions = 4_000;
+    let base = SystemConfig::paper_baseline()
+        .with_mpl(4)
+        .with_run_length(300, 4_000);
 
     println!(
         "{:>10} {:>12} {:>10} {:>10} {:>10} {:>12}",
@@ -28,7 +27,7 @@ fn main() {
 
     let mut crossover: Option<f64> = None;
     for &p in &[0.0, 0.01, 0.02, 0.05, 0.08, 0.10, 0.12] {
-        cfg.cohort_abort_prob = p;
+        let cfg = base.clone().with_cohort_abort_prob(p);
         let run = |spec| Simulation::run(&cfg, spec, 42).expect("valid config");
         let two_pc = run(ProtocolSpec::TWO_PC);
         let pa = run(ProtocolSpec::PA);

@@ -25,11 +25,10 @@ fn main() {
 
     // A conflict-free single-transaction-per-site setup so the timeline
     // shows pure protocol behaviour.
-    let mut cfg = SystemConfig::paper_baseline();
-    cfg.db_size = 80_000;
-    cfg.mpl = 1;
-    cfg.run.warmup_transactions = 0;
-    cfg.run.measured_transactions = 30;
+    let cfg = SystemConfig::paper_baseline()
+        .with_db_size(80_000)
+        .with_mpl(1)
+        .with_run_length(0, 30);
 
     println!("protocol: {spec}   (2 remote cohorts + 1 local, conflict-free)\n");
     let (report, trace) = Simulation::run_traced(&cfg, spec, 7, 1).expect("valid configuration");
@@ -53,10 +52,9 @@ fn main() {
     // Under contention, the same protocol grows OPT shelf/lending
     // events — show a second transaction from a contended run.
     if spec.opt {
-        let mut hot = SystemConfig::pure_data_contention();
-        hot.mpl = 6;
-        hot.run.warmup_transactions = 0;
-        hot.run.measured_transactions = 300;
+        let hot = SystemConfig::pure_data_contention()
+            .with_mpl(6)
+            .with_run_length(0, 300);
         let (_, tr) = Simulation::run_traced(&hot, spec, 11, 100_000).expect("valid config");
         if let Some(txn) = tr.txns().into_iter().find(|&t| {
             tr.of_txn(t)

@@ -5,7 +5,7 @@ fn main() {
     let code = match distcommit::cli::parse(&args) {
         Ok(cmd) => distcommit::cli::execute(cmd),
         Err(e) => {
-            eprintln!("error: {e}\n\n{}", distcommit::cli::USAGE);
+            eprintln!("error: {e}\n\n{}", *distcommit::cli::USAGE);
             2
         }
     };

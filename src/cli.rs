@@ -13,13 +13,15 @@
 
 use commitproto::ProtocolSpec;
 use distdb::config::{FailureConfig, ResourceMode, RestartPolicy, SystemConfig, TransType};
-use distdb::engine::Simulation;
+use distdb::engine::{ChromeStreamSink, FoldSink, Simulation};
 use distdb::experiments::{self, Scale};
+use distdb::metrics::ReportFormat;
 use distdb::output::{
     render_ascii_chart, render_peaks, render_sweep_csv, render_table, render_table_ci, Metric,
 };
 use simkernel::SimDuration;
 use std::fmt;
+use std::sync::LazyLock;
 
 /// A parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,10 +31,24 @@ pub enum Command {
         cfg: SystemConfig,
         protocol: ProtocolSpec,
         seed: u64,
+        format: ReportFormat,
+        /// Stream every trace event to this file as Chrome trace-event
+        /// JSON while the run executes (bounded memory; no in-memory
+        /// event buffer).
+        trace_out: Option<String>,
     },
     /// Per-transaction commit choreography: readable timelines plus an
     /// optional Chrome trace-event JSON export.
     Trace {
+        cfg: SystemConfig,
+        protocol: ProtocolSpec,
+        seed: u64,
+        txns: u64,
+        out: Option<String>,
+    },
+    /// Fold traced transactions into weighted collapsed stacks
+    /// (`root;phase;station;activity weight`) for flamegraph tools.
+    Fold {
         cfg: SystemConfig,
         protocol: ProtocolSpec,
         seed: u64,
@@ -79,18 +95,36 @@ fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
     Err(CliError(msg.into()))
 }
 
-/// Usage text printed by `help` and on errors.
-pub const USAGE: &str = "\
+/// Usage text printed by `help` and on errors. Built lazily so the
+/// `--faults` key table renders straight from
+/// [`FailureConfig::CLI_KEYS`] — the parser and the help text share
+/// one vocabulary by construction.
+pub static USAGE: LazyLock<String> = LazyLock::new(|| {
+    let fault_keys: String = FailureConfig::CLI_KEYS
+        .iter()
+        .map(|(key, desc)| format!("                             {key:<20} {desc}\n"))
+        .collect();
+    format!(
+        "\
 distcommit — the SIGMOD'97 commit-processing simulator
 
 USAGE:
   distcommit run   [OPTIONS]                 one simulation run
   distcommit trace [OPTIONS]                 per-txn commit choreography
+  distcommit fold  [OPTIONS]                 collapsed-stack flamegraph fold
   distcommit sweep [OPTIONS]                 protocols x MPLs sweep
   distcommit experiment <fig1|fig2|expt3|fig3|fig4|fig5|seq|failures|faults>
                         [--full] [--reps N] [--jobs N]
   distcommit tables                          Tables 2-4
   distcommit help
+
+RUN OUTPUT:
+  --format <F>             report format: table (default), csv
+                           (long-form section,key,value) or json
+  --trace-out <FILE>       stream Chrome trace-event JSON to FILE while
+                           the run executes — bounded memory, so it
+                           works for arbitrarily long runs; loadable in
+                           chrome://tracing or https://ui.perfetto.dev
 
 TRACE:
   --txns <N>               transactions to trace from the start of the
@@ -98,23 +132,24 @@ TRACE:
   --out <FILE>             also write Chrome trace-event JSON, loadable
                            in chrome://tracing or Perfetto
 
+FOLD:
+  --txns <N>               transactions to fold (default: all)
+  --out <FILE>             write the collapsed stacks to FILE instead
+                           of stdout; lines are
+                           `protocol;phase;station;activity weight`
+                           (weights in simulated µs), ready for
+                           flamegraph.pl / inferno / speedscope
+
 SWEEP OUTPUT:
   --csv                    emit CSV instead of tables/chart: throughput
-                           (mean + 90% CI half-width per series), a
-                           blank line, then per-phase p50/p90/p99
-                           latencies; byte-identical for every --jobs
+                           (mean + 90% CI half-width per series), then
+                           per-phase p50/p90/p99 latencies, then
+                           per-site occupancy percentiles, separated by
+                           blank lines; byte-identical for every --jobs
 
-FAULT INJECTION (run, trace & sweep):
+FAULT INJECTION (run, trace, fold & sweep):
   --faults <K=V,..>        enable the failure model; keys:
-                             mc=P                 master crash probability
-                             cc=P                 cohort crash probability
-                             loss=P               message loss probability
-                             detect-ms=MS         3PC crash-detection timeout (300)
-                             recover-ms=MS        master recovery time (5000)
-                             cohort-recover-ms=MS cohort recovery time (1000)
-                             retry-ms=MS          retransmission timeout (100)
-                             retries=N            max retransmissions (3)
-                           e.g. --faults mc=0.01,cc=0.005,loss=0.01
+{fault_keys}                           e.g. --faults mc=0.01,cc=0.005,loss=0.01
 
 PARALLELISM & REPLICATIONS (sweep & experiment):
   --jobs <N>               worker threads for the run grid (default:
@@ -153,7 +188,9 @@ OPTIONS (run & sweep):
   --measured <N>           measured transactions (default 5000)
 
 Protocols: CENT DPCC 2PC PA PC 3PC OPT OPT-PA OPT-PC OPT-3PC
-";
+"
+    )
+});
 
 fn take_value<'a>(
     flag: &str,
@@ -181,36 +218,12 @@ fn parse_list<T: std::str::FromStr>(flag: &str, v: &str) -> Result<Vec<T>, CliEr
         .collect()
 }
 
-/// Parse a `--faults` specification: comma-separated `key=value`
-/// pairs over [`FailureConfig::default`] (all probabilities zero, the
-/// failure suite's timing constants).
+/// Parse a `--faults` specification by delegating to
+/// [`FailureConfig`]'s `FromStr` — the typed parser the library
+/// exposes — and prefixing errors with the flag name.
 fn parse_faults(v: &str) -> Result<FailureConfig, CliError> {
-    let mut f = FailureConfig::default();
-    let ms = |key: &str, val: &str| -> Result<SimDuration, CliError> {
-        Ok(SimDuration::from_millis_f64(parse_num(key, val)?))
-    };
-    for part in v.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-        let Some((key, val)) = part.split_once('=') else {
-            return err(format!("--faults: expected key=value, got {part:?}"));
-        };
-        match key {
-            "mc" => f.master_crash_prob = parse_num(key, val)?,
-            "cc" => f.cohort_crash_prob = parse_num(key, val)?,
-            "loss" => f.msg_loss_prob = parse_num(key, val)?,
-            "detect-ms" => f.detection_timeout = ms(key, val)?,
-            "recover-ms" => f.recovery_time = ms(key, val)?,
-            "cohort-recover-ms" => f.cohort_recovery_time = ms(key, val)?,
-            "retry-ms" => f.msg_timeout = ms(key, val)?,
-            "retries" => f.max_retransmits = parse_num(key, val)?,
-            other => {
-                return err(format!(
-                    "--faults: unknown key {other:?} (mc, cc, loss, detect-ms, \
-                     recover-ms, cohort-recover-ms, retry-ms, retries)"
-                ))
-            }
-        }
-    }
-    Ok(f)
+    v.parse()
+        .map_err(|e: String| CliError(format!("--faults: {e}")))
 }
 
 /// Parse an argument vector (without the program name).
@@ -251,7 +264,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 None => err("experiment needs an id (fig1|fig2|expt3|fig3|fig4|fig5|seq)"),
             }
         }
-        "run" | "sweep" | "trace" => {
+        "run" | "sweep" | "trace" | "fold" => {
             let mut cfg = SystemConfig::paper_baseline();
             cfg.run.warmup_transactions = 500;
             cfg.run.measured_transactions = 5_000;
@@ -261,8 +274,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 cfg.run.warmup_transactions = 50;
                 cfg.run.measured_transactions = 200;
             }
-            let mut txns = 3u64;
+            let mut txns: Option<u64> = None;
             let mut out: Option<String> = None;
+            let mut format: Option<ReportFormat> = None;
+            let mut trace_out: Option<String> = None;
             let mut protocol = ProtocolSpec::TWO_PC;
             let mut protocols = vec![
                 ProtocolSpec::CENT,
@@ -282,8 +297,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--protocol" => protocol = parse_protocol(take_value(a, &mut it)?)?,
                     "--csv" => csv = true,
                     "--faults" => cfg.failures = Some(parse_faults(take_value(a, &mut it)?)?),
-                    "--txns" => txns = parse_num(a, take_value(a, &mut it)?)?,
+                    "--txns" => txns = Some(parse_num(a, take_value(a, &mut it)?)?),
                     "--out" => out = Some(take_value(a, &mut it)?.clone()),
+                    "--format" => {
+                        format = Some(
+                            take_value(a, &mut it)?
+                                .parse()
+                                .map_err(|e: String| CliError(format!("--format: {e}")))?,
+                        )
+                    }
+                    "--trace-out" => trace_out = Some(take_value(a, &mut it)?.clone()),
                     "--reps" => reps = parse_num(a, take_value(a, &mut it)?)?,
                     "--jobs" => jobs = Some(parse_num(a, take_value(a, &mut it)?)?),
                     "--protocols" => {
@@ -351,25 +374,37 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 }
             }
             cfg.validate().map_err(|e| CliError(e.to_string()))?;
-            if sub != "trace" && (txns != 3 || out.is_some()) {
-                return err("--txns/--out apply to trace only");
+            if sub != "trace" && sub != "fold" && (txns.is_some() || out.is_some()) {
+                return err("--txns/--out apply to trace and fold only");
+            }
+            if sub != "run" && (format.is_some() || trace_out.is_some()) {
+                return err("--format/--trace-out apply to run only");
             }
             if sub != "sweep" && csv {
                 return err("--csv applies to sweep only");
             }
-            if sub == "run" || sub == "trace" {
+            if sub != "sweep" {
                 if reps != 1 || jobs.is_some() {
-                    return err("--reps/--jobs apply to sweep and experiment, not run/trace");
+                    return err("--reps/--jobs apply to sweep and experiment only");
+                }
+                if txns == Some(0) {
+                    return err("--txns must be at least 1");
                 }
                 if sub == "trace" {
-                    if txns == 0 {
-                        return err("--txns must be at least 1");
-                    }
                     return Ok(Command::Trace {
                         cfg,
                         protocol,
                         seed,
-                        txns,
+                        txns: txns.unwrap_or(3),
+                        out,
+                    });
+                }
+                if sub == "fold" {
+                    return Ok(Command::Fold {
+                        cfg,
+                        protocol,
+                        seed,
+                        txns: txns.unwrap_or(u64::MAX),
                         out,
                     });
                 }
@@ -377,6 +412,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     cfg,
                     protocol,
                     seed,
+                    format: format.unwrap_or(ReportFormat::Table),
+                    trace_out,
                 })
             } else {
                 if protocols.is_empty() || mpls.is_empty() {
@@ -405,7 +442,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
 pub fn execute(cmd: Command) -> i32 {
     match cmd {
         Command::Help => {
-            println!("{USAGE}");
+            println!("{}", *USAGE);
             0
         }
         Command::Tables => {
@@ -445,79 +482,82 @@ pub fn execute(cmd: Command) -> i32 {
             cfg,
             protocol,
             seed,
+            format,
+            trace_out,
         } => {
-            println!("{cfg}");
-            match Simulation::run(&cfg, protocol, seed) {
-                Ok(r) => {
-                    println!("{}", r.summary());
-                    println!();
-                    println!("committed            {}", r.committed);
-                    println!(
-                        "aborts               {} deadlock, {} surprise, {} cascade",
-                        r.aborted_deadlock, r.aborted_surprise, r.aborted_borrower
-                    );
-                    println!(
-                        "throughput           {:.3} txn/s (90% CI ±{:.1}%)",
-                        r.throughput,
-                        r.throughput_ci.relative_half_width() * 100.0
-                    );
-                    println!("response             {:.4}s mean", r.mean_response_s);
-                    println!("block ratio          {:.4}", r.block_ratio);
-                    println!("borrow ratio         {:.4} pages/txn", r.borrow_ratio);
-                    println!(
-                        "messages / commit    {:.2} exec + {:.2} commit",
-                        r.exec_messages_per_commit, r.commit_messages_per_commit
-                    );
-                    println!(
-                        "forced writes        {:.2} / commit",
-                        r.forced_writes_per_commit
-                    );
-                    let ph = [
-                        ("exec", &r.phase_latencies.execution),
-                        ("vote", &r.phase_latencies.voting),
-                        ("ack", &r.phase_latencies.decision),
-                    ];
-                    for (name, l) in ph {
-                        println!(
-                            "phase {name:<14} mean {:7.2} ms, p50 {:7.2}, p90 {:7.2}, p99 {:7.2}",
-                            l.mean_s * 1e3,
-                            l.p50_s * 1e3,
-                            l.p90_s * 1e3,
-                            l.p99_s * 1e3
-                        );
+            // The streaming sink writes events to disk as they occur,
+            // so tracing a full run needs no in-memory event buffer.
+            let result = match &trace_out {
+                Some(path) => match ChromeStreamSink::create(std::path::Path::new(path)) {
+                    Ok(sink) => Simulation::run_with_sink(&cfg, protocol, seed, u64::MAX, sink)
+                        .map(|(r, sink)| (r, Some(sink))),
+                    Err(e) => {
+                        eprintln!("error: cannot create {path}: {e}");
+                        return 1;
                     }
-                    let res = [
-                        ("cpu", &r.resources.cpu),
-                        ("data disk", &r.resources.data_disk),
-                        ("log disk", &r.resources.log_disk),
-                    ];
-                    for (name, s) in res {
-                        println!(
-                            "{name:<20} util {:.2}, queue mean {:.2} / max {}, wait {:.4}s",
-                            s.utilization, s.mean_queue_depth, s.max_queue_depth, s.mean_wait_s
-                        );
+                },
+                None => Simulation::run(&cfg, protocol, seed).map(|r| (r, None)),
+            };
+            match result {
+                Ok((r, sink)) => {
+                    if format == ReportFormat::Table {
+                        println!("{cfg}");
                     }
-                    let oc = &r.overhead_check;
-                    println!(
-                        "overhead model       {}/{} commits match Tables 3-4{}",
-                        oc.checked_commits - oc.mismatched_commits,
-                        oc.checked_commits,
-                        if oc.is_clean() {
-                            String::new()
-                        } else {
-                            format!(
-                                " (MISMATCH: msg delta {}, forced-write delta {})",
-                                oc.message_delta, oc.forced_write_delta
-                            )
+                    print!("{}", r.render(format));
+                    if let Some(sink) = sink {
+                        let path = trace_out.as_deref().unwrap_or_default();
+                        match sink.into_result() {
+                            // stderr keeps csv/json output machine-readable.
+                            Ok(events) => eprintln!(
+                                "chrome trace ({events} events) streamed to {path} — open in \
+                                 chrome://tracing or https://ui.perfetto.dev"
+                            ),
+                            Err(e) => {
+                                eprintln!("error: cannot write {path}: {e}");
+                                return 1;
+                            }
                         }
-                    );
-                    if r.mean_log_batch > 1.0 {
-                        println!(
-                            "log batch            {:.2} writes / service",
-                            r.mean_log_batch
-                        );
                     }
-                    i32::from(!oc.is_clean())
+                    i32::from(!r.overhead_check.is_clean())
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
+        Command::Fold {
+            cfg,
+            protocol,
+            seed,
+            txns,
+            out,
+        } => {
+            let sink = FoldSink::new(protocol.name());
+            match Simulation::run_with_sink(&cfg, protocol, seed, txns, sink) {
+                Ok((report, fold)) => {
+                    let rendered = fold.render();
+                    match out {
+                        Some(path) => {
+                            if let Err(e) = std::fs::write(&path, &rendered) {
+                                eprintln!("error: cannot write {path}: {e}");
+                                return 1;
+                            }
+                            println!(
+                                "{} collapsed stacks written to {path} — render with \
+                                 flamegraph.pl, inferno-flamegraph or speedscope",
+                                fold.stacks().len()
+                            );
+                            println!("{}", report.summary());
+                        }
+                        None => {
+                            // stdout carries only the collapsed stacks, so
+                            // `distcommit fold | flamegraph.pl` works.
+                            print!("{rendered}");
+                            eprintln!("{}", report.summary());
+                        }
+                    }
+                    0
                 }
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -573,14 +613,12 @@ pub fn execute(cmd: Command) -> i32 {
             jobs,
             csv,
         } => {
-            let scale = Scale {
-                warmup: cfg.run.warmup_transactions,
-                measured: cfg.run.measured_transactions,
-                mpls,
-                seed,
-                replications: reps,
-                jobs,
-            };
+            let scale = Scale::quick()
+                .with_runs(cfg.run.warmup_transactions, cfg.run.measured_transactions)
+                .with_mpls(mpls)
+                .with_seed(seed)
+                .with_replications(reps)
+                .with_jobs(jobs);
             let specs: Vec<(String, ProtocolSpec, SystemConfig)> = protocols
                 .iter()
                 .map(|&p| (p.name().to_string(), p, cfg.clone()))
@@ -695,6 +733,8 @@ mod tests {
             cfg,
             protocol,
             seed,
+            format,
+            trace_out,
         } = parse(&argv("run")).unwrap()
         else {
             panic!("expected Run");
@@ -702,6 +742,8 @@ mod tests {
         assert_eq!(protocol, ProtocolSpec::TWO_PC);
         assert_eq!(seed, 42);
         assert_eq!(cfg.mpl, 4);
+        assert_eq!(format, ReportFormat::Table);
+        assert_eq!(trace_out, None);
     }
 
     #[test]
@@ -718,6 +760,7 @@ mod tests {
             cfg,
             protocol,
             seed,
+            ..
         } = cmd
         else {
             panic!("expected Run")
@@ -898,9 +941,83 @@ mod tests {
 
     #[test]
     fn usage_mentions_every_subcommand() {
-        for word in ["run", "trace", "sweep", "experiment", "tables", "help"] {
+        for word in [
+            "run",
+            "trace",
+            "fold",
+            "sweep",
+            "experiment",
+            "tables",
+            "help",
+        ] {
             assert!(USAGE.contains(word), "usage missing {word}");
         }
+    }
+
+    #[test]
+    fn usage_lists_every_fault_key_from_the_config_table() {
+        // The help text renders FailureConfig::CLI_KEYS verbatim, so
+        // the parser vocabulary and the documentation cannot drift.
+        for (key, desc) in FailureConfig::CLI_KEYS {
+            assert!(USAGE.contains(key), "usage missing fault key {key}");
+            assert!(USAGE.contains(desc), "usage missing fault desc {desc}");
+        }
+    }
+
+    #[test]
+    fn run_parses_format_and_trace_out() {
+        let Command::Run {
+            format, trace_out, ..
+        } = parse(&argv("run --format json --trace-out /tmp/r.json")).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(format, ReportFormat::Json);
+        assert_eq!(trace_out.as_deref(), Some("/tmp/r.json"));
+        let Command::Run { format, .. } = parse(&argv("run --format csv")).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(format, ReportFormat::Csv);
+        // Bad formats are rejected with the flag named.
+        let e = parse(&argv("run --format xml")).unwrap_err();
+        assert!(e.0.contains("--format"), "{e}");
+        // The flags are run-only.
+        assert!(parse(&argv("sweep --format json")).is_err());
+        assert!(parse(&argv("trace --trace-out x.json")).is_err());
+        assert!(parse(&argv("fold --format csv")).is_err());
+    }
+
+    #[test]
+    fn fold_parses_txns_and_out() {
+        let Command::Fold {
+            cfg,
+            protocol,
+            seed,
+            txns,
+            out,
+        } = parse(&argv(
+            "fold --protocol 3PC --seed 5 --txns 100 --out /tmp/f.folded",
+        ))
+        .unwrap()
+        else {
+            panic!("expected Fold");
+        };
+        assert_eq!(protocol, ProtocolSpec::THREE_PC);
+        assert_eq!(seed, 5);
+        assert_eq!(txns, 100);
+        assert_eq!(out.as_deref(), Some("/tmp/f.folded"));
+        // Fold uses run-length defaults (it aggregates, so a full run
+        // is the point) and folds every transaction by default.
+        assert_eq!(cfg.run.warmup_transactions, 500);
+        assert_eq!(cfg.run.measured_transactions, 5_000);
+        let Command::Fold { txns, out, .. } = parse(&argv("fold")).unwrap() else {
+            panic!("expected Fold");
+        };
+        assert_eq!(txns, u64::MAX);
+        assert_eq!(out, None);
+        assert!(parse(&argv("fold --txns 0")).is_err());
+        assert!(parse(&argv("fold --reps 2")).is_err());
+        assert!(parse(&argv("fold --csv")).is_err());
     }
 
     #[test]

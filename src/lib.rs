@@ -28,10 +28,9 @@
 //! use distcommit::db::{config::SystemConfig, engine::Simulation, protocol::ProtocolSpec};
 //!
 //! // Paper baseline (Table 2), 2PC vs OPT at MPL 4.
-//! let mut cfg = SystemConfig::paper_baseline();
-//! cfg.mpl = 4;
-//! cfg.run.measured_transactions = 500; // short demo run
-//! cfg.run.warmup_transactions = 50;
+//! let cfg = SystemConfig::paper_baseline()
+//!     .with_mpl(4)
+//!     .with_run_length(50, 500); // short demo run
 //!
 //! let two_pc = Simulation::run(&cfg, ProtocolSpec::TWO_PC, 1).unwrap();
 //! let opt = Simulation::run(&cfg, ProtocolSpec::OPT_2PC, 1).unwrap();

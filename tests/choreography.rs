@@ -11,11 +11,10 @@ use simkernel::SimTime;
 /// A conflict-free 3-site setup so transaction 1's trace is pure
 /// protocol, no lock waits or restarts.
 fn traced(spec: ProtocolSpec) -> Trace {
-    let mut cfg = SystemConfig::paper_baseline();
-    cfg.db_size = 80_000;
-    cfg.mpl = 1;
-    cfg.run.warmup_transactions = 0;
-    cfg.run.measured_transactions = 40;
+    let cfg = SystemConfig::paper_baseline()
+        .with_db_size(80_000)
+        .with_mpl(1)
+        .with_run_length(0, 40);
     let (report, trace) = Simulation::run_traced(&cfg, spec, 5, 1).expect("valid config");
     assert_eq!(
         report.total_aborts(),
@@ -223,12 +222,11 @@ fn all_no_votes_abort_choreography() {
     // cohort_abort_prob = 1: every cohort vetoes, every transaction
     // aborts forever; cap the simulated time and inspect the first
     // transaction's abort path.
-    let mut cfg = SystemConfig::paper_baseline();
-    cfg.db_size = 80_000;
-    cfg.mpl = 1;
-    cfg.cohort_abort_prob = 1.0;
-    cfg.run.warmup_transactions = 0;
-    cfg.run.measured_transactions = 10;
+    let mut cfg = SystemConfig::paper_baseline()
+        .with_db_size(80_000)
+        .with_mpl(1)
+        .with_cohort_abort_prob(1.0)
+        .with_run_length(0, 10);
     cfg.run.max_sim_time = Some(SimTime::from_secs(30));
 
     // 2PC: NO voters force their abort records; there are no prepared
@@ -259,12 +257,11 @@ fn single_no_vote_aborts_the_prepared_rest() {
     // *mixed* vote we instead reconstruct from a p = 0.5 run: find a
     // traced transaction whose trace has both YES and NO votes and
     // check the abort fan-out against the prepared count.
-    let mut cfg = SystemConfig::paper_baseline();
-    cfg.db_size = 80_000;
-    cfg.mpl = 1;
-    cfg.cohort_abort_prob = 0.5;
-    cfg.run.warmup_transactions = 0;
-    cfg.run.measured_transactions = 30;
+    let cfg = SystemConfig::paper_baseline()
+        .with_db_size(80_000)
+        .with_mpl(1)
+        .with_cohort_abort_prob(0.5)
+        .with_run_length(0, 30);
     let (_, tr) = Simulation::run_traced(&cfg, ProtocolSpec::TWO_PC, 11, 200).unwrap();
     let mut found = false;
     for txn in tr.txns() {
@@ -298,10 +295,9 @@ fn single_no_vote_aborts_the_prepared_rest() {
 fn opt_shelf_lifecycle_is_balanced() {
     // Under contention with no surprise aborts, every shelved cohort is
     // eventually unshelved (its lenders can only commit).
-    let mut cfg = SystemConfig::pure_data_contention();
-    cfg.mpl = 6;
-    cfg.run.warmup_transactions = 0;
-    cfg.run.measured_transactions = 400;
+    let cfg = SystemConfig::pure_data_contention()
+        .with_mpl(6)
+        .with_run_length(0, 400);
     let (report, tr) = Simulation::run_traced(&cfg, ProtocolSpec::OPT_2PC, 13, 100_000).unwrap();
     assert!(
         report.borrow_ratio > 0.0,
@@ -341,10 +337,9 @@ fn opt_shelf_lifecycle_is_balanced() {
 
 #[test]
 fn tracing_does_not_perturb_the_simulation() {
-    let mut cfg = SystemConfig::paper_baseline();
-    cfg.mpl = 4;
-    cfg.run.warmup_transactions = 50;
-    cfg.run.measured_transactions = 400;
+    let cfg = SystemConfig::paper_baseline()
+        .with_mpl(4)
+        .with_run_length(50, 400);
     let plain = Simulation::run(&cfg, ProtocolSpec::OPT_2PC, 17).unwrap();
     let (traced, trace) = Simulation::run_traced(&cfg, ProtocolSpec::OPT_2PC, 17, 10_000).unwrap();
     assert_eq!(plain.events, traced.events);

@@ -5,8 +5,8 @@
 //! is exactly the well-formedness guarantee the viewers need — and then
 //! check the field mapping back against the recorded [`TraceEvent`]s.
 
-use distcommit::db::config::SystemConfig;
-use distcommit::db::engine::{chrome_trace_json, Simulation, TraceEvent};
+use distcommit::db::config::{FailureConfig, SystemConfig};
+use distcommit::db::engine::{chrome_trace_json, ChromeStreamSink, Simulation, TraceEvent};
 use distcommit::proto::ProtocolSpec;
 
 // ---------------------------------------------------------------------
@@ -236,9 +236,7 @@ fn parse_json(s: &str) -> Json {
 // ---------------------------------------------------------------------
 
 fn traced_run() -> (distcommit::db::engine::Trace, String) {
-    let mut cfg = SystemConfig::paper_baseline();
-    cfg.run.warmup_transactions = 10;
-    cfg.run.measured_transactions = 60;
+    let cfg = SystemConfig::paper_baseline().with_run_length(10, 60);
     let (_, trace) =
         Simulation::run_traced(&cfg, ProtocolSpec::TWO_PC, 0xC0FFEE, 3).expect("valid config");
     let json = chrome_trace_json(&trace);
@@ -285,17 +283,24 @@ fn export_round_trips_through_an_independent_parser() {
 }
 
 #[test]
-fn events_are_time_ordered() {
+fn events_are_emitted_in_completion_order() {
+    // The exporter streams records as events complete: instants at
+    // their own timestamp, X records when their LogDone arrives (ts
+    // holds the earlier *issue* time, so X records may sort before
+    // instants already written). The invariant that makes single-pass
+    // streaming possible — and that Chrome/Perfetto rely on not at
+    // all, since they sort on load — is that each record's *end* time
+    // (ts, or ts+dur for X) never decreases.
     let (_, json) = traced_run();
     let doc = parse_json(&json);
-    let ts: Vec<f64> = timed_events(&doc)
+    let ends: Vec<f64> = timed_events(&doc)
         .iter()
-        .map(|e| e.get("ts").unwrap().as_num())
+        .map(|e| e.get("ts").unwrap().as_num() + e.get("dur").map(Json::as_num).unwrap_or(0.0))
         .collect();
-    assert!(!ts.is_empty());
+    assert!(!ends.is_empty());
     assert!(
-        ts.windows(2).all(|w| w[0] <= w[1]),
-        "timestamps not ascending"
+        ends.windows(2).all(|w| w[0] <= w[1]),
+        "completion times not ascending"
     );
 }
 
@@ -356,6 +361,84 @@ fn fields_map_from_trace_events() {
             "missing process_name metadata for txn {txn}"
         );
     }
+}
+
+/// A scratch file in the target-adjacent temp dir, removed on drop so
+/// failed assertions don't leak files between runs.
+struct TempFile(std::path::PathBuf);
+
+impl TempFile {
+    fn new(name: &str) -> Self {
+        let mut p = std::env::temp_dir();
+        p.push(format!("distcommit-{}-{name}", std::process::id()));
+        TempFile(p)
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn streaming_sink_matches_buffered_export_byte_for_byte() {
+    let cfg = SystemConfig::paper_baseline().with_run_length(10, 60);
+
+    let (_, trace) =
+        Simulation::run_traced(&cfg, ProtocolSpec::TWO_PC, 0xC0FFEE, 3).expect("valid config");
+    let buffered = chrome_trace_json(&trace);
+
+    let tmp = TempFile::new("stream-identity.json");
+    let sink = ChromeStreamSink::create(&tmp.0).expect("create temp file");
+    let (_, sink) = Simulation::run_with_sink(&cfg, ProtocolSpec::TWO_PC, 0xC0FFEE, 3, sink)
+        .expect("valid config");
+    sink.into_result().expect("no I/O errors");
+    let streamed = std::fs::read_to_string(&tmp.0).expect("read streamed trace");
+
+    assert_eq!(
+        buffered, streamed,
+        "streaming and buffered exports must be byte-identical for the same seed"
+    );
+}
+
+#[test]
+fn long_faulty_streaming_run_stays_bounded_and_valid() {
+    // 10× the length of the buffered-trace tests above, with every
+    // fault class enabled — crashes and retransmissions leave forced
+    // writes in flight, which is exactly what the open-force list must
+    // keep bounded.
+    let cfg = SystemConfig::paper_baseline()
+        .with_run_length(0, 600)
+        .with_failures(
+            "mc=0.02,cc=0.01,loss=0.02"
+                .parse::<FailureConfig>()
+                .expect("valid fault spec"),
+        );
+
+    let tmp = TempFile::new("stream-long.json");
+    let sink = ChromeStreamSink::create(&tmp.0).expect("create temp file");
+    let (report, sink) = Simulation::run_with_sink(&cfg, ProtocolSpec::THREE_PC, 7, u64::MAX, sink)
+        .expect("valid config");
+    assert!(report.committed >= 600);
+
+    // Memory boundedness: the only state the streamer holds per event
+    // is the open-force list, whose high-water mark is a small multiple
+    // of the in-flight transactions (MPL × sites) — not the run length.
+    let high_water = sink.max_open_forces();
+    let events = sink.into_result().expect("no I/O errors");
+    assert!(events > 1_000, "long run produced only {events} events");
+    let in_flight = (cfg.mpl as usize) * cfg.num_sites;
+    assert!(
+        high_water <= 4 * in_flight,
+        "open-force high water {high_water} not bounded by in-flight txns ({in_flight})"
+    );
+
+    // The streamed file is still well-formed Chrome JSON end to end.
+    let streamed = std::fs::read_to_string(&tmp.0).expect("read streamed trace");
+    let doc = parse_json(&streamed);
+    assert_eq!(doc.get("displayTimeUnit").unwrap().as_str(), "ms");
+    assert!(timed_events(&doc).len() > 1_000);
 }
 
 #[test]

@@ -1,0 +1,58 @@
+//! Golden-file checks for the machine-readable outputs: the JSON
+//! report and the folded-stack flamegraph lines. These formats are
+//! consumed by external tools (jq pipelines, flamegraph.pl), so any
+//! byte-level drift is a breaking change and must be deliberate.
+//!
+//! To bless an intentional change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+
+use distcommit::db::config::SystemConfig;
+use distcommit::db::engine::{FoldSink, Simulation};
+use distcommit::db::metrics::ReportFormat;
+use distcommit::proto::ProtocolSpec;
+
+/// Small but non-trivial: long enough to populate every report section
+/// (phases, per-site resources, occupancy percentiles) yet quick to run.
+fn golden_cfg() -> SystemConfig {
+    SystemConfig::paper_baseline().with_run_length(10, 80)
+}
+
+fn check(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {name}: {e}\nrun `UPDATE_GOLDEN=1 cargo test --test golden`")
+    });
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from tests/golden/{name}; if intentional, \
+         rerun with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn json_report_matches_golden() {
+    let report = Simulation::run(&golden_cfg(), ProtocolSpec::TWO_PC, 2026).expect("valid config");
+    check("report.json", &report.render(ReportFormat::Json));
+}
+
+#[test]
+fn folded_stacks_match_golden() {
+    let (_, fold) = Simulation::run_with_sink(
+        &golden_cfg(),
+        ProtocolSpec::THREE_PC,
+        2026,
+        u64::MAX,
+        FoldSink::new(ProtocolSpec::THREE_PC.name()),
+    )
+    .expect("valid config");
+    check("fold.txt", &fold.render());
+}
