@@ -1,0 +1,40 @@
+//! The canonical engine benchmark as a `cargo bench` target:
+//!
+//! ```sh
+//! cargo bench -p distbench --bench hotpath            # full grid
+//! DISTCOMMIT_BENCH_QUICK=1 cargo bench -p distbench --bench hotpath
+//! ```
+//!
+//! Prints the grid table; set `DISTCOMMIT_BENCH_OUT=<file>` to append
+//! the entry to a trajectory file (see `BENCH_6.json` at the repo
+//! root) and `DISTCOMMIT_BENCH_LABEL` to label it. The same harness
+//! backs `distcommit bench`, which adds the baseline regression gate.
+
+use distbench::canonical::{append_entry, render_entry, run_grid, Options};
+
+fn main() {
+    let quick = matches!(
+        std::env::var("DISTCOMMIT_BENCH_QUICK").as_deref(),
+        Ok("1") | Ok("true")
+    );
+    let opts = Options {
+        quick,
+        label: std::env::var("DISTCOMMIT_BENCH_LABEL").unwrap_or_else(|_| "cargo bench".into()),
+        ..Options::default()
+    };
+    distbench::banner("hotpath", "canonical engine grid (events per core-second)");
+    let entry = run_grid(&opts).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", render_entry(&entry));
+    if let Ok(path) = std::env::var("DISTCOMMIT_BENCH_OUT") {
+        match append_entry(&path, &entry) {
+            Ok(()) => println!("[trajectory] appended to {path}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -38,10 +38,11 @@ fn bench_calendar() {
 fn bench_lock_manager() {
     bench("locks/request-release 1k no-conflict", || {
         let mut lm = LockManager::new(false);
+        let owners: Vec<_> = (0..16u64).map(|s| lm.register_owner(s)).collect();
         for i in 0..1_000u64 {
-            black_box(lm.request(i % 16, i, LockMode::Update));
+            black_box(lm.request(owners[(i % 16) as usize], i, LockMode::Update));
         }
-        for owner in 0..16u64 {
+        for &owner in &owners {
             black_box(lm.release_all(owner));
         }
     });
@@ -50,28 +51,32 @@ fn bench_lock_manager() {
         "locks/contended queue drain",
         || {
             let mut lm = LockManager::new(false);
-            lm.request(0, 42, LockMode::Update);
-            for owner in 1..64u64 {
-                lm.request(owner, 42, LockMode::Read);
+            let holder = lm.register_owner(0);
+            lm.request(holder, 42, LockMode::Update);
+            for seq in 1..64u64 {
+                let o = lm.register_owner(seq);
+                lm.request(o, 42, LockMode::Read);
             }
-            lm
+            (lm, holder)
         },
-        |mut lm| black_box(lm.release_all(0)),
+        |(mut lm, holder)| black_box(lm.release_all(holder)),
     );
 
     bench_with_setup(
         "locks/lending grant via mark_prepared",
         || {
             let mut lm = LockManager::new(true);
+            let lender = lm.register_owner(1);
             for page in 0..32u64 {
-                lm.request(1, page, LockMode::Update);
+                lm.request(lender, page, LockMode::Update);
             }
             for (i, page) in (0..32u64).enumerate() {
-                lm.request(100 + i as u64, page, LockMode::Update);
+                let o = lm.register_owner(100 + i as u64);
+                lm.request(o, page, LockMode::Update);
             }
-            lm
+            (lm, lender)
         },
-        |mut lm| black_box(lm.mark_prepared(1)),
+        |(mut lm, lender)| black_box(lm.mark_prepared(lender)),
     );
 }
 

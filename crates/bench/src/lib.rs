@@ -8,6 +8,8 @@
 //! (2 000 measured transactions per point); set `DISTCOMMIT_FULL=1`
 //! for paper-length runs (50 000+ transactions per point, MPL 1..10).
 
+pub mod canonical;
+
 use distdb::experiments::Experiment;
 use distdb::output::{render_ascii_chart, render_csv, render_peaks, render_table, Metric};
 use std::io::Write as _;

@@ -6,7 +6,7 @@
 //! of [`commitproto::BaseProtocol`] — which records are forced, who
 //! acknowledges what — so this file encodes only the choreography.
 
-use super::types::{CohortId, CohortPhase, LogWork, MsgKind, TxnId, TxnPhase, Vote};
+use super::types::{CohortH, CohortId, CohortPhase, LogWork, MsgKind, TxnH, TxnPhase, Vote};
 use super::Simulation;
 use crate::config::TransType;
 use crate::metrics::AbortReason;
@@ -19,8 +19,8 @@ impl Simulation {
 
     /// A WORKDONE arrived (possibly stale if the transaction aborted
     /// while the message was in flight).
-    pub(crate) fn master_workdone(&mut self, txn_id: TxnId) {
-        let Some(t) = self.txns.get_mut(&txn_id) else {
+    pub(crate) fn master_workdone(&mut self, txn: TxnH) {
+        let Some(t) = self.txns.get_mut(txn) else {
             return;
         };
         debug_assert_eq!(t.phase, TxnPhase::Executing);
@@ -35,14 +35,14 @@ impl Simulation {
             return;
         }
         if t.pending_workdone == 0 {
-            self.begin_commit(txn_id);
+            self.begin_commit(txn);
         }
     }
 
     /// All cohorts reported: start commit processing.
-    fn begin_commit(&mut self, txn_id: TxnId) {
+    fn begin_commit(&mut self, txn: TxnH) {
         let now = self.cal.now();
-        let t = self.txns.get_mut(&txn_id).expect("live txn");
+        let t = self.txns.get_mut(txn).expect("live txn");
         t.commit_started = Some(now);
         let home = t.home;
         match self.spec.base {
@@ -50,28 +50,22 @@ impl Simulation {
             // at the master (§5.1).
             BaseProtocol::Centralized | BaseProtocol::Dpcc => {
                 t.phase = TxnPhase::LoggingDecision { commit: true };
-                self.force_log(
-                    home,
-                    LogWork::MasterDecision {
-                        txn: txn_id,
-                        commit: true,
-                    },
-                );
+                self.force_log(home, LogWork::MasterDecision { txn, commit: true });
             }
             // Presumed Commit force-writes the collecting record before
             // the first phase (§2.3).
             BaseProtocol::PresumedCommit => {
                 t.phase = TxnPhase::Collecting;
-                self.force_log(home, LogWork::MasterCollecting { txn: txn_id });
+                self.force_log(home, LogWork::MasterCollecting { txn });
             }
             // Linear 2PC: start the chain at the first (local) cohort.
             BaseProtocol::Linear2PC => {
                 t.phase = TxnPhase::Voting;
                 let first = t.cohorts[0];
-                let site = self.cohorts[&first].site;
+                let site = self.cohorts[first].site;
                 self.send(home, site, MsgKind::ChainPrepare { cohort: first });
             }
-            _ => self.send_prepares(txn_id),
+            _ => self.send_prepares(txn),
         }
     }
 
@@ -80,9 +74,9 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     /// The chain neighbours of a cohort: `(predecessor, successor)`
-    /// cohort ids in the transaction's chain order.
-    fn chain_neighbours(&self, cohort: CohortId) -> (Option<CohortId>, Option<CohortId>) {
-        let txn = &self.txns[&self.cohorts[&cohort].txn];
+    /// cohorts in the transaction's chain order.
+    fn chain_neighbours(&self, cohort: CohortH) -> (Option<CohortH>, Option<CohortH>) {
+        let txn = &self.txns[self.cohorts[cohort].txn];
         let pos = txn
             .cohorts
             .iter()
@@ -100,12 +94,12 @@ impl Simulation {
     /// A freshly prepared linear cohort: pass PREPARE down the chain,
     /// or — at the chain's end with every cohort prepared — turn the
     /// message flow around with the commit decision.
-    fn linear_forward(&mut self, cohort: CohortId) {
+    fn linear_forward(&mut self, cohort: CohortH) {
         let (_, succ) = self.chain_neighbours(cohort);
-        let site = self.cohorts[&cohort].site;
+        let site = self.cohorts[cohort].site;
         match succ {
             Some(next) => {
-                let next_site = self.cohorts[&next].site;
+                let next_site = self.cohorts[next].site;
                 self.send(site, next_site, MsgKind::ChainPrepare { cohort: next });
             }
             None => {
@@ -119,11 +113,11 @@ impl Simulation {
 
     /// A linear cohort finished implementing the decision: pass it
     /// backward, or hand it to the master at the chain's head.
-    fn linear_backward(&mut self, cohort: CohortId, txn_id: TxnId, site: usize, commit: bool) {
+    fn linear_backward(&mut self, cohort: CohortH, txn: TxnH, site: usize, commit: bool) {
         let (pred, _) = self.chain_neighbours(cohort);
         match pred {
             Some(prev) => {
-                let prev_site = self.cohorts[&prev].site;
+                let prev_site = self.cohorts[prev].site;
                 self.send(
                     site,
                     prev_site,
@@ -134,15 +128,8 @@ impl Simulation {
                 );
             }
             None => {
-                let home = self.txns[&txn_id].home;
-                self.send(
-                    site,
-                    home,
-                    MsgKind::ChainBack {
-                        txn: txn_id,
-                        commit,
-                    },
-                );
+                let home = self.txns[txn].home;
+                self.send(site, home, MsgKind::ChainBack { txn, commit });
             }
         }
     }
@@ -151,24 +138,24 @@ impl Simulation {
     /// force the master record; `master_decided` then completes the
     /// transaction (commit) or aborts the cohorts the forward chain
     /// never reached (abort).
-    pub(crate) fn master_chain_back(&mut self, txn_id: TxnId, commit: bool) {
-        self.decide_now(txn_id, commit);
+    pub(crate) fn master_chain_back(&mut self, txn: TxnH, commit: bool) {
+        self.decide_now(txn, commit);
     }
 
     /// PC's collecting record hit the disk: now run the vote.
-    pub(crate) fn master_collected(&mut self, txn_id: TxnId) {
-        self.send_prepares(txn_id);
+    pub(crate) fn master_collected(&mut self, txn: TxnH) {
+        self.send_prepares(txn);
     }
 
-    fn send_prepares(&mut self, txn_id: TxnId) {
-        let t = self.txns.get_mut(&txn_id).expect("live txn");
+    fn send_prepares(&mut self, txn: TxnH) {
+        let t = self.txns.get_mut(txn).expect("live txn");
         t.phase = TxnPhase::Voting;
         t.pending_votes = t.cohorts.len();
         let home = t.home;
-        let targets: Vec<(CohortId, usize)> = t
+        let targets: Vec<(CohortH, usize)> = t
             .cohorts
             .iter()
-            .map(|&c| (c, self.cohorts[&c].site))
+            .map(|&c| (c, self.cohorts[c].site))
             .collect();
         for (cohort, site) in targets {
             self.send(home, site, MsgKind::Prepare { cohort });
@@ -182,12 +169,12 @@ impl Simulation {
     /// PREPARE arrived at a cohort: release read locks, then vote.
     /// With probability `cohort_abort_prob` the vote is a surprise NO
     /// (§5.7); otherwise the cohort force-writes its prepare record.
-    pub(crate) fn cohort_prepare(&mut self, cohort: CohortId) {
+    pub(crate) fn cohort_prepare(&mut self, cohort: CohortH) {
         // Under message loss PREPAREs are retransmitted on a timer, so a
         // duplicate can reach a cohort that already acted on the first
         // copy (or finished entirely). Without fault injection a stale
         // PREPARE is still an engine bug.
-        let Some(c) = self.cohorts.get_mut(&cohort) else {
+        let Some(c) = self.cohorts.get_mut(cohort) else {
             debug_assert!(self.cfg.failures.is_some(), "stale PREPARE without faults");
             return;
         };
@@ -199,24 +186,27 @@ impl Simulation {
             );
             return;
         }
-        let site = c.site;
+        let (site, txn, owner, acc_index) = (c.site, c.txn, c.lock_owner, c.acc_index);
 
         // Read-Only optimization (§3.2): a cohort with no updates has
         // nothing to make durable — it releases everything, answers
         // READ, and is finished with the protocol.
-        if self.cfg.read_only_optimization && c.accesses.iter().all(|a| !a.update) {
-            let txn_id = c.txn;
-            let home = self.txns[&txn_id].home;
+        if self.cfg.read_only_optimization
+            && self.txns[txn].template.accesses[acc_index]
+                .iter()
+                .all(|a| !a.update)
+        {
+            let home = self.txns[txn].home;
             let locks = &mut self.sites[site].locks;
-            debug_assert!(!locks.has_live_borrows(cohort), "shelf rule was bypassed");
-            locks.drop_borrower(cohort);
-            let grants = locks.release_all(cohort);
-            self.process_grants(grants);
+            debug_assert!(!locks.has_live_borrows(owner), "shelf rule was bypassed");
+            locks.drop_borrower(owner);
+            let grants = locks.release_all(owner);
+            self.process_grants(site, grants);
             self.send(
                 site,
                 home,
                 MsgKind::Vote {
-                    txn: txn_id,
+                    txn,
                     vote: Vote::ReadOnly,
                 },
             );
@@ -226,12 +216,12 @@ impl Simulation {
 
         // "the cohort releases all its read locks but retains its update
         // locks until it receives and implements the global decision"
-        let grants = self.sites[site].locks.release_read_locks(cohort);
-        self.process_grants(grants);
+        let grants = self.sites[site].locks.release_read_locks(owner);
+        self.process_grants(site, grants);
 
         let votes_no =
             self.cfg.cohort_abort_prob > 0.0 && self.rng.chance(self.cfg.cohort_abort_prob);
-        let c = self.cohorts.get_mut(&cohort).expect("exists");
+        let c = self.cohorts.get_mut(cohort).expect("exists");
         if votes_no {
             c.phase = CohortPhase::Deciding { commit: false };
             if self.spec.base.no_vote_abort_forced() {
@@ -247,32 +237,32 @@ impl Simulation {
 
     /// A NO voter's unilateral abort is complete (after its forced abort
     /// record, if the protocol requires one): vote NO and vanish.
-    pub(crate) fn cohort_no_vote_finish(&mut self, cohort: CohortId) {
-        let c = self.cohorts.get(&cohort).expect("live cohort");
-        let (site, txn_id) = (c.site, c.txn);
-        let home = self.txns[&txn_id].home;
+    pub(crate) fn cohort_no_vote_finish(&mut self, cohort: CohortH) {
+        let c = self.cohorts.get(cohort).expect("live cohort");
+        let (site, txn, owner) = (c.site, c.txn, c.lock_owner);
+        let home = self.txns[txn].home;
         // A NO voter was never prepared, so it cannot have lent data;
         // it may itself have borrowed (all lenders committed, or it
         // could not have sent WORKDONE).
         let locks = &mut self.sites[site].locks;
         assert!(
-            locks.borrowers_of(cohort).next().is_none(),
+            locks.borrowers_of(owner).next().is_none(),
             "NO voter lent data"
         );
-        locks.drop_borrower(cohort);
-        let grants = locks.release_all(cohort);
-        self.process_grants(grants);
+        locks.drop_borrower(owner);
+        let grants = locks.release_all(owner);
+        self.process_grants(site, grants);
         if self.spec.base == BaseProtocol::Linear2PC {
             // The veto turns the chain around: predecessors (all
             // prepared) abort one by one; the master aborts whoever the
             // forward pass never reached.
-            self.linear_backward(cohort, txn_id, site, false);
+            self.linear_backward(cohort, txn, site, false);
         } else {
             self.send(
                 site,
                 home,
                 MsgKind::Vote {
-                    txn: txn_id,
+                    txn,
                     vote: Vote::No,
                 },
             );
@@ -282,29 +272,30 @@ impl Simulation {
 
     /// The prepare record is on disk: the cohort is now *prepared* —
     /// under OPT its update locks become lendable — and votes YES.
-    pub(crate) fn cohort_prepared(&mut self, cohort: CohortId) {
+    pub(crate) fn cohort_prepared(&mut self, cohort: CohortH) {
         let now = self.cal.now();
-        let c = self.cohorts.get_mut(&cohort).expect("live cohort");
+        let c = self.cohorts.get_mut(cohort).expect("live cohort");
         debug_assert_eq!(c.phase, CohortPhase::Preparing);
         c.phase = CohortPhase::Prepared;
         c.prepared_since = Some(now);
-        let (site, txn_id) = (c.site, c.txn);
-        self.trace_event(txn_id, |at| super::trace::TraceEvent::Prepared {
+        let (site, txn, owner, cid) = (c.site, c.txn, c.lock_owner, c.id);
+        let txn_ext = self.txns[txn].id;
+        self.trace_event(txn_ext, |at| super::trace::TraceEvent::Prepared {
             at,
-            txn: txn_id,
-            cohort,
+            txn: txn_ext,
+            cohort: cid,
             site,
         });
         // Cohort-crash injection point #1: the prepare record is
         // durable, but the cohort dies before lending its locks or
         // voting. The master cannot decide with the vote outstanding,
         // so it waits; recovery replays the record and re-votes.
-        if self.cohort_crash_roll(cohort, txn_id) {
+        if self.cohort_crash_roll(cohort, txn) {
             return;
         }
-        let home = self.txns[&txn_id].home;
-        let grants = self.sites[site].locks.mark_prepared(cohort);
-        self.process_grants(grants);
+        let home = self.txns[txn].home;
+        let grants = self.sites[site].locks.mark_prepared(owner);
+        self.process_grants(site, grants);
         if self.spec.base == BaseProtocol::Linear2PC {
             self.linear_forward(cohort);
         } else {
@@ -312,7 +303,7 @@ impl Simulation {
                 site,
                 home,
                 MsgKind::Vote {
-                    txn: txn_id,
+                    txn,
                     vote: Vote::Yes,
                 },
             );
@@ -323,7 +314,7 @@ impl Simulation {
     /// record durable / precommit record durable). On a hit the cohort
     /// goes silent — locks held, nothing lent, no answer to the master
     /// — and a restart is scheduled `cohort_recovery_time` later.
-    fn cohort_crash_roll(&mut self, cohort: CohortId, txn_id: TxnId) -> bool {
+    fn cohort_crash_roll(&mut self, cohort: CohortH, txn: TxnH) -> bool {
         let Some(f) = self.cfg.failures else {
             return false;
         };
@@ -336,13 +327,15 @@ impl Simulation {
         }
         let now = self.cal.now();
         self.metrics.cohort_crashes.bump();
-        let t = self.txns.get_mut(&txn_id).expect("live txn");
+        let cid = self.cohorts[cohort].id;
+        let t = self.txns.get_mut(txn).expect("live txn");
         t.crashed = true;
         t.crashed_at.get_or_insert(now);
-        self.trace_event(txn_id, |at| super::trace::TraceEvent::CohortCrashed {
+        let txn_ext = t.id;
+        self.trace_event(txn_ext, |at| super::trace::TraceEvent::CohortCrashed {
             at,
-            txn: txn_id,
-            cohort,
+            txn: txn_ext,
+            cohort: cid,
         });
         self.cal.schedule_in(
             f.cohort_recovery_time,
@@ -356,41 +349,42 @@ impl Simulation {
     /// ([`BaseProtocol::recovery_action`]). The cohort is guaranteed to
     /// still exist — the master cannot have decided with this cohort's
     /// vote (or precommit ack) outstanding.
-    pub(crate) fn cohort_recovered(&mut self, cohort: CohortId) {
+    pub(crate) fn cohort_recovered(&mut self, cohort: CohortH) {
         let c = self
             .cohorts
-            .get(&cohort)
+            .get(cohort)
             .expect("master waits on a crashed cohort");
-        let (site, txn_id, phase) = (c.site, c.txn, c.phase);
-        self.trace_event(txn_id, |at| super::trace::TraceEvent::CohortRecovered {
+        let (site, txn, phase, owner, cid) = (c.site, c.txn, c.phase, c.lock_owner, c.id);
+        let txn_ext = self.txns[txn].id;
+        self.trace_event(txn_ext, |at| super::trace::TraceEvent::CohortRecovered {
             at,
-            txn: txn_id,
-            cohort,
+            txn: txn_ext,
+            cohort: cid,
         });
         let record = match phase {
             CohortPhase::Prepared => commitproto::RecoveryRecord::Prepared,
             CohortPhase::Precommitted => commitproto::RecoveryRecord::Precommitted,
             _ => commitproto::RecoveryRecord::None,
         };
-        let home = self.txns[&txn_id].home;
+        let home = self.txns[txn].home;
         match self.spec.base.recovery_action(record) {
             commitproto::RecoveryAction::ResendVote => {
                 // The replayed prepare record re-enters the prepared
                 // state: only now do the locks become lendable (a down
                 // site cannot serve borrow requests).
-                let grants = self.sites[site].locks.mark_prepared(cohort);
-                self.process_grants(grants);
+                let grants = self.sites[site].locks.mark_prepared(owner);
+                self.process_grants(site, grants);
                 self.send(
                     site,
                     home,
                     MsgKind::Vote {
-                        txn: txn_id,
+                        txn,
                         vote: Vote::Yes,
                     },
                 );
             }
             commitproto::RecoveryAction::ResendPreAck => {
-                self.send(site, home, MsgKind::PreAck { txn: txn_id });
+                self.send(site, home, MsgKind::PreAck { txn });
             }
             commitproto::RecoveryAction::PresumeAbort => {
                 unreachable!("crash points always force a record first")
@@ -402,8 +396,8 @@ impl Simulation {
     // Master: vote collection and decision
     // ------------------------------------------------------------------
 
-    pub(crate) fn master_vote(&mut self, txn_id: TxnId, vote: Vote) {
-        let t = self.txns.get_mut(&txn_id).expect("no stale votes");
+    pub(crate) fn master_vote(&mut self, txn: TxnH, vote: Vote) {
+        let t = self.txns.get_mut(txn).expect("no stale votes");
         debug_assert_eq!(t.phase, TxnPhase::Voting);
         if vote == Vote::No {
             t.no_vote = true;
@@ -413,47 +407,48 @@ impl Simulation {
             return;
         }
         let no_vote = t.no_vote;
-        let cohort_ids = t.cohorts.clone();
+        let cohort_hs = t.cohorts.clone();
         // Phase-two participants: cohorts still alive (READ voters
-        // already left the map via `cohort_done`).
-        let participants = cohort_ids
+        // already left the slab via `cohort_done`).
+        let participants = cohort_hs
             .iter()
-            .filter(|c| self.cohorts.contains_key(c))
+            .filter(|&&c| self.cohorts.contains(c))
             .count();
         if no_vote {
-            self.decide(txn_id, false);
+            self.decide(txn, false);
         } else if participants == 0 {
             // Fully read-only transaction under the Read-Only
             // optimization: one-phase commit, no decision record.
-            self.master_decided(txn_id, true);
+            self.master_decided(txn, true);
         } else if self.spec.base.precommit_phase() {
+            let t = self.txns.get_mut(txn).expect("live txn");
             let home = t.home;
             t.phase = TxnPhase::Precommitting;
-            self.force_log(home, LogWork::MasterPrecommit { txn: txn_id });
+            self.force_log(home, LogWork::MasterPrecommit { txn });
         } else {
-            self.decide(txn_id, true);
+            self.decide(txn, true);
         }
     }
 
     /// 3PC: the master's precommit record is on disk — run the
     /// precommit round (participants only; READ voters dropped out).
-    pub(crate) fn master_precommit_logged(&mut self, txn_id: TxnId) {
-        let t = self.txns.get_mut(&txn_id).expect("live txn");
+    pub(crate) fn master_precommit_logged(&mut self, txn: TxnH) {
+        let t = self.txns.get_mut(txn).expect("live txn");
         let home = t.home;
-        let targets: Vec<(CohortId, usize)> = t
+        let targets: Vec<(CohortH, usize)> = t
             .cohorts
             .iter()
-            .filter_map(|&c| self.cohorts.get(&c).map(|x| (c, x.site)))
+            .filter_map(|&c| self.cohorts.get(c).map(|x| (c, x.site)))
             .collect();
-        let t = self.txns.get_mut(&txn_id).expect("live txn");
+        let t = self.txns.get_mut(txn).expect("live txn");
         t.pending_preacks = targets.len();
         for (cohort, site) in targets {
             self.send(home, site, MsgKind::PreCommit { cohort });
         }
     }
 
-    pub(crate) fn cohort_precommit(&mut self, cohort: CohortId) {
-        let Some(c) = self.cohorts.get_mut(&cohort) else {
+    pub(crate) fn cohort_precommit(&mut self, cohort: CohortH) {
+        let Some(c) = self.cohorts.get_mut(cohort) else {
             debug_assert!(
                 self.cfg.failures.is_some(),
                 "stale PRECOMMIT without faults"
@@ -475,25 +470,25 @@ impl Simulation {
         self.force_log(site, LogWork::CohortPrecommit { cohort });
     }
 
-    pub(crate) fn cohort_precommitted(&mut self, cohort: CohortId) {
-        let c = self.cohorts.get_mut(&cohort).expect("live cohort");
+    pub(crate) fn cohort_precommitted(&mut self, cohort: CohortH) {
+        let c = self.cohorts.get_mut(cohort).expect("live cohort");
         c.phase = CohortPhase::Precommitted;
-        let (site, txn_id) = (c.site, c.txn);
+        let (site, txn) = (c.site, c.txn);
         // Cohort-crash injection point #2: the precommit record is
         // durable but the ack never leaves. Recovery re-announces the
         // precommitted state.
-        if self.cohort_crash_roll(cohort, txn_id) {
+        if self.cohort_crash_roll(cohort, txn) {
             return;
         }
-        let home = self.txns[&txn_id].home;
-        self.send(site, home, MsgKind::PreAck { txn: txn_id });
+        let home = self.txns[txn].home;
+        self.send(site, home, MsgKind::PreAck { txn });
     }
 
-    pub(crate) fn master_preack(&mut self, txn_id: TxnId) {
-        let t = self.txns.get_mut(&txn_id).expect("live txn");
+    pub(crate) fn master_preack(&mut self, txn: TxnH) {
+        let t = self.txns.get_mut(txn).expect("live txn");
         t.pending_preacks -= 1;
         if t.pending_preacks == 0 {
-            self.decide(txn_id, true);
+            self.decide(txn, true);
         }
     }
 
@@ -502,7 +497,7 @@ impl Simulation {
     /// votes (and, for 3PC, preacks) collected, decision not yet
     /// announced. Blocking protocols stall until the master recovers;
     /// 3PC's cohorts detect the crash and terminate on their own.
-    fn decide(&mut self, txn_id: TxnId, commit: bool) {
+    fn decide(&mut self, txn: TxnH, commit: bool) {
         if commit {
             if let Some(f) = self.cfg.failures {
                 if f.master_crash_prob > 0.0 && self.spec.base.has_voting_phase() {
@@ -510,25 +505,23 @@ impl Simulation {
                     if self.rng.chance(f.master_crash_prob) {
                         let now = self.cal.now();
                         self.metrics.master_crashes.bump();
-                        let t = self.txns.get_mut(&txn_id).expect("live txn");
+                        let t = self.txns.get_mut(txn).expect("live txn");
                         t.crashed = true;
                         t.crashed_at.get_or_insert(now);
-                        self.trace_event(txn_id, |at| super::trace::TraceEvent::MasterCrashed {
+                        let txn_ext = t.id;
+                        self.trace_event(txn_ext, |at| super::trace::TraceEvent::MasterCrashed {
                             at,
-                            txn: txn_id,
+                            txn: txn_ext,
                         });
                         if self.spec.base.precommit_phase() {
                             self.cal.schedule_in(
                                 f.detection_timeout,
-                                super::types::Event::StartTermination { txn: txn_id },
+                                super::types::Event::StartTermination { txn },
                             );
                         } else {
                             self.cal.schedule_in(
                                 f.recovery_time,
-                                super::types::Event::MasterRecovered {
-                                    txn: txn_id,
-                                    commit,
-                                },
+                                super::types::Event::MasterRecovered { txn, commit },
                             );
                         }
                         return;
@@ -536,26 +529,20 @@ impl Simulation {
                 }
             }
         }
-        self.decide_now(txn_id, commit);
+        self.decide_now(txn, commit);
     }
 
     /// The crash-free decision path: force the decision record first
     /// when the protocol requires it (PA skips the forced write on
     /// abort). Also the resumption point after a master recovery.
-    pub(crate) fn decide_now(&mut self, txn_id: TxnId, commit: bool) {
+    pub(crate) fn decide_now(&mut self, txn: TxnH, commit: bool) {
         if self.spec.base.master_decision_forced(commit) {
-            let t = self.txns.get_mut(&txn_id).expect("live txn");
+            let t = self.txns.get_mut(txn).expect("live txn");
             t.phase = TxnPhase::LoggingDecision { commit };
             let control = t.control_site();
-            self.force_log(
-                control,
-                LogWork::MasterDecision {
-                    txn: txn_id,
-                    commit,
-                },
-            );
+            self.force_log(control, LogWork::MasterDecision { txn, commit });
         } else {
-            self.master_decided(txn_id, commit);
+            self.master_decided(txn, commit);
         }
     }
 
@@ -568,71 +555,73 @@ impl Simulation {
     /// coordinator; it collects everyone's state and decides. At the
     /// modeled crash point every cohort is precommitted, so the
     /// termination rule decides commit.
-    pub(crate) fn start_termination(&mut self, txn_id: TxnId) {
+    pub(crate) fn start_termination(&mut self, txn: TxnH) {
         self.metrics.termination_rounds.bump();
-        let t = self.txns.get(&txn_id).expect("live txn");
+        let t = self.txns.get(txn).expect("live txn");
         debug_assert!(self.spec.base.precommit_phase());
-        let mut live: Vec<(CohortId, usize)> = t
+        let txn_ext = t.id;
+        let mut live: Vec<(CohortH, usize, CohortId)> = t
             .cohorts
             .iter()
-            .filter_map(|&c| self.cohorts.get(&c).map(|x| (c, x.site)))
+            .filter_map(|&c| self.cohorts.get(c).map(|x| (c, x.site, x.id)))
             .collect();
-        live.sort_by_key(|&(c, site)| (site, c));
-        let (coordinator, coord_site) = live[0];
-        self.trace_event(txn_id, |at| super::trace::TraceEvent::TerminationStarted {
+        live.sort_by_key(|&(_, site, cid)| (site, cid));
+        let (_, coord_site, coordinator) = live[0];
+        self.trace_event(txn_ext, |at| super::trace::TraceEvent::TerminationStarted {
             at,
-            txn: txn_id,
+            txn: txn_ext,
             coordinator,
         });
-        let t = self.txns.get_mut(&txn_id).expect("live txn");
+        let t = self.txns.get_mut(txn).expect("live txn");
         t.coordinator_site = Some(coord_site);
         t.pending_term_reps = live.len() - 1;
         if t.pending_term_reps == 0 {
-            self.coordinator_decides(txn_id);
+            self.coordinator_decides(txn);
             return;
         }
-        for &(cohort, site) in &live[1..] {
+        for &(cohort, site, _) in &live[1..] {
             self.send(coord_site, site, MsgKind::TermStateReq { cohort });
         }
     }
 
     /// A cohort answers the termination coordinator's state request.
-    pub(crate) fn cohort_term_state_req(&mut self, cohort: CohortId) {
-        let c = self.cohorts.get(&cohort).expect("live cohort");
+    pub(crate) fn cohort_term_state_req(&mut self, cohort: CohortH) {
+        let c = self.cohorts.get(cohort).expect("live cohort");
         debug_assert_eq!(c.phase, CohortPhase::Precommitted);
-        let (site, txn_id) = (c.site, c.txn);
-        let control = self.txns[&txn_id].control_site();
-        self.send(site, control, MsgKind::TermStateRep { txn: txn_id });
+        let (site, txn) = (c.site, c.txn);
+        let control = self.txns[txn].control_site();
+        self.send(site, control, MsgKind::TermStateRep { txn });
     }
 
     /// The coordinator collected a state report.
-    pub(crate) fn coordinator_term_state_rep(&mut self, txn_id: TxnId) {
-        let t = self.txns.get_mut(&txn_id).expect("live txn");
+    pub(crate) fn coordinator_term_state_rep(&mut self, txn: TxnH) {
+        let t = self.txns.get_mut(txn).expect("live txn");
         debug_assert!(t.pending_term_reps > 0);
         t.pending_term_reps -= 1;
         if t.pending_term_reps == 0 {
-            self.coordinator_decides(txn_id);
+            self.coordinator_decides(txn);
         }
     }
 
     /// All states collected (everyone precommitted): the coordinator
     /// force-writes the commit record at its own site and takes over
     /// the rest of the protocol.
-    fn coordinator_decides(&mut self, txn_id: TxnId) {
-        self.decide_now(txn_id, true);
+    fn coordinator_decides(&mut self, txn: TxnH) {
+        self.decide_now(txn, true);
     }
 
     /// **The decision point.** On commit this is where throughput is
     /// counted and the closed loop submits the next transaction; on
     /// abort the transaction is rescheduled after the adaptive delay.
-    pub(crate) fn master_decided(&mut self, txn_id: TxnId, commit: bool) {
+    pub(crate) fn master_decided(&mut self, txn: TxnH, commit: bool) {
         let now = self.cal.now();
-        self.trace_event(txn_id, |at| super::trace::TraceEvent::Decided {
+        let txn_ext = self.txns[txn].id;
+        self.trace_event(txn_ext, |at| super::trace::TraceEvent::Decided {
             at,
-            txn: txn_id,
+            txn: txn_ext,
             commit,
         });
-        let t = self.txns.get_mut(&txn_id).expect("live txn");
+        let t = self.txns.get_mut(txn).expect("live txn");
         t.phase = TxnPhase::Decided { commit };
         t.decided_at = Some(now);
         let home = t.home;
@@ -661,11 +650,11 @@ impl Simulation {
             self.note_commit_for_run_control();
         } else {
             self.metrics.record_abort(AbortReason::SurpriseVote);
-            self.trace_event(txn_id, |at| super::trace::TraceEvent::Aborted {
+            self.trace_event(txn_ext, |at| super::trace::TraceEvent::Aborted {
                 at,
-                txn: txn_id,
+                txn: txn_ext,
             });
-            let t = self.txns.get(&txn_id).expect("live txn");
+            let t = self.txns.get(txn).expect("live txn");
             let template = t.template.clone();
             let original_birth = t.original_birth;
             let delay = self.restart_delay();
@@ -684,51 +673,50 @@ impl Simulation {
                 // Commit processing is the single decision record: every
                 // cohort completes instantly, no messages (§5.1).
                 debug_assert!(commit);
-                let cohort_ids = self.txns[&txn_id].cohorts.clone();
-                for cid in cohort_ids {
-                    self.baseline_finish_cohort(cid);
+                let cohort_hs = self.txns[txn].cohorts.clone();
+                for ch in cohort_hs {
+                    self.baseline_finish_cohort(ch);
                 }
-                let t = self.txns.get_mut(&txn_id).expect("live txn");
+                let t = self.txns.get_mut(txn).expect("live txn");
                 t.master_done = true;
-                self.try_cleanup(txn_id);
+                self.try_cleanup(txn);
             }
             _ => {
                 // Send the decision to the surviving (prepared /
                 // precommitted) cohorts; NO voters aborted unilaterally.
-                let t = &self.txns[&txn_id];
-                let targets: Vec<(CohortId, usize)> = t
+                let t = &self.txns[txn];
+                let targets: Vec<(CohortH, usize)> = t
                     .cohorts
                     .iter()
-                    .filter_map(|&cid| self.cohorts.get(&cid).map(|c| (cid, c.site)))
+                    .filter_map(|&ch| self.cohorts.get(ch).map(|c| (ch, c.site)))
                     .collect();
                 let acks = if self.spec.base.cohort_ack(commit) {
                     targets.len()
                 } else {
                     0
                 };
-                let t = self.txns.get_mut(&txn_id).expect("live txn");
+                let t = self.txns.get_mut(txn).expect("live txn");
                 t.pending_acks = acks;
                 t.master_done = acks == 0;
                 for (cohort, site) in targets {
                     self.send(control, site, MsgKind::Decision { cohort, commit });
                 }
-                self.try_cleanup(txn_id);
+                self.try_cleanup(txn);
             }
         }
     }
 
     /// CENT/DPCC: a cohort's instant completion at the decision point.
-    fn baseline_finish_cohort(&mut self, cohort: CohortId) {
-        let c = self.cohorts.get(&cohort).expect("live cohort");
-        let site = c.site;
-        let writes: Vec<(usize, u64)> = c
-            .accesses
+    fn baseline_finish_cohort(&mut self, cohort: CohortH) {
+        let c = self.cohorts.get(cohort).expect("live cohort");
+        let (site, txn, owner, acc_index) = (c.site, c.txn, c.lock_owner, c.acc_index);
+        let writes: Vec<(usize, u64)> = self.txns[txn].template.accesses[acc_index]
             .iter()
             .filter(|a| a.update)
             .map(|a| (site, a.page))
             .collect();
-        let grants = self.sites[site].locks.release_all(cohort);
-        self.process_grants(grants);
+        let grants = self.sites[site].locks.release_all(owner);
+        self.process_grants(site, grants);
         self.enqueue_deferred_writes(&writes);
         self.cohort_done(cohort);
     }
@@ -739,13 +727,13 @@ impl Simulation {
 
     /// The global decision arrived at a prepared (or precommitted)
     /// cohort.
-    pub(crate) fn cohort_decision(&mut self, cohort: CohortId, commit: bool) {
+    pub(crate) fn cohort_decision(&mut self, cohort: CohortH, commit: bool) {
         let now = self.cal.now();
         // Under message loss the decision is retransmitted on a timer:
         // a duplicate can arrive after the first copy finished the
-        // cohort (gone from the map) or while its decision record is
+        // cohort (gone from the slab) or while its decision record is
         // being forced (`Deciding`). Without faults both are bugs.
-        let Some(c) = self.cohorts.get_mut(&cohort) else {
+        let Some(c) = self.cohorts.get_mut(cohort) else {
             debug_assert!(self.cfg.failures.is_some(), "stale decision without faults");
             return;
         };
@@ -755,11 +743,11 @@ impl Simulation {
         // record, no acknowledgement, no backward hop.
         if c.phase == CohortPhase::WorkDone {
             debug_assert!(self.spec.base == BaseProtocol::Linear2PC && !commit);
-            let site = c.site;
+            let (site, owner) = (c.site, c.lock_owner);
             let locks = &mut self.sites[site].locks;
-            locks.drop_borrower(cohort);
-            let grants = locks.release_all(cohort);
-            self.process_grants(grants);
+            locks.drop_borrower(owner);
+            let grants = locks.release_all(owner);
+            self.process_grants(site, grants);
             self.cohort_done(cohort);
             return;
         }
@@ -771,13 +759,13 @@ impl Simulation {
             );
             return;
         }
-        let txn_id = c.txn;
+        let txn = c.txn;
         if let Some(since) = c.prepared_since.take() {
             self.metrics.prepared_time.record_duration(now.since(since));
             // Blocked-on-crash lock-hold time: the part of this
             // cohort's prepared window spent with a crash outstanding
             // somewhere in its transaction.
-            if let Some(crashed_at) = self.txns[&txn_id].crashed_at {
+            if let Some(crashed_at) = self.txns[txn].crashed_at {
                 let from = if crashed_at > since {
                     crashed_at
                 } else {
@@ -789,6 +777,7 @@ impl Simulation {
                     .record(now.since(from).as_secs_f64());
             }
         }
+        let c = self.cohorts.get_mut(cohort).expect("checked above");
         let site = c.site;
         if self.spec.base.cohort_decision_forced(commit) {
             c.phase = CohortPhase::Deciding { commit };
@@ -802,14 +791,14 @@ impl Simulation {
     /// (commit unshelves borrowers; abort kills them — the length-one
     /// abort chain of §3.1), release the update locks, write back, and
     /// acknowledge if the protocol wants it.
-    pub(crate) fn cohort_finish_decision(&mut self, cohort: CohortId, commit: bool) {
-        let c = self.cohorts.get(&cohort).expect("live cohort");
-        let (site, txn_id) = (c.site, c.txn);
+    pub(crate) fn cohort_finish_decision(&mut self, cohort: CohortH, commit: bool) {
+        let c = self.cohorts.get(cohort).expect("live cohort");
+        let (site, txn, owner, acc_index) = (c.site, c.txn, c.lock_owner, c.acc_index);
         // ACKs go wherever protocol control lives (the termination
         // coordinator after a 3PC master crash).
-        let home = self.txns[&txn_id].control_site();
+        let home = self.txns[txn].control_site();
         let writes: Vec<(usize, u64)> = if commit {
-            c.accesses
+            self.txns[txn].template.accesses[acc_index]
                 .iter()
                 .filter(|a| a.update)
                 .map(|a| (site, a.page))
@@ -824,24 +813,28 @@ impl Simulation {
         // drain queues and grant fresh borrows against this cohort —
         // which is still marked prepared until `release_all` — leaving
         // dangling borrow edges to a dead lender (a shelf hang).
-        let locks = &mut self.sites[site].locks;
-        let borrowers = locks.settle_borrows(cohort);
+        let sref = &mut self.sites[site];
+        let borrower_owners = sref.locks.settle_borrows(owner);
         debug_assert!(
-            !locks.has_live_borrows(cohort),
+            !sref.locks.has_live_borrows(owner),
             "a deciding cohort cannot be borrowing"
         );
-        locks.drop_borrower(cohort);
-        let grants = locks.release_all(cohort);
-        self.process_grants(grants);
+        sref.locks.drop_borrower(owner);
+        let grants = sref.locks.release_all(owner);
+        // Resolve borrower owner slots to cohorts before any teardown
+        // below can unregister (and recycle) them.
+        let borrowers: Vec<CohortH> = borrower_owners.iter().map(|&o| sref.cohort_of(o)).collect();
+        self.process_grants(site, grants);
         self.enqueue_deferred_writes(&writes);
 
         if commit {
             for b in borrowers {
-                let unshelve = self
-                    .cohorts
-                    .get(&b)
-                    .is_some_and(|bc| bc.phase == CohortPhase::OnShelf)
-                    && !self.sites[site].locks.has_live_borrows(b);
+                let unshelve = match self.cohorts.get(b) {
+                    Some(bc) if bc.phase == CohortPhase::OnShelf => {
+                        !self.sites[site].locks.has_live_borrows(bc.lock_owner)
+                    }
+                    _ => false,
+                };
                 if unshelve {
                     // "taken off the shelf and allowed to send its
                     // WORKDONE message" (§3)
@@ -850,7 +843,7 @@ impl Simulation {
             }
         } else {
             for b in borrowers {
-                if let Some(bc) = self.cohorts.get(&b) {
+                if let Some(bc) = self.cohorts.get(b) {
                     // "the borrower is also aborted since it has utilized
                     // inconsistent data" (§3)
                     let btxn = bc.txn;
@@ -860,25 +853,25 @@ impl Simulation {
         }
 
         if self.spec.base.cohort_ack(commit) {
-            self.send(site, home, MsgKind::Ack { txn: txn_id });
+            self.send(site, home, MsgKind::Ack { txn });
         }
         if self.spec.base == BaseProtocol::Linear2PC {
             // The implemented decision continues up the chain (this is
             // also the acknowledgement; there are no separate ACKs).
-            self.linear_backward(cohort, txn_id, site, commit);
+            self.linear_backward(cohort, txn, site, commit);
         }
         self.cohort_done(cohort);
     }
 
-    pub(crate) fn master_ack(&mut self, txn_id: TxnId) {
-        let t = self.txns.get_mut(&txn_id).expect("no stale acks");
+    pub(crate) fn master_ack(&mut self, txn: TxnH) {
+        let t = self.txns.get_mut(txn).expect("no stale acks");
         debug_assert!(t.pending_acks > 0);
         t.pending_acks -= 1;
         if t.pending_acks == 0 {
             // The master writes a (non-forced, hence free) end record
             // and forgets the transaction.
             t.master_done = true;
-            self.try_cleanup(txn_id);
+            self.try_cleanup(txn);
         }
     }
 
@@ -886,23 +879,23 @@ impl Simulation {
     // Teardown bookkeeping
     // ------------------------------------------------------------------
 
-    /// A cohort reached its final state: drop it and update the
-    /// transaction's refcount.
-    pub(crate) fn cohort_done(&mut self, cohort: CohortId) {
-        let c = self.cohorts.remove(&cohort).expect("cohort finishes once");
+    /// A cohort reached its final state: drop it, retire its lock-table
+    /// registration, and update the transaction's refcount.
+    pub(crate) fn cohort_done(&mut self, cohort: CohortH) {
+        let c = self.cohorts.remove(cohort).expect("cohort finishes once");
+        let locks = &mut self.sites[c.site].locks;
         debug_assert!(
-            self.sites[c.site]
-                .locks
-                .borrowers_of(cohort)
-                .next()
-                .is_none(),
-            "cohort {cohort} torn down with live lends"
+            locks.borrowers_of(c.lock_owner).next().is_none(),
+            "cohort {} torn down with live lends",
+            c.id
         );
         debug_assert!(
-            !self.sites[c.site].locks.has_live_borrows(cohort),
-            "cohort {cohort} torn down with live borrows"
+            !locks.has_live_borrows(c.lock_owner),
+            "cohort {} torn down with live borrows",
+            c.id
         );
-        let t = self.txns.get_mut(&c.txn).expect("txn outlives cohorts");
+        locks.unregister(c.lock_owner);
+        let t = self.txns.get_mut(c.txn).expect("txn outlives cohorts");
         debug_assert!(t.open_cohorts > 0);
         t.open_cohorts -= 1;
         self.try_cleanup(c.txn);
@@ -910,12 +903,12 @@ impl Simulation {
 
     /// Forget the transaction once the master is done, every cohort has
     /// finished, and all ACKs are in.
-    fn try_cleanup(&mut self, txn_id: TxnId) {
-        let Some(t) = self.txns.get(&txn_id) else {
+    fn try_cleanup(&mut self, txn: TxnH) {
+        let Some(t) = self.txns.get(txn) else {
             return;
         };
         if t.master_done && t.open_cohorts == 0 && t.pending_acks == 0 {
-            let t = self.txns.remove(&txn_id).expect("live txn");
+            let t = self.txns.remove(txn).expect("live txn");
             if let (TxnPhase::Decided { commit: true }, Some(decided)) = (&t.phase, t.decided_at) {
                 let now = self.cal.now();
                 self.metrics.phase_decision.record(now.since(decided));

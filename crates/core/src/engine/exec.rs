@@ -3,12 +3,12 @@
 //! execution-phase aborts (deadlock victims and OPT borrower
 //! cascades).
 
-use super::types::{Cohort, CohortId, CohortPhase, DiskJob, Event, MsgKind, Txn, TxnId, TxnPhase};
+use super::types::{Cohort, CohortH, CohortPhase, DiskJob, Event, MsgKind, Txn, TxnH, TxnPhase};
 use super::Simulation;
 use crate::config::TransType;
 use crate::metrics::AbortReason;
 use crate::workload::{SiteId, TxnTemplate};
-use distlocks::deadlock::{find_cycle, youngest_victim};
+use distlocks::deadlock::find_cycle;
 use distlocks::{Grant, LockMode, RequestOutcome};
 use simkernel::SimTime;
 
@@ -30,78 +30,89 @@ impl Simulation {
         let txn_id = self.alloc_txn_id();
         let n = template.sites.len();
 
-        let mut cohort_ids = Vec::with_capacity(n);
-        for (i, &site) in template.sites.iter().enumerate() {
-            let cid = self.alloc_cohort_id();
-            cohort_ids.push(cid);
-            self.cohorts.insert(
-                cid,
-                Cohort {
-                    id: cid,
-                    txn: txn_id,
-                    site,
-                    accesses: template.accesses[i].clone(),
-                    next_access: 0,
-                    phase: CohortPhase::Starting,
-                    waiting_lock: false,
-                    shelf_since: None,
-                    prepared_since: None,
-                },
-            );
-        }
+        let th = self.txns.insert(Txn {
+            id: txn_id,
+            home,
+            template,
+            birth: now,
+            original_birth: original_birth.unwrap_or(now),
+            cohorts: Vec::new(),
+            phase: TxnPhase::Executing,
+            pending_workdone: n,
+            pending_votes: 0,
+            pending_preacks: 0,
+            pending_acks: 0,
+            no_vote: false,
+            blocked_cohorts: 0,
+            next_seq_cohort: 1,
+            open_cohorts: n,
+            master_done: false,
+            coordinator_site: None,
+            pending_term_reps: 0,
+            commit_started: None,
+            decided_at: None,
+            msg_exec: 0,
+            msg_commit: 0,
+            forced: 0,
+            crashed: false,
+            crashed_at: None,
+        });
 
-        self.txns.insert(
-            txn_id,
-            Txn {
-                id: txn_id,
-                home,
-                template,
-                birth: now,
-                original_birth: original_birth.unwrap_or(now),
-                cohorts: cohort_ids.clone(),
-                phase: TxnPhase::Executing,
-                pending_workdone: n,
-                pending_votes: 0,
-                pending_preacks: 0,
-                pending_acks: 0,
-                no_vote: false,
-                blocked_cohorts: 0,
-                next_seq_cohort: 1,
-                open_cohorts: n,
-                master_done: false,
-                coordinator_site: None,
-                pending_term_reps: 0,
-                commit_started: None,
-                decided_at: None,
-                msg_exec: 0,
-                msg_commit: 0,
-                forced: 0,
-                crashed: false,
-                crashed_at: None,
-            },
-        );
+        let mut cohort_hs = Vec::with_capacity(n);
+        for i in 0..n {
+            let (site, n_accesses) = {
+                let t = &self.txns[th].template;
+                (t.sites[i], t.accesses[i].len())
+            };
+            let cid = self.alloc_cohort_id();
+            // The cohort id is the lock-table registration sequence:
+            // globally unique and monotone, so every seq-sorted output
+            // of the table reproduces the historical id order.
+            let owner = self.sites[site].locks.register_owner(cid);
+            let ch = self.cohorts.insert(Cohort {
+                id: cid,
+                txn: th,
+                site,
+                acc_index: i,
+                n_accesses,
+                next_access: 0,
+                phase: CohortPhase::Starting,
+                lock_owner: owner,
+                waiting_lock: false,
+                shelf_since: None,
+                prepared_since: None,
+            });
+            let mirror = &mut self.sites[site].owner_cohorts;
+            if owner.index() == mirror.len() {
+                mirror.push(ch);
+            } else {
+                mirror[owner.index()] = ch;
+            }
+            cohort_hs.push(ch);
+        }
+        self.txns[th].cohorts = cohort_hs.clone();
         self.metrics.live_txns.add(now, 1.0);
 
         match self.cfg.trans_type {
             TransType::Parallel => {
                 // All cohorts started together (§4.1). The local cohort
                 // starts directly; remote ones via an initiation message.
-                for &cid in &cohort_ids {
-                    self.start_cohort(cid, home);
+                for &ch in &cohort_hs {
+                    self.start_cohort(ch, home);
                 }
             }
             TransType::Sequential => {
                 // Only the first (local) cohort starts; the rest chain
                 // off WORKDONE arrivals.
-                self.start_cohort(cohort_ids[0], home);
+                self.start_cohort(cohort_hs[0], home);
             }
         }
     }
 
     /// Activate a cohort: directly if it is local to the master,
     /// through an InitCohort message otherwise.
-    pub(crate) fn start_cohort(&mut self, cohort: CohortId, master_site: SiteId) {
-        let site = self.cohorts[&cohort].site;
+    pub(crate) fn start_cohort(&mut self, cohort: CohortH, master_site: SiteId) {
+        let site = self.cohorts[cohort].site;
         if site == master_site {
             self.cohort_begin(cohort);
         } else {
@@ -111,8 +122,8 @@ impl Simulation {
 
     /// The cohort starts executing (local activation or InitCohort
     /// arrival).
-    pub(crate) fn cohort_begin(&mut self, cohort: CohortId) {
-        let Some(c) = self.cohorts.get_mut(&cohort) else {
+    pub(crate) fn cohort_begin(&mut self, cohort: CohortH) {
+        let Some(c) = self.cohorts.get_mut(cohort) else {
             return;
         };
         debug_assert_eq!(c.phase, CohortPhase::Starting);
@@ -125,31 +136,31 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     /// Issue the cohort's next access, or finish its execution phase.
-    pub(crate) fn cohort_continue(&mut self, cohort: CohortId) {
-        let Some(c) = self.cohorts.get(&cohort) else {
+    pub(crate) fn cohort_continue(&mut self, cohort: CohortH) {
+        let Some(c) = self.cohorts.get(cohort) else {
             return;
         };
         if c.work_complete() {
             self.cohort_work_finished(cohort);
             return;
         }
-        let access = c.accesses[c.next_access];
-        let site = c.site;
-        let txn = c.txn;
+        let (site, th, owner, cid) = (c.site, c.txn, c.lock_owner, c.id);
+        let access = self.txns[th].template.accesses[c.acc_index][c.next_access];
         let mode = if access.update {
             LockMode::Update
         } else {
             LockMode::Read
         };
-        match self.sites[site].locks.request(cohort, access.page, mode) {
+        match self.sites[site].locks.request(owner, access.page, mode) {
             RequestOutcome::Granted { borrowed_from } => {
                 if !borrowed_from.is_empty() {
                     self.metrics.borrowed_pages.bump();
                     let lenders = borrowed_from.len();
+                    let txn = self.txns[th].id;
                     self.trace_event(txn, |at| super::trace::TraceEvent::Borrowed {
                         at,
                         txn,
-                        cohort,
+                        cohort: cid,
                         lenders,
                     });
                 }
@@ -158,18 +169,18 @@ impl Simulation {
             RequestOutcome::AlreadyHeld => {
                 self.data_disk_arrive(site, access.page, DiskJob::Read { cohort });
             }
-            RequestOutcome::Blocked { .. } => {
-                let c = self.cohorts.get_mut(&cohort).expect("checked above");
+            RequestOutcome::Blocked => {
+                let c = self.cohorts.get_mut(cohort).expect("checked above");
                 c.waiting_lock = true;
-                self.txn_block(txn);
-                self.deadlock_check(txn);
+                self.txn_block(th);
+                self.deadlock_check(th);
             }
         }
     }
 
     /// A page's `PageCPU` processing finished: advance the access cursor.
-    pub(crate) fn cohort_page_processed(&mut self, cohort: CohortId) {
-        let Some(c) = self.cohorts.get_mut(&cohort) else {
+    pub(crate) fn cohort_page_processed(&mut self, cohort: CohortH) {
+        let Some(c) = self.cohorts.get_mut(cohort) else {
             return;
         };
         debug_assert_eq!(c.phase, CohortPhase::Executing);
@@ -178,21 +189,22 @@ impl Simulation {
     }
 
     /// All accesses done: either go on the OPT shelf or report WORKDONE.
-    fn cohort_work_finished(&mut self, cohort: CohortId) {
-        let c = &self.cohorts[&cohort];
-        let site = c.site;
-        if self.spec.opt && self.sites[site].locks.has_live_borrows(cohort) {
+    fn cohort_work_finished(&mut self, cohort: CohortH) {
+        let c = &self.cohorts[cohort];
+        let (site, owner) = (c.site, c.lock_owner);
+        if self.spec.opt && self.sites[site].locks.has_live_borrows(owner) {
             // §3: "the borrower is 'put on the shelf' ... not allowed to
             // send a WORKDONE message" until every lender commits.
             let now = self.cal.now();
-            let c = self.cohorts.get_mut(&cohort).expect("exists");
+            let c = self.cohorts.get_mut(cohort).expect("exists");
             c.phase = CohortPhase::OnShelf;
             c.shelf_since = Some(now);
-            let txn = c.txn;
+            let (th, cid) = (c.txn, c.id);
+            let txn = self.txns[th].id;
             self.trace_event(txn, |at| super::trace::TraceEvent::Shelved {
                 at,
                 txn,
-                cohort,
+                cohort: cid,
             });
             return;
         }
@@ -200,69 +212,74 @@ impl Simulation {
     }
 
     /// Send WORKDONE to the master (also the shelf-exit path).
-    pub(crate) fn cohort_send_workdone(&mut self, cohort: CohortId) {
+    pub(crate) fn cohort_send_workdone(&mut self, cohort: CohortH) {
         let now = self.cal.now();
-        let c = self.cohorts.get_mut(&cohort).expect("live cohort");
+        let c = self.cohorts.get_mut(cohort).expect("live cohort");
         let unshelved = c.shelf_since.take();
         if let Some(since) = unshelved {
             self.metrics.shelf_time.record_duration(now.since(since));
         }
         c.phase = CohortPhase::WorkDone;
-        let (site, txn_id) = (c.site, c.txn);
+        let (site, th, cid) = (c.site, c.txn, c.id);
         if unshelved.is_some() {
-            self.trace_event(txn_id, |at| super::trace::TraceEvent::Unshelved {
+            let txn = self.txns[th].id;
+            self.trace_event(txn, |at| super::trace::TraceEvent::Unshelved {
                 at,
-                txn: txn_id,
-                cohort,
+                txn,
+                cohort: cid,
             });
         }
-        let home = self.txns[&txn_id].home;
-        self.send(site, home, MsgKind::WorkDone { txn: txn_id });
+        let home = self.txns[th].home;
+        self.send(site, home, MsgKind::WorkDone { txn: th });
     }
 
     // ------------------------------------------------------------------
     // Lock grants
     // ------------------------------------------------------------------
 
-    /// Apply grants returned by a lock-table state change: unblock each
-    /// waiter and resume its access (the read it was waiting to issue).
-    pub(crate) fn process_grants(&mut self, grants: Vec<Grant>) {
+    /// Apply grants returned by a state change of `site`'s lock table:
+    /// unblock each waiter and resume its access (the read it was
+    /// waiting to issue).
+    pub(crate) fn process_grants(&mut self, site: SiteId, grants: Vec<Grant>) {
         for g in grants {
-            let Some(c) = self.cohorts.get_mut(&g.owner) else {
+            let ch = self.sites[site].cohort_of(g.owner);
+            let Some(c) = self.cohorts.get_mut(ch) else {
                 // A grant to a cohort being torn down would be a lock
                 // manager bug: release_all cancels waiting requests.
-                unreachable!("grant to a dead cohort {}", g.owner);
+                unreachable!("grant to a dead cohort");
             };
+            debug_assert_eq!(c.site, site);
             debug_assert!(c.waiting_lock, "grant to a non-waiting cohort");
             c.waiting_lock = false;
-            let (txn, site) = (c.txn, c.site);
-            self.txn_unblock(txn);
+            let (th, cid) = (c.txn, c.id);
+            self.txn_unblock(th);
             if !g.borrowed_from.is_empty() {
                 self.metrics.borrowed_pages.bump();
-                let (cohort, lenders) = (g.owner, g.borrowed_from.len());
+                let lenders = g.borrowed_from.len();
+                let txn = self.txns[th].id;
                 self.trace_event(txn, |at| super::trace::TraceEvent::Borrowed {
                     at,
                     txn,
-                    cohort,
+                    cohort: cid,
                     lenders,
                 });
             }
-            self.data_disk_arrive(site, g.page, DiskJob::Read { cohort: g.owner });
+            self.data_disk_arrive(site, g.page, DiskJob::Read { cohort: ch });
         }
     }
 
-    fn txn_block(&mut self, txn: TxnId) {
+    fn txn_block(&mut self, th: TxnH) {
         let now = self.cal.now();
-        let t = self.txns.get_mut(&txn).expect("live txn");
+        let t = self.txns.get_mut(th).expect("live txn");
         t.blocked_cohorts += 1;
         if t.blocked_cohorts == 1 {
             self.metrics.blocked_txns.add(now, 1.0);
         }
     }
 
-    fn txn_unblock(&mut self, txn: TxnId) {
+    fn txn_unblock(&mut self, th: TxnH) {
         let now = self.cal.now();
-        let t = self.txns.get_mut(&txn).expect("live txn");
+        let t = self.txns.get_mut(th).expect("live txn");
         debug_assert!(t.blocked_cohorts > 0);
         t.blocked_cohorts -= 1;
         if t.blocked_cohorts == 0 {
@@ -276,37 +293,118 @@ impl Simulation {
 
     /// Run cycle detection from `start` and abort youngest victims until
     /// no cycle through `start` remains.
-    pub(crate) fn deadlock_check(&mut self, start: TxnId) {
+    pub(crate) fn deadlock_check(&mut self, start: TxnH) {
         loop {
-            if !self.txns.contains_key(&start) {
+            if !self.txns.contains(start) {
                 return; // start itself was the victim
+            }
+            // Allocation-free reachability pre-filter: almost every
+            // block is cycle-free, and `find_cycle` (HashMap colouring,
+            // per-node successor vectors) is only worth paying when a
+            // cycle actually exists. Both compute the same boolean —
+            // "is `start` reachable from its own successors" — so the
+            // filter never changes which deadlocks are found.
+            if !self.cycle_through(start) {
+                return;
             }
             let Some(cycle) = find_cycle(start, |t| self.wait_for_successors(t)) else {
                 return;
             };
-            let victim = youngest_victim(&cycle, |t| {
-                self.txns.get(&t).map(|x| x.birth.as_micros()).unwrap_or(0)
-            });
+            // Youngest victim: latest birth, ties broken by the external
+            // id — every cycle member is live, and external ids are
+            // unique, so the maximum is unambiguous.
+            let victim = cycle
+                .iter()
+                .copied()
+                .max_by_key(|&th| {
+                    self.txns
+                        .get(th)
+                        .map(|x| (x.birth.as_micros(), x.id))
+                        .unwrap_or((0, 0))
+                })
+                .expect("cycle is non-empty");
             self.abort_txn(victim, AbortReason::Deadlock);
         }
     }
 
+    /// Can `start` reach itself through the wait-for graph? Stamped DFS
+    /// over dense transaction slots: no hashing, no allocation after
+    /// the scratch buffers reach their high-water marks. Edge set is
+    /// identical to [`Self::wait_for_successors`] (self-edges between
+    /// cohorts of one transaction excluded); order and duplicates are
+    /// irrelevant to reachability.
+    fn cycle_through(&mut self, start: TxnH) -> bool {
+        let mut seen = std::mem::take(&mut self.dl_seen);
+        let mut stack = std::mem::take(&mut self.dl_stack);
+        self.dl_stamp = self.dl_stamp.wrapping_add(1);
+        if self.dl_stamp == 0 {
+            seen.fill(0);
+            self.dl_stamp = 1;
+        }
+        let stamp = self.dl_stamp;
+        let mark = |seen: &mut Vec<u32>, t: TxnH| {
+            let slot = t.slot();
+            if slot >= seen.len() {
+                seen.resize(slot + 1, 0);
+            }
+            let fresh = seen[slot] != stamp;
+            seen[slot] = stamp;
+            fresh
+        };
+        stack.clear();
+        mark(&mut seen, start);
+        stack.push(start);
+        let mut found = false;
+        'dfs: while let Some(t) = stack.pop() {
+            let Some(txn) = self.txns.get(t) else {
+                continue;
+            };
+            for &ch in &txn.cohorts {
+                let Some(c) = self.cohorts.get(ch) else {
+                    continue;
+                };
+                if !c.waiting_lock {
+                    continue;
+                }
+                let site = &self.sites[c.site];
+                site.locks.for_each_blocker(c.lock_owner, |o| {
+                    let bt = self.cohorts[site.cohort_of(o)].txn;
+                    if bt == t {
+                        return; // self-edge, excluded from the graph
+                    }
+                    if bt == start {
+                        found = true;
+                    } else if mark(&mut seen, bt) {
+                        stack.push(bt);
+                    }
+                });
+                if found {
+                    break 'dfs;
+                }
+            }
+        }
+        self.dl_seen = seen;
+        self.dl_stack = stack;
+        found
+    }
+
     /// Transactions `t` currently waits for, stitched together from the
     /// live per-site blocker sets of its waiting cohorts.
-    fn wait_for_successors(&self, t: TxnId) -> Vec<TxnId> {
-        let Some(txn) = self.txns.get(&t) else {
+    fn wait_for_successors(&self, t: TxnH) -> Vec<TxnH> {
+        let Some(txn) = self.txns.get(t) else {
             return Vec::new();
         };
         let mut out = Vec::new();
-        for &cid in &txn.cohorts {
-            let Some(c) = self.cohorts.get(&cid) else {
+        for &ch in &txn.cohorts {
+            let Some(c) = self.cohorts.get(ch) else {
                 continue;
             };
             if !c.waiting_lock {
                 continue;
             }
-            for blocker in self.sites[c.site].locks.blockers_of(cid) {
-                let bt = self.cohorts[&blocker].txn;
+            let site = &self.sites[c.site];
+            for blocker in site.locks.blockers_of(c.lock_owner) {
+                let bt = self.cohorts[site.cohort_of(blocker)].txn;
                 if bt != t && !out.contains(&bt) {
                     out.push(bt);
                 }
@@ -322,9 +420,9 @@ impl Simulation {
     /// Abort a transaction during its execution phase (deadlock victim
     /// or borrower cascade) and schedule its restart after the paper's
     /// adaptive delay. The restarted incarnation reuses the template.
-    pub(crate) fn abort_txn(&mut self, txn_id: TxnId, reason: AbortReason) {
+    pub(crate) fn abort_txn(&mut self, th: TxnH, reason: AbortReason) {
         let now = self.cal.now();
-        let Some(txn) = self.txns.get(&txn_id) else {
+        let Some(txn) = self.txns.get(th) else {
             return;
         };
         // Only executing transactions can be aborted this way: prepared
@@ -332,7 +430,8 @@ impl Simulation {
         // voting phase (§3.1).
         assert!(
             matches!(txn.phase, TxnPhase::Executing),
-            "execution-phase abort of {txn_id} in {:?}",
+            "execution-phase abort of {} in {:?}",
+            txn.id,
             txn.phase
         );
         if txn.blocked_cohorts > 0 {
@@ -340,29 +439,31 @@ impl Simulation {
         }
         let home = txn.home;
         let original_birth = txn.original_birth;
-        let cohort_ids = txn.cohorts.clone();
+        let txn_ext = txn.id;
+        let cohort_hs = txn.cohorts.clone();
         // Tear the cohorts down; collect cascade victims (borrowers of
         // this transaction's cohorts — impossible here since none is
         // prepared, asserted below).
-        for cid in cohort_ids {
-            let Some(c) = self.cohorts.remove(&cid) else {
+        for ch in cohort_hs {
+            let Some(c) = self.cohorts.remove(ch) else {
                 continue;
             };
             let locks = &mut self.sites[c.site].locks;
             assert!(
-                locks.borrowers_of(cid).next().is_none(),
+                locks.borrowers_of(c.lock_owner).next().is_none(),
                 "an executing cohort cannot have lent data"
             );
-            locks.drop_borrower(cid);
-            let grants = locks.release_all(cid);
-            self.process_grants(grants);
+            locks.drop_borrower(c.lock_owner);
+            let grants = locks.release_all(c.lock_owner);
+            locks.unregister(c.lock_owner);
+            self.process_grants(c.site, grants);
         }
-        let txn = self.txns.remove(&txn_id).expect("checked above");
+        let txn = self.txns.remove(th).expect("checked above");
         self.metrics.live_txns.add(now, -1.0);
         self.metrics.record_abort(reason);
-        self.trace_event(txn_id, |at| super::trace::TraceEvent::Aborted {
+        self.trace_event(txn_ext, |at| super::trace::TraceEvent::Aborted {
             at,
-            txn: txn_id,
+            txn: txn_ext,
         });
         let delay = self.restart_delay();
         self.cal.schedule_in(

@@ -184,9 +184,11 @@ impl BatchedLog {
 mod tests {
     use super::*;
 
-    fn work(n: u64) -> LogWork {
+    fn work(n: u32) -> LogWork {
+        use simkernel::slab::Handle;
+        use simkernel::SlabKey;
         LogWork::MasterDecision {
-            txn: n,
+            txn: super::super::types::TxnH::from_handle(Handle::new(n, 0)),
             commit: true,
         }
     }

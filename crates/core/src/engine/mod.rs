@@ -32,11 +32,10 @@ use crate::metrics::{
 };
 use crate::workload::{SiteId, WorkloadGenerator};
 use commitproto::ProtocolSpec;
-use distlocks::LockManager;
+use distlocks::{LockManager, OwnerId};
 use simkernel::stats::Tally;
-use simkernel::{Calendar, JobClass, SimDuration, SimRng, SimTime, Station};
-use std::collections::HashMap;
-use types::{CpuJob, DiskJob, Event, LogWork, Message, MsgKind, Retry, Txn};
+use simkernel::{Calendar, JobClass, SimDuration, SimRng, SimTime, Slab, Station};
+use types::{Cohort, CohortH, CpuJob, DiskJob, Event, LogWork, Message, MsgKind, Retry, Txn, TxnH};
 
 /// Accumulates per-station observations into one [`ResourceStats`] for
 /// a resource class *within one site* (utilizations/queue depths
@@ -93,7 +92,21 @@ pub(crate) struct Site {
     /// is enabled (the plain `log_disks` stations sit unused then).
     pub batched_logs: Option<Vec<glog::BatchedLog>>,
     pub locks: LockManager,
+    /// Mirror of the lock table's owner registry: owner slot → cohort
+    /// handle, maintained in lock-step with `register_owner` calls.
+    pub owner_cohorts: Vec<CohortH>,
     next_log_disk: usize,
+}
+
+impl Site {
+    /// The cohort registered at lock-owner slot `o`. Valid only while
+    /// `o` is registered; the engine only resolves owners surfaced by
+    /// the lock table (grants, blockers, borrow edges), which are
+    /// always live or recently live — a recycled slot yields a stale
+    /// cohort handle that safely misses on slab lookup.
+    pub(crate) fn cohort_of(&self, o: OwnerId) -> CohortH {
+        self.owner_cohorts[o.index()]
+    }
 }
 
 /// A run of the simulator. Construct and execute with [`Simulation::run`].
@@ -104,8 +117,8 @@ pub struct Simulation {
     pub(crate) cal: Calendar<Event>,
     pub(crate) rng: SimRng,
     pub(crate) sites: Vec<Site>,
-    pub(crate) txns: HashMap<TxnId, Txn>,
-    pub(crate) cohorts: HashMap<CohortId, types::Cohort>,
+    pub(crate) txns: Slab<TxnH, Txn>,
+    pub(crate) cohorts: Slab<CohortH, Cohort>,
     next_txn_id: TxnId,
     next_cohort_id: CohortId,
     pub(crate) metrics: Metrics,
@@ -119,6 +132,13 @@ pub struct Simulation {
     done: bool,
     truncated: bool,
     pages_per_site_eff: u64,
+    /// Deadlock pre-filter scratch: visit stamps indexed by txn slab
+    /// slot, the current stamp, and a reusable DFS work stack. Kept on
+    /// the simulation so the per-block reachability check allocates
+    /// nothing in steady state.
+    dl_seen: Vec<u32>,
+    dl_stamp: u32,
+    dl_stack: Vec<TxnH>,
     /// Optional trace-event consumer; events are recorded for
     /// transactions with id ≤ `trace_txn_limit`.
     sink: Option<Box<dyn TraceSink>>,
@@ -274,7 +294,11 @@ impl Simulation {
                     // batching would never group anything.
                     _ => None,
                 },
-                locks: LockManager::new(spec.opt),
+                // Page ids within one effective site are distinct
+                // residues modulo `pages_per_site_eff`, so they fold
+                // injectively into a dense table of that size.
+                locks: LockManager::for_pages(spec.opt, pages_per_site_eff),
+                owner_cohorts: Vec::new(),
                 next_log_disk: 0,
             })
             .collect();
@@ -291,8 +315,8 @@ impl Simulation {
             cal: Calendar::new(),
             rng: SimRng::new(seed),
             sites,
-            txns: HashMap::new(),
-            cohorts: HashMap::new(),
+            txns: Slab::new(),
+            cohorts: Slab::new(),
             next_txn_id: 1,
             next_cohort_id: 1,
             metrics,
@@ -303,6 +327,9 @@ impl Simulation {
             done: false,
             truncated: false,
             pages_per_site_eff,
+            dl_seen: Vec::new(),
+            dl_stamp: 0,
+            dl_stack: Vec::new(),
             sink: None,
             trace_txn_limit: 0,
         };
@@ -466,7 +493,7 @@ impl Simulation {
         match job {
             DiskJob::Read { cohort } => {
                 // The page is in memory; charge `PageCPU` of processing.
-                let Some(c) = self.cohorts.get(&cohort) else {
+                let Some(c) = self.cohorts.get(cohort) else {
                     return;
                 };
                 let site = c.site;
@@ -526,21 +553,32 @@ impl Simulation {
         }
     }
 
-    /// The transaction a piece of log work belongs to (for tracing).
-    pub(crate) fn log_txn(&self, work: &LogWork) -> Option<TxnId> {
+    /// The transaction a piece of log work belongs to, as a live
+    /// handle; `None` when the owning cohort is already gone.
+    pub(crate) fn log_txn_handle(&self, work: &LogWork) -> Option<TxnH> {
         match *work {
             LogWork::CohortPrepare { cohort }
             | LogWork::CohortNoVoteAbort { cohort }
             | LogWork::CohortPrecommit { cohort }
-            | LogWork::CohortDecision { cohort, .. } => self.cohorts.get(&cohort).map(|c| c.txn),
+            | LogWork::CohortDecision { cohort, .. } => self.cohorts.get(cohort).map(|c| c.txn),
             LogWork::MasterCollecting { txn }
             | LogWork::MasterPrecommit { txn }
             | LogWork::MasterDecision { txn, .. } => Some(txn),
         }
     }
 
-    /// The transaction a message belongs to (for tracing).
-    pub(crate) fn msg_txn(&self, kind: &MsgKind) -> Option<TxnId> {
+    /// The external id of the transaction a piece of log work belongs
+    /// to (for tracing). Master-side work always carries a live
+    /// transaction: the master's map entry outlives its last log write.
+    pub(crate) fn log_txn(&self, work: &LogWork) -> Option<TxnId> {
+        self.log_txn_handle(work)
+            .and_then(|th| self.txns.get(th))
+            .map(|t| t.id)
+    }
+
+    /// The transaction a message belongs to, as a live handle; `None`
+    /// when the target cohort is already gone.
+    pub(crate) fn msg_txn_handle(&self, kind: &MsgKind) -> Option<TxnH> {
         match *kind {
             MsgKind::InitCohort { cohort }
             | MsgKind::Prepare { cohort }
@@ -548,7 +586,7 @@ impl Simulation {
             | MsgKind::Decision { cohort, .. }
             | MsgKind::TermStateReq { cohort }
             | MsgKind::ChainPrepare { cohort }
-            | MsgKind::ChainDecision { cohort, .. } => self.cohorts.get(&cohort).map(|c| c.txn),
+            | MsgKind::ChainDecision { cohort, .. } => self.cohorts.get(cohort).map(|c| c.txn),
             MsgKind::WorkDone { txn }
             | MsgKind::Vote { txn, .. }
             | MsgKind::PreAck { txn }
@@ -562,16 +600,17 @@ impl Simulation {
     /// back into the protocol state machine. Costs one disk page write
     /// (§4.3); log disks are chosen round-robin within the site.
     pub(crate) fn force_log(&mut self, site: SiteId, work: LogWork) {
-        if let Some(txn) = self.log_txn(&work) {
-            let label = work.label();
-            self.trace_event(txn, |at| TraceEvent::ForceLog {
-                at,
-                txn,
-                label,
-                site,
-            });
-            if let Some(t) = self.txns.get_mut(&txn) {
+        if let Some(th) = self.log_txn_handle(&work) {
+            if let Some(t) = self.txns.get_mut(th) {
                 t.forced += 1;
+                let txn = t.id;
+                let label = work.label();
+                self.trace_event(txn, |at| TraceEvent::ForceLog {
+                    at,
+                    txn,
+                    label,
+                    site,
+                });
             }
         }
         self.metrics.forced_writes.bump();
@@ -626,8 +665,9 @@ impl Simulation {
     /// timer); attempt `max_retransmits` is the escalated transfer and
     /// is delivered reliably, so the protocol always terminates.
     fn send_attempt(&mut self, from: SiteId, to: SiteId, kind: MsgKind, attempt: u32) {
-        let owner = self.msg_txn(&kind);
-        if let Some(txn) = owner {
+        let owner = self.msg_txn_handle(&kind);
+        let owner_id = owner.and_then(|th| self.txns.get(th)).map(|t| t.id);
+        if let Some(txn) = owner_id {
             let label = kind.label();
             let local = from == to;
             self.trace_event(txn, |at| TraceEvent::Send {
@@ -648,12 +688,11 @@ impl Simulation {
                         if self.rng.chance(f.msg_loss_prob) {
                             lost = true;
                             self.metrics.messages_lost.bump();
-                            if let Some(txn) = owner {
+                            if let Some(t) = owner.and_then(|th| self.txns.get_mut(th)) {
                                 // Loss traffic is outside the analytic
                                 // overhead model of Tables 3–4.
-                                if let Some(t) = self.txns.get_mut(&txn) {
-                                    t.crashed = true;
-                                }
+                                t.crashed = true;
+                                let txn = t.id;
                                 let label = kind.label();
                                 self.trace_event(txn, |at| TraceEvent::MsgLost { at, txn, label });
                             }
@@ -682,7 +721,7 @@ impl Simulation {
         } else {
             self.metrics.commit_messages.bump();
         }
-        if let Some(t) = owner.and_then(|txn| self.txns.get_mut(&txn)) {
+        if let Some(t) = owner.and_then(|th| self.txns.get_mut(th)) {
             if kind.is_execution() {
                 t.msg_exec += 1;
             } else {
@@ -710,7 +749,7 @@ impl Simulation {
             Retry::PreCommit { cohort } => (cohort, MsgKind::PreCommit { cohort }),
             Retry::Decision { cohort, commit } => (cohort, MsgKind::Decision { cohort, commit }),
         };
-        let Some(c) = self.cohorts.get(&cohort) else {
+        let Some(c) = self.cohorts.get(cohort) else {
             // The cohort finished: the transfer (or a duplicate of it)
             // arrived, or an abort tore the cohort down. Timer dies.
             return;
@@ -726,7 +765,7 @@ impl Simulation {
         if !awaited {
             return;
         }
-        let (to, txn_id) = (c.site, c.txn);
+        let (to, th) = (c.site, c.txn);
         self.metrics.retransmissions.bump();
         if attempt + 1 >= f.max_retransmits {
             // Out of retries: this repeat goes over the reliable
@@ -734,11 +773,12 @@ impl Simulation {
             // action in a real system).
             self.metrics.retry_escalations.bump();
         }
-        let t = self.txns.get_mut(&txn_id).expect("live txn");
+        let t = self.txns.get_mut(th).expect("live txn");
         // A retransmission — even a spurious one fired while the
         // original sat in a queue — puts the incarnation outside the
         // analytic overhead model.
         t.crashed = true;
+        let txn_id = t.id;
         let label = kind.label();
         self.trace_event(txn_id, |at| TraceEvent::Retransmitted {
             at,
@@ -746,7 +786,7 @@ impl Simulation {
             label,
             attempt: attempt + 1,
         });
-        let from = self.txns[&txn_id].control_site();
+        let from = self.txns[th].control_site();
         self.send_attempt(from, to, kind, attempt + 1);
     }
 
@@ -1042,21 +1082,26 @@ impl Simulation {
                 "txn {} phase {:?} wd={} votes={} acks={} open={}",
                 t.id, t.phase, t.pending_workdone, t.pending_votes, t.pending_acks, t.open_cohorts
             );
-            for &cid in &t.cohorts {
-                if let Some(c) = self.cohorts.get(&cid) {
+            for &ch in &t.cohorts {
+                if let Some(c) = self.cohorts.get(ch) {
                     let lm = &self.sites[c.site].locks;
                     let _ = writeln!(
                         out,
                         "  cohort {} site {} phase {:?} access {}/{} wait={} shelf={} borrows={:?} blockers={:?}",
-                        cid,
+                        c.id,
                         c.site,
                         c.phase,
                         c.next_access,
-                        c.accesses.len(),
+                        c.n_accesses,
                         c.waiting_lock,
                         c.shelf_since.is_some(),
-                        lm.lenders_of(cid).collect::<Vec<_>>(),
-                        lm.blockers_of(cid),
+                        lm.lenders_of(c.lock_owner)
+                            .filter_map(|o| lm.owner_seq(o))
+                            .collect::<Vec<_>>(),
+                        lm.blockers_of(c.lock_owner)
+                            .iter()
+                            .filter_map(|&o| lm.owner_seq(o))
+                            .collect::<Vec<_>>(),
                     );
                 }
             }

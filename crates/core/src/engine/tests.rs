@@ -1,11 +1,23 @@
 //! In-crate engine unit tests: small, fast checks of internal
 //! machinery the integration suite exercises only indirectly.
 
-use super::types::{CohortPhase, LogWork, MsgKind, Vote};
+use super::types::{CohortH, CohortPhase, LogWork, MsgKind, TxnH, Vote};
 use super::{Simulation, Trace};
 use crate::config::{ResourceMode, SystemConfig, TransType};
 use crate::metrics::SimReport;
 use commitproto::ProtocolSpec;
+use simkernel::slab::Handle;
+use simkernel::SlabKey;
+
+/// A transaction handle literal for payload tests (generation 0).
+fn th(n: u32) -> TxnH {
+    TxnH::from_handle(Handle::new(n, 0))
+}
+
+/// A cohort handle literal for payload tests (generation 0).
+fn ch(n: u32) -> CohortH {
+    CohortH::from_handle(Handle::new(n, 0))
+}
 
 fn tiny() -> SystemConfig {
     let mut cfg = SystemConfig::paper_baseline();
@@ -22,74 +34,74 @@ fn run(cfg: &SystemConfig, spec: ProtocolSpec, seed: u64) -> SimReport {
 fn msgkind_labels_are_exhaustive_and_consistent() {
     use super::trace::MsgLabel as L;
     let cases: Vec<(MsgKind, L)> = vec![
-        (MsgKind::InitCohort { cohort: 1 }, L::InitCohort),
-        (MsgKind::WorkDone { txn: 1 }, L::WorkDone),
-        (MsgKind::Prepare { cohort: 1 }, L::Prepare),
+        (MsgKind::InitCohort { cohort: ch(1) }, L::InitCohort),
+        (MsgKind::WorkDone { txn: th(1) }, L::WorkDone),
+        (MsgKind::Prepare { cohort: ch(1) }, L::Prepare),
         (
             MsgKind::Vote {
-                txn: 1,
+                txn: th(1),
                 vote: Vote::Yes,
             },
             L::VoteYes,
         ),
         (
             MsgKind::Vote {
-                txn: 1,
+                txn: th(1),
                 vote: Vote::No,
             },
             L::VoteNo,
         ),
         (
             MsgKind::Vote {
-                txn: 1,
+                txn: th(1),
                 vote: Vote::ReadOnly,
             },
             L::VoteReadOnly,
         ),
-        (MsgKind::PreCommit { cohort: 1 }, L::PreCommit),
-        (MsgKind::PreAck { txn: 1 }, L::PreAck),
+        (MsgKind::PreCommit { cohort: ch(1) }, L::PreCommit),
+        (MsgKind::PreAck { txn: th(1) }, L::PreAck),
         (
             MsgKind::Decision {
-                cohort: 1,
+                cohort: ch(1),
                 commit: true,
             },
             L::DecisionCommit,
         ),
         (
             MsgKind::Decision {
-                cohort: 1,
+                cohort: ch(1),
                 commit: false,
             },
             L::DecisionAbort,
         ),
-        (MsgKind::Ack { txn: 1 }, L::Ack),
-        (MsgKind::TermStateReq { cohort: 1 }, L::TermStateReq),
-        (MsgKind::TermStateRep { txn: 1 }, L::TermStateRep),
-        (MsgKind::ChainPrepare { cohort: 1 }, L::Prepare),
+        (MsgKind::Ack { txn: th(1) }, L::Ack),
+        (MsgKind::TermStateReq { cohort: ch(1) }, L::TermStateReq),
+        (MsgKind::TermStateRep { txn: th(1) }, L::TermStateRep),
+        (MsgKind::ChainPrepare { cohort: ch(1) }, L::Prepare),
         (
             MsgKind::ChainDecision {
-                cohort: 1,
+                cohort: ch(1),
                 commit: true,
             },
             L::DecisionCommit,
         ),
         (
             MsgKind::ChainDecision {
-                cohort: 1,
+                cohort: ch(1),
                 commit: false,
             },
             L::DecisionAbort,
         ),
         (
             MsgKind::ChainBack {
-                txn: 1,
+                txn: th(1),
                 commit: true,
             },
             L::DecisionCommit,
         ),
         (
             MsgKind::ChainBack {
-                txn: 1,
+                txn: th(1),
                 commit: false,
             },
             L::DecisionAbort,
@@ -99,11 +111,11 @@ fn msgkind_labels_are_exhaustive_and_consistent() {
         assert_eq!(kind.label(), label, "{kind:?}");
     }
     // execution/commit classification
-    assert!(MsgKind::InitCohort { cohort: 1 }.is_execution());
-    assert!(MsgKind::WorkDone { txn: 1 }.is_execution());
-    assert!(!MsgKind::Prepare { cohort: 1 }.is_execution());
+    assert!(MsgKind::InitCohort { cohort: ch(1) }.is_execution());
+    assert!(MsgKind::WorkDone { txn: th(1) }.is_execution());
+    assert!(!MsgKind::Prepare { cohort: ch(1) }.is_execution());
     assert!(!MsgKind::ChainBack {
-        txn: 1,
+        txn: th(1),
         commit: true
     }
     .is_execution());
@@ -113,35 +125,38 @@ fn msgkind_labels_are_exhaustive_and_consistent() {
 fn logwork_labels_are_consistent() {
     use super::trace::LogLabel as L;
     let cases: Vec<(LogWork, L)> = vec![
-        (LogWork::CohortPrepare { cohort: 1 }, L::Prepare),
-        (LogWork::CohortNoVoteAbort { cohort: 1 }, L::NoVoteAbort),
-        (LogWork::CohortPrecommit { cohort: 1 }, L::CohortPrecommit),
+        (LogWork::CohortPrepare { cohort: ch(1) }, L::Prepare),
+        (LogWork::CohortNoVoteAbort { cohort: ch(1) }, L::NoVoteAbort),
+        (
+            LogWork::CohortPrecommit { cohort: ch(1) },
+            L::CohortPrecommit,
+        ),
         (
             LogWork::CohortDecision {
-                cohort: 1,
+                cohort: ch(1),
                 commit: true,
             },
             L::CohortCommit,
         ),
         (
             LogWork::CohortDecision {
-                cohort: 1,
+                cohort: ch(1),
                 commit: false,
             },
             L::CohortAbort,
         ),
-        (LogWork::MasterCollecting { txn: 1 }, L::Collecting),
-        (LogWork::MasterPrecommit { txn: 1 }, L::MasterPrecommit),
+        (LogWork::MasterCollecting { txn: th(1) }, L::Collecting),
+        (LogWork::MasterPrecommit { txn: th(1) }, L::MasterPrecommit),
         (
             LogWork::MasterDecision {
-                txn: 1,
+                txn: th(1),
                 commit: true,
             },
             L::MasterCommit,
         ),
         (
             LogWork::MasterDecision {
-                txn: 1,
+                txn: th(1),
                 commit: false,
             },
             L::MasterAbort,
@@ -154,23 +169,17 @@ fn logwork_labels_are_consistent() {
 
 #[test]
 fn cohort_work_complete_tracks_cursor() {
-    use crate::workload::Access;
+    let mut lm = distlocks::LockManager::new(false);
+    let owner = lm.register_owner(1);
     let mut c = super::types::Cohort {
         id: 1,
-        txn: 1,
+        txn: th(1),
         site: 0,
-        accesses: vec![
-            Access {
-                page: 0,
-                update: false,
-            },
-            Access {
-                page: 1,
-                update: true,
-            },
-        ],
+        acc_index: 0,
+        n_accesses: 2,
         next_access: 0,
         phase: CohortPhase::Executing,
+        lock_owner: owner,
         waiting_lock: false,
         shelf_since: None,
         prepared_since: None,
@@ -333,29 +342,27 @@ fn opt_lending_under_master_crashes_leaks_no_locks() {
             site.locks.audit().unwrap_or_else(|e| {
                 panic!("{}: lock table corrupt at site {si}: {e}", spec.name())
             });
+            // Owner registrations and live cohorts are a bijection: a
+            // cohort only unregisters at teardown, and `unregister`
+            // panics if the owner still holds, waits for, or borrows
+            // anything — so matching counts prove dead cohorts own
+            // nothing.
+            let live_here = sim.cohorts.values().filter(|c| c.site == si).count();
+            assert_eq!(
+                site.locks.registered_count(),
+                live_here,
+                "{}: site {si} lock table retains dead registrations",
+                spec.name()
+            );
         }
-        for id in 1..sim.next_cohort_id {
-            if sim.cohorts.contains_key(&id) {
-                continue; // live incarnation, may hold locks
-            }
-            for (si, site) in sim.sites.iter().enumerate() {
-                assert_eq!(
-                    site.locks.pages_held(id),
-                    0,
-                    "{}: dead cohort {id} still holds locks at site {si}",
-                    spec.name()
-                );
-                assert!(
-                    !site.locks.is_waiting(id),
-                    "{}: dead cohort {id} still queued at site {si}",
-                    spec.name()
-                );
-                assert!(
-                    !site.locks.has_live_borrows(id),
-                    "{}: dead cohort {id} still borrowing at site {si}",
-                    spec.name()
-                );
-            }
+        for c in sim.cohorts.values() {
+            assert_eq!(
+                sim.sites[c.site].locks.owner_seq(c.lock_owner),
+                Some(c.id),
+                "{}: cohort {} mapped to a foreign owner slot",
+                spec.name(),
+                c.id
+            );
         }
     }
 }
@@ -375,7 +382,7 @@ fn control_site_defaults_to_home() {
         },
         birth: simkernel::SimTime::ZERO,
         original_birth: simkernel::SimTime::ZERO,
-        cohorts: vec![1],
+        cohorts: vec![ch(1)],
         phase: TxnPhase::Executing,
         pending_workdone: 1,
         pending_votes: 0,

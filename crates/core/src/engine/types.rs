@@ -1,15 +1,55 @@
 //! Engine-internal types: events, resource jobs, messages, and the
 //! master/cohort state machines' state.
 
-use crate::workload::{Access, SiteId, TxnTemplate};
-use simkernel::SimTime;
+use crate::workload::{SiteId, TxnTemplate};
+use distlocks::OwnerId;
+use simkernel::slab::Handle;
+use simkernel::{SimTime, SlabKey};
 
 /// A transaction identifier (globally unique, monotonically assigned).
+/// External: appears in traces and debug output; never recycled.
 pub type TxnId = u64;
 
-/// A cohort identifier; doubles as the lock-owner id in the per-site
-/// lock tables. Globally unique.
+/// A cohort identifier (globally unique, monotonically assigned).
+/// External: appears in traces and is the registration sequence in the
+/// per-site lock tables; never recycled.
 pub type CohortId = u64;
+
+/// Dense slab handle of a live transaction in `Simulation::txns`.
+/// Generational: a handle to a finished transaction misses on lookup,
+/// exactly as a stale never-recycled [`TxnId`] missed in the old map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct TxnH(Handle);
+
+impl SlabKey for TxnH {
+    fn from_handle(h: Handle) -> Self {
+        TxnH(h)
+    }
+    fn handle(self) -> Handle {
+        self.0
+    }
+}
+
+impl TxnH {
+    /// Dense slab slot — the index for stamp arrays sized to the live
+    /// transaction population (deadlock pre-filter scratch).
+    pub(crate) fn slot(self) -> usize {
+        self.0.index() as usize
+    }
+}
+
+/// Dense slab handle of a live cohort in `Simulation::cohorts`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct CohortH(Handle);
+
+impl SlabKey for CohortH {
+    fn from_handle(h: Handle) -> Self {
+        CohortH(h)
+    }
+    fn handle(self) -> Handle {
+        self.0
+    }
+}
 
 /// A simulation event.
 #[derive(Debug, Clone)]
@@ -42,16 +82,16 @@ pub(crate) enum Event {
     LogBatchDone { site: SiteId, disk: usize },
     /// A crashed master recovered (blocking protocols) — resume the
     /// interrupted decision.
-    MasterRecovered { txn: TxnId, commit: bool },
+    MasterRecovered { txn: TxnH, commit: bool },
     /// A crashed cohort restarted: replay its last forced log record
     /// and rejoin the protocol per the recovery rule.
-    CohortRecovered { cohort: CohortId },
+    CohortRecovered { cohort: CohortH },
     /// Sender-side retransmission timer for a loss-eligible message
     /// fired; retransmit if the receiver still hasn't progressed.
     MsgRetry { retry: Retry, attempt: u32 },
     /// The cohorts of a crashed 3PC master detected the failure — run
     /// the termination protocol.
-    StartTermination { txn: TxnId },
+    StartTermination { txn: TxnH },
     /// Zero-cost delivery of a same-site message (master and its local
     /// cohort communicate for free).
     LocalMsg { msg: Message },
@@ -61,7 +101,7 @@ pub(crate) enum Event {
 #[derive(Debug, Clone)]
 pub(crate) enum CpuJob {
     /// Page processing for a cohort (`PageCPU`, low priority).
-    Data { cohort: CohortId },
+    Data { cohort: CohortH },
     /// Outgoing message processing (`MsgCPU`, high priority).
     MsgSend { msg: Message },
     /// Incoming message processing (`MsgCPU`, high priority).
@@ -72,7 +112,7 @@ pub(crate) enum CpuJob {
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum DiskJob {
     /// Read one page on behalf of a cohort.
-    Read { cohort: CohortId },
+    Read { cohort: CohortH },
     /// Asynchronous post-commit write of an updated page; nothing waits
     /// on it (§4.1).
     AsyncWrite,
@@ -83,20 +123,20 @@ pub(crate) enum DiskJob {
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum LogWork {
     /// A cohort's *prepare* record; completion enters the prepared state.
-    CohortPrepare { cohort: CohortId },
+    CohortPrepare { cohort: CohortH },
     /// A NO-voting cohort's forced abort record (2PC/PC/3PC; PA skips it).
-    CohortNoVoteAbort { cohort: CohortId },
+    CohortNoVoteAbort { cohort: CohortH },
     /// A cohort's 3PC *precommit* record.
-    CohortPrecommit { cohort: CohortId },
+    CohortPrecommit { cohort: CohortH },
     /// A prepared cohort's decision record.
-    CohortDecision { cohort: CohortId, commit: bool },
+    CohortDecision { cohort: CohortH, commit: bool },
     /// The Presumed-Commit *collecting* record at the master.
-    MasterCollecting { txn: TxnId },
+    MasterCollecting { txn: TxnH },
     /// The master's 3PC *precommit* record.
-    MasterPrecommit { txn: TxnId },
+    MasterPrecommit { txn: TxnH },
     /// The master's global decision record — its completion is the
     /// transaction's commit point.
-    MasterDecision { txn: TxnId, commit: bool },
+    MasterDecision { txn: TxnH, commit: bool },
 }
 
 /// A loss-eligible master→cohort transfer being watched by a
@@ -106,11 +146,11 @@ pub(crate) enum LogWork {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Retry {
     /// A PREPARE to `cohort` (chain variant included).
-    Prepare { cohort: CohortId },
+    Prepare { cohort: CohortH },
     /// A 3PC PRECOMMIT to `cohort`.
-    PreCommit { cohort: CohortId },
+    PreCommit { cohort: CohortH },
     /// The decision to `cohort`.
-    Decision { cohort: CohortId, commit: bool },
+    Decision { cohort: CohortH, commit: bool },
 }
 
 /// A network message. Transfers between distinct sites cost `MsgCPU`
@@ -144,33 +184,33 @@ pub(crate) enum Vote {
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum MsgKind {
     /// Master → remote site: start this cohort (execution phase).
-    InitCohort { cohort: CohortId },
+    InitCohort { cohort: CohortH },
     /// Cohort → master: local work complete (execution phase).
-    WorkDone { txn: TxnId },
+    WorkDone { txn: TxnH },
     /// Master → cohort: phase one of the vote.
-    Prepare { cohort: CohortId },
+    Prepare { cohort: CohortH },
     /// Cohort → master: the phase-one vote.
-    Vote { txn: TxnId, vote: Vote },
+    Vote { txn: TxnH, vote: Vote },
     /// Master → cohort: 3PC precommit.
-    PreCommit { cohort: CohortId },
+    PreCommit { cohort: CohortH },
     /// Cohort → master: 3PC precommit acknowledgement.
-    PreAck { txn: TxnId },
+    PreAck { txn: TxnH },
     /// Master → cohort: the global decision.
-    Decision { cohort: CohortId, commit: bool },
+    Decision { cohort: CohortH, commit: bool },
     /// Cohort → master: decision acknowledgement.
-    Ack { txn: TxnId },
+    Ack { txn: TxnH },
     /// Termination coordinator → cohort: report your protocol state.
-    TermStateReq { cohort: CohortId },
+    TermStateReq { cohort: CohortH },
     /// Cohort → termination coordinator: state report (all cohorts are
     /// precommitted at the modeled crash point).
-    TermStateRep { txn: TxnId },
+    TermStateRep { txn: TxnH },
     /// Linear 2PC: PREPARE travelling down the chain (the accumulated
     /// vote so far is YES; a NO stops forward propagation).
-    ChainPrepare { cohort: CohortId },
+    ChainPrepare { cohort: CohortH },
     /// Linear 2PC: the decision travelling back up the chain.
-    ChainDecision { cohort: CohortId, commit: bool },
+    ChainDecision { cohort: CohortH, commit: bool },
     /// Linear 2PC: the decision's final backward hop to the master.
-    ChainBack { txn: TxnId, commit: bool },
+    ChainBack { txn: TxnH, commit: bool },
 }
 
 impl MsgKind {
@@ -251,8 +291,7 @@ pub(crate) enum TxnPhase {
 /// One in-flight transaction (master side).
 #[derive(Debug)]
 pub(crate) struct Txn {
-    /// Own id (the map key; kept for traces and debugging).
-    #[allow(dead_code)]
+    /// External id — appears in traces and debug output.
     pub id: TxnId,
     pub home: SiteId,
     pub template: TxnTemplate,
@@ -262,7 +301,7 @@ pub(crate) struct Txn {
     /// Submission instant of the first incarnation (response time runs
     /// from here).
     pub original_birth: SimTime,
-    pub cohorts: Vec<CohortId>,
+    pub cohorts: Vec<CohortH>,
     pub phase: TxnPhase,
     pub pending_workdone: usize,
     pub pending_votes: usize,
@@ -343,14 +382,21 @@ pub(crate) enum CohortPhase {
 /// One in-flight cohort.
 #[derive(Debug)]
 pub(crate) struct Cohort {
-    /// Own id (the map key and lock-owner id; kept for debugging).
-    #[allow(dead_code)]
+    /// External id — appears in traces; also the registration sequence
+    /// in the site's lock table.
     pub id: CohortId,
-    pub txn: TxnId,
+    pub txn: TxnH,
     pub site: SiteId,
-    pub accesses: Vec<Access>,
+    /// Index of this cohort's access list in `txn.template.accesses`.
+    /// The accesses are read from the template; they are not cloned
+    /// per incarnation.
+    pub acc_index: usize,
+    /// Length of that access list.
+    pub n_accesses: usize,
     pub next_access: usize,
     pub phase: CohortPhase,
+    /// This cohort's registered owner handle in `site`'s lock table.
+    pub lock_owner: OwnerId,
     /// Blocked on a lock right now (subset of `Executing`).
     pub waiting_lock: bool,
     /// When it went on the shelf (for shelf-time statistics).
@@ -362,6 +408,6 @@ pub(crate) struct Cohort {
 impl Cohort {
     /// True once the cohort has issued every access.
     pub fn work_complete(&self) -> bool {
-        self.next_access >= self.accesses.len()
+        self.next_access >= self.n_accesses
     }
 }

@@ -9,42 +9,83 @@
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
-/// A scheduled entry: ordering key is `(time, seq)` so simultaneous
-/// events preserve scheduling order.
-#[derive(Debug)]
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
-}
+/// A packed 16-byte heap key: the firing time in the first word, then
+/// `seq` (40 bits) over `slot` (24 bits) in the second. Tuple order is
+/// `(time, seq, slot)`; `seq` values are unique, so the slot bits are
+/// never reached by a comparison and simultaneous events preserve
+/// scheduling order exactly as they did when the payload lived inside
+/// the heap entry. The packing bounds are asserted at push: 2^40
+/// events per run and 2^24 simultaneously pending events are both
+/// orders of magnitude beyond what a simulation reaches.
+type Key = (u64, u64);
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
+const SLOT_BITS: u32 = 24;
+
+#[inline]
+fn pack(at: SimTime, seq: u64, slot: u32) -> Key {
+    assert!(seq < 1 << (64 - SLOT_BITS), "calendar seq overflow");
+    assert!(slot < 1 << SLOT_BITS, "calendar slot overflow");
+    (at.0, (seq << SLOT_BITS) | slot as u64)
 }
 
-/// The event calendar: a min-heap of `(time, seq, event)` plus the
-/// simulation clock.
+#[inline]
+fn unpack(key: Key) -> (SimTime, u64, u32) {
+    (
+        SimTime(key.0),
+        key.1 >> SLOT_BITS,
+        (key.1 & ((1 << SLOT_BITS) - 1)) as u32,
+    )
+}
+
+/// The event calendar: a min-heap of `(time, seq, slot)` keys plus a
+/// slot arena holding the event payloads, plus the simulation clock.
 ///
 /// The clock only advances when an event is popped; scheduling in the
 /// past is a logic error and panics in debug builds.
+///
+/// # Current-instant fast path
+///
+/// Events scheduled for the *current* instant — the dominant case in
+/// the engine, whose handlers chain zero-delay continuations — bypass
+/// the heap entirely and go to `now_q`, a FIFO of `(seq, event)`. This
+/// is order-exact, not an approximation: delivery order is `(time,
+/// seq)`, the clock cannot advance while a current-instant event is
+/// pending (the earliest pending key *is* at `now`), so every `now_q`
+/// entry fires before the clock moves, and `next()` breaks the
+/// remaining tie — a heap event also at `now` but scheduled earlier —
+/// by comparing seqs. O(1) push/pop replaces two O(log n) sifts for
+/// every same-instant event.
+///
+/// # Allocation audit
+///
+/// Heap entries are packed 16-byte `(time, seq, slot)` keys; the payloads sit
+/// out-of-line in `events`, a slot arena recycled through a free list.
+/// Sift-up/sift-down therefore moves small fixed-size keys instead of
+/// full event enums (~80 bytes for the engine's event type), which is
+/// what the `memmove` traffic in profiles was. The steady-state
+/// schedule/pop cycle performs **no per-event heap allocation**: a push
+/// only allocates when the heap buffer, slot arena, or now-queue grows,
+/// and every high-water mark is bounded by the simulation's maximum
+/// event population (a few hundred entries at paper-scale MPLs), after
+/// which every push reuses freed capacity and every slot comes off the
+/// free list. The event payloads themselves are plain enums — the only
+/// boxed field in the engine's event type is the restart template
+/// carried by a resubmission, which is allocated once per abort, not
+/// per event. This is why the calendar is left as a binary heap rather
+/// than a bucketed calendar queue: the heap is allocation-free in
+/// steady state, and the calendar-queue literature's win (cheap
+/// same-priority inserts) is already captured by `now_q`.
 #[derive(Debug)]
 pub struct Calendar<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    heap: BinaryHeap<Reverse<Key>>,
+    /// Slot arena for pending payloads; `None` marks a free slot.
+    events: Vec<Option<E>>,
+    /// Indices of free slots in `events`.
+    free: Vec<u32>,
+    /// FIFO of events scheduled at the current instant (see above).
+    now_q: VecDeque<(u64, E)>,
     now: SimTime,
     seq: u64,
     scheduled: u64,
@@ -62,6 +103,9 @@ impl<E> Calendar<E> {
     pub fn new() -> Self {
         Calendar {
             heap: BinaryHeap::new(),
+            events: Vec::new(),
+            free: Vec::new(),
+            now_q: VecDeque::new(),
             now: SimTime::ZERO,
             seq: 0,
             scheduled: 0,
@@ -78,13 +122,13 @@ impl<E> Calendar<E> {
     /// Number of events waiting to fire.
     #[inline]
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.now_q.len()
     }
 
     /// True when no events remain.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.now_q.is_empty()
     }
 
     /// Total events ever scheduled (diagnostics).
@@ -111,11 +155,23 @@ impl<E> Calendar<E> {
         let seq = self.seq;
         self.seq += 1;
         self.scheduled += 1;
-        self.heap.push(Reverse(Entry {
-            time: at,
-            seq,
-            event,
-        }));
+        if at == self.now {
+            self.now_q.push_back((seq, event));
+            return;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                debug_assert!(self.events[s as usize].is_none());
+                self.events[s as usize] = Some(event);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.events.len()).expect("calendar slot overflow");
+                self.events.push(Some(event));
+                s
+            }
+        };
+        self.heap.push(Reverse(pack(at, seq, slot)));
     }
 
     /// Schedule `event` to fire `delay` after the current clock.
@@ -138,16 +194,40 @@ impl<E> Calendar<E> {
     /// calendar across exactly the calls that need `&mut` access.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, E)> {
-        let Reverse(entry) = self.heap.pop()?;
-        debug_assert!(entry.time >= self.now);
-        self.now = entry.time;
+        // A `now_q` event fires unless a heap event also due at `now`
+        // was scheduled earlier (smaller seq).
+        let take_heap = match (self.heap.peek(), self.now_q.front()) {
+            (Some(&Reverse(k)), Some(&(fs, _))) => {
+                let (t, s, _) = unpack(k);
+                (t, s) < (self.now, fs)
+            }
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
         self.dispatched += 1;
-        Some((entry.time, entry.event))
+        if take_heap {
+            let (time, _seq, slot) = unpack(self.heap.pop().expect("peeked above").0);
+            debug_assert!(time >= self.now);
+            self.now = time;
+            let event = self.events[slot as usize]
+                .take()
+                .expect("heap key points at an empty slot");
+            self.free.push(slot);
+            Some((time, event))
+        } else {
+            let (_, event) = self.now_q.pop_front().expect("checked above");
+            Some((self.now, event))
+        }
     }
 
     /// Firing time of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        if self.now_q.is_empty() {
+            self.heap.peek().map(|&Reverse(k)| unpack(k).0)
+        } else {
+            Some(self.now)
+        }
     }
 }
 

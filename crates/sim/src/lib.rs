@@ -26,10 +26,12 @@
 pub mod calendar;
 pub mod resource;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod time;
 
 pub use calendar::Calendar;
 pub use resource::{JobClass, Station, StationKind};
 pub use rng::{mix_seed, SimRng};
+pub use slab::{Slab, SlabKey};
 pub use time::{SimDuration, SimTime};

@@ -74,6 +74,13 @@ pub struct Station<J> {
     /// Time-weighted queue-depth distribution over the same spans as
     /// `queue_unit_time`, for p50/p90/p99 occupancy.
     occupancy: OccupancyHistogram,
+    /// Depth of the run of consecutive spans not yet folded into
+    /// `occupancy`. Consecutive spans at the same depth coalesce here —
+    /// `record_span` is additive in µs, so folding one summed span is
+    /// exact — and the bucket math runs only when the depth changes.
+    span_depth: u64,
+    /// Accumulated µs of the open same-depth run.
+    span_micros: u64,
     /// Largest queue length seen in the statistics window.
     max_queue: usize,
     served: u64,
@@ -108,6 +115,8 @@ impl<J> Station<J> {
             busy_unit_time: 0,
             queue_unit_time: 0,
             occupancy: OccupancyHistogram::new(),
+            span_depth: 0,
+            span_micros: 0,
             max_queue: 0,
             served: 0,
             total_wait: 0,
@@ -137,12 +146,32 @@ impl<J> Station<J> {
 
     fn accumulate(&mut self, now: SimTime) {
         debug_assert!(now >= self.last_change);
-        let dt = now - self.last_change;
+        let dt = (now - self.last_change).as_micros();
+        if dt == 0 {
+            // Zero-width span: every integral below adds 0 and
+            // `record_span` ignores it, so skip the bucket math.
+            return;
+        }
         let depth = (self.high.len() + self.low.len()) as u64;
-        self.busy_unit_time += self.busy as u64 * dt.as_micros();
-        self.queue_unit_time += depth * dt.as_micros();
-        self.occupancy.record_span(depth, dt);
+        self.busy_unit_time += self.busy as u64 * dt;
+        self.queue_unit_time += depth * dt;
+        if depth == self.span_depth {
+            self.span_micros += dt;
+        } else {
+            self.flush_span();
+            self.span_depth = depth;
+            self.span_micros = dt;
+        }
         self.last_change = now;
+    }
+
+    /// Fold the open same-depth run into the occupancy histogram.
+    fn flush_span(&mut self) {
+        if self.span_micros != 0 {
+            self.occupancy
+                .record_span(self.span_depth, SimDuration(self.span_micros));
+            self.span_micros = 0;
+        }
     }
 
     fn start(&mut self, now: SimTime, w: Waiting<J>) -> Started<J> {
@@ -251,6 +280,7 @@ impl<J> Station<J> {
     /// with the final open interval flushed up to `now`.
     pub fn occupancy(&mut self, now: SimTime) -> &OccupancyHistogram {
         self.accumulate(now);
+        self.flush_span();
         &self.occupancy
     }
 
@@ -260,6 +290,8 @@ impl<J> Station<J> {
         self.busy_unit_time = 0;
         self.queue_unit_time = 0;
         self.occupancy = OccupancyHistogram::new();
+        self.span_depth = self.queued() as u64;
+        self.span_micros = 0;
         self.max_queue = self.queued();
         self.served = 0;
         self.total_wait = 0;

@@ -73,6 +73,18 @@ pub enum Command {
         reps: u32,
         jobs: Option<usize>,
     },
+    /// The canonical engine benchmark: run the fixed seed/protocol
+    /// grid, print events per core-second, optionally append the entry
+    /// to a `BENCH_*.json` trajectory and gate against a committed
+    /// baseline.
+    Bench {
+        quick: bool,
+        label: String,
+        seed: u64,
+        out: Option<String>,
+        baseline: Option<String>,
+        tolerance: f64,
+    },
     /// Tables 2–4.
     Tables,
     /// Usage text.
@@ -115,8 +127,21 @@ USAGE:
   distcommit sweep [OPTIONS]                 protocols x MPLs sweep
   distcommit experiment <fig1|fig2|expt3|fig3|fig4|fig5|seq|failures|faults>
                         [--full] [--reps N] [--jobs N]
+  distcommit bench [OPTIONS]                 canonical engine benchmark
   distcommit tables                          Tables 2-4
   distcommit help
+
+BENCH:
+  --quick                  short grid (CI smoke) instead of the full
+                           canonical grid
+  --label <S>              label recorded with the trajectory entry
+  --out <FILE>             append the entry to this BENCH_*.json
+                           trajectory (created if missing)
+  --baseline <FILE>        validate FILE's schema and fail if this
+                           run's events/sec regresses beyond tolerance
+                           vs its most recent comparable entry
+  --tolerance <P>          allowed fractional regression (default 0.25)
+  --seed <N>               grid seed (default 42)
 
 RUN OUTPUT:
   --format <F>             report format: table (default), csv
@@ -234,6 +259,37 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     match sub.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "tables" => Ok(Command::Tables),
+        "bench" => {
+            let mut quick = false;
+            let mut label = String::new();
+            let mut seed = distbench::canonical::GRID_SEED;
+            let mut out = None;
+            let mut baseline = None;
+            let mut tolerance = 0.25f64;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--quick" => quick = true,
+                    "--label" => label = take_value(a, &mut it)?.clone(),
+                    "--seed" => seed = parse_num(a, take_value(a, &mut it)?)?,
+                    "--out" => out = Some(take_value(a, &mut it)?.clone()),
+                    "--baseline" => baseline = Some(take_value(a, &mut it)?.clone()),
+                    "--tolerance" => tolerance = parse_num(a, take_value(a, &mut it)?)?,
+                    other => return err(format!("unknown option {other:?}")),
+                }
+            }
+            if !(0.0..1.0).contains(&tolerance) {
+                return err("--tolerance must be a fraction in [0, 1)");
+            }
+            Ok(Command::Bench {
+                quick,
+                label,
+                seed,
+                out,
+                baseline,
+                tolerance,
+            })
+        }
         "experiment" => {
             let mut id = None;
             let mut full = false;
@@ -443,6 +499,53 @@ pub fn execute(cmd: Command) -> i32 {
     match cmd {
         Command::Help => {
             println!("{}", *USAGE);
+            0
+        }
+        Command::Bench {
+            quick,
+            label,
+            seed,
+            out,
+            baseline,
+            tolerance,
+        } => {
+            use distbench::canonical as bench;
+            let opts = bench::Options { quick, label, seed };
+            // Validate the baseline's schema up front: a malformed
+            // committed trajectory should fail fast, before minutes of
+            // grid runs.
+            let baseline_doc = match baseline.as_deref().map(bench::load_trajectory) {
+                Some(Ok(doc)) => Some(doc),
+                Some(Err(e)) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+                None => None,
+            };
+            let entry = match bench::run_grid(&opts) {
+                Ok(entry) => entry,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            };
+            print!("{}", bench::render_entry(&entry));
+            if let Some(path) = &out {
+                if let Err(e) = bench::append_entry(path, &entry) {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+                println!("[trajectory] appended entry to {path}");
+            }
+            if let Some(doc) = &baseline_doc {
+                match bench::compare_to_baseline(&entry, doc, tolerance) {
+                    Ok(verdict) => println!("[baseline] {verdict}"),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return 1;
+                    }
+                }
+            }
             0
         }
         Command::Tables => {
@@ -940,6 +1043,39 @@ mod tests {
     }
 
     #[test]
+    fn bench_parses_flags_and_defaults() {
+        assert_eq!(
+            parse(&argv("bench")).unwrap(),
+            Command::Bench {
+                quick: false,
+                label: String::new(),
+                seed: 42,
+                out: None,
+                baseline: None,
+                tolerance: 0.25,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "bench --quick --label before --seed 7 --out BENCH_6.json \
+                 --baseline BENCH_6.json --tolerance 0.5"
+            ))
+            .unwrap(),
+            Command::Bench {
+                quick: true,
+                label: "before".into(),
+                seed: 7,
+                out: Some("BENCH_6.json".into()),
+                baseline: Some("BENCH_6.json".into()),
+                tolerance: 0.5,
+            }
+        );
+        assert!(parse(&argv("bench --tolerance 1.5")).is_err());
+        assert!(parse(&argv("bench --label")).is_err());
+        assert!(parse(&argv("bench --mpl 4")).is_err());
+    }
+
+    #[test]
     fn usage_mentions_every_subcommand() {
         for word in [
             "run",
@@ -947,6 +1083,7 @@ mod tests {
             "fold",
             "sweep",
             "experiment",
+            "bench",
             "tables",
             "help",
         ] {

@@ -44,6 +44,46 @@ fn json_report_matches_golden() {
     check("report.json", &report.render(ReportFormat::Json));
 }
 
+/// The same CLI-shaped fault specification the README examples use:
+/// all three fault classes enabled, hot enough that a short run still
+/// fires each of them.
+fn faulty_cfg() -> SystemConfig {
+    let faults = "mc=0.05,cc=0.02,loss=0.05"
+        .parse()
+        .expect("valid fault spec");
+    golden_cfg().with_failures(faults)
+}
+
+/// The failure path of the engine — crash injection, recovery timers,
+/// retransmissions — byte-for-byte. A refactor that preserves the
+/// happy-path goldens but perturbs RNG draws or event ordering under
+/// faults drifts here.
+#[test]
+fn faulty_json_report_matches_golden() {
+    let report = Simulation::run(&faulty_cfg(), ProtocolSpec::TWO_PC, 2027).expect("valid config");
+    // Not vacuous: the fault classes actually fired in this run.
+    assert!(report.faults.master_crashes > 0);
+    assert!(report.faults.messages_lost > 0);
+    check("report_faulty.json", &report.render(ReportFormat::Json));
+}
+
+/// The folded commit-time stacks of a faulty 3PC run (termination
+/// protocol, recovery waits) — the failure-path counterpart of
+/// `folded_stacks_match_golden`.
+#[test]
+fn faulty_folded_stacks_match_golden() {
+    let (report, fold) = Simulation::run_with_sink(
+        &faulty_cfg(),
+        ProtocolSpec::THREE_PC,
+        2027,
+        u64::MAX,
+        FoldSink::new(ProtocolSpec::THREE_PC.name()),
+    )
+    .expect("valid config");
+    assert!(report.faults.master_crashes > 0);
+    check("fold_faulty.txt", &fold.render());
+}
+
 #[test]
 fn folded_stacks_match_golden() {
     let (_, fold) = Simulation::run_with_sink(

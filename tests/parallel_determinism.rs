@@ -11,7 +11,7 @@
 use distcommit::db::config::SystemConfig;
 use distcommit::db::engine::Simulation;
 use distcommit::db::experiments::{self, cell_seed, Scale};
-use distcommit::db::metrics::SimReport;
+use distcommit::db::metrics::{ReportFormat, SimReport};
 use distcommit::db::output::{render_csv, render_csv_ci, render_table_ci, Metric};
 use distcommit::db::runner;
 use distcommit::proto::ProtocolSpec;
@@ -61,6 +61,68 @@ fn four_jobs_bit_identical_to_one_job() {
     );
     assert_eq!(render_csv_ci(&serial), render_csv_ci(&parallel));
     assert_eq!(render_table_ci(&serial), render_table_ci(&parallel));
+}
+
+/// The determinism matrix: every (protocol, seed-offset, MPL) cell
+/// must render byte-identical SimReport JSON whether the cell grid is
+/// executed on one worker or four. This is the widest determinism
+/// guarantee the repo makes — not just one figure's sweep, but the
+/// exact rendered bytes across protocol families (classic 2PC, the
+/// presumed-commit variant, and an OPT lending protocol), shifted
+/// seeds far apart, and both load levels either side of the paper's
+/// thrashing knee.
+#[test]
+fn report_json_matrix_identical_across_jobs_seeds_and_protocols() {
+    let env_offset = std::env::var("DISTCOMMIT_TEST_SEED_OFFSET")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    let protocols = [
+        ("2PC", ProtocolSpec::TWO_PC),
+        ("PC", ProtocolSpec::PC),
+        ("OPT", ProtocolSpec::OPT_2PC),
+    ];
+    let offsets = [0u64, 1000, 52000];
+    let mpls = [2u32, 6];
+
+    let mut cells: Vec<(usize, u64, u32)> = Vec::new();
+    for pi in 0..protocols.len() {
+        for &off in &offsets {
+            for &mpl in &mpls {
+                cells.push((pi, off, mpl));
+            }
+        }
+    }
+
+    let run_cell = |&(pi, off, mpl): &(usize, u64, u32)| -> String {
+        let mut cfg = SystemConfig::paper_baseline();
+        cfg.mpl = mpl;
+        cfg.run.warmup_transactions = 25;
+        cfg.run.measured_transactions = 200;
+        Simulation::run(&cfg, protocols[pi].1, 42 + off + env_offset)
+            .unwrap()
+            .render(ReportFormat::Json)
+    };
+
+    let serial = runner::run_ordered(&cells, 1, run_cell);
+    let parallel = runner::run_ordered(&cells, 4, run_cell);
+
+    assert_eq!(serial.len(), cells.len());
+    for (i, &(pi, off, mpl)) in cells.iter().enumerate() {
+        assert_eq!(
+            serial[i], parallel[i],
+            "JSON report diverged across --jobs for {} offset {off} mpl {mpl}",
+            protocols[pi].0
+        );
+    }
+    // Distinct cells must actually be distinct runs, or the matrix
+    // would pass vacuously.
+    for i in 1..cells.len() {
+        assert_ne!(
+            serial[0], serial[i],
+            "cells 0 and {i} produced identical reports"
+        );
+    }
 }
 
 /// An absurd worker count (more workers than jobs) is also identical.
