@@ -17,7 +17,7 @@
 
 use commitproto::ProtocolSpec;
 use distdb::config::SystemConfig;
-use distdb::engine::Simulation;
+use distdb::engine::{EngineProfile, SeriesConfig, Simulation};
 use std::time::Instant;
 
 /// Protocols on the canonical grid, in run order.
@@ -38,6 +38,11 @@ pub const GRID_SEED: u64 = 42;
 /// Schema tag written into (and required of) every trajectory file.
 pub const SCHEMA: &str = "distcommit-bench/v1";
 
+/// Minimum allowed `series-on / series-off` events-per-second ratio in
+/// [`series_overhead`]: the series sink's off-path cost must stay
+/// within 3%.
+pub const SERIES_OVERHEAD_FLOOR: f64 = 0.97;
+
 /// Harness options, CLI-shaped.
 #[derive(Debug, Clone)]
 pub struct Options {
@@ -48,6 +53,10 @@ pub struct Options {
     pub label: String,
     /// Seed override (default [`GRID_SEED`]).
     pub seed: u64,
+    /// Measure the series sink's overhead: run the grid twice (sink
+    /// off, then sink on) and gate the events/sec ratio at
+    /// [`SERIES_OVERHEAD_FLOOR`].
+    pub series: bool,
 }
 
 impl Default for Options {
@@ -56,6 +65,7 @@ impl Default for Options {
             quick: false,
             label: String::new(),
             seed: GRID_SEED,
+            series: false,
         }
     }
 }
@@ -93,6 +103,11 @@ pub struct Entry {
     pub measured: u64,
     pub cells: Vec<Cell>,
     pub peak_rss_kb: Option<u64>,
+    /// Engine self-profile from one extra cell (2PC at MPL 8 with a
+    /// series recorder installed) run after the grid. Not a trajectory
+    /// cell: the profiled run pays for its own `Instant` reads, so its
+    /// wall time is not comparable to the grid's.
+    pub profile: Option<EngineProfile>,
 }
 
 impl Entry {
@@ -142,11 +157,12 @@ fn round6(x: f64) -> f64 {
     (x * 1e6).round() / 1e6
 }
 
-/// Run the canonical grid, printing one progress line per cell to
-/// stderr. Each cell is a fresh deterministic [`Simulation`] timed
-/// with a monotonic clock.
-pub fn run_grid(opts: &Options) -> Result<Entry, String> {
+/// One grid pass. With `with_series` every cell runs under
+/// [`Simulation::run_with_series`] (buffered, discarded), so the
+/// difference to a plain pass is exactly the sink's on-path cost.
+fn grid_pass(opts: &Options, label: String, with_series: bool) -> Result<Entry, String> {
     let (warmup, measured) = run_length(opts.quick);
+    let series_cfg = SeriesConfig::default();
     let mut cells = Vec::new();
     for spec in GRID_PROTOCOLS {
         for &mpl in &GRID_MPLS {
@@ -154,8 +170,12 @@ pub fn run_grid(opts: &Options) -> Result<Entry, String> {
                 .with_mpl(mpl)
                 .with_run_length(warmup, measured);
             let start = Instant::now();
-            let report = Simulation::run(&cfg, spec, opts.seed)
-                .map_err(|e| format!("{}: {e}", spec.name()))?;
+            let report = if with_series {
+                Simulation::run_with_series(&cfg, spec, opts.seed, &series_cfg).map(|(r, _)| r)
+            } else {
+                Simulation::run(&cfg, spec, opts.seed)
+            }
+            .map_err(|e| format!("{}: {e}", spec.name()))?;
             let wall_s = start.elapsed().as_secs_f64().max(1e-9);
             let cell = Cell {
                 protocol: spec.name().to_string(),
@@ -165,25 +185,87 @@ pub fn run_grid(opts: &Options) -> Result<Entry, String> {
                 wall_s: round6(wall_s),
             };
             eprintln!(
-                "[bench] {:<4} mpl {:>2}: {:>9} events in {:>7.3}s  ({:>10.0} events/s)",
+                "[bench] {:<4} mpl {:>2}: {:>9} events in {:>7.3}s  ({:>10.0} events/s){}",
                 cell.protocol,
                 cell.mpl,
                 cell.events,
                 cell.wall_s,
-                cell.events_per_sec()
+                cell.events_per_sec(),
+                if with_series { "  [series]" } else { "" }
             );
             cells.push(cell);
         }
     }
     Ok(Entry {
-        label: opts.label.clone(),
+        label,
         mode: if opts.quick { "quick" } else { "full" }.to_string(),
         seed: opts.seed,
         warmup,
         measured,
         cells,
         peak_rss_kb: peak_rss_kb(),
+        profile: None,
     })
+}
+
+/// The engine self-profile cell: 2PC at MPL 8 with a series recorder
+/// installed, so the four hot-path sections — calendar, dispatch, lock
+/// scan, series sink — all show up with real weights.
+pub fn profile_cell(opts: &Options) -> Result<EngineProfile, String> {
+    let (warmup, measured) = run_length(opts.quick);
+    let cfg = SystemConfig::paper_baseline()
+        .with_mpl(8)
+        .with_run_length(warmup, measured);
+    let series_cfg = SeriesConfig::default();
+    let (_, profile) =
+        Simulation::run_profiled(&cfg, ProtocolSpec::TWO_PC, opts.seed, Some(&series_cfg))
+            .map_err(|e| format!("profile cell: {e}"))?;
+    Ok(profile)
+}
+
+/// Run the canonical grid, printing one progress line per cell to
+/// stderr. Each cell is a fresh deterministic [`Simulation`] timed
+/// with a monotonic clock. A self-profile cell (see [`profile_cell`])
+/// runs after the grid and rides on the entry.
+pub fn run_grid(opts: &Options) -> Result<Entry, String> {
+    let mut entry = grid_pass(opts, opts.label.clone(), false)?;
+    entry.profile = Some(profile_cell(opts)?);
+    Ok(entry)
+}
+
+/// The series sink's off-path cost, measured: one grid pass without a
+/// recorder, one with, same seeds and run lengths.
+#[derive(Debug, Clone)]
+pub struct SeriesOverhead {
+    /// The plain pass (comparable to ordinary trajectory entries).
+    pub off: Entry,
+    /// The pass with a buffered series recorder in every cell.
+    pub on: Entry,
+}
+
+impl SeriesOverhead {
+    /// `on / off` aggregate events-per-second ratio; 1.0 means the
+    /// sink is free, [`SERIES_OVERHEAD_FLOOR`] is the gate.
+    pub fn ratio(&self) -> f64 {
+        self.on.events_per_sec() / self.off.events_per_sec()
+    }
+}
+
+/// Run the grid twice — series sink off, then on — and self-profile
+/// the on pass. The returned entries carry ` [series off]` / ` [series
+/// on]` label suffixes so a trajectory file records the pairing.
+pub fn series_overhead(opts: &Options) -> Result<SeriesOverhead, String> {
+    let suffix = |s: &str| {
+        if opts.label.is_empty() {
+            s.trim_start().to_string()
+        } else {
+            format!("{}{s}", opts.label)
+        }
+    };
+    let off = grid_pass(opts, suffix(" [series off]"), false)?;
+    let mut on = grid_pass(opts, suffix(" [series on]"), true)?;
+    on.profile = Some(profile_cell(opts)?);
+    Ok(SeriesOverhead { off, on })
 }
 
 /// Render a human summary table for one entry.
@@ -226,7 +308,40 @@ pub fn render_entry(e: &Entry) -> String {
             None => String::new(),
         }
     );
+    if let Some(p) = &e.profile {
+        let total = p.total_ns().max(1) as f64;
+        let pct = |ns: u64| 100.0 * ns as f64 / total;
+        let _ = writeln!(
+            out,
+            "self-profile (2PC mpl 8, series sink on): {} events in {:.3}s — calendar {:.1}%, \
+             dispatch {:.1}% (locks {:.1}%), series sink {:.1}%",
+            p.events,
+            total / 1e9,
+            pct(p.calendar_ns),
+            pct(p.dispatch_ns),
+            pct(p.locks_ns),
+            pct(p.series_ns),
+        );
+    }
     out
+}
+
+/// Render the verdict line for a [`series_overhead`] measurement;
+/// `Err` when the sink cost exceeds the 3% budget.
+pub fn render_series_overhead(m: &SeriesOverhead) -> Result<String, String> {
+    let ratio = m.ratio();
+    let verdict = format!(
+        "series sink: {:.0} events/s on vs {:.0} off — {ratio:.3}x (cost {:.1}%, budget {:.0}%)",
+        m.on.events_per_sec(),
+        m.off.events_per_sec(),
+        100.0 * (1.0 - ratio),
+        100.0 * (1.0 - SERIES_OVERHEAD_FLOOR),
+    );
+    if ratio < SERIES_OVERHEAD_FLOOR {
+        Err(format!("{verdict} — over budget"))
+    } else {
+        Ok(verdict)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -607,7 +722,7 @@ impl Entry {
                 },
             ),
         ]);
-        Json::Obj(vec![
+        let mut members = vec![
             ("label".into(), Json::Str(self.label.clone())),
             ("mode".into(), Json::Str(self.mode.clone())),
             ("seed".into(), Json::Num(self.seed as f64)),
@@ -615,7 +730,23 @@ impl Entry {
             ("measured".into(), Json::Num(self.measured as f64)),
             ("cells".into(), Json::Arr(cells)),
             ("aggregate".into(), aggregate),
-        ])
+        ];
+        if let Some(p) = &self.profile {
+            // Extra member: the schema validator looks up only known
+            // keys, so older readers skip it.
+            members.push((
+                "profile".into(),
+                Json::Obj(vec![
+                    ("events".into(), Json::Num(p.events as f64)),
+                    ("calendar_ns".into(), Json::Num(p.calendar_ns as f64)),
+                    ("dispatch_ns".into(), Json::Num(p.dispatch_ns as f64)),
+                    ("locks_ns".into(), Json::Num(p.locks_ns as f64)),
+                    ("series_ns".into(), Json::Num(p.series_ns as f64)),
+                    ("total_ns".into(), Json::Num(p.total_ns() as f64)),
+                ]),
+            ));
+        }
+        Json::Obj(members)
     }
 }
 
@@ -777,6 +908,7 @@ mod tests {
                 wall_s,
             }],
             peak_rss_kb: Some(1234),
+            profile: None,
         }
     }
 
@@ -891,6 +1023,55 @@ mod tests {
             Some("second")
         );
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn profile_rides_on_entry_json_without_breaking_the_schema() {
+        let mut e = entry("profiled", "quick", 10_000, 1.0);
+        e.profile = Some(EngineProfile {
+            events: 9_999,
+            calendar_ns: 100,
+            dispatch_ns: 800,
+            locks_ns: 50,
+            series_ns: 25,
+        });
+        let mut doc = empty_trajectory();
+        if let Json::Obj(members) = &mut doc {
+            if let Some((_, Json::Arr(items))) = members.iter_mut().find(|(k, _)| k == "entries") {
+                items.push(e.to_json());
+            }
+        }
+        // The validator only looks up known keys, so the extra member
+        // passes — and survives a render/parse round trip.
+        validate_trajectory(&doc).unwrap();
+        let doc2 = parse_json(&render_json(&doc)).unwrap();
+        validate_trajectory(&doc2).unwrap();
+        let p = doc2.get("entries").and_then(Json::as_arr).unwrap()[0]
+            .get("profile")
+            .expect("profile member");
+        assert_eq!(p.get("total_ns").and_then(Json::as_f64), Some(925.0));
+        assert_eq!(p.get("series_ns").and_then(Json::as_f64), Some(25.0));
+        // The human rendering shows the section shares.
+        let rendered = render_entry(&e);
+        assert!(rendered.contains("self-profile"), "{rendered}");
+        assert!(rendered.contains("series sink"), "{rendered}");
+    }
+
+    #[test]
+    fn series_overhead_gate_trips_past_three_percent() {
+        let m = SeriesOverhead {
+            off: entry("x [series off]", "quick", 1_000_000, 1.0),
+            on: entry("x [series on]", "quick", 980_000, 1.0),
+        };
+        assert!((m.ratio() - 0.98).abs() < 1e-12);
+        let ok = render_series_overhead(&m).unwrap();
+        assert!(ok.contains("0.980x"), "{ok}");
+        let over = SeriesOverhead {
+            off: entry("x [series off]", "quick", 1_000_000, 1.0),
+            on: entry("x [series on]", "quick", 950_000, 1.0),
+        };
+        let e = render_series_overhead(&over).unwrap_err();
+        assert!(e.contains("over budget"), "{e}");
     }
 
     #[test]

@@ -56,12 +56,18 @@ pub enum ResourceMode {
 /// precommitted 3PC cohort re-sends its precommit ack.
 ///
 /// **Message loss.** With probability `msg_loss_prob`, a remote
-/// commit-choreography message from the master (PREPARE, PRECOMMIT or
-/// the decision) is lost in transit. The sender retransmits after
-/// `msg_timeout`, up to `max_retransmits` times; after that the
-/// transfer escalates to a reliable out-of-band path (modelling the
-/// cooperative termination protocol / operator recovery) so the run
-/// always terminates.
+/// commit-choreography message is lost in transit — in *either*
+/// direction: the master's requests (PREPARE, PRECOMMIT, the
+/// decision) and the cohorts' replies (WORKDONE, votes, precommit
+/// acks, ACKs) all roll the same loss die. Each request arms an
+/// end-to-end timer on the requesting side (the cohort owns the
+/// WORKDONE timer); it refires every `msg_timeout` until the awaited
+/// reply is receipted, so a repeated request also re-elicits a reply
+/// whose first copy was the lost leg. After `max_retransmits`
+/// attempts the transfer escalates to a reliable out-of-band path
+/// (modelling the cooperative termination protocol / operator
+/// recovery) — the escalated attempt and its reply are loss-exempt —
+/// so the run always terminates.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FailureConfig {
     /// Probability that a committing master crashes at its decision
@@ -79,8 +85,10 @@ pub struct FailureConfig {
     pub cohort_crash_prob: f64,
     /// Time until a crashed cohort restarts and replays its log.
     pub cohort_recovery_time: SimDuration,
-    /// Probability that a remote master→cohort commit message
-    /// (PREPARE / PRECOMMIT / decision) is lost in transit.
+    /// Probability that a remote commit-choreography message — a
+    /// master request (PREPARE / PRECOMMIT / decision) or a cohort
+    /// reply (WORKDONE / vote / precommit ack / ACK) — is lost in
+    /// transit.
     pub msg_loss_prob: f64,
     /// Sender-side timeout before a loss-eligible message is
     /// retransmitted.

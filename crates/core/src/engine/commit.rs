@@ -18,11 +18,29 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     /// A WORKDONE arrived (possibly stale if the transaction aborted
-    /// while the message was in flight).
-    pub(crate) fn master_workdone(&mut self, txn: TxnH) {
-        let Some(t) = self.txns.get_mut(txn) else {
+    /// while the message was in flight, or a duplicate — WORKDONE rides
+    /// its own retransmission timer under message loss, so a late
+    /// resend can trail the copy that got through).
+    pub(crate) fn master_workdone(&mut self, txn: TxnH, cohort: CohortH) {
+        if !self.txns.contains(txn) {
+            return;
+        }
+        let Some(c) = self.cohorts.get_mut(cohort) else {
+            debug_assert!(
+                self.cfg.failures.is_some(),
+                "WORKDONE from a dead cohort without faults"
+            );
             return;
         };
+        if c.wd_seen {
+            debug_assert!(
+                self.cfg.failures.is_some(),
+                "duplicate WORKDONE without faults"
+            );
+            return;
+        }
+        c.wd_seen = true;
+        let t = self.txns.get_mut(txn).expect("checked above");
         debug_assert_eq!(t.phase, TxnPhase::Executing);
         t.pending_workdone -= 1;
         // Sequential transactions chain the next cohort off each
@@ -106,7 +124,7 @@ impl Simulation {
                 // Everyone upstream (and this cohort) is prepared: the
                 // global decision is commit; this cohort implements it
                 // first and the decision rides the chain back.
-                self.cohort_decision(cohort, true);
+                self.cohort_decision(cohort, true, 0);
             }
         }
     }
@@ -169,7 +187,7 @@ impl Simulation {
     /// PREPARE arrived at a cohort: release read locks, then vote.
     /// With probability `cohort_abort_prob` the vote is a surprise NO
     /// (§5.7); otherwise the cohort force-writes its prepare record.
-    pub(crate) fn cohort_prepare(&mut self, cohort: CohortH) {
+    pub(crate) fn cohort_prepare(&mut self, cohort: CohortH, attempt: u32) {
         // Under message loss PREPAREs are retransmitted on a timer, so a
         // duplicate can reach a cohort that already acted on the first
         // copy (or finished entirely). Without fault injection a stale
@@ -178,15 +196,48 @@ impl Simulation {
             debug_assert!(self.cfg.failures.is_some(), "stale PREPARE without faults");
             return;
         };
+        if attempt > c.req_attempt {
+            c.req_attempt = attempt;
+        }
+        if c.down {
+            // Crashed: the request reached the site (req_attempt above
+            // is on record), but the answer waits for recovery.
+            return;
+        }
         if c.phase != CohortPhase::WorkDone {
             debug_assert!(
                 self.cfg.failures.is_some(),
                 "PREPARE in {:?} without faults",
                 c.phase
             );
+            // A duplicate of a PREPARE that already arrived — the timer
+            // keeps firing until the master holds the vote, so the lost
+            // leg may have been the *reply*: re-elicit it.
+            match c.phase {
+                CohortPhase::Parted => self.resend_parting_reply(cohort),
+                CohortPhase::Prepared => {
+                    let (site, txn, req) = (c.site, c.txn, c.req_attempt);
+                    let control = self.txns[txn].control_site();
+                    self.send_attempt(
+                        site,
+                        control,
+                        MsgKind::Vote {
+                            txn,
+                            cohort,
+                            vote: Vote::Yes,
+                        },
+                        req,
+                    );
+                }
+                // Preparing: the vote follows once the prepare record
+                // is durable (stamped with the updated req_attempt).
+                // Later phases need no first-phase reply at all.
+                _ => {}
+            }
             return;
         }
         let (site, txn, owner, acc_index) = (c.site, c.txn, c.lock_owner, c.acc_index);
+        let req = c.req_attempt;
 
         // Read-Only optimization (§3.2): a cohort with no updates has
         // nothing to make durable — it releases everything, answers
@@ -202,15 +253,13 @@ impl Simulation {
             locks.drop_borrower(owner);
             let grants = locks.release_all(owner);
             self.process_grants(site, grants);
-            self.send(
-                site,
-                home,
-                MsgKind::Vote {
-                    txn,
-                    vote: Vote::ReadOnly,
-                },
-            );
-            self.cohort_done(cohort);
+            let reply = MsgKind::Vote {
+                txn,
+                cohort,
+                vote: Vote::ReadOnly,
+            };
+            self.send_attempt(site, home, reply, req);
+            self.part_or_done(cohort, reply);
             return;
         }
 
@@ -239,7 +288,7 @@ impl Simulation {
     /// record, if the protocol requires one): vote NO and vanish.
     pub(crate) fn cohort_no_vote_finish(&mut self, cohort: CohortH) {
         let c = self.cohorts.get(cohort).expect("live cohort");
-        let (site, txn, owner) = (c.site, c.txn, c.lock_owner);
+        let (site, txn, owner, req) = (c.site, c.txn, c.lock_owner, c.req_attempt);
         let home = self.txns[txn].home;
         // A NO voter was never prepared, so it cannot have lent data;
         // it may itself have borrowed (all lenders committed, or it
@@ -255,19 +304,19 @@ impl Simulation {
         if self.spec.base == BaseProtocol::Linear2PC {
             // The veto turns the chain around: predecessors (all
             // prepared) abort one by one; the master aborts whoever the
-            // forward pass never reached.
+            // forward pass never reached. (Linear 2PC rejects fault
+            // injection, so there is no parting to consider.)
             self.linear_backward(cohort, txn, site, false);
+            self.cohort_done(cohort);
         } else {
-            self.send(
-                site,
-                home,
-                MsgKind::Vote {
-                    txn,
-                    vote: Vote::No,
-                },
-            );
+            let reply = MsgKind::Vote {
+                txn,
+                cohort,
+                vote: Vote::No,
+            };
+            self.send_attempt(site, home, reply, req);
+            self.part_or_done(cohort, reply);
         }
-        self.cohort_done(cohort);
     }
 
     /// The prepare record is on disk: the cohort is now *prepared* —
@@ -299,13 +348,16 @@ impl Simulation {
         if self.spec.base == BaseProtocol::Linear2PC {
             self.linear_forward(cohort);
         } else {
-            self.send(
+            let req = self.cohorts[cohort].req_attempt;
+            self.send_attempt(
                 site,
                 home,
                 MsgKind::Vote {
                     txn,
+                    cohort,
                     vote: Vote::Yes,
                 },
+                req,
             );
         }
     }
@@ -327,7 +379,9 @@ impl Simulation {
         }
         let now = self.cal.now();
         self.metrics.cohort_crashes.bump();
-        let cid = self.cohorts[cohort].id;
+        let c = self.cohorts.get_mut(cohort).expect("live cohort");
+        c.down = true;
+        let cid = c.id;
         let t = self.txns.get_mut(txn).expect("live txn");
         t.crashed = true;
         t.crashed_at.get_or_insert(now);
@@ -352,9 +406,11 @@ impl Simulation {
     pub(crate) fn cohort_recovered(&mut self, cohort: CohortH) {
         let c = self
             .cohorts
-            .get(cohort)
+            .get_mut(cohort)
             .expect("master waits on a crashed cohort");
-        let (site, txn, phase, owner, cid) = (c.site, c.txn, c.phase, c.lock_owner, c.id);
+        c.down = false;
+        let (site, txn, phase, owner, cid, req) =
+            (c.site, c.txn, c.phase, c.lock_owner, c.id, c.req_attempt);
         let txn_ext = self.txns[txn].id;
         self.trace_event(txn_ext, |at| super::trace::TraceEvent::CohortRecovered {
             at,
@@ -374,17 +430,19 @@ impl Simulation {
                 // site cannot serve borrow requests).
                 let grants = self.sites[site].locks.mark_prepared(owner);
                 self.process_grants(site, grants);
-                self.send(
+                self.send_attempt(
                     site,
                     home,
                     MsgKind::Vote {
                         txn,
+                        cohort,
                         vote: Vote::Yes,
                     },
+                    req,
                 );
             }
             commitproto::RecoveryAction::ResendPreAck => {
-                self.send(site, home, MsgKind::PreAck { txn });
+                self.send_attempt(site, home, MsgKind::PreAck { txn, cohort }, req);
             }
             commitproto::RecoveryAction::PresumeAbort => {
                 unreachable!("crash points always force a record first")
@@ -396,7 +454,28 @@ impl Simulation {
     // Master: vote collection and decision
     // ------------------------------------------------------------------
 
-    pub(crate) fn master_vote(&mut self, txn: TxnH, vote: Vote) {
+    pub(crate) fn master_vote(&mut self, txn: TxnH, cohort: CohortH, vote: Vote) {
+        if self.lossy() {
+            // Dedup under message loss: a re-elicited vote can trail
+            // the copy that got through. The receipt flag screens
+            // duplicates regardless of phase — a parted YES voter is
+            // awaiting its ACK receipt, so a trailing stale vote must
+            // NOT retire (or re-count) it. READ/NO voters part *when*
+            // they vote, so their first receipt retires the slab entry
+            // and later duplicates miss it.
+            match self.cohorts.get_mut(cohort) {
+                None => return,
+                Some(c) => {
+                    if c.vote_seen {
+                        return;
+                    }
+                    c.vote_seen = true;
+                    if c.phase == CohortPhase::Parted {
+                        self.cohorts.remove(cohort);
+                    }
+                }
+            }
+        }
         let t = self.txns.get_mut(txn).expect("no stale votes");
         debug_assert_eq!(t.phase, TxnPhase::Voting);
         if vote == Vote::No {
@@ -409,10 +488,15 @@ impl Simulation {
         let no_vote = t.no_vote;
         let cohort_hs = t.cohorts.clone();
         // Phase-two participants: cohorts still alive (READ voters
-        // already left the slab via `cohort_done`).
+        // already left the slab — via `cohort_done`, or via parting
+        // once their vote was received above).
         let participants = cohort_hs
             .iter()
-            .filter(|&&c| self.cohorts.contains(c))
+            .filter(|&&c| {
+                self.cohorts
+                    .get(c)
+                    .is_some_and(|x| x.phase != CohortPhase::Parted)
+            })
             .count();
         if no_vote {
             self.decide(txn, false);
@@ -438,7 +522,12 @@ impl Simulation {
         let targets: Vec<(CohortH, usize)> = t
             .cohorts
             .iter()
-            .filter_map(|&c| self.cohorts.get(c).map(|x| (c, x.site)))
+            .filter_map(|&c| {
+                self.cohorts
+                    .get(c)
+                    .filter(|x| x.phase != CohortPhase::Parted)
+                    .map(|x| (c, x.site))
+            })
             .collect();
         let t = self.txns.get_mut(txn).expect("live txn");
         t.pending_preacks = targets.len();
@@ -447,7 +536,7 @@ impl Simulation {
         }
     }
 
-    pub(crate) fn cohort_precommit(&mut self, cohort: CohortH) {
+    pub(crate) fn cohort_precommit(&mut self, cohort: CohortH, attempt: u32) {
         let Some(c) = self.cohorts.get_mut(cohort) else {
             debug_assert!(
                 self.cfg.failures.is_some(),
@@ -455,14 +544,28 @@ impl Simulation {
             );
             return;
         };
+        if attempt > c.req_attempt {
+            c.req_attempt = attempt;
+        }
+        if c.down {
+            return;
+        }
         if c.phase != CohortPhase::Prepared {
             // A retransmitted PRECOMMIT reached a cohort already past
-            // the prepared state — duplicate, ignore.
+            // the prepared state — a duplicate. The timer keeps firing
+            // until the master holds the PREACK, so if the cohort is
+            // already precommitted the lost leg was the reply:
+            // re-elicit it.
             debug_assert!(
                 self.cfg.failures.is_some(),
                 "PRECOMMIT in {:?} without faults",
                 c.phase
             );
+            if c.phase == CohortPhase::Precommitted {
+                let (site, txn, req) = (c.site, c.txn, c.req_attempt);
+                let home = self.txns[txn].home;
+                self.send_attempt(site, home, MsgKind::PreAck { txn, cohort }, req);
+            }
             return;
         }
         c.phase = CohortPhase::Precommitting;
@@ -473,7 +576,7 @@ impl Simulation {
     pub(crate) fn cohort_precommitted(&mut self, cohort: CohortH) {
         let c = self.cohorts.get_mut(cohort).expect("live cohort");
         c.phase = CohortPhase::Precommitted;
-        let (site, txn) = (c.site, c.txn);
+        let (site, txn, req) = (c.site, c.txn, c.req_attempt);
         // Cohort-crash injection point #2: the precommit record is
         // durable but the ack never leaves. Recovery re-announces the
         // precommitted state.
@@ -481,10 +584,20 @@ impl Simulation {
             return;
         }
         let home = self.txns[txn].home;
-        self.send(site, home, MsgKind::PreAck { txn });
+        self.send_attempt(site, home, MsgKind::PreAck { txn, cohort }, req);
     }
 
-    pub(crate) fn master_preack(&mut self, txn: TxnH) {
+    pub(crate) fn master_preack(&mut self, txn: TxnH, cohort: CohortH) {
+        if self.lossy() {
+            // Dedup: re-elicited PREACKs can trail the original.
+            let Some(c) = self.cohorts.get_mut(cohort) else {
+                return;
+            };
+            if c.preack_seen {
+                return;
+            }
+            c.preack_seen = true;
+        }
         let t = self.txns.get_mut(txn).expect("live txn");
         t.pending_preacks -= 1;
         if t.pending_preacks == 0 {
@@ -563,7 +676,12 @@ impl Simulation {
         let mut live: Vec<(CohortH, usize, CohortId)> = t
             .cohorts
             .iter()
-            .filter_map(|&c| self.cohorts.get(c).map(|x| (c, x.site, x.id)))
+            .filter_map(|&c| {
+                self.cohorts
+                    .get(c)
+                    .filter(|x| x.phase != CohortPhase::Parted)
+                    .map(|x| (c, x.site, x.id))
+            })
             .collect();
         live.sort_by_key(|&(_, site, cid)| (site, cid));
         let (_, coord_site, coordinator) = live[0];
@@ -635,6 +753,7 @@ impl Simulation {
             let birth = t.birth;
             self.resp_estimate.record(response.as_secs_f64());
             self.metrics.record_commit(now, response, attempt);
+            self.series_note_commit(home);
             // Phase split: execution runs from (re)submission to the
             // start of commit processing; voting from there to the
             // decision. Baselines without a voting phase start commit
@@ -688,7 +807,12 @@ impl Simulation {
                 let targets: Vec<(CohortH, usize)> = t
                     .cohorts
                     .iter()
-                    .filter_map(|&ch| self.cohorts.get(ch).map(|c| (ch, c.site)))
+                    .filter_map(|&ch| {
+                        self.cohorts
+                            .get(ch)
+                            .filter(|c| c.phase != CohortPhase::Parted)
+                            .map(|c| (ch, c.site))
+                    })
                     .collect();
                 let acks = if self.spec.base.cohort_ack(commit) {
                     targets.len()
@@ -727,7 +851,7 @@ impl Simulation {
 
     /// The global decision arrived at a prepared (or precommitted)
     /// cohort.
-    pub(crate) fn cohort_decision(&mut self, cohort: CohortH, commit: bool) {
+    pub(crate) fn cohort_decision(&mut self, cohort: CohortH, commit: bool, attempt: u32) {
         let now = self.cal.now();
         // Under message loss the decision is retransmitted on a timer:
         // a duplicate can arrive after the first copy finished the
@@ -737,6 +861,16 @@ impl Simulation {
             debug_assert!(self.cfg.failures.is_some(), "stale decision without faults");
             return;
         };
+        if attempt > c.req_attempt {
+            c.req_attempt = attempt;
+        }
+        if c.phase == CohortPhase::Parted {
+            // The decision evidently arrived once already and the ACK
+            // was the lost leg: repeat it.
+            debug_assert!(self.cfg.failures.is_some());
+            self.resend_parting_reply(cohort);
+            return;
+        }
         // Linear 2PC only: a cohort the forward chain never reached
         // (still WorkDone) learns of the abort from the master. It was
         // never prepared, so it aborts like an active cohort: no log
@@ -853,7 +987,11 @@ impl Simulation {
         }
 
         if self.spec.base.cohort_ack(commit) {
-            self.send(site, home, MsgKind::Ack { txn });
+            let req = self.cohorts[cohort].req_attempt;
+            let reply = MsgKind::Ack { txn, cohort };
+            self.send_attempt(site, home, reply, req);
+            self.part_or_done(cohort, reply);
+            return;
         }
         if self.spec.base == BaseProtocol::Linear2PC {
             // The implemented decision continues up the chain (this is
@@ -863,7 +1001,21 @@ impl Simulation {
         self.cohort_done(cohort);
     }
 
-    pub(crate) fn master_ack(&mut self, txn: TxnH) {
+    pub(crate) fn master_ack(&mut self, txn: TxnH, cohort: CohortH) {
+        if self.lossy() {
+            // An ACK sender always parts: the first receipt finds the
+            // parted entry and retires it; duplicates miss the slab.
+            if self
+                .cohorts
+                .get(cohort)
+                .is_some_and(|c| c.phase == CohortPhase::Parted)
+            {
+                self.cohorts.remove(cohort);
+            } else {
+                debug_assert!(self.cohorts.get(cohort).is_none(), "ACK from a live cohort");
+                return;
+            }
+        }
         let t = self.txns.get_mut(txn).expect("no stale acks");
         debug_assert!(t.pending_acks > 0);
         t.pending_acks -= 1;
@@ -878,6 +1030,65 @@ impl Simulation {
     // ------------------------------------------------------------------
     // Teardown bookkeeping
     // ------------------------------------------------------------------
+
+    /// Whether duplicate deliveries are possible at all. Only message
+    /// loss schedules retransmission timers, so without it every
+    /// message arrives exactly once and the parting/dedup machinery
+    /// must stay inert — crash-only runs keep the original teardown
+    /// and accounting paths bit-for-bit.
+    fn lossy(&self) -> bool {
+        self.cfg
+            .failures
+            .as_ref()
+            .is_some_and(|f| f.msg_loss_prob > 0.0)
+    }
+
+    /// A cohort just sent its *final* reply (READ vote, NO vote, or
+    /// ACK). Without message loss it is torn down outright; under loss
+    /// that reply may vanish, so the cohort lingers as
+    /// [`CohortPhase::Parted`] — locks released, lock-table
+    /// registration retired, refcount dropped, exactly the
+    /// [`Simulation::cohort_done`] teardown minus the slab removal —
+    /// purely to answer duplicate requests with the stored reply until
+    /// the master's receipt retires the entry.
+    fn part_or_done(&mut self, cohort: CohortH, reply: MsgKind) {
+        if !self.lossy() {
+            self.cohort_done(cohort);
+            return;
+        }
+        let c = self.cohorts.get_mut(cohort).expect("live cohort");
+        c.phase = CohortPhase::Parted;
+        c.parting_reply = Some(reply);
+        let (site, owner, th, cid) = (c.site, c.lock_owner, c.txn, c.id);
+        let locks = &mut self.sites[site].locks;
+        debug_assert!(
+            locks.borrowers_of(owner).next().is_none(),
+            "cohort {cid} parting with live lends"
+        );
+        debug_assert!(
+            !locks.has_live_borrows(owner),
+            "cohort {cid} parting with live borrows"
+        );
+        locks.unregister(owner);
+        let t = self.txns.get_mut(th).expect("txn outlives cohorts");
+        debug_assert!(t.open_cohorts > 0);
+        t.open_cohorts -= 1;
+        // The master is provably not done while this entry exists (a
+        // pending vote or ACK references it), so this cannot retire the
+        // transaction out from under the parted cohort.
+        self.try_cleanup(th);
+    }
+
+    /// A duplicate request reached a parted cohort: the stored final
+    /// reply was evidently lost — repeat it.
+    fn resend_parting_reply(&mut self, cohort: CohortH) {
+        let c = self.cohorts.get(cohort).expect("parted cohort");
+        debug_assert_eq!(c.phase, CohortPhase::Parted);
+        let reply = c.parting_reply.expect("parted cohorts store their reply");
+        let (site, th, req) = (c.site, c.txn, c.req_attempt);
+        let control = self.txns[th].control_site();
+        self.send_attempt(site, control, reply, req);
+    }
 
     /// A cohort reached its final state: drop it, retire its lock-table
     /// registration, and update the transaction's refcount.

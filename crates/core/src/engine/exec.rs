@@ -81,6 +81,12 @@ impl Simulation {
                 waiting_lock: false,
                 shelf_since: None,
                 prepared_since: None,
+                req_attempt: 0,
+                down: false,
+                wd_seen: false,
+                vote_seen: false,
+                preack_seen: false,
+                parting_reply: None,
             });
             let mirror = &mut self.sites[site].owner_cohorts;
             if owner.index() == mirror.len() {
@@ -230,7 +236,7 @@ impl Simulation {
             });
         }
         let home = self.txns[th].home;
-        self.send(site, home, MsgKind::WorkDone { txn: th });
+        self.send(site, home, MsgKind::WorkDone { txn: th, cohort });
     }
 
     // ------------------------------------------------------------------
@@ -293,7 +299,23 @@ impl Simulation {
 
     /// Run cycle detection from `start` and abort youngest victims until
     /// no cycle through `start` remains.
+    ///
+    /// When engine self-profiling is active the whole check is timed
+    /// into `locks_ns` (a subset of `dispatch_ns` — the check runs
+    /// inside event dispatch). The unprofiled path takes the first
+    /// branch with no `Instant` reads.
     pub(crate) fn deadlock_check(&mut self, start: TxnH) {
+        if self.profile.is_none() {
+            return self.deadlock_check_inner(start);
+        }
+        let t0 = std::time::Instant::now();
+        self.deadlock_check_inner(start);
+        if let Some(p) = self.profile.as_mut() {
+            p.locks_ns += t0.elapsed().as_nanos() as u64;
+        }
+    }
+
+    fn deadlock_check_inner(&mut self, start: TxnH) {
         loop {
             if !self.txns.contains(start) {
                 return; // start itself was the victim
@@ -481,19 +503,22 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     pub(crate) fn handle_message(&mut self, msg: super::types::Message) {
+        let attempt = msg.attempt;
         match msg.kind {
             MsgKind::InitCohort { cohort } => self.cohort_begin(cohort),
-            MsgKind::WorkDone { txn } => self.master_workdone(txn),
-            MsgKind::Prepare { cohort } => self.cohort_prepare(cohort),
-            MsgKind::Vote { txn, vote } => self.master_vote(txn, vote),
-            MsgKind::PreCommit { cohort } => self.cohort_precommit(cohort),
-            MsgKind::PreAck { txn } => self.master_preack(txn),
-            MsgKind::Decision { cohort, commit } => self.cohort_decision(cohort, commit),
-            MsgKind::Ack { txn } => self.master_ack(txn),
+            MsgKind::WorkDone { txn, cohort } => self.master_workdone(txn, cohort),
+            MsgKind::Prepare { cohort } => self.cohort_prepare(cohort, attempt),
+            MsgKind::Vote { txn, cohort, vote } => self.master_vote(txn, cohort, vote),
+            MsgKind::PreCommit { cohort } => self.cohort_precommit(cohort, attempt),
+            MsgKind::PreAck { txn, cohort } => self.master_preack(txn, cohort),
+            MsgKind::Decision { cohort, commit } => self.cohort_decision(cohort, commit, attempt),
+            MsgKind::Ack { txn, cohort } => self.master_ack(txn, cohort),
             MsgKind::TermStateReq { cohort } => self.cohort_term_state_req(cohort),
             MsgKind::TermStateRep { txn } => self.coordinator_term_state_rep(txn),
-            MsgKind::ChainPrepare { cohort } => self.cohort_prepare(cohort),
-            MsgKind::ChainDecision { cohort, commit } => self.cohort_decision(cohort, commit),
+            MsgKind::ChainPrepare { cohort } => self.cohort_prepare(cohort, attempt),
+            MsgKind::ChainDecision { cohort, commit } => {
+                self.cohort_decision(cohort, commit, attempt)
+            }
             MsgKind::ChainBack { txn, commit } => self.master_chain_back(txn, commit),
         }
     }

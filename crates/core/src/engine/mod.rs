@@ -16,6 +16,7 @@ mod commit;
 mod exec;
 pub mod fold;
 mod glog;
+pub mod series;
 #[cfg(test)]
 mod tests;
 pub mod trace;
@@ -23,6 +24,7 @@ mod types;
 
 pub use chrome::{chrome_trace_json, ChromeStreamSink, ChromeWriter};
 pub use fold::FoldSink;
+pub use series::{Series, SeriesConfig, SeriesFormat, SeriesMeta, SeriesWindow, SiteSample};
 pub use trace::{LogLabel, MsgLabel, Trace, TraceEvent, TraceSink};
 pub use types::{CohortId, TxnId};
 
@@ -143,6 +145,43 @@ pub struct Simulation {
     /// transactions with id ≤ `trace_txn_limit`.
     sink: Option<Box<dyn TraceSink>>,
     trace_txn_limit: TxnId,
+    /// Optional windowed-series recorder (the time-series sink family).
+    series: Option<Box<series::SeriesRecorder>>,
+    /// Cached copy of the recorder's next window boundary so the event
+    /// loop pays one integer compare per event when no recorder is
+    /// installed (`SimTime(u64::MAX)` then).
+    series_boundary: SimTime,
+    /// Optional wall-clock self-profile (see [`EngineProfile`]);
+    /// enabled only by the bench harness.
+    profile: Option<Box<EngineProfile>>,
+}
+
+/// Wall-clock section counters for the engine's own hot path, measured
+/// with `std::time::Instant` around the main loop's sections. Wall
+/// time never feeds back into simulated time, so profiling cannot
+/// perturb a run — but the per-event timer reads are not free, which
+/// is why only `distcommit bench` enables it (on a dedicated cell,
+/// keeping the trajectory grid unprofiled and comparable).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineProfile {
+    /// Events dispatched while profiling.
+    pub events: u64,
+    /// Nanoseconds popping the calendar.
+    pub calendar_ns: u64,
+    /// Nanoseconds dispatching events (everything below the calendar,
+    /// minus the separately counted sections).
+    pub dispatch_ns: u64,
+    /// Nanoseconds in deadlock detection (the lock-table scan).
+    pub locks_ns: u64,
+    /// Nanoseconds closing series windows (the sink's on-path cost).
+    pub series_ns: u64,
+}
+
+impl EngineProfile {
+    /// Total profiled wall time, nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.calendar_ns + self.dispatch_ns + self.series_ns
+    }
 }
 
 // The experiment runner fans independent runs out over worker threads:
@@ -220,6 +259,127 @@ impl Simulation {
         let any: Box<dyn std::any::Any> = boxed;
         let sink = *any.downcast::<S>().expect("sink type is preserved");
         Ok((sim.report(), sink))
+    }
+
+    /// Like [`Simulation::run`], but also collects a windowed metric
+    /// time series (buffered in memory; see
+    /// [`Simulation::run_with_series_stream`] for the bounded-memory
+    /// variant). Recording does not perturb the run: the report is
+    /// bit-identical to a plain run with the same inputs.
+    ///
+    /// # Errors
+    /// Returns an error if the configuration is invalid or the spec is
+    /// meaningless (OPT over a baseline).
+    pub fn run_with_series(
+        cfg: &SystemConfig,
+        spec: ProtocolSpec,
+        seed: u64,
+        series_cfg: &SeriesConfig,
+    ) -> Result<(SimReport, Series), ConfigError> {
+        let mut sim = Simulation::new(cfg, spec, seed)?;
+        let rec = series::SeriesRecorder::new_buffered(
+            series_cfg,
+            sim.series_meta(seed, series_cfg),
+            sim.sites.len(),
+        );
+        sim.install_series(rec);
+        sim.execute();
+        let series = sim
+            .finish_series()
+            .expect("buffered series recording cannot fail");
+        Ok((sim.report(), series))
+    }
+
+    /// Like [`Simulation::run_with_series`], but streams each closed
+    /// window to `writer` as the run progresses instead of buffering —
+    /// the series counterpart of the Chrome-JSON streamer, and
+    /// byte-identical to rendering the buffered series in `format`.
+    ///
+    /// # Errors
+    /// [`series::SeriesRunError::Config`] for an invalid configuration,
+    /// [`series::SeriesRunError::Io`] when the writer fails.
+    pub fn run_with_series_stream(
+        cfg: &SystemConfig,
+        spec: ProtocolSpec,
+        seed: u64,
+        series_cfg: &SeriesConfig,
+        writer: Box<dyn std::io::Write + Send>,
+        format: SeriesFormat,
+    ) -> Result<SimReport, series::SeriesRunError> {
+        let mut sim = Simulation::new(cfg, spec, seed)?;
+        let rec = series::SeriesRecorder::new_streaming(
+            series_cfg,
+            sim.series_meta(seed, series_cfg),
+            sim.sites.len(),
+            writer,
+            format,
+        )?;
+        sim.install_series(rec);
+        sim.execute();
+        sim.finish_series()?;
+        Ok(sim.report())
+    }
+
+    /// Like [`Simulation::run`], but with wall-clock self-profiling of
+    /// the engine's hot-path sections, optionally with a series
+    /// recorder installed (buffered and discarded) so the sink's
+    /// on-path cost shows up in the `series_ns` section. Used by
+    /// `distcommit bench`.
+    ///
+    /// # Errors
+    /// Returns an error if the configuration is invalid or the spec is
+    /// meaningless (OPT over a baseline).
+    pub fn run_profiled(
+        cfg: &SystemConfig,
+        spec: ProtocolSpec,
+        seed: u64,
+        series_cfg: Option<&SeriesConfig>,
+    ) -> Result<(SimReport, EngineProfile), ConfigError> {
+        let mut sim = Simulation::new(cfg, spec, seed)?;
+        if let Some(scfg) = series_cfg {
+            let rec = series::SeriesRecorder::new_buffered(
+                scfg,
+                sim.series_meta(seed, scfg),
+                sim.sites.len(),
+            );
+            sim.install_series(rec);
+        }
+        sim.profile = Some(Box::default());
+        sim.execute();
+        if sim.series.is_some() {
+            sim.finish_series()
+                .expect("buffered series recording cannot fail");
+        }
+        let profile = *sim.profile.take().expect("profile installed above");
+        Ok((sim.report(), profile))
+    }
+
+    fn series_meta(&self, seed: u64, scfg: &SeriesConfig) -> SeriesMeta {
+        SeriesMeta {
+            protocol: self.spec.name().to_string(),
+            mpl: self.cfg.mpl,
+            seed,
+            window_s: scfg.window.as_secs_f64(),
+            per_site: scfg.per_site,
+        }
+    }
+
+    fn install_series(&mut self, rec: series::SeriesRecorder) {
+        let mut rec = Box::new(rec);
+        if self.warmup_target > 0 {
+            rec.begin_warmup();
+        }
+        self.series_boundary = rec.next_boundary();
+        self.series = Some(rec);
+    }
+
+    /// Close the final partial window and hand the series back
+    /// (flushing the writer in streaming mode).
+    fn finish_series(&mut self) -> std::io::Result<Series> {
+        let rec = self.series.take().expect("series recorder installed");
+        self.series_boundary = SimTime(u64::MAX);
+        let now = self.cal.now();
+        rec.finish(now, &mut self.metrics, &self.sites)
     }
 
     /// Record one trace event for `txn`, if tracing is active and the
@@ -332,6 +492,9 @@ impl Simulation {
             dl_stack: Vec::new(),
             sink: None,
             trace_txn_limit: 0,
+            series: None,
+            series_boundary: SimTime(u64::MAX),
+            profile: None,
         };
         // Closed system: MPL transactions per (effective) site. The
         // merged CENT site carries the whole population.
@@ -349,6 +512,9 @@ impl Simulation {
     }
 
     fn execute(&mut self) {
+        if self.profile.is_some() {
+            return self.execute_profiled();
+        }
         while !self.done {
             let Some((now, event)) = self.cal.next() else {
                 // A closed system must never drain its calendar: every
@@ -366,7 +532,53 @@ impl Simulation {
                     break;
                 }
             }
+            if now >= self.series_boundary {
+                self.close_series_windows(now);
+            }
             self.dispatch(event);
+        }
+    }
+
+    /// [`Simulation::execute`] with wall-clock section timing. A
+    /// separate copy so the unprofiled hot path carries no timer reads.
+    fn execute_profiled(&mut self) {
+        while !self.done {
+            let t0 = std::time::Instant::now();
+            let Some((now, event)) = self.cal.next() else {
+                panic!(
+                    "event calendar drained — stuck state:\n{}",
+                    self.dump_stuck()
+                );
+            };
+            let t1 = std::time::Instant::now();
+            if let Some(cap) = self.cfg.run.max_sim_time {
+                if now > cap {
+                    self.truncated = true;
+                    break;
+                }
+            }
+            if now >= self.series_boundary {
+                self.close_series_windows(now);
+            }
+            let t2 = std::time::Instant::now();
+            self.dispatch(event);
+            let t3 = std::time::Instant::now();
+            let p = self.profile.as_mut().expect("profiled loop");
+            p.events += 1;
+            p.calendar_ns += (t1 - t0).as_nanos() as u64;
+            p.series_ns += (t2 - t1).as_nanos() as u64;
+            p.dispatch_ns += (t3 - t2).as_nanos() as u64;
+        }
+    }
+
+    /// Close every series window with a boundary at or before `now`
+    /// (the recorder is briefly detached to appease the borrow
+    /// checker — two pointer moves, only on boundary crossings).
+    fn close_series_windows(&mut self, now: SimTime) {
+        if let Some(mut rec) = self.series.take() {
+            rec.close_through(now, &mut self.metrics, &self.sites);
+            self.series_boundary = rec.next_boundary();
+            self.series = Some(rec);
         }
     }
 
@@ -587,10 +799,10 @@ impl Simulation {
             | MsgKind::TermStateReq { cohort }
             | MsgKind::ChainPrepare { cohort }
             | MsgKind::ChainDecision { cohort, .. } => self.cohorts.get(cohort).map(|c| c.txn),
-            MsgKind::WorkDone { txn }
+            MsgKind::WorkDone { txn, .. }
             | MsgKind::Vote { txn, .. }
-            | MsgKind::PreAck { txn }
-            | MsgKind::Ack { txn }
+            | MsgKind::PreAck { txn, .. }
+            | MsgKind::Ack { txn, .. }
             | MsgKind::TermStateRep { txn }
             | MsgKind::ChainBack { txn, .. } => Some(txn),
         }
@@ -646,15 +858,39 @@ impl Simulation {
         self.send_attempt(from, to, kind, 0);
     }
 
-    /// The retransmission handle for a loss-eligible message class —
-    /// the master→cohort commit choreography, whose loss would
-    /// otherwise wedge the protocol. Cohort→master replies ride the
-    /// cohort's own recovery/retry machinery instead.
+    /// May fault injection drop this message class? Both directions of
+    /// the commit choreography are eligible: the master→cohort requests
+    /// *and* the cohort→master replies (WORKDONE, VOTE, PREACK, ACK) —
+    /// a lossy network does not spare one direction. `InitCohort` and
+    /// the termination-protocol exchange stay exempt: the modeled crash
+    /// windows place them outside the loss model, and their loss would
+    /// need recovery machinery the paper does not describe.
+    fn loss_eligible(kind: &MsgKind) -> bool {
+        matches!(
+            *kind,
+            MsgKind::Prepare { .. }
+                | MsgKind::PreCommit { .. }
+                | MsgKind::Decision { .. }
+                | MsgKind::WorkDone { .. }
+                | MsgKind::Vote { .. }
+                | MsgKind::PreAck { .. }
+                | MsgKind::Ack { .. }
+        )
+    }
+
+    /// The retransmission handle for the loss-eligible classes that
+    /// carry their *own* timer: the master→cohort requests, plus
+    /// WORKDONE — the one reply nothing re-solicits (the master
+    /// passively collects during execution). The other replies (VOTE,
+    /// PREACK, ACK) are re-elicited by the requester's timer: a
+    /// repeated request is answered again, so a second timer on the
+    /// reply would be redundant.
     fn loss_retry(kind: &MsgKind) -> Option<Retry> {
         match *kind {
             MsgKind::Prepare { cohort } => Some(Retry::Prepare { cohort }),
             MsgKind::PreCommit { cohort } => Some(Retry::PreCommit { cohort }),
             MsgKind::Decision { cohort, commit } => Some(Retry::Decision { cohort, commit }),
+            MsgKind::WorkDone { cohort, .. } => Some(Retry::WorkDone { cohort }),
             _ => None,
         }
     }
@@ -682,24 +918,29 @@ impl Simulation {
         let mut lost = false;
         if from != to {
             if let Some(f) = self.cfg.failures {
-                if f.msg_loss_prob > 0.0 && attempt < f.max_retransmits {
-                    if let Some(retry) = Self::loss_retry(&kind) {
-                        self.metrics.message_loss_trials.bump();
-                        if self.rng.chance(f.msg_loss_prob) {
-                            lost = true;
-                            self.metrics.messages_lost.bump();
-                            if let Some(t) = owner.and_then(|th| self.txns.get_mut(th)) {
-                                // Loss traffic is outside the analytic
-                                // overhead model of Tables 3–4.
-                                t.crashed = true;
-                                let txn = t.id;
-                                let label = kind.label();
-                                self.trace_event(txn, |at| TraceEvent::MsgLost { at, txn, label });
-                            }
+                if f.msg_loss_prob > 0.0
+                    && attempt < f.max_retransmits
+                    && Self::loss_eligible(&kind)
+                {
+                    self.metrics.message_loss_trials.bump();
+                    if self.rng.chance(f.msg_loss_prob) {
+                        lost = true;
+                        self.metrics.messages_lost.bump();
+                        if let Some(t) = owner.and_then(|th| self.txns.get_mut(th)) {
+                            // Loss traffic is outside the analytic
+                            // overhead model of Tables 3–4.
+                            t.crashed = true;
+                            let txn = t.id;
+                            let label = kind.label();
+                            self.trace_event(txn, |at| TraceEvent::MsgLost { at, txn, label });
                         }
-                        // Watch the transfer either way: the timer
-                        // inspects the receiver's phase and dies if the
-                        // message evidently arrived.
+                    }
+                    // Watch timer-carrying transfers either way: the
+                    // timer inspects the receiver's recorded progress
+                    // and dies if the message evidently arrived. The
+                    // timerless replies are re-elicited by their
+                    // requester's timer instead.
+                    if let Some(retry) = Self::loss_retry(&kind) {
                         self.cal
                             .schedule_in(f.msg_timeout, Event::MsgRetry { retry, attempt });
                     }
@@ -711,6 +952,7 @@ impl Simulation {
             to,
             kind,
             lost,
+            attempt,
         };
         if from == to {
             self.cal.schedule_now(Event::LocalMsg { msg });
@@ -744,28 +986,47 @@ impl Simulation {
         let Some(f) = self.cfg.failures else {
             return;
         };
-        let (cohort, kind) = match retry {
-            Retry::Prepare { cohort } => (cohort, MsgKind::Prepare { cohort }),
-            Retry::PreCommit { cohort } => (cohort, MsgKind::PreCommit { cohort }),
-            Retry::Decision { cohort, commit } => (cohort, MsgKind::Decision { cohort, commit }),
+        let cohort = match retry {
+            Retry::Prepare { cohort }
+            | Retry::PreCommit { cohort }
+            | Retry::Decision { cohort, .. }
+            | Retry::WorkDone { cohort } => cohort,
         };
         let Some(c) = self.cohorts.get(cohort) else {
             // The cohort finished: the transfer (or a duplicate of it)
             // arrived, or an abort tore the cohort down. Timer dies.
             return;
         };
+        let th = c.txn;
+        let kind = match retry {
+            Retry::Prepare { cohort } => MsgKind::Prepare { cohort },
+            Retry::PreCommit { cohort } => MsgKind::PreCommit { cohort },
+            Retry::Decision { cohort, commit } => MsgKind::Decision { cohort, commit },
+            Retry::WorkDone { cohort } => MsgKind::WorkDone { txn: th, cohort },
+        };
+        // Has the *whole round trip* evidently completed? The timer
+        // watches end-to-end: it keeps firing until the master has the
+        // reply, because either leg may have been the lost one — a
+        // repeated request re-elicits a lost reply from a cohort that
+        // already acted on the first copy. For the decision, slab
+        // presence is the receipt test: the ACK's arrival (or the
+        // cohort's ack-free completion) removes the entry, which the
+        // miss above already caught.
         let awaited = match retry {
-            Retry::Prepare { .. } => c.phase == types::CohortPhase::WorkDone,
-            Retry::PreCommit { .. } => c.phase == types::CohortPhase::Prepared,
-            Retry::Decision { .. } => matches!(
-                c.phase,
-                types::CohortPhase::Prepared | types::CohortPhase::Precommitted
-            ),
+            Retry::Prepare { .. } => !c.vote_seen,
+            Retry::PreCommit { .. } => !c.preack_seen,
+            Retry::Decision { .. } => true,
+            Retry::WorkDone { .. } => !c.wd_seen,
         };
         if !awaited {
             return;
         }
-        let (to, th) = (c.site, c.txn);
+        // Requests travel control→cohort; the WORKDONE reply travels
+        // cohort→control.
+        let (from, to) = match retry {
+            Retry::WorkDone { .. } => (c.site, self.txns[th].control_site()),
+            _ => (self.txns[th].control_site(), c.site),
+        };
         self.metrics.retransmissions.bump();
         if attempt + 1 >= f.max_retransmits {
             // Out of retries: this repeat goes over the reliable
@@ -786,7 +1047,6 @@ impl Simulation {
             label,
             attempt: attempt + 1,
         });
-        let from = self.txns[th].control_site();
         self.send_attempt(from, to, kind, attempt + 1);
     }
 
@@ -825,12 +1085,29 @@ impl Simulation {
         }
     }
 
+    /// Series hook at the commit decision: attribute one commit to the
+    /// transaction's home site.
+    pub(crate) fn series_note_commit(&mut self, home: SiteId) {
+        if let Some(rec) = self.series.as_mut() {
+            rec.note_commit(home);
+        }
+    }
+
     /// Called at every commit point: advances warm-up/measurement
     /// bookkeeping and stops the run at the target.
     pub(crate) fn note_commit_for_run_control(&mut self) {
         self.total_commits += 1;
         if self.total_commits == self.warmup_target {
             let now = self.cal.now();
+            // Force-close the series' partial warm-up window *before*
+            // the counters reset, so measured windows tile exactly over
+            // the measurement interval and their deltas sum to the
+            // report aggregates.
+            if let Some(mut rec) = self.series.take() {
+                rec.close_warmup(now, &mut self.metrics, &self.sites);
+                self.series_boundary = rec.next_boundary();
+                self.series = Some(rec);
+            }
             self.metrics.reset(now);
             for site in &mut self.sites {
                 site.cpu.reset_stats(now);
@@ -1059,6 +1336,7 @@ impl Simulation {
                 blocked_on_crash_cohorts: self.metrics.blocked_on_crash_cohorts.get(),
                 mean_blocked_on_crash_s: self.metrics.crash_block_time.mean(),
             },
+            convergence: self.metrics.convergence(),
             events: self.cal.dispatched_count(),
         }
     }

@@ -35,11 +35,18 @@ fn msgkind_labels_are_exhaustive_and_consistent() {
     use super::trace::MsgLabel as L;
     let cases: Vec<(MsgKind, L)> = vec![
         (MsgKind::InitCohort { cohort: ch(1) }, L::InitCohort),
-        (MsgKind::WorkDone { txn: th(1) }, L::WorkDone),
+        (
+            MsgKind::WorkDone {
+                txn: th(1),
+                cohort: ch(1),
+            },
+            L::WorkDone,
+        ),
         (MsgKind::Prepare { cohort: ch(1) }, L::Prepare),
         (
             MsgKind::Vote {
                 txn: th(1),
+                cohort: ch(1),
                 vote: Vote::Yes,
             },
             L::VoteYes,
@@ -47,6 +54,7 @@ fn msgkind_labels_are_exhaustive_and_consistent() {
         (
             MsgKind::Vote {
                 txn: th(1),
+                cohort: ch(1),
                 vote: Vote::No,
             },
             L::VoteNo,
@@ -54,12 +62,19 @@ fn msgkind_labels_are_exhaustive_and_consistent() {
         (
             MsgKind::Vote {
                 txn: th(1),
+                cohort: ch(1),
                 vote: Vote::ReadOnly,
             },
             L::VoteReadOnly,
         ),
         (MsgKind::PreCommit { cohort: ch(1) }, L::PreCommit),
-        (MsgKind::PreAck { txn: th(1) }, L::PreAck),
+        (
+            MsgKind::PreAck {
+                txn: th(1),
+                cohort: ch(1),
+            },
+            L::PreAck,
+        ),
         (
             MsgKind::Decision {
                 cohort: ch(1),
@@ -74,7 +89,13 @@ fn msgkind_labels_are_exhaustive_and_consistent() {
             },
             L::DecisionAbort,
         ),
-        (MsgKind::Ack { txn: th(1) }, L::Ack),
+        (
+            MsgKind::Ack {
+                txn: th(1),
+                cohort: ch(1),
+            },
+            L::Ack,
+        ),
         (MsgKind::TermStateReq { cohort: ch(1) }, L::TermStateReq),
         (MsgKind::TermStateRep { txn: th(1) }, L::TermStateRep),
         (MsgKind::ChainPrepare { cohort: ch(1) }, L::Prepare),
@@ -112,7 +133,11 @@ fn msgkind_labels_are_exhaustive_and_consistent() {
     }
     // execution/commit classification
     assert!(MsgKind::InitCohort { cohort: ch(1) }.is_execution());
-    assert!(MsgKind::WorkDone { txn: th(1) }.is_execution());
+    assert!(MsgKind::WorkDone {
+        txn: th(1),
+        cohort: ch(1)
+    }
+    .is_execution());
     assert!(!MsgKind::Prepare { cohort: ch(1) }.is_execution());
     assert!(!MsgKind::ChainBack {
         txn: th(1),
@@ -183,6 +208,12 @@ fn cohort_work_complete_tracks_cursor() {
         waiting_lock: false,
         shelf_since: None,
         prepared_since: None,
+        req_attempt: 0,
+        down: false,
+        wd_seen: false,
+        vote_seen: false,
+        preack_seen: false,
+        parting_reply: None,
     };
     assert!(!c.work_complete());
     c.next_access = 2;

@@ -139,10 +139,13 @@ pub(crate) enum LogWork {
     MasterDecision { txn: TxnH, commit: bool },
 }
 
-/// A loss-eligible master→cohort transfer being watched by a
-/// retransmission timer (message-loss injection). The timer checks the
-/// receiver's phase: if the message evidently arrived, the timer dies;
-/// otherwise the transfer is repeated.
+/// A loss-eligible transfer being watched by a retransmission timer
+/// (message-loss injection). The timer checks the receiver's recorded
+/// progress: if the message evidently arrived, the timer dies;
+/// otherwise the transfer is repeated. Requests (master→cohort) carry
+/// their own timers; of the replies only WORKDONE does — the others
+/// (VOTE, PREACK, ACK) are re-solicited by the requester's timer
+/// instead, because a repeated request is answered again.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Retry {
     /// A PREPARE to `cohort` (chain variant included).
@@ -151,6 +154,10 @@ pub(crate) enum Retry {
     PreCommit { cohort: CohortH },
     /// The decision to `cohort`.
     Decision { cohort: CohortH, commit: bool },
+    /// A WORKDONE from `cohort` back to protocol control — the one
+    /// cohort→master transfer nothing would otherwise re-solicit (the
+    /// master is passively collecting in the execution phase).
+    WorkDone { cohort: CohortH },
 }
 
 /// A network message. Transfers between distinct sites cost `MsgCPU`
@@ -165,6 +172,13 @@ pub(crate) struct Message {
     /// Fault injection decided this transfer is lost: the sender still
     /// pays `MsgCPU`, but the receiver never processes it.
     pub lost: bool,
+    /// Retransmission ordinal: 0 for the first transfer, incremented by
+    /// each timer-driven resend. Receivers of a request remember the
+    /// highest attempt seen and stamp it on their replies, so a reply
+    /// to an escalated (final, loss-exempt) request is itself
+    /// loss-exempt — that closes the termination argument for
+    /// reply-direction loss.
+    pub attempt: u32,
 }
 
 /// A cohort's vote in the first protocol phase.
@@ -186,19 +200,23 @@ pub(crate) enum MsgKind {
     /// Master → remote site: start this cohort (execution phase).
     InitCohort { cohort: CohortH },
     /// Cohort → master: local work complete (execution phase).
-    WorkDone { txn: TxnH },
+    WorkDone { txn: TxnH, cohort: CohortH },
     /// Master → cohort: phase one of the vote.
     Prepare { cohort: CohortH },
     /// Cohort → master: the phase-one vote.
-    Vote { txn: TxnH, vote: Vote },
+    Vote {
+        txn: TxnH,
+        cohort: CohortH,
+        vote: Vote,
+    },
     /// Master → cohort: 3PC precommit.
     PreCommit { cohort: CohortH },
     /// Cohort → master: 3PC precommit acknowledgement.
-    PreAck { txn: TxnH },
+    PreAck { txn: TxnH, cohort: CohortH },
     /// Master → cohort: the global decision.
     Decision { cohort: CohortH, commit: bool },
     /// Cohort → master: decision acknowledgement.
-    Ack { txn: TxnH },
+    Ack { txn: TxnH, cohort: CohortH },
     /// Termination coordinator → cohort: report your protocol state.
     TermStateReq { cohort: CohortH },
     /// Cohort → termination coordinator: state report (all cohorts are
@@ -374,9 +392,15 @@ pub(crate) enum CohortPhase {
     Precommitting,
     /// 3PC: precommit acknowledged; waiting for the final decision.
     Precommitted,
-    /// Forcing the decision record. Terminal states are not
-    /// represented: a finished cohort is removed from the engine's map.
+    /// Forcing the decision record. A finished cohort is normally
+    /// removed from the engine's map outright…
     Deciding { commit: bool },
+    /// …except under message-loss injection, where a cohort whose final
+    /// reply (read-only vote, NO vote, or ACK) may have been lost
+    /// lingers here — locks released, resources freed — purely to
+    /// answer duplicate requests with its stored [`Cohort::parting_reply`]
+    /// until the master confirms receipt.
+    Parted,
 }
 
 /// One in-flight cohort.
@@ -403,6 +427,24 @@ pub(crate) struct Cohort {
     pub shelf_since: Option<SimTime>,
     /// When it entered the prepared state (for prepared-time statistics).
     pub prepared_since: Option<SimTime>,
+    /// Highest request attempt seen from protocol control; stamped on
+    /// every reply so replies to escalated requests are loss-exempt
+    /// (see [`Message::attempt`]).
+    pub req_attempt: u32,
+    /// Crashed and not yet recovered: requests delivered meanwhile are
+    /// recorded (the site's log survives) but never answered — the
+    /// recovery path resends the withheld reply.
+    pub down: bool,
+    /// Master has received this cohort's WORKDONE (kills the cohort's
+    /// retransmission timer; deduplicates late resends).
+    pub wd_seen: bool,
+    /// Master has received this cohort's VOTE.
+    pub vote_seen: bool,
+    /// Master has received this cohort's PREACK.
+    pub preack_seen: bool,
+    /// The final reply stored when entering [`CohortPhase::Parted`],
+    /// resent verbatim on duplicate requests.
+    pub parting_reply: Option<MsgKind>,
 }
 
 impl Cohort {

@@ -8,7 +8,7 @@
 //! and borrow-ratio figures (the paper plots them from the same runs).
 
 use crate::config::{ConfigError, SystemConfig, TransType};
-use crate::engine::Simulation;
+use crate::engine::{Series, SeriesConfig, Simulation};
 use crate::metrics::SimReport;
 use crate::runner;
 use commitproto::ProtocolSpec;
@@ -244,6 +244,93 @@ pub fn sweep(
         });
     }
     Ok(out)
+}
+
+/// One grid cell's windowed metric series from [`sweep_with_series`].
+#[derive(Debug, Clone)]
+pub struct SeriesCell {
+    /// Series label (protocol name or parameterized variant).
+    pub label: String,
+    /// Per-site multiprogramming level of the cell.
+    pub mpl: u32,
+    /// Replication index within the (series, MPL) cell.
+    pub replication: u32,
+    /// The cell's windowed series.
+    pub series: Series,
+}
+
+/// Like [`sweep`], but every cell additionally records a windowed
+/// metric time series via [`Simulation::run_with_series`].
+///
+/// Returns the merged per-protocol report series (identical to what
+/// [`sweep`] returns for the same inputs — recording does not perturb
+/// a run) plus one [`SeriesCell`] per grid cell in grid order:
+/// series-major, then MPL, then replication. Replications are *not*
+/// merged on the series side — windows are per-run observations, so
+/// each replication keeps its own cell. Like [`sweep`], the grid runs
+/// on [`runner::run_ordered`] workers and both return values are
+/// byte-identical for any worker count.
+///
+/// # Errors
+/// Propagates the first cell's [`ConfigError`], like [`sweep`].
+pub fn sweep_with_series(
+    cfg: &SystemConfig,
+    specs: &[(String, ProtocolSpec, SystemConfig)],
+    scale: &Scale,
+    series_cfg: &SeriesConfig,
+) -> Result<(Vec<ProtocolSeries>, Vec<SeriesCell>), ConfigError> {
+    let _ = cfg; // the per-spec override already embeds the base
+    let reps = scale.replications.clamp(1, u16::MAX as u32);
+
+    let mut grid: Vec<(SystemConfig, ProtocolSpec, u64)> =
+        Vec::with_capacity(specs.len() * scale.mpls.len() * reps as usize);
+    for (si, (_, spec, cfg_override)) in specs.iter().enumerate() {
+        for (mi, &mpl) in scale.mpls.iter().enumerate() {
+            let mut cell_cfg = scale.apply(cfg_override);
+            cell_cfg.mpl = mpl;
+            for rep in 0..reps {
+                grid.push((cell_cfg.clone(), *spec, cell_seed(scale.seed, si, mi, rep)));
+            }
+        }
+    }
+
+    let jobs = runner::resolve_jobs(scale.jobs);
+    let progress = runner::Progress::new("sweep", grid.len());
+    let results = runner::run_ordered(&grid, jobs, |(cell_cfg, spec, seed)| {
+        let t0 = std::time::Instant::now();
+        let out = Simulation::run_with_series(cell_cfg, *spec, *seed, series_cfg);
+        progress.cell_done(
+            &format!("{} mpl {} seed {}", spec.name(), cell_cfg.mpl, seed),
+            t0.elapsed().as_secs_f64(),
+        );
+        out
+    });
+
+    let mut it = results.into_iter();
+    let mut out = Vec::with_capacity(specs.len());
+    let mut cells = Vec::with_capacity(specs.len() * scale.mpls.len() * reps as usize);
+    for (label, _, _) in specs {
+        let mut points = Vec::with_capacity(scale.mpls.len());
+        for &mpl in &scale.mpls {
+            let mut cell_reports = Vec::with_capacity(reps as usize);
+            for rep in 0..reps {
+                let (report, series) = it.next().expect("grid covers every cell")?;
+                cell_reports.push(report);
+                cells.push(SeriesCell {
+                    label: label.clone(),
+                    mpl,
+                    replication: rep,
+                    series,
+                });
+            }
+            points.push(SimReport::merge_replications(&cell_reports));
+        }
+        out.push(ProtocolSeries {
+            label: label.clone(),
+            points,
+        });
+    }
+    Ok((out, cells))
 }
 
 fn plain(cfg: &SystemConfig, specs: &[ProtocolSpec]) -> Vec<(String, ProtocolSpec, SystemConfig)> {

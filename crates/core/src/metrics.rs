@@ -72,6 +72,15 @@ pub(crate) struct Metrics {
     batch_size: u64,
     batch_count_in_progress: u64,
     batch_started: SimTime,
+    /// Steady-state detection samples: one throughput observation per
+    /// `batch_size` commits from t = 0 — warm-up *included*, and never
+    /// cleared by [`Metrics::reset`], because the detector has to see
+    /// the initial transient to judge whether the warm-up covered it.
+    conv_rates: Vec<f64>,
+    /// Start time of each convergence sample's batch.
+    conv_starts: Vec<SimTime>,
+    conv_count_in_progress: u64,
+    conv_batch_started: SimTime,
 }
 
 impl Metrics {
@@ -113,6 +122,10 @@ impl Metrics {
             batch_size,
             batch_count_in_progress: 0,
             batch_started: now,
+            conv_rates: Vec::new(),
+            conv_starts: Vec::new(),
+            conv_count_in_progress: 0,
+            conv_batch_started: now,
         }
     }
 
@@ -152,6 +165,9 @@ impl Metrics {
         self.throughput_batches = BatchMeans::new(1);
         self.batch_count_in_progress = 0;
         self.batch_started = now;
+        // Deliberately NOT reset: conv_rates / conv_starts /
+        // conv_count_in_progress / conv_batch_started — steady-state
+        // detection spans the whole run, warm-up included.
     }
 
     /// Record a commit at `now` with the given response times.
@@ -171,6 +187,40 @@ impl Metrics {
             }
             self.batch_count_in_progress = 0;
             self.batch_started = now;
+        }
+        // Convergence samples run on their own cursor so the warm-up
+        // reset cannot disturb them.
+        self.conv_count_in_progress += 1;
+        if self.conv_count_in_progress == self.batch_size {
+            let span = now.since(self.conv_batch_started).as_secs_f64();
+            if span > 0.0 {
+                self.conv_rates.push(self.batch_size as f64 / span);
+                self.conv_starts.push(self.conv_batch_started);
+            }
+            self.conv_count_in_progress = 0;
+            self.conv_batch_started = now;
+        }
+    }
+
+    /// Run the MSER steady-state scan over the whole-run throughput
+    /// samples and relate the detected transient to where the
+    /// configured warm-up actually ended.
+    pub fn convergence(&self) -> ConvergenceReport {
+        let ss = simkernel::stats::mser_truncation(&self.conv_rates);
+        let steady_from_s = if ss.converged {
+            self.conv_starts[ss.truncated].as_secs_f64()
+        } else {
+            f64::NAN
+        };
+        // `start` is reset to the warm-up boundary when warm-up ends
+        // (and stays 0 for warmup = 0 runs).
+        let warmup_ended_s = self.start.as_secs_f64();
+        ConvergenceReport {
+            samples: ss.samples as u64,
+            converged: ss.converged,
+            steady_from_s,
+            warmup_ended_s,
+            warmup_sufficient: ss.converged && steady_from_s <= warmup_ended_s,
         }
     }
 
@@ -430,6 +480,57 @@ impl FaultCounters {
     }
 }
 
+/// Steady-state verdict for one run: did the measured window actually
+/// sit in steady state, and did the configured warm-up cover the
+/// initial transient? Computed by an MSER scan
+/// ([`simkernel::stats::mser_truncation`]) over whole-run throughput
+/// samples (warm-up included), so it replaces blind trust in the fixed
+/// warm-up commit count.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ConvergenceReport {
+    /// Throughput batch samples the detector examined (whole run).
+    pub samples: u64,
+    /// Whether a credible steady state was found.
+    pub converged: bool,
+    /// Simulated time at which steady state begins (NaN when not
+    /// converged).
+    pub steady_from_s: f64,
+    /// Simulated time at which the configured warm-up ended.
+    pub warmup_ended_s: f64,
+    /// True when the run converged *and* the warm-up ended at or after
+    /// the detected transient — i.e. the measured window is clean.
+    pub warmup_sufficient: bool,
+}
+
+impl ConvergenceReport {
+    /// Merge replications: samples sum; the run is converged only if
+    /// every replication converged; steady-state onset is the latest
+    /// (most conservative) across replications.
+    pub(crate) fn merge(reports: &[SimReport]) -> ConvergenceReport {
+        let converged = reports.iter().all(|r| r.convergence.converged);
+        let steady_from_s = if converged {
+            reports
+                .iter()
+                .map(|r| r.convergence.steady_from_s)
+                .fold(0.0, f64::max)
+        } else {
+            f64::NAN
+        };
+        let n = reports.len() as f64;
+        ConvergenceReport {
+            samples: reports.iter().map(|r| r.convergence.samples).sum(),
+            converged,
+            steady_from_s,
+            warmup_ended_s: reports
+                .iter()
+                .map(|r| r.convergence.warmup_ended_s)
+                .sum::<f64>()
+                / n,
+            warmup_sufficient: reports.iter().all(|r| r.convergence.warmup_sufficient),
+        }
+    }
+}
+
 /// The result of one simulation run — everything the experiment
 /// harness and the figures need.
 #[derive(Debug, Clone)]
@@ -494,6 +595,8 @@ pub struct SimReport {
     /// Fault-injection counters (all zero in the paper's no-failure
     /// experiments).
     pub faults: FaultCounters,
+    /// Steady-state detection verdict for the run.
+    pub convergence: ConvergenceReport,
     /// Total simulation events dispatched (diagnostics).
     pub events: u64,
 }
@@ -684,6 +787,7 @@ impl SimReport {
             },
             mean_log_batch: mean(&|r| r.mean_log_batch),
             faults: FaultCounters::merge(reports),
+            convergence: ConvergenceReport::merge(reports),
             events: sum(&|r| r.events),
         }
     }
@@ -737,6 +841,20 @@ impl SimReport {
                 f.termination_rounds,
                 f.blocked_on_crash_cohorts,
                 f.mean_blocked_on_crash_s,
+            ));
+        }
+        let c = &self.convergence;
+        if !c.converged {
+            s.push_str(&format!(
+                "\n         WARNING: NOT CONVERGED — no steady state detected over {} \
+                 throughput samples; lengthen the run before trusting these numbers",
+                c.samples
+            ));
+        } else if !c.warmup_sufficient {
+            s.push_str(&format!(
+                "\n         WARNING: warm-up too short — steady state begins at t={:.2}s \
+                 but warm-up ended at t={:.2}s; early transient leaks into the window",
+                c.steady_from_s, c.warmup_ended_s
             ));
         }
         s
@@ -866,6 +984,27 @@ impl SimReport {
                 self.mean_log_batch
             );
         }
+        let c = &self.convergence;
+        if c.converged {
+            let _ = writeln!(
+                out,
+                "convergence          converged at t={:.2}s ({} samples, warm-up ended t={:.2}s{})",
+                c.steady_from_s,
+                c.samples,
+                c.warmup_ended_s,
+                if c.warmup_sufficient {
+                    ""
+                } else {
+                    ", WARM-UP TOO SHORT"
+                }
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "convergence          NOT CONVERGED ({} samples)",
+                c.samples
+            );
+        }
         out
     }
 
@@ -936,6 +1075,36 @@ impl SimReport {
             );
             kv(&mut out, "run", "mean_log_batch", f(self.mean_log_batch));
             kv(&mut out, "run", "events", self.events.to_string());
+            let c = &self.convergence;
+            kv(&mut out, "convergence", "samples", c.samples.to_string());
+            kv(
+                &mut out,
+                "convergence",
+                "converged",
+                (c.converged as u8).to_string(),
+            );
+            kv(
+                &mut out,
+                "convergence",
+                "steady_from_s",
+                f(if c.steady_from_s.is_finite() {
+                    c.steady_from_s
+                } else {
+                    0.0
+                }),
+            );
+            kv(
+                &mut out,
+                "convergence",
+                "warmup_ended_s",
+                f(c.warmup_ended_s),
+            );
+            kv(
+                &mut out,
+                "convergence",
+                "warmup_sufficient",
+                (c.warmup_sufficient as u8).to_string(),
+            );
             for (name, l) in [
                 ("exec", &self.phase_latencies.execution),
                 ("vote", &self.phase_latencies.voting),
@@ -1111,6 +1280,17 @@ impl SimReport {
             fc.blocked_on_crash_cohorts,
             json_f64(fc.mean_blocked_on_crash_s)
         );
+        let c = &self.convergence;
+        let _ = write!(
+            out,
+            ",\"convergence\":{{\"samples\":{},\"converged\":{},\"steady_from_s\":{},\
+             \"warmup_ended_s\":{},\"warmup_sufficient\":{}}}",
+            c.samples,
+            c.converged,
+            json_f64(c.steady_from_s),
+            json_f64(c.warmup_ended_s),
+            c.warmup_sufficient
+        );
         out.push('}');
         out
     }
@@ -1244,6 +1424,13 @@ mod tests {
             },
             mean_log_batch: 1.0,
             faults: FaultCounters::default(),
+            convergence: ConvergenceReport {
+                samples: 11,
+                converged: true,
+                steady_from_s: 2.0,
+                warmup_ended_s: 5.0,
+                warmup_sufficient: true,
+            },
             events: 1,
         }
     }
@@ -1483,5 +1670,88 @@ mod tests {
         assert!(j.contains("\"site_resources\":[{"), "{j}");
         assert!(j.contains("\"queue_depth_p99\":5"), "{j}");
         assert!(!j.contains("inf"), "{j}");
+        assert!(j.contains("\"convergence\":{\"samples\":11"), "{j}");
+    }
+
+    #[test]
+    fn convergence_sampling_survives_warmup_reset() {
+        let mut m = Metrics::new(SimTime::ZERO, 100, 10);
+        let mut t = 0;
+        for i in 0..60 {
+            t += 100;
+            m.record_commit(
+                at(t),
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(50),
+            );
+            if i == 29 {
+                m.reset(at(t));
+            }
+        }
+        // 60 commits at batch size 10 → 6 whole-run samples, even
+        // though the warm-up reset wiped the measurement batches.
+        let c = m.convergence();
+        assert_eq!(c.samples, 6);
+        assert!((c.warmup_ended_s - 3.0).abs() < 1e-9);
+        assert_eq!(m.committed.get(), 30);
+    }
+
+    #[test]
+    fn convergence_warnings_surface_in_summary_and_table() {
+        let mut r = sample_report();
+        r.convergence.converged = false;
+        r.convergence.steady_from_s = f64::NAN;
+        let s = r.summary();
+        assert!(s.contains("NOT CONVERGED"), "{s}");
+        let t = r.render(ReportFormat::Table);
+        assert!(
+            t.contains("convergence          NOT CONVERGED (11 samples)"),
+            "{t}"
+        );
+        let j = r.render(ReportFormat::Json);
+        assert!(j.contains("\"converged\":false"), "{j}");
+        assert!(j.contains("\"steady_from_s\":null"), "{j}");
+
+        let mut short = sample_report();
+        short.convergence.warmup_sufficient = false;
+        short.convergence.steady_from_s = 8.0;
+        assert!(
+            short.summary().contains("warm-up too short"),
+            "{}",
+            short.summary()
+        );
+        assert!(
+            short
+                .render(ReportFormat::Table)
+                .contains("WARM-UP TOO SHORT"),
+            "{}",
+            short.render(ReportFormat::Table)
+        );
+
+        // A clean report stays warning-free.
+        let clean = sample_report();
+        assert!(!clean.summary().contains("WARNING"), "{}", clean.summary());
+        assert!(clean.render(ReportFormat::Table).contains(
+            "convergence          converged at t=2.00s (11 samples, warm-up ended t=5.00s)"
+        ));
+    }
+
+    #[test]
+    fn merge_convergence_is_conservative() {
+        let a = sample_report();
+        let mut b = sample_report();
+        b.convergence.steady_from_s = 4.0;
+        let m = SimReport::merge_replications(&[a.clone(), b.clone()]);
+        assert!(m.convergence.converged);
+        assert_eq!(m.convergence.samples, 22);
+        assert!((m.convergence.steady_from_s - 4.0).abs() < 1e-12);
+        assert!(m.convergence.warmup_sufficient);
+
+        b.convergence.converged = false;
+        b.convergence.warmup_sufficient = false;
+        let m = SimReport::merge_replications(&[a, b]);
+        assert!(!m.convergence.converged);
+        assert!(!m.convergence.warmup_sufficient);
+        assert!(m.convergence.steady_from_s.is_nan());
     }
 }

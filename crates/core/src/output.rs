@@ -1,8 +1,10 @@
 //! Plain-text rendering of experiment results: the "same rows/series
 //! the paper reports", as protocol × MPL tables plus CSV for plotting.
 
-use crate::experiments::Experiment;
-use crate::metrics::SimReport;
+use crate::engine::chrome::escape_json;
+use crate::engine::SeriesFormat;
+use crate::experiments::{Experiment, SeriesCell};
+use crate::metrics::{ReportFormat, SimReport};
 use std::fmt::Write as _;
 
 /// A metric extracted from a [`SimReport`] for tabulation.
@@ -236,6 +238,89 @@ pub fn render_sweep_csv(exp: &Experiment) -> String {
     out
 }
 
+/// The sweep CLI's `--format json` output: one JSON document carrying
+/// the experiment identity and, per protocol series, the full
+/// [`SimReport`] object of every point (the same
+/// [`SimReport::render`] JSON the `run` subcommand emits), so every
+/// number the table, CSV and chart views derive from is available to
+/// machine consumers from a single sweep. Like every renderer over a
+/// [`sweep`](crate::experiments::sweep) result, the output is
+/// byte-identical for every `--jobs` count.
+pub fn render_sweep_json(exp: &Experiment) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"id\":\"{}\",\"title\":\"{}\",\"series\":[",
+        escape_json(&exp.id),
+        escape_json(&exp.title)
+    );
+    for (si, s) in exp.series.iter().enumerate() {
+        if si > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"label\":\"{}\",\"points\":[",
+            escape_json(&s.label)
+        );
+        for (pi, r) in s.points.iter().enumerate() {
+            if pi > 0 {
+                out.push(',');
+            }
+            out.push_str(&r.render(ReportFormat::Json));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// The sweep CLI's `--series-out` CSV: every grid cell's windowed
+/// series concatenated into one rectangular table, each data row
+/// prefixed with `series,mpl,rep` identity columns so a single file
+/// holds the whole grid. Row contents per cell are byte-identical to a
+/// standalone [`Series::render`](crate::engine::Series::render).
+pub fn render_sweep_series_csv(cells: &[SeriesCell]) -> String {
+    let mut out = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        let rendered = c.series.render(SeriesFormat::Csv);
+        let mut lines = rendered.lines();
+        let Some(header) = lines.next() else { continue };
+        if i == 0 {
+            let _ = writeln!(out, "series,mpl,rep,{header}");
+        }
+        let label = c.label.replace(',', ";");
+        for line in lines {
+            let _ = writeln!(out, "{label},{},{},{line}", c.mpl, c.replication);
+        }
+    }
+    out
+}
+
+/// The sweep CLI's `--series-out` JSON: one document with a `cells`
+/// array, each element carrying the cell identity and the standalone
+/// series document (exactly what
+/// [`Series::render`](crate::engine::Series::render) produces) under
+/// `data`.
+pub fn render_sweep_series_json(cells: &[SeriesCell]) -> String {
+    let mut out = String::from("{\"cells\":[");
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"series\":\"{}\",\"mpl\":{},\"rep\":{},\"data\":{}}}",
+            escape_json(&c.label),
+            c.mpl,
+            c.replication,
+            c.series.render(SeriesFormat::Json)
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
 /// Render one metric as CSV (`mpl,<series...>`), for plotting.
 pub fn render_csv(exp: &Experiment, metric: Metric) -> String {
     let mut out = String::new();
@@ -429,6 +514,65 @@ mod tests {
         assert_eq!(blocks[0], render_csv_ci(&e).trim_end_matches('\n'));
         assert!(blocks[1].starts_with("mpl,2PC exec p50"));
         assert!(blocks[2].starts_with("mpl,series,site,cpu occ p50"));
+    }
+
+    #[test]
+    fn sweep_json_is_balanced_and_names_every_series() {
+        let e = tiny_experiment();
+        let j = render_sweep_json(&e);
+        assert!(j.starts_with("{\"id\":\"test\",\"title\":\"test experiment\""));
+        assert!(j.contains("\"label\":\"2PC\""));
+        assert!(j.contains("\"label\":\"OPT\""));
+        // Each point is a full report object, as `run --format json`.
+        assert!(j.contains("\"points\":[{\"protocol\":"));
+        assert!(j.contains("\"convergence\":"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(!j.contains("inf") && !j.contains("NaN"));
+        assert!(j.ends_with("]}\n"));
+    }
+
+    fn tiny_series_cells() -> Vec<SeriesCell> {
+        let cfg = SystemConfig::paper_baseline();
+        let scale = Scale::quick()
+            .with_runs(10, 80)
+            .with_mpls(vec![1, 2])
+            .with_seed(3)
+            .with_jobs(Some(1));
+        let specs = vec![
+            ("2PC".to_string(), ProtocolSpec::TWO_PC, cfg.clone()),
+            ("OPT".to_string(), ProtocolSpec::OPT_2PC, cfg.clone()),
+        ];
+        let scfg = crate::engine::SeriesConfig::default();
+        let (_, cells) = crate::experiments::sweep_with_series(&cfg, &specs, &scale, &scfg)
+            .expect("tiny sweep runs");
+        cells
+    }
+
+    #[test]
+    fn sweep_series_csv_prefixes_identity_and_stays_rectangular() {
+        let cells = tiny_series_cells();
+        assert_eq!(cells.len(), 4, "2 series x 2 MPLs x 1 rep");
+        let csv = render_sweep_series_csv(&cells);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("series,mpl,rep,window,start_s"));
+        let n = header.split(',').count();
+        for line in lines {
+            assert_eq!(line.split(',').count(), n, "ragged: {line}");
+        }
+        assert!(csv.contains("\n2PC,1,0,"));
+        assert!(csv.contains("\nOPT,2,0,"));
+    }
+
+    #[test]
+    fn sweep_series_json_embeds_each_cell_document() {
+        let cells = tiny_series_cells();
+        let j = render_sweep_series_json(&cells);
+        assert!(j.starts_with("{\"cells\":["));
+        assert_eq!(j.matches("\"data\":{").count(), cells.len());
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"series\":\"2PC\",\"mpl\":1,\"rep\":0"));
+        assert!(j.contains("\"series\":\"OPT\",\"mpl\":2,\"rep\":0"));
     }
 
     #[test]

@@ -189,6 +189,17 @@ impl TimeWeighted {
         self.last_change = now;
         self.area = 0.0;
     }
+
+    /// The raw level·time integral over `[origin, now]`, in
+    /// level-seconds. Successive calls at window boundaries yield
+    /// per-window areas by subtraction, and those deltas telescope
+    /// exactly: their sum equals the final integral bit for bit, which
+    /// is what lets windowed series cross-check against whole-run
+    /// time averages.
+    pub fn integral_seconds(&mut self, now: SimTime) -> f64 {
+        self.accumulate(now);
+        self.area / 1e6
+    }
 }
 
 /// Two-sided Student-t critical value for a 90% confidence interval
@@ -295,6 +306,81 @@ impl BatchMeans {
             batches: k,
         }
     }
+}
+
+/// Result of an MSER-style steady-state scan over a sequence of batch
+/// means (see [`mser_truncation`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteadyState {
+    /// Number of batch means examined.
+    pub samples: usize,
+    /// Best truncation point: samples `[truncated..]` are the
+    /// steady-state portion. Meaningless when `converged` is false.
+    pub truncated: usize,
+    /// Whether the scan found a credible steady state: enough samples,
+    /// and the optimal truncation in the first half of the run.
+    pub converged: bool,
+    /// Mean of the retained (post-truncation) samples.
+    pub mean: f64,
+}
+
+/// Fewest batch means for which a steady-state verdict is attempted;
+/// below this the run is reported as not converged. Eleven samples is
+/// what the default run configuration produces (warmup + measured over
+/// the measurement batch size), so defaults sit comfortably above it.
+pub const MSER_MIN_SAMPLES: usize = 8;
+
+/// MSER-style initial-transient detection over a series of batch means
+/// (White's Marginal Standard Error Rule, the MSER-5 family with the
+/// batching done by the caller).
+///
+/// For each candidate truncation `d` in the first half of the series,
+/// compute the squared standard error of the mean of the retained tail,
+/// `var(z[d..]) / (n - d)`, and pick the `d` that minimises it (first
+/// minimum wins on ties, so the scan is deterministic). The run is
+/// declared converged only when there are at least
+/// [`MSER_MIN_SAMPLES`] samples and the optimum lies strictly inside
+/// the first half — an optimum sitting on the half-way boundary means
+/// the statistic was still improving as data was discarded, i.e. the
+/// run never settled.
+pub fn mser_truncation(samples: &[f64]) -> SteadyState {
+    let n = samples.len();
+    if n < MSER_MIN_SAMPLES {
+        return SteadyState {
+            samples: n,
+            truncated: 0,
+            converged: false,
+            mean: mean_of(samples),
+        };
+    }
+    let half = n / 2;
+    let mut best_d = 0;
+    let mut best_se2 = f64::INFINITY;
+    for d in 0..=half {
+        let tail = &samples[d..];
+        let mut t = Tally::new();
+        for &x in tail {
+            t.record(x);
+        }
+        let se2 = t.variance() / tail.len() as f64;
+        if se2 < best_se2 {
+            best_se2 = se2;
+            best_d = d;
+        }
+    }
+    SteadyState {
+        samples: n,
+        truncated: best_d,
+        converged: best_d < half,
+        mean: mean_of(&samples[best_d..]),
+    }
+}
+
+fn mean_of(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
 }
 
 /// Number of major buckets in the shared log-linear geometry: up to
@@ -616,6 +702,58 @@ mod tests {
         assert_eq!(a.count(), whole.count());
         assert!((a.mean() - whole.mean()).abs() < 1e-9);
         assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_integral_deltas_telescope() {
+        let mut tw = TimeWeighted::new(SimTime(0), 0.0);
+        tw.set(SimTime(1_000_000), 3.0);
+        let a = tw.integral_seconds(SimTime(2_000_000));
+        tw.set(SimTime(2_500_000), 1.0);
+        let b = tw.integral_seconds(SimTime(4_000_000));
+        // [0,1s): 0, [1s,2s): 3 → a = 3; [2s,2.5s): 3, [2.5s,4s): 1 → b = 3 + 1.5 + 1.5 = 6
+        assert!((a - 3.0).abs() < 1e-12);
+        assert!((b - 6.0).abs() < 1e-12);
+        // per-window deltas sum exactly to the final integral
+        assert_eq!((a - 0.0) + (b - a), b);
+    }
+
+    #[test]
+    fn mser_too_few_samples_is_not_converged() {
+        let s = mser_truncation(&[1.0; 7]);
+        assert_eq!(s.samples, 7);
+        assert!(!s.converged);
+    }
+
+    #[test]
+    fn mser_flat_series_converges_with_no_truncation() {
+        // Constant data: every truncation ties at SE² = 0, and the
+        // deterministic first-minimum rule keeps everything.
+        let data = [5.0; 20];
+        let s = mser_truncation(&data);
+        assert!(s.converged);
+        assert_eq!(s.truncated, 0);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mser_initial_transient_is_truncated() {
+        // Ramp-up for 4 samples, then steady around 10.
+        let mut data = vec![1.0, 3.0, 6.0, 8.5];
+        data.extend((0..16).map(|i| 10.0 + 0.05 * ((i % 3) as f64)));
+        let s = mser_truncation(&data);
+        assert!(s.converged);
+        assert!(s.truncated >= 3, "truncated only {}", s.truncated);
+        assert!((s.mean - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn mser_monotone_drift_never_converges() {
+        // A series still climbing linearly at the end: the optimal
+        // truncation keeps sliding to the half-way boundary.
+        let data: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let s = mser_truncation(&data);
+        assert!(!s.converged);
     }
 
     #[test]

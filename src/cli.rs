@@ -13,11 +13,12 @@
 
 use commitproto::ProtocolSpec;
 use distdb::config::{FailureConfig, ResourceMode, RestartPolicy, SystemConfig, TransType};
-use distdb::engine::{ChromeStreamSink, FoldSink, Simulation};
+use distdb::engine::{ChromeStreamSink, FoldSink, SeriesConfig, SeriesFormat, Simulation};
 use distdb::experiments::{self, Scale};
 use distdb::metrics::ReportFormat;
 use distdb::output::{
-    render_ascii_chart, render_peaks, render_sweep_csv, render_table, render_table_ci, Metric,
+    render_ascii_chart, render_peaks, render_sweep_csv, render_sweep_json, render_sweep_series_csv,
+    render_sweep_series_json, render_table, render_table_ci, Metric,
 };
 use simkernel::SimDuration;
 use std::fmt;
@@ -36,6 +37,23 @@ pub enum Command {
         /// JSON while the run executes (bounded memory; no in-memory
         /// event buffer).
         trace_out: Option<String>,
+        /// Stream the windowed metric series to this file while the
+        /// run executes (CSV, or JSON when the path ends in `.json`).
+        series_out: Option<String>,
+        /// Window width / per-site breakdown for `--series-out`.
+        series_cfg: SeriesConfig,
+    },
+    /// One run's windowed metric time series (the report summary goes
+    /// to the other stream so the series stays machine-readable).
+    Series {
+        cfg: SystemConfig,
+        protocol: ProtocolSpec,
+        seed: u64,
+        series_cfg: SeriesConfig,
+        format: SeriesFormat,
+        /// Stream windows to this file as the run executes instead of
+        /// printing the buffered series to stdout.
+        out: Option<String>,
     },
     /// Per-transaction commit choreography: readable timelines plus an
     /// optional Chrome trace-event JSON export.
@@ -55,7 +73,7 @@ pub enum Command {
         txns: u64,
         out: Option<String>,
     },
-    /// Protocols × MPLs sweep with tables and a chart, or CSV.
+    /// Protocols × MPLs sweep with tables and a chart, CSV, or JSON.
     Sweep {
         cfg: SystemConfig,
         protocols: Vec<ProtocolSpec>,
@@ -63,7 +81,12 @@ pub enum Command {
         seed: u64,
         reps: u32,
         jobs: Option<usize>,
-        csv: bool,
+        format: ReportFormat,
+        /// Record every grid cell's windowed series to this file (CSV,
+        /// or JSON when the path ends in `.json`).
+        series_out: Option<String>,
+        /// Window width / per-site breakdown for `--series-out`.
+        series_cfg: SeriesConfig,
     },
     /// A named paper experiment (`fig1`, `fig2`, `expt3`, `fig3`,
     /// `fig4`, `fig5`, `seq`).
@@ -84,6 +107,9 @@ pub enum Command {
         out: Option<String>,
         baseline: Option<String>,
         tolerance: f64,
+        /// Run the grid twice (series sink off/on) and gate the sink's
+        /// off-path cost at 3%.
+        series: bool,
     },
     /// Tables 2–4.
     Tables,
@@ -121,10 +147,11 @@ pub static USAGE: LazyLock<String> = LazyLock::new(|| {
 distcommit — the SIGMOD'97 commit-processing simulator
 
 USAGE:
-  distcommit run   [OPTIONS]                 one simulation run
-  distcommit trace [OPTIONS]                 per-txn commit choreography
-  distcommit fold  [OPTIONS]                 collapsed-stack flamegraph fold
-  distcommit sweep [OPTIONS]                 protocols x MPLs sweep
+  distcommit run    [OPTIONS]                one simulation run
+  distcommit series [OPTIONS]                windowed metric time series
+  distcommit trace  [OPTIONS]                per-txn commit choreography
+  distcommit fold   [OPTIONS]                collapsed-stack flamegraph fold
+  distcommit sweep  [OPTIONS]                protocols x MPLs sweep
   distcommit experiment <fig1|fig2|expt3|fig3|fig4|fig5|seq|failures|faults>
                         [--full] [--reps N] [--jobs N]
   distcommit bench [OPTIONS]                 canonical engine benchmark
@@ -142,6 +169,10 @@ BENCH:
                            vs its most recent comparable entry
   --tolerance <P>          allowed fractional regression (default 0.25)
   --seed <N>               grid seed (default 42)
+  --series                 run the grid twice (series sink off, then
+                           on) and fail if the sink's off-path cost
+                           exceeds 3% of events/sec; both entries are
+                           appended to --out
 
 RUN OUTPUT:
   --format <F>             report format: table (default), csv
@@ -150,6 +181,24 @@ RUN OUTPUT:
                            the run executes — bounded memory, so it
                            works for arbitrarily long runs; loadable in
                            chrome://tracing or https://ui.perfetto.dev
+  --series-out <FILE>      also stream the windowed metric series to
+                           FILE (CSV, or JSON when FILE ends in .json);
+                           accepts --window/--per-site; incompatible
+                           with --trace-out
+
+SERIES:
+  --format <F>             series format: csv (default, one row per
+                           window) or json (one document with a
+                           `windows` array)
+  --window <SECS>          window width in simulated seconds
+                           (default 5)
+  --per-site               add a per-site breakdown (per-site commits
+                           and instantaneous queue depths) to every
+                           window
+  --out <FILE>             stream windows to FILE as the run executes
+                           (bounded memory) and print the report
+                           summary to stdout; without --out the series
+                           goes to stdout and the summary to stderr
 
 TRACE:
   --txns <N>               transactions to trace from the start of the
@@ -166,13 +215,21 @@ FOLD:
                            flamegraph.pl / inferno / speedscope
 
 SWEEP OUTPUT:
-  --csv                    emit CSV instead of tables/chart: throughput
+  --format <F>             table (default): aligned tables plus an
+                           ASCII chart and peak summary; csv: the three
+                           CSV blocks below; json: one document with
+                           every point's full report object
+  --csv                    shorthand for --format csv: throughput
                            (mean + 90% CI half-width per series), then
                            per-phase p50/p90/p99 latencies, then
                            per-site occupancy percentiles, separated by
                            blank lines; byte-identical for every --jobs
+  --series-out <FILE>      record every grid cell's windowed series to
+                           FILE — CSV rows gain series,mpl,rep identity
+                           columns (JSON when FILE ends in .json);
+                           accepts --window/--per-site
 
-FAULT INJECTION (run, trace, fold & sweep):
+FAULT INJECTION (run, series, trace, fold & sweep):
   --faults <K=V,..>        enable the failure model; keys:
 {fault_keys}                           e.g. --faults mc=0.01,cc=0.005,loss=0.01
 
@@ -186,7 +243,7 @@ PARALLELISM & REPLICATIONS (sweep & experiment):
                            across replications (default 1)
 
 OPTIONS (run & sweep):
-  --protocol <NAME>        protocol for `run` (default 2PC)
+  --protocol <NAME>        protocol for run/series/trace/fold (default 2PC)
   --protocols <A,B,..>     protocols for `sweep` (default CENT,DPCC,2PC,3PC,OPT)
   --mpl <N>                multiprogramming level for `run` (default 4)
   --mpls <N,N,..>          MPL axis for `sweep` (default 1..10)
@@ -251,6 +308,23 @@ fn parse_faults(v: &str) -> Result<FailureConfig, CliError> {
         .map_err(|e: String| CliError(format!("--faults: {e}")))
 }
 
+/// Series format implied by an output path: `.json` means JSON,
+/// anything else CSV.
+fn series_format_for(path: &str) -> SeriesFormat {
+    if path.ends_with(".json") {
+        SeriesFormat::Json
+    } else {
+        SeriesFormat::Csv
+    }
+}
+
+fn series_format_name(f: SeriesFormat) -> &'static str {
+    match f {
+        SeriesFormat::Csv => "csv",
+        SeriesFormat::Json => "json",
+    }
+}
+
 /// Parse an argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let Some(sub) = args.first() else {
@@ -266,6 +340,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut out = None;
             let mut baseline = None;
             let mut tolerance = 0.25f64;
+            let mut series = false;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -275,6 +350,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--out" => out = Some(take_value(a, &mut it)?.clone()),
                     "--baseline" => baseline = Some(take_value(a, &mut it)?.clone()),
                     "--tolerance" => tolerance = parse_num(a, take_value(a, &mut it)?)?,
+                    "--series" => series = true,
                     other => return err(format!("unknown option {other:?}")),
                 }
             }
@@ -288,6 +364,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 out,
                 baseline,
                 tolerance,
+                series,
             })
         }
         "experiment" => {
@@ -320,7 +397,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 None => err("experiment needs an id (fig1|fig2|expt3|fig3|fig4|fig5|seq)"),
             }
         }
-        "run" | "sweep" | "trace" | "fold" => {
+        "run" | "sweep" | "trace" | "fold" | "series" => {
             let mut cfg = SystemConfig::paper_baseline();
             cfg.run.warmup_transactions = 500;
             cfg.run.measured_transactions = 5_000;
@@ -334,6 +411,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut out: Option<String> = None;
             let mut format: Option<ReportFormat> = None;
             let mut trace_out: Option<String> = None;
+            let mut series_out: Option<String> = None;
+            let mut window: Option<f64> = None;
+            let mut per_site = false;
             let mut protocol = ProtocolSpec::TWO_PC;
             let mut protocols = vec![
                 ProtocolSpec::CENT,
@@ -363,6 +443,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         )
                     }
                     "--trace-out" => trace_out = Some(take_value(a, &mut it)?.clone()),
+                    "--series-out" => series_out = Some(take_value(a, &mut it)?.clone()),
+                    "--window" => window = Some(parse_num(a, take_value(a, &mut it)?)?),
+                    "--per-site" => per_site = true,
                     "--reps" => reps = parse_num(a, take_value(a, &mut it)?)?,
                     "--jobs" => jobs = Some(parse_num(a, take_value(a, &mut it)?)?),
                     "--protocols" => {
@@ -430,15 +513,38 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 }
             }
             cfg.validate().map_err(|e| CliError(e.to_string()))?;
-            if sub != "trace" && sub != "fold" && (txns.is_some() || out.is_some()) {
-                return err("--txns/--out apply to trace and fold only");
+            if !matches!(sub.as_str(), "trace" | "fold") && txns.is_some() {
+                return err("--txns applies to trace and fold only");
             }
-            if sub != "run" && (format.is_some() || trace_out.is_some()) {
-                return err("--format/--trace-out apply to run only");
+            if !matches!(sub.as_str(), "trace" | "fold" | "series") && out.is_some() {
+                return err("--out applies to trace, fold and series only");
+            }
+            if !matches!(sub.as_str(), "run" | "sweep" | "series") && format.is_some() {
+                return err("--format applies to run, sweep and series only");
+            }
+            if sub != "run" && trace_out.is_some() {
+                return err("--trace-out applies to run only");
+            }
+            if !matches!(sub.as_str(), "run" | "sweep") && series_out.is_some() {
+                return err("--series-out applies to run and sweep only");
+            }
+            if sub != "series" && series_out.is_none() && (window.is_some() || per_site) {
+                return err("--window/--per-site need `series` or --series-out");
             }
             if sub != "sweep" && csv {
                 return err("--csv applies to sweep only");
             }
+            if let Some(w) = window {
+                if !w.is_finite() || w <= 0.0 {
+                    return err("--window must be a positive number of seconds");
+                }
+            }
+            let series_cfg = SeriesConfig {
+                window: window
+                    .map(|w| SimDuration::from_millis_f64(w * 1_000.0))
+                    .unwrap_or(SeriesConfig::DEFAULT_WINDOW),
+                per_site,
+            };
             if sub != "sweep" {
                 if reps != 1 || jobs.is_some() {
                     return err("--reps/--jobs apply to sweep and experiment only");
@@ -464,12 +570,38 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         out,
                     });
                 }
+                if sub == "series" {
+                    let format = match format.unwrap_or(ReportFormat::Csv) {
+                        ReportFormat::Csv => SeriesFormat::Csv,
+                        ReportFormat::Json => SeriesFormat::Json,
+                        ReportFormat::Table => {
+                            return err(
+                                "series --format: csv|json (a table has no series rendering)",
+                            )
+                        }
+                    };
+                    return Ok(Command::Series {
+                        cfg,
+                        protocol,
+                        seed,
+                        series_cfg,
+                        format,
+                        out,
+                    });
+                }
+                if trace_out.is_some() && series_out.is_some() {
+                    // The two streamers use separate engine entry
+                    // points; one observed run cannot feed both.
+                    return err("--trace-out and --series-out are mutually exclusive");
+                }
                 Ok(Command::Run {
                     cfg,
                     protocol,
                     seed,
                     format: format.unwrap_or(ReportFormat::Table),
                     trace_out,
+                    series_out,
+                    series_cfg,
                 })
             } else {
                 if protocols.is_empty() || mpls.is_empty() {
@@ -478,6 +610,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 if reps == 0 {
                     return err("--reps must be at least 1");
                 }
+                if csv && format.is_some() {
+                    return err("--csv is shorthand for --format csv; pass one of them");
+                }
+                let format = format.unwrap_or(if csv {
+                    ReportFormat::Csv
+                } else {
+                    ReportFormat::Table
+                });
                 Ok(Command::Sweep {
                     cfg,
                     protocols,
@@ -485,7 +625,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     seed,
                     reps,
                     jobs,
-                    csv,
+                    format,
+                    series_out,
+                    series_cfg,
                 })
             }
         }
@@ -508,9 +650,15 @@ pub fn execute(cmd: Command) -> i32 {
             out,
             baseline,
             tolerance,
+            series,
         } => {
             use distbench::canonical as bench;
-            let opts = bench::Options { quick, label, seed };
+            let opts = bench::Options {
+                quick,
+                label,
+                seed,
+                series,
+            };
             // Validate the baseline's schema up front: a malformed
             // committed trajectory should fail fast, before minutes of
             // grid runs.
@@ -522,24 +670,54 @@ pub fn execute(cmd: Command) -> i32 {
                 }
                 None => None,
             };
-            let entry = match bench::run_grid(&opts) {
-                Ok(entry) => entry,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return 1;
+            // With --series the grid runs twice (sink off, then on);
+            // the off pass is the entry comparable to the baseline.
+            let (entry, overhead) = if opts.series {
+                match bench::series_overhead(&opts) {
+                    Ok(m) => (m.off.clone(), Some(m)),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return 1;
+                    }
+                }
+            } else {
+                match bench::run_grid(&opts) {
+                    Ok(entry) => (entry, None),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return 1;
+                    }
                 }
             };
             print!("{}", bench::render_entry(&entry));
+            if let Some(m) = &overhead {
+                print!("{}", bench::render_entry(&m.on));
+            }
             if let Some(path) = &out {
-                if let Err(e) = bench::append_entry(path, &entry) {
-                    eprintln!("error: {e}");
-                    return 1;
+                let mut entries = vec![&entry];
+                if let Some(m) = &overhead {
+                    entries.push(&m.on);
+                }
+                for e in entries {
+                    if let Err(err) = bench::append_entry(path, e) {
+                        eprintln!("error: {err}");
+                        return 1;
+                    }
                 }
                 println!("[trajectory] appended entry to {path}");
             }
             if let Some(doc) = &baseline_doc {
                 match bench::compare_to_baseline(&entry, doc, tolerance) {
                     Ok(verdict) => println!("[baseline] {verdict}"),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return 1;
+                    }
+                }
+            }
+            if let Some(m) = &overhead {
+                match bench::render_series_overhead(m) {
+                    Ok(verdict) => println!("[series] {verdict}"),
                     Err(e) => {
                         eprintln!("error: {e}");
                         return 1;
@@ -587,9 +765,11 @@ pub fn execute(cmd: Command) -> i32 {
             seed,
             format,
             trace_out,
+            series_out,
+            series_cfg,
         } => {
-            // The streaming sink writes events to disk as they occur,
-            // so tracing a full run needs no in-memory event buffer.
+            // Both streamers write to disk as the run progresses, so
+            // observing a full run needs no in-memory buffer.
             let result = match &trace_out {
                 Some(path) => match ChromeStreamSink::create(std::path::Path::new(path)) {
                     Ok(sink) => Simulation::run_with_sink(&cfg, protocol, seed, u64::MAX, sink)
@@ -599,7 +779,29 @@ pub fn execute(cmd: Command) -> i32 {
                         return 1;
                     }
                 },
-                None => Simulation::run(&cfg, protocol, seed).map(|r| (r, None)),
+                None => match &series_out {
+                    Some(path) => match std::fs::File::create(path) {
+                        Ok(file) => match Simulation::run_with_series_stream(
+                            &cfg,
+                            protocol,
+                            seed,
+                            &series_cfg,
+                            Box::new(file),
+                            series_format_for(path),
+                        ) {
+                            Ok(r) => Ok((r, None)),
+                            Err(e) => {
+                                eprintln!("error: {e}");
+                                return 1;
+                            }
+                        },
+                        Err(e) => {
+                            eprintln!("error: cannot create {path}: {e}");
+                            return 1;
+                        }
+                    },
+                    None => Simulation::run(&cfg, protocol, seed).map(|r| (r, None)),
+                },
             };
             match result {
                 Ok((r, sink)) => {
@@ -621,6 +823,9 @@ pub fn execute(cmd: Command) -> i32 {
                             }
                         }
                     }
+                    if let Some(path) = &series_out {
+                        eprintln!("windowed series streamed to {path}");
+                    }
                     i32::from(!r.overhead_check.is_clean())
                 }
                 Err(e) => {
@@ -629,6 +834,56 @@ pub fn execute(cmd: Command) -> i32 {
                 }
             }
         }
+        Command::Series {
+            cfg,
+            protocol,
+            seed,
+            series_cfg,
+            format,
+            out,
+        } => match &out {
+            Some(path) => match std::fs::File::create(path) {
+                Ok(file) => match Simulation::run_with_series_stream(
+                    &cfg,
+                    protocol,
+                    seed,
+                    &series_cfg,
+                    Box::new(file),
+                    format,
+                ) {
+                    Ok(report) => {
+                        println!(
+                            "windowed series ({}) streamed to {path}",
+                            series_format_name(format)
+                        );
+                        println!("{}", report.summary());
+                        0
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        1
+                    }
+                },
+                Err(e) => {
+                    eprintln!("error: cannot create {path}: {e}");
+                    1
+                }
+            },
+            None => match Simulation::run_with_series(&cfg, protocol, seed, &series_cfg) {
+                Ok((report, series)) => {
+                    // stdout carries only the series, so redirecting it
+                    // to a file gives exactly the --out bytes; the
+                    // summary rides on stderr.
+                    print!("{}", series.render(format));
+                    eprintln!("{}", report.summary());
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            },
+        },
         Command::Fold {
             cfg,
             protocol,
@@ -714,7 +969,9 @@ pub fn execute(cmd: Command) -> i32 {
             seed,
             reps,
             jobs,
-            csv,
+            format,
+            series_out,
+            series_cfg,
         } => {
             let scale = Scale::quick()
                 .with_runs(cfg.run.warmup_transactions, cfg.run.measured_transactions)
@@ -726,7 +983,33 @@ pub fn execute(cmd: Command) -> i32 {
                 .iter()
                 .map(|&p| (p.name().to_string(), p, cfg.clone()))
                 .collect();
-            match experiments::sweep(&cfg, &specs, &scale) {
+            // With --series-out every grid cell also records windows;
+            // recording does not perturb the runs, so the reports are
+            // identical either way.
+            let result = match &series_out {
+                Some(path) => {
+                    match experiments::sweep_with_series(&cfg, &specs, &scale, &series_cfg) {
+                        Ok((series, cells)) => {
+                            let rendered = match series_format_for(path) {
+                                SeriesFormat::Json => render_sweep_series_json(&cells),
+                                SeriesFormat::Csv => render_sweep_series_csv(&cells),
+                            };
+                            if let Err(e) = std::fs::write(path, &rendered) {
+                                eprintln!("error: cannot write {path}: {e}");
+                                return 1;
+                            }
+                            eprintln!(
+                                "windowed series for {} sweep cell(s) written to {path}",
+                                cells.len()
+                            );
+                            Ok(series)
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+                None => experiments::sweep(&cfg, &specs, &scale),
+            };
+            match result {
                 Ok(series) => {
                     let exp = experiments::Experiment {
                         id: "cli-sweep".into(),
@@ -734,9 +1017,16 @@ pub fn execute(cmd: Command) -> i32 {
                         config: cfg,
                         series,
                     };
-                    if csv {
-                        print!("{}", render_sweep_csv(&exp));
-                        return 0;
+                    match format {
+                        ReportFormat::Csv => {
+                            print!("{}", render_sweep_csv(&exp));
+                            return 0;
+                        }
+                        ReportFormat::Json => {
+                            print!("{}", render_sweep_json(&exp));
+                            return 0;
+                        }
+                        ReportFormat::Table => {}
                     }
                     if reps >= 2 {
                         print!("{}", render_table_ci(&exp));
@@ -838,6 +1128,8 @@ mod tests {
             seed,
             format,
             trace_out,
+            series_out,
+            series_cfg,
         } = parse(&argv("run")).unwrap()
         else {
             panic!("expected Run");
@@ -847,6 +1139,8 @@ mod tests {
         assert_eq!(cfg.mpl, 4);
         assert_eq!(format, ReportFormat::Table);
         assert_eq!(trace_out, None);
+        assert_eq!(series_out, None);
+        assert_eq!(series_cfg, SeriesConfig::default());
     }
 
     #[test]
@@ -1014,20 +1308,34 @@ mod tests {
     }
 
     #[test]
-    fn csv_flag_is_sweep_only() {
-        let Command::Sweep { csv, .. } =
+    fn csv_flag_is_sweep_only_and_aliases_format_csv() {
+        let Command::Sweep { format, .. } =
             parse(&argv("sweep --protocols 2PC --mpls 1,2 --csv")).unwrap()
         else {
             panic!("expected Sweep");
         };
-        assert!(csv);
-        let Command::Sweep { csv, .. } = parse(&argv("sweep --protocols 2PC --mpls 1")).unwrap()
+        assert_eq!(format, ReportFormat::Csv);
+        let Command::Sweep { format, .. } = parse(&argv("sweep --protocols 2PC --mpls 1")).unwrap()
         else {
             panic!("expected Sweep");
         };
-        assert!(!csv);
+        assert_eq!(format, ReportFormat::Table);
         assert!(parse(&argv("run --csv")).is_err());
         assert!(parse(&argv("trace --csv")).is_err());
+        // The alias and the explicit flag cannot disagree.
+        assert!(parse(&argv("sweep --csv --format json")).is_err());
+    }
+
+    #[test]
+    fn sweep_parses_format_json() {
+        let Command::Sweep { format, .. } =
+            parse(&argv("sweep --protocols 2PC --mpls 1,2 --format json")).unwrap()
+        else {
+            panic!("expected Sweep");
+        };
+        assert_eq!(format, ReportFormat::Json);
+        let e = parse(&argv("sweep --format xml")).unwrap_err();
+        assert!(e.0.contains("--format"), "{e}");
     }
 
     #[test]
@@ -1053,12 +1361,13 @@ mod tests {
                 out: None,
                 baseline: None,
                 tolerance: 0.25,
+                series: false,
             }
         );
         assert_eq!(
             parse(&argv(
                 "bench --quick --label before --seed 7 --out BENCH_6.json \
-                 --baseline BENCH_6.json --tolerance 0.5"
+                 --baseline BENCH_6.json --tolerance 0.5 --series"
             ))
             .unwrap(),
             Command::Bench {
@@ -1068,6 +1377,7 @@ mod tests {
                 out: Some("BENCH_6.json".into()),
                 baseline: Some("BENCH_6.json".into()),
                 tolerance: 0.5,
+                series: true,
             }
         );
         assert!(parse(&argv("bench --tolerance 1.5")).is_err());
@@ -1079,6 +1389,7 @@ mod tests {
     fn usage_mentions_every_subcommand() {
         for word in [
             "run",
+            "series",
             "trace",
             "fold",
             "sweep",
@@ -1118,10 +1429,110 @@ mod tests {
         // Bad formats are rejected with the flag named.
         let e = parse(&argv("run --format xml")).unwrap_err();
         assert!(e.0.contains("--format"), "{e}");
-        // The flags are run-only.
-        assert!(parse(&argv("sweep --format json")).is_err());
+        // --trace-out is run-only; --format is run/sweep/series-only.
+        assert!(parse(&argv("sweep --trace-out x.json")).is_err());
         assert!(parse(&argv("trace --trace-out x.json")).is_err());
         assert!(parse(&argv("fold --format csv")).is_err());
+        assert!(parse(&argv("trace --format json")).is_err());
+    }
+
+    #[test]
+    fn series_parses_flags_and_defaults() {
+        let Command::Series {
+            cfg,
+            protocol,
+            seed,
+            series_cfg,
+            format,
+            out,
+        } = parse(&argv("series")).unwrap()
+        else {
+            panic!("expected Series");
+        };
+        assert_eq!(protocol, ProtocolSpec::TWO_PC);
+        assert_eq!(seed, 42);
+        assert_eq!(cfg.mpl, 4);
+        assert_eq!(series_cfg, SeriesConfig::default());
+        assert_eq!(format, SeriesFormat::Csv);
+        assert_eq!(out, None);
+        let Command::Series {
+            series_cfg,
+            format,
+            out,
+            ..
+        } = parse(&argv(
+            "series --protocol OPT --window 2.5 --per-site --format json --out /tmp/s.json \
+             --faults mc=0.01",
+        ))
+        .unwrap()
+        else {
+            panic!("expected Series");
+        };
+        assert_eq!(series_cfg.window, SimDuration::from_millis(2_500));
+        assert!(series_cfg.per_site);
+        assert_eq!(format, SeriesFormat::Json);
+        assert_eq!(out.as_deref(), Some("/tmp/s.json"));
+    }
+
+    #[test]
+    fn series_rejects_bad_flag_combinations() {
+        // A table has no series rendering.
+        let e = parse(&argv("series --format table")).unwrap_err();
+        assert!(e.0.contains("csv|json"), "{e}");
+        // Window must be positive and finite.
+        assert!(parse(&argv("series --window 0")).is_err());
+        assert!(parse(&argv("series --window -3")).is_err());
+        assert!(parse(&argv("series --window inf")).is_err());
+        // Series takes none of the other subcommands' flags.
+        assert!(parse(&argv("series --txns 5")).is_err());
+        assert!(parse(&argv("series --trace-out x.json")).is_err());
+        assert!(parse(&argv("series --series-out x.csv")).is_err());
+        assert!(parse(&argv("series --reps 2")).is_err());
+        assert!(parse(&argv("series --jobs 2")).is_err());
+        assert!(parse(&argv("series --csv")).is_err());
+    }
+
+    #[test]
+    fn series_out_applies_to_run_and_sweep() {
+        let Command::Run {
+            series_out,
+            series_cfg,
+            ..
+        } = parse(&argv("run --series-out /tmp/s.csv --window 1 --per-site")).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(series_out.as_deref(), Some("/tmp/s.csv"));
+        assert_eq!(series_cfg.window, SimDuration::from_millis(1_000));
+        assert!(series_cfg.per_site);
+        let Command::Sweep {
+            series_out,
+            series_cfg,
+            ..
+        } = parse(&argv(
+            "sweep --protocols 2PC --mpls 1,2 --series-out /tmp/s.json",
+        ))
+        .unwrap()
+        else {
+            panic!("expected Sweep");
+        };
+        assert_eq!(series_out.as_deref(), Some("/tmp/s.json"));
+        assert_eq!(series_cfg, SeriesConfig::default());
+        // One observed run cannot feed both streamers.
+        assert!(parse(&argv("run --trace-out a.json --series-out b.csv")).is_err());
+        // --window/--per-site are meaningless without a series.
+        assert!(parse(&argv("run --window 2")).is_err());
+        assert!(parse(&argv("run --per-site")).is_err());
+        assert!(parse(&argv("sweep --protocols 2PC --mpls 1 --per-site")).is_err());
+        assert!(parse(&argv("trace --series-out x.csv")).is_err());
+        assert!(parse(&argv("fold --series-out x.csv")).is_err());
+    }
+
+    #[test]
+    fn series_format_follows_output_extension() {
+        assert_eq!(series_format_for("s.json"), SeriesFormat::Json);
+        assert_eq!(series_format_for("s.csv"), SeriesFormat::Csv);
+        assert_eq!(series_format_for("windows"), SeriesFormat::Csv);
     }
 
     #[test]

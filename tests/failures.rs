@@ -197,6 +197,115 @@ fn blocking_recovery_resumes_and_commits() {
     assert_eq!(tr.all_sends(txn, MsgLabel::TermStateReq), 0);
 }
 
+fn lossy_cfg(p: f64) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.mpl = 4;
+    cfg.failures = Some(FailureConfig {
+        msg_loss_prob: p,
+        ..FailureConfig::default()
+    });
+    cfg.run.warmup_transactions = 100;
+    cfg.run.measured_transactions = 1_000;
+    cfg
+}
+
+#[test]
+fn message_loss_hits_both_directions() {
+    // Loss applies to the whole commit dialogue, not just the
+    // master's requests: cohort replies (votes, acks, WORKDONE) roll
+    // the same loss die, and each lost leg is repaired by a
+    // retransmission timer on whichever side sent the request.
+    let mut cfg = lossy_cfg(0.1);
+    cfg.run.warmup_transactions = 0;
+    cfg.run.measured_transactions = 300;
+    let (report, tr) =
+        Simulation::run_traced(&cfg, ProtocolSpec::TWO_PC, 9 + seed_offset(), 300).unwrap();
+    assert!(report.faults.messages_lost > 0);
+    assert!(report.faults.retransmissions > 0);
+
+    let lost: Vec<MsgLabel> = tr
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::MsgLost { label, .. } => Some(*label),
+            _ => None,
+        })
+        .collect();
+    let requests = [MsgLabel::Prepare, MsgLabel::DecisionCommit];
+    let replies = [MsgLabel::VoteYes, MsgLabel::Ack, MsgLabel::WorkDone];
+    assert!(
+        lost.iter().any(|l| requests.contains(l)),
+        "no master→cohort request lost in {} losses",
+        lost.len()
+    );
+    assert!(
+        lost.iter().any(|l| replies.contains(l)),
+        "no cohort→master reply lost in {} losses",
+        lost.len()
+    );
+
+    // The cohort side owns the WORKDONE timer: a lost WORKDONE shows
+    // up as a retransmission stamped with that label.
+    assert!(tr.events.iter().any(|e| matches!(
+        e,
+        TraceEvent::Retransmitted {
+            label: MsgLabel::WorkDone,
+            ..
+        }
+    )));
+}
+
+#[test]
+fn loss_heavy_runs_complete_for_every_protocol() {
+    // Termination argument under loss: requests re-arm their timer
+    // until the awaited reply is receipted, and the final
+    // (escalated) attempt plus its reply are loss-exempt — so every
+    // protocol drives each transaction to a decision and the run
+    // reaches its measured-commit target.
+    let mut cfg = lossy_cfg(0.2);
+    cfg.run.warmup_transactions = 50;
+    cfg.run.measured_transactions = 300;
+    // CENT is absent: fully centralized execution sends no remote
+    // transfers, so there is nothing to lose.
+    for spec in [
+        ProtocolSpec::DPCC,
+        ProtocolSpec::TWO_PC,
+        ProtocolSpec::PA,
+        ProtocolSpec::PC,
+        ProtocolSpec::THREE_PC,
+        ProtocolSpec::OPT_2PC,
+        ProtocolSpec::OPT_3PC,
+    ] {
+        let r = run(&cfg, spec, 10);
+        assert_eq!(r.committed, 300, "{} under 20% loss", spec.name());
+        assert!(r.faults.messages_lost > 0, "{}", spec.name());
+        assert!(r.faults.retransmissions > 0, "{}", spec.name());
+    }
+}
+
+#[test]
+fn loss_and_crashes_compose() {
+    // The worst of the matrix: replies lost while masters and cohorts
+    // crash. The run must still complete deterministically.
+    let mut cfg = lossy_cfg(0.1);
+    cfg.failures = Some(FailureConfig {
+        msg_loss_prob: 0.1,
+        master_crash_prob: 0.02,
+        cohort_crash_prob: 0.02,
+        ..FailureConfig::default()
+    });
+    cfg.run.warmup_transactions = 50;
+    cfg.run.measured_transactions = 300;
+    for spec in [ProtocolSpec::TWO_PC, ProtocolSpec::THREE_PC] {
+        let a = run(&cfg, spec, 11);
+        let b = run(&cfg, spec, 11);
+        assert_eq!(a.committed, 300, "{}", spec.name());
+        assert!(a.faults.messages_lost > 0);
+        assert_eq!(a.events, b.events, "{} not deterministic", spec.name());
+        assert_eq!(a.faults.messages_lost, b.faults.messages_lost);
+    }
+}
+
 #[test]
 fn failures_are_deterministic() {
     let cfg = failing_cfg(0.03);

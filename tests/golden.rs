@@ -10,9 +10,10 @@
 //! ```
 
 use distcommit::db::config::SystemConfig;
-use distcommit::db::engine::{FoldSink, Simulation};
+use distcommit::db::engine::{FoldSink, SeriesConfig, SeriesFormat, Simulation};
 use distcommit::db::metrics::ReportFormat;
 use distcommit::proto::ProtocolSpec;
+use simkernel::SimDuration;
 
 /// Small but non-trivial: long enough to populate every report section
 /// (phases, per-site resources, occupancy percentiles) yet quick to run.
@@ -82,6 +83,46 @@ fn faulty_folded_stacks_match_golden() {
     .expect("valid config");
     assert!(report.faults.master_crashes > 0);
     check("fold_faulty.txt", &fold.render());
+}
+
+/// Windows narrow enough that the short golden run still spans several
+/// of them, with per-site rows on so the widest CSV shape is pinned.
+fn golden_series_cfg() -> SeriesConfig {
+    SeriesConfig {
+        window: SimDuration::from_secs(2),
+        per_site: true,
+    }
+}
+
+/// The windowed-series CSV — consumed by spreadsheet/gnuplot pipelines,
+/// so column order and formatting are part of the contract.
+#[test]
+fn series_csv_matches_golden() {
+    let (_, series) = Simulation::run_with_series(
+        &golden_cfg(),
+        ProtocolSpec::TWO_PC,
+        2026,
+        &golden_series_cfg(),
+    )
+    .expect("valid config");
+    assert!(series.windows.len() > 2, "golden run spans several windows");
+    check("series.csv", &series.render(SeriesFormat::Csv));
+}
+
+/// The windowed-series JSON of a faulty OPT run: retransmit and loss
+/// counters populated, per-site queues under crash churn.
+#[test]
+fn faulty_series_json_matches_golden() {
+    let (report, series) = Simulation::run_with_series(
+        &faulty_cfg(),
+        ProtocolSpec::OPT_2PC,
+        2027,
+        &golden_series_cfg(),
+    )
+    .expect("valid config");
+    assert!(report.faults.messages_lost > 0);
+    assert!(series.windows.iter().any(|w| w.messages_lost > 0));
+    check("series_faulty.json", &series.render(SeriesFormat::Json));
 }
 
 #[test]

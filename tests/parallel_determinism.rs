@@ -9,12 +9,16 @@
 //!    sweeps on the headline peak-throughput comparison.
 
 use distcommit::db::config::SystemConfig;
-use distcommit::db::engine::Simulation;
+use distcommit::db::engine::{SeriesConfig, Simulation};
 use distcommit::db::experiments::{self, cell_seed, Scale};
 use distcommit::db::metrics::{ReportFormat, SimReport};
-use distcommit::db::output::{render_csv, render_csv_ci, render_table_ci, Metric};
+use distcommit::db::output::{
+    render_csv, render_csv_ci, render_sweep_series_csv, render_sweep_series_json, render_table_ci,
+    Metric,
+};
 use distcommit::db::runner;
 use distcommit::proto::ProtocolSpec;
+use simkernel::SimDuration;
 use std::collections::HashSet;
 
 fn small_scale() -> Scale {
@@ -122,6 +126,61 @@ fn report_json_matrix_identical_across_jobs_seeds_and_protocols() {
             serial[0], serial[i],
             "cells 0 and {i} produced identical reports"
         );
+    }
+}
+
+/// The windowed-series side of a sweep obeys the same contract as the
+/// reports: `--jobs 4` renders byte-identical sweep-series CSV and
+/// JSON to `--jobs 1`, across the shifted-seed matrix CI runs
+/// (`DISTCOMMIT_TEST_SEED_OFFSET`). Series windows are accumulated
+/// inside each cell's event loop, so this pins down that worker
+/// scheduling can't leak into window boundaries or counter deltas.
+#[test]
+fn sweep_series_bytes_identical_across_jobs_and_seed_offsets() {
+    let env_offset = std::env::var("DISTCOMMIT_TEST_SEED_OFFSET")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    let cfg = SystemConfig::paper_baseline();
+    let specs = vec![
+        ("2PC".to_string(), ProtocolSpec::TWO_PC, cfg.clone()),
+        ("OPT".to_string(), ProtocolSpec::OPT_2PC, cfg.clone()),
+    ];
+    let series_cfg = SeriesConfig {
+        window: SimDuration::from_secs(3),
+        per_site: true,
+    };
+    for off in [0u64, 7000] {
+        let scale = |jobs| Scale {
+            warmup: 25,
+            measured: 220,
+            mpls: vec![2, 5],
+            seed: 42 + off + env_offset,
+            replications: 2,
+            jobs: Some(jobs),
+        };
+        let (_, serial) =
+            experiments::sweep_with_series(&cfg, &specs, &scale(1), &series_cfg).unwrap();
+        let (_, parallel) =
+            experiments::sweep_with_series(&cfg, &specs, &scale(4), &series_cfg).unwrap();
+
+        // 2 protocols x 2 MPLs x 2 replications.
+        assert_eq!(serial.len(), 8);
+        let csv1 = render_sweep_series_csv(&serial);
+        let csv4 = render_sweep_series_csv(&parallel);
+        assert_eq!(csv1, csv4, "sweep-series CSV diverged at offset {off}");
+        let json1 = render_sweep_series_json(&serial);
+        let json4 = render_sweep_series_json(&parallel);
+        assert_eq!(json1, json4, "sweep-series JSON diverged at offset {off}");
+
+        // Not vacuous: every cell recorded windows, and distinct cells
+        // produced distinct window streams.
+        assert!(serial.iter().all(|c| !c.series.windows.is_empty()));
+        let rendered: HashSet<String> = serial
+            .iter()
+            .map(|c| c.series.render(distcommit::db::engine::SeriesFormat::Csv))
+            .collect();
+        assert_eq!(rendered.len(), serial.len(), "duplicate cell series");
     }
 }
 
