@@ -35,6 +35,9 @@ pub const GRID_MPLS: [u32; 2] = [4, 8];
 /// Seed for every cell (each cell is one deterministic run).
 pub const GRID_SEED: u64 = 42;
 
+/// Sites in the scale cell (see [`scale_config`]).
+pub const SCALE_SITES: usize = 64;
+
 /// Schema tag written into (and required of) every trajectory file.
 pub const SCHEMA: &str = "distcommit-bench/v1";
 
@@ -157,6 +160,59 @@ fn round6(x: f64) -> f64 {
     (x * 1e6).round() / 1e6
 }
 
+/// Configuration for the scale cell: [`SCALE_SITES`] sites at the
+/// paper's 1000 pages/site, Zipf(0.9) page access and a 4-region WAN
+/// topology. The canonical grid (8 flat-latency sites, uniform
+/// access) never executes the alias sampler or the wire-latency
+/// delivery path; this cell keeps both on the recorded trajectory.
+pub fn scale_config() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_baseline().with_zipf(0.9).with_topology(
+        "regions=4,lan-ms=1,wan-ms=40,jitter=0.1"
+            .parse()
+            .expect("literal topology"),
+    );
+    cfg.num_sites = SCALE_SITES;
+    cfg.db_size = 1_000 * SCALE_SITES as u64;
+    cfg
+}
+
+/// Run and time one cell; `name` is the protocol label recorded in
+/// the trajectory.
+fn measure_cell(
+    cfg: &SystemConfig,
+    spec: ProtocolSpec,
+    name: &str,
+    seed: u64,
+    with_series: bool,
+    series_cfg: &SeriesConfig,
+) -> Result<Cell, String> {
+    let start = Instant::now();
+    let report = if with_series {
+        Simulation::run_with_series(cfg, spec, seed, series_cfg).map(|(r, _)| r)
+    } else {
+        Simulation::run(cfg, spec, seed)
+    }
+    .map_err(|e| format!("{name}: {e}"))?;
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+    let cell = Cell {
+        protocol: name.to_string(),
+        mpl: cfg.mpl,
+        events: report.events,
+        committed: report.committed,
+        wall_s: round6(wall_s),
+    };
+    eprintln!(
+        "[bench] {:<5} mpl {:>2}: {:>9} events in {:>7.3}s  ({:>10.0} events/s){}",
+        cell.protocol,
+        cell.mpl,
+        cell.events,
+        cell.wall_s,
+        cell.events_per_sec(),
+        if with_series { "  [series]" } else { "" }
+    );
+    Ok(cell)
+}
+
 /// One grid pass. With `with_series` every cell runs under
 /// [`Simulation::run_with_series`] (buffered, discarded), so the
 /// difference to a plain pass is exactly the sink's on-path cost.
@@ -169,33 +225,28 @@ fn grid_pass(opts: &Options, label: String, with_series: bool) -> Result<Entry, 
             let cfg = SystemConfig::paper_baseline()
                 .with_mpl(mpl)
                 .with_run_length(warmup, measured);
-            let start = Instant::now();
-            let report = if with_series {
-                Simulation::run_with_series(&cfg, spec, opts.seed, &series_cfg).map(|(r, _)| r)
-            } else {
-                Simulation::run(&cfg, spec, opts.seed)
-            }
-            .map_err(|e| format!("{}: {e}", spec.name()))?;
-            let wall_s = start.elapsed().as_secs_f64().max(1e-9);
-            let cell = Cell {
-                protocol: spec.name().to_string(),
-                mpl,
-                events: report.events,
-                committed: report.committed,
-                wall_s: round6(wall_s),
-            };
-            eprintln!(
-                "[bench] {:<4} mpl {:>2}: {:>9} events in {:>7.3}s  ({:>10.0} events/s){}",
-                cell.protocol,
-                cell.mpl,
-                cell.events,
-                cell.wall_s,
-                cell.events_per_sec(),
-                if with_series { "  [series]" } else { "" }
-            );
-            cells.push(cell);
+            cells.push(measure_cell(
+                &cfg,
+                spec,
+                spec.name(),
+                opts.seed,
+                with_series,
+                &series_cfg,
+            )?);
         }
     }
+    // The scale cell rides after the grid: 2PC over [`scale_config`],
+    // recorded under the protocol name "scale" so trajectory readers
+    // can tell it from the canonical 2PC cells.
+    let scale = scale_config().with_run_length(warmup, measured);
+    cells.push(measure_cell(
+        &scale,
+        ProtocolSpec::TWO_PC,
+        "scale",
+        opts.seed,
+        with_series,
+        &series_cfg,
+    )?);
     Ok(Entry {
         label,
         mode: if opts.quick { "quick" } else { "full" }.to_string(),

@@ -96,6 +96,12 @@ pub struct FailureConfig {
     /// Retransmissions attempted before escalating to the reliable
     /// out-of-band path.
     pub max_retransmits: u32,
+    /// Restrict *cohort* crashes to sites of one topology region —
+    /// the correlated-failure model (a WAN region losing power takes
+    /// down every cohort it hosts, while remote regions stay up).
+    /// Requires a [`Topology`]; `None` lets every site roll the
+    /// cohort-crash die.
+    pub crash_region: Option<usize>,
 }
 
 impl FailureConfig {
@@ -105,7 +111,7 @@ impl FailureConfig {
     /// it and the CLI usage text renders it verbatim, so the two can
     /// never drift apart. Defaults in parentheses are those of
     /// [`FailureConfig::default`].
-    pub const CLI_KEYS: [(&'static str, &'static str); 8] = [
+    pub const CLI_KEYS: [(&'static str, &'static str); 9] = [
         ("mc=P", "master crash probability"),
         ("cc=P", "cohort crash probability"),
         ("loss=P", "message loss probability"),
@@ -114,6 +120,10 @@ impl FailureConfig {
         ("cohort-recover-ms=MS", "cohort recovery time (1000)"),
         ("retry-ms=MS", "retransmission timeout (100)"),
         ("retries=N", "max retransmissions (3)"),
+        (
+            "crash-region=R",
+            "confine cohort crashes to topology region R",
+        ),
     ];
 
     /// The bare key names from [`Self::CLI_KEYS`], comma-joined — the
@@ -184,6 +194,12 @@ impl std::str::FromStr for FailureConfig {
                         .parse()
                         .map_err(|_| format!("{key}: cannot parse {val:?}"))?
                 }
+                "crash-region" => {
+                    f.crash_region = Some(
+                        val.parse()
+                            .map_err(|_| format!("{key}: cannot parse {val:?}"))?,
+                    )
+                }
                 other => return Err(format!("unknown key {other:?} ({})", Self::known_keys())),
             }
         }
@@ -206,6 +222,7 @@ impl Default for FailureConfig {
             msg_loss_prob: 0.0,
             msg_timeout: SimDuration::from_millis(100),
             max_retransmits: 3,
+            crash_region: None,
         }
     }
 }
@@ -220,6 +237,176 @@ pub struct HotSpot {
     pub data_fraction: f64,
     /// Fraction of accesses that hit the hot region (0, 1).
     pub access_fraction: f64,
+}
+
+/// Zipf-skewed page access: within a site, page rank `k` (0-based) is
+/// drawn with probability ∝ `1 / (k + 1)^theta`. `theta = 0` is
+/// uniform; production key distributions are typically quoted around
+/// `theta ≈ 0.8–1.2`. Mutually exclusive with [`HotSpot`] — both
+/// model skew, one rule at a time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    /// Skew exponent θ ≥ 0.
+    pub theta: f64,
+}
+
+/// Site-pair wire topology: sites are partitioned into contiguous
+/// regions; messages inside a region travel at the LAN latency class,
+/// messages between regions at the WAN class, each with a per-pair
+/// deterministic jitter. The degenerate default (1 region, zero
+/// latencies) reproduces the paper's instantaneous-switch network
+/// exactly — same event sequence, byte-identical reports.
+///
+/// Wire latency is pure in-flight delay: it adds no messages and no
+/// CPU cost, so the Tables 3–4 per-commit overhead counts are
+/// unchanged under any topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Topology {
+    /// Number of regions; sites are split into contiguous blocks
+    /// (`region_of` is a pure function of the site index, independent
+    /// of the seed).
+    pub regions: usize,
+    /// One-way wire latency between sites of the same region.
+    pub lan_latency: SimDuration,
+    /// One-way wire latency between sites of different regions.
+    pub wan_latency: SimDuration,
+    /// Per-pair latency jitter: each unordered site pair scales its
+    /// class mean by a factor drawn uniformly from
+    /// `[1 − jitter, 1 + jitter]`, fixed for the whole run.
+    pub jitter: f64,
+    /// Probability that a distributed transaction's remote cohort set
+    /// is forced to include site 0 — the "hot site" that concentrates
+    /// mastership traffic (0 disables).
+    pub hot_site_prob: f64,
+}
+
+impl Default for Topology {
+    /// Degenerate flat network: 1 region, zero latencies, no jitter,
+    /// no hot site — byte-identical to no topology at all.
+    fn default() -> Self {
+        Topology {
+            regions: 1,
+            lan_latency: SimDuration::ZERO,
+            wan_latency: SimDuration::ZERO,
+            jitter: 0.0,
+            hot_site_prob: 0.0,
+        }
+    }
+}
+
+impl Topology {
+    /// The `key=value` vocabulary accepted by [`std::str::FromStr`]
+    /// (the CLI's `--topology` flag), as `(key=SHAPE, description)`
+    /// pairs — same single-source-of-truth contract as
+    /// [`FailureConfig::CLI_KEYS`]. Defaults in parentheses.
+    pub const CLI_KEYS: [(&'static str, &'static str); 5] = [
+        ("regions=N", "number of contiguous site regions (1)"),
+        ("lan-ms=MS", "intra-region one-way wire latency (0)"),
+        ("wan-ms=MS", "inter-region one-way wire latency (0)"),
+        ("jitter=F", "per-pair latency jitter fraction in [0,1) (0)"),
+        (
+            "hot=P",
+            "probability a txn's cohort set includes site 0 (0)",
+        ),
+    ];
+
+    /// The bare key names from [`Self::CLI_KEYS`], comma-joined.
+    fn known_keys() -> String {
+        Self::CLI_KEYS
+            .iter()
+            .map(|(k, _)| k.split('=').next().unwrap_or(k))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Region of `site` among `num_sites`: contiguous blocks, first
+    /// regions padded when the division is uneven. Pure arithmetic —
+    /// no seed involved — so region assignment can never drift between
+    /// the workload generator, the engine, and the reports.
+    pub fn region_of(&self, site: usize, num_sites: usize) -> usize {
+        debug_assert!(site < num_sites);
+        site * self.regions / num_sites
+    }
+
+    /// Build the symmetric `num_sites × num_sites` wire-latency matrix
+    /// (row-major, diagonal zero). Jitter factors are drawn per
+    /// unordered pair from a dedicated RNG stream derived from `seed`,
+    /// independent of the engine's main stream — adding a topology
+    /// never perturbs workload or fault draws.
+    pub fn latency_matrix(&self, num_sites: usize, seed: u64) -> Vec<SimDuration> {
+        // Stream tag "TOPO", disjoint from every cell_seed stream.
+        let mut rng = simkernel::SimRng::new(simkernel::mix_seed(seed, 0x544f_504f, 0, 0));
+        let mut m = vec![SimDuration::ZERO; num_sites * num_sites];
+        for i in 0..num_sites {
+            for j in (i + 1)..num_sites {
+                let base = if self.region_of(i, num_sites) == self.region_of(j, num_sites) {
+                    self.lan_latency
+                } else {
+                    self.wan_latency
+                };
+                let lat = if self.jitter > 0.0 {
+                    let f = 1.0 - self.jitter + 2.0 * self.jitter * rng.f64();
+                    SimDuration::from_micros((base.as_micros() as f64 * f).round() as u64)
+                } else {
+                    base
+                };
+                m[i * num_sites + j] = lat;
+                m[j * num_sites + i] = lat;
+            }
+        }
+        m
+    }
+}
+
+impl std::str::FromStr for Topology {
+    type Err = String;
+
+    /// Parse a comma-separated `key=value` topology specification over
+    /// [`Topology::default`] — the format the CLI's `--topology` flag
+    /// takes. Keys are listed in [`Topology::CLI_KEYS`]; unspecified
+    /// keys keep their defaults.
+    ///
+    /// ```
+    /// use distdb::config::Topology;
+    /// let t: Topology = "regions=4,wan-ms=40,jitter=0.1".parse().unwrap();
+    /// assert_eq!(t.regions, 4);
+    /// assert_eq!(t.wan_latency.as_micros(), 40_000);
+    /// assert_eq!(t.hot_site_prob, 0.0); // default preserved
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut t = Topology::default();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let Some((key, val)) = part.split_once('=') else {
+                return Err(format!("expected key=value, got {part:?}"));
+            };
+            let ms = |out: &mut SimDuration| -> Result<(), String> {
+                let v: f64 = val
+                    .parse()
+                    .map_err(|_| format!("{key}: cannot parse {val:?}"))?;
+                *out = SimDuration::from_millis_f64(v);
+                Ok(())
+            };
+            let num = |out: &mut f64| -> Result<(), String> {
+                *out = val
+                    .parse()
+                    .map_err(|_| format!("{key}: cannot parse {val:?}"))?;
+                Ok(())
+            };
+            match key {
+                "regions" => {
+                    t.regions = val
+                        .parse()
+                        .map_err(|_| format!("{key}: cannot parse {val:?}"))?
+                }
+                "lan-ms" => ms(&mut t.lan_latency)?,
+                "wan-ms" => ms(&mut t.wan_latency)?,
+                "jitter" => num(&mut t.jitter)?,
+                "hot" => num(&mut t.hot_site_prob)?,
+                other => return Err(format!("unknown key {other:?} ({})", Self::known_keys())),
+            }
+        }
+        Ok(t)
+    }
 }
 
 /// How long an aborted transaction waits before its restart.
@@ -288,6 +475,13 @@ pub struct SystemConfig {
     /// Optional access skew; `None` (the paper's setting) draws pages
     /// uniformly.
     pub hot_spot: Option<HotSpot>,
+    /// Optional Zipf(θ) access skew; mutually exclusive with
+    /// `hot_spot`. `None` (the paper's setting) draws pages uniformly.
+    pub zipf: Option<Zipf>,
+    /// Optional site-pair wire topology (LAN/WAN latency classes,
+    /// regions, hot site). `None` reproduces the paper's
+    /// instantaneous-switch network.
+    pub topology: Option<Topology>,
     /// `NumCPUs` — processors per site (single shared queue).
     pub num_cpus: u32,
     /// `NumDataDisks` — data disks per site (one queue each).
@@ -356,6 +550,8 @@ impl SystemConfig {
             cohort_size: 6,
             update_prob: 1.0,
             hot_spot: None,
+            zipf: None,
+            topology: None,
             num_cpus: 1,
             num_data_disks: 2,
             num_log_disks: 1,
@@ -476,6 +672,20 @@ impl SystemConfig {
         self
     }
 
+    /// Enable Zipf(θ) page-access skew.
+    #[must_use]
+    pub fn with_zipf(mut self, theta: f64) -> Self {
+        self.zipf = Some(Zipf { theta });
+        self
+    }
+
+    /// Install a site-pair wire topology.
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
     /// Pages per site (`DBSize / NumSites`; validation requires the
     /// division to be exact).
     pub fn pages_per_site(&self) -> u64 {
@@ -539,6 +749,30 @@ impl SystemConfig {
                 ));
             }
         }
+        if let Some(z) = &self.zipf {
+            if self.hot_spot.is_some() {
+                return Err(Invalid("zipf and hot-spot skew are mutually exclusive"));
+            }
+            if !z.theta.is_finite() || z.theta < 0.0 {
+                return Err(Invalid("zipf theta must be finite and non-negative"));
+            }
+        }
+        if let Some(t) = &self.topology {
+            if t.regions == 0 {
+                return Err(Invalid("topology regions must be positive"));
+            }
+            if t.regions > self.num_sites {
+                return Err(Invalid("topology regions cannot exceed num_sites"));
+            }
+            if !(0.0..1.0).contains(&t.jitter) {
+                return Err(Invalid("topology jitter must be in [0, 1)"));
+            }
+            if !(0.0..=1.0).contains(&t.hot_site_prob) {
+                return Err(Invalid(
+                    "topology hot-site probability must be a probability",
+                ));
+            }
+        }
         if let Some(f) = &self.failures {
             if !(0.0..=1.0).contains(&f.master_crash_prob) {
                 return Err(Invalid("master_crash_prob must be a probability"));
@@ -557,6 +791,14 @@ impl SystemConfig {
             }
             if f.msg_loss_prob > 0.0 && f.msg_timeout.is_zero() {
                 return Err(Invalid("msg_timeout must be positive"));
+            }
+            if let Some(r) = f.crash_region {
+                let Some(t) = &self.topology else {
+                    return Err(Invalid("crash-region requires a topology"));
+                };
+                if r >= t.regions {
+                    return Err(Invalid("crash-region must name an existing region"));
+                }
             }
         }
         if self.run.measured_transactions == 0 {
@@ -611,6 +853,16 @@ impl fmt::Display for SystemConfig {
         writeln!(f, "Resources     {:?}", self.resources)?;
         if self.cohort_abort_prob > 0.0 {
             writeln!(f, "CohortAbortP  {}", self.cohort_abort_prob)?;
+        }
+        if let Some(z) = &self.zipf {
+            writeln!(f, "Zipf          theta={}", z.theta)?;
+        }
+        if let Some(t) = &self.topology {
+            writeln!(
+                f,
+                "Topology      {} regions, lan={}, wan={}, jitter={}, hot={}",
+                t.regions, t.lan_latency, t.wan_latency, t.jitter, t.hot_site_prob
+            )?;
         }
         Ok(())
     }
@@ -789,13 +1041,153 @@ mod tests {
 
     #[test]
     fn cli_keys_cover_every_failure_field() {
-        // 8 struct fields, 8 documented keys: adding a field without
+        // 9 struct fields, 9 documented keys: adding a field without
         // extending the key table fails here.
-        assert_eq!(FailureConfig::CLI_KEYS.len(), 8);
+        assert_eq!(FailureConfig::CLI_KEYS.len(), 9);
         for (key, desc) in FailureConfig::CLI_KEYS {
             assert!(key.contains('='), "{key} lacks a value shape");
             assert!(!desc.is_empty());
         }
+    }
+
+    #[test]
+    fn crash_region_parses_and_validates() {
+        let f: FailureConfig = "cc=0.01,crash-region=2".parse().unwrap();
+        assert_eq!(f.crash_region, Some(2));
+        assert_eq!(f.cohort_crash_prob, 0.01);
+
+        // crash-region without a topology is rejected.
+        let mut c = SystemConfig::paper_baseline();
+        c.failures = Some(f);
+        assert!(c.validate().is_err());
+
+        // With a 4-region topology, region 2 exists...
+        c.topology = Some("regions=4".parse().unwrap());
+        c.validate().unwrap();
+        // ...but region 4 does not.
+        c.failures.as_mut().unwrap().crash_region = Some(4);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zipf_validates() {
+        let c = SystemConfig::paper_baseline().with_zipf(0.9);
+        c.validate().unwrap();
+
+        let mut bad = c.clone();
+        bad.zipf = Some(Zipf { theta: -0.1 });
+        assert!(bad.validate().is_err());
+        let mut bad = c.clone();
+        bad.zipf = Some(Zipf { theta: f64::NAN });
+        assert!(bad.validate().is_err());
+        // One skew rule at a time.
+        let mut bad = c;
+        bad.hot_spot = Some(HotSpot {
+            data_fraction: 0.2,
+            access_fraction: 0.8,
+        });
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn topology_parses_every_key() {
+        let t: Topology = "regions=4,lan-ms=1,wan-ms=40,jitter=0.2,hot=0.3"
+            .parse()
+            .unwrap();
+        assert_eq!(t.regions, 4);
+        assert_eq!(t.lan_latency, SimDuration::from_millis(1));
+        assert_eq!(t.wan_latency, SimDuration::from_millis(40));
+        assert_eq!(t.jitter, 0.2);
+        assert_eq!(t.hot_site_prob, 0.3);
+        // The empty spec is the degenerate default verbatim.
+        assert_eq!("".parse::<Topology>().unwrap(), Topology::default());
+    }
+
+    #[test]
+    fn topology_parse_errors_name_the_problem() {
+        let e = "bogus=1".parse::<Topology>().unwrap_err();
+        assert!(e.contains("unknown key \"bogus\""), "{e}");
+        for key in ["regions", "lan-ms", "wan-ms", "jitter", "hot"] {
+            assert!(e.contains(key), "{e} missing {key}");
+        }
+        let e = "regions".parse::<Topology>().unwrap_err();
+        assert!(e.contains("expected key=value"), "{e}");
+        let e = "wan-ms=x".parse::<Topology>().unwrap_err();
+        assert!(e.contains("wan-ms: cannot parse \"x\""), "{e}");
+    }
+
+    #[test]
+    fn topology_validates() {
+        let ok =
+            SystemConfig::paper_baseline().with_topology("regions=4,wan-ms=40".parse().unwrap());
+        ok.validate().unwrap();
+
+        let mut bad = ok.clone();
+        bad.topology.as_mut().unwrap().regions = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.topology.as_mut().unwrap().regions = 9; // > 8 sites
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.topology.as_mut().unwrap().jitter = 1.0;
+        assert!(bad.validate().is_err());
+        let mut bad = ok;
+        bad.topology.as_mut().unwrap().hot_site_prob = 1.5;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn region_assignment_is_contiguous_and_seed_free() {
+        let t: Topology = "regions=4".parse().unwrap();
+        // Pure function of the site index: exhaustive, monotone,
+        // covering every region, identical however often it is asked.
+        let n = 256;
+        let regions: Vec<usize> = (0..n).map(|s| t.region_of(s, n)).collect();
+        assert_eq!(regions[0], 0);
+        assert_eq!(regions[n - 1], t.regions - 1);
+        assert!(regions.windows(2).all(|w| w[0] <= w[1]), "monotone blocks");
+        for r in 0..t.regions {
+            assert_eq!(
+                regions.iter().filter(|&&x| x == r).count(),
+                n / t.regions,
+                "even split at an exact division"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_matrix_is_symmetric_positive_and_deterministic() {
+        let t: Topology = "regions=4,lan-ms=1,wan-ms=40,jitter=0.2".parse().unwrap();
+        let n = 64;
+        let m = t.latency_matrix(n, 7);
+        assert_eq!(m, t.latency_matrix(n, 7), "same seed, same matrix");
+        assert_ne!(m, t.latency_matrix(n, 8), "jitter varies with the seed");
+        for i in 0..n {
+            assert!(m[i * n + i].is_zero(), "diagonal must be zero");
+            for j in 0..n {
+                assert_eq!(m[i * n + j], m[j * n + i], "symmetry at ({i},{j})");
+                if i != j {
+                    let lat = m[i * n + j];
+                    assert!(!lat.is_zero(), "off-diagonal must be positive");
+                    // Jitter keeps every entry within its class band.
+                    let (lo, hi) = if t.region_of(i, n) == t.region_of(j, n) {
+                        (800, 1_200)
+                    } else {
+                        (32_000, 48_000)
+                    };
+                    assert!(
+                        (lo..=hi).contains(&lat.as_micros()),
+                        "({i},{j}) = {lat} outside class band"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_topology_matrix_is_all_zero() {
+        let m = Topology::default().latency_matrix(16, 99);
+        assert!(m.iter().all(|d| d.is_zero()));
     }
 
     #[test]

@@ -373,6 +373,19 @@ impl Simulation {
         if f.cohort_crash_prob == 0.0 {
             return false;
         }
+        // Correlated-failure scope: with `crash-region=R`, only cohorts
+        // at sites of topology region R may crash. The gate sits before
+        // the trial bump *and* the RNG roll, so the trial counter
+        // reflects eligible rolls only and the random stream is exactly
+        // the eligible subsequence — a run with every site in region R
+        // is bit-identical to an unscoped one.
+        if let Some(r) = f.crash_region {
+            let t = self.cfg.topology.expect("validate() requires a topology");
+            let site = self.cohorts[cohort].site;
+            if t.region_of(site, self.sites.len()) != r {
+                return false;
+            }
+        }
         self.metrics.cohort_crash_trials.bump();
         if !self.rng.chance(f.cohort_crash_prob) {
             return false;

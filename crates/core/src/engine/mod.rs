@@ -134,6 +134,12 @@ pub struct Simulation {
     done: bool,
     truncated: bool,
     pages_per_site_eff: u64,
+    /// Per-site-pair wire latency (flattened row-major `n×n`), built
+    /// once from the topology's dedicated RNG stream. `None` without a
+    /// topology; zero entries take the classic instantaneous-switch
+    /// path, so a degenerate all-zero matrix is byte-identical to no
+    /// topology at all.
+    wire_latency: Option<Vec<SimDuration>>,
     /// Deadlock pre-filter scratch: visit stamps indexed by txn slab
     /// slot, the current stamp, and a reusable DFS work stack. Kept on
     /// the simulation so the per-block reachability check allocates
@@ -487,6 +493,9 @@ impl Simulation {
             done: false,
             truncated: false,
             pages_per_site_eff,
+            // Keyed by *effective* sites: CENT's merged site pool has
+            // no inter-site links, so its matrix is empty/diagonal.
+            wire_latency: cfg.topology.map(|t| t.latency_matrix(num_sites, seed)),
             dl_seen: Vec::new(),
             dl_stamp: 0,
             dl_stack: Vec::new(),
@@ -674,6 +683,16 @@ impl Simulation {
             Event::MsgRetry { retry, attempt } => self.handle_msg_retry(retry, attempt),
             Event::StartTermination { txn } => self.start_termination(txn),
             Event::LocalMsg { msg } => self.handle_message(msg),
+            Event::MsgArrive { msg } => {
+                // Wire flight over: the transfer reaches the receiver's
+                // CPU queue and pays the usual receive-side MsgCPU.
+                self.cpu_arrive(
+                    msg.to,
+                    CpuJob::MsgRecv { msg },
+                    self.cfg.msg_cpu,
+                    JobClass::High,
+                );
+            }
         }
     }
 
@@ -688,14 +707,25 @@ impl Simulation {
                     // is already running.
                     return;
                 }
-                // The network is an instantaneous switch (§4): delivery
-                // costs only receive-side CPU.
-                self.cpu_arrive(
-                    msg.to,
-                    CpuJob::MsgRecv { msg },
-                    self.cfg.msg_cpu,
-                    JobClass::High,
-                );
+                // Without a topology the network is an instantaneous
+                // switch (§4): delivery costs only receive-side CPU.
+                // Under one, the transfer additionally spends the site
+                // pair's wire latency in flight — pure delay, no extra
+                // CPU or messages, so the Tables 3–4 overhead counts
+                // are unchanged. Zero-latency pairs take the classic
+                // path so the event stream (and byte identity with
+                // untopologized runs) is preserved.
+                let lat = self.pair_latency(msg.from, msg.to);
+                if lat.is_zero() {
+                    self.cpu_arrive(
+                        msg.to,
+                        CpuJob::MsgRecv { msg },
+                        self.cfg.msg_cpu,
+                        JobClass::High,
+                    );
+                } else {
+                    self.cal.schedule_in(lat, Event::MsgArrive { msg });
+                }
             }
             CpuJob::MsgRecv { msg } => self.handle_message(msg),
         }
@@ -740,6 +770,15 @@ impl Simulation {
                     job: started.job,
                 },
             );
+        }
+    }
+
+    /// Wire latency between two sites: a topology matrix lookup, or
+    /// zero (the instantaneous switch) when no topology is configured.
+    fn pair_latency(&self, from: SiteId, to: SiteId) -> SimDuration {
+        match &self.wire_latency {
+            Some(m) => m[from * self.sites.len() + to],
+            None => SimDuration::ZERO,
         }
     }
 

@@ -95,6 +95,9 @@ pub(crate) enum Event {
     /// Zero-cost delivery of a same-site message (master and its local
     /// cohort communicate for free).
     LocalMsg { msg: Message },
+    /// A remote message finished its wire flight (topology latency)
+    /// and reaches the receiver's CPU queue now.
+    MsgArrive { msg: Message },
 }
 
 /// Work processed by a site CPU.
@@ -162,10 +165,11 @@ pub(crate) enum Retry {
 
 /// A network message. Transfers between distinct sites cost `MsgCPU`
 /// at the sender and at the receiver; same-site messages are free.
+/// Under a topology, remote transfers additionally spend the site
+/// pair's wire latency in flight between the two CPU services.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Message {
-    /// Sender site (kept for traces and debugging).
-    #[allow(dead_code)]
+    /// Sender site — keys the wire-latency lookup.
     pub from: SiteId,
     pub to: SiteId,
     pub kind: MsgKind,

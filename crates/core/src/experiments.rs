@@ -631,6 +631,58 @@ pub fn fault_injection(scale: &Scale) -> Result<Experiment, ConfigError> {
     })
 }
 
+/// **Scale extension** (ROADMAP item 2) — commit protocols at
+/// production scale: 256 sites at the paper's page density, Zipf-skewed
+/// page access, and a two-class LAN/WAN topology. Each protocol runs
+/// under three network/skew mixes at a fixed MPL, so the rendered
+/// ranking shows how wire latency, contention skew, and a hot site
+/// reorder the paper's 8-site LAN-era conclusions.
+pub fn at_scale(scale: &Scale) -> Result<Experiment, ConfigError> {
+    use crate::config::{Topology, Zipf};
+    let mut base = SystemConfig::paper_baseline();
+    base.num_sites = 256;
+    // Keep the paper's 1000 pages/site so per-site contention is
+    // comparable; the *global* database is 32× the baseline.
+    base.db_size = 1_000 * base.num_sites as u64;
+    let wan: Topology = "regions=8,lan-ms=1,wan-ms=40,jitter=0.1"
+        .parse()
+        .expect("literal topology");
+    let hot = Topology {
+        hot_site_prob: 0.2,
+        ..wan
+    };
+    let protocols = [
+        ProtocolSpec::TWO_PC,
+        ProtocolSpec::PA,
+        ProtocolSpec::PC,
+        ProtocolSpec::OPT_2PC,
+    ];
+    let mixes: [(&str, Option<Topology>, Option<Zipf>); 3] = [
+        ("lan uniform", None, None),
+        ("wan zipf0.9", Some(wan), Some(Zipf { theta: 0.9 })),
+        ("wan+hot zipf0.9", Some(hot), Some(Zipf { theta: 0.9 })),
+    ];
+    let mut specs = Vec::new();
+    for (label, topo, zipf) in mixes {
+        for spec in protocols {
+            let mut cfg = base.clone();
+            cfg.topology = topo;
+            cfg.zipf = zipf;
+            specs.push((format!("{} {}", spec.name(), label), spec, cfg));
+        }
+    }
+    // Like the failure sweeps: hold MPL fixed, vary the mix.
+    let mut scale = scale.clone();
+    scale.mpls = vec![4];
+    let series = sweep(&base, &specs, &scale)?;
+    Ok(Experiment {
+        id: "scale".into(),
+        title: "Extension: Commit Protocols at Production Scale (256 sites, Zipf, WAN)".into(),
+        config: base,
+        series,
+    })
+}
+
 /// Measure the per-committed-transaction overheads in a conflict-free
 /// configuration (huge database, MPL 1) — the simulation counterpart of
 /// Tables 3 and 4, used to validate the engine against the analytic
@@ -856,6 +908,30 @@ mod tests {
         check(&seq(&micro).unwrap(), 5);
         check(&failures(&micro).unwrap(), 16); // 4 protocols x 4 crash rates
         check(&fault_injection(&micro).unwrap(), 12); // 4 protocols x 3 mixes
+    }
+
+    /// The scale preset pins MPL, spans 4 protocols × 3 network/skew
+    /// mixes, and actually runs at 256 sites.
+    #[test]
+    fn at_scale_preset_shape() {
+        let micro = Scale {
+            warmup: 2,
+            measured: 10,
+            mpls: vec![1, 2],
+            seed: 6,
+            replications: 1,
+            jobs: None,
+        };
+        let e = at_scale(&micro).unwrap();
+        assert_eq!(e.id, "scale");
+        assert_eq!(e.mpls(), vec![4]);
+        assert_eq!(e.series.len(), 12);
+        assert_eq!(e.config.num_sites, 256);
+        assert!(e.series("2PC lan uniform").is_some());
+        assert!(e.series("OPT wan+hot zipf0.9").is_some());
+        for s in &e.series {
+            assert!(s.points[0].throughput > 0.0, "{}", s.label);
+        }
     }
 
     #[test]

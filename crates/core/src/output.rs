@@ -419,6 +419,41 @@ pub fn render_peaks(exp: &Experiment) -> String {
     out
 }
 
+/// Ranking table for single-MPL mix sweeps (the `scale` preset): every
+/// series sorted by peak throughput, best first, alongside the metrics
+/// that explain the ordering — under WAN latencies the response-time
+/// and blocking columns are where the prepared-state protocols give
+/// their rank away.
+pub fn render_ranking(exp: &Experiment) -> String {
+    let mut rows: Vec<_> = exp.series.iter().collect();
+    rows.sort_by(|a, b| b.peak_throughput().total_cmp(&a.peak_throughput()));
+    let mut out = String::new();
+    let _ = writeln!(out, "-- {}: ranking --", exp.title);
+    let _ = writeln!(
+        out,
+        "{:>4}  {:<24} {:>10} {:>10} {:>8} {:>8}",
+        "rank", "series", "txn/s", "resp ms", "block", "msg/c"
+    );
+    for (i, s) in rows.iter().enumerate() {
+        let p = s
+            .points
+            .iter()
+            .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+            .expect("series have at least one point");
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<24} {:>10.2} {:>10.1} {:>8.3} {:>8.2}",
+            i + 1,
+            s.label,
+            p.throughput,
+            p.mean_response_s * 1_000.0,
+            p.block_ratio,
+            p.exec_messages_per_commit + p.commit_messages_per_commit,
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +478,26 @@ mod tests {
             config: cfg.clone(),
             series: sweep(&cfg, &specs, &scale).unwrap(),
         }
+    }
+
+    /// The ranking table lists every series exactly once, best
+    /// throughput first, with ranks counting up from 1.
+    #[test]
+    fn ranking_sorts_by_throughput() {
+        let e = tiny_experiment();
+        let t = render_ranking(&e);
+        assert!(t.contains("ranking"));
+        assert!(t.contains("2PC"));
+        assert!(t.contains("OPT"));
+        assert_eq!(t.lines().count(), 2 + 2); // title + header + 2 series
+        let best = e
+            .series
+            .iter()
+            .max_by(|a, b| a.peak_throughput().total_cmp(&b.peak_throughput()))
+            .unwrap();
+        let first_row = t.lines().nth(2).unwrap();
+        assert!(first_row.trim_start().starts_with('1'));
+        assert!(first_row.contains(&best.label));
     }
 
     #[test]

@@ -12,13 +12,15 @@
 //! are the simulation crates); [`parse`] is pure and unit-tested.
 
 use commitproto::ProtocolSpec;
-use distdb::config::{FailureConfig, ResourceMode, RestartPolicy, SystemConfig, TransType};
+use distdb::config::{
+    FailureConfig, ResourceMode, RestartPolicy, SystemConfig, Topology, TransType,
+};
 use distdb::engine::{ChromeStreamSink, FoldSink, SeriesConfig, SeriesFormat, Simulation};
 use distdb::experiments::{self, Scale};
 use distdb::metrics::ReportFormat;
 use distdb::output::{
-    render_ascii_chart, render_peaks, render_sweep_csv, render_sweep_json, render_sweep_series_csv,
-    render_sweep_series_json, render_table, render_table_ci, Metric,
+    render_ascii_chart, render_peaks, render_ranking, render_sweep_csv, render_sweep_json,
+    render_sweep_series_csv, render_sweep_series_json, render_table, render_table_ci, Metric,
 };
 use simkernel::SimDuration;
 use std::fmt;
@@ -142,6 +144,10 @@ pub static USAGE: LazyLock<String> = LazyLock::new(|| {
         .iter()
         .map(|(key, desc)| format!("                             {key:<20} {desc}\n"))
         .collect();
+    let topology_keys: String = Topology::CLI_KEYS
+        .iter()
+        .map(|(key, desc)| format!("                             {key:<20} {desc}\n"))
+        .collect();
     format!(
         "\
 distcommit — the SIGMOD'97 commit-processing simulator
@@ -152,7 +158,7 @@ USAGE:
   distcommit trace  [OPTIONS]                per-txn commit choreography
   distcommit fold   [OPTIONS]                collapsed-stack flamegraph fold
   distcommit sweep  [OPTIONS]                protocols x MPLs sweep
-  distcommit experiment <fig1|fig2|expt3|fig3|fig4|fig5|seq|failures|faults>
+  distcommit experiment <fig1|fig2|expt3|fig3|fig4|fig5|seq|failures|faults|scale>
                         [--full] [--reps N] [--jobs N]
   distcommit bench [OPTIONS]                 canonical engine benchmark
   distcommit tables                          Tables 2-4
@@ -261,6 +267,11 @@ OPTIONS (run & sweep):
   --log-disks <N>          log disks per site (default 1)
   --abort-prob <P>         cohort surprise NO-vote probability (default 0)
   --hot-spot <D,A>         b-c access skew: A of accesses hit first D of pages
+  --zipf <THETA>           Zipf(theta) page-access skew per site
+                           (excludes --hot-spot; 0 = uniform)
+  --topology <K=V,..>      LAN/WAN topology: sites split into regions,
+                           messages spend wire latency in flight; keys:
+{topology_keys}                           e.g. --topology regions=8,lan-ms=1,wan-ms=40
   --sequential             sequential cohort execution
   --infinite               infinite resources (pure data contention)
   --read-only-opt          enable the Read-Only commit optimization
@@ -491,6 +502,18 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                             data_fraction: parts[0],
                             access_fraction: parts[1],
                         });
+                    }
+                    "--zipf" => {
+                        cfg.zipf = Some(distdb::config::Zipf {
+                            theta: parse_num(a, take_value(a, &mut it)?)?,
+                        })
+                    }
+                    "--topology" => {
+                        cfg.topology = Some(
+                            take_value(a, &mut it)?
+                                .parse()
+                                .map_err(|e: String| CliError(format!("--topology: {e}")))?,
+                        )
                     }
                     "--sequential" => cfg.trans_type = TransType::Sequential,
                     "--infinite" => cfg.resources = ResourceMode::Infinite,
@@ -1064,6 +1087,12 @@ pub fn execute(cmd: Command) -> i32 {
                 println!();
                 print!("{}", render_ascii_chart(exp, Metric::Throughput, 64, 18));
                 print!("{}", render_peaks(exp));
+                if exp.id == "scale" {
+                    // The scale preset pins MPL and varies the
+                    // network/skew mix — the ranking is the result.
+                    println!();
+                    print!("{}", render_ranking(exp));
+                }
             };
             let result: Result<Vec<experiments::Experiment>, _> = match id.as_str() {
                 "fig1" => experiments::fig1(&scale).map(|e| vec![e]),
@@ -1075,10 +1104,11 @@ pub fn execute(cmd: Command) -> i32 {
                 "seq" => experiments::seq(&scale).map(|e| vec![e]),
                 "failures" => experiments::failures(&scale).map(|e| vec![e]),
                 "faults" => experiments::fault_injection(&scale).map(|e| vec![e]),
+                "scale" => experiments::at_scale(&scale).map(|e| vec![e]),
                 other => {
                     eprintln!(
                         "unknown experiment {other:?} \
-                         (fig1|fig2|expt3|fig3|fig4|fig5|seq|failures|faults)"
+                         (fig1|fig2|expt3|fig3|fig4|fig5|seq|failures|faults|scale)"
                     );
                     return 1;
                 }
@@ -1199,6 +1229,58 @@ mod tests {
         assert_eq!(h.access_fraction, 0.8);
         assert!(parse(&argv("run --hot-spot 0.2")).is_err());
         assert!(parse(&argv("run --hot-spot 0.2,1.5")).is_err()); // validation
+    }
+
+    #[test]
+    fn zipf_flag() {
+        let Command::Run { cfg, .. } = parse(&argv("run --zipf 0.9")).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(cfg.zipf, Some(distdb::config::Zipf { theta: 0.9 }));
+        // Validation runs at parse time: Zipf and HotSpot are exclusive.
+        assert!(parse(&argv("run --zipf 0.9 --hot-spot 0.2,0.8")).is_err());
+        assert!(parse(&argv("run --zipf -1")).is_err());
+        assert!(parse(&argv("run --zipf")).is_err());
+    }
+
+    #[test]
+    fn topology_flag_parses_key_value_pairs() {
+        let Command::Sweep { cfg, .. } = parse(&argv(
+            "sweep --protocols 2PC --mpls 2 --sites 64 \
+             --topology regions=8,lan-ms=1,wan-ms=40,jitter=0.1,hot=0.2",
+        ))
+        .unwrap() else {
+            panic!("expected Sweep");
+        };
+        let t = cfg.topology.unwrap();
+        assert_eq!(t.regions, 8);
+        assert_eq!(t.lan_latency, SimDuration::from_millis(1));
+        assert_eq!(t.wan_latency, SimDuration::from_millis(40));
+        assert_eq!(t.jitter, 0.1);
+        assert_eq!(t.hot_site_prob, 0.2);
+        // Unspecified keys keep the degenerate defaults.
+        let Command::Run { cfg, .. } = parse(&argv("run --topology regions=4")).unwrap() else {
+            panic!("expected Run");
+        };
+        let t = cfg.topology.unwrap();
+        assert_eq!(t.regions, 4);
+        assert!(t.lan_latency.is_zero());
+        // Bad keys, shapes, and validation failures are rejected.
+        assert!(parse(&argv("run --topology bogus=1")).is_err());
+        assert!(parse(&argv("run --topology regions")).is_err());
+        assert!(parse(&argv("run --topology regions=0")).is_err()); // validation
+        assert!(parse(&argv("run --sites 4 --topology regions=9")).is_err()); // validation
+        assert!(parse(&argv("run --topology")).is_err());
+    }
+
+    #[test]
+    fn usage_lists_every_topology_key_from_the_config_table() {
+        for (key, desc) in Topology::CLI_KEYS {
+            assert!(USAGE.contains(key), "usage missing topology key {key}");
+            assert!(USAGE.contains(desc), "usage missing topology desc {desc}");
+        }
+        assert!(USAGE.contains("--zipf"));
+        assert!(USAGE.contains("scale"));
     }
 
     #[test]

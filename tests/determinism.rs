@@ -92,3 +92,49 @@ fn pa_reduces_to_2pc_without_aborts() {
     assert!((two_pc.throughput - pa.throughput).abs() < 1e-9);
     assert!((two_pc.mean_response_s - pa.mean_response_s).abs() < 1e-12);
 }
+
+/// Exact cross-check for the Topology layer: a degenerate 1-region
+/// topology (zero latencies, no jitter, no hot site) must render
+/// byte-identical reports to today's flat-latency model — the engine's
+/// zero-latency fast path keeps the event stream unchanged, and the
+/// topology's dedicated RNG stream never touches the workload stream.
+/// This is the golden-compatible regression guard for the wire-latency
+/// code: any accidental per-message draw or extra event breaks it.
+#[test]
+fn degenerate_topology_is_byte_identical_to_no_topology() {
+    use distcommit::db::config::Topology;
+    use distcommit::db::metrics::ReportFormat;
+    let env_offset = std::env::var("DISTCOMMIT_TEST_SEED_OFFSET")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    for spec in [
+        ProtocolSpec::TWO_PC,
+        ProtocolSpec::THREE_PC,
+        ProtocolSpec::OPT_2PC,
+    ] {
+        let plain_cfg = small_cfg();
+        let mut degen_cfg = small_cfg();
+        degen_cfg.topology = Some(Topology::default());
+        let plain = Simulation::run(&plain_cfg, spec, 42 + env_offset).unwrap();
+        let degen = Simulation::run(&degen_cfg, spec, 42 + env_offset).unwrap();
+        assert_eq!(
+            plain.render(ReportFormat::Json),
+            degen.render(ReportFormat::Json),
+            "{}: degenerate topology perturbed the run",
+            spec.name()
+        );
+    }
+    // Not vacuous: a topology with real WAN latency does change the run.
+    let mut wan_cfg = small_cfg();
+    wan_cfg.topology = Some("regions=4,wan-ms=40".parse().unwrap());
+    let plain = Simulation::run(&small_cfg(), ProtocolSpec::TWO_PC, 42 + env_offset).unwrap();
+    let wan = Simulation::run(&wan_cfg, ProtocolSpec::TWO_PC, 42 + env_offset).unwrap();
+    assert_ne!(plain.events, wan.events);
+    assert!(
+        wan.mean_response_s > plain.mean_response_s,
+        "WAN latency must lengthen responses ({:.4}s vs {:.4}s)",
+        wan.mean_response_s,
+        plain.mean_response_s
+    );
+}

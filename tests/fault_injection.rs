@@ -288,6 +288,87 @@ fn message_loss_is_retried_until_delivery() {
     assert_eq!(r0.faults.retransmissions, 0);
 }
 
+/// Correlated site failures scoped to one WAN region
+/// (`crash-region=R`): every cohort crash in the trace lands on a site
+/// of region R, the trial counter counts only eligible rolls, and the
+/// blocked-time / termination-round counters match the analytic
+/// expectation — under 2PC a cohort crash strands its transaction for
+/// about the cohort recovery time (1 s) and never invokes the
+/// termination protocol (that machinery answers *master* crashes).
+#[test]
+fn cohort_crashes_scoped_to_one_region_stay_in_region() {
+    use distcommit::db::engine::TraceEvent;
+    // 8 sites in 4 regions of 2; crashes confined to region 1 (sites
+    // 2 and 3). Zero latencies keep the topology a pure crash scope.
+    let mut cfg = base_cfg();
+    let topology: distcommit::db::config::Topology = "regions=4".parse().unwrap();
+    cfg.topology = Some(topology);
+    cfg.failures = Some(FailureConfig {
+        cohort_crash_prob: 0.10,
+        crash_region: Some(1),
+        ..FailureConfig::default()
+    });
+    let (report, trace) =
+        Simulation::run_traced(&cfg, ProtocolSpec::TWO_PC, 31 + seed_offset(), u64::MAX).unwrap();
+
+    // Reconstruct each cohort's site from its Prepared event (emitted
+    // just before the crash roll) and check every crash is in-region.
+    let mut cohort_site = std::collections::HashMap::new();
+    let mut crashed_sites = Vec::new();
+    for ev in &trace.events {
+        match *ev {
+            TraceEvent::Prepared { cohort, site, .. } => {
+                cohort_site.insert(cohort, site);
+            }
+            TraceEvent::CohortCrashed { cohort, .. } => {
+                crashed_sites.push(cohort_site[&cohort]);
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        crashed_sites.len() >= 2,
+        "want at least two correlated in-region crashes, got {}",
+        crashed_sites.len()
+    );
+    for &site in &crashed_sites {
+        assert_eq!(
+            topology.region_of(site, cfg.num_sites),
+            1,
+            "cohort crash at site {site} escaped region 1"
+        );
+    }
+    // The trace spans warm-up too; the counter resets at the warm-up
+    // boundary, so it can only be a subset of the traced crashes.
+    assert!(report.faults.cohort_crashes > 0);
+    assert!(report.faults.cohort_crashes <= crashed_sites.len() as u64);
+
+    // Eligibility accounting: only region-1 cohorts roll the die, so
+    // the unscoped twin (same seed, gate removed) sees far more trials.
+    let mut unscoped_cfg = cfg.clone();
+    unscoped_cfg.failures.as_mut().unwrap().crash_region = None;
+    let unscoped = run(&unscoped_cfg, ProtocolSpec::TWO_PC, 31);
+    assert!(report.faults.cohort_crash_trials > 0);
+    assert!(
+        report.faults.cohort_crash_trials < unscoped.faults.cohort_crash_trials / 2,
+        "scoped trials {} vs unscoped {} — gate not applied before the bump",
+        report.faults.cohort_crash_trials,
+        unscoped.faults.cohort_crash_trials
+    );
+
+    // Analytic expectation: a crashed 2PC cohort holds the protocol up
+    // for the cohort recovery time; siblings that prepared mid-outage
+    // block for the remainder. The mean blocked time therefore sits
+    // near 1 s (the recovery), and 2PC runs no termination rounds.
+    assert!(report.faults.blocked_on_crash_cohorts > 0);
+    assert!(
+        (0.5..2.5).contains(&report.faults.mean_blocked_on_crash_s),
+        "blocked {:.3}s, expected ≈ cohort recovery time (1s)",
+        report.faults.mean_blocked_on_crash_s
+    );
+    assert_eq!(report.faults.termination_rounds, 0);
+}
+
 /// Observed fault rates track the configured probabilities, averaged
 /// over seeds against the exact RNG-trial denominators — the fault
 /// analogue of the Tables 3–4 overhead cross-check.

@@ -129,6 +129,137 @@ fn report_json_matrix_identical_across_jobs_seeds_and_protocols() {
     }
 }
 
+/// The production-scale cell of the determinism matrix: 64 sites, a
+/// 4-region LAN/WAN topology with jitter and a hot site, and Zipf-
+/// skewed page access. Every new Scale-dimension code path — the alias
+/// sampler, the wire-latency flight events, the hot-site placement —
+/// must render byte-identical SimReport JSON on one worker and four,
+/// across protocols and shifted seeds.
+#[test]
+fn wan_zipf_64_site_matrix_identical_across_jobs() {
+    let env_offset = std::env::var("DISTCOMMIT_TEST_SEED_OFFSET")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    let protocols = [
+        ("2PC", ProtocolSpec::TWO_PC),
+        ("PA", ProtocolSpec::PA),
+        ("OPT", ProtocolSpec::OPT_2PC),
+    ];
+    let offsets = [0u64, 3000];
+
+    let mut cells: Vec<(usize, u64)> = Vec::new();
+    for pi in 0..protocols.len() {
+        for &off in &offsets {
+            cells.push((pi, off));
+        }
+    }
+
+    let run_cell = |&(pi, off): &(usize, u64)| -> String {
+        let mut cfg = SystemConfig::paper_baseline();
+        cfg.num_sites = 64;
+        cfg.db_size = 64_000; // keep the paper's 1000 pages/site
+        cfg.zipf = Some(distcommit::db::config::Zipf { theta: 0.9 });
+        cfg.topology = Some(
+            "regions=4,lan-ms=1,wan-ms=40,jitter=0.1,hot=0.1"
+                .parse()
+                .unwrap(),
+        );
+        cfg.run.warmup_transactions = 25;
+        cfg.run.measured_transactions = 200;
+        Simulation::run(&cfg, protocols[pi].1, 42 + off + env_offset)
+            .unwrap()
+            .render(ReportFormat::Json)
+    };
+
+    let serial = runner::run_ordered(&cells, 1, run_cell);
+    let parallel = runner::run_ordered(&cells, 4, run_cell);
+
+    for (i, &(pi, off)) in cells.iter().enumerate() {
+        assert_eq!(
+            serial[i], parallel[i],
+            "WAN+Zipf JSON report diverged across --jobs for {} offset {off}",
+            protocols[pi].0
+        );
+    }
+    for i in 1..cells.len() {
+        assert_ne!(serial[0], serial[i], "cells 0 and {i} identical");
+    }
+}
+
+/// A writer that meters what the streaming series sink hands it: the
+/// total byte count and the largest single `write` call — the sink's
+/// output-side high-water mark. Streaming a run of any length must
+/// hand over data window by window, never one giant buffered blob.
+#[derive(Clone, Default)]
+struct MeterWriter {
+    total: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    max_chunk: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    writes: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl std::io::Write for MeterWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.total.fetch_add(buf.len() as u64, Relaxed);
+        self.max_chunk.fetch_max(buf.len() as u64, Relaxed);
+        self.writes.fetch_add(1, Relaxed);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Million-transaction scale smoke (release-mode material, `--ignored`
+/// by default): a 64-site WAN + Zipf run committing 10^6 measured
+/// transactions through the streaming series path. Asserts the run
+/// completes, the series streamed many windows, and the sink's
+/// high-water mark stayed bounded — no write grew with run length, so
+/// memory is O(window), not O(transactions).
+#[test]
+#[ignore = "million-transaction smoke; run with --ignored --release"]
+fn million_transaction_streaming_smoke_stays_bounded() {
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.num_sites = 64;
+    cfg.db_size = 64_000;
+    cfg.zipf = Some(distcommit::db::config::Zipf { theta: 0.9 });
+    cfg.topology = Some("regions=4,lan-ms=1,wan-ms=40,jitter=0.1".parse().unwrap());
+    cfg.run.warmup_transactions = 1_000;
+    cfg.run.measured_transactions = 1_000_000;
+    // The default safety cap (40 000 sim-seconds) is sized for the
+    // paper's 5 000-commit runs; a million commits legitimately need
+    // more simulated time.
+    cfg.run.max_sim_time = None;
+    let series_cfg = SeriesConfig {
+        window: SimDuration::from_secs(5),
+        per_site: false,
+    };
+    let meter = MeterWriter::default();
+    let report = Simulation::run_with_series_stream(
+        &cfg,
+        ProtocolSpec::TWO_PC,
+        42,
+        &series_cfg,
+        Box::new(meter.clone()),
+        distcommit::db::engine::SeriesFormat::Csv,
+    )
+    .unwrap();
+    use std::sync::atomic::Ordering::Relaxed;
+    assert_eq!(report.committed, 1_000_000);
+    let total = meter.total.load(Relaxed);
+    let max_chunk = meter.max_chunk.load(Relaxed);
+    let writes = meter.writes.load(Relaxed);
+    assert!(writes > 100, "expected many window writes, got {writes}");
+    assert!(total > 10_000, "series output suspiciously small: {total}");
+    // The high-water mark: no single hand-off approaches the total —
+    // the sink held at most one window's rendering at a time.
+    assert!(
+        max_chunk < 64 * 1024,
+        "single write of {max_chunk} bytes suggests buffering"
+    );
+}
+
 /// The windowed-series side of a sweep obeys the same contract as the
 /// reports: `--jobs 4` renders byte-identical sweep-series CSV and
 /// JSON to `--jobs 1`, across the shifted-seed matrix CI runs
