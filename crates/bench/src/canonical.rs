@@ -176,6 +176,15 @@ pub fn scale_config() -> SystemConfig {
     cfg
 }
 
+/// Configuration for the replicated cell: the paper baseline with
+/// every shard a 2F+1 acceptor group at F = 1. The canonical grid
+/// never executes the quorum choreography — acceptor fan-out, bundle
+/// tallying, failover timers — so this cell keeps the replicated hot
+/// path on the recorded trajectory.
+pub fn paxos_config() -> SystemConfig {
+    SystemConfig::paper_baseline().with_replication(1)
+}
+
 /// Run and time one cell; `name` is the protocol label recorded in
 /// the trajectory.
 fn measure_cell(
@@ -243,6 +252,18 @@ fn grid_pass(opts: &Options, label: String, with_series: bool) -> Result<Entry, 
         &scale,
         ProtocolSpec::TWO_PC,
         "scale",
+        opts.seed,
+        with_series,
+        &series_cfg,
+    )?);
+    // The replicated cell: Paxos Commit at F = 1 over [`paxos_config`],
+    // recorded under "paxos" — the quorum interpreter path measured at
+    // the same MPL as the grid's knee.
+    let paxos = paxos_config().with_mpl(4).with_run_length(warmup, measured);
+    cells.push(measure_cell(
+        &paxos,
+        ProtocolSpec::PAXOS,
+        "paxos",
         opts.seed,
         with_series,
         &series_cfg,

@@ -55,6 +55,14 @@ pub enum ResourceMode {
 /// `crates/protocols`): a prepared cohort re-sends its YES vote, a
 /// precommitted 3PC cohort re-sends its precommit ack.
 ///
+/// The same die is also rolled once per cohort in the *execution*
+/// phase, as the cohort finishes its work but before its WORKDONE
+/// leaves. Nothing is on stable storage at that point, so recovery
+/// presumes abort and the whole transaction restarts (counted as
+/// `aborted_crash` in the report). `exec_crash_prob` tunes this
+/// window independently — `Some(0.0)` pins crashes to the replay
+/// points only, `None` follows `cohort_crash_prob`.
+///
 /// **Message loss.** With probability `msg_loss_prob`, a remote
 /// commit-choreography message is lost in transit — in *either*
 /// direction: the master's requests (PREPARE, PRECOMMIT, the
@@ -85,6 +93,10 @@ pub struct FailureConfig {
     pub cohort_crash_prob: f64,
     /// Time until a crashed cohort restarts and replays its log.
     pub cohort_recovery_time: SimDuration,
+    /// Probability of the execution-phase crash window (cohort dies
+    /// before its WORKDONE; recovery presumes abort and the
+    /// transaction restarts). `None` follows `cohort_crash_prob`.
+    pub exec_crash_prob: Option<f64>,
     /// Probability that a remote commit-choreography message — a
     /// master request (PREPARE / PRECOMMIT / decision) or a cohort
     /// reply (WORKDONE / vote / precommit ack / ACK) — is lost in
@@ -111,9 +123,13 @@ impl FailureConfig {
     /// it and the CLI usage text renders it verbatim, so the two can
     /// never drift apart. Defaults in parentheses are those of
     /// [`FailureConfig::default`].
-    pub const CLI_KEYS: [(&'static str, &'static str); 9] = [
+    pub const CLI_KEYS: [(&'static str, &'static str); 10] = [
         ("mc=P", "master crash probability"),
         ("cc=P", "cohort crash probability"),
+        (
+            "exec-cc=P",
+            "execution-phase cohort crash probability (follows cc)",
+        ),
         ("loss=P", "message loss probability"),
         ("detect-ms=MS", "3PC crash-detection timeout (300)"),
         ("recover-ms=MS", "master recovery time (5000)"),
@@ -184,6 +200,12 @@ impl std::str::FromStr for FailureConfig {
             match key {
                 "mc" => num(&mut f.master_crash_prob)?,
                 "cc" => num(&mut f.cohort_crash_prob)?,
+                "exec-cc" => {
+                    f.exec_crash_prob = Some(
+                        val.parse()
+                            .map_err(|_| format!("{key}: cannot parse {val:?}"))?,
+                    )
+                }
                 "loss" => num(&mut f.msg_loss_prob)?,
                 "detect-ms" => ms(&mut f.detection_timeout)?,
                 "recover-ms" => ms(&mut f.recovery_time)?,
@@ -219,6 +241,7 @@ impl Default for FailureConfig {
             recovery_time: SimDuration::from_secs(5),
             cohort_crash_prob: 0.0,
             cohort_recovery_time: SimDuration::from_secs(1),
+            exec_crash_prob: None,
             msg_loss_prob: 0.0,
             msg_timeout: SimDuration::from_millis(100),
             max_retransmits: 3,
@@ -527,6 +550,14 @@ pub struct SystemConfig {
     /// the data disks (§4.1 says the writes happen asynchronously after
     /// commit; this flag controls whether their disk time is modeled).
     pub model_deferred_writes: bool,
+    /// Replication degree F for the replicated commit family (Paxos
+    /// Commit / replicated-coordinator 2PC): each transaction's
+    /// decision is maintained by a group of 2F+1 replicas on
+    /// consecutive sites starting at the master's, tolerating F
+    /// simultaneous replica failures. 0 — the classic single-copy
+    /// protocols — degenerates Paxos Commit to plain 2PC. Ignored by
+    /// (and rejected for) non-replicated protocols when positive.
+    pub replication: u32,
     /// Run-length control.
     pub run: RunConfig,
 }
@@ -565,6 +596,7 @@ impl SystemConfig {
             group_commit_batch: None,
             read_only_optimization: false,
             model_deferred_writes: false,
+            replication: 0,
             run: RunConfig::default(),
         }
     }
@@ -683,6 +715,14 @@ impl SystemConfig {
     #[must_use]
     pub fn with_topology(mut self, topology: Topology) -> Self {
         self.topology = Some(topology);
+        self
+    }
+
+    /// Set the replication degree F (2F+1 decision replicas per
+    /// transaction) for the replicated commit family.
+    #[must_use]
+    pub fn with_replication(mut self, f: u32) -> Self {
+        self.replication = f;
         self
     }
 
@@ -853,6 +893,14 @@ impl fmt::Display for SystemConfig {
         writeln!(f, "Resources     {:?}", self.resources)?;
         if self.cohort_abort_prob > 0.0 {
             writeln!(f, "CohortAbortP  {}", self.cohort_abort_prob)?;
+        }
+        if self.replication > 0 {
+            writeln!(
+                f,
+                "Replication   F={} ({} replicas)",
+                self.replication,
+                2 * self.replication + 1
+            )?;
         }
         if let Some(z) = &self.zipf {
             writeln!(f, "Zipf          theta={}", z.theta)?;
@@ -1041,9 +1089,9 @@ mod tests {
 
     #[test]
     fn cli_keys_cover_every_failure_field() {
-        // 9 struct fields, 9 documented keys: adding a field without
+        // 10 struct fields, 10 documented keys: adding a field without
         // extending the key table fails here.
-        assert_eq!(FailureConfig::CLI_KEYS.len(), 9);
+        assert_eq!(FailureConfig::CLI_KEYS.len(), 10);
         for (key, desc) in FailureConfig::CLI_KEYS {
             assert!(key.contains('='), "{key} lacks a value shape");
             assert!(!desc.is_empty());

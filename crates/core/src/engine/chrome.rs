@@ -321,6 +321,12 @@ impl<W: io::Write> ChromeWriter<W> {
                 0,
                 format!("termination (coordinator cohort {coordinator})"),
             ),
+            TraceEvent::FailoverStarted { at, leader, .. } => Record::instant(
+                at.0,
+                e.txn(),
+                *leader,
+                format!("leader failover (new leader site {leader})"),
+            ),
         };
         self.write_record(&record)
     }

@@ -1,16 +1,18 @@
 //! Commit-phase state machines: master and cohort sides of every
-//! protocol (2PC, PA, PC, 3PC, their OPT variants, and the CENT/DPCC
-//! baselines).
+//! protocol (2PC, PA, PC, 3PC, linear 2PC, their OPT variants, the
+//! CENT/DPCC baselines, and the replicated family).
 //!
-//! All protocol-specific differences flow through the behaviour flags
-//! of [`commitproto::BaseProtocol`] — which records are forced, who
-//! acknowledges what — so this file encodes only the choreography.
+//! This file is a generic *interpreter* of the declarative protocol
+//! table ([`commitproto::SpecTable`]): every protocol-specific
+//! difference — which records are forced, who acknowledges what, how
+//! phase-1 messages are routed, who takes over on a crash — is a
+//! column of the table, never a `match` on the protocol name.
 
 use super::types::{CohortH, CohortId, CohortPhase, LogWork, MsgKind, TxnH, TxnPhase, Vote};
 use super::Simulation;
 use crate::config::TransType;
 use crate::metrics::AbortReason;
-use commitproto::BaseProtocol;
+use commitproto::{Routing, Takeover};
 
 impl Simulation {
     // ------------------------------------------------------------------
@@ -63,27 +65,24 @@ impl Simulation {
         let t = self.txns.get_mut(txn).expect("live txn");
         t.commit_started = Some(now);
         let home = t.home;
-        match self.spec.base {
+        if !self.table.voting {
             // Baselines: the whole commit is one forced decision record
             // at the master (§5.1).
-            BaseProtocol::Centralized | BaseProtocol::Dpcc => {
-                t.phase = TxnPhase::LoggingDecision { commit: true };
-                self.force_log(home, LogWork::MasterDecision { txn, commit: true });
-            }
+            t.phase = TxnPhase::LoggingDecision { commit: true };
+            self.force_log(home, LogWork::MasterDecision { txn, commit: true });
+        } else if self.table.init_record {
             // Presumed Commit force-writes the collecting record before
             // the first phase (§2.3).
-            BaseProtocol::PresumedCommit => {
-                t.phase = TxnPhase::Collecting;
-                self.force_log(home, LogWork::MasterCollecting { txn });
-            }
+            t.phase = TxnPhase::Collecting;
+            self.force_log(home, LogWork::MasterCollecting { txn });
+        } else if self.table.routing == Routing::Chain {
             // Linear 2PC: start the chain at the first (local) cohort.
-            BaseProtocol::Linear2PC => {
-                t.phase = TxnPhase::Voting;
-                let first = t.cohorts[0];
-                let site = self.cohorts[first].site;
-                self.send(home, site, MsgKind::ChainPrepare { cohort: first });
-            }
-            _ => self.send_prepares(txn),
+            t.phase = TxnPhase::Voting;
+            let first = t.cohorts[0];
+            let site = self.cohorts[first].site;
+            self.send(home, site, MsgKind::ChainPrepare { cohort: first });
+        } else {
+            self.send_prepares(txn);
         }
     }
 
@@ -166,9 +165,20 @@ impl Simulation {
     }
 
     fn send_prepares(&mut self, txn: TxnH) {
+        let group = 2 * self.rep_f() as usize + 1;
+        let quorum = self.table.routing == Routing::Quorum;
         let t = self.txns.get_mut(txn).expect("live txn");
         t.phase = TxnPhase::Voting;
         t.pending_votes = t.cohorts.len();
+        if quorum {
+            // Quorum routing: votes bypass the master and fan out to
+            // the `2F+1` acceptors of the home shard's replica group.
+            // Each acceptor waits for every cohort's vote, forces its
+            // bundle, and reports ACCEPTED to the leader (the master,
+            // co-located with acceptor 0).
+            t.acc_pending = vec![t.cohorts.len() as u32; group];
+            t.accepts_outstanding = group;
+        }
         let home = t.home;
         let targets: Vec<(CohortH, usize)> = t
             .cohorts
@@ -273,7 +283,7 @@ impl Simulation {
         let c = self.cohorts.get_mut(cohort).expect("exists");
         if votes_no {
             c.phase = CohortPhase::Deciding { commit: false };
-            if self.spec.base.no_vote_abort_forced() {
+            if self.table.no_vote_abort_forced {
                 self.force_log(site, LogWork::CohortNoVoteAbort { cohort });
             } else {
                 self.cohort_no_vote_finish(cohort);
@@ -301,21 +311,32 @@ impl Simulation {
         locks.drop_borrower(owner);
         let grants = locks.release_all(owner);
         self.process_grants(site, grants);
-        if self.spec.base == BaseProtocol::Linear2PC {
-            // The veto turns the chain around: predecessors (all
-            // prepared) abort one by one; the master aborts whoever the
-            // forward pass never reached. (Linear 2PC rejects fault
-            // injection, so there is no parting to consider.)
-            self.linear_backward(cohort, txn, site, false);
-            self.cohort_done(cohort);
-        } else {
-            let reply = MsgKind::Vote {
-                txn,
-                cohort,
-                vote: Vote::No,
-            };
-            self.send_attempt(site, home, reply, req);
-            self.part_or_done(cohort, reply);
+        match self.table.routing {
+            Routing::Chain => {
+                // The veto turns the chain around: predecessors (all
+                // prepared) abort one by one; the master aborts whoever
+                // the forward pass never reached. (Chain routing rejects
+                // fault injection, so there is no parting to consider.)
+                self.linear_backward(cohort, txn, site, false);
+                self.cohort_done(cohort);
+            }
+            Routing::Quorum => {
+                // The NO goes to every acceptor; the abort decision
+                // comes out of the accept round, so the NO voter is
+                // finished (its vote legs are loss-exempt — see
+                // `loss_eligible` — hence no parting).
+                self.quorum_vote(cohort, txn, false);
+                self.cohort_done(cohort);
+            }
+            Routing::Direct => {
+                let reply = MsgKind::Vote {
+                    txn,
+                    cohort,
+                    vote: Vote::No,
+                };
+                self.send_attempt(site, home, reply, req);
+                self.part_or_done(cohort, reply);
+            }
         }
     }
 
@@ -345,32 +366,64 @@ impl Simulation {
         let home = self.txns[txn].home;
         let grants = self.sites[site].locks.mark_prepared(owner);
         self.process_grants(site, grants);
-        if self.spec.base == BaseProtocol::Linear2PC {
-            self.linear_forward(cohort);
-        } else {
-            let req = self.cohorts[cohort].req_attempt;
-            self.send_attempt(
-                site,
-                home,
-                MsgKind::Vote {
-                    txn,
-                    cohort,
-                    vote: Vote::Yes,
-                },
-                req,
-            );
+        match self.table.routing {
+            Routing::Chain => self.linear_forward(cohort),
+            Routing::Quorum => self.quorum_vote(cohort, txn, true),
+            Routing::Direct => {
+                let req = self.cohorts[cohort].req_attempt;
+                self.send_attempt(
+                    site,
+                    home,
+                    MsgKind::Vote {
+                        txn,
+                        cohort,
+                        vote: Vote::Yes,
+                    },
+                    req,
+                );
+            }
         }
     }
 
-    /// Roll for a cohort crash at one of the two replay points (prepare
-    /// record durable / precommit record durable). On a hit the cohort
-    /// goes silent — locks held, nothing lent, no answer to the master
-    /// — and a restart is scheduled `cohort_recovery_time` later.
-    fn cohort_crash_roll(&mut self, cohort: CohortH, txn: TxnH) -> bool {
+    /// Quorum routing: fan this cohort's vote out to every acceptor of
+    /// the home shard's replica group (acceptor 0 is the leader's own
+    /// site, so that leg is a free local transfer for the home cohort).
+    fn quorum_vote(&mut self, cohort: CohortH, txn: TxnH, yes: bool) {
+        let site = self.cohorts[cohort].site;
+        let home = self.txns[txn].home;
+        for acc in 0..(2 * self.rep_f() + 1) {
+            let acc_site = self.acceptor_site(home, acc);
+            self.send(site, acc_site, MsgKind::PaxosVote { txn, acc, yes });
+        }
+    }
+
+    /// Roll for a cohort crash at one of the replay points (work
+    /// finished in the execution phase / prepare record durable /
+    /// precommit record durable). On a hit the cohort goes silent —
+    /// locks held, nothing lent, no answer to the master — and a
+    /// restart is scheduled `cohort_recovery_time` later.
+    pub(crate) fn cohort_crash_roll(&mut self, cohort: CohortH, txn: TxnH) -> bool {
         let Some(f) = self.cfg.failures else {
             return false;
         };
-        if f.cohort_crash_prob == 0.0 {
+        self.cohort_crash_roll_p(cohort, txn, f.cohort_crash_prob)
+    }
+
+    /// The execution-phase crash window (cohort dies before its
+    /// WORKDONE leaves). Same machinery as the replay points, but the
+    /// probability can be tuned — or switched off — independently via
+    /// [`crate::config::FailureConfig::exec_crash_prob`].
+    pub(crate) fn exec_crash_roll(&mut self, cohort: CohortH, txn: TxnH) -> bool {
+        let Some(f) = self.cfg.failures else {
+            return false;
+        };
+        let p = f.exec_crash_prob.unwrap_or(f.cohort_crash_prob);
+        self.cohort_crash_roll_p(cohort, txn, p)
+    }
+
+    fn cohort_crash_roll_p(&mut self, cohort: CohortH, txn: TxnH, p: f64) -> bool {
+        let f = self.cfg.failures.expect("caller checked");
+        if p == 0.0 {
             return false;
         }
         // Correlated-failure scope: with `crash-region=R`, only cohorts
@@ -387,14 +440,14 @@ impl Simulation {
             }
         }
         self.metrics.cohort_crash_trials.bump();
-        if !self.rng.chance(f.cohort_crash_prob) {
+        if !self.rng.chance(p) {
             return false;
         }
         let now = self.cal.now();
         self.metrics.cohort_crashes.bump();
         let c = self.cohorts.get_mut(cohort).expect("live cohort");
         c.down = true;
-        let cid = c.id;
+        let (cid, site) = (c.id, c.site);
         let t = self.txns.get_mut(txn).expect("live txn");
         t.crashed = true;
         t.crashed_at.get_or_insert(now);
@@ -403,6 +456,7 @@ impl Simulation {
             at,
             txn: txn_ext,
             cohort: cid,
+            site,
         });
         self.cal.schedule_in(
             f.cohort_recovery_time,
@@ -413,14 +467,20 @@ impl Simulation {
 
     /// A crashed cohort restarted: re-read the last forced log record
     /// and rejoin the protocol per the presumption rules
-    /// ([`BaseProtocol::recovery_action`]). The cohort is guaranteed to
-    /// still exist — the master cannot have decided with this cohort's
-    /// vote (or precommit ack) outstanding.
+    /// ([`commitproto::BaseProtocol::recovery_action`]). A cohort that
+    /// crashed past its prepare record is guaranteed to still exist —
+    /// the master cannot have decided with its vote (or precommit ack)
+    /// outstanding — but one that crashed in the *execution* phase may
+    /// be gone: its transaction can be aborted meanwhile (deadlock
+    /// victim, borrower cascade), tearing the cohort down.
     pub(crate) fn cohort_recovered(&mut self, cohort: CohortH) {
-        let c = self
-            .cohorts
-            .get_mut(cohort)
-            .expect("master waits on a crashed cohort");
+        let Some(c) = self.cohorts.get_mut(cohort) else {
+            debug_assert!(
+                self.cfg.failures.is_some(),
+                "stale cohort recovery without faults"
+            );
+            return;
+        };
         c.down = false;
         let (site, txn, phase, owner, cid, req) =
             (c.site, c.txn, c.phase, c.lock_owner, c.id, c.req_attempt);
@@ -443,22 +503,36 @@ impl Simulation {
                 // site cannot serve borrow requests).
                 let grants = self.sites[site].locks.mark_prepared(owner);
                 self.process_grants(site, grants);
-                self.send_attempt(
-                    site,
-                    home,
-                    MsgKind::Vote {
-                        txn,
-                        cohort,
-                        vote: Vote::Yes,
-                    },
-                    req,
-                );
+                if self.table.routing == Routing::Quorum {
+                    // The crash hit before the vote fan-out left (the
+                    // roll precedes the sends), so the acceptors are
+                    // still waiting: run the fan-out now, once.
+                    self.quorum_vote(cohort, txn, true);
+                } else {
+                    self.send_attempt(
+                        site,
+                        home,
+                        MsgKind::Vote {
+                            txn,
+                            cohort,
+                            vote: Vote::Yes,
+                        },
+                        req,
+                    );
+                }
             }
             commitproto::RecoveryAction::ResendPreAck => {
                 self.send_attempt(site, home, MsgKind::PreAck { txn, cohort }, req);
             }
             commitproto::RecoveryAction::PresumeAbort => {
-                unreachable!("crash points always force a record first")
+                // No forced record to replay: the crash hit in the
+                // execution phase, the cohort's volatile state is gone,
+                // and the presumption rules abort the transaction. The
+                // master could not have started voting with this
+                // cohort's WORKDONE outstanding, so the incarnation is
+                // still abortable; it restarts with its template.
+                debug_assert_eq!(phase, CohortPhase::Executing);
+                self.abort_txn(txn, crate::metrics::AbortReason::CohortCrash);
             }
         }
     }
@@ -517,7 +591,7 @@ impl Simulation {
             // Fully read-only transaction under the Read-Only
             // optimization: one-phase commit, no decision record.
             self.master_decided(txn, true);
-        } else if self.spec.base.precommit_phase() {
+        } else if self.table.precommit {
             let t = self.txns.get_mut(txn).expect("live txn");
             let home = t.home;
             t.phase = TxnPhase::Precommitting;
@@ -626,7 +700,7 @@ impl Simulation {
     fn decide(&mut self, txn: TxnH, commit: bool) {
         if commit {
             if let Some(f) = self.cfg.failures {
-                if f.master_crash_prob > 0.0 && self.spec.base.has_voting_phase() {
+                if f.master_crash_prob > 0.0 && self.table.voting {
                     self.metrics.master_crash_trials.bump();
                     if self.rng.chance(f.master_crash_prob) {
                         let now = self.cal.now();
@@ -639,7 +713,16 @@ impl Simulation {
                             at,
                             txn: txn_ext,
                         });
-                        if self.spec.base.precommit_phase() {
+                        // Can the survivors finish without the crashed
+                        // coordinator? Leader failover needs a live
+                        // backup acceptor — the F=0 degenerate case
+                        // blocks exactly like 2PC.
+                        let survivors_take_over = match self.table.takeover {
+                            Takeover::Block => false,
+                            Takeover::CohortTermination => true,
+                            Takeover::LeaderFailover => self.rep_f() > 0,
+                        };
+                        if survivors_take_over {
                             self.cal.schedule_in(
                                 f.detection_timeout,
                                 super::types::Event::StartTermination { txn },
@@ -662,7 +745,7 @@ impl Simulation {
     /// when the protocol requires it (PA skips the forced write on
     /// abort). Also the resumption point after a master recovery.
     pub(crate) fn decide_now(&mut self, txn: TxnH, commit: bool) {
-        if self.spec.base.master_decision_forced(commit) {
+        if self.table.master_decision_forced.on(commit) {
             let t = self.txns.get_mut(txn).expect("live txn");
             t.phase = TxnPhase::LoggingDecision { commit };
             let control = t.control_site();
@@ -676,15 +759,27 @@ impl Simulation {
     // Failure handling: recovery and 3PC termination
     // ------------------------------------------------------------------
 
+    /// The survivors detected the coordinator crash: run the takeover
+    /// round the table prescribes — cohort termination (3PC) or leader
+    /// failover (Paxos Commit). Both count as termination rounds in the
+    /// fault report.
+    pub(crate) fn start_termination(&mut self, txn: TxnH) {
+        self.metrics.termination_rounds.bump();
+        if self.table.takeover == Takeover::LeaderFailover {
+            self.start_leader_failover(txn);
+        } else {
+            self.start_cohort_termination(txn);
+        }
+    }
+
     /// The 3PC termination protocol (§2.4's non-blocking guarantee):
     /// the surviving cohorts elect the lowest-site cohort as
     /// coordinator; it collects everyone's state and decides. At the
     /// modeled crash point every cohort is precommitted, so the
     /// termination rule decides commit.
-    pub(crate) fn start_termination(&mut self, txn: TxnH) {
-        self.metrics.termination_rounds.bump();
+    fn start_cohort_termination(&mut self, txn: TxnH) {
         let t = self.txns.get(txn).expect("live txn");
-        debug_assert!(self.spec.base.precommit_phase());
+        debug_assert!(self.table.precommit);
         let txn_ext = t.id;
         let mut live: Vec<(CohortH, usize, CohortId)> = t
             .cohorts
@@ -739,6 +834,68 @@ impl Simulation {
     /// the rest of the protocol.
     fn coordinator_decides(&mut self, txn: TxnH) {
         self.decide_now(txn, true);
+    }
+
+    /// Paxos Commit's leader failover (Gray & Lamport §5): the first
+    /// backup acceptor becomes leader after the detection timeout,
+    /// reads the accepted states of a majority (its own bundle plus `F`
+    /// of the remaining `2F-1` acceptors), and completes the protocol.
+    /// The crash point is past the accept quorum, so the outcome the
+    /// new leader reads is commit. Protocol control — decision fan-out,
+    /// ACK collection — moves to the new leader's site.
+    fn start_leader_failover(&mut self, txn: TxnH) {
+        let f = self.rep_f();
+        debug_assert!(f > 0, "F=0 blocks; the crash path never gets here");
+        let t = self.txns.get(txn).expect("live txn");
+        let (txn_ext, home) = (t.id, t.home);
+        let leader = self.acceptor_site(home, 1);
+        self.trace_event(txn_ext, |at| super::trace::TraceEvent::FailoverStarted {
+            at,
+            txn: txn_ext,
+            leader,
+        });
+        let t = self.txns.get_mut(txn).expect("live txn");
+        t.coordinator_site = Some(leader);
+        t.pending_term_reps = f as usize;
+        // Query every remaining acceptor (the new leader cannot know
+        // which are alive); the first F replies complete the majority
+        // and the surplus is ignored on arrival.
+        for acc in 2..(2 * f + 1) {
+            let site = self.acceptor_site(home, acc);
+            self.send(leader, site, MsgKind::AccStateReq { txn, acc });
+        }
+    }
+
+    /// An acceptor answers the new leader's state query. Every vote
+    /// reached every acceptor before the accept quorum formed, so the
+    /// report is immediate — its content (all YES at the modeled crash
+    /// point) is implied and the message itself is what costs.
+    pub(crate) fn acceptor_state_req(&mut self, txn: TxnH, acc: u32) {
+        let Some(t) = self.txns.get(txn) else {
+            debug_assert!(self.cfg.failures.is_some(), "stale state query");
+            return;
+        };
+        let home = t.home;
+        let control = t.control_site();
+        let site = self.acceptor_site(home, acc);
+        self.send(site, control, MsgKind::AccStateRep { txn });
+    }
+
+    /// The new leader collected an acceptor's state report; at a
+    /// majority it decides. Surplus reports (the queries went to all
+    /// `2F-1` remaining acceptors) arrive after the decision and are
+    /// dropped here.
+    pub(crate) fn leader_acc_state_rep(&mut self, txn: TxnH) {
+        let Some(t) = self.txns.get_mut(txn) else {
+            return;
+        };
+        if t.pending_term_reps == 0 {
+            return;
+        }
+        t.pending_term_reps -= 1;
+        if t.pending_term_reps == 0 {
+            self.decide_now(txn, true);
+        }
     }
 
     /// **The decision point.** On commit this is where throughput is
@@ -800,46 +957,44 @@ impl Simulation {
             );
         }
 
-        match self.spec.base {
-            BaseProtocol::Centralized | BaseProtocol::Dpcc => {
-                // Commit processing is the single decision record: every
-                // cohort completes instantly, no messages (§5.1).
-                debug_assert!(commit);
-                let cohort_hs = self.txns[txn].cohorts.clone();
-                for ch in cohort_hs {
-                    self.baseline_finish_cohort(ch);
-                }
-                let t = self.txns.get_mut(txn).expect("live txn");
-                t.master_done = true;
-                self.try_cleanup(txn);
+        if !self.table.voting {
+            // Baselines: commit processing is the single decision
+            // record — every cohort completes instantly, no messages
+            // (§5.1).
+            debug_assert!(commit);
+            let cohort_hs = self.txns[txn].cohorts.clone();
+            for ch in cohort_hs {
+                self.baseline_finish_cohort(ch);
             }
-            _ => {
-                // Send the decision to the surviving (prepared /
-                // precommitted) cohorts; NO voters aborted unilaterally.
-                let t = &self.txns[txn];
-                let targets: Vec<(CohortH, usize)> = t
-                    .cohorts
-                    .iter()
-                    .filter_map(|&ch| {
-                        self.cohorts
-                            .get(ch)
-                            .filter(|c| c.phase != CohortPhase::Parted)
-                            .map(|c| (ch, c.site))
-                    })
-                    .collect();
-                let acks = if self.spec.base.cohort_ack(commit) {
-                    targets.len()
-                } else {
-                    0
-                };
-                let t = self.txns.get_mut(txn).expect("live txn");
-                t.pending_acks = acks;
-                t.master_done = acks == 0;
-                for (cohort, site) in targets {
-                    self.send(control, site, MsgKind::Decision { cohort, commit });
-                }
-                self.try_cleanup(txn);
+            let t = self.txns.get_mut(txn).expect("live txn");
+            t.master_done = true;
+            self.try_cleanup(txn);
+        } else {
+            // Send the decision to the surviving (prepared /
+            // precommitted) cohorts; NO voters aborted unilaterally.
+            let t = &self.txns[txn];
+            let targets: Vec<(CohortH, usize)> = t
+                .cohorts
+                .iter()
+                .filter_map(|&ch| {
+                    self.cohorts
+                        .get(ch)
+                        .filter(|c| c.phase != CohortPhase::Parted)
+                        .map(|c| (ch, c.site))
+                })
+                .collect();
+            let acks = if self.table.cohort_ack.on(commit) {
+                targets.len()
+            } else {
+                0
+            };
+            let t = self.txns.get_mut(txn).expect("live txn");
+            t.pending_acks = acks;
+            t.master_done = acks == 0;
+            for (cohort, site) in targets {
+                self.send(control, site, MsgKind::Decision { cohort, commit });
             }
+            self.try_cleanup(txn);
         }
     }
 
@@ -889,7 +1044,7 @@ impl Simulation {
         // never prepared, so it aborts like an active cohort: no log
         // record, no acknowledgement, no backward hop.
         if c.phase == CohortPhase::WorkDone {
-            debug_assert!(self.spec.base == BaseProtocol::Linear2PC && !commit);
+            debug_assert!(self.table.routing == Routing::Chain && !commit);
             let (site, owner) = (c.site, c.lock_owner);
             let locks = &mut self.sites[site].locks;
             locks.drop_borrower(owner);
@@ -926,7 +1081,7 @@ impl Simulation {
         }
         let c = self.cohorts.get_mut(cohort).expect("checked above");
         let site = c.site;
-        if self.spec.base.cohort_decision_forced(commit) {
+        if self.table.cohort_decision_forced.on(commit) {
             c.phase = CohortPhase::Deciding { commit };
             self.force_log(site, LogWork::CohortDecision { cohort, commit });
         } else {
@@ -999,14 +1154,14 @@ impl Simulation {
             }
         }
 
-        if self.spec.base.cohort_ack(commit) {
+        if self.table.cohort_ack.on(commit) {
             let req = self.cohorts[cohort].req_attempt;
             let reply = MsgKind::Ack { txn, cohort };
             self.send_attempt(site, home, reply, req);
             self.part_or_done(cohort, reply);
             return;
         }
-        if self.spec.base == BaseProtocol::Linear2PC {
+        if self.table.routing == Routing::Chain {
             // The implemented decision continues up the chain (this is
             // also the acknowledgement; there are no separate ACKs).
             self.linear_backward(cohort, txn, site, commit);
@@ -1126,18 +1281,135 @@ impl Simulation {
     }
 
     /// Forget the transaction once the master is done, every cohort has
-    /// finished, and all ACKs are in.
+    /// finished, and all ACKs are in. Replicated runs additionally wait
+    /// for straggler acceptor bundles (the leader decides at a
+    /// majority, but the overhead check counts all `2F+1`) and for the
+    /// backup copies of the decision record.
     fn try_cleanup(&mut self, txn: TxnH) {
         let Some(t) = self.txns.get(txn) else {
             return;
         };
-        if t.master_done && t.open_cohorts == 0 && t.pending_acks == 0 {
+        if t.master_done
+            && t.open_cohorts == 0
+            && t.pending_acks == 0
+            && t.accepts_outstanding == 0
+            && t.pending_rep_acks == 0
+        {
             let t = self.txns.remove(txn).expect("live txn");
             if let (TxnPhase::Decided { commit: true }, Some(decided)) = (&t.phase, t.decided_at) {
                 let now = self.cal.now();
                 self.metrics.phase_decision.record(now.since(decided));
                 self.check_commit_overheads(&t);
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Quorum routing: the acceptor and leader sides of Paxos Commit
+    // ------------------------------------------------------------------
+
+    /// A cohort's vote reached acceptor `acc`. The acceptor tallies it;
+    /// once every cohort's vote is in, it forces its vote bundle — one
+    /// record covering the whole transaction, replacing the master
+    /// decision record. Straggler tallies can complete after the leader
+    /// has already decided at a majority of the other acceptors, so no
+    /// phase is asserted here.
+    pub(crate) fn acceptor_vote(&mut self, txn: TxnH, acc: u32, yes: bool) {
+        let t = self.txns.get_mut(txn).expect("cleanup waits for accepts");
+        if !yes {
+            t.no_vote = true;
+        }
+        let k = acc as usize;
+        debug_assert!(t.acc_pending[k] > 0, "vote after the bundle closed");
+        t.acc_pending[k] -= 1;
+        if t.acc_pending[k] == 0 {
+            let home = t.home;
+            let site = self.acceptor_site(home, acc);
+            self.force_log(site, LogWork::AcceptorBundle { txn, acc });
+        }
+    }
+
+    /// Acceptor `acc`'s bundle is durable: report the outcome it
+    /// accepted to the leader. A bundle holds every vote, so the
+    /// outcome is abort iff any vote in it was NO.
+    pub(crate) fn acceptor_bundle_logged(&mut self, txn: TxnH, acc: u32) {
+        let t = self.txns.get(txn).expect("cleanup waits for accepts");
+        let commit = !t.no_vote;
+        let home = t.home;
+        let site = self.acceptor_site(home, acc);
+        self.send(site, home, MsgKind::Accepted { txn, commit });
+    }
+
+    /// The leader collected an ACCEPTED report. At a majority (`F+1`)
+    /// the outcome is decided — this is Paxos Commit's shortened
+    /// critical path; the remaining reports drain afterwards and only
+    /// gate cleanup.
+    pub(crate) fn master_accepted(&mut self, txn: TxnH, commit: bool) {
+        let t = self.txns.get_mut(txn).expect("cleanup waits for accepts");
+        debug_assert!(t.accepts_outstanding > 0);
+        t.accepts_outstanding -= 1;
+        let group = t.acc_pending.len();
+        let received = group - t.accepts_outstanding;
+        let majority = group / 2 + 1;
+        if received == majority {
+            self.decide(txn, commit);
+        } else if t.accepts_outstanding == 0 {
+            self.try_cleanup(txn);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Replicated decision record: 2PC over a replicated coordinator
+    // ------------------------------------------------------------------
+
+    /// The master's decision record hit the disk. For the replicated-
+    /// coordinator baseline the record must additionally be copied to
+    /// the `2F` backup replicas — and forced there — before the
+    /// decision may be announced; everyone else announces immediately.
+    pub(crate) fn master_decision_logged(&mut self, txn: TxnH, commit: bool) {
+        let f = self.rep_f();
+        if self.table.replicated_decision && f > 0 {
+            let t = self.txns.get(txn).expect("live txn");
+            debug_assert_eq!(t.phase, TxnPhase::LoggingDecision { commit });
+            let home = t.home;
+            let t = self.txns.get_mut(txn).expect("live txn");
+            t.pending_rep_acks = 2 * f as usize;
+            for rep in 1..(2 * f + 1) {
+                let site = self.acceptor_site(home, rep);
+                self.send(home, site, MsgKind::RepDecision { txn, rep });
+            }
+        } else {
+            self.master_decided(txn, commit);
+        }
+    }
+
+    /// A backup replica received its copy of the decision record:
+    /// force it locally.
+    pub(crate) fn replica_decision(&mut self, txn: TxnH, rep: u32) {
+        let t = self.txns.get(txn).expect("cleanup waits for rep acks");
+        let site = self.acceptor_site(t.home, rep);
+        self.force_log(site, LogWork::ReplicaDecision { txn, rep });
+    }
+
+    /// A backup replica's copy is durable: acknowledge to the master.
+    pub(crate) fn replica_decision_logged(&mut self, txn: TxnH, rep: u32) {
+        let t = self.txns.get(txn).expect("cleanup waits for rep acks");
+        let home = t.home;
+        let site = self.acceptor_site(home, rep);
+        self.send(site, home, MsgKind::RepAck { txn });
+    }
+
+    /// The master collected a backup's acknowledgement; once all `2F`
+    /// copies are durable the decision is announced.
+    pub(crate) fn master_rep_ack(&mut self, txn: TxnH) {
+        let t = self.txns.get_mut(txn).expect("cleanup waits for rep acks");
+        debug_assert!(t.pending_rep_acks > 0);
+        t.pending_rep_acks -= 1;
+        if t.pending_rep_acks == 0 {
+            let TxnPhase::LoggingDecision { commit } = t.phase else {
+                unreachable!("replication runs inside the logging phase")
+            };
+            self.master_decided(txn, commit);
         }
     }
 }

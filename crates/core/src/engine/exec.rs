@@ -49,6 +49,9 @@ impl Simulation {
             master_done: false,
             coordinator_site: None,
             pending_term_reps: 0,
+            acc_pending: Vec::new(),
+            accepts_outstanding: 0,
+            pending_rep_acks: 0,
             commit_started: None,
             decided_at: None,
             msg_exec: 0,
@@ -196,6 +199,15 @@ impl Simulation {
 
     /// All accesses done: either go on the OPT shelf or report WORKDONE.
     fn cohort_work_finished(&mut self, cohort: CohortH) {
+        let th = self.cohorts[cohort].txn;
+        // Execution-phase crash window: the cohort finishes its work but
+        // goes down before reporting it. Nothing is on stable storage
+        // yet, so recovery presumes abort and the whole transaction
+        // restarts (the master was still collecting WORKDONEs and could
+        // not have moved on).
+        if self.exec_crash_roll(cohort, th) {
+            return;
+        }
         let c = &self.cohorts[cohort];
         let (site, owner) = (c.site, c.lock_owner);
         if self.spec.opt && self.sites[site].locks.has_live_borrows(owner) {
@@ -520,6 +532,12 @@ impl Simulation {
                 self.cohort_decision(cohort, commit, attempt)
             }
             MsgKind::ChainBack { txn, commit } => self.master_chain_back(txn, commit),
+            MsgKind::PaxosVote { txn, acc, yes, .. } => self.acceptor_vote(txn, acc, yes),
+            MsgKind::Accepted { txn, commit } => self.master_accepted(txn, commit),
+            MsgKind::RepDecision { txn, rep } => self.replica_decision(txn, rep),
+            MsgKind::RepAck { txn } => self.master_rep_ack(txn),
+            MsgKind::AccStateReq { txn, acc } => self.acceptor_state_req(txn, acc),
+            MsgKind::AccStateRep { txn } => self.leader_acc_state_rep(txn),
         }
     }
 
@@ -533,7 +551,9 @@ impl Simulation {
             CohortDecision { cohort, commit } => self.cohort_finish_decision(cohort, commit),
             MasterCollecting { txn } => self.master_collected(txn),
             MasterPrecommit { txn } => self.master_precommit_logged(txn),
-            MasterDecision { txn, commit } => self.master_decided(txn, commit),
+            MasterDecision { txn, commit } => self.master_decision_logged(txn, commit),
+            AcceptorBundle { txn, acc } => self.acceptor_bundle_logged(txn, acc),
+            ReplicaDecision { txn, rep } => self.replica_decision_logged(txn, rep),
         }
     }
 

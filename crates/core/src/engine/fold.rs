@@ -134,6 +134,9 @@ impl FoldSink {
             TraceEvent::TerminationStarted { .. } => {
                 ("global".to_string(), "termination".to_string())
             }
+            TraceEvent::FailoverStarted { .. } => {
+                ("global".to_string(), "leader failover".to_string())
+            }
         }
     }
 

@@ -33,7 +33,7 @@ use crate::metrics::{
     LatencySummary, Metrics, PhaseLatencies, ResourceReport, ResourceStats, SimReport, Utilizations,
 };
 use crate::workload::{SiteId, WorkloadGenerator};
-use commitproto::ProtocolSpec;
+use commitproto::{ProtocolSpec, Routing, SpecTable};
 use distlocks::{LockManager, OwnerId};
 use simkernel::stats::Tally;
 use simkernel::{Calendar, JobClass, SimDuration, SimRng, SimTime, Slab, Station};
@@ -115,6 +115,10 @@ impl Site {
 pub struct Simulation {
     pub(crate) cfg: SystemConfig,
     pub(crate) spec: ProtocolSpec,
+    /// The declarative behaviour table of `spec.base` — the engine is a
+    /// generic interpreter of these columns; no code path matches on
+    /// the protocol name.
+    pub(crate) table: SpecTable,
     pub(crate) wl: WorkloadGenerator,
     pub(crate) cal: Calendar<Event>,
     pub(crate) rng: SimRng,
@@ -406,7 +410,8 @@ impl Simulation {
                 "OPT cannot be combined with a baseline protocol",
             ));
         }
-        if spec.base == commitproto::BaseProtocol::Linear2PC {
+        let table = spec.base.table();
+        if matches!(table.routing, Routing::Chain) {
             if cfg.read_only_optimization {
                 return Err(ConfigError::Invalid(
                     "the read-only optimization would break the linear-2PC chain",
@@ -416,6 +421,23 @@ impl Simulation {
                 return Err(ConfigError::Invalid(
                     "failure injection models the parallel decision point and does not \
                      support chained 2PC",
+                ));
+            }
+        }
+        if cfg.replication > 0 && !spec.is_replicated() {
+            return Err(ConfigError::Invalid(
+                "replication degree requires a replicated protocol (PAXOS or REP2PC)",
+            ));
+        }
+        if spec.is_replicated() {
+            if cfg.read_only_optimization {
+                return Err(ConfigError::Invalid(
+                    "the read-only optimization is not modeled for replicated protocols",
+                ));
+            }
+            if 2 * cfg.replication as usize + 1 > cfg.num_sites {
+                return Err(ConfigError::Invalid(
+                    "2F+1 acceptors need at least 2F+1 sites",
                 ));
             }
         }
@@ -477,6 +499,7 @@ impl Simulation {
         let mut sim = Simulation {
             cfg: cfg.clone(),
             spec,
+            table,
             wl,
             cal: Calendar::new(),
             rng: SimRng::new(seed),
@@ -814,7 +837,9 @@ impl Simulation {
             | LogWork::CohortDecision { cohort, .. } => self.cohorts.get(cohort).map(|c| c.txn),
             LogWork::MasterCollecting { txn }
             | LogWork::MasterPrecommit { txn }
-            | LogWork::MasterDecision { txn, .. } => Some(txn),
+            | LogWork::MasterDecision { txn, .. }
+            | LogWork::AcceptorBundle { txn, .. }
+            | LogWork::ReplicaDecision { txn, .. } => Some(txn),
         }
     }
 
@@ -843,7 +868,13 @@ impl Simulation {
             | MsgKind::PreAck { txn, .. }
             | MsgKind::Ack { txn, .. }
             | MsgKind::TermStateRep { txn }
-            | MsgKind::ChainBack { txn, .. } => Some(txn),
+            | MsgKind::ChainBack { txn, .. }
+            | MsgKind::PaxosVote { txn, .. }
+            | MsgKind::Accepted { txn, .. }
+            | MsgKind::RepDecision { txn, .. }
+            | MsgKind::RepAck { txn }
+            | MsgKind::AccStateReq { txn, .. }
+            | MsgKind::AccStateRep { txn } => Some(txn),
         }
     }
 
@@ -903,18 +934,23 @@ impl Simulation {
     /// a lossy network does not spare one direction. `InitCohort` and
     /// the termination-protocol exchange stay exempt: the modeled crash
     /// windows place them outside the loss model, and their loss would
-    /// need recovery machinery the paper does not describe.
-    fn loss_eligible(kind: &MsgKind) -> bool {
-        matches!(
-            *kind,
-            MsgKind::Prepare { .. }
-                | MsgKind::PreCommit { .. }
-                | MsgKind::Decision { .. }
-                | MsgKind::WorkDone { .. }
-                | MsgKind::Vote { .. }
-                | MsgKind::PreAck { .. }
-                | MsgKind::Ack { .. }
-        )
+    /// need recovery machinery the paper does not describe. Under
+    /// quorum routing the PREPARE/vote round is likewise exempt: a
+    /// retransmitted PREPARE would re-fan the vote to every acceptor
+    /// and the acceptor tally has no duplicate suppression — the loss
+    /// model covers the decision/ack round, where Paxos Commit's
+    /// fault tolerance actually lives.
+    fn loss_eligible(&self, kind: &MsgKind) -> bool {
+        match *kind {
+            MsgKind::Prepare { .. } => !matches!(self.table.routing, Routing::Quorum),
+            MsgKind::PreCommit { .. }
+            | MsgKind::Decision { .. }
+            | MsgKind::WorkDone { .. }
+            | MsgKind::Vote { .. }
+            | MsgKind::PreAck { .. }
+            | MsgKind::Ack { .. } => true,
+            _ => false,
+        }
     }
 
     /// The retransmission handle for the loss-eligible classes that
@@ -957,9 +993,7 @@ impl Simulation {
         let mut lost = false;
         if from != to {
             if let Some(f) = self.cfg.failures {
-                if f.msg_loss_prob > 0.0
-                    && attempt < f.max_retransmits
-                    && Self::loss_eligible(&kind)
+                if f.msg_loss_prob > 0.0 && attempt < f.max_retransmits && self.loss_eligible(&kind)
                 {
                     self.metrics.message_loss_trials.bump();
                     if self.rng.chance(f.msg_loss_prob) {
@@ -1093,6 +1127,25 @@ impl Simulation {
     // Identity & bookkeeping
     // ------------------------------------------------------------------
 
+    /// Replication degree F in effect: the configured degree for the
+    /// replicated protocol family, zero for the classic single-copy
+    /// protocols (whose table rows never consult it).
+    pub(crate) fn rep_f(&self) -> u32 {
+        if self.spec.is_replicated() {
+            self.cfg.replication
+        } else {
+            0
+        }
+    }
+
+    /// Site of replica `k` (0-based, `k < 2F+1`) of the group anchored
+    /// at `home`: consecutive sites wrapping around the ring, so
+    /// replica 0 — the Paxos leader / the replicated coordinator's
+    /// primary — is co-located with the master.
+    pub(crate) fn acceptor_site(&self, home: SiteId, k: u32) -> SiteId {
+        (home + k as usize) % self.sites.len()
+    }
+
     pub(crate) fn alloc_txn_id(&mut self) -> TxnId {
         let id = self.next_txn_id;
         self.next_txn_id += 1;
@@ -1187,7 +1240,22 @@ impl Simulation {
             return;
         }
         let d = t.template.sites.len() as u32;
-        let predicted = if self.cfg.read_only_optimization && self.spec.base.has_voting_phase() {
+        let predicted = if self.spec.is_replicated() {
+            // Votes/ACCEPTED between co-located cohorts and acceptors
+            // are free: count the remote cohorts that sit on one of the
+            // 2F non-home acceptor sites (acceptor 0 shares the home).
+            let f = self.rep_f();
+            let mut colocated = 0u32;
+            if matches!(self.table.routing, Routing::Quorum) && f > 0 {
+                for &site in &t.template.sites {
+                    if site != t.home && (1..=2 * f).any(|k| site == self.acceptor_site(t.home, k))
+                    {
+                        colocated += 1;
+                    }
+                }
+            }
+            self.spec.committed_overheads_replicated(d, f, colocated)
+        } else if self.cfg.read_only_optimization && self.table.voting {
             // Which cohorts dropped out with a READ vote is a property
             // of the template: a cohort is read-only iff it updates
             // nothing.
@@ -1339,6 +1407,7 @@ impl Simulation {
             aborted_deadlock: self.metrics.aborted_deadlock.get(),
             aborted_surprise: self.metrics.aborted_surprise.get(),
             aborted_borrower: self.metrics.aborted_borrower.get(),
+            aborted_crash: self.metrics.aborted_crash.get(),
             throughput,
             throughput_ci: self.metrics.throughput_batches.confidence_interval(),
             mean_response_s: self.metrics.response.mean(),

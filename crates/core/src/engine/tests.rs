@@ -426,6 +426,9 @@ fn control_site_defaults_to_home() {
         master_done: false,
         coordinator_site: None,
         pending_term_reps: 0,
+        acc_pending: Vec::new(),
+        accepts_outstanding: 0,
+        pending_rep_acks: 0,
         commit_started: None,
         decided_at: None,
         msg_exec: 0,

@@ -40,6 +40,16 @@ pub enum MsgLabel {
     TermStateReq,
     /// Termination-protocol state report.
     TermStateRep,
+    /// Paxos Commit: a cohort's YES vote to one acceptor.
+    PaxosVoteYes,
+    /// Paxos Commit: a cohort's NO vote to one acceptor.
+    PaxosVoteNo,
+    /// Paxos Commit: an acceptor's ACCEPTED report to the leader.
+    Accepted,
+    /// Replicated 2PC: the decision record copy to a backup replica.
+    RepDecision,
+    /// Replicated 2PC: a backup replica's copy acknowledgement.
+    RepAck,
 }
 
 /// The kind of forced log write.
@@ -63,6 +73,10 @@ pub enum LogLabel {
     MasterCommit,
     /// The master's abort record.
     MasterAbort,
+    /// A Paxos acceptor's vote bundle (replaces the master record).
+    AcceptorBundle,
+    /// A replicated-2PC backup's copy of the master decision record.
+    ReplicaDecision,
 }
 
 /// One traced step.
@@ -128,12 +142,14 @@ pub enum TraceEvent {
     Aborted { at: SimTime, txn: TxnId },
     /// The master crashed at its decision point (failure injection).
     MasterCrashed { at: SimTime, txn: TxnId },
-    /// A cohort crashed right after forcing its prepare/precommit
+    /// A cohort crashed at one of the injection points — during the
+    /// execution phase, or right after forcing its prepare/precommit
     /// record (failure injection).
     CohortCrashed {
         at: SimTime,
         txn: TxnId,
         cohort: CohortId,
+        site: SiteId,
     },
     /// A crashed cohort restarted and replayed its log.
     CohortRecovered {
@@ -160,6 +176,13 @@ pub enum TraceEvent {
         txn: TxnId,
         coordinator: CohortId,
     },
+    /// Paxos leader failover began after the leader crashed; `leader`
+    /// is the acceptor site that takes over.
+    FailoverStarted {
+        at: SimTime,
+        txn: TxnId,
+        leader: SiteId,
+    },
 }
 
 impl TraceEvent {
@@ -180,7 +203,8 @@ impl TraceEvent {
             | TraceEvent::CohortRecovered { txn, .. }
             | TraceEvent::MsgLost { txn, .. }
             | TraceEvent::Retransmitted { txn, .. }
-            | TraceEvent::TerminationStarted { txn, .. } => txn,
+            | TraceEvent::TerminationStarted { txn, .. }
+            | TraceEvent::FailoverStarted { txn, .. } => txn,
         }
     }
 
@@ -201,7 +225,8 @@ impl TraceEvent {
             | TraceEvent::CohortRecovered { at, .. }
             | TraceEvent::MsgLost { at, .. }
             | TraceEvent::Retransmitted { at, .. }
-            | TraceEvent::TerminationStarted { at, .. } => at,
+            | TraceEvent::TerminationStarted { at, .. }
+            | TraceEvent::FailoverStarted { at, .. } => at,
         }
     }
 }
@@ -346,8 +371,8 @@ impl Trace {
                 }
                 TraceEvent::Aborted { .. } => "incarnation aborted; restart scheduled".into(),
                 TraceEvent::MasterCrashed { .. } => "MASTER CRASHED at decision point".into(),
-                TraceEvent::CohortCrashed { cohort, .. } => {
-                    format!("cohort {cohort} CRASHED after forcing its record")
+                TraceEvent::CohortCrashed { cohort, site, .. } => {
+                    format!("cohort {cohort} CRASHED at site {site}")
                 }
                 TraceEvent::CohortRecovered { cohort, .. } => {
                     format!("cohort {cohort} recovered, log replayed")
@@ -360,6 +385,9 @@ impl Trace {
                 }
                 TraceEvent::TerminationStarted { coordinator, .. } => {
                     format!("termination protocol started, coordinator = cohort {coordinator}")
+                }
+                TraceEvent::FailoverStarted { leader, .. } => {
+                    format!("leader failover started, new leader = site {leader}")
                 }
             };
             let _ = writeln!(out, "  +{dt:>9.3} ms  {line}");
@@ -527,6 +555,7 @@ mod tests {
                 at: SimTime(10),
                 txn: 3,
                 cohort: 9,
+                site: 2,
             },
             TraceEvent::CohortRecovered {
                 at: SimTime(11),
@@ -548,6 +577,11 @@ mod tests {
                 at: SimTime(14),
                 txn: 3,
                 coordinator: 9,
+            },
+            TraceEvent::FailoverStarted {
+                at: SimTime(15),
+                txn: 3,
+                leader: 1,
             },
         ];
         for (i, e) in events.iter().enumerate() {

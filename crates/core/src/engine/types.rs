@@ -140,6 +140,13 @@ pub(crate) enum LogWork {
     /// The master's global decision record — its completion is the
     /// transaction's commit point.
     MasterDecision { txn: TxnH, commit: bool },
+    /// Paxos Commit: acceptor `acc`'s vote bundle — one forced record
+    /// covering every cohort's vote, replacing the master decision
+    /// record (Gray & Lamport §5).
+    AcceptorBundle { txn: TxnH, acc: u32 },
+    /// Replicated 2PC: backup replica `rep`'s copy of the master
+    /// decision record.
+    ReplicaDecision { txn: TxnH, rep: u32 },
 }
 
 /// A loss-eligible transfer being watched by a retransmission timer
@@ -233,6 +240,23 @@ pub(crate) enum MsgKind {
     ChainDecision { cohort: CohortH, commit: bool },
     /// Linear 2PC: the decision's final backward hop to the master.
     ChainBack { txn: TxnH, commit: bool },
+    /// Paxos Commit: a cohort's vote, fanned out to acceptor `acc` of
+    /// the home shard's replica group (instead of a single VOTE to the
+    /// master).
+    PaxosVote { txn: TxnH, acc: u32, yes: bool },
+    /// Paxos Commit: acceptor `acc` has forced its vote bundle and
+    /// reports the outcome it accepted to the leader.
+    Accepted { txn: TxnH, commit: bool },
+    /// Replicated 2PC: the master's decision record, copied to backup
+    /// replica `rep` before the decision is announced.
+    RepDecision { txn: TxnH, rep: u32 },
+    /// Replicated 2PC: a backup replica has forced its copy.
+    RepAck { txn: TxnH },
+    /// Paxos leader failover: the new leader queries acceptor `acc` for
+    /// its accepted state (the quorum-read of the recovery round).
+    AccStateReq { txn: TxnH, acc: u32 },
+    /// Paxos leader failover: an acceptor's state report.
+    AccStateRep { txn: TxnH },
 }
 
 impl MsgKind {
@@ -271,6 +295,15 @@ impl MsgKind {
             MsgKind::ChainDecision { commit: false, .. } => L::DecisionAbort,
             MsgKind::ChainBack { commit: true, .. } => L::DecisionCommit,
             MsgKind::ChainBack { commit: false, .. } => L::DecisionAbort,
+            MsgKind::PaxosVote { yes: true, .. } => L::PaxosVoteYes,
+            MsgKind::PaxosVote { yes: false, .. } => L::PaxosVoteNo,
+            MsgKind::Accepted { .. } => L::Accepted,
+            MsgKind::RepDecision { .. } => L::RepDecision,
+            MsgKind::RepAck { .. } => L::RepAck,
+            // The failover round is the replicated analogue of the 3PC
+            // termination state exchange; it shares those labels.
+            MsgKind::AccStateReq { .. } => L::TermStateReq,
+            MsgKind::AccStateRep { .. } => L::TermStateRep,
         }
     }
 }
@@ -289,6 +322,8 @@ impl LogWork {
             LogWork::MasterPrecommit { .. } => L::MasterPrecommit,
             LogWork::MasterDecision { commit: true, .. } => L::MasterCommit,
             LogWork::MasterDecision { commit: false, .. } => L::MasterAbort,
+            LogWork::AcceptorBundle { .. } => L::AcceptorBundle,
+            LogWork::ReplicaDecision { .. } => L::ReplicaDecision,
         }
     }
 }
@@ -343,6 +378,18 @@ pub(crate) struct Txn {
     pub coordinator_site: Option<SiteId>,
     /// Outstanding termination state reports.
     pub pending_term_reps: usize,
+    /// Paxos Commit: votes still missing per acceptor of the home
+    /// shard's replica group (indexed by acceptor ordinal; empty for
+    /// non-quorum protocols). An acceptor forces its bundle when its
+    /// entry reaches zero.
+    pub acc_pending: Vec<u32>,
+    /// Paxos Commit: ACCEPTED reports the leader has not yet received;
+    /// cleanup waits for straggler acceptors so the overhead check sees
+    /// every forced bundle.
+    pub accepts_outstanding: usize,
+    /// Replicated 2PC: backup replicas that have not yet acknowledged
+    /// their copy of the decision record.
+    pub pending_rep_acks: usize,
     /// When this incarnation entered commit processing (all WORKDONEs
     /// collected) — the execution/voting phase boundary.
     pub commit_started: Option<SimTime>,

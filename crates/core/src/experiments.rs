@@ -631,6 +631,49 @@ pub fn fault_injection(scale: &Scale) -> Result<Experiment, ConfigError> {
     })
 }
 
+/// **Replication extension** — the replicated-shard commit family
+/// under master crashes at a fixed MPL. The headline contrast: a 2PC
+/// master replicating its decision to 2F standby coordinators
+/// (REP2PC) still *blocks* its prepared cohorts for the full recovery
+/// time when it crashes — replication protects the decision record,
+/// not availability — while Paxos Commit at the same F fails over to
+/// the surviving acceptors after the detection timeout, keeping the
+/// blocked time bounded. PAXOS at F = 0 runs the same schedule as
+/// plain 2PC (the degenerate case), pinning the family to the
+/// Tables 3–4 baseline.
+pub fn replication(scale: &Scale) -> Result<Experiment, ConfigError> {
+    use crate::config::FailureConfig;
+    let base = SystemConfig::paper_baseline();
+    let family: [(&str, ProtocolSpec, u32); 5] = [
+        ("2PC", ProtocolSpec::TWO_PC, 0),
+        ("PAXOS f=0", ProtocolSpec::PAXOS, 0),
+        ("PAXOS f=1", ProtocolSpec::PAXOS, 1),
+        ("REP2PC f=1", ProtocolSpec::REP_2PC, 1),
+        ("3PC", ProtocolSpec::THREE_PC, 0),
+    ];
+    let mut specs = Vec::new();
+    for &(p, plabel) in &[(0.0, "0%"), (0.01, "1%"), (0.05, "5%")] {
+        for (label, spec, f) in family {
+            let mut cfg = base.clone().with_replication(f);
+            if p > 0.0 {
+                cfg.failures = Some(FailureConfig::master_crashes(p));
+            }
+            specs.push((format!("{label} crash={plabel}"), spec, cfg));
+        }
+    }
+    // Like the other failure sweeps: hold MPL fixed, vary the crash
+    // rate across the family.
+    let mut scale = scale.clone();
+    scale.mpls = vec![4];
+    let series = sweep(&base, &specs, &scale)?;
+    Ok(Experiment {
+        id: "replication".into(),
+        title: "Extension: Replicated Commit — Paxos Commit vs replicated 2PC".into(),
+        config: base,
+        series,
+    })
+}
+
 /// **Scale extension** (ROADMAP item 2) — commit protocols at
 /// production scale: 256 sites at the paper's page density, Zipf-skewed
 /// page access, and a two-class LAN/WAN topology. Each protocol runs

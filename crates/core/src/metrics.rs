@@ -25,6 +25,10 @@ pub enum AbortReason {
     /// A lender it had borrowed from aborted (OPT's bounded abort
     /// chain, §3.1).
     BorrowerCascade,
+    /// A cohort crashed during the execution phase, before anything
+    /// reached stable storage; recovery presumes abort and the
+    /// transaction restarts.
+    CohortCrash,
 }
 
 /// Live accumulation during a run. Reset at the end of warm-up.
@@ -35,6 +39,7 @@ pub(crate) struct Metrics {
     pub aborted_deadlock: Counter,
     pub aborted_surprise: Counter,
     pub aborted_borrower: Counter,
+    pub aborted_crash: Counter,
     pub exec_messages: Counter,
     pub commit_messages: Counter,
     pub forced_writes: Counter,
@@ -92,6 +97,7 @@ impl Metrics {
             aborted_deadlock: Counter::default(),
             aborted_surprise: Counter::default(),
             aborted_borrower: Counter::default(),
+            aborted_crash: Counter::default(),
             exec_messages: Counter::default(),
             commit_messages: Counter::default(),
             forced_writes: Counter::default(),
@@ -136,6 +142,7 @@ impl Metrics {
         self.aborted_deadlock = Counter::default();
         self.aborted_surprise = Counter::default();
         self.aborted_borrower = Counter::default();
+        self.aborted_crash = Counter::default();
         self.exec_messages = Counter::default();
         self.commit_messages = Counter::default();
         self.forced_writes = Counter::default();
@@ -229,6 +236,7 @@ impl Metrics {
             AbortReason::Deadlock => self.aborted_deadlock.bump(),
             AbortReason::SurpriseVote => self.aborted_surprise.bump(),
             AbortReason::BorrowerCascade => self.aborted_borrower.bump(),
+            AbortReason::CohortCrash => self.aborted_crash.bump(),
         }
     }
 }
@@ -549,6 +557,10 @@ pub struct SimReport {
     pub aborted_surprise: u64,
     /// Borrower-cascade aborts inside the window (OPT only).
     pub aborted_borrower: u64,
+    /// Execution-phase cohort-crash aborts inside the window: the
+    /// cohort went down before logging anything, so recovery presumed
+    /// abort and the transaction restarted.
+    pub aborted_crash: u64,
     /// Committed transactions per second.
     pub throughput: f64,
     /// Batch-means 90% confidence interval on the throughput.
@@ -687,7 +699,7 @@ impl SimReport {
 
     /// All aborts inside the window.
     pub fn total_aborts(&self) -> u64 {
-        self.aborted_deadlock + self.aborted_surprise + self.aborted_borrower
+        self.aborted_deadlock + self.aborted_surprise + self.aborted_borrower + self.aborted_crash
     }
 
     /// Fraction of incarnations that aborted.
@@ -741,6 +753,7 @@ impl SimReport {
             aborted_deadlock: sum(&|r| r.aborted_deadlock),
             aborted_surprise: sum(&|r| r.aborted_surprise),
             aborted_borrower: sum(&|r| r.aborted_borrower),
+            aborted_crash: sum(&|r| r.aborted_crash),
             throughput: throughputs.mean(),
             throughput_ci: ConfidenceInterval {
                 mean: throughputs.mean(),
@@ -806,7 +819,7 @@ impl SimReport {
         let avg = self.resources();
         let mut s = format!(
             "{:<8} MPL {:>2}: {:>7.2} txn/s (±{:>4.1}%), resp {:>6.3}s, block {:>5.3}, borrow {:>5.3}, \
-             aborts {:.1}% (deadlock {}, vote {}, cascade {})\n         \
+             aborts {:.1}% (deadlock {}, vote {}, cascade {}, crash {})\n         \
              phase p50/p90/p99 ms: exec {} | vote {} | ack {} \
              | occ p99 cpu/data/log {:.0}/{:.0}/{:.0}",
             self.protocol,
@@ -820,6 +833,7 @@ impl SimReport {
             self.aborted_deadlock,
             self.aborted_surprise,
             self.aborted_borrower,
+            self.aborted_crash,
             phase(&self.phase_latencies.execution),
             phase(&self.phase_latencies.voting),
             phase(&self.phase_latencies.decision),
@@ -879,8 +893,8 @@ impl SimReport {
         let _ = writeln!(out, "committed            {}", self.committed);
         let _ = writeln!(
             out,
-            "aborts               {} deadlock, {} surprise, {} cascade",
-            self.aborted_deadlock, self.aborted_surprise, self.aborted_borrower
+            "aborts               {} deadlock, {} surprise, {} cascade, {} crash",
+            self.aborted_deadlock, self.aborted_surprise, self.aborted_borrower, self.aborted_crash
         );
         let _ = writeln!(
             out,
@@ -1037,6 +1051,12 @@ impl SimReport {
                 "run",
                 "aborted_borrower",
                 self.aborted_borrower.to_string(),
+            );
+            kv(
+                &mut out,
+                "run",
+                "aborted_crash",
+                self.aborted_crash.to_string(),
             );
             kv(&mut out, "run", "throughput", f(self.throughput));
             kv(
@@ -1201,7 +1221,7 @@ impl SimReport {
             out,
             "\"protocol\":\"{}\",\"mpl\":{},\"sim_seconds\":{},\"committed\":{},\
              \"aborted_deadlock\":{},\"aborted_surprise\":{},\"aborted_borrower\":{},\
-             \"throughput\":{},\"throughput_ci90\":{},\"mean_response_s\":{},\
+             \"aborted_crash\":{},\"throughput\":{},\"throughput_ci90\":{},\"mean_response_s\":{},\
              \"p50_response_s\":{},\"p95_response_s\":{},\"p99_response_s\":{},\
              \"mean_attempt_response_s\":{},\"block_ratio\":{},\"borrow_ratio\":{},\
              \"exec_messages_per_commit\":{},\"commit_messages_per_commit\":{},\
@@ -1214,6 +1234,7 @@ impl SimReport {
             self.aborted_deadlock,
             self.aborted_surprise,
             self.aborted_borrower,
+            self.aborted_crash,
             json_f64(self.throughput),
             json_f64(self.throughput_ci.half_width),
             json_f64(self.mean_response_s),
@@ -1347,9 +1368,11 @@ mod tests {
         m.record_abort(AbortReason::SurpriseVote);
         m.record_abort(AbortReason::SurpriseVote);
         m.record_abort(AbortReason::BorrowerCascade);
+        m.record_abort(AbortReason::CohortCrash);
         assert_eq!(m.aborted_deadlock.get(), 1);
         assert_eq!(m.aborted_surprise.get(), 2);
         assert_eq!(m.aborted_borrower.get(), 1);
+        assert_eq!(m.aborted_crash.get(), 1);
     }
 
     fn sample_report() -> SimReport {
@@ -1361,6 +1384,7 @@ mod tests {
             aborted_deadlock: 50,
             aborted_surprise: 25,
             aborted_borrower: 25,
+            aborted_crash: 0,
             throughput: 9.0,
             throughput_ci: ConfidenceInterval {
                 mean: 9.0,

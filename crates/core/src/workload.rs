@@ -142,9 +142,9 @@ pub struct WorkloadGenerator {
 }
 
 impl WorkloadGenerator {
-    /// Build a generator for `cfg` running under `base` (the
-    /// centralized baseline folds the whole database into one site and
-    /// one cohort, §5.1).
+    /// Build a generator for `cfg` running under `base`; the
+    /// `centralized` column of the protocol's spec table folds the
+    /// whole database into one site and one cohort (§5.1).
     pub fn new(cfg: &SystemConfig, base: BaseProtocol) -> Self {
         WorkloadGenerator {
             pages_per_site: cfg.pages_per_site(),
@@ -157,7 +157,7 @@ impl WorkloadGenerator {
                 .zipf
                 .map(|z| ZipfSampler::new(cfg.pages_per_site(), z.theta)),
             hot_site_prob: cfg.topology.map_or(0.0, |t| t.hot_site_prob),
-            centralized: base == BaseProtocol::Centralized,
+            centralized: base.table().centralized,
         }
     }
 

@@ -10,16 +10,22 @@
 //! "OPT can be combined with current industry standard protocols such
 //! as Presumed Commit and Presumed Abort" (§1) and with 3PC (§5.6).
 //!
-//! The per-step behaviour flags ([`BaseProtocol::cohort_decision_forced`]
-//! etc.) are the *single source of truth*: both the simulator's state
-//! machines and the analytic overhead formulas
-//! ([`ProtocolSpec::committed_overheads`]) are derived from them, so a
-//! disagreement between analysis and simulation is impossible by
+//! Each schedule is one row of the declarative [`SpecTable`] — voting
+//! scheme, message [`Routing`], which records are forced, who
+//! acknowledges what, the [`Takeover`] behaviour on coordinator crash
+//! — and that row is the *single source of truth*: the simulator's
+//! generic interpreter and the analytic overhead formulas
+//! ([`ProtocolSpec::committed_overheads`]) both read the same columns,
+//! so a disagreement between analysis and simulation is impossible by
 //! construction. The unit tests pin the derived numbers to the paper's
-//! Table 3 (DistDegree = 3) and Table 4 (DistDegree = 6).
+//! Table 3 (DistDegree = 3) and Table 4 (DistDegree = 6), and the
+//! engine cross-checks every simulated commit against the row it ran.
 
 pub mod overheads;
 pub mod spec;
 
 pub use overheads::{AbortScenario, Overheads, ReadOnlyScenario};
-pub use spec::{BaseProtocol, ProtocolSpec, RecoveryAction, RecoveryRecord};
+pub use spec::{
+    BaseProtocol, ByOutcome, Presumption, ProtocolSpec, RecoveryAction, RecoveryRecord, Routing,
+    SpecTable, Takeover,
+};

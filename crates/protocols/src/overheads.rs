@@ -1,8 +1,9 @@
 //! The analytic overhead model (Tables 3 and 4 of the paper).
 //!
 //! Counts of messages and forced log writes per transaction, derived
-//! from the behaviour flags in [`crate::spec`]. Conventions, matching
-//! the paper's tables:
+//! from the declarative [`crate::spec::SpecTable`] row — the same data
+//! the simulation engine interprets, so the two can be cross-checked
+//! per transaction. Conventions, matching the paper's tables:
 //!
 //! * A "message" is one network transfer. The master and its
 //!   co-located cohort communicate for free, so with `DistDegree = d`
@@ -14,7 +15,7 @@
 //!   `2d + 1` forced writes (prepare + commit per cohort, plus the
 //!   master decision record) — 7 at `d = 3`.
 
-use crate::spec::{BaseProtocol, ProtocolSpec};
+use crate::spec::{ProtocolSpec, Routing};
 
 /// Message and forced-write counts for one transaction outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -100,64 +101,109 @@ impl ProtocolSpec {
     /// (`dist_degree = 6`). OPT does not change the schedule, so the
     /// counts are those of the base protocol.
     pub fn committed_overheads(&self, dist_degree: u32) -> Overheads {
+        self.committed_overheads_replicated(dist_degree, 0, 0)
+    }
+
+    /// Overheads of one committing transaction when the commit runs
+    /// over a replica group of `2F+1` acceptors (or a coordinator
+    /// replicated at `2F` backup sites). `F = 0` degenerates to
+    /// [`ProtocolSpec::committed_overheads`] for every protocol, which
+    /// is the Gray & Lamport theorem this crate's tests pin: Paxos
+    /// Commit at `F = 0` *is* 2PC, count for count.
+    ///
+    /// `colocated_acceptors` counts the (remote cohort, acceptor site)
+    /// co-location pairs of the concrete transaction: a remote cohort
+    /// that happens to sit on an acceptor site sends that one vote for
+    /// free, so exact cross-checking needs the placement.
+    pub fn committed_overheads_replicated(
+        &self,
+        dist_degree: u32,
+        f: u32,
+        colocated_acceptors: u32,
+    ) -> Overheads {
         assert!(dist_degree >= 1, "a transaction has at least one cohort");
+        if f > 0 {
+            assert!(
+                self.is_replicated(),
+                "{} has no replica group and ignores the replication factor",
+                self.name()
+            );
+        }
+        let t = self.base.table();
         let d = dist_degree as u64;
         let r = d - 1; // remote cohorts
-        match self.base {
-            BaseProtocol::Centralized => Overheads {
-                exec_messages: 0,
+        let f = f as u64;
+        let exec = if t.centralized { 0 } else { 2 * r };
+        if !t.voting {
+            // Baselines: commit is one forced decision record.
+            return Overheads {
+                exec_messages: exec,
                 commit_messages: 0,
                 forced_writes: 1,
-            },
-            BaseProtocol::Dpcc => Overheads {
-                exec_messages: 2 * r,
-                commit_messages: 0,
-                forced_writes: 1,
-            },
-            // Linear 2PC: prepare travels down the chain (r remote
-            // hops; the master→local-cohort hop is free), the decision
-            // travels back up (r hops, the ack role folded in). Forced
-            // writes match 2PC: every cohort logs prepare and commit,
-            // the master logs the final commit record.
-            BaseProtocol::Linear2PC => Overheads {
-                exec_messages: 2 * r,
-                commit_messages: 2 * r,
-                forced_writes: 2 * d + 1,
-            },
-            base => {
-                // Voting protocols: derive from the behaviour flags.
-                let mut msgs = 0;
-                let mut forced = 0;
-                // Collecting record (PC) before the first phase.
-                if base.collecting_record() {
-                    forced += 1;
-                }
-                // Phase 1: PREPARE out, votes back.
-                msgs += 2 * r;
-                forced += d; // every cohort forces a prepare record
-                             // Precommit phase (3PC): PRECOMMIT out, ACK back, both
-                             // master and cohorts force precommit records.
-                if base.precommit_phase() {
-                    msgs += 2 * r;
-                    forced += 1 + d;
-                }
-                // Decision phase.
-                if base.master_decision_forced(true) {
-                    forced += 1;
-                }
-                msgs += r; // COMMIT out
-                if base.cohort_decision_forced(true) {
-                    forced += d;
-                }
-                if base.cohort_ack(true) {
-                    msgs += r;
-                }
-                Overheads {
-                    exec_messages: 2 * r,
-                    commit_messages: msgs,
-                    forced_writes: forced,
-                }
+            };
+        }
+        let mut msgs = 0;
+        let mut forced = 0;
+        // Collecting record (PC) before the first phase.
+        if t.init_record {
+            forced += 1;
+        }
+        // Phase 1.
+        match t.routing {
+            // PREPARE out, votes back.
+            Routing::Direct => msgs += 2 * r,
+            // PREPARE rides the chain through the cohorts (r remote
+            // hops; the master→local-cohort hop is free), carrying the
+            // accumulated vote — no separate vote messages.
+            Routing::Chain => msgs += r,
+            // PREPARE out as usual, but every cohort votes to all 2F+1
+            // acceptors, and each acceptor reports ACCEPTED to the
+            // leader. The home cohort and the leader are co-located
+            // with acceptor G(0), so those legs are free.
+            Routing::Quorum => {
+                let colocated = colocated_acceptors as u64;
+                assert!(
+                    colocated <= r * (2 * f + 1),
+                    "more co-located acceptor pairs than vote legs"
+                );
+                msgs += r; // PREPARE out
+                msgs += 2 * f; // home cohort's votes to the remote acceptors
+                msgs += r * (2 * f + 1) - colocated; // remote cohorts' votes
+                msgs += 2 * f; // ACCEPTED from the remote acceptors
             }
+        }
+        forced += d; // every cohort forces a prepare record
+        if matches!(t.routing, Routing::Quorum) {
+            forced += 2 * f + 1; // one vote-bundle record per acceptor
+        }
+        // Precommit phase (3PC): PRECOMMIT out, ACK back, both master
+        // and cohorts force precommit records.
+        if t.precommit {
+            msgs += 2 * r;
+            forced += 1 + d;
+        }
+        // Decision phase.
+        if t.master_decision_forced.on(true) {
+            forced += 1;
+        }
+        // Replicated coordinator: the decision record is copied to the
+        // 2F backup sites (and force-written there), each copy acked,
+        // before the decision is announced.
+        if t.replicated_decision {
+            msgs += 4 * f;
+            forced += 2 * f;
+        }
+        msgs += r; // COMMIT out (for Chain: the backward pass)
+        if t.cohort_decision_forced.on(true) {
+            forced += d;
+        }
+        if t.cohort_ack.on(true) {
+            msgs += r;
+        }
+        Overheads {
+            exec_messages: exec,
+            commit_messages: msgs,
+            forced_writes: forced,
         }
     }
 
@@ -168,21 +214,25 @@ impl ProtocolSpec {
     /// nothing forced anywhere (except PC's collecting record, which is
     /// written before the master learns the votes).
     pub fn committed_overheads_read_only(&self, scenario: ReadOnlyScenario) -> Overheads {
+        let t = self.base.table();
         assert!(
-            self.base.has_voting_phase(),
+            t.voting,
             "{} has no voting phase; the read-only optimization does not apply",
             self.name()
         );
         assert!(
-            self.base != BaseProtocol::Linear2PC,
+            !matches!(t.routing, Routing::Chain),
             "the read-only optimization is not defined for chained 2PC (a read-only \
              cohort would break the chain)"
+        );
+        assert!(
+            !self.is_replicated(),
+            "the read-only optimization is not modelled for the replicated family"
         );
         assert!(
             scenario.remote_read_only < scenario.dist_degree,
             "more read-only remotes than remote cohorts"
         );
-        let base = self.base;
         let d = scenario.dist_degree as u64;
         let r = d - 1;
         let p = scenario.participants() as u64;
@@ -190,23 +240,23 @@ impl ProtocolSpec {
 
         let mut msgs = 2 * r; // PREPARE to everyone, a vote from everyone
         let mut forced = 0;
-        if base.collecting_record() {
+        if t.init_record {
             forced += 1;
         }
         forced += p; // only participants force prepare records
         if p > 0 {
-            if base.precommit_phase() {
+            if t.precommit {
                 msgs += 2 * rp;
                 forced += 1 + p;
             }
-            if base.master_decision_forced(true) {
+            if t.master_decision_forced.on(true) {
                 forced += 1;
             }
             msgs += rp;
-            if base.cohort_decision_forced(true) {
+            if t.cohort_decision_forced.on(true) {
                 forced += p;
             }
-            if base.cohort_ack(true) {
+            if t.cohort_ack.on(true) {
                 msgs += rp;
             }
         }
@@ -225,14 +275,20 @@ impl ProtocolSpec {
     /// Baselines never abort in commit processing (they have no voting
     /// phase); asking for their abort overheads is a logic error.
     pub fn aborted_overheads(&self, scenario: AbortScenario) -> Overheads {
+        let t = self.base.table();
         assert!(
-            self.base.has_voting_phase(),
+            t.voting,
             "{} has no voting phase and cannot abort during commit",
             self.name()
         );
         assert!(
-            self.base != BaseProtocol::Linear2PC,
+            !matches!(t.routing, Routing::Chain),
             "linear-2PC abort costs depend on the NO voter's chain position; \
+             measure them with the simulator instead"
+        );
+        assert!(
+            !self.is_replicated(),
+            "replicated-family abort costs depend on acceptor placement; \
              measure them with the simulator instead"
         );
         assert!(
@@ -243,7 +299,6 @@ impl ProtocolSpec {
             scenario.no_voters() <= scenario.dist_degree,
             "more NO voters than cohorts"
         );
-        let base = self.base;
         let d = scenario.dist_degree as u64;
         let r = d - 1;
         let no = scenario.no_voters() as u64;
@@ -252,26 +307,26 @@ impl ProtocolSpec {
 
         let mut msgs = 0;
         let mut forced = 0;
-        if base.collecting_record() {
+        if t.init_record {
             forced += 1;
         }
         // Phase 1 always completes: PREPARE out, votes (YES or NO) back.
         msgs += 2 * r;
         forced += prepared; // YES voters force prepare records
-        if base.no_vote_abort_forced() {
+        if t.no_vote_abort_forced {
             forced += no; // NO voters force their abort records
         }
         // 3PC aborts in the voting phase never reach precommit: no extra cost.
-        if base.master_decision_forced(false) {
+        if t.master_decision_forced.on(false) {
             forced += 1;
         }
         // ABORT goes only to the prepared cohorts (NO voters aborted
         // unilaterally, §2.1).
         msgs += remote_prepared;
-        if base.cohort_decision_forced(false) {
+        if t.cohort_decision_forced.on(false) {
             forced += prepared;
         }
-        if base.cohort_ack(false) {
+        if t.cohort_ack.on(false) {
             msgs += remote_prepared;
         }
         Overheads {
@@ -510,6 +565,82 @@ mod tests {
     #[should_panic(expected = "break the chain")]
     fn linear_read_only_unsupported() {
         ProtocolSpec::LINEAR_2PC.committed_overheads_read_only(ReadOnlyScenario {
+            dist_degree: 3,
+            remote_read_only: 1,
+            local_read_only: false,
+        });
+    }
+
+    // ----- the replicated family (Gray & Lamport) -----
+
+    #[test]
+    fn paxos_at_f0_is_2pc_count_for_count() {
+        // The degenerate-case theorem: one acceptor, co-located with
+        // the master, makes Paxos Commit exactly 2PC.
+        for d in 1..=12 {
+            assert_eq!(
+                ProtocolSpec::PAXOS.committed_overheads(d),
+                ProtocolSpec::TWO_PC.committed_overheads(d),
+                "d={d}"
+            );
+            assert_eq!(
+                ProtocolSpec::REP_2PC.committed_overheads(d),
+                ProtocolSpec::TWO_PC.committed_overheads(d),
+                "d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn paxos_f1_concrete_counts() {
+        // d=3, F=1, no co-located acceptors: PREPARE 2, votes 2 (home
+        // cohort) + 2*3 (remote cohorts), ACCEPTED 2, COMMIT 2, ACK 2
+        // = 16 messages; forced = 3 prepare + 3 bundles + 3 cohort
+        // decisions = 9 (no master decision record).
+        let o = ProtocolSpec::PAXOS.committed_overheads_replicated(3, 1, 0);
+        assert_eq!(o.exec_messages, 4);
+        assert_eq!(o.commit_messages, 16);
+        assert_eq!(o.forced_writes, 9);
+        // Each co-located (remote cohort, acceptor) pair saves one
+        // vote message and nothing else.
+        let near = ProtocolSpec::PAXOS.committed_overheads_replicated(3, 1, 2);
+        assert_eq!(near.commit_messages, 14);
+        assert_eq!(near.forced_writes, 9);
+    }
+
+    #[test]
+    fn rep2pc_pays_4f_messages_and_2f_forced_over_2pc() {
+        for d in [2u32, 3, 6] {
+            for f in [1u32, 2] {
+                let rep = ProtocolSpec::REP_2PC.committed_overheads_replicated(d, f, 0);
+                let two = ProtocolSpec::TWO_PC.committed_overheads(d);
+                assert_eq!(rep.commit_messages, two.commit_messages + 4 * f as u64);
+                assert_eq!(rep.forced_writes, two.forced_writes + 2 * f as u64);
+                assert_eq!(rep.exec_messages, two.exec_messages);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ignores the replication factor")]
+    fn classic_protocols_reject_nonzero_f() {
+        ProtocolSpec::TWO_PC.committed_overheads_replicated(3, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "acceptor placement")]
+    fn replicated_abort_analytics_unsupported() {
+        ProtocolSpec::PAXOS.aborted_overheads(AbortScenario {
+            dist_degree: 3,
+            remote_no_voters: 1,
+            local_no_voter: false,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "not modelled for the replicated family")]
+    fn replicated_read_only_unsupported() {
+        ProtocolSpec::PAXOS.committed_overheads_read_only(ReadOnlyScenario {
             dist_degree: 3,
             remote_read_only: 1,
             local_read_only: false,

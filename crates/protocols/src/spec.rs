@@ -1,10 +1,21 @@
-//! Protocol identities and per-step behaviour flags.
+//! Protocol identities and the declarative spec table.
+//!
+//! A commit protocol here is **data, not code**: every behavioural
+//! difference between the protocols of §2 of the paper (and the
+//! replicated-coordinator family of Gray & Lamport's "Consensus on
+//! Transaction Commit") is a column of [`SpecTable`], and each
+//! [`BaseProtocol`] is one row. The simulation engine is a generic
+//! interpreter of the table — it never matches on the protocol
+//! identity — and the analytic overhead model of Tables 3–4
+//! ([`crate::overheads`]) is derived from the same row, so the two can
+//! be cross-checked per transaction.
 
 use std::fmt;
 use std::str::FromStr;
 
 /// The message/logging schedule of a commit protocol (§2 of the paper),
-/// independent of the OPT lending rule.
+/// independent of the OPT lending rule. Each variant is a row of the
+/// declarative [`SpecTable`]; see [`BaseProtocol::table`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BaseProtocol {
     /// CENT baseline (§5.1): a centralized system of equivalent
@@ -38,11 +49,205 @@ pub enum BaseProtocol {
     /// protocol — and of a much longer prepared state for early-chain
     /// cohorts, which is precisely where OPT lending helps (§3.2).
     Linear2PC,
+    /// Paxos Commit (Gray & Lamport): votes go to a replica group of
+    /// `2F+1` acceptors instead of the coordinator alone; each acceptor
+    /// force-writes one vote-bundle record, and the leader decides once
+    /// a majority (`F+1`) of acceptors have accepted. 2PC is the `F=0`
+    /// degenerate case (one acceptor, co-located with the master).
+    /// Non-blocking for `F ≥ 1`: a backup acceptor takes over as leader
+    /// after a coordinator crash.
+    PaxosCommit,
+    /// 2PC over a replicated coordinator: classical 2PC whose decision
+    /// record is additionally copied (and force-written) at `2F`
+    /// replica sites before the decision is announced. The replication
+    /// buys durability, not availability — a coordinator that crashes
+    /// *before* replicating its decision still blocks the prepared
+    /// cohorts until it recovers, which is exactly the baseline Paxos
+    /// Commit is measured against.
+    RepTwoPC,
 }
 
+/// A per-outcome flag pair: does a rule apply on commit, on abort?
+/// The presumption protocols differ from 2PC precisely in which side
+/// of these pairs they drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ByOutcome {
+    /// The rule applies when the decision is commit.
+    pub commit: bool,
+    /// The rule applies when the decision is abort.
+    pub abort: bool,
+}
+
+impl ByOutcome {
+    /// Applies on both outcomes (2PC, 3PC).
+    pub const BOTH: ByOutcome = ByOutcome {
+        commit: true,
+        abort: true,
+    };
+    /// Applies on neither outcome (the baselines; linear acks).
+    pub const NEITHER: ByOutcome = ByOutcome {
+        commit: false,
+        abort: false,
+    };
+    /// Commit side only (Presumed Abort drops the abort side).
+    pub const COMMIT_ONLY: ByOutcome = ByOutcome {
+        commit: true,
+        abort: false,
+    };
+    /// Abort side only (Presumed Commit drops the commit side).
+    pub const ABORT_ONLY: ByOutcome = ByOutcome {
+        commit: false,
+        abort: true,
+    };
+
+    /// Does the rule apply for this outcome?
+    pub const fn on(self, commit: bool) -> bool {
+        if commit {
+            self.commit
+        } else {
+            self.abort
+        }
+    }
+}
+
+/// How the voting phase's messages are routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Routing {
+    /// Star topology: the coordinator sends PREPARE to every cohort and
+    /// collects the votes itself.
+    Direct,
+    /// Linear 2PC: PREPARE rides a chain through the cohorts carrying
+    /// the accumulated vote; the decision rides the chain back (the
+    /// backward pass doubles as the acknowledgement).
+    Chain,
+    /// Paxos Commit: every cohort sends its vote to all `2F+1`
+    /// acceptors of the transaction's replica group; acceptors report
+    /// ACCEPTED to the leader, which decides at a majority.
+    Quorum,
+}
+
+/// What happens to prepared cohorts when the coordinator crashes at
+/// the decision point (the classic blocking window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Takeover {
+    /// Nobody can take over: cohorts hold their locks until the
+    /// coordinator recovers (2PC, PA, PC, linear 2PC, replicated 2PC).
+    Block,
+    /// 3PC: the cohorts detect the failure, elect a termination
+    /// coordinator among themselves, and finish from the precommitted
+    /// state.
+    CohortTermination,
+    /// Paxos Commit: a backup acceptor becomes leader after the
+    /// detection timeout and completes the protocol from the acceptor
+    /// states (needs `F ≥ 1`; the `F=0` degenerate case blocks exactly
+    /// like 2PC).
+    LeaderFailover,
+}
+
+/// What a restarted participant presumes about an in-doubt transaction
+/// for which it finds no decision record — the "presumed" in Presumed
+/// Abort / Presumed Commit. Descriptive for the engine (the replay
+/// rules of [`BaseProtocol::recovery_action`] are shared); drives the
+/// docs and tooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Presumption {
+    /// No presumption: the in-doubt participant must ask (2PC, 3PC).
+    Neither,
+    /// Missing information means abort (Presumed Abort).
+    Abort,
+    /// Missing information means commit (Presumed Commit).
+    Commit,
+}
+
+/// One row of the declarative protocol table: the complete
+/// message/forced-write schedule of a commit protocol, as data.
+///
+/// | column | meaning |
+/// |---|---|
+/// | `voting` | runs a prepare/vote phase at all (baselines do not) |
+/// | `init_record` | master forces a *collecting* record before phase 1 (PC) |
+/// | `precommit` | inserts the 3PC precommit round |
+/// | `routing` | how phase-1 messages travel ([`Routing`]) |
+/// | `centralized` | all sites merge into one resource pool (CENT) |
+/// | `replicated_decision` | decision record copied to `2F` replicas before announcement |
+/// | `no_vote_abort_forced` | a NO voter forces its abort record before voting |
+/// | `master_decision_forced` | master's decision record forced, per outcome |
+/// | `cohort_decision_forced` | prepared cohort's decision record forced, per outcome |
+/// | `cohort_ack` | prepared cohort acknowledges the decision, per outcome |
+/// | `takeover` | what prepared cohorts do on coordinator crash ([`Takeover`]) |
+/// | `presumption` | recovery presumption for in-doubt participants |
+///
+/// The engine interprets these columns generically; adding a protocol
+/// means adding a row (plus, for a genuinely new mechanism like quorum
+/// routing, teaching the interpreter the new column value once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpecTable {
+    /// Does the protocol run a voting (prepare) phase at all?
+    pub voting: bool,
+    /// Master forces a collecting record naming the cohorts before
+    /// initiating the protocol (Presumed Commit).
+    pub init_record: bool,
+    /// Insert the 3PC precommit phase (one more message round-trip plus
+    /// forced precommit records at master and every cohort).
+    pub precommit: bool,
+    /// Phase-1 message routing.
+    pub routing: Routing,
+    /// Merge every site's hardware into one station pool (CENT, §5.1).
+    pub centralized: bool,
+    /// Force the decision record at `2F` replica sites before the
+    /// decision is announced (replicated-coordinator 2PC).
+    pub replicated_decision: bool,
+    /// A NO voter force-writes its abort record before sending the vote.
+    pub no_vote_abort_forced: bool,
+    /// Is the master's global decision record force-written?
+    pub master_decision_forced: ByOutcome,
+    /// Is a prepared cohort's decision record force-written?
+    pub cohort_decision_forced: ByOutcome,
+    /// Does a prepared cohort acknowledge the decision message?
+    pub cohort_ack: ByOutcome,
+    /// Crash behaviour at the decision point.
+    pub takeover: Takeover,
+    /// Recovery presumption for in-doubt participants.
+    pub presumption: Presumption,
+}
+
+/// Shared shape of the no-voting baselines (CENT/DPCC): commit is one
+/// forced decision record at the master, nothing else.
+const BASELINE: SpecTable = SpecTable {
+    voting: false,
+    init_record: false,
+    precommit: false,
+    routing: Routing::Direct,
+    centralized: false,
+    replicated_decision: false,
+    no_vote_abort_forced: false,
+    master_decision_forced: ByOutcome::BOTH,
+    cohort_decision_forced: ByOutcome::NEITHER,
+    cohort_ack: ByOutcome::NEITHER,
+    takeover: Takeover::Block,
+    presumption: Presumption::Neither,
+};
+
+/// Classical 2PC — the reference row the variants are diffs against.
+const TWO_PC_ROW: SpecTable = SpecTable {
+    voting: true,
+    init_record: false,
+    precommit: false,
+    routing: Routing::Direct,
+    centralized: false,
+    replicated_decision: false,
+    no_vote_abort_forced: true,
+    master_decision_forced: ByOutcome::BOTH,
+    cohort_decision_forced: ByOutcome::BOTH,
+    cohort_ack: ByOutcome::BOTH,
+    takeover: Takeover::Block,
+    presumption: Presumption::Neither,
+};
+
 impl BaseProtocol {
-    /// All base protocols, in the paper's presentation order.
-    pub const ALL: [BaseProtocol; 7] = [
+    /// All base protocols: the paper's seven in presentation order,
+    /// then the replicated family.
+    pub const ALL: [BaseProtocol; 9] = [
         BaseProtocol::Centralized,
         BaseProtocol::Dpcc,
         BaseProtocol::TwoPC,
@@ -50,98 +255,79 @@ impl BaseProtocol {
         BaseProtocol::PresumedCommit,
         BaseProtocol::ThreePC,
         BaseProtocol::Linear2PC,
+        BaseProtocol::PaxosCommit,
+        BaseProtocol::RepTwoPC,
     ];
 
-    /// Does the protocol run a voting (prepare) phase at all?
-    /// The two baselines do not — their commit is a single log write.
-    pub fn has_voting_phase(self) -> bool {
-        !matches!(self, BaseProtocol::Centralized | BaseProtocol::Dpcc)
-    }
-
-    /// Does the master force-write a *collecting* record (naming the
-    /// cohorts) before initiating the protocol? Only Presumed Commit.
-    pub fn collecting_record(self) -> bool {
-        self == BaseProtocol::PresumedCommit
-    }
-
-    /// Does the protocol insert the 3PC precommit phase (one more
-    /// message round-trip plus forced precommit records at master and
-    /// every cohort)?
-    pub fn precommit_phase(self) -> bool {
-        self == BaseProtocol::ThreePC
-    }
-
-    /// Is the master's global decision record force-written?
-    ///
-    /// Presumed Abort skips the forced write on the abort side (the
-    /// "in case of doubt, abort" rule makes it recoverable for free).
-    pub fn master_decision_forced(self, commit: bool) -> bool {
+    /// The protocol's row of the declarative table.
+    pub const fn table(self) -> SpecTable {
         match self {
-            BaseProtocol::PresumedAbort => commit,
-            _ => true,
-        }
-    }
-
-    /// Is a *prepared* cohort's decision record force-written?
-    ///
-    /// * Presumed Abort: commit yes, abort no.
-    /// * Presumed Commit: commit no, abort yes.
-    /// * 2PC / 3PC: both forced.
-    /// * Baselines: no cohort records at all.
-    pub fn cohort_decision_forced(self, commit: bool) -> bool {
-        match self {
-            BaseProtocol::Centralized | BaseProtocol::Dpcc => false,
-            BaseProtocol::PresumedAbort => commit,
-            BaseProtocol::PresumedCommit => !commit,
-            BaseProtocol::TwoPC | BaseProtocol::ThreePC | BaseProtocol::Linear2PC => true,
-        }
-    }
-
-    /// Does a prepared cohort acknowledge the decision message?
-    ///
-    /// * Presumed Abort drops abort ACKs; Presumed Commit drops commit
-    ///   ACKs; 2PC / 3PC require both.
-    pub fn cohort_ack(self, commit: bool) -> bool {
-        match self {
-            BaseProtocol::Centralized | BaseProtocol::Dpcc => false,
-            BaseProtocol::PresumedAbort => commit,
-            BaseProtocol::PresumedCommit => !commit,
-            BaseProtocol::TwoPC | BaseProtocol::ThreePC => true,
+            BaseProtocol::Centralized => SpecTable {
+                centralized: true,
+                ..BASELINE
+            },
+            BaseProtocol::Dpcc => BASELINE,
+            BaseProtocol::TwoPC => TWO_PC_ROW,
+            // "in case of doubt, abort": every abort-side overhead of
+            // 2PC is dropped.
+            BaseProtocol::PresumedAbort => SpecTable {
+                no_vote_abort_forced: false,
+                master_decision_forced: ByOutcome::COMMIT_ONLY,
+                cohort_decision_forced: ByOutcome::COMMIT_ONLY,
+                cohort_ack: ByOutcome::COMMIT_ONLY,
+                presumption: Presumption::Abort,
+                ..TWO_PC_ROW
+            },
+            // Commit-side cohort records and acks dropped, paid for
+            // with the forced collecting record up front.
+            BaseProtocol::PresumedCommit => SpecTable {
+                init_record: true,
+                cohort_decision_forced: ByOutcome::ABORT_ONLY,
+                cohort_ack: ByOutcome::ABORT_ONLY,
+                presumption: Presumption::Commit,
+                ..TWO_PC_ROW
+            },
+            BaseProtocol::ThreePC => SpecTable {
+                precommit: true,
+                takeover: Takeover::CohortTermination,
+                ..TWO_PC_ROW
+            },
             // The backward pass of the chain *is* the acknowledgement.
-            BaseProtocol::Linear2PC => false,
-        }
-    }
-
-    /// Does a cohort that votes NO force-write its abort record before
-    /// sending the vote? (Presumed Abort does not.)
-    pub fn no_vote_abort_forced(self) -> bool {
-        match self {
-            BaseProtocol::PresumedAbort => false,
-            _ => self.has_voting_phase(),
+            BaseProtocol::Linear2PC => SpecTable {
+                routing: Routing::Chain,
+                cohort_ack: ByOutcome::NEITHER,
+                ..TWO_PC_ROW
+            },
+            // The 2F+1 forced acceptor bundles replace the master's
+            // forced decision record.
+            BaseProtocol::PaxosCommit => SpecTable {
+                routing: Routing::Quorum,
+                master_decision_forced: ByOutcome::NEITHER,
+                takeover: Takeover::LeaderFailover,
+                ..TWO_PC_ROW
+            },
+            BaseProtocol::RepTwoPC => SpecTable {
+                replicated_decision: true,
+                ..TWO_PC_ROW
+            },
         }
     }
 
     /// Two-phase protocols are susceptible to blocking on master
-    /// failure; only 3PC (and the baselines, trivially) are not.
+    /// failure; a protocol is non-blocking iff some takeover rule lets
+    /// the survivors finish without the crashed master.
     pub fn is_blocking(self) -> bool {
-        matches!(
-            self,
-            BaseProtocol::TwoPC
-                | BaseProtocol::PresumedAbort
-                | BaseProtocol::PresumedCommit
-                | BaseProtocol::Linear2PC
-        )
+        let t = self.table();
+        t.voting && matches!(t.takeover, Takeover::Block)
     }
 
     /// Number of message phases in the commit protocol proper.
     pub fn phases(self) -> u32 {
-        match self {
-            BaseProtocol::Centralized | BaseProtocol::Dpcc => 0,
-            BaseProtocol::TwoPC
-            | BaseProtocol::PresumedAbort
-            | BaseProtocol::PresumedCommit
-            | BaseProtocol::Linear2PC => 2,
-            BaseProtocol::ThreePC => 3,
+        let t = self.table();
+        match (t.voting, t.precommit) {
+            (false, _) => 0,
+            (true, false) => 2,
+            (true, true) => 3,
         }
     }
 
@@ -155,6 +341,8 @@ impl BaseProtocol {
             BaseProtocol::PresumedCommit => "PC",
             BaseProtocol::ThreePC => "3PC",
             BaseProtocol::Linear2PC => "L2PC",
+            BaseProtocol::PaxosCommit => "PAXOS",
+            BaseProtocol::RepTwoPC => "REP2PC",
         }
     }
 }
@@ -199,7 +387,8 @@ impl BaseProtocol {
     /// cohort (they have no cohort records), so they presume abort for
     /// every record state.
     pub fn recovery_action(self, record: RecoveryRecord) -> RecoveryAction {
-        if !self.has_voting_phase() {
+        let t = self.table();
+        if !t.voting {
             return RecoveryAction::PresumeAbort;
         }
         match record {
@@ -208,7 +397,7 @@ impl BaseProtocol {
             // Only 3PC writes precommit records; a precommitted cohort
             // re-announces that state so termination can commit.
             RecoveryRecord::Precommitted => {
-                if self.precommit_phase() {
+                if t.precommit {
                     RecoveryAction::ResendPreAck
                 } else {
                     RecoveryAction::ResendVote
@@ -290,9 +479,20 @@ impl ProtocolSpec {
         base: BaseProtocol::Linear2PC,
         opt: true,
     };
+    /// Paxos Commit over a replica group of `2F+1` acceptors.
+    pub const PAXOS: ProtocolSpec = ProtocolSpec {
+        base: BaseProtocol::PaxosCommit,
+        opt: false,
+    };
+    /// 2PC with the decision record replicated to `2F` backup sites.
+    pub const REP_2PC: ProtocolSpec = ProtocolSpec {
+        base: BaseProtocol::RepTwoPC,
+        opt: false,
+    };
 
-    /// Every spec the paper evaluates, plus the linear-2PC extension.
-    pub const ALL: [ProtocolSpec; 12] = [
+    /// Every spec the paper evaluates, the linear-2PC extension, and
+    /// the replicated family.
+    pub const ALL: [ProtocolSpec; 14] = [
         ProtocolSpec::CENT,
         ProtocolSpec::DPCC,
         ProtocolSpec::TWO_PC,
@@ -305,7 +505,40 @@ impl ProtocolSpec {
         ProtocolSpec::OPT_3PC,
         ProtocolSpec::LINEAR_2PC,
         ProtocolSpec::OPT_LINEAR_2PC,
+        ProtocolSpec::PAXOS,
+        ProtocolSpec::REP_2PC,
     ];
+
+    /// The accepted spellings of every spec, in [`ProtocolSpec::ALL`]
+    /// order; the first alias of each entry is the canonical name.
+    /// This single vocabulary drives [`ProtocolSpec::from_str`], its
+    /// error text, and the CLI usage screen (the same pattern as
+    /// `FailureConfig::CLI_KEYS`).
+    pub const CLI_NAMES: [(ProtocolSpec, &'static [&'static str]); 14] = [
+        (ProtocolSpec::CENT, &["CENT", "CENTRALIZED"]),
+        (ProtocolSpec::DPCC, &["DPCC"]),
+        (ProtocolSpec::TWO_PC, &["2PC"]),
+        (ProtocolSpec::PA, &["PA", "PRESUMED-ABORT"]),
+        (ProtocolSpec::PC, &["PC", "PRESUMED-COMMIT"]),
+        (ProtocolSpec::THREE_PC, &["3PC"]),
+        (ProtocolSpec::OPT_2PC, &["OPT", "OPT-2PC"]),
+        (ProtocolSpec::OPT_PA, &["OPT-PA"]),
+        (ProtocolSpec::OPT_PC, &["OPT-PC"]),
+        (ProtocolSpec::OPT_3PC, &["OPT-3PC"]),
+        (ProtocolSpec::LINEAR_2PC, &["L2PC", "LINEAR-2PC"]),
+        (
+            ProtocolSpec::OPT_LINEAR_2PC,
+            &["OPT-L2PC", "OPT-LINEAR-2PC"],
+        ),
+        (ProtocolSpec::PAXOS, &["PAXOS", "PAXOS-COMMIT"]),
+        (ProtocolSpec::REP_2PC, &["REP2PC", "REP-2PC"]),
+    ];
+
+    /// The canonical names, in [`ProtocolSpec::ALL`] order — the list
+    /// printed by the CLI usage screen and by parse errors.
+    pub fn valid_names() -> impl Iterator<Item = &'static str> {
+        Self::CLI_NAMES.iter().map(|(_, aliases)| aliases[0])
+    }
 
     /// Paper name ("OPT" alone denotes OPT on a 2PC base).
     pub fn name(self) -> &'static str {
@@ -318,23 +551,36 @@ impl ProtocolSpec {
             BaseProtocol::PresumedCommit => "OPT-PC",
             BaseProtocol::ThreePC => "OPT-3PC",
             BaseProtocol::Linear2PC => "OPT-L2PC",
-            // OPT over the baselines is meaningless (no prepared state);
-            // name it explicitly so misuse is visible.
+            // OPT over the baselines is meaningless (no prepared
+            // state), and the replicated family does not model lending;
+            // name misuse explicitly so it is visible.
             BaseProtocol::Centralized => "OPT-CENT(invalid)",
             BaseProtocol::Dpcc => "OPT-DPCC(invalid)",
+            BaseProtocol::PaxosCommit => "OPT-PAXOS(invalid)",
+            BaseProtocol::RepTwoPC => "OPT-REP2PC(invalid)",
         }
     }
 
     /// Is this spec meaningful? OPT needs a prepared state to lend
-    /// from, so it cannot be combined with the baselines.
+    /// from, so it cannot be combined with the baselines; the
+    /// replicated family does not model lending.
     pub fn is_valid(self) -> bool {
-        !self.opt || self.base.has_voting_phase()
+        !self.opt || (self.base.table().voting && !self.is_replicated())
     }
 
     /// Non-blocking protocols survive master failure without stalling
-    /// prepared cohorts.
+    /// prepared cohorts. (Paxos Commit counts as non-blocking: its
+    /// failover needs `F ≥ 1`, and `F = 0` is the 2PC degenerate case.)
     pub fn is_non_blocking(self) -> bool {
         !self.base.is_blocking()
+    }
+
+    /// Does this spec involve a replica group (acceptors or a
+    /// replicated coordinator)? These are the specs that honour a
+    /// nonzero replication factor `F`.
+    pub fn is_replicated(self) -> bool {
+        let t = self.base.table();
+        matches!(t.routing, Routing::Quorum) || t.replicated_decision
     }
 }
 
@@ -350,7 +596,14 @@ pub struct ParseProtocolError(pub String);
 
 impl fmt::Display for ParseProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown protocol name: {:?}", self.0)
+        write!(f, "unknown protocol name: {:?} (valid: ", self.0)?;
+        for (i, name) in ProtocolSpec::valid_names().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(name)?;
+        }
+        f.write_str(")")
     }
 }
 
@@ -361,22 +614,12 @@ impl FromStr for ProtocolSpec {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let up = s.trim().to_ascii_uppercase();
-        let spec = match up.as_str() {
-            "CENT" | "CENTRALIZED" => ProtocolSpec::CENT,
-            "DPCC" => ProtocolSpec::DPCC,
-            "2PC" => ProtocolSpec::TWO_PC,
-            "PA" | "PRESUMED-ABORT" => ProtocolSpec::PA,
-            "PC" | "PRESUMED-COMMIT" => ProtocolSpec::PC,
-            "3PC" => ProtocolSpec::THREE_PC,
-            "OPT" | "OPT-2PC" => ProtocolSpec::OPT_2PC,
-            "OPT-PA" => ProtocolSpec::OPT_PA,
-            "OPT-PC" => ProtocolSpec::OPT_PC,
-            "OPT-3PC" => ProtocolSpec::OPT_3PC,
-            "L2PC" | "LINEAR-2PC" => ProtocolSpec::LINEAR_2PC,
-            "OPT-L2PC" | "OPT-LINEAR-2PC" => ProtocolSpec::OPT_LINEAR_2PC,
-            _ => return Err(ParseProtocolError(s.to_string())),
-        };
-        Ok(spec)
+        for (spec, aliases) in ProtocolSpec::CLI_NAMES {
+            if aliases.iter().any(|&a| a == up) {
+                return Ok(spec);
+            }
+        }
+        Err(ParseProtocolError(s.to_string()))
     }
 }
 
@@ -393,6 +636,18 @@ mod tests {
     }
 
     #[test]
+    fn cli_vocabulary_is_in_all_order_and_canonical() {
+        assert_eq!(ProtocolSpec::CLI_NAMES.len(), ProtocolSpec::ALL.len());
+        for (i, (spec, aliases)) in ProtocolSpec::CLI_NAMES.iter().enumerate() {
+            assert_eq!(*spec, ProtocolSpec::ALL[i], "vocabulary order");
+            assert_eq!(aliases[0], spec.name(), "first alias is canonical");
+            for alias in *aliases {
+                assert_eq!(alias.parse::<ProtocolSpec>().unwrap(), *spec, "{alias}");
+            }
+        }
+    }
+
+    #[test]
     fn parsing_is_case_insensitive() {
         assert_eq!(
             "opt-3pc".parse::<ProtocolSpec>().unwrap(),
@@ -402,12 +657,21 @@ mod tests {
             " 2pc ".parse::<ProtocolSpec>().unwrap(),
             ProtocolSpec::TWO_PC
         );
+        assert_eq!(
+            "paxos-commit".parse::<ProtocolSpec>().unwrap(),
+            ProtocolSpec::PAXOS
+        );
     }
 
     #[test]
-    fn unknown_name_errors() {
+    fn unknown_name_errors_list_the_vocabulary() {
         let err = "4PC".parse::<ProtocolSpec>().unwrap_err();
-        assert!(err.to_string().contains("4PC"));
+        let msg = err.to_string();
+        assert!(msg.contains("4PC"));
+        // The error names every valid spelling's canonical form.
+        for name in ProtocolSpec::valid_names() {
+            assert!(msg.contains(name), "error text misses {name}");
+        }
     }
 
     #[test]
@@ -420,73 +684,138 @@ mod tests {
         assert!(ProtocolSpec::THREE_PC.is_non_blocking());
         assert!(ProtocolSpec::OPT_3PC.is_non_blocking());
         assert!(!ProtocolSpec::OPT_2PC.is_non_blocking());
+        // The replicated family: consensus fails over, a replicated
+        // log alone does not.
+        assert!(ProtocolSpec::PAXOS.is_non_blocking());
+        assert!(!ProtocolSpec::REP_2PC.is_non_blocking());
     }
 
     #[test]
     fn opt_requires_a_voting_phase() {
         assert!(ProtocolSpec::OPT_2PC.is_valid());
         assert!(ProtocolSpec::OPT_3PC.is_valid());
-        assert!(!ProtocolSpec {
-            base: BaseProtocol::Centralized,
-            opt: true
+        for base in [
+            BaseProtocol::Centralized,
+            BaseProtocol::Dpcc,
+            BaseProtocol::PaxosCommit,
+            BaseProtocol::RepTwoPC,
+        ] {
+            assert!(!ProtocolSpec { base, opt: true }.is_valid(), "{base}");
         }
-        .is_valid());
-        assert!(!ProtocolSpec {
-            base: BaseProtocol::Dpcc,
-            opt: true
-        }
-        .is_valid());
         for spec in ProtocolSpec::ALL {
             assert!(spec.is_valid());
         }
     }
 
     #[test]
-    fn presumed_abort_flags() {
-        let pa = BaseProtocol::PresumedAbort;
-        // PA behaves identically to 2PC for committing transactions...
-        assert!(pa.master_decision_forced(true));
-        assert!(pa.cohort_decision_forced(true));
-        assert!(pa.cohort_ack(true));
-        // ...but drops all abort-side overheads.
-        assert!(!pa.master_decision_forced(false));
-        assert!(!pa.cohort_decision_forced(false));
-        assert!(!pa.cohort_ack(false));
-        assert!(!pa.no_vote_abort_forced());
+    fn replicated_family_classification() {
+        for spec in ProtocolSpec::ALL {
+            let expect = matches!(
+                spec.base,
+                BaseProtocol::PaxosCommit | BaseProtocol::RepTwoPC
+            );
+            assert_eq!(spec.is_replicated(), expect, "{}", spec.name());
+        }
     }
 
     #[test]
-    fn presumed_commit_flags() {
-        let pc = BaseProtocol::PresumedCommit;
-        assert!(pc.collecting_record());
-        assert!(pc.master_decision_forced(true));
+    fn presumed_abort_row() {
+        let pa = BaseProtocol::PresumedAbort.table();
+        // PA behaves identically to 2PC for committing transactions...
+        assert!(pa.master_decision_forced.on(true));
+        assert!(pa.cohort_decision_forced.on(true));
+        assert!(pa.cohort_ack.on(true));
+        // ...but drops all abort-side overheads.
+        assert!(!pa.master_decision_forced.on(false));
+        assert!(!pa.cohort_decision_forced.on(false));
+        assert!(!pa.cohort_ack.on(false));
+        assert!(!pa.no_vote_abort_forced);
+        assert_eq!(pa.presumption, Presumption::Abort);
+    }
+
+    #[test]
+    fn presumed_commit_row() {
+        let pc = BaseProtocol::PresumedCommit.table();
+        assert!(pc.init_record);
+        assert!(pc.master_decision_forced.on(true));
         // cohorts neither force the commit record nor ACK commit...
-        assert!(!pc.cohort_decision_forced(true));
-        assert!(!pc.cohort_ack(true));
+        assert!(!pc.cohort_decision_forced.on(true));
+        assert!(!pc.cohort_ack.on(true));
         // ...but pay full price on abort.
-        assert!(pc.cohort_decision_forced(false));
-        assert!(pc.cohort_ack(false));
-        assert!(pc.no_vote_abort_forced());
+        assert!(pc.cohort_decision_forced.on(false));
+        assert!(pc.cohort_ack.on(false));
+        assert!(pc.no_vote_abort_forced);
+        assert_eq!(pc.presumption, Presumption::Commit);
     }
 
     #[test]
     fn three_pc_has_extra_phase() {
-        assert!(BaseProtocol::ThreePC.precommit_phase());
+        assert!(BaseProtocol::ThreePC.table().precommit);
+        assert_eq!(
+            BaseProtocol::ThreePC.table().takeover,
+            Takeover::CohortTermination
+        );
         assert_eq!(BaseProtocol::ThreePC.phases(), 3);
         assert_eq!(BaseProtocol::TwoPC.phases(), 2);
         assert_eq!(BaseProtocol::Centralized.phases(), 0);
+        assert_eq!(BaseProtocol::PaxosCommit.phases(), 2);
     }
 
     #[test]
     fn baselines_have_no_voting() {
-        assert!(!BaseProtocol::Centralized.has_voting_phase());
-        assert!(!BaseProtocol::Dpcc.has_voting_phase());
-        assert!(!BaseProtocol::Dpcc.cohort_decision_forced(true));
-        assert!(!BaseProtocol::Centralized.cohort_ack(false));
         for b in [BaseProtocol::Centralized, BaseProtocol::Dpcc] {
-            assert!(b.master_decision_forced(true));
-            assert!(b.master_decision_forced(false));
+            let t = b.table();
+            assert!(!t.voting);
+            assert_eq!(t.cohort_decision_forced, ByOutcome::NEITHER);
+            assert_eq!(t.cohort_ack, ByOutcome::NEITHER);
+            assert!(t.master_decision_forced.on(true));
+            assert!(t.master_decision_forced.on(false));
         }
+        assert!(BaseProtocol::Centralized.table().centralized);
+        assert!(!BaseProtocol::Dpcc.table().centralized);
+    }
+
+    #[test]
+    fn linear_row_chains_without_acks() {
+        let lin = BaseProtocol::Linear2PC.table();
+        assert_eq!(lin.routing, Routing::Chain);
+        // The backward pass of the chain *is* the acknowledgement.
+        assert_eq!(lin.cohort_ack, ByOutcome::NEITHER);
+        assert_eq!(lin.cohort_decision_forced, ByOutcome::BOTH);
+        assert_eq!(lin.takeover, Takeover::Block);
+    }
+
+    #[test]
+    fn paxos_row_replaces_the_master_record_with_acceptor_bundles() {
+        let px = BaseProtocol::PaxosCommit.table();
+        assert_eq!(px.routing, Routing::Quorum);
+        assert_eq!(px.master_decision_forced, ByOutcome::NEITHER);
+        assert_eq!(px.cohort_decision_forced, ByOutcome::BOTH);
+        assert_eq!(px.cohort_ack, ByOutcome::BOTH);
+        assert_eq!(px.takeover, Takeover::LeaderFailover);
+        assert!(!px.replicated_decision);
+    }
+
+    #[test]
+    fn rep2pc_row_is_2pc_plus_replica_copies() {
+        let rep = BaseProtocol::RepTwoPC.table();
+        let two = BaseProtocol::TwoPC.table();
+        assert!(rep.replicated_decision);
+        assert_eq!(
+            SpecTable {
+                replicated_decision: false,
+                ..rep
+            },
+            two
+        );
+    }
+
+    #[test]
+    fn by_outcome_truth_table() {
+        assert!(ByOutcome::BOTH.on(true) && ByOutcome::BOTH.on(false));
+        assert!(!ByOutcome::NEITHER.on(true) && !ByOutcome::NEITHER.on(false));
+        assert!(ByOutcome::COMMIT_ONLY.on(true) && !ByOutcome::COMMIT_ONLY.on(false));
+        assert!(!ByOutcome::ABORT_ONLY.on(true) && ByOutcome::ABORT_ONLY.on(false));
     }
 
     #[test]
@@ -498,14 +827,10 @@ mod tests {
             assert_eq!(b.recovery_action(None), PresumeAbort, "{b}");
         }
         // A prepare record leaves a voting cohort in doubt.
-        for b in [
-            BaseProtocol::TwoPC,
-            BaseProtocol::PresumedAbort,
-            BaseProtocol::PresumedCommit,
-            BaseProtocol::ThreePC,
-            BaseProtocol::Linear2PC,
-        ] {
-            assert_eq!(b.recovery_action(Prepared), ResendVote, "{b}");
+        for b in BaseProtocol::ALL {
+            if b.table().voting {
+                assert_eq!(b.recovery_action(Prepared), ResendVote, "{b}");
+            }
         }
         // Only 3PC recovers into the precommitted state.
         assert_eq!(
@@ -533,5 +858,7 @@ mod tests {
         assert_eq!(ProtocolSpec::TWO_PC.to_string(), "2PC");
         assert_eq!(ProtocolSpec::CENT.to_string(), "CENT");
         assert_eq!(BaseProtocol::PresumedCommit.to_string(), "PC");
+        assert_eq!(ProtocolSpec::PAXOS.to_string(), "PAXOS");
+        assert_eq!(ProtocolSpec::REP_2PC.to_string(), "REP2PC");
     }
 }

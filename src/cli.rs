@@ -148,6 +148,9 @@ pub static USAGE: LazyLock<String> = LazyLock::new(|| {
         .iter()
         .map(|(key, desc)| format!("                             {key:<20} {desc}\n"))
         .collect();
+    // The protocol vocabulary renders straight from the spec table, so
+    // adding a ProtocolSpec::ALL entry updates the help screen too.
+    let protocol_names: String = ProtocolSpec::valid_names().collect::<Vec<_>>().join(" ");
     format!(
         "\
 distcommit — the SIGMOD'97 commit-processing simulator
@@ -158,7 +161,7 @@ USAGE:
   distcommit trace  [OPTIONS]                per-txn commit choreography
   distcommit fold   [OPTIONS]                collapsed-stack flamegraph fold
   distcommit sweep  [OPTIONS]                protocols x MPLs sweep
-  distcommit experiment <fig1|fig2|expt3|fig3|fig4|fig5|seq|failures|faults|scale>
+  distcommit experiment <fig1|fig2|expt3|fig3|fig4|fig5|seq|failures|faults|replication|scale>
                         [--full] [--reps N] [--jobs N]
   distcommit bench [OPTIONS]                 canonical engine benchmark
   distcommit tables                          Tables 2-4
@@ -266,6 +269,9 @@ OPTIONS (run & sweep):
   --data-disks <N>         data disks per site (default 2)
   --log-disks <N>          log disks per site (default 1)
   --abort-prob <P>         cohort surprise NO-vote probability (default 0)
+  --replication <F>        replica-group tolerance F: every shard gets
+                           2F+1 acceptors / standby coordinators
+                           (PAXOS and REP2PC only; default 0)
   --hot-spot <D,A>         b-c access skew: A of accesses hit first D of pages
   --zipf <THETA>           Zipf(theta) page-access skew per site
                            (excludes --hot-spot; 0 = uniform)
@@ -280,7 +286,7 @@ OPTIONS (run & sweep):
   --warmup <N>             warm-up transactions (default 500)
   --measured <N>           measured transactions (default 5000)
 
-Protocols: CENT DPCC 2PC PA PC 3PC OPT OPT-PA OPT-PC OPT-3PC
+Protocols: {protocol_names}
 "
     )
 });
@@ -405,7 +411,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     reps,
                     jobs,
                 }),
-                None => err("experiment needs an id (fig1|fig2|expt3|fig3|fig4|fig5|seq)"),
+                None => err("experiment needs an id \
+                     (fig1|fig2|expt3|fig3|fig4|fig5|seq|failures|faults|replication|scale)"),
             }
         }
         "run" | "sweep" | "trace" | "fold" | "series" => {
@@ -493,6 +500,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--abort-prob" => {
                         cfg.cohort_abort_prob = parse_num(a, take_value(a, &mut it)?)?
                     }
+                    "--replication" => cfg.replication = parse_num(a, take_value(a, &mut it)?)?,
                     "--hot-spot" => {
                         let parts: Vec<f64> = parse_list(a, take_value(a, &mut it)?)?;
                         if parts.len() != 2 {
@@ -1104,11 +1112,12 @@ pub fn execute(cmd: Command) -> i32 {
                 "seq" => experiments::seq(&scale).map(|e| vec![e]),
                 "failures" => experiments::failures(&scale).map(|e| vec![e]),
                 "faults" => experiments::fault_injection(&scale).map(|e| vec![e]),
+                "replication" => experiments::replication(&scale).map(|e| vec![e]),
                 "scale" => experiments::at_scale(&scale).map(|e| vec![e]),
                 other => {
                     eprintln!(
                         "unknown experiment {other:?} \
-                         (fig1|fig2|expt3|fig3|fig4|fig5|seq|failures|faults|scale)"
+                         (fig1|fig2|expt3|fig3|fig4|fig5|seq|failures|faults|replication|scale)"
                     );
                     return 1;
                 }
@@ -1482,6 +1491,53 @@ mod tests {
         ] {
             assert!(USAGE.contains(word), "usage missing {word}");
         }
+    }
+
+    #[test]
+    fn usage_lists_every_protocol_from_the_spec_table() {
+        // The protocol vocabulary renders from ProtocolSpec::CLI_NAMES,
+        // so the help screen names every table entry — including the
+        // replicated family.
+        for name in ProtocolSpec::valid_names() {
+            assert!(USAGE.contains(name), "usage missing protocol {name}");
+        }
+        assert!(USAGE.contains("PAXOS"));
+        assert!(USAGE.contains("REP2PC"));
+        assert!(USAGE.contains("replication"));
+    }
+
+    #[test]
+    fn replication_flag_and_paxos_protocol() {
+        let Command::Run { cfg, protocol, .. } =
+            parse(&argv("run --protocol PAXOS --replication 1")).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(protocol, ProtocolSpec::PAXOS);
+        assert_eq!(cfg.replication, 1);
+        // Aliases parse through the same FromStr vocabulary.
+        let Command::Run { protocol, .. } = parse(&argv("run --protocol paxos-commit")).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(protocol, ProtocolSpec::PAXOS);
+        let Command::Sweep { protocols, .. } =
+            parse(&argv("sweep --protocols 2PC,PAXOS,REP-2PC --mpls 2")).unwrap()
+        else {
+            panic!("expected Sweep");
+        };
+        assert_eq!(
+            protocols,
+            vec![
+                ProtocolSpec::TWO_PC,
+                ProtocolSpec::PAXOS,
+                ProtocolSpec::REP_2PC
+            ]
+        );
+        // Unknown names list the full vocabulary.
+        let e = parse(&argv("run --protocol 4PC")).unwrap_err();
+        assert!(e.0.contains("PAXOS"), "{e}");
+        assert!(e.0.contains("REP2PC"), "{e}");
     }
 
     #[test]

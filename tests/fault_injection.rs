@@ -172,6 +172,9 @@ fn fault_counters_monotone_in_crash_probability_and_zero_without_faults() {
 #[test]
 fn cohort_crash_replays_log_and_rejoins() {
     let mut cfg = faulty_cfg(0.0, 1.0, 0.0);
+    // Pin the crash to the replay points: with the execution-phase
+    // window also at 1.0 no transaction would ever reach PREPARE.
+    cfg.failures.as_mut().unwrap().exec_crash_prob = Some(0.0);
     cfg.db_size = 80_000; // conflict-free
     cfg.mpl = 1;
     cfg.run.warmup_transactions = 0;
@@ -235,6 +238,7 @@ fn cohort_crash_replays_log_and_rejoins() {
 #[test]
 fn precommitted_cohort_crash_resends_preack() {
     let mut cfg = faulty_cfg(0.0, 1.0, 0.0);
+    cfg.failures.as_mut().unwrap().exec_crash_prob = Some(0.0);
     cfg.db_size = 80_000;
     cfg.mpl = 1;
     cfg.run.warmup_transactions = 0;
@@ -257,6 +261,50 @@ fn precommitted_cohort_crash_resends_preack() {
         .filter(|e| matches!(e, TraceEvent::CohortCrashed { txn: t, .. } if *t == txn))
         .count();
     assert!(crashes >= 2, "timeline shows {crashes} crash(es)");
+}
+
+/// The execution-phase crash window: a cohort that dies before its
+/// WORKDONE leaves has nothing on stable storage, so recovery presumes
+/// abort and the transaction restarts — visible as `aborted_crash` in
+/// the report. No transaction is ever lost, and the observed rate at
+/// the new trial site tracks the configured probability exactly
+/// (`exec-cc` isolates the window: cc = 0 means the replay points
+/// never roll, so every trial in the counter is an execution-phase
+/// trial).
+#[test]
+fn exec_phase_crash_presumes_abort_and_restarts() {
+    let mut cfg = faulty_cfg(0.0, 0.0, 0.0);
+    cfg.failures.as_mut().unwrap().exec_crash_prob = Some(0.2);
+    cfg.run.measured_transactions = 400;
+    let (mut hits, mut trials, mut aborted) = (0u64, 0u64, 0u64);
+    for seed in 1..=3 {
+        let r = run(&cfg, ProtocolSpec::TWO_PC, 40 + seed);
+        assert_eq!(r.committed, 400, "restarts must not lose transactions");
+        assert!(r.aborted_crash > 0);
+        // Every crash in this config is an execution-phase crash.
+        // Several cohorts of one incarnation can crash in the same
+        // execution phase (one abort), and a crash near a window
+        // boundary lands its abort in the next window, so the abort
+        // count is bounded by — not equal to — the crash count.
+        assert!(r.aborted_crash <= r.faults.cohort_crashes);
+        hits += r.faults.cohort_crashes;
+        trials += r.faults.cohort_crash_trials;
+        aborted += r.aborted_crash;
+    }
+    let rate = hits as f64 / trials as f64;
+    assert!(
+        (rate - 0.2).abs() < 0.02,
+        "exec crash rate {rate:.3} over {trials} trials, expected ≈ 0.2"
+    );
+    assert!(aborted > 0);
+
+    // exec-cc=0 closes the window: with the replay-point probability
+    // also zero, the cohort-crash machinery never rolls at all.
+    let mut closed = cfg.clone();
+    closed.failures.as_mut().unwrap().exec_crash_prob = Some(0.0);
+    let r = run(&closed, ProtocolSpec::TWO_PC, 41);
+    assert_eq!(r.aborted_crash, 0);
+    assert_eq!(r.faults.cohort_crash_trials, 0);
 }
 
 /// Message loss: dropped coordinator messages are retransmitted on
@@ -311,19 +359,12 @@ fn cohort_crashes_scoped_to_one_region_stay_in_region() {
     let (report, trace) =
         Simulation::run_traced(&cfg, ProtocolSpec::TWO_PC, 31 + seed_offset(), u64::MAX).unwrap();
 
-    // Reconstruct each cohort's site from its Prepared event (emitted
-    // just before the crash roll) and check every crash is in-region.
-    let mut cohort_site = std::collections::HashMap::new();
+    // Every crash — at the execution-phase window or at a replay
+    // point — must land on a site of region 1.
     let mut crashed_sites = Vec::new();
     for ev in &trace.events {
-        match *ev {
-            TraceEvent::Prepared { cohort, site, .. } => {
-                cohort_site.insert(cohort, site);
-            }
-            TraceEvent::CohortCrashed { cohort, .. } => {
-                crashed_sites.push(cohort_site[&cohort]);
-            }
-            _ => {}
+        if let TraceEvent::CohortCrashed { site, .. } = *ev {
+            crashed_sites.push(site);
         }
     }
     assert!(

@@ -45,6 +45,26 @@ fn json_report_matches_golden() {
     check("report.json", &report.render(ReportFormat::Json));
 }
 
+/// Every classic spec's full JSON report in one golden: the protocol
+/// layer is *data* interpreted by a generic engine, so any change to
+/// the spec table or the interpreter that perturbs a single protocol's
+/// schedule — message counts, forced writes, timing — drifts here.
+/// (The replicated family has its own golden; it postdates this file.)
+#[test]
+fn every_classic_protocol_report_matches_golden() {
+    let mut out = String::new();
+    for spec in ProtocolSpec::ALL {
+        if spec.is_replicated() {
+            continue;
+        }
+        let report = Simulation::run(&golden_cfg(), spec, 2026).expect("valid config");
+        out.push_str(&format!("=== {} ===\n", spec.name()));
+        out.push_str(&report.render(ReportFormat::Json));
+        out.push('\n');
+    }
+    check("report_all_protocols.txt", &out);
+}
+
 /// The same CLI-shaped fault specification the README examples use:
 /// all three fault classes enabled, hot enough that a short run still
 /// fires each of them.
@@ -66,6 +86,28 @@ fn faulty_json_report_matches_golden() {
     assert!(report.faults.master_crashes > 0);
     assert!(report.faults.messages_lost > 0);
     check("report_faulty.json", &report.render(ReportFormat::Json));
+}
+
+/// The replicated family's failure path: a Paxos Commit run at F = 1
+/// under the same fault mix, pinning the acceptor-quorum choreography,
+/// the failover timers, and the replicated overhead model. The run is
+/// only meaningful if the headline machinery actually engaged: masters
+/// crashed and the surviving acceptors ran termination rounds.
+#[test]
+fn faulty_paxos_report_matches_golden() {
+    let cfg = faulty_cfg().with_replication(1);
+    let report = Simulation::run(&cfg, ProtocolSpec::PAXOS, 2027).expect("valid config");
+    assert!(report.faults.master_crashes > 0);
+    assert!(report.faults.termination_rounds > 0);
+    assert!(
+        report.overhead_check.is_clean(),
+        "{:?}",
+        report.overhead_check
+    );
+    check(
+        "report_paxos_faulty.json",
+        &report.render(ReportFormat::Json),
+    );
 }
 
 /// The folded commit-time stacks of a faulty 3PC run (termination
