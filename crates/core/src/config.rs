@@ -558,6 +558,14 @@ pub struct SystemConfig {
     /// protocols — degenerates Paxos Commit to plain 2PC. Ignored by
     /// (and rejected for) non-replicated protocols when positive.
     pub replication: u32,
+    /// Intra-run parallelism: number of shards the sites are
+    /// partitioned into for the conservative parallel engine. Shards
+    /// follow [`Topology`] region blocks, so the effective count is
+    /// capped at the region count. 0 (the default) keeps the serial
+    /// engine; any positive value opts into the parallel path when the
+    /// configuration supports it (see `engine`'s dispatch rules) and
+    /// produces output independent of the shard count.
+    pub shards: u32,
     /// Run-length control.
     pub run: RunConfig,
 }
@@ -597,6 +605,7 @@ impl SystemConfig {
             read_only_optimization: false,
             model_deferred_writes: false,
             replication: 0,
+            shards: 0,
             run: RunConfig::default(),
         }
     }
@@ -726,6 +735,14 @@ impl SystemConfig {
         self
     }
 
+    /// Set the shard count for the conservative parallel engine (0
+    /// keeps the serial engine).
+    #[must_use]
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Pages per site (`DBSize / NumSites`; validation requires the
     /// division to be exact).
     pub fn pages_per_site(&self) -> u64 {
@@ -840,6 +857,9 @@ impl SystemConfig {
                     return Err(Invalid("crash-region must name an existing region"));
                 }
             }
+        }
+        if self.shards as usize > self.num_sites {
+            return Err(Invalid("shards cannot exceed num_sites"));
         }
         if self.run.measured_transactions == 0 {
             return Err(Invalid("measured_transactions must be positive"));

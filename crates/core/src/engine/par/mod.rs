@@ -1,0 +1,1384 @@
+//! The site-sharded conservative parallel engine.
+//!
+//! A run partitions the (effective) sites into shards along
+//! [`crate::config::Topology`] region blocks and advances simulated
+//! time in windows of length `D`, the minimum cross-region wire
+//! latency: within `[base, base + D)` no shard can affect another, so
+//! every shard interprets its own calendar independently (one worker
+//! thread per shard), and cross-shard messages are exchanged at the
+//! window barrier — the classic conservative (lookahead) scheme.
+//!
+//! The parallel engine is its *own* deterministic family, not a
+//! byte-for-byte reimplementation of the serial engine: deadlock
+//! detection and doomed-transaction teardown run at window barriers
+//! instead of instantly, every site draws from a private RNG stream,
+//! and run control (warm-up edge, commit target) is evaluated at
+//! barriers. What it guarantees — checked by `tests/shards.rs` — is
+//! that its output is **independent of the shard count**: `--shards 1`
+//! and `--shards 8` produce identical reports, series and traces,
+//! because windows, event keys and barrier bookkeeping are all derived
+//! from the configuration, never from the layout. Configurations
+//! outside the envelope (no topology, a single region, zero lookahead,
+//! CENT) silently keep the serial engine; configurations whose
+//! semantics the parallel interpreter cannot honour (message loss,
+//! takeover protocols under master crashes, chained 2PC, DPCC) are
+//! rejected with a typed error so `--shards` never silently changes
+//! meaning.
+
+mod shard;
+mod types;
+
+use super::series::{
+    self, Series, SeriesConfig, SeriesFormat, SeriesMeta, SeriesSnapshot, SiteRow,
+};
+use super::trace::{TraceEvent, TraceSink};
+use super::types::TxnId;
+use super::{EngineProfile, ResourceAcc};
+use crate::config::{ConfigError, ResourceMode, SystemConfig};
+use crate::metrics::{
+    AbortReason, FaultCounters, LatencySummary, Metrics, PhaseLatencies, ResourceReport, SimReport,
+    Utilizations,
+};
+use crate::workload::{SiteId, WorkloadGenerator};
+use commitproto::{ProtocolSpec, Routing, SpecTable, Takeover};
+use shard::Shard;
+use simkernel::stats::{BatchMeans, DurationHistogram, Tally};
+use simkernel::{mix_seed, SimDuration, SimRng, SimTime, Station};
+use std::sync::mpsc;
+use std::sync::Arc;
+use types::{uid_home, PSite, TxnUid};
+
+/// Stream tag of the per-site RNG streams (`mix_seed(seed, site, TAG,
+/// 0)`), disjoint from the serial engine's single stream and the
+/// topology's "TOPO" stream.
+const SITE_RNG_TAG: u64 = 0x5053; // "PS"
+
+/// Shared read-only context of one parallel run, cloned into every
+/// shard via `Arc`.
+pub(crate) struct ParCtx {
+    pub cfg: SystemConfig,
+    pub spec: ProtocolSpec,
+    pub table: SpecTable,
+    pub wl: WorkloadGenerator,
+    /// Row-major `n × n` wire-latency matrix.
+    pub latency: Vec<SimDuration>,
+    pub n_sites: usize,
+    /// Site → shard index (contiguous blocks).
+    pub site_shard: Vec<usize>,
+    pub pages_per_site_eff: u64,
+    /// Trace events are recorded for external txn ids ≤ this.
+    pub trace_limit: TxnId,
+    /// Replication degree F (0 for the single-copy protocols).
+    pub rep_f: u32,
+    /// Acceptor/replica group size `2F + 1`.
+    pub group: u32,
+    /// Record wall-clock section timings (bench harness only).
+    pub profiled: bool,
+}
+
+// Shards cross thread boundaries carrying an `Arc<ParCtx>`.
+const _: () = {
+    const fn send_sync<T: Send + Sync>() {}
+    send_sync::<ParCtx>();
+};
+
+/// Should `cfg` run on the parallel engine?
+///
+/// Returns `Ok(false)` when `--shards` is off or the configuration has
+/// nothing to cut (no topology, one region, zero lookahead, CENT — the
+/// serial engine is byte-identical and cheaper there), `Ok(true)` when
+/// the parallel path applies, and a typed error for configurations the
+/// parallel interpreter cannot honour.
+pub(crate) fn wants_parallel(
+    cfg: &SystemConfig,
+    spec: ProtocolSpec,
+    seed: u64,
+) -> Result<bool, ConfigError> {
+    if cfg.shards == 0 {
+        return Ok(false);
+    }
+    if !spec.is_valid() {
+        // Rejected identically by the serial constructor; let that
+        // path produce the canonical error.
+        return Ok(false);
+    }
+    let table = spec.base.table();
+    if table.centralized {
+        // CENT merges everything into one effective site.
+        return Ok(false);
+    }
+    if !table.voting {
+        return Err(ConfigError::Invalid(
+            "--shards does not support the distributed pre-claiming baseline (DPCC)",
+        ));
+    }
+    if matches!(table.routing, Routing::Chain) {
+        return Err(ConfigError::Invalid(
+            "--shards does not support linear (chained) 2PC",
+        ));
+    }
+    if let Some(f) = cfg.failures {
+        if f.msg_loss_prob > 0.0 {
+            return Err(ConfigError::Invalid(
+                "--shards does not support message loss (retransmission timers need \
+                 global time); drop --shards or the loss probability",
+            ));
+        }
+        if f.master_crash_prob > 0.0 {
+            let blocks = match table.takeover {
+                Takeover::Block => true,
+                // With F = 0 there is no standby leader to fail over
+                // to, so the protocol blocks exactly like 2PC.
+                Takeover::LeaderFailover => cfg.replication == 0,
+                Takeover::CohortTermination => false,
+            };
+            if !blocks {
+                return Err(ConfigError::Invalid(
+                    "--shards does not support crash-takeover protocols under master \
+                     crashes; drop --shards or the master crash probability",
+                ));
+            }
+        }
+    }
+    let Some(topo) = cfg.topology else {
+        return Ok(false);
+    };
+    if topo.regions < 2 || cfg.num_sites < 2 {
+        return Ok(false);
+    }
+    // The window length is the minimum cross-region latency of the
+    // actual (seed-dependent, jittered) matrix; a zero lookahead means
+    // zero-length windows, i.e. the serial engine.
+    let wl = WorkloadGenerator::new(cfg, spec.base);
+    let n = wl.effective_sites();
+    if n < 2 {
+        return Ok(false);
+    }
+    Ok(min_cross_region_latency(&topo, n, seed).is_some())
+}
+
+/// Minimum nonzero cross-region wire latency — the conservative
+/// lookahead. `None` when no positive cross-region latency exists.
+fn min_cross_region_latency(
+    topo: &crate::config::Topology,
+    n: usize,
+    seed: u64,
+) -> Option<SimDuration> {
+    let m = topo.latency_matrix(n, seed);
+    let mut best: Option<SimDuration> = None;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if topo.region_of(i, n) != topo.region_of(j, n) {
+                let lat = m[i * n + j];
+                if lat > SimDuration::ZERO && best.is_none_or(|b| lat < b) {
+                    best = Some(lat);
+                }
+            }
+        }
+    }
+    // A zero entry anywhere across regions breaks the window
+    // invariant (a message could arrive inside the sender's window).
+    for i in 0..n {
+        for j in 0..n {
+            if i != j
+                && topo.region_of(i, n) != topo.region_of(j, n)
+                && m[i * n + j] == SimDuration::ZERO
+            {
+                return None;
+            }
+        }
+    }
+    best
+}
+
+/// One parallel run: the shard set plus all orchestrator-owned state
+/// (run control, convergence sampling, series/trace sinks).
+pub(crate) struct ParSim {
+    ctx: Arc<ParCtx>,
+    /// `None` only while a shard is out on a worker thread.
+    shards: Vec<Option<Box<Shard>>>,
+    lookahead: SimDuration,
+    /// Time of the last barrier; the report closes at this instant.
+    barrier_now: SimTime,
+    measured_target: u64,
+    warmup_target: u64,
+    warmup_done: bool,
+    /// All-time commit count at the warm-up reset.
+    measured_base: u64,
+    measure_start: SimTime,
+    // --- convergence / CI sampling (owned here because per-site
+    // Metrics cannot see the global commit stream) ---
+    batch_size: u64,
+    conv_cursor: u64,
+    conv_batch_started: SimTime,
+    conv_rates: Vec<f64>,
+    conv_starts: Vec<SimTime>,
+    bm: BatchMeans,
+    bm_cursor: u64,
+    bm_batch_started: SimTime,
+    // --- sinks ---
+    sink: Option<Box<dyn TraceSink>>,
+    series: Option<Box<series::SeriesRecorder>>,
+    series_per_site: bool,
+    profile: Option<Box<EngineProfile>>,
+}
+
+impl ParSim {
+    /// Parallel counterpart of `Simulation::run`. Callers must have
+    /// routed through [`wants_parallel`] first.
+    pub(crate) fn run(
+        cfg: &SystemConfig,
+        spec: ProtocolSpec,
+        seed: u64,
+    ) -> Result<SimReport, ConfigError> {
+        let mut sim = ParSim::new(cfg, spec, seed, 0, false)?;
+        sim.execute();
+        Ok(sim.report())
+    }
+
+    /// Parallel counterpart of `Simulation::run_with_sink`.
+    pub(crate) fn run_with_sink<S: TraceSink>(
+        cfg: &SystemConfig,
+        spec: ProtocolSpec,
+        seed: u64,
+        traced_txns: u64,
+        sink: S,
+    ) -> Result<(SimReport, S), ConfigError> {
+        let mut sim = ParSim::new(cfg, spec, seed, traced_txns, false)?;
+        sim.sink = Some(Box::new(sink));
+        sim.execute();
+        let mut boxed = sim.sink.take().expect("sink installed above");
+        boxed.finish();
+        let any: Box<dyn std::any::Any> = boxed;
+        let sink = *any.downcast::<S>().expect("sink type is preserved");
+        Ok((sim.report(), sink))
+    }
+
+    /// Parallel counterpart of `Simulation::run_with_series`.
+    pub(crate) fn run_with_series(
+        cfg: &SystemConfig,
+        spec: ProtocolSpec,
+        seed: u64,
+        series_cfg: &SeriesConfig,
+    ) -> Result<(SimReport, Series), ConfigError> {
+        let mut sim = ParSim::new(cfg, spec, seed, 0, false)?;
+        let rec = series::SeriesRecorder::new_buffered(
+            series_cfg,
+            sim.series_meta(seed, series_cfg),
+            sim.ctx.n_sites,
+        );
+        sim.install_series(rec, series_cfg);
+        sim.execute();
+        let series = sim
+            .finish_series()
+            .expect("buffered series recording cannot fail");
+        Ok((sim.report(), series))
+    }
+
+    /// Parallel counterpart of `Simulation::run_with_series_stream`.
+    pub(crate) fn run_with_series_stream(
+        cfg: &SystemConfig,
+        spec: ProtocolSpec,
+        seed: u64,
+        series_cfg: &SeriesConfig,
+        writer: Box<dyn std::io::Write + Send>,
+        format: SeriesFormat,
+    ) -> Result<SimReport, series::SeriesRunError> {
+        let mut sim = ParSim::new(cfg, spec, seed, 0, false)?;
+        let rec = series::SeriesRecorder::new_streaming(
+            series_cfg,
+            sim.series_meta(seed, series_cfg),
+            sim.ctx.n_sites,
+            writer,
+            format,
+        )?;
+        sim.install_series(rec, series_cfg);
+        sim.execute();
+        sim.finish_series()?;
+        Ok(sim.report())
+    }
+
+    /// Parallel counterpart of `Simulation::run_profiled`: per-shard
+    /// calendar/dispatch timings plus the orchestrator's barrier,
+    /// mailbox, deadlock-scan and series sections.
+    pub(crate) fn run_profiled(
+        cfg: &SystemConfig,
+        spec: ProtocolSpec,
+        seed: u64,
+        series_cfg: Option<&SeriesConfig>,
+    ) -> Result<(SimReport, EngineProfile), ConfigError> {
+        let mut sim = ParSim::new(cfg, spec, seed, 0, true)?;
+        if let Some(scfg) = series_cfg {
+            let rec = series::SeriesRecorder::new_buffered(
+                scfg,
+                sim.series_meta(seed, scfg),
+                sim.ctx.n_sites,
+            );
+            sim.install_series(rec, scfg);
+        }
+        sim.profile = Some(Box::default());
+        sim.execute();
+        if sim.series.is_some() {
+            sim.finish_series()
+                .expect("buffered series recording cannot fail");
+        }
+        let mut profile = *sim.profile.take().expect("profile installed above");
+        for sh in sim.shards.iter().map(|s| s.as_ref().expect("shard home")) {
+            profile.events += sh.cal.dispatched_count();
+            profile.calendar_ns += sh.prof_calendar_ns;
+            profile.dispatch_ns += sh.prof_dispatch_ns;
+        }
+        Ok((sim.report(), profile))
+    }
+
+    fn new(
+        cfg: &SystemConfig,
+        spec: ProtocolSpec,
+        seed: u64,
+        trace_limit: TxnId,
+        profiled: bool,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        if !spec.is_valid() {
+            return Err(ConfigError::Invalid(
+                "OPT cannot be combined with a baseline protocol",
+            ));
+        }
+        let table = spec.base.table();
+        if cfg.replication > 0 && !spec.is_replicated() {
+            return Err(ConfigError::Invalid(
+                "replication degree requires a replicated protocol (PAXOS or REP2PC)",
+            ));
+        }
+        if spec.is_replicated() {
+            if cfg.read_only_optimization {
+                return Err(ConfigError::Invalid(
+                    "the read-only optimization is not modeled for replicated protocols",
+                ));
+            }
+            if 2 * cfg.replication as usize + 1 > cfg.num_sites {
+                return Err(ConfigError::Invalid(
+                    "2F+1 acceptors need at least 2F+1 sites",
+                ));
+            }
+        }
+        let wl = WorkloadGenerator::new(cfg, spec.base);
+        let n = wl.effective_sites();
+        debug_assert_eq!(n, cfg.num_sites, "non-CENT configs keep every site");
+        let topo = cfg.topology.expect("parallel path requires a topology");
+        let latency = topo.latency_matrix(n, seed);
+        let lookahead = min_cross_region_latency(&topo, n, seed)
+            .expect("wants_parallel guarantees a positive lookahead");
+
+        // Shards follow region blocks. The raw `region → floor(r·S/R)`
+        // map can skip shard indices when regions are empty, so the
+        // distinct values are renumbered consecutively — every shard
+        // owns at least one site and sites stay contiguous.
+        let s_req = (cfg.shards as usize).min(topo.regions).max(1);
+        let raw: Vec<usize> = (0..n)
+            .map(|i| topo.region_of(i, n) * s_req / topo.regions)
+            .collect();
+        let mut site_shard = Vec::with_capacity(n);
+        let mut next = 0usize;
+        let mut last_raw = usize::MAX;
+        for &r in &raw {
+            if r != last_raw {
+                last_raw = r;
+                site_shard.push(next);
+                next += 1;
+            } else {
+                site_shard.push(next - 1);
+            }
+        }
+        let n_shards = next;
+
+        let rep_f = if spec.is_replicated() {
+            cfg.replication
+        } else {
+            0
+        };
+        let pages_per_site_eff = cfg.pages_per_site();
+        let ctx = Arc::new(ParCtx {
+            cfg: cfg.clone(),
+            spec,
+            table,
+            wl,
+            latency,
+            n_sites: n,
+            site_shard,
+            pages_per_site_eff,
+            trace_limit,
+            rep_f,
+            group: 2 * rep_f + 1,
+            profiled,
+        });
+
+        let mk_station = || match cfg.resources {
+            ResourceMode::Finite => None,
+            ResourceMode::Infinite => Some(()),
+        };
+        let mk_site = |idx: usize| PSite {
+            idx,
+            cpu: match mk_station() {
+                None => Station::finite(cfg.num_cpus),
+                Some(()) => Station::infinite(),
+            },
+            data_disks: (0..cfg.num_data_disks)
+                .map(|_| match mk_station() {
+                    None => Station::finite(1),
+                    Some(()) => Station::infinite(),
+                })
+                .collect(),
+            log_disks: (0..cfg.num_log_disks)
+                .map(|_| match mk_station() {
+                    None => Station::finite(1),
+                    Some(()) => Station::infinite(),
+                })
+                .collect(),
+            batched_logs: match (cfg.group_commit_batch, cfg.resources) {
+                (Some(k), ResourceMode::Finite) => Some(
+                    (0..cfg.num_log_disks)
+                        .map(|_| super::glog::BatchedLog::new(k))
+                        .collect(),
+                ),
+                _ => None,
+            },
+            locks: distlocks::LockManager::for_pages(ctx.spec.opt, pages_per_site_eff),
+            owner_cohorts: Vec::new(),
+            next_log_disk: 0,
+            rng: SimRng::new(mix_seed(seed, idx as u64, SITE_RNG_TAG, 0)),
+            key_seq: 0,
+            txns: std::collections::HashMap::new(),
+            cohorts: std::collections::HashMap::new(),
+            acc_mirrors: std::collections::HashMap::new(),
+            dead: std::collections::HashMap::new(),
+            next_txn_seq: 0,
+            next_cohort_seq: 0,
+            metrics: Metrics::new(
+                SimTime::ZERO,
+                cfg.run.measured_transactions,
+                cfg.run.batches,
+            ),
+            resp_estimate: Tally::new(),
+            commits_total: 0,
+            trace_buf: Vec::new(),
+            trace_seq: 0,
+        };
+
+        let mut shards: Vec<Option<Box<Shard>>> = Vec::with_capacity(n_shards);
+        let mut site = 0usize;
+        for k in 0..n_shards {
+            let lo = site;
+            let mut sites = Vec::new();
+            while site < n && ctx.site_shard[site] == k {
+                sites.push(mk_site(site));
+                site += 1;
+            }
+            debug_assert!(!sites.is_empty(), "empty shard");
+            shards.push(Some(Box::new(Shard::new(k, lo, sites, Arc::clone(&ctx)))));
+        }
+        debug_assert_eq!(site, n);
+
+        let mut sim = ParSim {
+            lookahead,
+            barrier_now: SimTime::ZERO,
+            measured_target: cfg.run.measured_transactions,
+            warmup_target: cfg.run.warmup_transactions,
+            warmup_done: cfg.run.warmup_transactions == 0,
+            measured_base: 0,
+            measure_start: SimTime::ZERO,
+            batch_size: (cfg.run.measured_transactions / cfg.run.batches).max(1),
+            conv_cursor: 0,
+            conv_batch_started: SimTime::ZERO,
+            conv_rates: Vec::new(),
+            conv_starts: Vec::new(),
+            bm: BatchMeans::new(1),
+            bm_cursor: 0,
+            bm_batch_started: SimTime::ZERO,
+            sink: None,
+            series: None,
+            series_per_site: false,
+            profile: None,
+            ctx,
+            shards,
+        };
+        // Closed system: MPL transactions per site, submitted at t = 0
+        // through each home site's own key stream.
+        for home in 0..n {
+            let k = sim.ctx.site_shard[home];
+            let sh = sim.shards[k].as_mut().expect("shard home");
+            for _ in 0..cfg.mpl {
+                sh.sched(
+                    home,
+                    SimTime::ZERO,
+                    types::PEvent::Submit {
+                        home,
+                        template: None,
+                        original_birth: None,
+                    },
+                );
+            }
+        }
+        Ok(sim)
+    }
+
+    fn series_meta(&self, seed: u64, scfg: &SeriesConfig) -> SeriesMeta {
+        SeriesMeta {
+            protocol: self.ctx.spec.name().to_string(),
+            mpl: self.ctx.cfg.mpl,
+            seed,
+            window_s: scfg.window.as_secs_f64(),
+            per_site: scfg.per_site,
+        }
+    }
+
+    fn install_series(&mut self, rec: series::SeriesRecorder, scfg: &SeriesConfig) {
+        let mut rec = Box::new(rec);
+        if self.warmup_target > 0 {
+            rec.begin_warmup();
+        }
+        self.series_per_site = scfg.per_site;
+        self.series = Some(rec);
+    }
+
+    fn finish_series(&mut self) -> std::io::Result<Series> {
+        let rec = self.series.take().expect("series recorder installed");
+        let now = self.barrier_now;
+        let per_site = self.series_per_site;
+        rec.finish_with(now, |end| snapshot(&mut self.shards, per_site, end))
+    }
+
+    #[inline]
+    fn shard_mut(&mut self, k: usize) -> &mut Shard {
+        self.shards[k].as_mut().expect("shard home")
+    }
+
+    /// The main window/barrier loop.
+    fn execute(&mut self) {
+        let n_shards = self.shards.len();
+        // Persistent worker threads, one per shard; the boxed shard
+        // ping-pongs over a channel pair. With one shard everything
+        // runs inline on this thread — same loop, no channels.
+        type WorkerChan = (
+            mpsc::Sender<(Box<Shard>, SimTime)>,
+            mpsc::Receiver<Box<Shard>>,
+        );
+        let mut workers: Vec<WorkerChan> = Vec::new();
+        let mut joins = Vec::new();
+        if n_shards > 1 {
+            for _ in 0..n_shards {
+                let (tx_job, rx_job) = mpsc::channel::<(Box<Shard>, SimTime)>();
+                let (tx_done, rx_done) = mpsc::channel::<Box<Shard>>();
+                joins.push(std::thread::spawn(move || {
+                    while let Ok((mut sh, horizon)) = rx_job.recv() {
+                        sh.run_window(horizon);
+                        if tx_done.send(sh).is_err() {
+                            break;
+                        }
+                    }
+                }));
+                workers.push((tx_job, rx_done));
+            }
+        }
+        let cap = self.ctx.cfg.run.max_sim_time;
+        let mut out_idx: Vec<usize> = Vec::with_capacity(n_shards);
+        loop {
+            let t_sizing = self.ctx.profiled.then(std::time::Instant::now);
+            // 1. The next event anywhere fixes the window base.
+            let next_ev = self
+                .shards
+                .iter()
+                .filter_map(|s| s.as_ref().expect("shard home").cal.peek_time())
+                .min();
+            let Some(next_ev) = next_ev else {
+                panic!(
+                    "event calendar drained — stuck state:\n{}",
+                    self.dump_stuck()
+                );
+            };
+            if cap.is_some_and(|cap| next_ev > cap) {
+                break;
+            }
+            let base = self.barrier_now.max(next_ev);
+            if let Some(t) = t_sizing {
+                self.profile.as_mut().expect("profiled").barrier_ns +=
+                    t.elapsed().as_nanos() as u64;
+            }
+            // 2. Series boundaries at or before the base close now
+            //    (everything before `base` has been dispatched), and a
+            //    boundary inside the window truncates it so windows
+            //    never straddle a boundary.
+            let t_series = self.ctx.profiled.then(std::time::Instant::now);
+            self.close_series(base);
+            let mut horizon = base + self.lookahead;
+            if let Some(rec) = self.series.as_ref() {
+                let b = rec.next_boundary();
+                if b > base && b < horizon {
+                    horizon = b;
+                }
+            }
+            if let Some(t) = t_series {
+                self.profile.as_mut().expect("profiled").series_ns += t.elapsed().as_nanos() as u64;
+            }
+            if let Some(cap) = cap {
+                // Events exactly at the cap still run (the serial
+                // engine dispatches them before noticing `now > cap`).
+                let edge = SimTime(cap.as_micros() + 1);
+                horizon = horizon.min(edge);
+            }
+            // 3. Run every shard's window.
+            if n_shards == 1 {
+                self.shard_mut(0).run_window(horizon);
+            } else {
+                out_idx.clear();
+                for (k, worker) in workers.iter().enumerate() {
+                    let sh = self.shards[k].as_mut().expect("shard home");
+                    let busy = sh.cal.peek_time().is_some_and(|t| t < horizon);
+                    if busy {
+                        let sh = self.shards[k].take().expect("shard home");
+                        worker.0.send((sh, horizon)).expect("worker alive");
+                        out_idx.push(k);
+                    } else {
+                        // Nothing to run: advance the clock in place
+                        // instead of paying a channel round trip.
+                        sh.run_window(horizon);
+                    }
+                }
+                for &k in &out_idx {
+                    let sh = workers[k].1.recv().expect("worker returns its shard");
+                    self.shards[k] = Some(sh);
+                }
+            }
+            self.barrier_now = horizon;
+            // 4. Exchange mailboxes: route every outbox event to its
+            //    target shard at the same (time, key).
+            let t_mail = self.ctx.profiled.then(std::time::Instant::now);
+            for k in 0..n_shards {
+                let outbox = std::mem::take(&mut self.shard_mut(k).outbox);
+                for (at, key, ev) in outbox {
+                    let target = self.ctx.site_shard[ev.site()];
+                    debug_assert_ne!(target, k, "outbox event for the home shard");
+                    self.shard_mut(target).cal.schedule(at, key, ev);
+                }
+            }
+            if let Some(t) = t_mail {
+                self.profile.as_mut().expect("profiled").mailbox_ns +=
+                    t.elapsed().as_nanos() as u64;
+            }
+            // 5. Doomed incarnations (exec-phase crash recovery,
+            //    borrower cascades) are torn down everywhere, in an
+            //    order independent of the shard layout.
+            let t_locks = self.ctx.profiled.then(std::time::Instant::now);
+            let mut dooms: Vec<(TxnUid, SimTime, AbortReason, SiteId)> = Vec::new();
+            for k in 0..n_shards {
+                dooms.append(&mut self.shard_mut(k).doomed);
+            }
+            dooms.sort_by_key(|&(uid, at, reason, site)| (uid, at, reason as u8, site));
+            for (uid, at, reason, _) in dooms {
+                self.teardown_txn(uid, at, reason);
+            }
+            // 6. Global deadlock detection over the merged wait-for
+            //    graph (the serial engine checks at every block; a
+            //    window only defers detection, never changes the set
+            //    of cycles).
+            self.detect_deadlocks();
+            if let Some(t) = t_locks {
+                self.profile.as_mut().expect("profiled").locks_ns += t.elapsed().as_nanos() as u64;
+            }
+            // 7. Trace merge: per-site buffers interleave by
+            //    (time, site, seq) into one globally ordered stream.
+            let t_ctl = self.ctx.profiled.then(std::time::Instant::now);
+            self.drain_traces();
+            // 8. Run control on the never-reset global commit count.
+            let done = self.run_control();
+            if let Some(t) = t_ctl {
+                self.profile.as_mut().expect("profiled").barrier_ns +=
+                    t.elapsed().as_nanos() as u64;
+            }
+            if done {
+                break;
+            }
+        }
+        self.drain_traces();
+        drop(workers); // closes the job channels…
+        for j in joins {
+            j.join().expect("worker exits cleanly"); // …and the workers drain
+        }
+    }
+
+    /// Advance warm-up / completion bookkeeping at a barrier; true
+    /// when the run is done.
+    fn run_control(&mut self) -> bool {
+        let now = self.barrier_now;
+        let total: u64 = self
+            .shards
+            .iter()
+            .flat_map(|s| &s.as_ref().expect("shard home").sites)
+            .map(|ps| ps.commits_total)
+            .sum();
+        // Whole-run throughput samples for steady-state detection
+        // (warm-up included, exactly like the serial engine's stream).
+        while total - self.conv_cursor >= self.batch_size {
+            let span = now.since(self.conv_batch_started).as_secs_f64();
+            if span > 0.0 {
+                self.conv_rates.push(self.batch_size as f64 / span);
+                self.conv_starts.push(self.conv_batch_started);
+            }
+            self.conv_cursor += self.batch_size;
+            self.conv_batch_started = now;
+        }
+        if !self.warmup_done && total >= self.warmup_target {
+            self.warmup_done = true;
+            self.measured_base = total;
+            self.measure_start = now;
+            self.bm_batch_started = now;
+            // Close the partial warm-up window against the pre-reset
+            // counters, then zero everything (recorder baselines
+            // included) so measured windows tile the measurement
+            // interval.
+            if let Some(mut rec) = self.series.take() {
+                let per_site = self.series_per_site;
+                rec.close_warmup_with(now, |end| snapshot(&mut self.shards, per_site, end));
+                self.series = Some(rec);
+            }
+            for sh in &mut self.shards {
+                let sh = sh.as_mut().expect("shard home");
+                for ps in &mut sh.sites {
+                    ps.metrics.reset(now);
+                    ps.cpu.reset_stats(now);
+                    for d in &mut ps.data_disks {
+                        d.reset_stats(now);
+                    }
+                    for d in &mut ps.log_disks {
+                        d.reset_stats(now);
+                    }
+                    if let Some(bs) = ps.batched_logs.as_mut() {
+                        for b in bs {
+                            b.reset_stats(now);
+                        }
+                    }
+                }
+            }
+        }
+        if !self.warmup_done {
+            return false;
+        }
+        // Measured throughput batches for the report's CI.
+        let measured = total - self.measured_base;
+        while measured - self.bm_cursor >= self.batch_size {
+            let span = now.since(self.bm_batch_started).as_secs_f64();
+            if span > 0.0 {
+                self.bm.record(self.batch_size as f64 / span);
+            }
+            self.bm_cursor += self.batch_size;
+            self.bm_batch_started = now;
+        }
+        // The warm-up reset lands on a barrier and may absorb commits
+        // past the warm-up target, so completion counts *measured*
+        // commits — the report always covers at least the requested
+        // measurement interval.
+        measured >= self.measured_target
+    }
+
+    fn close_series(&mut self, now: SimTime) {
+        if let Some(mut rec) = self.series.take() {
+            let per_site = self.series_per_site;
+            rec.close_through_with(now, |end| snapshot(&mut self.shards, per_site, end));
+            self.series = Some(rec);
+        }
+    }
+
+    /// Tear down every remnant of a doomed incarnation and schedule
+    /// its restart. Idempotent per uid: the home record is the dedup
+    /// token (two cohorts of one transaction can doom it in the same
+    /// window). Returns the sites whose lock/cohort state may have
+    /// changed (the cohort sites plus the home) — lock releases grant
+    /// only within their own site, so every other site's wait-for
+    /// fragment is untouched.
+    fn teardown_txn(
+        &mut self,
+        uid: TxnUid,
+        doom_time: SimTime,
+        reason: AbortReason,
+    ) -> Vec<SiteId> {
+        let now = self.barrier_now;
+        let home = uid_home(uid);
+        let home_shard = self.ctx.site_shard[home];
+        let Some(t) = self.shard_mut(home_shard).site_mut(home).txns.remove(&uid) else {
+            return Vec::new(); // already torn down this barrier
+        };
+        let sites: Vec<SiteId> = t.template.sites.clone();
+        for (ord, &site) in sites.iter().enumerate() {
+            let k = self.ctx.site_shard[site];
+            let sh = self.shard_mut(k);
+            sh.teardown_cohort(site, uid, ord as u32);
+            sh.mark_dead(site, uid, doom_time);
+        }
+        self.shard_mut(home_shard).mark_dead(home, uid, doom_time);
+        {
+            let sh = self.shard_mut(home_shard);
+            let ps = sh.site_mut(home);
+            ps.metrics.live_txns.add(now, -1.0);
+            ps.metrics.record_abort(reason);
+        }
+        let ext = t.ext;
+        self.shard_mut(home_shard)
+            .trace_at(home, ext, doom_time, |at| TraceEvent::Aborted {
+                at,
+                txn: ext,
+            });
+        let delay = self.shard_mut(home_shard).restart_delay(home);
+        let at = (doom_time + delay).max(now);
+        self.shard_mut(home_shard).sched(
+            home,
+            at,
+            types::PEvent::Submit {
+                home,
+                template: Some(Box::new(t.template)),
+                original_birth: Some(t.original_birth),
+            },
+        );
+        let mut touched = sites;
+        if !touched.contains(&home) {
+            touched.push(home);
+        }
+        touched
+    }
+
+    /// Find and break every cycle in the global uid-level wait-for
+    /// graph. Victim rule matches the serial engine: the youngest
+    /// transaction in the cycle (max birth, external id as tiebreak).
+    ///
+    /// Tearing down a victim only releases locks at its own cohort
+    /// sites, so the wait-for fragments of every *other* site are
+    /// unchanged between victim rounds. The per-site fragments are
+    /// cached across the loop and only the sites touched by the last
+    /// teardown are re-collected; the merge walks sites in the same
+    /// fixed global order as a full rebuild, so the assembled edge
+    /// lists — and therefore the cycle search and victim choice — are
+    /// identical.
+    fn detect_deadlocks(&mut self) {
+        type SiteFrag = Vec<(TxnUid, Vec<TxnUid>)>;
+        let num_sites = self.ctx.site_shard.len();
+        let mut frags: Vec<Option<SiteFrag>> = vec![None; num_sites];
+        loop {
+            // Re-collect fragments for invalidated sites: waiting
+            // cohorts in sorted key order, each with its blockers.
+            for sh in &self.shards {
+                let sh = sh.as_ref().expect("shard home");
+                for ps in &sh.sites {
+                    if frags[ps.idx].is_some() {
+                        continue;
+                    }
+                    let mut keys: Vec<(TxnUid, u32)> = ps
+                        .cohorts
+                        .iter()
+                        .filter(|(_, c)| c.waiting_lock)
+                        .map(|(&k, _)| k)
+                        .collect();
+                    keys.sort_unstable();
+                    let mut frag: SiteFrag = Vec::with_capacity(keys.len());
+                    for (uid, ord) in keys {
+                        let c = &ps.cohorts[&(uid, ord)];
+                        let mut out = Vec::new();
+                        ps.locks.for_each_blocker(c.lock_owner, |o| {
+                            let (buid, _) = ps.owner_cohorts[o.index()];
+                            if buid != uid {
+                                out.push(buid);
+                            }
+                        });
+                        frag.push((uid, out));
+                    }
+                    frags[ps.idx] = Some(frag);
+                }
+            }
+            // Merge in fixed global order: shards ascending, sites
+            // ascending, waiting cohorts in sorted key order. A stable
+            // sort by uid groups the per-cohort entries while keeping
+            // each uid's blocker lists in site-visit order, so the
+            // concatenated adjacency is exactly what a global
+            // uid-keyed map built in the same walk would hold.
+            let mut entries: Vec<(TxnUid, &[TxnUid])> = Vec::new();
+            for sh in &self.shards {
+                let sh = sh.as_ref().expect("shard home");
+                for ps in &sh.sites {
+                    let frag = frags[ps.idx].as_ref().expect("fragment filled above");
+                    for (uid, blockers) in frag {
+                        entries.push((*uid, blockers.as_slice()));
+                    }
+                }
+            }
+            entries.sort_by_key(|e| e.0);
+            // Compressed adjacency: node i's blockers are
+            // adj_dat[adj_off[i]..adj_off[i + 1]] — flat arrays, no
+            // per-node allocation.
+            let mut waiting: Vec<TxnUid> = Vec::new();
+            let mut adj_off: Vec<usize> = Vec::new();
+            let mut adj_dat: Vec<TxnUid> = Vec::new();
+            for (uid, blockers) in entries {
+                if waiting.last() != Some(&uid) {
+                    waiting.push(uid);
+                    adj_off.push(adj_dat.len());
+                }
+                adj_dat.extend_from_slice(blockers);
+            }
+            adj_off.push(adj_dat.len());
+            // Under skewed access most waits are *chains* ending at a
+            // running owner, not cycles, and a cycle search from every
+            // waiter at every barrier dominates the whole engine. So
+            // first peel the graph down to its core — the nodes that
+            // could lie on a cycle (see [`cycle_core`]) — and search
+            // only from those, in the same sorted order. Non-core
+            // nodes can never be on a cycle and no non-core node has
+            // an edge back into the core, so restricting both the
+            // start set and the DFS edges cannot change which cycle
+            // is found first or which victim dies.
+            let (removed, tgt) = cycle_core(&waiting, &adj_off, &adj_dat);
+            if removed.iter().all(|&r| r) {
+                break;
+            }
+            // Every core node keeps at least one edge to another core
+            // node (that is the peel's fixpoint condition), so walking
+            // first core edges from the smallest core node must close
+            // a cycle within |core| steps — no per-start search
+            // needed. The walk is deterministic: nodes are sorted,
+            // adjacency is in fixed global site order, and both are
+            // shard-layout-invariant.
+            let n = waiting.len();
+            let start = (0..n).find(|&i| !removed[i]).expect("non-empty core");
+            let mut pos_in_path = vec![usize::MAX; n];
+            let mut path: Vec<usize> = Vec::new();
+            let mut cur = start;
+            let cycle: Vec<TxnUid> = loop {
+                pos_in_path[cur] = path.len();
+                path.push(cur);
+                let next = (adj_off[cur]..adj_off[cur + 1])
+                    .find_map(|e| {
+                        let j = tgt[e];
+                        (j != u32::MAX && !removed[j as usize]).then_some(j as usize)
+                    })
+                    .expect("core node has a core edge");
+                if pos_in_path[next] != usize::MAX {
+                    break path[pos_in_path[next]..]
+                        .iter()
+                        .map(|&i| waiting[i])
+                        .collect();
+                }
+                cur = next;
+            };
+            let victim = self.youngest(&cycle);
+            {
+                let now = self.barrier_now;
+                let touched = self.teardown_txn(victim, now, AbortReason::Deadlock);
+                for s in touched {
+                    frags[s] = None;
+                }
+            }
+        }
+    }
+
+    /// The cycle member with the latest birth (external id breaks
+    /// ties) — the serial engine's victim rule.
+    fn youngest(&mut self, cycle: &[TxnUid]) -> TxnUid {
+        *cycle
+            .iter()
+            .max_by_key(|&&uid| {
+                let home = uid_home(uid);
+                let k = self.ctx.site_shard[home];
+                let t = &self.shards[k]
+                    .as_ref()
+                    .expect("shard home")
+                    .site_ref(home)
+                    .txns[&uid];
+                (t.birth.as_micros(), t.ext)
+            })
+            .expect("non-empty cycle")
+    }
+
+    /// Merge per-site trace buffers into the sink, globally ordered by
+    /// (time, site, per-site sequence).
+    fn drain_traces(&mut self) {
+        let mut staged: Vec<(SimTime, SiteId, u64, TraceEvent)> = Vec::new();
+        for sh in &mut self.shards {
+            let sh = sh.as_mut().expect("shard home");
+            for ps in &mut sh.sites {
+                let site = ps.idx;
+                staged.extend(
+                    ps.trace_buf
+                        .drain(..)
+                        .map(|(at, seq, ev)| (at, site, seq, ev)),
+                );
+            }
+        }
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
+        staged.sort_by_key(|&(at, site, seq, _)| (at, site, seq));
+        for (_, _, _, ev) in &staged {
+            sink.record(ev);
+        }
+    }
+
+    /// Assemble the report by merging per-site metrics in fixed site
+    /// order — the parallel twin of `Simulation::report`.
+    fn report(&mut self) -> SimReport {
+        let now = self.barrier_now;
+        let window = now.since(self.measure_start).as_secs_f64();
+
+        // Merge the per-site metric stores.
+        let mut committed = 0u64;
+        let mut aborted_deadlock = 0u64;
+        let mut aborted_surprise = 0u64;
+        let mut aborted_borrower = 0u64;
+        let mut aborted_crash = 0u64;
+        let mut exec_messages = 0u64;
+        let mut commit_messages = 0u64;
+        let mut forced_writes = 0u64;
+        let mut borrowed_pages = 0u64;
+        let mut master_crashes = 0u64;
+        let mut cohort_crashes = 0u64;
+        let mut master_crash_trials = 0u64;
+        let mut cohort_crash_trials = 0u64;
+        let mut blocked_on_crash_cohorts = 0u64;
+        let mut crash_block_time = Tally::new();
+        let mut response = Tally::new();
+        let mut response_hist = DurationHistogram::new();
+        let mut attempt_response = Tally::new();
+        let mut shelf_time = Tally::new();
+        let mut prepared_time = Tally::new();
+        let mut phase_execution = DurationHistogram::new();
+        let mut phase_voting = DurationHistogram::new();
+        let mut phase_decision = DurationHistogram::new();
+        let mut blocked_area = 0.0f64;
+        let mut live_area = 0.0f64;
+        let mut events = 0u64;
+        let mut site_resources = Vec::with_capacity(self.ctx.n_sites);
+        let mut batches = 0u64;
+        let mut batched_writes = 0u64;
+        for sh in &mut self.shards {
+            let sh = sh.as_mut().expect("shard home");
+            events += sh.cal.dispatched_count();
+            for ps in &mut sh.sites {
+                let m = &mut ps.metrics;
+                committed += m.committed.get();
+                aborted_deadlock += m.aborted_deadlock.get();
+                aborted_surprise += m.aborted_surprise.get();
+                aborted_borrower += m.aborted_borrower.get();
+                aborted_crash += m.aborted_crash.get();
+                exec_messages += m.exec_messages.get();
+                commit_messages += m.commit_messages.get();
+                forced_writes += m.forced_writes.get();
+                borrowed_pages += m.borrowed_pages.get();
+                master_crashes += m.master_crashes.get();
+                cohort_crashes += m.cohort_crashes.get();
+                master_crash_trials += m.master_crash_trials.get();
+                cohort_crash_trials += m.cohort_crash_trials.get();
+                blocked_on_crash_cohorts += m.blocked_on_crash_cohorts.get();
+                crash_block_time.merge(&m.crash_block_time);
+                response.merge(&m.response);
+                response_hist.merge(&m.response_hist);
+                attempt_response.merge(&m.attempt_response);
+                shelf_time.merge(&m.shelf_time);
+                prepared_time.merge(&m.prepared_time);
+                phase_execution.merge(&m.phase_execution);
+                phase_voting.merge(&m.phase_voting);
+                phase_decision.merge(&m.phase_decision);
+                blocked_area += m.blocked_txns.integral_seconds(now);
+                live_area += m.live_txns.integral_seconds(now);
+
+                let mut cpu_acc = ResourceAcc::default();
+                let mut dd_acc = ResourceAcc::default();
+                let mut ld_acc = ResourceAcc::default();
+                cpu_acc.push(
+                    ps.cpu.utilization(now),
+                    ps.cpu.mean_queue_depth(now),
+                    ps.cpu.mean_wait().as_secs_f64(),
+                    ps.cpu.max_queue_depth(),
+                    ps.cpu.occupancy(now),
+                );
+                for d in &mut ps.data_disks {
+                    dd_acc.push(
+                        d.utilization(now),
+                        d.mean_queue_depth(now),
+                        d.mean_wait().as_secs_f64(),
+                        d.max_queue_depth(),
+                        d.occupancy(now),
+                    );
+                }
+                match ps.batched_logs.as_mut() {
+                    Some(bs) => {
+                        for b in bs {
+                            let util = b.utilization(now);
+                            let queue = b.mean_queue_depth(now);
+                            let max = b.max_queue_depth();
+                            ld_acc.push(util, queue, 0.0, max, b.occupancy(now));
+                            batches += b.batches_served();
+                            batched_writes += b.writes_served();
+                        }
+                    }
+                    None => {
+                        for d in &mut ps.log_disks {
+                            ld_acc.push(
+                                d.utilization(now),
+                                d.mean_queue_depth(now),
+                                d.mean_wait().as_secs_f64(),
+                                d.max_queue_depth(),
+                                d.occupancy(now),
+                            );
+                            batches += d.served();
+                            batched_writes += d.served();
+                        }
+                    }
+                }
+                site_resources.push(ResourceReport {
+                    cpu: cpu_acc.stats(),
+                    data_disk: dd_acc.stats(),
+                    log_disk: ld_acc.stats(),
+                });
+            }
+        }
+        let averaged = ResourceReport::average(&site_resources);
+        let utilizations = Utilizations {
+            cpu: averaged.cpu.utilization,
+            data_disk: averaged.data_disk.utilization,
+            log_disk: averaged.log_disk.utilization,
+        };
+        let throughput = if window > 0.0 {
+            committed as f64 / window
+        } else {
+            0.0
+        };
+        let mean_log_batch = if batches == 0 {
+            0.0
+        } else {
+            batched_writes as f64 / batches as f64
+        };
+        let block_ratio = if live_area > 0.0 {
+            blocked_area / live_area
+        } else {
+            0.0
+        };
+        let per = |count: u64| {
+            if committed == 0 {
+                0.0
+            } else {
+                count as f64 / committed as f64
+            }
+        };
+
+        // Steady-state scan over the orchestrator-owned whole-run
+        // throughput samples (the twin of `Metrics::convergence`).
+        let ss = simkernel::stats::mser_truncation(&self.conv_rates);
+        let steady_from_s = if ss.converged {
+            self.conv_starts[ss.truncated].as_secs_f64()
+        } else {
+            f64::NAN
+        };
+        let warmup_ended_s = self.measure_start.as_secs_f64();
+        let convergence = crate::metrics::ConvergenceReport {
+            samples: ss.samples as u64,
+            converged: ss.converged,
+            steady_from_s,
+            warmup_ended_s,
+            warmup_sufficient: ss.converged && steady_from_s <= warmup_ended_s,
+        };
+
+        SimReport {
+            protocol: self.ctx.spec.name().to_string(),
+            mpl: self.ctx.cfg.mpl,
+            sim_seconds: window,
+            committed,
+            aborted_deadlock,
+            aborted_surprise,
+            aborted_borrower,
+            aborted_crash,
+            throughput,
+            throughput_ci: self.bm.confidence_interval(),
+            mean_response_s: response.mean(),
+            p50_response_s: response_hist.p50().as_secs_f64(),
+            p95_response_s: response_hist.p95().as_secs_f64(),
+            p99_response_s: response_hist.p99().as_secs_f64(),
+            mean_attempt_response_s: attempt_response.mean(),
+            block_ratio,
+            borrow_ratio: per(borrowed_pages),
+            exec_messages_per_commit: per(exec_messages),
+            commit_messages_per_commit: per(commit_messages),
+            forced_writes_per_commit: per(forced_writes),
+            mean_shelf_time_s: shelf_time.mean(),
+            mean_prepared_time_s: prepared_time.mean(),
+            phase_latencies: PhaseLatencies {
+                execution: LatencySummary::from_histogram(&phase_execution),
+                voting: LatencySummary::from_histogram(&phase_voting),
+                decision: LatencySummary::from_histogram(&phase_decision),
+            },
+            utilizations,
+            site_resources,
+            // The per-incarnation overhead cross-check lives in the
+            // serial engine only; the parallel engine reports the
+            // neutral zero-checked state.
+            overhead_check: crate::metrics::OverheadCheck::default(),
+            mean_log_batch,
+            faults: FaultCounters {
+                master_crashes,
+                cohort_crashes,
+                messages_lost: 0,
+                retransmissions: 0,
+                retry_escalations: 0,
+                termination_rounds: 0,
+                master_crash_trials,
+                cohort_crash_trials,
+                message_loss_trials: 0,
+                blocked_on_crash_cohorts,
+                mean_blocked_on_crash_s: crash_block_time.mean(),
+            },
+            convergence,
+            events,
+        }
+    }
+
+    /// Post-mortem for the calendar-drain panic.
+    fn dump_stuck(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for sh in &self.shards {
+            let sh = sh.as_ref().expect("shard home");
+            for ps in &sh.sites {
+                let mut uids: Vec<_> = ps.txns.keys().copied().collect();
+                uids.sort_unstable();
+                for uid in uids {
+                    let t = &ps.txns[&uid];
+                    let _ = writeln!(
+                        out,
+                        "txn {} home {} phase {:?} wd={} votes={} acks={}",
+                        t.ext, ps.idx, t.phase, t.pending_workdone, t.pending_votes, t.pending_acks
+                    );
+                }
+                let mut keys: Vec<_> = ps.cohorts.keys().copied().collect();
+                keys.sort_unstable();
+                for key in keys {
+                    let c = &ps.cohorts[&key];
+                    let _ = writeln!(
+                        out,
+                        "  cohort {} site {} phase {:?} access {}/{} wait={} down={}",
+                        c.ext,
+                        ps.idx,
+                        c.phase,
+                        c.next_access,
+                        c.accesses.len(),
+                        c.waiting_lock,
+                        c.down,
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Cumulative counters since measurement start, summed over every
+/// site — the snapshot the series recorder diffs per window.
+/// The cycle core of the waits-for graph, in input (sorted) order:
+/// restrict edges to targets that are themselves waiting (a cycle
+/// node needs out-edges, and only waiting cohorts have them), then
+/// peel nodes with no remaining out-edges until a fixed point. Every
+/// cycle lies entirely inside the surviving core, and no peeled node
+/// has an edge into it (such an edge would have kept it alive), so an
+/// empty core proves there is no deadlock without running a single
+/// DFS — the common case at every barrier.
+/// Peel the wait-for graph down to the nodes that can lie on a cycle.
+///
+/// `waiting` is the sorted, deduplicated node list; node `i`'s
+/// blockers are `adj_dat[adj_off[i]..adj_off[i + 1]]` (edges to
+/// non-waiting owners are ignored — a runner is never blocked, so it
+/// cannot be on a cycle). Kahn-style peeling repeatedly removes nodes
+/// whose remaining out-degree is zero: such a node waits only on
+/// runners or already-peeled nodes, so no cycle passes through it.
+/// Returns the removed mask plus the edge targets resolved to node
+/// indices (`u32::MAX` for non-waiting owners), parallel to
+/// `adj_dat`. Every cycle of the graph lies entirely within the
+/// surviving core, and no peeled node has an edge into the core (it
+/// would never have been peeled), so a cycle search restricted to the
+/// core is exhaustive.
+fn cycle_core(waiting: &[TxnUid], adj_off: &[usize], adj_dat: &[TxnUid]) -> (Vec<bool>, Vec<u32>) {
+    let n = waiting.len();
+    let mut outdeg = vec![0usize; n];
+    let mut indeg = vec![0usize; n];
+    let mut tgt: Vec<u32> = Vec::with_capacity(adj_dat.len());
+    for i in 0..n {
+        for v in &adj_dat[adj_off[i]..adj_off[i + 1]] {
+            match waiting.binary_search(v) {
+                Ok(j) => {
+                    outdeg[i] += 1;
+                    indeg[j] += 1;
+                    tgt.push(j as u32);
+                }
+                Err(_) => tgt.push(u32::MAX),
+            }
+        }
+    }
+    // Reverse adjacency, also compressed.
+    let mut roff = vec![0usize; n + 1];
+    for j in 0..n {
+        roff[j + 1] = roff[j] + indeg[j];
+    }
+    let mut rdat = vec![0u32; roff[n]];
+    let mut cursor = roff.clone();
+    for i in 0..n {
+        for &j in &tgt[adj_off[i]..adj_off[i + 1]] {
+            if j != u32::MAX {
+                rdat[cursor[j as usize]] = i as u32;
+                cursor[j as usize] += 1;
+            }
+        }
+    }
+    let mut stack: Vec<usize> = (0..n).filter(|&i| outdeg[i] == 0).collect();
+    let mut removed = vec![false; n];
+    while let Some(j) = stack.pop() {
+        if removed[j] {
+            continue;
+        }
+        removed[j] = true;
+        for &i in &rdat[roff[j]..roff[j + 1]] {
+            let i = i as usize;
+            if !removed[i] {
+                outdeg[i] -= 1;
+                if outdeg[i] == 0 {
+                    stack.push(i);
+                }
+            }
+        }
+    }
+    (removed, tgt)
+}
+
+fn snapshot(shards: &mut [Option<Box<Shard>>], per_site: bool, end: SimTime) -> SeriesSnapshot {
+    let mut s = SeriesSnapshot::default();
+    for sh in shards.iter_mut() {
+        let sh = sh.as_mut().expect("shard home");
+        for ps in &mut sh.sites {
+            let m = &mut ps.metrics;
+            s.committed += m.committed.get();
+            s.aborted_deadlock += m.aborted_deadlock.get();
+            s.aborted_surprise += m.aborted_surprise.get();
+            s.aborted_borrower += m.aborted_borrower.get();
+            s.exec_messages += m.exec_messages.get();
+            s.commit_messages += m.commit_messages.get();
+            s.blocked_area += m.blocked_txns.integral_seconds(end);
+            s.live_area += m.live_txns.integral_seconds(end);
+            if per_site {
+                let data_q: usize = ps.data_disks.iter().map(|d| d.queued()).sum();
+                let log_q: usize = match ps.batched_logs.as_ref() {
+                    Some(bs) => bs.iter().map(|b| b.queued()).sum(),
+                    None => ps.log_disks.iter().map(|d| d.queued()).sum(),
+                };
+                s.site_rows.push(SiteRow {
+                    committed: m.committed.get(),
+                    cpu_q: ps.cpu.queued() as u64,
+                    data_q: data_q as u64,
+                    log_q: log_q as u64,
+                });
+            }
+        }
+    }
+    s
+}

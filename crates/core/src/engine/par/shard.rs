@@ -1,0 +1,1885 @@
+//! One shard of the conservative parallel engine: a block of sites, a
+//! keyed calendar, and a reimplementation of the voting-protocol state
+//! machine over message-passing state (see [`super::types`]).
+//!
+//! A shard runs each time window `[base, horizon)` entirely locally:
+//! every event it pops names a site it owns, and anything it schedules
+//! for a foreign site goes to the `outbox` — sound because the window
+//! length never exceeds the minimum cross-shard wire latency, so a
+//! foreign-bound message can only fire in a *later* window. The window
+//! loop (in [`super`]) exchanges outboxes at the barrier.
+//!
+//! The interpreter mirrors the serial engine handler for handler; the
+//! deliberate behavioural differences (barrier-batch deadlock
+//! detection and doomed-transaction teardown, per-site RNG streams,
+//! per-cohort blocked-time accounting) are documented at the
+//! corresponding handlers and in EXPERIMENTS.md.
+
+use super::super::trace::TraceEvent;
+use super::super::types::{CohortPhase, TxnId, TxnPhase, Vote};
+use super::types::{
+    make_uid, uid_home, AccMirror, PCohort, PCpuJob, PDiskJob, PEvent, PLog, PLogWork, PMsg,
+    PMsgKind, PSite, PTxn, TxnUid,
+};
+use super::ParCtx;
+use crate::config::{RestartPolicy, TransType};
+use crate::metrics::AbortReason;
+use crate::workload::{Access, SiteId, TxnTemplate};
+use commitproto::{RecoveryAction, RecoveryRecord, Routing};
+use distlocks::{Grant, LockMode, RequestOutcome};
+use simkernel::{JobClass, ShardCalendar, SimDuration, SimTime};
+use std::sync::Arc;
+
+/// Min-merge a crash instant heard from a message into a local slot —
+/// the message-passing equivalent of the serial engine's
+/// `get_or_insert` on shared transaction state.
+fn merge_crash(slot: &mut Option<SimTime>, seen: Option<SimTime>) {
+    if let Some(s) = seen {
+        match slot {
+            Some(cur) if *cur <= s => {}
+            _ => *slot = Some(s),
+        }
+    }
+}
+
+/// A contiguous block of sites with its own calendar and event loop.
+pub(crate) struct Shard {
+    /// Shard index (= position in the orchestrator's shard vector).
+    pub(crate) idx: usize,
+    /// First site owned by this shard; sites `lo..lo + sites.len()`.
+    pub(crate) lo: SiteId,
+    pub(crate) sites: Vec<PSite>,
+    pub(crate) cal: ShardCalendar<PEvent>,
+    /// Events bound for foreign shards, exchanged at the barrier.
+    pub(crate) outbox: Vec<(SimTime, u64, PEvent)>,
+    /// Transactions doomed this window (exec-phase crash recovery,
+    /// borrower cascades); the barrier tears down their remains
+    /// everywhere and schedules the restart.
+    pub(crate) doomed: Vec<(TxnUid, SimTime, AbortReason, SiteId)>,
+    /// Upper edge of the current window; cross-shard sends must not
+    /// fire before it (checked in debug builds).
+    pub(crate) horizon: SimTime,
+    /// Self-profiling accumulators (populated when `ctx.profiled`).
+    pub(crate) prof_calendar_ns: u64,
+    pub(crate) prof_dispatch_ns: u64,
+    pub(crate) ctx: Arc<ParCtx>,
+}
+
+impl Shard {
+    pub(crate) fn new(idx: usize, lo: SiteId, sites: Vec<PSite>, ctx: Arc<ParCtx>) -> Shard {
+        Shard {
+            idx,
+            lo,
+            sites,
+            cal: ShardCalendar::new(),
+            outbox: Vec::new(),
+            doomed: Vec::new(),
+            horizon: SimTime::ZERO,
+            prof_calendar_ns: 0,
+            prof_dispatch_ns: 0,
+            ctx,
+        }
+    }
+
+    #[inline]
+    fn now(&self) -> SimTime {
+        self.cal.now()
+    }
+
+    #[inline]
+    pub(crate) fn site_mut(&mut self, site: SiteId) -> &mut PSite {
+        &mut self.sites[site - self.lo]
+    }
+
+    #[inline]
+    pub(crate) fn site_ref(&self, site: SiteId) -> &PSite {
+        &self.sites[site - self.lo]
+    }
+
+    /// Stamp a canonical event key from `origin`'s sequence counter.
+    /// Keys order same-instant events identically at every shard
+    /// count, because each site's handlers run in the same order under
+    /// any layout.
+    fn key_for(&mut self, origin: SiteId) -> u64 {
+        let ps = self.site_mut(origin);
+        ps.key_seq += 1;
+        ((origin as u64) << 48) | ps.key_seq
+    }
+
+    /// Schedule `ev` at `at`, keyed by `origin` (the site whose
+    /// handler is running). Foreign-shard targets go to the outbox.
+    pub(crate) fn sched(&mut self, origin: SiteId, at: SimTime, ev: PEvent) {
+        let key = self.key_for(origin);
+        if self.ctx.site_shard[ev.site()] == self.idx {
+            self.cal.schedule(at, key, ev);
+        } else {
+            debug_assert!(
+                at >= self.horizon,
+                "cross-shard event inside the window: {at} < {}",
+                self.horizon
+            );
+            self.outbox.push((at, key, ev));
+        }
+    }
+
+    /// Record a trace event at an explicit instant (the barrier uses
+    /// this to stamp abort events at their doom time).
+    pub(crate) fn trace_at(
+        &mut self,
+        site: SiteId,
+        ext: TxnId,
+        at: SimTime,
+        make: impl FnOnce(SimTime) -> TraceEvent,
+    ) {
+        if ext > self.ctx.trace_limit {
+            return;
+        }
+        let ps = self.site_mut(site);
+        ps.trace_seq += 1;
+        let seq = ps.trace_seq;
+        ps.trace_buf.push((at, seq, make(at)));
+    }
+
+    fn trace(&mut self, site: SiteId, ext: TxnId, make: impl FnOnce(SimTime) -> TraceEvent) {
+        let now = self.now();
+        self.trace_at(site, ext, now, make);
+    }
+
+    // ------------------------------------------------------------------
+    // Window loop
+    // ------------------------------------------------------------------
+
+    /// Process every local event firing strictly before `horizon`,
+    /// then park the clock at the window edge.
+    pub(crate) fn run_window(&mut self, horizon: SimTime) {
+        self.horizon = horizon;
+        if self.ctx.profiled {
+            loop {
+                let t0 = std::time::Instant::now();
+                let next = self.cal.next_before(horizon);
+                let t1 = std::time::Instant::now();
+                self.prof_calendar_ns += (t1 - t0).as_nanos() as u64;
+                let Some((_, ev)) = next else { break };
+                self.dispatch(ev);
+                self.prof_dispatch_ns += t1.elapsed().as_nanos() as u64;
+            }
+        } else {
+            while let Some((_, ev)) = self.cal.next_before(horizon) {
+                self.dispatch(ev);
+            }
+        }
+        self.cal.advance_to(horizon);
+    }
+
+    fn dispatch(&mut self, ev: PEvent) {
+        match ev {
+            PEvent::Submit {
+                home,
+                template,
+                original_birth,
+            } => self.submit_txn(home, template.map(|b| *b), original_birth),
+            PEvent::CpuDone { site, job } => {
+                let now = self.now();
+                if let Some(started) = self.site_mut(site).cpu.complete(now) {
+                    self.sched(
+                        site,
+                        started.done_at,
+                        PEvent::CpuDone {
+                            site,
+                            job: started.job,
+                        },
+                    );
+                }
+                self.handle_cpu_done(site, job);
+            }
+            PEvent::DataDiskDone { site, disk, job } => {
+                let now = self.now();
+                if let Some(started) = self.site_mut(site).data_disks[disk].complete(now) {
+                    self.sched(
+                        site,
+                        started.done_at,
+                        PEvent::DataDiskDone {
+                            site,
+                            disk,
+                            job: started.job,
+                        },
+                    );
+                }
+                self.handle_data_disk_done(site, job);
+            }
+            PEvent::LogDiskDone { site, disk, job } => {
+                let now = self.now();
+                if let Some(started) = self.site_mut(site).log_disks[disk].complete(now) {
+                    self.sched(
+                        site,
+                        started.done_at,
+                        PEvent::LogDiskDone {
+                            site,
+                            disk,
+                            job: started.job,
+                        },
+                    );
+                }
+                self.handle_log_done(site, job);
+            }
+            PEvent::LogBatchDone { site, disk } => {
+                let now = self.now();
+                let service = self.ctx.cfg.page_disk;
+                let (done, next) = self
+                    .site_mut(site)
+                    .batched_logs
+                    .as_mut()
+                    .expect("batch completion implies group commit")[disk]
+                    .complete(now, service);
+                if let Some(done_at) = next {
+                    self.sched(site, done_at, PEvent::LogBatchDone { site, disk });
+                }
+                for work in done {
+                    self.handle_log_done(site, work);
+                }
+            }
+            PEvent::MasterRecovered { home, uid, commit } => self.decide_now(home, uid, commit),
+            PEvent::CohortRecovered { site, uid, ord } => self.cohort_recovered(site, uid, ord),
+            PEvent::LocalMsg { msg } => self.handle_message(msg),
+            PEvent::MsgArrive { msg } => {
+                let service = self.ctx.cfg.msg_cpu;
+                let to = msg.to;
+                self.cpu_arrive(to, PCpuJob::MsgRecv { msg }, service, JobClass::High);
+            }
+        }
+    }
+
+    fn handle_cpu_done(&mut self, site: SiteId, job: PCpuJob) {
+        match job {
+            PCpuJob::Data { uid, ord } => self.cohort_page_processed(site, uid, ord),
+            PCpuJob::MsgSend { msg } => {
+                let lat = self.ctx.latency[msg.from * self.ctx.n_sites + msg.to];
+                if lat == SimDuration::ZERO {
+                    // Zero-latency pairs share a region, hence a shard:
+                    // deliver without a wire hop, like the serial path.
+                    debug_assert_eq!(
+                        self.ctx.site_shard[msg.to], self.idx,
+                        "zero-latency pair split across shards"
+                    );
+                    let service = self.ctx.cfg.msg_cpu;
+                    let to = msg.to;
+                    self.cpu_arrive(to, PCpuJob::MsgRecv { msg }, service, JobClass::High);
+                } else {
+                    let now = self.now();
+                    let from = msg.from;
+                    self.sched(from, now + lat, PEvent::MsgArrive { msg });
+                }
+            }
+            PCpuJob::MsgRecv { msg } => self.handle_message(msg),
+        }
+    }
+
+    fn handle_data_disk_done(&mut self, site: SiteId, job: PDiskJob) {
+        match job {
+            PDiskJob::Read { uid, ord } => {
+                // The cohort may have been torn down at a barrier while
+                // its read was in flight.
+                if !self.site_ref(site).cohorts.contains_key(&(uid, ord)) {
+                    return;
+                }
+                let service = self.ctx.cfg.page_cpu;
+                self.cpu_arrive(site, PCpuJob::Data { uid, ord }, service, JobClass::Low);
+            }
+            PDiskJob::AsyncWrite => {}
+        }
+    }
+
+    fn handle_log_done(&mut self, site: SiteId, log: PLog) {
+        let ext = log.ext;
+        let label = log.work.label();
+        self.trace(site, ext, |at| TraceEvent::LogDone {
+            at,
+            txn: ext,
+            label,
+            site,
+        });
+        match log.work {
+            PLogWork::CohortPrepare { uid, ord } => self.cohort_prepared(site, uid, ord),
+            PLogWork::CohortNoVoteAbort { uid, ord } => self.cohort_no_vote_finish(site, uid, ord),
+            PLogWork::CohortPrecommit { uid, ord } => self.cohort_precommitted(site, uid, ord),
+            PLogWork::CohortDecision { uid, ord, commit } => {
+                self.cohort_finish_decision(site, uid, ord, commit)
+            }
+            PLogWork::MasterCollecting { uid } => self.send_prepares(site, uid),
+            PLogWork::MasterPrecommit { uid } => self.master_precommit_logged(site, uid),
+            PLogWork::MasterDecision { uid, commit } => {
+                self.master_decision_logged(site, uid, commit)
+            }
+            PLogWork::AcceptorBundle { uid } => self.acceptor_bundle_logged(site, uid),
+            PLogWork::ReplicaDecision { uid, .. } => self.replica_decision_logged(site, uid, ext),
+        }
+    }
+
+    fn handle_message(&mut self, msg: PMsg) {
+        let PMsg { to, ext, kind, .. } = msg;
+        match kind {
+            PMsgKind::InitCohort {
+                uid,
+                ord,
+                accesses,
+                n_sibs,
+            } => {
+                // Dead-letter check: the incarnation may have been
+                // doomed at a barrier while this initiation message was
+                // on the wire.
+                if self.site_ref(to).dead.contains_key(&uid) {
+                    return;
+                }
+                self.create_cohort(to, uid, ord, uid_home(uid), ext, accesses, n_sibs);
+            }
+            PMsgKind::WorkDone { uid, ord } => self.master_workdone(to, uid, ord),
+            PMsgKind::Prepare { uid, ord } => self.cohort_prepare(to, uid, ord),
+            PMsgKind::Vote {
+                uid,
+                ord,
+                vote,
+                crashed_at,
+            } => self.master_vote(to, uid, ord, vote, crashed_at),
+            PMsgKind::PreCommit { uid, ord } => self.cohort_precommit(to, uid, ord),
+            PMsgKind::PreAck { uid, crashed_at } => self.master_preack(to, uid, crashed_at),
+            PMsgKind::Decision {
+                uid,
+                ord,
+                commit,
+                crashed_at,
+            } => self.cohort_decision(to, uid, ord, commit, crashed_at),
+            PMsgKind::Ack { uid } => self.master_ack(to, uid),
+            PMsgKind::PaxosVote {
+                uid,
+                ord,
+                yes,
+                expect,
+                crashed_at,
+            } => self.acceptor_vote(to, uid, ord, yes, expect, ext, crashed_at),
+            PMsgKind::Accepted {
+                uid,
+                commit,
+                no_ords,
+                crashed_at,
+            } => self.master_accepted(to, uid, commit, no_ords, crashed_at),
+            PMsgKind::RepDecision { uid } => self.replica_decision(to, uid, ext),
+            PMsgKind::RepAck { uid } => self.master_rep_ack(to, uid),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Plumbing: messages, CPUs, disks, logs
+    // ------------------------------------------------------------------
+
+    fn send(&mut self, from: SiteId, to: SiteId, ext: TxnId, kind: PMsgKind) {
+        let label = kind.label();
+        let local = from == to;
+        self.trace(from, ext, |at| TraceEvent::Send {
+            at,
+            txn: ext,
+            label,
+            from,
+            to,
+            local,
+        });
+        let msg = PMsg {
+            from,
+            to,
+            ext,
+            kind,
+        };
+        if local {
+            let now = self.now();
+            self.sched(from, now, PEvent::LocalMsg { msg });
+            return;
+        }
+        // Message counters live at the *sender*, so the attribution is
+        // shard-layout invariant.
+        if msg.kind.is_execution() {
+            self.site_mut(from).metrics.exec_messages.bump();
+        } else {
+            self.site_mut(from).metrics.commit_messages.bump();
+        }
+        let service = self.ctx.cfg.msg_cpu;
+        self.cpu_arrive(from, PCpuJob::MsgSend { msg }, service, JobClass::High);
+    }
+
+    fn cpu_arrive(&mut self, site: SiteId, job: PCpuJob, service: SimDuration, class: JobClass) {
+        let now = self.now();
+        if let Some(started) = self.site_mut(site).cpu.arrive(now, job, service, class) {
+            self.sched(
+                site,
+                started.done_at,
+                PEvent::CpuDone {
+                    site,
+                    job: started.job,
+                },
+            );
+        }
+    }
+
+    fn data_disk_arrive(&mut self, site: SiteId, page: u64, job: PDiskJob) {
+        let now = self.now();
+        let service = self.ctx.cfg.page_disk;
+        let local_page = page % self.ctx.pages_per_site_eff;
+        let started = {
+            let ps = self.site_mut(site);
+            let disk = (local_page % ps.data_disks.len() as u64) as usize;
+            ps.data_disks[disk]
+                .arrive(now, job, service, JobClass::Low)
+                .map(|s| (disk, s))
+        };
+        if let Some((disk, started)) = started {
+            self.sched(
+                site,
+                started.done_at,
+                PEvent::DataDiskDone {
+                    site,
+                    disk,
+                    job: started.job,
+                },
+            );
+        }
+    }
+
+    fn force_log(&mut self, site: SiteId, log: PLog) {
+        let ext = log.ext;
+        let label = log.work.label();
+        self.trace(site, ext, |at| TraceEvent::ForceLog {
+            at,
+            txn: ext,
+            label,
+            site,
+        });
+        let now = self.now();
+        let service = self.ctx.cfg.page_disk;
+        let scheduled = {
+            let ps = self.site_mut(site);
+            ps.metrics.forced_writes.bump();
+            let disk = ps.next_log_disk;
+            ps.next_log_disk = (ps.next_log_disk + 1) % ps.log_disks.len();
+            if let Some(batchers) = ps.batched_logs.as_mut() {
+                batchers[disk]
+                    .arrive(now, log, service)
+                    .map(|done_at| (done_at, PEvent::LogBatchDone { site, disk }))
+            } else {
+                ps.log_disks[disk]
+                    .arrive(now, log, service, JobClass::Low)
+                    .map(|s| {
+                        (
+                            s.done_at,
+                            PEvent::LogDiskDone {
+                                site,
+                                disk,
+                                job: s.job,
+                            },
+                        )
+                    })
+            }
+        };
+        if let Some((at, ev)) = scheduled {
+            self.sched(site, at, ev);
+        }
+    }
+
+    /// Delay before a restarted incarnation resubmits, driven by this
+    /// *home site's* response-time estimate (the serial engine keeps
+    /// one global estimate; per-home keeps it layout-invariant).
+    pub(crate) fn restart_delay(&self, home: SiteId) -> SimDuration {
+        match self.ctx.cfg.restart_policy {
+            RestartPolicy::AdaptiveResponseTime => {
+                let est = &self.site_ref(home).resp_estimate;
+                if est.count() > 0 {
+                    SimDuration::from_millis_f64(est.mean() * 1_000.0)
+                } else {
+                    let pages = (self.ctx.cfg.dist_degree * self.ctx.cfg.cohort_size) as u64;
+                    (self.ctx.cfg.page_disk + self.ctx.cfg.page_cpu) * pages
+                }
+            }
+            RestartPolicy::Fixed(d) => d,
+            RestartPolicy::Immediate => SimDuration::ZERO,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execution phase
+    // ------------------------------------------------------------------
+
+    fn submit_txn(
+        &mut self,
+        home: SiteId,
+        template: Option<TxnTemplate>,
+        original_birth: Option<SimTime>,
+    ) {
+        let now = self.now();
+        let ctx = Arc::clone(&self.ctx);
+        let (uid, n) = {
+            let ps = self.site_mut(home);
+            let template = template.unwrap_or_else(|| ctx.wl.generate(home, &mut ps.rng));
+            let seq = ps.next_txn_seq;
+            ps.next_txn_seq += 1;
+            let uid = make_uid(home, seq);
+            let ext = seq * ctx.n_sites as u64 + home as u64 + 1;
+            let n = template.sites.len();
+            ps.metrics.live_txns.add(now, 1.0);
+            ps.txns.insert(
+                uid,
+                PTxn {
+                    ext,
+                    template,
+                    birth: now,
+                    original_birth: original_birth.unwrap_or(now),
+                    phase: TxnPhase::Executing,
+                    pending_workdone: n,
+                    pending_votes: 0,
+                    pending_preacks: 0,
+                    pending_acks: 0,
+                    parted: vec![false; n],
+                    no_vote: false,
+                    next_seq_cohort: 1,
+                    master_done: false,
+                    accepts_outstanding: 0,
+                    pending_rep_acks: 0,
+                    commit_started: None,
+                    decided_at: None,
+                    crashed_at: None,
+                },
+            );
+            (uid, n)
+        };
+        match ctx.cfg.trans_type {
+            TransType::Parallel => {
+                for ord in 0..n {
+                    self.start_cohort(home, uid, ord as u32);
+                }
+            }
+            TransType::Sequential => self.start_cohort(home, uid, 0),
+        }
+    }
+
+    fn start_cohort(&mut self, home: SiteId, uid: TxnUid, ord: u32) {
+        let (site, accesses, n_sibs, ext) = {
+            let t = &self.site_ref(home).txns[&uid];
+            (
+                t.template.sites[ord as usize],
+                t.template.accesses[ord as usize].clone(),
+                t.template.sites.len() as u32,
+                t.ext,
+            )
+        };
+        if site == home {
+            self.create_cohort(site, uid, ord, home, ext, accesses, n_sibs);
+        } else {
+            self.send(
+                home,
+                site,
+                ext,
+                PMsgKind::InitCohort {
+                    uid,
+                    ord,
+                    accesses,
+                    n_sibs,
+                },
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn create_cohort(
+        &mut self,
+        site: SiteId,
+        uid: TxnUid,
+        ord: u32,
+        home: SiteId,
+        txn_ext: TxnId,
+        accesses: Vec<Access>,
+        n_sibs: u32,
+    ) {
+        let n_sites = self.ctx.n_sites as u64;
+        {
+            let ps = self.site_mut(site);
+            let cseq = ps.next_cohort_seq;
+            ps.next_cohort_seq += 1;
+            let cext = cseq * n_sites + site as u64 + 1;
+            let owner = ps.locks.register_owner(cext);
+            if owner.index() >= ps.owner_cohorts.len() {
+                ps.owner_cohorts.resize(owner.index() + 1, (0, 0));
+            }
+            ps.owner_cohorts[owner.index()] = (uid, ord);
+            ps.cohorts.insert(
+                (uid, ord),
+                PCohort {
+                    ext: cext,
+                    txn_ext,
+                    home,
+                    n_sibs,
+                    accesses,
+                    next_access: 0,
+                    phase: CohortPhase::Starting,
+                    lock_owner: owner,
+                    waiting_lock: false,
+                    shelf_since: None,
+                    prepared_since: None,
+                    down: false,
+                    crashed_at: None,
+                },
+            );
+        }
+        self.cohort_begin(site, uid, ord);
+    }
+
+    fn cohort_begin(&mut self, site: SiteId, uid: TxnUid, ord: u32) {
+        {
+            let Some(c) = self.site_mut(site).cohorts.get_mut(&(uid, ord)) else {
+                return;
+            };
+            debug_assert_eq!(c.phase, CohortPhase::Starting);
+            c.phase = CohortPhase::Executing;
+        }
+        self.cohort_continue(site, uid, ord);
+    }
+
+    fn cohort_continue(&mut self, site: SiteId, uid: TxnUid, ord: u32) {
+        let now = self.now();
+        let (owner, cext, text, access) = {
+            let Some(c) = self.site_ref(site).cohorts.get(&(uid, ord)) else {
+                return;
+            };
+            if c.work_complete() {
+                self.cohort_work_finished(site, uid, ord);
+                return;
+            }
+            (c.lock_owner, c.ext, c.txn_ext, c.accesses[c.next_access])
+        };
+        let mode = if access.update {
+            LockMode::Update
+        } else {
+            LockMode::Read
+        };
+        match self.site_mut(site).locks.request(owner, access.page, mode) {
+            RequestOutcome::Granted { borrowed_from } => {
+                if !borrowed_from.is_empty() {
+                    self.site_mut(site).metrics.borrowed_pages.bump();
+                    let lenders = borrowed_from.len();
+                    self.trace(site, text, |at| TraceEvent::Borrowed {
+                        at,
+                        txn: text,
+                        cohort: cext,
+                        lenders,
+                    });
+                }
+                self.data_disk_arrive(site, access.page, PDiskJob::Read { uid, ord });
+            }
+            RequestOutcome::AlreadyHeld => {
+                self.data_disk_arrive(site, access.page, PDiskJob::Read { uid, ord });
+            }
+            RequestOutcome::Blocked => {
+                // Deadlocks involving this wait are found at the next
+                // barrier by the global detector (a documented family
+                // difference from the serial engine's immediate check).
+                let ps = self.site_mut(site);
+                ps.cohorts.get_mut(&(uid, ord)).unwrap().waiting_lock = true;
+                ps.metrics.blocked_txns.add(now, 1.0);
+            }
+        }
+    }
+
+    fn cohort_page_processed(&mut self, site: SiteId, uid: TxnUid, ord: u32) {
+        {
+            let Some(c) = self.site_mut(site).cohorts.get_mut(&(uid, ord)) else {
+                return;
+            };
+            debug_assert_eq!(c.phase, CohortPhase::Executing);
+            c.next_access += 1;
+        }
+        self.cohort_continue(site, uid, ord);
+    }
+
+    fn cohort_work_finished(&mut self, site: SiteId, uid: TxnUid, ord: u32) {
+        // Execution-phase crash window: nothing durable exists yet, so
+        // recovery presumes abort (dooming the whole incarnation).
+        if let Some(f) = self.ctx.cfg.failures {
+            let p = f.exec_crash_prob.unwrap_or(f.cohort_crash_prob);
+            if self.cohort_crash_roll(site, uid, ord, p) {
+                return;
+            }
+        }
+        let (live_borrows, owner) = {
+            let ps = self.site_ref(site);
+            let c = &ps.cohorts[&(uid, ord)];
+            (ps.locks.has_live_borrows(c.lock_owner), c.lock_owner)
+        };
+        let _ = owner;
+        if self.ctx.spec.opt && live_borrows {
+            // §3 OPT: borrowed from an undecided lender — withhold
+            // WORKDONE ("on the shelf") until the lender decides.
+            let now = self.now();
+            let (cext, text) = {
+                let c = self.site_mut(site).cohorts.get_mut(&(uid, ord)).unwrap();
+                c.phase = CohortPhase::OnShelf;
+                c.shelf_since = Some(now);
+                (c.ext, c.txn_ext)
+            };
+            self.trace(site, text, |at| TraceEvent::Shelved {
+                at,
+                txn: text,
+                cohort: cext,
+            });
+            return;
+        }
+        self.cohort_send_workdone(site, uid, ord);
+    }
+
+    fn cohort_send_workdone(&mut self, site: SiteId, uid: TxnUid, ord: u32) {
+        let now = self.now();
+        let (home, text, cext, unshelved) = {
+            let ps = self.site_mut(site);
+            let Some(c) = ps.cohorts.get_mut(&(uid, ord)) else {
+                return;
+            };
+            let unshelved = c.shelf_since.take();
+            c.phase = CohortPhase::WorkDone;
+            let out = (c.home, c.txn_ext, c.ext, unshelved.is_some());
+            if let Some(since) = unshelved {
+                ps.metrics.shelf_time.record_duration(now.since(since));
+            }
+            out
+        };
+        if unshelved {
+            self.trace(site, text, |at| TraceEvent::Unshelved {
+                at,
+                txn: text,
+                cohort: cext,
+            });
+        }
+        self.send(site, home, text, PMsgKind::WorkDone { uid, ord });
+    }
+
+    fn process_grants(&mut self, site: SiteId, grants: Vec<Grant>) {
+        let now = self.now();
+        for g in grants {
+            let (uid, ord) = self.site_ref(site).owner_cohorts[g.owner.index()];
+            let (cext, text) = {
+                let ps = self.site_mut(site);
+                let Some(c) = ps.cohorts.get_mut(&(uid, ord)) else {
+                    unreachable!("grant to a dead cohort");
+                };
+                debug_assert!(c.waiting_lock);
+                c.waiting_lock = false;
+                let out = (c.ext, c.txn_ext);
+                ps.metrics.blocked_txns.add(now, -1.0);
+                out
+            };
+            if !g.borrowed_from.is_empty() {
+                self.site_mut(site).metrics.borrowed_pages.bump();
+                let lenders = g.borrowed_from.len();
+                self.trace(site, text, |at| TraceEvent::Borrowed {
+                    at,
+                    txn: text,
+                    cohort: cext,
+                    lenders,
+                });
+            }
+            self.data_disk_arrive(site, g.page, PDiskJob::Read { uid, ord });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Voting phase (master side)
+    // ------------------------------------------------------------------
+
+    fn master_workdone(&mut self, home: SiteId, uid: TxnUid, _ord: u32) {
+        let mut chain_next = None;
+        let mut begin = false;
+        let sequential = matches!(self.ctx.cfg.trans_type, TransType::Sequential);
+        {
+            let ps = self.site_mut(home);
+            let Some(t) = ps.txns.get_mut(&uid) else {
+                // In-flight WORKDONE from an incarnation doomed at a
+                // barrier — silently dropped, like the serial engine's
+                // stale-handle miss.
+                return;
+            };
+            debug_assert_eq!(t.phase, TxnPhase::Executing);
+            debug_assert!(t.pending_workdone > 0);
+            t.pending_workdone -= 1;
+            if sequential && t.next_seq_cohort < t.template.sites.len() {
+                chain_next = Some(t.next_seq_cohort as u32);
+                t.next_seq_cohort += 1;
+            } else if t.pending_workdone == 0 {
+                begin = true;
+            }
+        }
+        if let Some(ord) = chain_next {
+            self.start_cohort(home, uid, ord);
+            return;
+        }
+        if begin {
+            self.begin_commit(home, uid);
+        }
+    }
+
+    fn begin_commit(&mut self, home: SiteId, uid: TxnUid) {
+        debug_assert!(self.ctx.table.voting, "baselines take the serial path");
+        let now = self.now();
+        let ext = {
+            let t = self.site_mut(home).txns.get_mut(&uid).unwrap();
+            t.commit_started = Some(now);
+            t.ext
+        };
+        if self.ctx.table.init_record {
+            self.site_mut(home).txns.get_mut(&uid).unwrap().phase = TxnPhase::Collecting;
+            self.force_log(
+                home,
+                PLog {
+                    ext,
+                    work: PLogWork::MasterCollecting { uid },
+                },
+            );
+        } else {
+            self.send_prepares(home, uid);
+        }
+    }
+
+    fn send_prepares(&mut self, home: SiteId, uid: TxnUid) {
+        let quorum = matches!(self.ctx.table.routing, Routing::Quorum);
+        let group = self.ctx.group as usize;
+        let (ext, sites) = {
+            let t = self.site_mut(home).txns.get_mut(&uid).unwrap();
+            t.phase = TxnPhase::Voting;
+            t.pending_votes = t.template.sites.len();
+            if quorum {
+                t.accepts_outstanding = group;
+            }
+            (t.ext, t.template.sites.clone())
+        };
+        for (ord, site) in sites.into_iter().enumerate() {
+            self.send(
+                home,
+                site,
+                ext,
+                PMsgKind::Prepare {
+                    uid,
+                    ord: ord as u32,
+                },
+            );
+        }
+    }
+
+    fn master_vote(
+        &mut self,
+        home: SiteId,
+        uid: TxnUid,
+        ord: u32,
+        vote: Vote,
+        ca: Option<SimTime>,
+    ) {
+        enum AfterVotes {
+            Wait,
+            Decide(bool),
+            OnePhaseCommit,
+            Precommit(TxnId),
+        }
+        let precommit = self.ctx.table.precommit;
+        let after = {
+            let t = self
+                .site_mut(home)
+                .txns
+                .get_mut(&uid)
+                .expect("no stale votes");
+            debug_assert_eq!(t.phase, TxnPhase::Voting);
+            merge_crash(&mut t.crashed_at, ca);
+            match vote {
+                Vote::No => {
+                    t.no_vote = true;
+                    t.parted[ord as usize] = true;
+                }
+                Vote::ReadOnly => t.parted[ord as usize] = true,
+                Vote::Yes => {}
+            }
+            debug_assert!(t.pending_votes > 0);
+            t.pending_votes -= 1;
+            if t.pending_votes > 0 {
+                AfterVotes::Wait
+            } else if t.no_vote {
+                AfterVotes::Decide(false)
+            } else if t.parted.iter().all(|&p| p) {
+                // Every cohort voted READ: one-phase commit, nothing to
+                // log or announce beyond the master's own record.
+                AfterVotes::OnePhaseCommit
+            } else if precommit {
+                t.phase = TxnPhase::Precommitting;
+                AfterVotes::Precommit(t.ext)
+            } else {
+                AfterVotes::Decide(true)
+            }
+        };
+        match after {
+            AfterVotes::Wait => {}
+            AfterVotes::Decide(commit) => self.decide(home, uid, commit),
+            AfterVotes::OnePhaseCommit => self.master_decided(home, uid, true),
+            AfterVotes::Precommit(ext) => self.force_log(
+                home,
+                PLog {
+                    ext,
+                    work: PLogWork::MasterPrecommit { uid },
+                },
+            ),
+        }
+    }
+
+    fn master_precommit_logged(&mut self, home: SiteId, uid: TxnUid) {
+        let (ext, targets) = {
+            let t = self.site_mut(home).txns.get_mut(&uid).unwrap();
+            let targets: Vec<(u32, SiteId)> = t
+                .template
+                .sites
+                .iter()
+                .enumerate()
+                .filter(|(ord, _)| !t.parted[*ord])
+                .map(|(ord, s)| (ord as u32, *s))
+                .collect();
+            t.pending_preacks = targets.len();
+            (t.ext, targets)
+        };
+        for (ord, site) in targets {
+            self.send(home, site, ext, PMsgKind::PreCommit { uid, ord });
+        }
+    }
+
+    fn master_preack(&mut self, home: SiteId, uid: TxnUid, ca: Option<SimTime>) {
+        let done = {
+            let t = self
+                .site_mut(home)
+                .txns
+                .get_mut(&uid)
+                .expect("no stale preacks");
+            merge_crash(&mut t.crashed_at, ca);
+            debug_assert!(t.pending_preacks > 0);
+            t.pending_preacks -= 1;
+            t.pending_preacks == 0
+        };
+        if done {
+            self.decide(home, uid, true);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Voting phase (cohort side)
+    // ------------------------------------------------------------------
+
+    fn cohort_prepare(&mut self, site: SiteId, uid: TxnUid, ord: u32) {
+        let ctx = Arc::clone(&self.ctx);
+        let (home, text, owner, read_only) = {
+            let ps = self.site_ref(site);
+            let c = &ps.cohorts[&(uid, ord)];
+            debug_assert!(!c.down);
+            debug_assert_eq!(c.phase, CohortPhase::WorkDone);
+            let ro = ctx.cfg.read_only_optimization && c.accesses.iter().all(|a| !a.update);
+            (c.home, c.txn_ext, c.lock_owner, ro)
+        };
+        if read_only {
+            // §3.2 read-only optimization: vote READ directly to the
+            // master, release everything, and drop out of phase two.
+            let grants = {
+                let ps = self.site_mut(site);
+                debug_assert!(!ps.locks.has_live_borrows(owner));
+                ps.locks.drop_borrower(owner);
+                ps.locks.release_all(owner)
+            };
+            self.process_grants(site, grants);
+            self.send(
+                site,
+                home,
+                text,
+                PMsgKind::Vote {
+                    uid,
+                    ord,
+                    vote: Vote::ReadOnly,
+                    crashed_at: None,
+                },
+            );
+            self.cohort_done(site, uid, ord);
+            return;
+        }
+        let grants = self.site_mut(site).locks.release_read_locks(owner);
+        self.process_grants(site, grants);
+        // Surprise NO vote (unilateral abort at prepare time).
+        let no = {
+            let p = ctx.cfg.cohort_abort_prob;
+            p > 0.0 && self.site_mut(site).rng.chance(p)
+        };
+        if no {
+            self.site_mut(site)
+                .cohorts
+                .get_mut(&(uid, ord))
+                .unwrap()
+                .phase = CohortPhase::Deciding { commit: false };
+            if ctx.table.no_vote_abort_forced {
+                self.force_log(
+                    site,
+                    PLog {
+                        ext: text,
+                        work: PLogWork::CohortNoVoteAbort { uid, ord },
+                    },
+                );
+            } else {
+                self.cohort_no_vote_finish(site, uid, ord);
+            }
+            return;
+        }
+        self.site_mut(site)
+            .cohorts
+            .get_mut(&(uid, ord))
+            .unwrap()
+            .phase = CohortPhase::Preparing;
+        self.force_log(
+            site,
+            PLog {
+                ext: text,
+                work: PLogWork::CohortPrepare { uid, ord },
+            },
+        );
+    }
+
+    fn cohort_no_vote_finish(&mut self, site: SiteId, uid: TxnUid, ord: u32) {
+        let (home, text, owner, ca) = {
+            let ps = self.site_ref(site);
+            let c = &ps.cohorts[&(uid, ord)];
+            assert!(
+                ps.locks.borrowers_of(c.lock_owner).next().is_none(),
+                "NO voter lent data"
+            );
+            (c.home, c.txn_ext, c.lock_owner, c.crashed_at)
+        };
+        let grants = {
+            let ps = self.site_mut(site);
+            ps.locks.drop_borrower(owner);
+            ps.locks.release_all(owner)
+        };
+        self.process_grants(site, grants);
+        if matches!(self.ctx.table.routing, Routing::Quorum) {
+            self.quorum_vote(site, uid, ord, false);
+        } else {
+            self.send(
+                site,
+                home,
+                text,
+                PMsgKind::Vote {
+                    uid,
+                    ord,
+                    vote: Vote::No,
+                    crashed_at: ca,
+                },
+            );
+        }
+        self.cohort_done(site, uid, ord);
+    }
+
+    fn cohort_prepared(&mut self, site: SiteId, uid: TxnUid, ord: u32) {
+        let now = self.now();
+        let (home, text, cext, owner) = {
+            let Some(c) = self.site_mut(site).cohorts.get_mut(&(uid, ord)) else {
+                return;
+            };
+            debug_assert_eq!(c.phase, CohortPhase::Preparing);
+            c.phase = CohortPhase::Prepared;
+            c.prepared_since = Some(now);
+            (c.home, c.txn_ext, c.ext, c.lock_owner)
+        };
+        self.trace(site, text, |at| TraceEvent::Prepared {
+            at,
+            txn: text,
+            cohort: cext,
+            site,
+        });
+        // Crash window: down right after the prepare record hit disk.
+        // The vote is not sent; recovery replays the record and
+        // re-sends it (ResendVote).
+        if let Some(f) = self.ctx.cfg.failures {
+            if self.cohort_crash_roll(site, uid, ord, f.cohort_crash_prob) {
+                return;
+            }
+        }
+        let grants = self.site_mut(site).locks.mark_prepared(owner);
+        self.process_grants(site, grants);
+        if matches!(self.ctx.table.routing, Routing::Quorum) {
+            self.quorum_vote(site, uid, ord, true);
+        } else {
+            let ca = self.site_ref(site).cohorts[&(uid, ord)].crashed_at;
+            self.send(
+                site,
+                home,
+                text,
+                PMsgKind::Vote {
+                    uid,
+                    ord,
+                    vote: Vote::Yes,
+                    crashed_at: ca,
+                },
+            );
+        }
+    }
+
+    /// Paxos Commit: fan this cohort's vote out to all `2F+1` acceptors
+    /// of the transaction's replica group.
+    fn quorum_vote(&mut self, site: SiteId, uid: TxnUid, ord: u32, yes: bool) {
+        let home = uid_home(uid);
+        let (text, expect, ca) = {
+            let c = &self.site_ref(site).cohorts[&(uid, ord)];
+            (c.txn_ext, c.n_sibs, c.crashed_at)
+        };
+        let n = self.ctx.n_sites;
+        for acc in 0..self.ctx.group {
+            let asite = (home + acc as usize) % n;
+            self.send(
+                site,
+                asite,
+                text,
+                PMsgKind::PaxosVote {
+                    uid,
+                    ord,
+                    yes,
+                    expect,
+                    crashed_at: ca,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Paxos acceptors and decision replication
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn acceptor_vote(
+        &mut self,
+        asite: SiteId,
+        uid: TxnUid,
+        ord: u32,
+        yes: bool,
+        expect: u32,
+        ext: TxnId,
+        ca: Option<SimTime>,
+    ) {
+        let bundle = {
+            let ps = self.site_mut(asite);
+            let m = ps.acc_mirrors.entry(uid).or_insert(AccMirror {
+                remaining: expect,
+                no_vote: false,
+                no_ords: Vec::new(),
+                ext,
+                crashed_at: None,
+            });
+            if !yes {
+                m.no_vote = true;
+                m.no_ords.push(ord);
+            }
+            merge_crash(&mut m.crashed_at, ca);
+            debug_assert!(m.remaining > 0);
+            m.remaining -= 1;
+            m.remaining == 0
+        };
+        if bundle {
+            // All votes heard: force the bundled accept record, then
+            // report to the leader. The mirror stays in the map so the
+            // report can carry the NO ordinals.
+            self.force_log(
+                asite,
+                PLog {
+                    ext,
+                    work: PLogWork::AcceptorBundle { uid },
+                },
+            );
+        }
+    }
+
+    fn acceptor_bundle_logged(&mut self, asite: SiteId, uid: TxnUid) {
+        let m = self
+            .site_mut(asite)
+            .acc_mirrors
+            .remove(&uid)
+            .expect("bundle logs once");
+        self.send(
+            asite,
+            uid_home(uid),
+            m.ext,
+            PMsgKind::Accepted {
+                uid,
+                commit: !m.no_vote,
+                no_ords: m.no_ords,
+                crashed_at: m.crashed_at,
+            },
+        );
+    }
+
+    fn master_accepted(
+        &mut self,
+        home: SiteId,
+        uid: TxnUid,
+        commit: bool,
+        no_ords: Vec<u32>,
+        ca: Option<SimTime>,
+    ) {
+        enum AfterAccept {
+            Wait,
+            Decide,
+            Cleanup,
+        }
+        let group = self.ctx.group as usize;
+        let after = {
+            let t = self
+                .site_mut(home)
+                .txns
+                .get_mut(&uid)
+                .expect("cleanup waits for accepts");
+            merge_crash(&mut t.crashed_at, ca);
+            // NO voters already released and left; exclude them from
+            // the decision round (the serial engine reads this from
+            // shared acceptor state).
+            for ord in &no_ords {
+                t.parted[*ord as usize] = true;
+            }
+            debug_assert!(t.accepts_outstanding > 0);
+            t.accepts_outstanding -= 1;
+            let received = group - t.accepts_outstanding;
+            let majority = group / 2 + 1;
+            if received == majority {
+                AfterAccept::Decide
+            } else if t.accepts_outstanding == 0 {
+                AfterAccept::Cleanup
+            } else {
+                AfterAccept::Wait
+            }
+        };
+        match after {
+            AfterAccept::Wait => {}
+            AfterAccept::Decide => self.decide(home, uid, commit),
+            AfterAccept::Cleanup => self.try_cleanup(home, uid),
+        }
+    }
+
+    fn master_decision_logged(&mut self, home: SiteId, uid: TxnUid, commit: bool) {
+        let f = self.ctx.rep_f;
+        if self.ctx.table.replicated_decision && f > 0 {
+            let ext = {
+                let t = self.site_mut(home).txns.get_mut(&uid).unwrap();
+                debug_assert!(matches!(t.phase, TxnPhase::LoggingDecision { .. }));
+                t.pending_rep_acks = 2 * f as usize;
+                t.ext
+            };
+            let n = self.ctx.n_sites;
+            for rep in 1..(2 * f + 1) {
+                let rsite = (home + rep as usize) % n;
+                self.send(home, rsite, ext, PMsgKind::RepDecision { uid });
+            }
+        } else {
+            self.master_decided(home, uid, commit);
+        }
+    }
+
+    fn replica_decision(&mut self, rsite: SiteId, uid: TxnUid, ext: TxnId) {
+        self.force_log(
+            rsite,
+            PLog {
+                ext,
+                work: PLogWork::ReplicaDecision { uid },
+            },
+        );
+    }
+
+    fn replica_decision_logged(&mut self, rsite: SiteId, uid: TxnUid, ext: TxnId) {
+        self.send(rsite, uid_home(uid), ext, PMsgKind::RepAck { uid });
+    }
+
+    fn master_rep_ack(&mut self, home: SiteId, uid: TxnUid) {
+        let commit = {
+            let t = self
+                .site_mut(home)
+                .txns
+                .get_mut(&uid)
+                .expect("no stale rep acks");
+            debug_assert!(t.pending_rep_acks > 0);
+            t.pending_rep_acks -= 1;
+            if t.pending_rep_acks > 0 {
+                return;
+            }
+            match t.phase {
+                TxnPhase::LoggingDecision { commit } => commit,
+                _ => unreachable!("replica acks only drain while logging the decision"),
+            }
+        };
+        self.master_decided(home, uid, commit);
+    }
+
+    // ------------------------------------------------------------------
+    // Decision phase
+    // ------------------------------------------------------------------
+
+    fn decide(&mut self, home: SiteId, uid: TxnUid, commit: bool) {
+        let now = self.now();
+        if commit && self.ctx.table.voting {
+            if let Some(f) = self.ctx.cfg.failures {
+                if f.master_crash_prob > 0.0 {
+                    let hit = {
+                        let ps = self.site_mut(home);
+                        ps.metrics.master_crash_trials.bump();
+                        ps.rng.chance(f.master_crash_prob)
+                    };
+                    if hit {
+                        let text = {
+                            let ps = self.site_mut(home);
+                            ps.metrics.master_crashes.bump();
+                            let t = ps.txns.get_mut(&uid).unwrap();
+                            t.crashed_at.get_or_insert(now);
+                            t.ext
+                        };
+                        self.trace(home, text, |at| TraceEvent::MasterCrashed { at, txn: text });
+                        // The parallel envelope only admits blocking
+                        // takeover (Block, or LeaderFailover at F = 0
+                        // which blocks identically): cohorts hold their
+                        // locks until the master recovers and resumes.
+                        self.sched(
+                            home,
+                            now + f.recovery_time,
+                            PEvent::MasterRecovered { home, uid, commit },
+                        );
+                        return;
+                    }
+                }
+            }
+        }
+        self.decide_now(home, uid, commit);
+    }
+
+    fn decide_now(&mut self, home: SiteId, uid: TxnUid, commit: bool) {
+        if self.ctx.table.master_decision_forced.on(commit) {
+            let ext = {
+                let t = self.site_mut(home).txns.get_mut(&uid).unwrap();
+                t.phase = TxnPhase::LoggingDecision { commit };
+                t.ext
+            };
+            self.force_log(
+                home,
+                PLog {
+                    ext,
+                    work: PLogWork::MasterDecision { uid, commit },
+                },
+            );
+        } else {
+            self.master_decided(home, uid, commit);
+        }
+    }
+
+    fn master_decided(&mut self, home: SiteId, uid: TxnUid, commit: bool) {
+        let now = self.now();
+        let text = self.site_ref(home).txns[&uid].ext;
+        self.trace(home, text, |at| TraceEvent::Decided {
+            at,
+            txn: text,
+            commit,
+        });
+        let ack_on = self.ctx.table.cohort_ack.on(commit);
+        let (targets, ca, birth, ob, started, template) = {
+            let t = self.site_mut(home).txns.get_mut(&uid).unwrap();
+            t.phase = TxnPhase::Decided { commit };
+            t.decided_at = Some(now);
+            let targets: Vec<(u32, SiteId)> = t
+                .template
+                .sites
+                .iter()
+                .enumerate()
+                .filter(|(ord, _)| !t.parted[*ord])
+                .map(|(ord, s)| (ord as u32, *s))
+                .collect();
+            let acks = if ack_on { targets.len() } else { 0 };
+            t.pending_acks = acks;
+            t.master_done = acks == 0;
+            let template = if commit {
+                None
+            } else {
+                Some(t.template.clone())
+            };
+            (
+                targets,
+                t.crashed_at,
+                t.birth,
+                t.original_birth,
+                t.commit_started.unwrap_or(now),
+                template,
+            )
+        };
+        {
+            let ps = self.site_mut(home);
+            ps.metrics.live_txns.add(now, -1.0);
+            if commit {
+                let response = now.since(ob);
+                let attempt = now.since(birth);
+                ps.resp_estimate.record(response.as_secs_f64());
+                ps.metrics.record_commit(now, response, attempt);
+                ps.metrics.phase_execution.record(started.since(birth));
+                ps.metrics.phase_voting.record(now.since(started));
+                // Run control (warmup edge, target count) is evaluated
+                // at the barrier from the never-reset total.
+                ps.commits_total += 1;
+            } else {
+                ps.metrics.record_abort(AbortReason::SurpriseVote);
+            }
+        }
+        if commit {
+            // Closed system: a fresh transaction replaces the one that
+            // just left.
+            self.sched(
+                home,
+                now,
+                PEvent::Submit {
+                    home,
+                    template: None,
+                    original_birth: None,
+                },
+            );
+        } else {
+            self.trace(home, text, |at| TraceEvent::Aborted { at, txn: text });
+            let at = now + self.restart_delay(home);
+            self.sched(
+                home,
+                at,
+                PEvent::Submit {
+                    home,
+                    template: template.map(Box::new),
+                    original_birth: Some(ob),
+                },
+            );
+        }
+        for (ord, site) in targets {
+            self.send(
+                home,
+                site,
+                text,
+                PMsgKind::Decision {
+                    uid,
+                    ord,
+                    commit,
+                    crashed_at: ca,
+                },
+            );
+        }
+        self.try_cleanup(home, uid);
+    }
+
+    // ------------------------------------------------------------------
+    // Decision phase (cohort side)
+    // ------------------------------------------------------------------
+
+    fn cohort_precommit(&mut self, site: SiteId, uid: TxnUid, ord: u32) {
+        let text = {
+            let c = self
+                .site_mut(site)
+                .cohorts
+                .get_mut(&(uid, ord))
+                .expect("PRECOMMIT targets a live cohort");
+            debug_assert!(!c.down);
+            debug_assert_eq!(c.phase, CohortPhase::Prepared);
+            c.phase = CohortPhase::Precommitting;
+            c.txn_ext
+        };
+        self.force_log(
+            site,
+            PLog {
+                ext: text,
+                work: PLogWork::CohortPrecommit { uid, ord },
+            },
+        );
+    }
+
+    fn cohort_precommitted(&mut self, site: SiteId, uid: TxnUid, ord: u32) {
+        let (home, text) = {
+            let Some(c) = self.site_mut(site).cohorts.get_mut(&(uid, ord)) else {
+                return;
+            };
+            c.phase = CohortPhase::Precommitted;
+            (c.home, c.txn_ext)
+        };
+        // Crash window: the precommit record survived; recovery
+        // re-sends the preack (ResendPreAck).
+        if let Some(f) = self.ctx.cfg.failures {
+            if self.cohort_crash_roll(site, uid, ord, f.cohort_crash_prob) {
+                return;
+            }
+        }
+        let ca = self.site_ref(site).cohorts[&(uid, ord)].crashed_at;
+        self.send(
+            site,
+            home,
+            text,
+            PMsgKind::PreAck {
+                uid,
+                crashed_at: ca,
+            },
+        );
+    }
+
+    fn cohort_decision(
+        &mut self,
+        site: SiteId,
+        uid: TxnUid,
+        ord: u32,
+        commit: bool,
+        ca: Option<SimTime>,
+    ) {
+        let now = self.now();
+        let text = {
+            let ps = self.site_mut(site);
+            let Some(c) = ps.cohorts.get_mut(&(uid, ord)) else {
+                debug_assert!(
+                    self.ctx.cfg.failures.is_some(),
+                    "lost cohort without faults"
+                );
+                return;
+            };
+            if !matches!(c.phase, CohortPhase::Prepared | CohortPhase::Precommitted) {
+                debug_assert!(self.ctx.cfg.failures.is_some(), "odd phase without faults");
+                return;
+            }
+            merge_crash(&mut c.crashed_at, ca);
+            let text = c.txn_ext;
+            let since = c.prepared_since.take();
+            let crash = c.crashed_at;
+            if let Some(since) = since {
+                ps.metrics.prepared_time.record_duration(now.since(since));
+                if let Some(crash) = crash {
+                    // Paper's blocking metric: how long this cohort sat
+                    // prepared while a crash stretched the wait.
+                    let from = if crash > since { crash } else { since };
+                    ps.metrics.blocked_on_crash_cohorts.bump();
+                    ps.metrics
+                        .crash_block_time
+                        .record(now.since(from).as_secs_f64());
+                }
+            }
+            text
+        };
+        if self.ctx.table.cohort_decision_forced.on(commit) {
+            self.site_mut(site)
+                .cohorts
+                .get_mut(&(uid, ord))
+                .unwrap()
+                .phase = CohortPhase::Deciding { commit };
+            self.force_log(
+                site,
+                PLog {
+                    ext: text,
+                    work: PLogWork::CohortDecision { uid, ord, commit },
+                },
+            );
+        } else {
+            self.cohort_finish_decision(site, uid, ord, commit);
+        }
+    }
+
+    fn cohort_finish_decision(&mut self, site: SiteId, uid: TxnUid, ord: u32, commit: bool) {
+        let (owner, home, text, writes) = {
+            let c = &self.site_ref(site).cohorts[&(uid, ord)];
+            let writes: Vec<u64> = if commit {
+                c.accesses
+                    .iter()
+                    .filter(|a| a.update)
+                    .map(|a| a.page)
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            (c.lock_owner, c.home, c.txn_ext, writes)
+        };
+        let (borrower_keys, grants) = {
+            let ps = self.site_mut(site);
+            // Settle OPT borrows first: on commit the borrows become
+            // real locks, on abort the borrowers are doomed below.
+            let borrower_owners = ps.locks.settle_borrows(owner);
+            debug_assert!(!ps.locks.has_live_borrows(owner));
+            ps.locks.drop_borrower(owner);
+            let grants = ps.locks.release_all(owner);
+            let keys: Vec<(TxnUid, u32)> = borrower_owners
+                .iter()
+                .map(|o| ps.owner_cohorts[o.index()])
+                .collect();
+            (keys, grants)
+        };
+        self.process_grants(site, grants);
+        if self.ctx.cfg.model_deferred_writes {
+            for page in writes {
+                self.data_disk_arrive(site, page, PDiskJob::AsyncWrite);
+            }
+        }
+        if commit {
+            for (buid, bord) in borrower_keys {
+                let ready = {
+                    let ps = self.site_ref(site);
+                    match ps.cohorts.get(&(buid, bord)) {
+                        Some(b) => {
+                            b.phase == CohortPhase::OnShelf
+                                && !ps.locks.has_live_borrows(b.lock_owner)
+                        }
+                        None => false,
+                    }
+                };
+                if ready {
+                    self.cohort_send_workdone(site, buid, bord);
+                }
+            }
+        } else {
+            // Borrower cascade: everything that borrowed from this
+            // aborting lender read dirty data and must restart.
+            for (buid, bord) in borrower_keys {
+                if self.site_ref(site).cohorts.contains_key(&(buid, bord)) {
+                    self.doom_local(site, buid, bord, AbortReason::BorrowerCascade);
+                }
+            }
+        }
+        if self.ctx.table.cohort_ack.on(commit) {
+            self.send(site, home, text, PMsgKind::Ack { uid });
+        }
+        self.cohort_done(site, uid, ord);
+    }
+
+    fn cohort_done(&mut self, site: SiteId, uid: TxnUid, ord: u32) {
+        let ps = self.site_mut(site);
+        let c = ps
+            .cohorts
+            .remove(&(uid, ord))
+            .expect("cohort finishes once");
+        debug_assert!(ps.locks.borrowers_of(c.lock_owner).next().is_none());
+        debug_assert!(!ps.locks.has_live_borrows(c.lock_owner));
+        ps.locks.unregister(c.lock_owner);
+    }
+
+    fn master_ack(&mut self, home: SiteId, uid: TxnUid) {
+        let done = {
+            let t = self
+                .site_mut(home)
+                .txns
+                .get_mut(&uid)
+                .expect("no stale acks");
+            debug_assert!(t.pending_acks > 0);
+            t.pending_acks -= 1;
+            t.pending_acks == 0
+        };
+        if done {
+            self.site_mut(home).txns.get_mut(&uid).unwrap().master_done = true;
+            self.try_cleanup(home, uid);
+        }
+    }
+
+    fn try_cleanup(&mut self, home: SiteId, uid: TxnUid) {
+        let now = self.now();
+        let remove = {
+            let t = &self.site_ref(home).txns[&uid];
+            t.master_done
+                && t.pending_acks == 0
+                && t.accepts_outstanding == 0
+                && t.pending_rep_acks == 0
+        };
+        if !remove {
+            return;
+        }
+        // Unlike the serial engine, cleanup does not wait for remote
+        // cohort teardown (`open_cohorts`): a shard cannot observe
+        // another shard's maps mid-window, and nothing downstream reads
+        // the master record after the acks drain.
+        let t = self.site_mut(home).txns.remove(&uid).unwrap();
+        if let (TxnPhase::Decided { commit: true }, Some(decided)) = (t.phase, t.decided_at) {
+            self.site_mut(home)
+                .metrics
+                .phase_decision
+                .record(now.since(decided));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Faults
+    // ------------------------------------------------------------------
+
+    /// Roll the cohort-crash die for the cohort at `site`. On a hit the
+    /// cohort goes down and a recovery event is scheduled; the caller
+    /// abandons whatever it was about to do (recovery replays it from
+    /// the durable record, per the protocol's presumption rules).
+    fn cohort_crash_roll(&mut self, site: SiteId, uid: TxnUid, ord: u32, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        let Some(f) = self.ctx.cfg.failures else {
+            return false;
+        };
+        if let Some(region) = f.crash_region {
+            let topo = self
+                .ctx
+                .cfg
+                .topology
+                .expect("crash_region requires topology");
+            if topo.region_of(site, self.ctx.n_sites) != region {
+                return false;
+            }
+        }
+        let now = self.now();
+        let hit = {
+            let ps = self.site_mut(site);
+            ps.metrics.cohort_crash_trials.bump();
+            ps.rng.chance(p)
+        };
+        if !hit {
+            return false;
+        }
+        let (text, cext) = {
+            let ps = self.site_mut(site);
+            ps.metrics.cohort_crashes.bump();
+            let c = ps.cohorts.get_mut(&(uid, ord)).unwrap();
+            c.down = true;
+            c.crashed_at.get_or_insert(now);
+            (c.txn_ext, c.ext)
+        };
+        self.trace(site, text, |at| TraceEvent::CohortCrashed {
+            at,
+            txn: text,
+            cohort: cext,
+            site,
+        });
+        self.sched(
+            site,
+            now + f.cohort_recovery_time,
+            PEvent::CohortRecovered { site, uid, ord },
+        );
+        true
+    }
+
+    fn cohort_recovered(&mut self, site: SiteId, uid: TxnUid, ord: u32) {
+        let (phase, text, cext, owner, home) = {
+            let Some(c) = self.site_mut(site).cohorts.get_mut(&(uid, ord)) else {
+                // Torn down at a barrier while down (the incarnation
+                // was doomed); nothing to replay.
+                debug_assert!(self.ctx.cfg.failures.is_some());
+                return;
+            };
+            c.down = false;
+            (c.phase, c.txn_ext, c.ext, c.lock_owner, c.home)
+        };
+        self.trace(site, text, |at| TraceEvent::CohortRecovered {
+            at,
+            txn: text,
+            cohort: cext,
+        });
+        let record = match phase {
+            CohortPhase::Prepared => RecoveryRecord::Prepared,
+            CohortPhase::Precommitted => RecoveryRecord::Precommitted,
+            _ => RecoveryRecord::None,
+        };
+        match self.ctx.spec.base.recovery_action(record) {
+            RecoveryAction::ResendVote => {
+                let grants = self.site_mut(site).locks.mark_prepared(owner);
+                self.process_grants(site, grants);
+                if matches!(self.ctx.table.routing, Routing::Quorum) {
+                    self.quorum_vote(site, uid, ord, true);
+                } else {
+                    let ca = self.site_ref(site).cohorts[&(uid, ord)].crashed_at;
+                    self.send(
+                        site,
+                        home,
+                        text,
+                        PMsgKind::Vote {
+                            uid,
+                            ord,
+                            vote: Vote::Yes,
+                            crashed_at: ca,
+                        },
+                    );
+                }
+            }
+            RecoveryAction::ResendPreAck => {
+                let ca = self.site_ref(site).cohorts[&(uid, ord)].crashed_at;
+                self.send(
+                    site,
+                    home,
+                    text,
+                    PMsgKind::PreAck {
+                        uid,
+                        crashed_at: ca,
+                    },
+                );
+            }
+            RecoveryAction::PresumeAbort => {
+                // Nothing durable: the cohort aborts unilaterally,
+                // dooming the whole incarnation (torn down at the next
+                // barrier).
+                debug_assert_eq!(phase, CohortPhase::Executing);
+                self.doom_local(site, uid, ord, AbortReason::CohortCrash);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dooms and barrier-time teardown
+    // ------------------------------------------------------------------
+
+    /// Remove one local cohort of a doomed incarnation *inside* the
+    /// window (crash recovery, borrower cascade) and queue the uid for
+    /// barrier teardown of its remains on other sites.
+    fn doom_local(&mut self, site: SiteId, uid: TxnUid, ord: u32, reason: AbortReason) {
+        let now = self.now();
+        let grants = {
+            let ps = self.site_mut(site);
+            let Some(c) = ps.cohorts.remove(&(uid, ord)) else {
+                return;
+            };
+            if c.waiting_lock {
+                ps.metrics.blocked_txns.add(now, -1.0);
+            }
+            debug_assert!(
+                ps.locks.borrowers_of(c.lock_owner).next().is_none(),
+                "doomed cohort still lends"
+            );
+            ps.locks.drop_borrower(c.lock_owner);
+            let grants = ps.locks.release_all(c.lock_owner);
+            ps.locks.unregister(c.lock_owner);
+            let slot = ps.dead.entry(uid).or_insert(now);
+            if now < *slot {
+                *slot = now;
+            }
+            grants
+        };
+        self.process_grants(site, grants);
+        self.doomed.push((uid, now, reason, site));
+    }
+
+    /// Barrier-time removal of one cohort of a doomed incarnation.
+    /// Lenient: the cohort may never have been created (initiation
+    /// message dead-lettered) or may have finished already.
+    pub(crate) fn teardown_cohort(&mut self, site: SiteId, uid: TxnUid, ord: u32) {
+        let now = self.now();
+        let grants = {
+            let ps = self.site_mut(site);
+            let Some(c) = ps.cohorts.remove(&(uid, ord)) else {
+                return;
+            };
+            if c.waiting_lock {
+                ps.metrics.blocked_txns.add(now, -1.0);
+            }
+            debug_assert!(
+                ps.locks.borrowers_of(c.lock_owner).next().is_none(),
+                "doomed cohort still lends"
+            );
+            ps.locks.drop_borrower(c.lock_owner);
+            let grants = ps.locks.release_all(c.lock_owner);
+            ps.locks.unregister(c.lock_owner);
+            grants
+        };
+        self.process_grants(site, grants);
+    }
+
+    /// Record `uid` in a site's dead-letter map so in-flight messages
+    /// for the doomed incarnation are dropped on arrival.
+    pub(crate) fn mark_dead(&mut self, site: SiteId, uid: TxnUid, at: SimTime) {
+        let slot = self.site_mut(site).dead.entry(uid).or_insert(at);
+        if at < *slot {
+            *slot = at;
+        }
+    }
+}

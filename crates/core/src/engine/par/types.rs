@@ -1,0 +1,401 @@
+//! State and event types of the sharded conservative parallel engine.
+//!
+//! The parallel engine cannot address transactions and cohorts through
+//! the serial engine's slab handles: a handle is an index into one
+//! process-wide arena whose allocation order depends on global event
+//! interleaving, which a sharded run must not observe. Instead every
+//! transaction gets a *uid* composed from its home site and a per-home
+//! sequence number — derivable at any site without coordination — and
+//! cohorts are keyed `(uid, ordinal)` in per-site maps. All
+//! cross-shard references travel as plain data (uids, ordinals, access
+//! lists), never as pointers into another shard's state.
+
+use super::super::glog::BatchedLog;
+use super::super::trace::TraceEvent;
+use super::super::types::{CohortPhase, TxnPhase, Vote};
+use crate::metrics::Metrics;
+use crate::workload::{Access, SiteId, TxnTemplate};
+use distlocks::{LockManager, OwnerId};
+use simkernel::stats::Tally;
+use simkernel::{SimRng, SimTime, Station};
+use std::collections::HashMap;
+
+/// Transaction uid: `home << 40 | per-home sequence`. A fresh uid is
+/// allocated for every incarnation (restarts included), so a uid never
+/// names two protocol instances.
+pub(crate) type TxnUid = u64;
+
+/// Bits reserved for the per-home sequence (2^40 incarnations per
+/// site; a run would take years of wall time to exhaust it).
+pub(crate) const UID_HOME_SHIFT: u32 = 40;
+
+#[inline]
+pub(crate) fn make_uid(home: SiteId, seq: u64) -> TxnUid {
+    debug_assert!(seq < (1 << UID_HOME_SHIFT));
+    ((home as u64) << UID_HOME_SHIFT) | seq
+}
+
+#[inline]
+pub(crate) fn uid_home(uid: TxnUid) -> SiteId {
+    (uid >> UID_HOME_SHIFT) as SiteId
+}
+
+/// CPU work item (parallel twin of the serial `CpuJob`).
+#[derive(Debug, Clone)]
+pub(crate) enum PCpuJob {
+    /// Process one data page for a cohort.
+    Data { uid: TxnUid, ord: u32 },
+    /// Sender-side cost of a remote message.
+    MsgSend { msg: PMsg },
+    /// Receiver-side cost of a remote message.
+    MsgRecv { msg: PMsg },
+}
+
+/// Data-disk work item.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum PDiskJob {
+    /// Read one page for a cohort.
+    Read { uid: TxnUid, ord: u32 },
+    /// Deferred post-commit page write (fire and forget).
+    AsyncWrite,
+}
+
+/// A forced log write: the external transaction id rides along for
+/// tracing, the work payload re-enters the state machine on completion.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PLog {
+    pub ext: super::super::types::TxnId,
+    pub work: PLogWork,
+}
+
+/// What a forced log write means (parallel twin of `LogWork`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum PLogWork {
+    CohortPrepare { uid: TxnUid, ord: u32 },
+    CohortNoVoteAbort { uid: TxnUid, ord: u32 },
+    CohortPrecommit { uid: TxnUid, ord: u32 },
+    CohortDecision { uid: TxnUid, ord: u32, commit: bool },
+    MasterCollecting { uid: TxnUid },
+    MasterPrecommit { uid: TxnUid },
+    MasterDecision { uid: TxnUid, commit: bool },
+    AcceptorBundle { uid: TxnUid },
+    ReplicaDecision { uid: TxnUid },
+}
+
+impl PLogWork {
+    pub fn label(self) -> super::super::trace::LogLabel {
+        use super::super::trace::LogLabel as L;
+        match self {
+            PLogWork::CohortPrepare { .. } => L::Prepare,
+            PLogWork::CohortNoVoteAbort { .. } => L::NoVoteAbort,
+            PLogWork::CohortPrecommit { .. } => L::CohortPrecommit,
+            PLogWork::CohortDecision { commit: true, .. } => L::CohortCommit,
+            PLogWork::CohortDecision { commit: false, .. } => L::CohortAbort,
+            PLogWork::MasterCollecting { .. } => L::Collecting,
+            PLogWork::MasterPrecommit { .. } => L::MasterPrecommit,
+            PLogWork::MasterDecision { commit: true, .. } => L::MasterCommit,
+            PLogWork::MasterDecision { commit: false, .. } => L::MasterAbort,
+            PLogWork::AcceptorBundle { .. } => L::AcceptorBundle,
+            PLogWork::ReplicaDecision { .. } => L::ReplicaDecision,
+        }
+    }
+}
+
+/// A protocol message. `ext` is the sender-known external transaction
+/// id, carried for trace gating only.
+#[derive(Debug, Clone)]
+pub(crate) struct PMsg {
+    pub from: SiteId,
+    pub to: SiteId,
+    pub ext: super::super::types::TxnId,
+    pub kind: PMsgKind,
+}
+
+/// Message kinds of the parallel envelope: the voting-family
+/// choreography over direct or quorum routing, without the loss /
+/// termination machinery (configs needing those take the serial path).
+///
+/// Crash observability (`crashed_at`) piggybacks on the reply
+/// messages: each cohort reports its own earliest crash instant, the
+/// master min-merges what it hears, and the decision fans the merged
+/// value back out — equivalent to the serial engine's shared-state
+/// `get_or_insert` because crash instants only arrive in increasing
+/// time order within one incarnation.
+#[derive(Debug, Clone)]
+pub(crate) enum PMsgKind {
+    InitCohort {
+        uid: TxnUid,
+        ord: u32,
+        accesses: Vec<Access>,
+        n_sibs: u32,
+    },
+    WorkDone {
+        uid: TxnUid,
+        ord: u32,
+    },
+    Prepare {
+        uid: TxnUid,
+        ord: u32,
+    },
+    Vote {
+        uid: TxnUid,
+        ord: u32,
+        vote: Vote,
+        crashed_at: Option<SimTime>,
+    },
+    PreCommit {
+        uid: TxnUid,
+        ord: u32,
+    },
+    PreAck {
+        uid: TxnUid,
+        crashed_at: Option<SimTime>,
+    },
+    Decision {
+        uid: TxnUid,
+        ord: u32,
+        commit: bool,
+        crashed_at: Option<SimTime>,
+    },
+    Ack {
+        uid: TxnUid,
+    },
+    PaxosVote {
+        uid: TxnUid,
+        ord: u32,
+        yes: bool,
+        /// Cohort count of the transaction — lets the acceptor size its
+        /// tally lazily on the first vote it sees.
+        expect: u32,
+        crashed_at: Option<SimTime>,
+    },
+    Accepted {
+        uid: TxnUid,
+        commit: bool,
+        /// Ordinals that voted NO, so the home can exclude them from
+        /// the decision round without waiting for its own (acceptor-0)
+        /// tally — the serial engine reads this from shared state.
+        no_ords: Vec<u32>,
+        crashed_at: Option<SimTime>,
+    },
+    RepDecision {
+        uid: TxnUid,
+    },
+    RepAck {
+        uid: TxnUid,
+    },
+}
+
+impl PMsgKind {
+    /// Execution-phase vs commit-phase messages (Tables 3–4 split).
+    pub fn is_execution(&self) -> bool {
+        matches!(
+            self,
+            PMsgKind::InitCohort { .. } | PMsgKind::WorkDone { .. }
+        )
+    }
+
+    pub fn label(&self) -> super::super::trace::MsgLabel {
+        use super::super::trace::MsgLabel as L;
+        match self {
+            PMsgKind::InitCohort { .. } => L::InitCohort,
+            PMsgKind::WorkDone { .. } => L::WorkDone,
+            PMsgKind::Prepare { .. } => L::Prepare,
+            PMsgKind::Vote {
+                vote: Vote::Yes, ..
+            } => L::VoteYes,
+            PMsgKind::Vote { vote: Vote::No, .. } => L::VoteNo,
+            PMsgKind::Vote {
+                vote: Vote::ReadOnly,
+                ..
+            } => L::VoteReadOnly,
+            PMsgKind::PreCommit { .. } => L::PreCommit,
+            PMsgKind::PreAck { .. } => L::PreAck,
+            PMsgKind::Decision { commit: true, .. } => L::DecisionCommit,
+            PMsgKind::Decision { commit: false, .. } => L::DecisionAbort,
+            PMsgKind::Ack { .. } => L::Ack,
+            PMsgKind::PaxosVote { yes: true, .. } => L::PaxosVoteYes,
+            PMsgKind::PaxosVote { yes: false, .. } => L::PaxosVoteNo,
+            PMsgKind::Accepted { .. } => L::Accepted,
+            PMsgKind::RepDecision { .. } => L::RepDecision,
+            PMsgKind::RepAck { .. } => L::RepAck,
+        }
+    }
+}
+
+/// Simulation event of the parallel engine. Every variant names the
+/// single site whose state it touches — the routing invariant that
+/// makes sharding sound (see [`PEvent::site`]).
+#[derive(Debug, Clone)]
+pub(crate) enum PEvent {
+    Submit {
+        home: SiteId,
+        template: Option<Box<TxnTemplate>>,
+        original_birth: Option<SimTime>,
+    },
+    CpuDone {
+        site: SiteId,
+        job: PCpuJob,
+    },
+    DataDiskDone {
+        site: SiteId,
+        disk: usize,
+        job: PDiskJob,
+    },
+    LogDiskDone {
+        site: SiteId,
+        disk: usize,
+        job: PLog,
+    },
+    LogBatchDone {
+        site: SiteId,
+        disk: usize,
+    },
+    MasterRecovered {
+        home: SiteId,
+        uid: TxnUid,
+        commit: bool,
+    },
+    CohortRecovered {
+        site: SiteId,
+        uid: TxnUid,
+        ord: u32,
+    },
+    LocalMsg {
+        msg: PMsg,
+    },
+    MsgArrive {
+        msg: PMsg,
+    },
+}
+
+impl PEvent {
+    /// The site this event executes at. Only `MsgArrive` may target a
+    /// different shard than the handler that scheduled it; everything
+    /// else is site-local, which is what lets a shard run a whole time
+    /// window without observing its neighbours.
+    pub fn site(&self) -> SiteId {
+        match self {
+            PEvent::Submit { home, .. } | PEvent::MasterRecovered { home, .. } => *home,
+            PEvent::CpuDone { site, .. }
+            | PEvent::DataDiskDone { site, .. }
+            | PEvent::LogDiskDone { site, .. }
+            | PEvent::LogBatchDone { site, .. }
+            | PEvent::CohortRecovered { site, .. } => *site,
+            PEvent::LocalMsg { msg } | PEvent::MsgArrive { msg } => msg.to,
+        }
+    }
+}
+
+/// Master-side transaction state, owned by the home site.
+#[derive(Debug)]
+pub(crate) struct PTxn {
+    pub ext: super::super::types::TxnId,
+    pub template: TxnTemplate,
+    pub birth: SimTime,
+    pub original_birth: SimTime,
+    pub phase: TxnPhase,
+    pub pending_workdone: usize,
+    pub pending_votes: usize,
+    pub pending_preacks: usize,
+    pub pending_acks: usize,
+    /// Cohorts that dropped out of phase two (READ voters, NO voters):
+    /// indexed by ordinal; decisions only target the false entries.
+    pub parted: Vec<bool>,
+    pub no_vote: bool,
+    pub next_seq_cohort: usize,
+    pub master_done: bool,
+    pub accepts_outstanding: usize,
+    pub pending_rep_acks: usize,
+    pub commit_started: Option<SimTime>,
+    pub decided_at: Option<SimTime>,
+    /// Earliest crash instant heard from any cohort (or the master's
+    /// own crash), min-merged from message payloads.
+    pub crashed_at: Option<SimTime>,
+}
+
+/// Cohort state, owned by the cohort's site. Unlike the serial engine
+/// — which materializes all cohorts at submit time — a remote cohort
+/// is created when its `InitCohort` arrives, so it carries its own
+/// access list and sibling count.
+#[derive(Debug)]
+pub(crate) struct PCohort {
+    pub ext: super::super::types::CohortId,
+    pub txn_ext: super::super::types::TxnId,
+    pub home: SiteId,
+    pub n_sibs: u32,
+    pub accesses: Vec<Access>,
+    pub next_access: usize,
+    pub phase: CohortPhase,
+    pub lock_owner: OwnerId,
+    pub waiting_lock: bool,
+    pub shelf_since: Option<SimTime>,
+    pub prepared_since: Option<SimTime>,
+    pub down: bool,
+    /// This cohort's own earliest crash instant.
+    pub crashed_at: Option<SimTime>,
+}
+
+impl PCohort {
+    pub fn work_complete(&self) -> bool {
+        self.next_access >= self.accesses.len()
+    }
+}
+
+/// An acceptor's per-transaction vote tally (Paxos Commit), created
+/// lazily on the first `PaxosVote` and dropped when the forced bundle
+/// record completes (its contents ride into the `Accepted` report).
+#[derive(Debug)]
+pub(crate) struct AccMirror {
+    pub remaining: u32,
+    pub no_vote: bool,
+    /// Ordinals that voted NO at this acceptor (every acceptor sees
+    /// every vote, so all tallies agree).
+    pub no_ords: Vec<u32>,
+    pub ext: super::super::types::TxnId,
+    pub crashed_at: Option<SimTime>,
+}
+
+/// One site of the parallel engine: resources, lock table, protocol
+/// state, metrics and RNG — everything the serial engine keeps
+/// globally, split so a shard owns its sites outright.
+pub(crate) struct PSite {
+    pub idx: SiteId,
+    pub cpu: Station<PCpuJob>,
+    pub data_disks: Vec<Station<PDiskJob>>,
+    pub log_disks: Vec<Station<PLog>>,
+    pub batched_logs: Option<Vec<BatchedLog<PLog>>>,
+    pub locks: LockManager,
+    /// Lock-owner slot → cohort key, maintained in lock-step with
+    /// `register_owner`.
+    pub owner_cohorts: Vec<(TxnUid, u32)>,
+    pub next_log_disk: usize,
+    /// This site's private RNG stream (`mix_seed(seed, site, TAG, 0)`).
+    pub rng: SimRng,
+    /// Canonical-key sequence: every event scheduled by this site's
+    /// handlers gets `site << 48 | next key_seq`.
+    pub key_seq: u64,
+    /// Home transactions mastered at this site.
+    pub txns: HashMap<TxnUid, PTxn>,
+    /// Cohorts hosted at this site, keyed `(uid, ordinal)`.
+    pub cohorts: HashMap<(TxnUid, u32), PCohort>,
+    /// Paxos acceptor tallies hosted at this site.
+    pub acc_mirrors: HashMap<TxnUid, AccMirror>,
+    /// Dead-letter map: uid → doom time, for incarnations torn down
+    /// while messages to this site were still in flight. Never pruned
+    /// (a u64→u64 entry per abort; aborts are rare).
+    pub dead: HashMap<TxnUid, SimTime>,
+    pub next_txn_seq: u64,
+    pub next_cohort_seq: u64,
+    /// Full per-site metrics; merged in fixed site order at the end.
+    pub metrics: Metrics,
+    /// Per-home-site response estimate driving the adaptive restart
+    /// delay. Never reset.
+    pub resp_estimate: Tally,
+    /// All-time commit count (never reset) — drives run control.
+    pub commits_total: u64,
+    /// Trace events staged this window, merged at the barrier.
+    pub trace_buf: Vec<(SimTime, u64, TraceEvent)>,
+    /// Monotone per-site trace sequence (the merge tiebreak).
+    pub trace_seq: u64,
+}

@@ -220,7 +220,7 @@ pub fn sweep(
     let progress = runner::Progress::new("sweep", grid.len());
     let results = runner::run_ordered(&grid, jobs, |(cell_cfg, spec, seed)| {
         let t0 = std::time::Instant::now();
-        let out = Simulation::run(cell_cfg, *spec, *seed);
+        let out = Simulation::run_auto(cell_cfg, *spec, *seed);
         progress.cell_done(
             &format!("{} mpl {} seed {}", spec.name(), cell_cfg.mpl, seed),
             t0.elapsed().as_secs_f64(),
@@ -298,7 +298,7 @@ pub fn sweep_with_series(
     let progress = runner::Progress::new("sweep", grid.len());
     let results = runner::run_ordered(&grid, jobs, |(cell_cfg, spec, seed)| {
         let t0 = std::time::Instant::now();
-        let out = Simulation::run_with_series(cell_cfg, *spec, *seed, series_cfg);
+        let out = Simulation::run_auto_with_series(cell_cfg, *spec, *seed, series_cfg);
         progress.cell_done(
             &format!("{} mpl {} seed {}", spec.name(), cell_cfg.mpl, seed),
             t0.elapsed().as_secs_f64(),
@@ -584,48 +584,45 @@ pub fn failures(scale: &Scale) -> Result<Experiment, ConfigError> {
     })
 }
 
-/// **Fault-injection extension** — the full fault model at a fixed MPL:
-/// master crashes alone, then cohort crashes added, then message loss
-/// added on top, for 2PC, OPT, 3PC and OPT-3PC. The per-series
-/// [`FaultCounters`](crate::metrics::FaultCounters) — in particular the
-/// mean blocked-on-crash time — make §2.4's blocking argument
-/// measurable: 2PC's blocked time tracks the recovery time while 3PC's
-/// stays bounded by the detection timeout plus termination rounds.
+/// **Fault-injection extension** — blocked time vs crash probability
+/// at a fixed MPL, across the protocol spread that spans the blocking
+/// spectrum: 2PC, presumed-abort, presumed-commit, non-blocking 3PC,
+/// and Paxos Commit at F = 1. The headline curve is the per-series
+/// mean blocked-on-crash time from
+/// [`FaultCounters`](crate::metrics::FaultCounters), which makes
+/// §2.4's blocking argument measurable: the 2PC family's blocked
+/// time tracks the full
+/// recovery time and grows with the crash rate, 3PC stays bounded by
+/// the detection timeout plus termination rounds, and replicated
+/// Paxos Commit fails over to surviving acceptors after detection.
+/// The CLI renders this metric as an extra table/CSV block for this
+/// preset (`experiment faults [--csv]`).
 pub fn fault_injection(scale: &Scale) -> Result<Experiment, ConfigError> {
     use crate::config::FailureConfig;
     let base = SystemConfig::paper_baseline();
-    let protocols = [
-        ProtocolSpec::TWO_PC,
-        ProtocolSpec::OPT_2PC,
-        ProtocolSpec::THREE_PC,
-        ProtocolSpec::OPT_3PC,
-    ];
-    let levels: [(f64, f64, f64, &str); 3] = [
-        (0.01, 0.0, 0.0, "mc=1%"),
-        (0.01, 0.005, 0.0, "mc=1% cc=0.5%"),
-        (0.01, 0.005, 0.01, "mc=1% cc=0.5% loss=1%"),
+    let family: [(&str, ProtocolSpec, u32); 5] = [
+        ("2PC", ProtocolSpec::TWO_PC, 0),
+        ("PA", ProtocolSpec::PA, 0),
+        ("PC", ProtocolSpec::PC, 0),
+        ("3PC", ProtocolSpec::THREE_PC, 0),
+        ("PAXOS f=1", ProtocolSpec::PAXOS, 1),
     ];
     let mut specs = Vec::new();
-    for &(mc, cc, loss, label) in &levels {
-        for spec in protocols {
-            let mut cfg = base.clone();
-            cfg.failures = Some(FailureConfig {
-                master_crash_prob: mc,
-                cohort_crash_prob: cc,
-                msg_loss_prob: loss,
-                ..FailureConfig::default()
-            });
-            specs.push((format!("{} {}", spec.name(), label), spec, cfg));
+    for &(mc, plabel) in &[(0.005, "0.5%"), (0.01, "1%"), (0.02, "2%"), (0.04, "4%")] {
+        for (name, spec, f) in family {
+            let mut cfg = base.clone().with_replication(f);
+            cfg.failures = Some(FailureConfig::master_crashes(mc));
+            specs.push((format!("{name} mc={plabel}"), spec, cfg));
         }
     }
-    // Like the master-failure sweep, hold MPL fixed and vary the fault
-    // mix instead.
+    // Like the master-failure sweep, hold MPL fixed and vary the crash
+    // rate instead.
     let mut scale = scale.clone();
     scale.mpls = vec![4];
     let series = sweep(&base, &specs, &scale)?;
     Ok(Experiment {
         id: "faults".into(),
-        title: "Extension: Generalized Fault Injection (crashes + message loss)".into(),
+        title: "Extension: Blocked Time vs Crash Probability".into(),
         config: base,
         series,
     })
@@ -743,7 +740,7 @@ pub fn measured_overheads(
     cfg.mpl = 1;
     cfg.run.warmup_transactions = 50;
     cfg.run.measured_transactions = 500;
-    Simulation::run(&cfg, spec, seed)
+    Simulation::run_auto(&cfg, spec, seed)
 }
 
 #[cfg(test)]
@@ -950,7 +947,7 @@ mod tests {
         check(&expt6_high_distribution(&micro).unwrap(), 4);
         check(&seq(&micro).unwrap(), 5);
         check(&failures(&micro).unwrap(), 16); // 4 protocols x 4 crash rates
-        check(&fault_injection(&micro).unwrap(), 12); // 4 protocols x 3 mixes
+        check(&fault_injection(&micro).unwrap(), 20); // 5 protocols x 4 crash rates
     }
 
     /// The scale preset pins MPL, spans 4 protocols × 3 network/skew

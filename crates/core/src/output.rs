@@ -26,6 +26,11 @@ pub enum Metric {
     ForcedWritesPerCommit,
     /// Total messages per committed transaction.
     MessagesPerCommit,
+    /// Mean time a prepared cohort spent blocked on a crashed master
+    /// (seconds) — the `faults` preset's headline curve, separating
+    /// blocking protocols (blocked for the full recovery time) from
+    /// 3PC termination and Paxos Commit failover.
+    CrashBlockedTime,
 }
 
 impl Metric {
@@ -40,6 +45,7 @@ impl Metric {
             Metric::AbortFraction => "Abort fraction",
             Metric::ForcedWritesPerCommit => "Forced writes / commit",
             Metric::MessagesPerCommit => "Messages / commit",
+            Metric::CrashBlockedTime => "Blocked on crash (s)",
         }
     }
 
@@ -54,6 +60,7 @@ impl Metric {
             Metric::AbortFraction => r.abort_fraction(),
             Metric::ForcedWritesPerCommit => r.forced_writes_per_commit,
             Metric::MessagesPerCommit => r.exec_messages_per_commit + r.commit_messages_per_commit,
+            Metric::CrashBlockedTime => r.faults.mean_blocked_on_crash_s,
         }
     }
 }
@@ -725,6 +732,7 @@ mod tests {
             Metric::AbortFraction,
             Metric::ForcedWritesPerCommit,
             Metric::MessagesPerCommit,
+            Metric::CrashBlockedTime,
         ] {
             assert!(!m.label().is_empty());
             assert!(m.of(r).is_finite());

@@ -1,0 +1,259 @@
+//! Future-event list for one shard of a conservative parallel run.
+//!
+//! The serial [`crate::Calendar`] breaks same-instant ties by insertion
+//! order, which is deterministic for a single event loop but *not*
+//! invariant under sharding: when sites are split across shards, the
+//! interleaving of insertions into any one calendar depends on which
+//! sites share it. [`ShardCalendar`] instead orders events by an
+//! explicit **canonical key** supplied by the caller — in the engine,
+//! `origin_site << 48 | per_site_seq`, stamped when the event is
+//! scheduled. Because every site stamps its own monotone sequence and
+//! site-local processing order does not depend on the shard layout, the
+//! `(time, key)` order of any subset of events is the same no matter
+//! how sites are partitioned. That property is what makes the parallel
+//! engine's output independent of `--shards`.
+//!
+//! The structure mirrors `Calendar`'s layout — a min-heap of small
+//! packed keys over a slot arena recycled through a free list — minus
+//! the current-instant fast path (a shard's clock is driven from
+//! outside by the window loop, so "now" is not a privileged instant).
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Heap entry: `(time, canonical key, payload slot)`. Canonical keys
+/// are unique per run (site ⊕ per-site sequence), so the slot field
+/// never participates in a comparison.
+type Key = (u64, u64, u32);
+
+/// A future-event list ordered by `(time, canonical key)`.
+///
+/// The clock advances when an event is popped, and can be pushed
+/// forward explicitly by the window loop via
+/// [`ShardCalendar::advance_to`] at a time-window barrier (so that
+/// post-barrier scheduling asserts against the window edge rather than
+/// the last popped instant).
+#[derive(Debug)]
+pub struct ShardCalendar<E> {
+    heap: BinaryHeap<Reverse<Key>>,
+    /// Slot arena for pending payloads; `None` marks a free slot.
+    events: Vec<Option<E>>,
+    /// Indices of free slots in `events`.
+    free: Vec<u32>,
+    now: SimTime,
+    scheduled: u64,
+    dispatched: u64,
+}
+
+impl<E> Default for ShardCalendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> ShardCalendar<E> {
+    /// An empty calendar with the clock at time zero.
+    pub fn new() -> Self {
+        ShardCalendar {
+            heap: BinaryHeap::new(),
+            events: Vec::new(),
+            free: Vec::new(),
+            now: SimTime::ZERO,
+            scheduled: 0,
+            dispatched: 0,
+        }
+    }
+
+    /// Current shard-local clock.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting to fire.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (diagnostics).
+    #[inline]
+    pub fn scheduled_count(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Total events ever dispatched (diagnostics).
+    #[inline]
+    pub fn dispatched_count(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Schedule `event` at the absolute instant `at` under canonical
+    /// key `key`. Keys must be unique across the run; `at` must not
+    /// precede the clock.
+    pub fn schedule(&mut self, at: SimTime, key: u64, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
+        self.scheduled += 1;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                debug_assert!(self.events[s as usize].is_none());
+                self.events[s as usize] = Some(event);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.events.len()).expect("shard calendar slot overflow");
+                self.events.push(Some(event));
+                s
+            }
+        };
+        self.heap.push(Reverse((at.0, key, slot)));
+    }
+
+    /// Firing time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|&Reverse((t, _, _))| SimTime(t))
+    }
+
+    /// Pop the next event if it fires strictly before `horizon`,
+    /// advancing the clock to its firing time. Events at or after the
+    /// horizon belong to a later window and stay queued.
+    pub fn next_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        let &Reverse((t, _, _)) = self.heap.peek()?;
+        if t >= horizon.0 {
+            return None;
+        }
+        let Reverse((t, _, slot)) = self.heap.pop().expect("peeked above");
+        debug_assert!(t >= self.now.0);
+        self.now = SimTime(t);
+        self.dispatched += 1;
+        let event = self.events[slot as usize]
+            .take()
+            .expect("heap key points at an empty slot");
+        self.free.push(slot);
+        Some((SimTime(t), event))
+    }
+
+    /// Push the clock forward to `t` (a window barrier). No-op if the
+    /// clock is already at or past `t`.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_key_order() {
+        let mut cal = ShardCalendar::new();
+        cal.schedule(SimTime(10), 7, "b2");
+        cal.schedule(SimTime(10), 3, "b1");
+        cal.schedule(SimTime(5), 9, "a");
+        cal.schedule(SimTime(20), 1, "c");
+        let mut out = Vec::new();
+        while let Some((_, e)) = cal.next_before(SimTime(u64::MAX)) {
+            out.push(e);
+        }
+        assert_eq!(out, vec!["a", "b1", "b2", "c"]);
+    }
+
+    #[test]
+    fn order_is_independent_of_insertion_order() {
+        // The defining property: any interleaving of the same keyed
+        // events pops identically.
+        let evs = [(4u64, 20u64), (4, 5), (9, 1), (2, 99), (4, 7)];
+        let mut perms: Vec<Vec<usize>> = vec![
+            vec![0, 1, 2, 3, 4],
+            vec![4, 3, 2, 1, 0],
+            vec![2, 0, 4, 1, 3],
+        ];
+        let mut reference: Option<Vec<usize>> = None;
+        for perm in perms.drain(..) {
+            let mut cal = ShardCalendar::new();
+            for &i in &perm {
+                let (t, k) = evs[i];
+                cal.schedule(SimTime(t), k, i);
+            }
+            let mut out = Vec::new();
+            while let Some((_, e)) = cal.next_before(SimTime(u64::MAX)) {
+                out.push(e);
+            }
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(&out, r),
+            }
+        }
+    }
+
+    #[test]
+    fn horizon_bounds_the_window() {
+        let mut cal = ShardCalendar::new();
+        cal.schedule(SimTime(5), 1, "in");
+        cal.schedule(SimTime(10), 2, "edge");
+        cal.schedule(SimTime(15), 3, "out");
+        let mut out = Vec::new();
+        while let Some((_, e)) = cal.next_before(SimTime(10)) {
+            out.push(e);
+        }
+        // [0, 10): the event *at* the horizon stays queued.
+        assert_eq!(out, vec!["in"]);
+        assert_eq!(cal.pending(), 2);
+        cal.advance_to(SimTime(10));
+        assert_eq!(cal.now(), SimTime(10));
+        let (t, e) = cal.next_before(SimTime(20)).unwrap();
+        assert_eq!((t, e), (SimTime(10), "edge"));
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let mut cal: ShardCalendar<()> = ShardCalendar::new();
+        cal.advance_to(SimTime(50));
+        cal.advance_to(SimTime(30));
+        assert_eq!(cal.now(), SimTime(50));
+    }
+
+    #[test]
+    fn counters_and_slot_reuse() {
+        let mut cal = ShardCalendar::new();
+        for i in 0..10u64 {
+            cal.schedule(SimTime(i), i, i);
+        }
+        for _ in 0..10 {
+            cal.next_before(SimTime(u64::MAX)).unwrap();
+        }
+        // Freed slots are recycled: scheduling again must not grow the arena.
+        let arena = cal.events.len();
+        for i in 10..20u64 {
+            cal.schedule(SimTime(i), i, i);
+        }
+        assert_eq!(cal.events.len(), arena);
+        assert_eq!(cal.scheduled_count(), 20);
+        assert_eq!(cal.dispatched_count(), 10);
+        assert!(!cal.is_empty());
+        assert_eq!(cal.peek_time(), Some(SimTime(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    #[cfg(debug_assertions)] // the guard is a debug_assert; release compiles it out
+    fn scheduling_into_the_past_panics_in_debug() {
+        let mut cal = ShardCalendar::new();
+        cal.schedule(SimTime(10), 1, ());
+        cal.next_before(SimTime(u64::MAX));
+        cal.schedule(SimTime(5), 2, ());
+    }
+}

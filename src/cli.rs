@@ -19,8 +19,9 @@ use distdb::engine::{ChromeStreamSink, FoldSink, SeriesConfig, SeriesFormat, Sim
 use distdb::experiments::{self, Scale};
 use distdb::metrics::ReportFormat;
 use distdb::output::{
-    render_ascii_chart, render_peaks, render_ranking, render_sweep_csv, render_sweep_json,
-    render_sweep_series_csv, render_sweep_series_json, render_table, render_table_ci, Metric,
+    render_ascii_chart, render_csv, render_peaks, render_ranking, render_sweep_csv,
+    render_sweep_json, render_sweep_series_csv, render_sweep_series_json, render_table,
+    render_table_ci, Metric,
 };
 use simkernel::SimDuration;
 use std::fmt;
@@ -97,6 +98,8 @@ pub enum Command {
         full: bool,
         reps: u32,
         jobs: Option<usize>,
+        /// Emit per-metric CSV blocks instead of tables/charts.
+        csv: bool,
     },
     /// The canonical engine benchmark: run the fixed seed/protocol
     /// grid, print events per core-second, optionally append the entry
@@ -162,7 +165,10 @@ USAGE:
   distcommit fold   [OPTIONS]                collapsed-stack flamegraph fold
   distcommit sweep  [OPTIONS]                protocols x MPLs sweep
   distcommit experiment <fig1|fig2|expt3|fig3|fig4|fig5|seq|failures|faults|replication|scale>
-                        [--full] [--reps N] [--jobs N]
+                        [--full] [--reps N] [--jobs N] [--csv]
+                        (--csv emits plottable per-metric CSV; the
+                        faults preset adds a blocked-time-on-crash
+                        table/CSV block — its headline curve)
   distcommit bench [OPTIONS]                 canonical engine benchmark
   distcommit tables                          Tables 2-4
   distcommit help
@@ -242,14 +248,24 @@ FAULT INJECTION (run, series, trace, fold & sweep):
   --faults <K=V,..>        enable the failure model; keys:
 {fault_keys}                           e.g. --faults mc=0.01,cc=0.005,loss=0.01
 
-PARALLELISM & REPLICATIONS (sweep & experiment):
-  --jobs <N>               worker threads for the run grid (default:
-                           DISTCOMMIT_JOBS, else all cores); results
-                           are byte-identical for every N
-  --reps <N>               independent replications per (protocol, MPL)
-                           cell, each with its own derived seed; with
-                           N >= 2 every point reports mean +-90% CI
-                           across replications (default 1)
+PARALLELISM & REPLICATIONS:
+  --jobs <N>               (sweep & experiment) worker threads for the
+                           run grid (default: DISTCOMMIT_JOBS, else all
+                           cores); results are byte-identical for
+                           every N
+  --reps <N>               (sweep & experiment) independent replications
+                           per (protocol, MPL) cell, each with its own
+                           derived seed; with N >= 2 every point
+                           reports mean +-90% CI across replications
+                           (default 1)
+  --shards <N>             (run, series, trace, fold & sweep) split each
+                           run's sites into region-aligned shards
+                           simulated in parallel on worker threads
+                           (default: DISTCOMMIT_SHARDS, else serial);
+                           needs a multi-region --topology with nonzero
+                           wan-ms, at least 1, at most --sites; reports,
+                           series and traces are byte-identical for
+                           every shard count; composes with --jobs
 
 OPTIONS (run & sweep):
   --protocol <NAME>        protocol for run/series/trace/fold (default 2PC)
@@ -389,10 +405,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut full = false;
             let mut reps = 1u32;
             let mut jobs = None;
+            let mut csv = false;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--full" => full = true,
+                    "--csv" => csv = true,
                     "--reps" => reps = parse_num(a, take_value(a, &mut it)?)?,
                     "--jobs" => jobs = Some(parse_num(a, take_value(a, &mut it)?)?),
                     other if id.is_none() && !other.starts_with('-') => {
@@ -410,6 +428,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     full,
                     reps,
                     jobs,
+                    csv,
                 }),
                 None => err("experiment needs an id \
                      (fig1|fig2|expt3|fig3|fig4|fig5|seq|failures|faults|replication|scale)"),
@@ -466,6 +485,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--per-site" => per_site = true,
                     "--reps" => reps = parse_num(a, take_value(a, &mut it)?)?,
                     "--jobs" => jobs = Some(parse_num(a, take_value(a, &mut it)?)?),
+                    "--shards" => {
+                        let n: u32 = parse_num(a, take_value(a, &mut it)?)?;
+                        if n == 0 {
+                            return err("--shards must be at least 1; omit the flag (and unset \
+                                 DISTCOMMIT_SHARDS) for the serial engine");
+                        }
+                        cfg.shards = n;
+                    }
                     "--protocols" => {
                         protocols = take_value(a, &mut it)?
                             .split(',')
@@ -666,6 +693,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     }
 }
 
+/// Apply the `DISTCOMMIT_SHARDS` default to a configuration whose
+/// `--shards` flag was not given. Kept out of [`parse`] so parsing
+/// stays a pure function of the argument vector.
+fn with_default_shards(mut cfg: SystemConfig) -> SystemConfig {
+    if cfg.shards == 0 {
+        cfg.shards = distdb::runner::default_shards();
+    }
+    cfg
+}
+
 /// Execute a parsed command, writing to stdout. Returns the process
 /// exit code.
 pub fn execute(cmd: Command) -> i32 {
@@ -799,12 +836,15 @@ pub fn execute(cmd: Command) -> i32 {
             series_out,
             series_cfg,
         } => {
+            let cfg = with_default_shards(cfg);
             // Both streamers write to disk as the run progresses, so
             // observing a full run needs no in-memory buffer.
             let result = match &trace_out {
                 Some(path) => match ChromeStreamSink::create(std::path::Path::new(path)) {
-                    Ok(sink) => Simulation::run_with_sink(&cfg, protocol, seed, u64::MAX, sink)
-                        .map(|(r, sink)| (r, Some(sink))),
+                    Ok(sink) => {
+                        Simulation::run_auto_with_sink(&cfg, protocol, seed, u64::MAX, sink)
+                            .map(|(r, sink)| (r, Some(sink)))
+                    }
                     Err(e) => {
                         eprintln!("error: cannot create {path}: {e}");
                         return 1;
@@ -812,7 +852,7 @@ pub fn execute(cmd: Command) -> i32 {
                 },
                 None => match &series_out {
                     Some(path) => match std::fs::File::create(path) {
-                        Ok(file) => match Simulation::run_with_series_stream(
+                        Ok(file) => match Simulation::run_auto_with_series_stream(
                             &cfg,
                             protocol,
                             seed,
@@ -831,7 +871,7 @@ pub fn execute(cmd: Command) -> i32 {
                             return 1;
                         }
                     },
-                    None => Simulation::run(&cfg, protocol, seed).map(|r| (r, None)),
+                    None => Simulation::run_auto(&cfg, protocol, seed).map(|r| (r, None)),
                 },
             };
             match result {
@@ -872,22 +912,43 @@ pub fn execute(cmd: Command) -> i32 {
             series_cfg,
             format,
             out,
-        } => match &out {
-            Some(path) => match std::fs::File::create(path) {
-                Ok(file) => match Simulation::run_with_series_stream(
-                    &cfg,
-                    protocol,
-                    seed,
-                    &series_cfg,
-                    Box::new(file),
-                    format,
-                ) {
-                    Ok(report) => {
-                        println!(
-                            "windowed series ({}) streamed to {path}",
-                            series_format_name(format)
-                        );
-                        println!("{}", report.summary());
+        } => {
+            let cfg = with_default_shards(cfg);
+            match &out {
+                Some(path) => match std::fs::File::create(path) {
+                    Ok(file) => match Simulation::run_auto_with_series_stream(
+                        &cfg,
+                        protocol,
+                        seed,
+                        &series_cfg,
+                        Box::new(file),
+                        format,
+                    ) {
+                        Ok(report) => {
+                            println!(
+                                "windowed series ({}) streamed to {path}",
+                                series_format_name(format)
+                            );
+                            println!("{}", report.summary());
+                            0
+                        }
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            1
+                        }
+                    },
+                    Err(e) => {
+                        eprintln!("error: cannot create {path}: {e}");
+                        1
+                    }
+                },
+                None => match Simulation::run_auto_with_series(&cfg, protocol, seed, &series_cfg) {
+                    Ok((report, series)) => {
+                        // stdout carries only the series, so redirecting it
+                        // to a file gives exactly the --out bytes; the
+                        // summary rides on stderr.
+                        print!("{}", series.render(format));
+                        eprintln!("{}", report.summary());
                         0
                     }
                     Err(e) => {
@@ -895,26 +956,8 @@ pub fn execute(cmd: Command) -> i32 {
                         1
                     }
                 },
-                Err(e) => {
-                    eprintln!("error: cannot create {path}: {e}");
-                    1
-                }
-            },
-            None => match Simulation::run_with_series(&cfg, protocol, seed, &series_cfg) {
-                Ok((report, series)) => {
-                    // stdout carries only the series, so redirecting it
-                    // to a file gives exactly the --out bytes; the
-                    // summary rides on stderr.
-                    print!("{}", series.render(format));
-                    eprintln!("{}", report.summary());
-                    0
-                }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    1
-                }
-            },
-        },
+            }
+        }
         Command::Fold {
             cfg,
             protocol,
@@ -922,8 +965,9 @@ pub fn execute(cmd: Command) -> i32 {
             txns,
             out,
         } => {
+            let cfg = with_default_shards(cfg);
             let sink = FoldSink::new(protocol.name());
-            match Simulation::run_with_sink(&cfg, protocol, seed, txns, sink) {
+            match Simulation::run_auto_with_sink(&cfg, protocol, seed, txns, sink) {
                 Ok((report, fold)) => {
                     let rendered = fold.render();
                     match out {
@@ -960,7 +1004,7 @@ pub fn execute(cmd: Command) -> i32 {
             seed,
             txns,
             out,
-        } => match Simulation::run_traced(&cfg, protocol, seed, txns) {
+        } => match Simulation::run_auto_traced(&with_default_shards(cfg), protocol, seed, txns) {
             Ok((report, trace)) => {
                 println!(
                     "{} — first {txns} transaction(s), seed {seed}",
@@ -1004,6 +1048,7 @@ pub fn execute(cmd: Command) -> i32 {
             series_out,
             series_cfg,
         } => {
+            let cfg = with_default_shards(cfg);
             let scale = Scale::quick()
                 .with_runs(cfg.run.warmup_transactions, cfg.run.measured_transactions)
                 .with_mpls(mpls)
@@ -1082,11 +1127,20 @@ pub fn execute(cmd: Command) -> i32 {
             full,
             reps,
             jobs,
+            csv,
         } => {
             let mut scale = if full { Scale::full() } else { Scale::quick() };
             scale.replications = reps;
             scale.jobs = jobs;
             let print = |exp: &experiments::Experiment| {
+                if csv {
+                    print!("{}", render_csv(exp, Metric::Throughput));
+                    if exp.id == "faults" {
+                        println!();
+                        print!("{}", render_csv(exp, Metric::CrashBlockedTime));
+                    }
+                    return;
+                }
                 if reps >= 2 {
                     print!("{}", render_table_ci(exp));
                 } else {
@@ -1100,6 +1154,18 @@ pub fn execute(cmd: Command) -> i32 {
                     // network/skew mix — the ranking is the result.
                     println!();
                     print!("{}", render_ranking(exp));
+                }
+                if exp.id == "faults" {
+                    // Blocked time is the point of the fault sweep:
+                    // the curve vs crash probability separates the
+                    // blocking protocols from 3PC termination and
+                    // Paxos Commit failover.
+                    println!();
+                    print!("{}", render_table(exp, Metric::CrashBlockedTime));
+                    print!(
+                        "{}",
+                        render_ascii_chart(exp, Metric::CrashBlockedTime, 64, 18)
+                    );
                 }
             };
             let result: Result<Vec<experiments::Experiment>, _> = match id.as_str() {
@@ -1336,6 +1402,7 @@ mod tests {
                 full: true,
                 reps: 1,
                 jobs: None,
+                csv: false,
             }
         );
         assert_eq!(
@@ -1345,9 +1412,24 @@ mod tests {
                 full: false,
                 reps: 1,
                 jobs: None,
+                csv: false,
             }
         );
         assert!(parse(&argv("experiment")).is_err());
+    }
+
+    #[test]
+    fn experiment_parses_csv() {
+        assert_eq!(
+            parse(&argv("experiment faults --csv")).unwrap(),
+            Command::Experiment {
+                id: "faults".into(),
+                full: false,
+                reps: 1,
+                jobs: None,
+                csv: true,
+            }
+        );
     }
 
     #[test]
@@ -1359,6 +1441,7 @@ mod tests {
                 full: false,
                 reps: 4,
                 jobs: Some(8),
+                csv: false,
             }
         );
         assert!(parse(&argv("experiment fig1 --reps 0")).is_err());

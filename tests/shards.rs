@@ -1,0 +1,247 @@
+//! Shard-count invariance of the site-sharded parallel engine.
+//!
+//! The parallel engine's contract (see `crates/core/src/engine/par`)
+//! is that its output is a pure function of the configuration, the
+//! protocol and the seed — **never** of the shard count: `--shards 1`
+//! runs the same window/barrier loop inline that `--shards 8` spreads
+//! over worker threads, so every report field, every series window and
+//! every trace byte must agree. These tests pin that matrix:
+//! shards × jobs × seeds, plus the envelope edges (serial fallback,
+//! typed rejections, faults and replication inside the envelope).
+
+use distcommit::db::config::{ConfigError, FailureConfig, SystemConfig, Topology};
+use distcommit::db::engine::{chrome_trace_json, SeriesConfig, SeriesFormat, Simulation};
+use distcommit::db::experiments::{self, Scale};
+use distcommit::db::metrics::{ReportFormat, SimReport};
+use distcommit::db::output::render_sweep_json;
+use distcommit::proto::ProtocolSpec;
+use simkernel::SimDuration;
+
+/// A small WAN configuration inside the parallel envelope: 8 sites in
+/// 4 regions, 10 ms inter-region latency with jitter.
+fn wan_cfg(shards: u32) -> SystemConfig {
+    SystemConfig::paper_baseline()
+        .with_topology(Topology {
+            regions: 4,
+            lan_latency: SimDuration::from_millis(1),
+            wan_latency: SimDuration::from_millis(10),
+            jitter: 0.2,
+            hot_site_prob: 0.0,
+        })
+        .with_run_length(20, 150)
+        .with_shards(shards)
+}
+
+/// Reports must be byte-identical across shard counts: compare the
+/// rendered JSON, which covers every field at full precision.
+fn report_bytes(r: &SimReport) -> String {
+    r.render(ReportFormat::Json)
+}
+
+#[test]
+fn parallel_smoke_completes_the_run() {
+    let cfg = wan_cfg(4);
+    let report = Simulation::run_auto(&cfg, ProtocolSpec::TWO_PC, 7).unwrap();
+    // Completion is checked at window barriers, so the measured count
+    // can overshoot the target within the final window — never
+    // undershoot it.
+    assert!(report.committed >= 150, "measured commit target");
+    assert!(report.throughput > 0.0);
+    assert!(report.events > 0);
+}
+
+#[test]
+fn reports_identical_across_shards_jobs_and_seeds() {
+    for spec in [ProtocolSpec::TWO_PC, ProtocolSpec::PA, ProtocolSpec::OPT_PC] {
+        for seed_off in [0u64, 1, 2] {
+            let seed = 42 + seed_off;
+            let baseline = report_bytes(&Simulation::run_auto(&wan_cfg(1), spec, seed).unwrap());
+            for shards in [2u32, 4] {
+                let got =
+                    report_bytes(&Simulation::run_auto(&wan_cfg(shards), spec, seed).unwrap());
+                assert_eq!(baseline, got, "{} seed {seed} shards {shards}", spec.name());
+            }
+        }
+    }
+}
+
+/// Windowed series and Chrome traces are produced *during* the run
+/// (not reconstructed at the end), so they exercise the barrier-time
+/// snapshot and trace-drain paths — both must be byte-identical too.
+#[test]
+fn series_and_traces_identical_across_shards() {
+    let scfg = SeriesConfig {
+        window: SimDuration::from_secs(2),
+        per_site: true,
+    };
+    let run = |shards: u32| {
+        let (report, series) =
+            Simulation::run_auto_with_series(&wan_cfg(shards), ProtocolSpec::TWO_PC, 42, &scfg)
+                .unwrap();
+        let (_, trace) =
+            Simulation::run_auto_traced(&wan_cfg(shards), ProtocolSpec::TWO_PC, 42, 32).unwrap();
+        (
+            report_bytes(&report),
+            series.render(SeriesFormat::Json),
+            chrome_trace_json(&trace),
+        )
+    };
+    let baseline = run(1);
+    assert!(baseline.1.len() > 2, "series should have windows");
+    assert!(baseline.2.len() > 2, "trace should have events");
+    for shards in [2u32, 4] {
+        assert_eq!(baseline, run(shards), "shards {shards}");
+    }
+}
+
+/// Master + cohort crashes with a blocking takeover stay inside the
+/// parallel envelope; the fault counters and blocked-time accounting
+/// must be shard-count-invariant like everything else.
+#[test]
+fn faulty_blocking_run_is_shard_invariant() {
+    let cfg = |shards: u32| {
+        wan_cfg(shards).with_failures(FailureConfig {
+            master_crash_prob: 0.05,
+            cohort_crash_prob: 0.02,
+            ..FailureConfig::default()
+        })
+    };
+    let baseline = Simulation::run_auto(&cfg(1), ProtocolSpec::TWO_PC, 42).unwrap();
+    assert!(
+        baseline.faults.master_crash_trials > 0,
+        "failure model should be active"
+    );
+    let baseline = report_bytes(&baseline);
+    for shards in [2u32, 4] {
+        let got =
+            report_bytes(&Simulation::run_auto(&cfg(shards), ProtocolSpec::TWO_PC, 42).unwrap());
+        assert_eq!(baseline, got, "shards {shards}");
+    }
+}
+
+/// Replicated Paxos Commit (F = 1, fault-free) runs the acceptor
+/// quorum machinery through the parallel path.
+#[test]
+fn replicated_paxos_run_is_shard_invariant() {
+    let cfg = |shards: u32| wan_cfg(shards).with_replication(1);
+    let baseline = report_bytes(&Simulation::run_auto(&cfg(1), ProtocolSpec::PAXOS, 42).unwrap());
+    for shards in [2u32, 4] {
+        let got =
+            report_bytes(&Simulation::run_auto(&cfg(shards), ProtocolSpec::PAXOS, 42).unwrap());
+        assert_eq!(baseline, got, "shards {shards}");
+    }
+}
+
+/// Intra-run shards compose with the inter-cell `--jobs` grid: every
+/// (shards, jobs) combination renders the same sweep JSON.
+#[test]
+fn sweep_output_invariant_across_shards_and_jobs() {
+    let sweep_bytes = |shards: u32, jobs: usize| {
+        let cfg = wan_cfg(shards);
+        let specs = vec![
+            ("2PC".to_string(), ProtocolSpec::TWO_PC, cfg.clone()),
+            ("PA".to_string(), ProtocolSpec::PA, cfg.clone()),
+        ];
+        let scale = Scale {
+            warmup: 20,
+            measured: 150,
+            mpls: vec![2, 4],
+            seed: 42,
+            replications: 1,
+            jobs: Some(jobs),
+        };
+        let series = experiments::sweep(&cfg, &specs, &scale).unwrap();
+        let exp = experiments::Experiment {
+            id: "shard-matrix".into(),
+            title: "shard matrix".into(),
+            config: cfg,
+            series,
+        };
+        render_sweep_json(&exp)
+    };
+    let baseline = sweep_bytes(1, 1);
+    for (shards, jobs) in [(1u32, 4usize), (2, 1), (2, 4), (4, 1), (4, 4)] {
+        assert_eq!(
+            baseline,
+            sweep_bytes(shards, jobs),
+            "shards {shards} jobs {jobs}"
+        );
+    }
+}
+
+/// Configurations outside the envelope fall back to the serial engine
+/// silently: same bytes with or without `--shards`, so classic
+/// zero-topology outputs (and their goldens) are untouched by the flag.
+#[test]
+fn serial_fallback_outside_the_envelope() {
+    // No topology at all: the flat LAN baseline.
+    let flat = SystemConfig::paper_baseline().with_run_length(20, 150);
+    let serial = report_bytes(&Simulation::run(&flat, ProtocolSpec::TWO_PC, 42).unwrap());
+    let flagged = report_bytes(
+        &Simulation::run_auto(&flat.clone().with_shards(4), ProtocolSpec::TWO_PC, 42).unwrap(),
+    );
+    assert_eq!(serial, flagged, "no topology");
+
+    // A single region has no cross-region latency to use as lookahead.
+    let one_region = flat.clone().with_topology(Topology {
+        regions: 1,
+        lan_latency: SimDuration::from_millis(1),
+        wan_latency: SimDuration::from_millis(10),
+        jitter: 0.0,
+        hot_site_prob: 0.0,
+    });
+    let serial = report_bytes(&Simulation::run(&one_region, ProtocolSpec::TWO_PC, 42).unwrap());
+    let flagged = report_bytes(
+        &Simulation::run_auto(&one_region.clone().with_shards(4), ProtocolSpec::TWO_PC, 42)
+            .unwrap(),
+    );
+    assert_eq!(serial, flagged, "single region");
+
+    // CENT collapses to one effective site.
+    let serial = report_bytes(&Simulation::run(&wan_cfg(0), ProtocolSpec::CENT, 42).unwrap());
+    let flagged = report_bytes(&Simulation::run_auto(&wan_cfg(4), ProtocolSpec::CENT, 42).unwrap());
+    assert_eq!(serial, flagged, "centralized");
+}
+
+/// Semantics the parallel interpreter cannot honour are rejected with
+/// a typed error rather than silently degraded — and the identical
+/// configuration *without* `--shards` still runs.
+#[test]
+fn unsupported_combinations_rejected_with_typed_errors() {
+    let reject = |cfg: &SystemConfig, spec: ProtocolSpec| {
+        let err = Simulation::run_auto(cfg, spec, 42).unwrap_err();
+        assert!(matches!(err, ConfigError::Invalid(_)), "{spec:?}: {err}");
+        let mut serial = cfg.clone();
+        serial.shards = 0;
+        Simulation::run_auto(&serial, spec, 42).unwrap();
+    };
+    // Message loss needs retransmission timers on global time.
+    reject(
+        &wan_cfg(4).with_failures(FailureConfig {
+            msg_loss_prob: 0.01,
+            ..FailureConfig::default()
+        }),
+        ProtocolSpec::TWO_PC,
+    );
+    // Crash takeover (3PC termination, Paxos failover) spans shards.
+    reject(
+        &wan_cfg(4).with_failures(FailureConfig::master_crashes(0.01)),
+        ProtocolSpec::THREE_PC,
+    );
+    reject(
+        &wan_cfg(4)
+            .with_replication(1)
+            .with_failures(FailureConfig::master_crashes(0.01)),
+        ProtocolSpec::PAXOS,
+    );
+    // Chained 2PC and the pre-claiming baseline use non-star routing.
+    reject(&wan_cfg(4), ProtocolSpec::LINEAR_2PC);
+    reject(&wan_cfg(4), ProtocolSpec::DPCC);
+}
+
+/// `--shards` beyond the site count is a configuration error.
+#[test]
+fn more_shards_than_sites_rejected() {
+    let err = Simulation::run_auto(&wan_cfg(9), ProtocolSpec::TWO_PC, 42).unwrap_err();
+    assert!(matches!(err, ConfigError::Invalid(_)), "{err}");
+}
